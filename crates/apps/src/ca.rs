@@ -1,0 +1,503 @@
+//! The Flicker-enhanced Certificate Authority (paper §6.3.2, evaluated in
+//! §7.4.2).
+//!
+//! "Only a tiny piece of code ever has access to the CA's private signing
+//! key. Thus, the key will remain secure, even if all of the other
+//! software on the machine is compromised. ... the PAL can implement
+//! arbitrary access control policies on certificate creation and can log
+//! those creations."
+//!
+//! Session 1 generates the signing keypair and seals it; session 2 takes a
+//! CSR plus the sealed key + sealed certificate database, enforces the
+//! administrator's policy, signs, updates and reseals the database, and
+//! outputs the certificate.
+
+use flicker_core::{
+    run_session, FlickerError, FlickerResult, NativePal, PalContext, PalPayload, SessionParams,
+    SessionRecord, SlbImage, SlbOptions,
+};
+use flicker_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use flicker_os::Os;
+use flicker_tpm::SealedBlob;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Measured identity of the CA PAL (both phases).
+pub const CA_PAL_IDENTITY: &[u8] = b"flicker-certificate-authority-pal v1.0";
+
+/// A certificate signing request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Requested subject name.
+    pub subject: String,
+    /// The subject's public key.
+    pub public_key: RsaPublicKey,
+}
+
+impl Csr {
+    fn to_bytes(&self) -> Vec<u8> {
+        let pk = self.public_key.to_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.subject.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.subject.as_bytes());
+        out.extend_from_slice(&(pk.len() as u32).to_be_bytes());
+        out.extend_from_slice(&pk);
+        out
+    }
+
+    fn from_bytes(b: &[u8]) -> Option<(Self, usize)> {
+        let slen = u32::from_be_bytes(b.get(0..4)?.try_into().ok()?) as usize;
+        let subject = String::from_utf8(b.get(4..4 + slen)?.to_vec()).ok()?;
+        let mut off = 4 + slen;
+        let klen = u32::from_be_bytes(b.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        let public_key = RsaPublicKey::from_bytes(b.get(off..off + klen)?).ok()?;
+        off += klen;
+        Some((
+            Csr {
+                subject,
+                public_key,
+            },
+            off,
+        ))
+    }
+}
+
+/// A signed certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// Serial number (position in the CA's database).
+    pub serial: u64,
+    /// Subject name.
+    pub subject: String,
+    /// Subject public key.
+    pub public_key: RsaPublicKey,
+    /// CA signature over `serial ‖ subject ‖ public key`.
+    pub signature: Vec<u8>,
+}
+
+impl Certificate {
+    fn tbs(serial: u64, subject: &str, public_key: &RsaPublicKey) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&serial.to_be_bytes());
+        out.extend_from_slice(&(subject.len() as u32).to_be_bytes());
+        out.extend_from_slice(subject.as_bytes());
+        out.extend_from_slice(&public_key.to_bytes());
+        out
+    }
+
+    /// Verifies the certificate under the CA's public key.
+    pub fn verify(&self, ca_public: &RsaPublicKey) -> FlickerResult<()> {
+        flicker_crypto::pkcs1::verify(
+            ca_public,
+            &Self::tbs(self.serial, &self.subject, &self.public_key),
+            &self.signature,
+        )
+        .map_err(|_| FlickerError::Attestation("certificate signature invalid"))
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let pk = self.public_key.to_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.serial.to_be_bytes());
+        out.extend_from_slice(&(self.subject.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.subject.as_bytes());
+        out.extend_from_slice(&(pk.len() as u32).to_be_bytes());
+        out.extend_from_slice(&pk);
+        out.extend_from_slice(&(self.signature.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    fn from_bytes(b: &[u8]) -> Option<Self> {
+        let serial = u64::from_be_bytes(b.get(0..8)?.try_into().ok()?);
+        let slen = u32::from_be_bytes(b.get(8..12)?.try_into().ok()?) as usize;
+        let subject = String::from_utf8(b.get(12..12 + slen)?.to_vec()).ok()?;
+        let mut off = 12 + slen;
+        let klen = u32::from_be_bytes(b.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        let public_key = RsaPublicKey::from_bytes(b.get(off..off + klen)?).ok()?;
+        off += klen;
+        let sig_len = u32::from_be_bytes(b.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        let signature = b.get(off..off + sig_len)?.to_vec();
+        if off + sig_len != b.len() {
+            return None;
+        }
+        Some(Certificate {
+            serial,
+            subject,
+            public_key,
+            signature,
+        })
+    }
+}
+
+/// The administrator's issuance policy: allowed subject suffixes (e.g.
+/// `.corp.example`) and an issuance cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssuancePolicy {
+    /// A subject must end with one of these suffixes.
+    pub allowed_suffixes: Vec<String>,
+    /// Maximum number of certificates this CA may ever issue.
+    pub max_certificates: u64,
+}
+
+impl IssuancePolicy {
+    fn permits(&self, subject: &str, issued_so_far: u64) -> bool {
+        issued_so_far < self.max_certificates
+            && self
+                .allowed_suffixes
+                .iter()
+                .any(|s| subject.ends_with(s.as_str()))
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let joined = self.allowed_suffixes.join(",");
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.max_certificates.to_be_bytes());
+        out.extend_from_slice(&(joined.len() as u32).to_be_bytes());
+        out.extend_from_slice(joined.as_bytes());
+        out
+    }
+
+    fn from_bytes(b: &[u8]) -> Option<(Self, usize)> {
+        let max_certificates = u64::from_be_bytes(b.get(0..8)?.try_into().ok()?);
+        let jlen = u32::from_be_bytes(b.get(8..12)?.try_into().ok()?) as usize;
+        let joined = String::from_utf8(b.get(12..12 + jlen)?.to_vec()).ok()?;
+        let allowed_suffixes = if joined.is_empty() {
+            Vec::new()
+        } else {
+            joined.split(',').map(str::to_string).collect()
+        };
+        Some((
+            IssuancePolicy {
+                allowed_suffixes,
+                max_certificates,
+            },
+            12 + jlen,
+        ))
+    }
+}
+
+/// The CA's sealed internal state: private key + issuance log.
+struct CaState {
+    key: RsaPrivateKey,
+    /// Subjects issued so far (the paper's "log [of] creations").
+    issued: Vec<String>,
+}
+
+impl CaState {
+    fn to_bytes(&self) -> Vec<u8> {
+        let key = self.key.to_bytes();
+        let log = self.issued.join("\n");
+        let mut out = Vec::new();
+        out.extend_from_slice(&(key.len() as u32).to_be_bytes());
+        out.extend_from_slice(&key);
+        out.extend_from_slice(&(log.len() as u32).to_be_bytes());
+        out.extend_from_slice(log.as_bytes());
+        out
+    }
+
+    fn from_bytes(b: &[u8]) -> Option<Self> {
+        let klen = u32::from_be_bytes(b.get(0..4)?.try_into().ok()?) as usize;
+        let key = RsaPrivateKey::from_bytes(b.get(4..4 + klen)?).ok()?;
+        let mut off = 4 + klen;
+        let llen = u32::from_be_bytes(b.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        let log = String::from_utf8(b.get(off..off + llen)?.to_vec()).ok()?;
+        let issued = if log.is_empty() {
+            Vec::new()
+        } else {
+            log.lines().map(str::to_string).collect()
+        };
+        Some(CaState { key, issued })
+    }
+}
+
+/// PAL phase 1: key + database initialization.
+struct CaInitPal;
+impl NativePal for CaInitPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let (key, _) = ctx.rsa1024_keygen();
+        let public = key.public_key().clone();
+        let state = CaState {
+            key,
+            issued: Vec::new(),
+        };
+        let blob = ctx.seal_to_self(&state.to_bytes())?;
+        // Output: public key ‖ sealed state.
+        let pk = public.to_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(pk.len() as u32).to_be_bytes());
+        out.extend_from_slice(&pk);
+        out.extend_from_slice(blob.as_bytes());
+        ctx.write_output(&out)
+    }
+}
+
+/// PAL phase 2: sign a CSR under policy.
+/// Inputs: `blob_len ‖ sealed state ‖ policy ‖ csr`.
+struct CaSignPal;
+impl NativePal for CaSignPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let inputs = ctx.inputs().to_vec();
+        let blob_len = u32::from_be_bytes(
+            inputs
+                .get(0..4)
+                .ok_or(FlickerError::Protocol("truncated CA inputs"))?
+                .try_into()
+                .expect("4"),
+        ) as usize;
+        let blob = SealedBlob::from_bytes(
+            inputs
+                .get(4..4 + blob_len)
+                .ok_or(FlickerError::Protocol("truncated sealed state"))?
+                .to_vec(),
+        );
+        let rest = &inputs[4 + blob_len..];
+        let (policy, used) =
+            IssuancePolicy::from_bytes(rest).ok_or(FlickerError::Protocol("bad policy"))?;
+        let (csr, _) = Csr::from_bytes(&rest[used..]).ok_or(FlickerError::Protocol("bad CSR"))?;
+
+        let mut state = CaState::from_bytes(&ctx.unseal(&blob)?)
+            .ok_or(FlickerError::Protocol("bad CA state"))?;
+
+        // The access-control policy gates issuance.
+        if !policy.permits(&csr.subject, state.issued.len() as u64) {
+            return Err(FlickerError::Protocol("policy denies this CSR"));
+        }
+
+        let serial = state.issued.len() as u64 + 1;
+        let tbs = Certificate::tbs(serial, &csr.subject, &csr.public_key);
+        let signature = ctx.rsa1024_sign(&state.key, &tbs)?;
+        state.issued.push(csr.subject.clone());
+        let new_blob = ctx.seal_to_self(&state.to_bytes())?;
+
+        let cert = Certificate {
+            serial,
+            subject: csr.subject,
+            public_key: csr.public_key,
+            signature,
+        };
+        let cert_bytes = cert.to_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(cert_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&cert_bytes);
+        out.extend_from_slice(new_blob.as_bytes());
+        ctx.write_output(&out)
+    }
+}
+
+fn ca_slb(init: bool) -> SlbImage {
+    let program: Arc<dyn NativePal> = if init {
+        Arc::new(CaInitPal)
+    } else {
+        Arc::new(CaSignPal)
+    };
+    SlbImage::build(
+        PalPayload::Native {
+            identity: CA_PAL_IDENTITY.to_vec(),
+            program,
+        },
+        SlbOptions::default(),
+    )
+    .expect("CA SLB builds")
+}
+
+/// The CA service wrapper the (untrusted) server process runs.
+pub struct FlickerCa {
+    /// The CA's public verification key.
+    pub public_key: RsaPublicKey,
+    sealed_state: SealedBlob,
+    policy: IssuancePolicy,
+}
+
+/// Timing report for one signing request (§7.4.2: 906.2 ms average).
+#[derive(Debug, Clone)]
+pub struct SigningReport {
+    /// The issued certificate.
+    pub certificate: Certificate,
+    /// Total request latency.
+    pub latency: Duration,
+    /// Session record.
+    pub session: SessionRecord,
+}
+
+impl FlickerCa {
+    /// Initializes the CA: one Flicker session generating + sealing the key.
+    pub fn init(os: &mut Os, policy: IssuancePolicy) -> FlickerResult<(Self, SessionRecord)> {
+        let slb = ca_slb(true);
+        let params = SessionParams {
+            use_hashing_stub: true,
+            ..Default::default()
+        };
+        let rec = run_session(os, &slb, &params)?;
+        rec.pal_result.clone().map_err(FlickerError::PalFault)?;
+        let out = &rec.outputs;
+        let pk_len = u32::from_be_bytes(
+            out.get(0..4)
+                .ok_or(FlickerError::Protocol("bad init output"))?
+                .try_into()
+                .expect("4"),
+        ) as usize;
+        let public_key = RsaPublicKey::from_bytes(&out[4..4 + pk_len])
+            .map_err(|_| FlickerError::Protocol("bad CA public key"))?;
+        let sealed_state = SealedBlob::from_bytes(out[4 + pk_len..].to_vec());
+        Ok((
+            FlickerCa {
+                public_key,
+                sealed_state,
+                policy,
+            },
+            rec,
+        ))
+    }
+
+    /// Signs one CSR (one Flicker session).
+    pub fn sign(&mut self, os: &mut Os, csr: &Csr) -> FlickerResult<SigningReport> {
+        let clock = os.clock();
+        let start = clock.now();
+
+        let mut inputs = Vec::new();
+        let blob = self.sealed_state.as_bytes();
+        inputs.extend_from_slice(&(blob.len() as u32).to_be_bytes());
+        inputs.extend_from_slice(blob);
+        inputs.extend_from_slice(&self.policy.to_bytes());
+        inputs.extend_from_slice(&csr.to_bytes());
+
+        let slb = ca_slb(false);
+        let params = SessionParams {
+            inputs,
+            use_hashing_stub: true,
+            ..Default::default()
+        };
+        let session = run_session(os, &slb, &params)?;
+        session.pal_result.clone().map_err(FlickerError::PalFault)?;
+
+        let out = &session.outputs;
+        let cert_len = u32::from_be_bytes(
+            out.get(0..4)
+                .ok_or(FlickerError::Protocol("bad sign output"))?
+                .try_into()
+                .expect("4"),
+        ) as usize;
+        let certificate = Certificate::from_bytes(&out[4..4 + cert_len])
+            .ok_or(FlickerError::Protocol("bad certificate"))?;
+        self.sealed_state = SealedBlob::from_bytes(out[4 + cert_len..].to_vec());
+
+        Ok(SigningReport {
+            certificate,
+            latency: clock.now() - start,
+            session,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flicker_crypto::rng::XorShiftRng;
+    use flicker_os::OsConfig;
+
+    fn os(seed: u8) -> Os {
+        Os::boot(OsConfig::fast_for_tests(seed))
+    }
+
+    fn policy() -> IssuancePolicy {
+        IssuancePolicy {
+            allowed_suffixes: vec![".corp.example".to_string()],
+            max_certificates: 3,
+        }
+    }
+
+    fn csr(seed: u64, subject: &str) -> Csr {
+        let mut rng = XorShiftRng::new(seed);
+        let (key, _) = RsaPrivateKey::generate(512, &mut rng);
+        Csr {
+            subject: subject.to_string(),
+            public_key: key.public_key().clone(),
+        }
+    }
+
+    #[test]
+    fn issues_verifiable_certificates() {
+        let mut o = os(71);
+        let (mut ca, _) = FlickerCa::init(&mut o, policy()).unwrap();
+        let req = csr(1, "www.corp.example");
+        let report = ca.sign(&mut o, &req).unwrap();
+        assert_eq!(report.certificate.subject, "www.corp.example");
+        assert_eq!(report.certificate.serial, 1);
+        report.certificate.verify(&ca.public_key).unwrap();
+    }
+
+    #[test]
+    fn serials_increment_and_log_persists() {
+        let mut o = os(72);
+        let (mut ca, _) = FlickerCa::init(&mut o, policy()).unwrap();
+        let a = ca.sign(&mut o, &csr(1, "a.corp.example")).unwrap();
+        let b = ca.sign(&mut o, &csr(2, "b.corp.example")).unwrap();
+        assert_eq!(a.certificate.serial, 1);
+        assert_eq!(b.certificate.serial, 2);
+        b.certificate.verify(&ca.public_key).unwrap();
+    }
+
+    #[test]
+    fn policy_denies_foreign_subjects() {
+        let mut o = os(73);
+        let (mut ca, _) = FlickerCa::init(&mut o, policy()).unwrap();
+        let err = ca.sign(&mut o, &csr(1, "evil.example.net")).unwrap_err();
+        assert!(err.to_string().contains("policy"), "{err}");
+    }
+
+    #[test]
+    fn issuance_cap_enforced() {
+        let mut o = os(74);
+        let (mut ca, _) = FlickerCa::init(&mut o, policy()).unwrap();
+        for i in 0..3 {
+            ca.sign(&mut o, &csr(i, &format!("h{i}.corp.example")))
+                .unwrap();
+        }
+        assert!(ca.sign(&mut o, &csr(9, "h9.corp.example")).is_err());
+    }
+
+    #[test]
+    fn forged_certificate_rejected() {
+        let mut o = os(75);
+        let (mut ca, _) = FlickerCa::init(&mut o, policy()).unwrap();
+        let report = ca.sign(&mut o, &csr(1, "www.corp.example")).unwrap();
+        let mut forged = report.certificate.clone();
+        forged.subject = "evil.corp.example".to_string();
+        assert!(forged.verify(&ca.public_key).is_err());
+        let mut resigned = report.certificate.clone();
+        resigned.signature[0] ^= 1;
+        assert!(resigned.verify(&ca.public_key).is_err());
+    }
+
+    #[test]
+    fn signing_latency_matches_paper_shape() {
+        // §7.4.2: 906.2 ms average, dominated by Unseal; signature ≈4.7 ms.
+        let mut o = os(76);
+        let (mut ca, _) = FlickerCa::init(&mut o, policy()).unwrap();
+        let report = ca.sign(&mut o, &csr(1, "www.corp.example")).unwrap();
+        let ms = report.latency.as_secs_f64() * 1e3;
+        assert!((890.0..1_000.0).contains(&ms), "signing latency {ms:.1} ms");
+    }
+
+    #[test]
+    fn stale_database_replay_gives_stale_serial_only() {
+        // Without the §4.3.2 counter, a replayed CA database yields
+        // duplicate serials — visible, revocable, and exactly why the
+        // paper pairs the CA with replay-protected storage in practice.
+        let mut o = os(77);
+        let (mut ca, _) = FlickerCa::init(&mut o, policy()).unwrap();
+        let old_state = ca.sealed_state.clone();
+        let a = ca.sign(&mut o, &csr(1, "a.corp.example")).unwrap();
+        ca.sealed_state = old_state; // malicious OS replays
+        let b = ca.sign(&mut o, &csr(2, "b.corp.example")).unwrap();
+        assert_eq!(
+            a.certificate.serial, b.certificate.serial,
+            "duplicate serial exposes replay"
+        );
+    }
+}

@@ -1,0 +1,634 @@
+//! Flicker-protected distributed computing (paper §6.2, evaluated in §7.3,
+//! Table 4 and Figure 8).
+//!
+//! A BOINC-style client fetches a work unit (here: trial-division factoring
+//! of a large number, the paper's illustrative application), processes it
+//! inside Flicker sessions, and attests the result so the server needs no
+//! redundant replication.
+//!
+//! Integrity-protected state across sessions: "the very first invocation
+//! of the BOINC PAL generates a 160-bit symmetric key based on randomness
+//! obtained from the TPM and uses the TPM to seal the key so that no other
+//! code can access it ... Before yielding control back to the untrusted
+//! OS, the PAL computes a cryptographic MAC (HMAC) over its current state."
+
+use flicker_core::{
+    run_session, FlickerError, FlickerResult, NativePal, PalContext, PalPayload, SessionParams,
+    SessionRecord, SlbImage, SlbOptions,
+};
+use flicker_os::Os;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Measured identity of the BOINC PAL.
+pub const BOINC_PAL_IDENTITY: &[u8] = b"flicker-boinc-factoring-pal v1.0";
+
+/// A server-issued work unit: find divisors of `n` in `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkUnit {
+    /// The number to factor.
+    pub n: u64,
+    /// First candidate divisor.
+    pub lo: u64,
+    /// One past the last candidate divisor.
+    pub hi: u64,
+}
+
+/// The PAL's integrity-protected state between sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobState {
+    /// The work unit.
+    pub unit: WorkUnit,
+    /// Next candidate to test.
+    pub cursor: u64,
+    /// Divisors found so far.
+    pub divisors: Vec<u64>,
+}
+
+impl JobState {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.unit.n.to_be_bytes());
+        out.extend_from_slice(&self.unit.lo.to_be_bytes());
+        out.extend_from_slice(&self.unit.hi.to_be_bytes());
+        out.extend_from_slice(&self.cursor.to_be_bytes());
+        out.extend_from_slice(&(self.divisors.len() as u32).to_be_bytes());
+        for d in &self.divisors {
+            out.extend_from_slice(&d.to_be_bytes());
+        }
+        out
+    }
+
+    fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() < 36 {
+            return None;
+        }
+        let u = |r: std::ops::Range<usize>| u64::from_be_bytes(b[r].try_into().ok().unwrap());
+        let count = u32::from_be_bytes(b[32..36].try_into().ok()?) as usize;
+        if b.len() != 36 + count * 8 {
+            return None;
+        }
+        let divisors = (0..count).map(|i| u(36 + i * 8..44 + i * 8)).collect();
+        Some(JobState {
+            unit: WorkUnit {
+                n: u(0..8),
+                lo: u(8..16),
+                hi: u(16..24),
+            },
+            cursor: u(24..32),
+            divisors,
+        })
+    }
+
+    /// True when the whole range has been searched.
+    pub fn is_complete(&self) -> bool {
+        self.cursor >= self.unit.hi
+    }
+}
+
+/// Rate at which the PAL tests candidate divisors (candidates/second on
+/// the paper's 2.2 GHz machine; a divisibility test is a few ns, dominated
+/// by loop overhead).
+pub const CANDIDATES_PER_SEC: u64 = 25_000_000;
+
+/// What one PAL invocation is asked to do.
+enum Phase {
+    /// First session: generate + seal the HMAC key, initialize state.
+    Init { unit: WorkUnit },
+    /// Later sessions: verify MAC, work for a bounded slice, re-MAC.
+    Continue {
+        /// Maximum work-slice duration before yielding to the OS.
+        slice: Duration,
+    },
+}
+
+/// The BOINC PAL. State travels through the untrusted OS as
+/// `sealed_key_blob_len ‖ sealed_key_blob ‖ state ‖ hmac`.
+struct BoincPal {
+    phase: Phase,
+}
+
+fn encode_carry(blob: &[u8], state: &JobState, mac: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(blob.len() as u32).to_be_bytes());
+    out.extend_from_slice(blob);
+    let state_bytes = state.to_bytes();
+    out.extend_from_slice(&(state_bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(&state_bytes);
+    out.extend_from_slice(mac);
+    out
+}
+
+fn decode_carry(bytes: &[u8]) -> Option<(Vec<u8>, Vec<u8>, Vec<u8>)> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    let blob_len = u32::from_be_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let mut off = 4 + blob_len;
+    if bytes.len() < off + 4 {
+        return None;
+    }
+    let state_len = u32::from_be_bytes(bytes[off..off + 4].try_into().ok()?) as usize;
+    off += 4;
+    if bytes.len() != off + state_len + 20 {
+        return None;
+    }
+    Some((
+        bytes[4..4 + blob_len].to_vec(),
+        bytes[off..off + state_len].to_vec(),
+        bytes[off + state_len..].to_vec(),
+    ))
+}
+
+impl NativePal for BoincPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        match &self.phase {
+            Phase::Init { unit } => {
+                // 160-bit key from TPM randomness, sealed to this PAL.
+                let key = ctx.tpm_get_random(20);
+                let blob = ctx.seal_to_self(&key)?;
+                let state = JobState {
+                    unit: unit.clone(),
+                    cursor: unit.lo,
+                    divisors: Vec::new(),
+                };
+                let mac = ctx.hmac_sha1(&key, &state.to_bytes());
+                let carry = encode_carry(blob.as_bytes(), &state, &mac);
+                ctx.write_output(&carry)
+            }
+            Phase::Continue { slice } => {
+                let (blob_bytes, state_bytes, mac) = decode_carry(ctx.inputs())
+                    .ok_or(FlickerError::Protocol("malformed carry blob"))?;
+                let blob = flicker_tpm::SealedBlob::from_bytes(blob_bytes);
+                let key = ctx.unseal(&blob)?;
+                let expected = ctx.hmac_sha1(&key, &state_bytes);
+                if !flicker_crypto::ct_eq(&expected, &mac) {
+                    return Err(FlickerError::Protocol("state MAC mismatch"));
+                }
+                let mut state = JobState::from_bytes(&state_bytes)
+                    .ok_or(FlickerError::Protocol("malformed state"))?;
+
+                // Application-specific work: test divisors for one slice.
+                let budget = (slice.as_secs_f64() * CANDIDATES_PER_SEC as f64) as u64;
+                let end = state.cursor.saturating_add(budget).min(state.unit.hi);
+                let mut candidate = state.cursor.max(2);
+                while candidate < end {
+                    if state.unit.n % candidate == 0 {
+                        state.divisors.push(candidate);
+                    }
+                    candidate += 1;
+                }
+                // Charge the modelled time for the work actually done.
+                let tested = end.saturating_sub(state.cursor);
+                ctx.charge_cpu(Duration::from_secs_f64(
+                    tested as f64 / CANDIDATES_PER_SEC as f64,
+                ));
+                state.cursor = end;
+
+                let mac = ctx.hmac_sha1(&key, &state.to_bytes());
+                let carry = encode_carry(blob.as_bytes(), &state, &mac);
+                ctx.write_output(&carry)
+            }
+        }
+    }
+}
+
+fn boinc_slb(phase: Phase) -> SlbImage {
+    SlbImage::build(
+        PalPayload::Native {
+            identity: BOINC_PAL_IDENTITY.to_vec(),
+            program: Arc::new(BoincPal { phase }),
+        },
+        SlbOptions::default(),
+    )
+    .expect("BOINC SLB builds")
+}
+
+/// Per-session accounting for the §7.3 efficiency analysis.
+#[derive(Debug, Clone)]
+pub struct SliceReport {
+    /// Session record (timings, PCR values).
+    pub session: SessionRecord,
+    /// Time spent on application work within the session.
+    pub app_work: Duration,
+    /// Flicker-imposed overhead (everything else in the session).
+    pub overhead: Duration,
+}
+
+/// The modified BOINC client: drives the PAL one slice at a time,
+/// multitasking with the OS in between (paper: "it periodically returns
+/// control to the untrusted OS").
+pub struct BoincClient {
+    carry: Vec<u8>,
+    state: JobState,
+}
+
+impl BoincClient {
+    /// First invocation: key generation + sealing (Table 4 footnote 7).
+    pub fn start(os: &mut Os, unit: WorkUnit) -> FlickerResult<(Self, SessionRecord)> {
+        let slb = boinc_slb(Phase::Init { unit: unit.clone() });
+        let params = SessionParams {
+            use_hashing_stub: true,
+            ..Default::default()
+        };
+        let rec = run_session(os, &slb, &params)?;
+        rec.pal_result.clone().map_err(FlickerError::PalFault)?;
+        let (_, state_bytes, _) =
+            decode_carry(&rec.outputs).ok_or(FlickerError::Protocol("bad init carry"))?;
+        let state =
+            JobState::from_bytes(&state_bytes).ok_or(FlickerError::Protocol("bad init state"))?;
+        Ok((
+            BoincClient {
+                carry: rec.outputs.clone(),
+                state,
+            },
+            rec,
+        ))
+    }
+
+    /// Runs one work slice of the given duration inside a Flicker session.
+    pub fn run_slice(&mut self, os: &mut Os, slice: Duration) -> FlickerResult<SliceReport> {
+        let slb = boinc_slb(Phase::Continue { slice });
+        let params = SessionParams {
+            inputs: self.carry.clone(),
+            use_hashing_stub: true,
+            ..Default::default()
+        };
+        let before = self.state.cursor;
+        let rec = run_session(os, &slb, &params)?;
+        rec.pal_result.clone().map_err(FlickerError::PalFault)?;
+        let (_, state_bytes, _) =
+            decode_carry(&rec.outputs).ok_or(FlickerError::Protocol("bad carry"))?;
+        self.state =
+            JobState::from_bytes(&state_bytes).ok_or(FlickerError::Protocol("bad state"))?;
+        self.carry = rec.outputs.clone();
+
+        let tested = self.state.cursor - before;
+        let app_work = Duration::from_secs_f64(tested as f64 / CANDIDATES_PER_SEC as f64);
+        let overhead = rec.timings.total.saturating_sub(app_work);
+        Ok(SliceReport {
+            session: rec,
+            app_work,
+            overhead,
+        })
+    }
+
+    /// Runs a slice binding `nonce` into the session's terminal extends —
+    /// used for the final slice, whose attestation goes to the server.
+    /// Returns the report plus the exact inputs of that session (the
+    /// server re-derives the expected PCR 17 from them).
+    pub fn run_attested_slice(
+        &mut self,
+        os: &mut Os,
+        slice: Duration,
+        nonce: [u8; 20],
+    ) -> FlickerResult<(SliceReport, Vec<u8>)> {
+        let slb = boinc_slb(Phase::Continue { slice });
+        let inputs = self.carry.clone();
+        let params = SessionParams {
+            inputs: inputs.clone(),
+            nonce,
+            use_hashing_stub: true,
+            ..Default::default()
+        };
+        let before = self.state.cursor;
+        let rec = run_session(os, &slb, &params)?;
+        rec.pal_result.clone().map_err(FlickerError::PalFault)?;
+        let (_, state_bytes, _) =
+            decode_carry(&rec.outputs).ok_or(FlickerError::Protocol("bad carry"))?;
+        self.state =
+            JobState::from_bytes(&state_bytes).ok_or(FlickerError::Protocol("bad state"))?;
+        self.carry = rec.outputs.clone();
+        let tested = self.state.cursor - before;
+        let app_work = Duration::from_secs_f64(tested as f64 / CANDIDATES_PER_SEC as f64);
+        let overhead = rec.timings.total.saturating_sub(app_work);
+        Ok((
+            SliceReport {
+                session: rec,
+                app_work,
+                overhead,
+            },
+            inputs,
+        ))
+    }
+
+    /// Current job state.
+    pub fn state(&self) -> &JobState {
+        &self.state
+    }
+
+    /// Runs slices until the unit completes; returns per-slice reports.
+    pub fn run_to_completion(
+        &mut self,
+        os: &mut Os,
+        slice: Duration,
+    ) -> FlickerResult<Vec<SliceReport>> {
+        let mut reports = Vec::new();
+        while !self.state.is_complete() {
+            reports.push(self.run_slice(os, slice)?);
+        }
+        Ok(reports)
+    }
+}
+
+/// The distributed-computing server (paper: "our modified BOINC client
+/// contacts the server to obtain a work unit ... returns the results to
+/// the server, along with an attestation. The attestation demonstrates
+/// that the correct BOINC PAL executed with Flicker protections in place
+/// and that the returned result was truly generated by the BOINC PAL.
+/// Thus, the application writer can trust the result.")
+pub struct BoincServer {
+    verifier: flicker_core::Verifier,
+    nonce_counter: u64,
+}
+
+/// A work assignment: the unit plus the attestation nonce the final
+/// session must bind.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// The work to perform.
+    pub unit: WorkUnit,
+    /// Nonce the client must pass as the final session's nonce.
+    pub nonce: [u8; 20],
+}
+
+impl BoincServer {
+    /// A server trusting the given Privacy CA.
+    pub fn new(privacy_ca_public: flicker_crypto::RsaPublicKey) -> Self {
+        BoincServer {
+            verifier: flicker_core::Verifier::new(privacy_ca_public),
+            nonce_counter: 0,
+        }
+    }
+
+    /// Issues a work unit with a fresh attestation nonce.
+    pub fn issue(&mut self, unit: WorkUnit) -> Assignment {
+        self.nonce_counter += 1;
+        let mut nonce = [0u8; 20];
+        nonce[0..5].copy_from_slice(b"boinc");
+        nonce[12..].copy_from_slice(&self.nonce_counter.to_be_bytes());
+        Assignment { unit, nonce }
+    }
+
+    /// Verifies a completed unit: the quote must cover the BOINC PAL's
+    /// final session with exactly the claimed inputs/outputs and the
+    /// issued nonce. Returns the trusted divisors on success.
+    pub fn verify_result(
+        &self,
+        assignment: &Assignment,
+        final_inputs: &[u8],
+        final_outputs: &[u8],
+        cert: &flicker_tpm::AikCertificate,
+        quote: &flicker_tpm::TpmQuote,
+    ) -> FlickerResult<Vec<u64>> {
+        let slb = boinc_slb(Phase::Continue {
+            slice: Duration::ZERO, // payload program is not measured; any phase works
+        });
+        let expected = flicker_core::ExpectedSession {
+            slb: &slb,
+            slb_base: flicker_core::DEFAULT_SLB_BASE,
+            inputs: final_inputs,
+            outputs: final_outputs,
+            nonce: assignment.nonce,
+            used_hashing_stub: true,
+        };
+        self.verifier.verify(cert, quote, &expected)?;
+        let (_, state_bytes, _) =
+            decode_carry(final_outputs).ok_or(FlickerError::Protocol("bad final carry"))?;
+        let state =
+            JobState::from_bytes(&state_bytes).ok_or(FlickerError::Protocol("bad final state"))?;
+        if state.unit != assignment.unit || !state.is_complete() {
+            return Err(FlickerError::Protocol(
+                "result does not complete the issued unit",
+            ));
+        }
+        Ok(state.divisors)
+    }
+}
+
+/// Efficiency of Flicker-protected execution at a given user-latency
+/// budget (Figure 8's x-axis): the fraction of each session spent on
+/// application work, given the per-session overhead.
+pub fn flicker_efficiency(user_latency: Duration, per_session_overhead: Duration) -> f64 {
+    if user_latency <= per_session_overhead {
+        return 0.0;
+    }
+    (user_latency - per_session_overhead).as_secs_f64() / user_latency.as_secs_f64()
+}
+
+/// Efficiency of k-way redundant execution (Figure 8's horizontal lines):
+/// `1/k` of the fleet's cycles produce unique results.
+pub fn replication_efficiency(k: u32) -> f64 {
+    1.0 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flicker_os::OsConfig;
+
+    fn os(seed: u8) -> Os {
+        Os::boot(OsConfig::fast_for_tests(seed))
+    }
+
+    #[test]
+    fn factoring_completes_across_sessions() {
+        let mut os = os(51);
+        // n = 2^3 * 3 * 5 * 7 = 840: every divisor in [2, 1000) is known.
+        let unit = WorkUnit {
+            n: 840,
+            lo: 2,
+            hi: 1_000,
+        };
+        let (mut client, _init) = BoincClient::start(&mut os, unit).unwrap();
+        let reports = client
+            .run_to_completion(&mut os, Duration::from_millis(10))
+            .unwrap();
+        assert!(!reports.is_empty());
+        assert!(client.state().is_complete());
+        assert_eq!(
+            client.state().divisors,
+            vec![
+                2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 15, 20, 21, 24, 28, 30, 35, 40, 42, 56, 60, 70,
+                84, 105, 120, 140, 168, 210, 280, 420, 840
+            ]
+        );
+    }
+
+    #[test]
+    fn tampered_state_rejected() {
+        let mut os = os(52);
+        let unit = WorkUnit {
+            n: 91,
+            lo: 2,
+            hi: 50,
+        };
+        let (mut client, _) = BoincClient::start(&mut os, unit).unwrap();
+        // The malicious OS flips a bit in the carried state (e.g. to skip
+        // work or inject a bogus divisor).
+        let n = client.carry.len();
+        client.carry[n - 25] ^= 1; // inside the state bytes
+        let err = client
+            .run_slice(&mut os, Duration::from_millis(1))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("MAC mismatch"), "{err}");
+    }
+
+    #[test]
+    fn tampered_mac_rejected() {
+        let mut os = os(53);
+        let unit = WorkUnit {
+            n: 91,
+            lo: 2,
+            hi: 50,
+        };
+        let (mut client, _) = BoincClient::start(&mut os, unit).unwrap();
+        let n = client.carry.len();
+        client.carry[n - 1] ^= 0x80; // inside the MAC
+        assert!(client.run_slice(&mut os, Duration::from_millis(1)).is_err());
+    }
+
+    #[test]
+    fn replayed_old_state_is_mac_valid_but_loses_progress_only() {
+        // HMAC protects integrity, not freshness: replaying an older state
+        // redoes work but cannot fabricate results (the paper's integrity
+        // goal; §6.3's sealed+counter scheme exists for secrecy+freshness).
+        let mut os = os(54);
+        let unit = WorkUnit {
+            n: 91,
+            lo: 2,
+            hi: 20_000,
+        };
+        let (mut client, _) = BoincClient::start(&mut os, unit).unwrap();
+        let checkpoint = (client.carry.clone(), client.state.clone());
+        client.run_slice(&mut os, Duration::from_millis(1)).unwrap();
+        let after_one = client.state.cursor;
+        // Replay.
+        client.carry = checkpoint.0;
+        client.state = checkpoint.1;
+        let rep = client.run_slice(&mut os, Duration::from_millis(1)).unwrap();
+        assert!(
+            rep.session.pal_result.is_ok(),
+            "replay re-runs, detectably equal"
+        );
+        assert_eq!(client.state.cursor, after_one, "same work redone");
+    }
+
+    #[test]
+    fn init_session_costs_match_table4_shape() {
+        // Init: SKINIT + GetRandom + Seal; Continue: SKINIT + Unseal + work.
+        // Unseal (~901 ms Broadcom) must dominate continuation overhead.
+        let mut os = os(55);
+        let unit = WorkUnit {
+            n: 91,
+            lo: 2,
+            hi: 30_000_000,
+        };
+        let (mut client, _) = BoincClient::start(&mut os, unit).unwrap();
+        let rep = client.run_slice(&mut os, Duration::from_secs(1)).unwrap();
+        assert!(
+            rep.overhead >= Duration::from_millis(900),
+            "{:?}",
+            rep.overhead
+        );
+        assert!(
+            rep.overhead < Duration::from_millis(1_100),
+            "{:?}",
+            rep.overhead
+        );
+        assert!(
+            rep.app_work >= Duration::from_millis(900),
+            "{:?}",
+            rep.app_work
+        );
+    }
+
+    #[test]
+    fn server_accepts_attested_result() {
+        let mut rng = flicker_crypto::rng::XorShiftRng::new(560);
+        let mut privacy_ca = flicker_tpm::PrivacyCa::new(512, &mut rng);
+        let mut os = os(56);
+        os.provision_attestation(&mut privacy_ca, "boinc-client")
+            .unwrap();
+        let cert = os.aik_certificate().unwrap().clone();
+        let mut server = BoincServer::new(privacy_ca.public_key().clone());
+
+        let assignment = server.issue(WorkUnit {
+            n: 91,
+            lo: 2,
+            hi: 10_000,
+        });
+        let (mut client, _) = BoincClient::start(&mut os, assignment.unit.clone()).unwrap();
+        // Work until one slice remains, then run the attested final slice.
+        while assignment.unit.hi - client.state().cursor > 5_000 {
+            client
+                .run_slice(&mut os, Duration::from_micros(100))
+                .unwrap();
+        }
+        let (_report, final_inputs) = client
+            .run_attested_slice(&mut os, Duration::from_secs(1), assignment.nonce)
+            .unwrap();
+        assert!(client.state().is_complete());
+        let quote = os
+            .tqd_quote(assignment.nonce, &flicker_tpm::PcrSelection::pcr17())
+            .unwrap();
+
+        let divisors = server
+            .verify_result(&assignment, &final_inputs, &client.carry, &cert, &quote)
+            .unwrap();
+        assert_eq!(divisors, vec![7, 13, 91]);
+    }
+
+    #[test]
+    fn server_rejects_forged_result() {
+        let mut rng = flicker_crypto::rng::XorShiftRng::new(570);
+        let mut privacy_ca = flicker_tpm::PrivacyCa::new(512, &mut rng);
+        let mut os = os(57);
+        os.provision_attestation(&mut privacy_ca, "boinc-client")
+            .unwrap();
+        let cert = os.aik_certificate().unwrap().clone();
+        let mut server = BoincServer::new(privacy_ca.public_key().clone());
+
+        let assignment = server.issue(WorkUnit {
+            n: 91,
+            lo: 2,
+            hi: 1_000,
+        });
+        let (mut client, _) = BoincClient::start(&mut os, assignment.unit.clone()).unwrap();
+        let (_report, final_inputs) = client
+            .run_attested_slice(&mut os, Duration::from_secs(1), assignment.nonce)
+            .unwrap();
+        let quote = os
+            .tqd_quote(assignment.nonce, &flicker_tpm::PcrSelection::pcr17())
+            .unwrap();
+
+        // A cheating client edits the reported state (e.g. claims a bogus
+        // divisor) after the session: PCR 17 no longer matches.
+        let mut forged = client.carry.clone();
+        let n = forged.len();
+        forged[n - 30] ^= 1;
+        assert!(server
+            .verify_result(&assignment, &final_inputs, &forged, &cert, &quote)
+            .is_err());
+    }
+
+    #[test]
+    fn efficiency_formulas_match_figure8() {
+        // Overhead ≈ 912.6 ms (SKINIT 14.3 + Unseal 898.3, Table 4).
+        let ovh = Duration::from_micros(912_600);
+        // Table 4's row: 1 s work slices ⇒ 53% efficiency (47% overhead).
+        let one_sec_session = Duration::from_secs(1) + ovh;
+        let eff = flicker_efficiency(one_sec_session, ovh);
+        assert!((eff - 0.52).abs() < 0.03, "eff={eff}");
+        // Crossover with 3-way replication below 2 s (paper: "a two second
+        // user latency allows a more efficient distributed application than
+        // replicating to three or more machines").
+        assert!(flicker_efficiency(Duration::from_secs(2), ovh) > replication_efficiency(3));
+        // ... and the crossover sits between 1 s and 2 s of user latency
+        // (Figure 8: the Flicker curve passes the 3-way line before 2 s).
+        assert!(flicker_efficiency(Duration::from_secs(1), ovh) < replication_efficiency(3));
+        assert!(replication_efficiency(3) > replication_efficiency(5));
+        assert!(replication_efficiency(5) > replication_efficiency(7));
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion benchmarks for the from-scratch crypto substrate.
+//!
+//! These measure *host* wall-clock performance of this reproduction's
+//! implementations (the paper's Crypto module equivalent), independent of
+//! the simulation's virtual clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flicker_crypto::aes::Aes128;
+use flicker_crypto::hmac::Hmac;
+use flicker_crypto::md5crypt::md5crypt;
+use flicker_crypto::mpint::Mpint;
+use flicker_crypto::pkcs1;
+use flicker_crypto::rng::XorShiftRng;
+use flicker_crypto::rsa::RsaPrivateKey;
+use flicker_crypto::sha1::{sha1, Sha1};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| sha1(d));
+        });
+    }
+    g.finish();
+
+    // The SKINIT-relevant case: hashing a full 64 KB SLB window.
+    c.bench_function("sha1/slb_window_64k", |b| {
+        let window = vec![0x5Au8; 64 * 1024];
+        b.iter(|| sha1(&window));
+    });
+}
+
+fn bench_symmetric(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    let mut g = c.benchmark_group("aes128_cbc");
+    for size in [256usize, 4096] {
+        let data = vec![1u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| aes.cbc_encrypt(&[0u8; 16], d));
+        });
+    }
+    g.finish();
+
+    c.bench_function("hmac_sha1/1k", |b| {
+        let data = vec![2u8; 1024];
+        b.iter(|| Hmac::<Sha1>::mac(b"state-mac-key", &data));
+    });
+
+    c.bench_function("md5crypt", |b| {
+        b.iter(|| md5crypt(b"hunter2", b"fl1ck3r"));
+    });
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = XorShiftRng::new(1);
+    let (key, _) = RsaPrivateKey::generate(1024, &mut rng);
+    let sig = pkcs1::sign(&key, b"certificate").unwrap();
+    let ct = pkcs1::encrypt(key.public_key(), b"password+nonce", &mut rng).unwrap();
+
+    c.bench_function("rsa1024/sign", |b| {
+        b.iter(|| pkcs1::sign(&key, b"certificate").unwrap());
+    });
+    c.bench_function("rsa1024/verify", |b| {
+        b.iter(|| pkcs1::verify(key.public_key(), b"certificate", &sig).unwrap());
+    });
+    c.bench_function("rsa1024/decrypt", |b| {
+        b.iter(|| pkcs1::decrypt(&key, &ct).unwrap());
+    });
+    c.bench_function("rsa512/keygen", |b| {
+        let mut rng = XorShiftRng::new(99);
+        b.iter(|| RsaPrivateKey::generate(512, &mut rng));
+    });
+}
+
+fn bench_mpint(c: &mut Criterion) {
+    let m = Mpint::from_hex(&"f".repeat(256)).unwrap(); // 1024-bit odd modulus
+    let base = Mpint::from(65537u64);
+    let exp = Mpint::from_hex(&"a".repeat(64)).unwrap(); // 256-bit exponent
+                                                         // Ablation: Montgomery (the default for odd moduli) vs the
+                                                         // division-based reference.
+    c.bench_function("mpint/modexp_1024_montgomery", |b| {
+        b.iter(|| base.mod_exp(&exp, &m));
+    });
+    c.bench_function("mpint/modexp_1024_division", |b| {
+        b.iter(|| base.mod_exp_plain(&exp, &m));
+    });
+
+    let a = Mpint::from_hex(&"c".repeat(256)).unwrap();
+    let d = Mpint::from_hex(&"7".repeat(128)).unwrap();
+    c.bench_function("mpint/div_rem_1024_by_512", |b| {
+        b.iter(|| a.div_rem(&d));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_symmetric,
+    bench_rsa,
+    bench_mpint
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the PalVM interpreter and assembler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flicker_palvm::{assemble, run, TestBus};
+
+/// A tight arithmetic loop: 6 instructions per iteration, 100k iterations.
+const LOOP_SRC: &str = "
+    movi r1, 100000
+    movi r2, 0
+loop:
+    add r2, r2, r1
+    xor r2, r2, r1
+    movi r3, 1
+    sub r1, r1, r3
+    jnz r1, loop
+    halt";
+
+fn bench_vm(c: &mut Criterion) {
+    let prog = assemble(LOOP_SRC).unwrap();
+    let mut g = c.benchmark_group("palvm");
+    // ~600k instructions per run.
+    g.throughput(Throughput::Elements(600_002));
+    g.bench_function("interpreter_loop", |b| {
+        b.iter(|| {
+            let mut bus = TestBus::new(0);
+            run(&prog.code, &mut bus, u64::MAX >> 1).unwrap()
+        });
+    });
+    g.finish();
+
+    c.bench_function("palvm/assemble_trial_division", |b| {
+        b.iter(flicker_palvm::progs::trial_division);
+    });
+
+    let mem_src = "
+        movi r1, 0
+        movi r2, 4096
+    loop:
+        stw [r1+0], r2
+        ldw r3, [r1+0]
+        movi r4, 4
+        add r1, r1, r4
+        jlt r1, r2, loop
+        halt";
+    let mem_prog = assemble(mem_src).unwrap();
+    c.bench_function("palvm/memory_loop_4k", |b| {
+        b.iter(|| {
+            let mut bus = TestBus::new(4096);
+            run(&mem_prog.code, &mut bus, u64::MAX >> 1).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for full Flicker sessions (host-side cost of the
+//! simulation pipeline: SLB build, SKINIT semantics, PAL dispatch,
+//! measurement chain, cleanup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flicker_core::{
+    run_session, FlickerResult, NativePal, PalContext, PalPayload, SessionParams, SlbImage,
+    SlbOptions,
+};
+use flicker_os::{Os, OsConfig};
+use std::sync::Arc;
+
+struct EchoPal;
+impl NativePal for EchoPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let data = ctx.inputs().to_vec();
+        ctx.write_output(&data)
+    }
+}
+
+fn native_slb() -> SlbImage {
+    SlbImage::build(
+        PalPayload::Native {
+            identity: b"bench-echo-pal".to_vec(),
+            program: Arc::new(EchoPal),
+        },
+        SlbOptions::default(),
+    )
+    .unwrap()
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut os = Os::boot(OsConfig::fast_for_tests(1));
+    let slb = native_slb();
+
+    c.bench_function("session/native_echo", |b| {
+        let params = SessionParams::with_inputs(b"ping".to_vec());
+        b.iter(|| run_session(&mut os, &slb, &params).unwrap());
+    });
+
+    c.bench_function("session/native_echo_with_stub", |b| {
+        let params = SessionParams {
+            inputs: b"ping".to_vec(),
+            use_hashing_stub: true,
+            ..Default::default()
+        };
+        b.iter(|| run_session(&mut os, &slb, &params).unwrap());
+    });
+
+    let hello = SlbImage::build(
+        PalPayload::Bytecode(flicker_palvm::progs::hello_world()),
+        SlbOptions::default(),
+    )
+    .unwrap();
+    c.bench_function("session/bytecode_hello_world", |b| {
+        let params = SessionParams::default();
+        b.iter(|| run_session(&mut os, &hello, &params).unwrap());
+    });
+
+    c.bench_function("session/slb_build_and_measure", |b| {
+        b.iter(|| {
+            let slb = native_slb();
+            slb.measurement(0x10_0000)
+        });
+    });
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the software TPM's host-side performance
+//! (command processing cost of the simulator itself; the *simulated*
+//! latencies live in `TpmTimingProfile`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flicker_crypto::rng::XorShiftRng;
+use flicker_tpm::{PcrSelection, PrivacyCa, Tpm, TpmConfig, WELL_KNOWN_AUTH};
+
+fn seal_blob(tpm: &mut Tpm, data: &[u8]) -> flicker_tpm::SealedBlob {
+    let sel = PcrSelection::pcr17();
+    let digest = tpm.pcrs().composite_hash(&sel).unwrap();
+    let pd = Tpm::param_digest(&[b"TPM_Seal", data, &sel.encode(), &digest]);
+    let mut session = tpm.oiap(WELL_KNOWN_AUTH);
+    let mut rng = XorShiftRng::new(7);
+    let auth = session.authorize(&pd, &mut rng);
+    tpm.seal(data, &sel, &WELL_KNOWN_AUTH, &auth).unwrap()
+}
+
+fn bench_tpm(c: &mut Criterion) {
+    let mut tpm = Tpm::manufacture(TpmConfig::fast_for_tests(1));
+    tpm.take_ownership();
+
+    c.bench_function("tpm/pcr_extend", |b| {
+        b.iter(|| tpm.pcr_extend(17, &[1u8; 20]).unwrap());
+    });
+
+    c.bench_function("tpm/get_random_128", |b| {
+        b.iter(|| tpm.get_random(128));
+    });
+
+    c.bench_function("tpm/seal_160bit_key", |b| {
+        b.iter(|| seal_blob(&mut tpm, &[9u8; 20]));
+    });
+
+    let blob = seal_blob(&mut tpm, &[9u8; 20]);
+    c.bench_function("tpm/unseal", |b| {
+        b.iter(|| {
+            let pd = Tpm::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
+            let mut session = tpm.oiap(WELL_KNOWN_AUTH);
+            let mut rng = XorShiftRng::new(8);
+            let auth = session.authorize(&pd, &mut rng);
+            tpm.unseal(&blob, &auth).unwrap()
+        });
+    });
+
+    // Quote includes a real RSA signature.
+    let mut rng = XorShiftRng::new(9);
+    let mut ca = PrivacyCa::new(512, &mut rng);
+    let mut tpm2 = Tpm::provisioned(TpmConfig::fast_for_tests(2), &mut ca);
+    let (aik, _) = tpm2.make_identity(&ca, "bench").unwrap();
+    c.bench_function("tpm/quote", |b| {
+        b.iter(|| tpm2.quote(aik, [3u8; 20], &PcrSelection::pcr17()).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_tpm);
+criterion_main!(benches);

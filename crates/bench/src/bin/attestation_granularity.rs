@@ -1,0 +1,97 @@
+//! Quantifies the paper's **"Meaningful Attestation"** goal (§3.2) by
+//! comparing verifier burden under trusted boot (IBM-IMA-style, §2.1)
+//! against Flicker's fine-grained attestation.
+//!
+//! Trusted boot: the verifier receives a quote over the IMA PCR plus the
+//! full event log; it must assess *every* entry, and any unrelated
+//! software change invalidates its whitelist. Flicker: the verifier checks
+//! one PAL measurement, independent of the platform's other software —
+//! and leaks nothing about it (the paper's privacy point).
+
+use flicker_bench::{eval_os, print_table};
+use flicker_core::{
+    expected_pcr17_final, run_session, ExpectedSession, NativePal, PalContext, PalPayload,
+    SessionParams, SlbImage, SlbOptions,
+};
+use flicker_os::ima::{measured_boot, PCR_IMA};
+use std::sync::Arc;
+
+struct TinyPal;
+impl NativePal for TinyPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> flicker_core::FlickerResult<()> {
+        ctx.write_output(b"result")
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for apps in [25usize, 100, 400] {
+        // --- Trusted boot ------------------------------------------------
+        let mut os = eval_os(12);
+        let log = measured_boot(&mut os, apps, 1);
+        let pcr10 = os.machine_mut().tpm_op(|t| t.pcr_read(PCR_IMA)).unwrap();
+        assert!(log.matches_quoted(PCR_IMA, &pcr10));
+        let log_bytes: usize = log
+            .events()
+            .iter()
+            .map(|e| e.description.len() + 20 + 4)
+            .sum();
+
+        // An unrelated app updates; the old whitelist aggregate is dead.
+        let mut os2 = eval_os(12);
+        let log2 = measured_boot(&mut os2, apps, 2);
+        let stable = log2.replay(PCR_IMA) == log.replay(PCR_IMA);
+
+        // --- Flicker ------------------------------------------------------
+        let slb = SlbImage::build(
+            PalPayload::Native {
+                identity: b"the one measured PAL".to_vec(),
+                program: Arc::new(TinyPal),
+            },
+            SlbOptions::default(),
+        )
+        .unwrap();
+        let params = SessionParams::default();
+        let rec = run_session(&mut os, &slb, &params).unwrap();
+        let expected = expected_pcr17_final(&ExpectedSession {
+            slb: &slb,
+            slb_base: params.slb_base,
+            inputs: &[],
+            outputs: &rec.outputs,
+            nonce: params.nonce,
+            used_hashing_stub: false,
+        });
+        assert_eq!(rec.pcr17_final, expected);
+
+        rows.push(vec![
+            format!("{apps}"),
+            format!("{}", log.len()),
+            format!("{log_bytes}"),
+            if stable { "stable" } else { "broken" }.to_string(),
+            "1".to_string(),
+            "20".to_string(),
+            "stable".to_string(),
+        ]);
+    }
+    print_table(
+        "§3.2 'Meaningful Attestation': verifier burden, trusted boot vs Flicker",
+        &[
+            "apps installed",
+            "TB: entries to assess",
+            "TB: log bytes",
+            "TB: after 1 app update",
+            "Flicker: entries",
+            "Flicker: bytes",
+            "Flicker: after update",
+        ],
+        &rows,
+    );
+    println!(
+        "\nTrusted boot (§2.1) forces the verifier to judge every binary the \
+         platform ever loaded and re-whitelist on every unrelated update, \
+         while revealing the host's full software inventory. Flicker's \
+         verifier judges exactly one 20-byte PAL measurement (paper §3.2: \
+         'instead of trusting Application X running alongside Application Y \
+         on top of OS Z'), and the attestation leaks nothing else."
+    );
+}

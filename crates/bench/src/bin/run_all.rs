@@ -1,0 +1,58 @@
+//! Runs every experiment regenerator in sequence (the full §7 evaluation).
+//!
+//! Invokes the sibling binaries from the same target directory, so build
+//! once with `cargo build --release -p flicker-bench` and then run
+//! `target/release/run_all`, or simply
+//! `cargo run --release -p flicker-bench --bin run_all`.
+
+use std::process::{Command, ExitCode};
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig8",
+    "fig9",
+    "ca_eval",
+    "table5_io",
+    "module_inventory",
+    "attestation_granularity",
+    "ablation_hw",
+];
+
+fn main() -> ExitCode {
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("target dir");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n################ {exp} ################");
+        let path = dir.join(exp);
+        if !path.exists() {
+            eprintln!(
+                "run_all: {} not built; run `cargo build --release -p flicker-bench` first",
+                path.display()
+            );
+            failures.push(*exp);
+            continue;
+        }
+        match Command::new(&path).status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("run_all: {exp} exited with {s}");
+                failures.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("run_all: {exp} failed to start: {e}");
+                failures.push(*exp);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        ExitCode::FAILURE
+    }
+}

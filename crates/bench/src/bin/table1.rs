@@ -1,0 +1,72 @@
+//! Regenerates **Table 1**: breakdown of the rootkit detector's overhead,
+//! plus the end-to-end query latency experiment (§7.2: "Over 25
+//! experiments, the average query time was 1.02 seconds").
+
+use flicker_apps::rootkit::{known_good_hash, Administrator};
+use flicker_bench::{ms, op_total, paper, print_table, provisioned_eval_os, Stats};
+use flicker_os::NetLink;
+
+fn main() {
+    const TRIALS: usize = 25;
+    let (mut os, cert, ca_pub) = provisioned_eval_os(1);
+    let mut admin = Administrator::new(
+        ca_pub,
+        known_good_hash(&os),
+        NetLink::paper_verifier_link(1),
+    );
+
+    let mut skinit = Vec::new();
+    let mut extend = Vec::new();
+    let mut hash = Vec::new();
+    let mut quote = Vec::new();
+    let mut total = Vec::new();
+
+    for _ in 0..TRIALS {
+        let report = admin.query(&mut os, &cert).expect("query succeeds");
+        assert!(report.clean);
+        skinit.push(report.session.timings.skinit);
+        extend.push(op_total(&report.session.op_log, "pcr_extend"));
+        hash.push(op_total(&report.session.op_log, "sha1"));
+        quote.push(report.quote_time);
+        total.push(report.query_latency);
+    }
+
+    let rows = [
+        ("SKINIT", Stats::of(&skinit)),
+        ("PCR Extend", Stats::of(&extend)),
+        ("Hash of Kernel", Stats::of(&hash)),
+        ("TPM Quote", Stats::of(&quote)),
+        ("Total Query Latency", Stats::of(&total)),
+    ];
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .zip(paper::TABLE1.iter())
+        .map(|((name, stats), (pname, pval))| {
+            assert_eq!(name, pname);
+            vec![
+                name.to_string(),
+                format!("{pval:.1}"),
+                format!("{:.1}", stats.mean_ms()),
+                format!("{:.2}", stats.std_ms()),
+            ]
+        })
+        .collect();
+
+    print_table(
+        "Table 1: Breakdown of Rootkit Detector Overhead (ms)",
+        &["Operation", "paper", "repro mean", "repro std"],
+        &table,
+    );
+    println!(
+        "\nEnd-to-end: paper avg 1.02 s over 25 trials (std < 1.4 ms); \
+         repro avg {} ms over {TRIALS} trials (std {:.2} ms).",
+        ms(Stats::of(&total).mean),
+        Stats::of(&total).std_ms()
+    );
+    println!(
+        "Note: the repro's hashing covers the detector's kernel hash; the \
+         launch uses the §7.2 hashing-stub path, matching the paper's \
+         Table 1 configuration (SKINIT ≈ 14-15 ms)."
+    );
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Table 4**: Flicker overhead for the distributed-computing
+//! application at varying work-slice lengths.
+
+use flicker_apps::{BoincClient, WorkUnit};
+use flicker_bench::{eval_os, op_total, paper, print_table};
+use std::time::Duration;
+
+fn main() {
+    let mut rows = Vec::new();
+    for &(work_ms, paper_overhead_pct) in paper::TABLE4 {
+        let mut os = eval_os(4);
+        // A unit big enough to fill the longest slice.
+        let unit = WorkUnit {
+            n: 0xFFFF_FFFF_FFFF_FFC5, // a large prime: worst-case full scan
+            lo: 2,
+            hi: u64::MAX,
+        };
+        let (mut client, _) = BoincClient::start(&mut os, unit).expect("init");
+        let report = client
+            .run_slice(&mut os, Duration::from_millis(work_ms))
+            .expect("slice");
+
+        let skinit = report.session.timings.skinit;
+        let unseal = op_total(&report.session.op_log, "unseal");
+        let overhead_pct =
+            100.0 * report.overhead.as_secs_f64() / report.session.timings.total.as_secs_f64();
+
+        rows.push(vec![
+            format!("{work_ms}"),
+            format!("{:.1}", skinit.as_secs_f64() * 1e3),
+            format!("{:.1}", unseal.as_secs_f64() * 1e3),
+            format!("{paper_overhead_pct:.0}%"),
+            format!("{overhead_pct:.0}%"),
+        ]);
+    }
+    print_table(
+        "Table 4: Distributed-computing operations vs work-slice length",
+        &[
+            "App work [ms]",
+            "SKINIT [ms]",
+            "Unseal [ms]",
+            "paper overhead",
+            "repro overhead",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper constants: SKINIT {} ms (hashing-stub launch), Unseal {} ms.",
+        paper::TABLE4_SKINIT,
+        paper::TABLE4_UNSEAL
+    );
+}

@@ -1,0 +1,241 @@
+//! Shared infrastructure for the evaluation harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure from the
+//! paper's §7, printing the paper's reported values next to this
+//! reproduction's simulated measurements. Absolute agreement is expected
+//! for modelled quantities (they are calibrated from the paper); the
+//! interesting outputs are the *derived* numbers — totals, percentages,
+//! crossovers, distributions — which emerge from running the real system
+//! logic against the virtual clock.
+
+use flicker_os::{Os, OsConfig};
+use flicker_tpm::{PrivacyCa, TpmTimingProfile};
+use std::time::Duration;
+
+/// RSA modulus size used for TPM-internal keys during evaluation runs.
+///
+/// The v1.2 spec mandates 2048-bit keys; the evaluation uses 1024-bit ones
+/// to keep *host* CPU time reasonable. No simulated timing depends on this
+/// (TPM latencies come from [`TpmTimingProfile`]), and every protocol runs
+/// identically.
+pub const EVAL_TPM_KEY_BITS: usize = 1024;
+
+/// Builds the evaluation platform: the paper's HP dc5750 (dual-core,
+/// Broadcom TPM, ~2.2 MB measured kernel region).
+pub fn eval_os(seed: u8) -> Os {
+    eval_os_with_profile(seed, TpmTimingProfile::broadcom_bcm0102())
+}
+
+/// [`eval_os`] with an explicit TPM timing profile (Infineon / future
+/// hardware ablations).
+pub fn eval_os_with_profile(seed: u8, timing: TpmTimingProfile) -> Os {
+    let mut config = OsConfig::default();
+    config.machine.tpm.key_bits = EVAL_TPM_KEY_BITS;
+    config.machine.tpm.entropy_seed = [seed; 32];
+    config.machine.tpm.timing = timing;
+    config.kernel_seed = seed as u64;
+    Os::boot(config)
+}
+
+/// Provisions attestation and returns the OS + certificate + Privacy CA
+/// public key.
+pub fn provisioned_eval_os(
+    seed: u8,
+) -> (
+    Os,
+    flicker_tpm::AikCertificate,
+    flicker_crypto::RsaPublicKey,
+) {
+    let mut rng = flicker_crypto::rng::XorShiftRng::new(seed as u64 + 7_000);
+    let mut ca = PrivacyCa::new(EVAL_TPM_KEY_BITS, &mut rng);
+    let mut os = eval_os(seed);
+    os.provision_attestation(&mut ca, "hp-dc5750")
+        .expect("provisioning succeeds");
+    let cert = os.aik_certificate().expect("provisioned").clone();
+    (os, cert, ca.public_key().clone())
+}
+
+/// Sample statistics over durations.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Population standard deviation.
+    pub std_dev: Duration,
+    /// Minimum sample.
+    pub min: Duration,
+    /// Maximum sample.
+    pub max: Duration,
+}
+
+impl Stats {
+    /// Computes statistics over samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set.
+    pub fn of(samples: &[Duration]) -> Stats {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len() as f64;
+        let mean_s = samples.iter().map(Duration::as_secs_f64).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|s| (s.as_secs_f64() - mean_s).powi(2))
+            .sum::<f64>()
+            / n;
+        Stats {
+            mean: Duration::from_secs_f64(mean_s),
+            std_dev: Duration::from_secs_f64(var.sqrt()),
+            min: *samples.iter().min().expect("non-empty"),
+            max: *samples.iter().max().expect("non-empty"),
+        }
+    }
+
+    /// Mean in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+
+    /// Standard deviation in milliseconds.
+    pub fn std_ms(&self) -> f64 {
+        self.std_dev.as_secs_f64() * 1e3
+    }
+}
+
+/// Milliseconds with one decimal, like the paper's tables.
+pub fn ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats `m:ss.s` like the paper's Table 3.
+pub fn min_sec(d: Duration) -> String {
+    let total = d.as_secs_f64();
+    let minutes = (total / 60.0).floor() as u64;
+    format!("{}:{:04.1}", minutes, total - minutes as f64 * 60.0)
+}
+
+/// Prints a table header + aligned rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&hdr));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Looks up an operation's total simulated time in a session op log.
+pub fn op_total(log: &[(&'static str, Duration)], name: &str) -> Duration {
+    log.iter()
+        .filter(|(n, _)| *n == name)
+        .map(|(_, d)| *d)
+        .sum()
+}
+
+/// Paper-reported reference values, quoted verbatim for the side-by-side
+/// tables.
+pub mod paper {
+    /// Table 1 rows (ms).
+    pub const TABLE1: &[(&str, f64)] = &[
+        ("SKINIT", 15.4),
+        ("PCR Extend", 1.2),
+        ("Hash of Kernel", 22.0),
+        ("TPM Quote", 972.7),
+        ("Total Query Latency", 1022.7),
+    ];
+
+    /// Table 2: (SLB KB, ms).
+    pub const TABLE2: &[(usize, f64)] = &[(0, 0.0), (4, 11.9), (16, 45.0), (32, 89.2), (64, 177.5)];
+
+    /// Table 3: (detection period seconds or None, build m:s, std s).
+    pub const TABLE3: &[(Option<u64>, &str, f64)] = &[
+        (None, "7:22.6", 2.6),
+        (Some(300), "7:21.4", 1.1),
+        (Some(180), "7:21.4", 0.9),
+        (Some(120), "7:21.8", 1.0),
+        (Some(60), "7:21.9", 1.1),
+        (Some(30), "7:22.6", 1.7),
+    ];
+
+    /// Table 4: (app work ms, overhead %).
+    pub const TABLE4: &[(u64, f64)] = &[(1000, 47.0), (2000, 30.0), (4000, 18.0), (8000, 10.0)];
+    /// Table 4 constants (ms).
+    pub const TABLE4_SKINIT: f64 = 14.3;
+    /// Table 4 unseal (ms).
+    pub const TABLE4_UNSEAL: f64 = 898.3;
+
+    /// Figure 9a (ms): SKINIT, Key Gen, Seal, Total.
+    pub const FIG9A: &[(&str, f64)] = &[
+        ("SKINIT", 14.3),
+        ("Key Gen", 185.7),
+        ("Seal", 10.2),
+        ("Total Time", 217.1),
+    ];
+    /// Figure 9b (ms): SKINIT, Unseal, Decrypt, Total.
+    pub const FIG9B: &[(&str, f64)] = &[
+        ("SKINIT", 14.3),
+        ("Unseal", 905.4),
+        ("Decrypt", 4.6),
+        ("Total Time", 937.6),
+    ];
+
+    /// §7.4.1 client-perceived latencies (ms): to prompt, to session.
+    pub const SSH_CLIENT: (f64, f64) = (1221.0, 940.0);
+    /// §7.4.2 CA signing latency (ms).
+    pub const CA_SIGN: f64 = 906.2;
+    /// §7.4.2 CA signature operation (ms).
+    pub const CA_SIGN_OP: f64 = 4.7;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let s = Stats::of(&[
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ]);
+        assert_eq!(s.mean, Duration::from_millis(20));
+        assert_eq!(s.min, Duration::from_millis(10));
+        assert_eq!(s.max, Duration::from_millis(30));
+        assert!((s.std_ms() - 8.165).abs() < 0.01);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(Duration::from_micros(15_400)), "15.4");
+        assert_eq!(min_sec(Duration::from_secs_f64(442.6)), "7:22.6");
+    }
+
+    #[test]
+    fn op_total_sums_repeats() {
+        let log: Vec<(&'static str, Duration)> = vec![
+            ("seal", Duration::from_millis(10)),
+            ("unseal", Duration::from_millis(900)),
+            ("seal", Duration::from_millis(10)),
+        ];
+        assert_eq!(op_total(&log, "seal"), Duration::from_millis(20));
+        assert_eq!(op_total(&log, "quote"), Duration::ZERO);
+    }
+}

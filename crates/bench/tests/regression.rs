@@ -1,0 +1,127 @@
+//! Regression guards for the headline reproduction numbers.
+//!
+//! The experiment binaries print paper-vs-repro tables for humans; these
+//! tests pin the same quantities to bands in CI so a calibration or logic
+//! change that drifts the reproduction is caught immediately.
+
+use flicker_apps::rootkit::{known_good_hash, Administrator};
+use flicker_apps::{flicker_efficiency, replication_efficiency, BoincClient, WorkUnit};
+use flicker_bench::{op_total, provisioned_eval_os};
+use flicker_os::NetLink;
+use std::time::Duration;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Table 1: the attested rootkit query lands within 1 % of the paper's
+/// 1 022.7 ms total.
+#[test]
+fn table1_total_query_latency() {
+    let (mut os, cert, ca_pub) = provisioned_eval_os(151);
+    let mut admin = Administrator::new(
+        ca_pub,
+        known_good_hash(&os),
+        NetLink::paper_verifier_link(151),
+    );
+    let report = admin.query(&mut os, &cert).unwrap();
+    assert!(report.clean);
+    let total = ms(report.query_latency);
+    assert!(
+        (1_012.0..=1_040.0).contains(&total),
+        "total query latency {total:.1} ms vs paper 1022.7"
+    );
+    let hash = ms(op_total(&report.session.op_log, "sha1"));
+    assert!((21.0..=24.0).contains(&hash), "kernel hash {hash:.1} ms vs 22.0");
+    let skinit = ms(report.session.timings.skinit);
+    assert!((13.0..=16.0).contains(&skinit), "SKINIT {skinit:.1} ms vs 15.4");
+}
+
+/// Table 4 row 1: a 1 s work slice carries 45–50 % Flicker overhead
+/// (paper: 47 %).
+#[test]
+fn table4_one_second_slice_overhead() {
+    let (mut os, _, _) = provisioned_eval_os(152);
+    let unit = WorkUnit {
+        n: 0xFFFF_FFFF_FFFF_FFC5,
+        lo: 2,
+        hi: u64::MAX,
+    };
+    let (mut client, _) = BoincClient::start(&mut os, unit).unwrap();
+    let rep = client.run_slice(&mut os, Duration::from_secs(1)).unwrap();
+    let pct = 100.0 * rep.overhead.as_secs_f64() / rep.session.timings.total.as_secs_f64();
+    assert!((45.0..=50.0).contains(&pct), "overhead {pct:.1}% vs paper 47%");
+    let unseal = ms(op_total(&rep.session.op_log, "unseal"));
+    assert!((895.0..=910.0).contains(&unseal), "unseal {unseal:.1} ms vs 898.3");
+}
+
+/// Figure 8: the crossover with 3-way replication falls between 1 s and
+/// 2 s of user latency (the paper's "two second user latency" claim).
+#[test]
+fn fig8_crossover_between_one_and_two_seconds() {
+    let (mut os, _, _) = provisioned_eval_os(153);
+    let unit = WorkUnit {
+        n: 0xFFFF_FFFF_FFFF_FFC5,
+        lo: 2,
+        hi: u64::MAX,
+    };
+    let (mut client, _) = BoincClient::start(&mut os, unit).unwrap();
+    let rep = client.run_slice(&mut os, Duration::from_secs(1)).unwrap();
+    let crossover_s = 1.5 * rep.overhead.as_secs_f64();
+    assert!(
+        (1.0..2.0).contains(&crossover_s),
+        "crossover at {crossover_s:.2} s"
+    );
+    assert!(flicker_efficiency(Duration::from_secs(2), rep.overhead) > replication_efficiency(3));
+    assert!(flicker_efficiency(Duration::from_secs(1), rep.overhead) < replication_efficiency(3));
+}
+
+/// Figure 9b: the SSH login PAL lands within ~2 % of the paper's 937.6 ms.
+#[test]
+fn fig9b_login_total() {
+    let (mut os, cert, ca_pub) = provisioned_eval_os(154);
+    let mut link = NetLink::paper_verifier_link(154);
+    let mut server = flicker_apps::SshServer::new(vec![flicker_apps::PasswdEntry::new(
+        "alice", b"pw", b"salt0001",
+    )]);
+    let mut client = flicker_apps::SshClient::new(ca_pub);
+    let transcript = server.connection_setup(&mut os, &mut link, [1; 20]).unwrap();
+    client.verify_setup(&cert, &transcript).unwrap();
+    let nonce = server.issue_nonce();
+    let mut rng = flicker_crypto::rng::XorShiftRng::new(154);
+    let ct = client.encrypt_password(b"pw", &nonce, &mut rng).unwrap();
+    let outcome = server.login(&mut os, &mut link, "alice", &ct, nonce).unwrap();
+    assert!(outcome.accepted);
+    let total = ms(outcome.session.timings.total);
+    assert!(
+        (915.0..=955.0).contains(&total),
+        "login PAL total {total:.1} ms vs paper 937.6"
+    );
+}
+
+/// Figure 9a: mean keygen over 30 runs within 10 % of the paper's
+/// 185.7 ms, with a nonzero spread (the paper's ±14 %).
+#[test]
+fn fig9a_keygen_mean_and_spread() {
+    let (mut os, cert, ca_pub) = provisioned_eval_os(155);
+    let mut link = NetLink::paper_verifier_link(155);
+    let mut client = flicker_apps::SshClient::new(ca_pub);
+    let mut samples = Vec::new();
+    for i in 0..30u8 {
+        let mut server = flicker_apps::SshServer::new(vec![flicker_apps::PasswdEntry::new(
+            "alice", b"pw", b"salt0001",
+        )]);
+        let transcript = server
+            .connection_setup(&mut os, &mut link, [i; 20])
+            .unwrap();
+        client.verify_setup(&cert, &transcript).unwrap();
+        samples.push(op_total(&transcript.session.op_log, "rsa1024_keygen"));
+    }
+    let stats = flicker_bench::Stats::of(&samples);
+    assert!(
+        (165.0..=210.0).contains(&stats.mean_ms()),
+        "keygen mean {:.1} ms vs paper 185.7",
+        stats.mean_ms()
+    );
+    assert!(stats.std_ms() > 5.0, "keygen variance must be visible");
+}

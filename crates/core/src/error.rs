@@ -1,0 +1,79 @@
+//! Flicker-core error types.
+
+use flicker_machine::MachineError;
+use flicker_tpm::TpmError;
+
+/// Result alias for Flicker operations.
+pub type FlickerResult<T> = Result<T, FlickerError>;
+
+/// Errors raised by the Flicker infrastructure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlickerError {
+    /// SLB construction constraint violated (sizes, layout).
+    SlbBuild(&'static str),
+    /// The machine rejected or faulted an operation.
+    Machine(MachineError),
+    /// The TPM rejected an operation.
+    Tpm(TpmError),
+    /// The PAL faulted (memory violation, VM fault, explicit abort).
+    PalFault(String),
+    /// PAL output exceeded the output region.
+    OutputOverflow {
+        /// Bytes the PAL tried to emit.
+        len: usize,
+        /// Region capacity.
+        capacity: usize,
+    },
+    /// An attestation failed verification.
+    Attestation(&'static str),
+    /// Replay-protected storage detected a stale or desynchronized
+    /// ciphertext (paper Figure 4's ⊥ outcome).
+    ReplayDetected {
+        /// Counter value inside the unsealed data.
+        sealed_version: u64,
+        /// Current secure-counter value.
+        counter: u64,
+    },
+    /// A protocol message was malformed.
+    Protocol(&'static str),
+}
+
+impl From<MachineError> for FlickerError {
+    fn from(e: MachineError) -> Self {
+        FlickerError::Machine(e)
+    }
+}
+
+impl From<TpmError> for FlickerError {
+    fn from(e: TpmError) -> Self {
+        FlickerError::Tpm(e)
+    }
+}
+
+impl core::fmt::Display for FlickerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FlickerError::SlbBuild(s) => write!(f, "SLB build error: {s}"),
+            FlickerError::Machine(e) => write!(f, "machine: {e}"),
+            FlickerError::Tpm(e) => write!(f, "tpm: {e}"),
+            FlickerError::PalFault(s) => write!(f, "PAL fault: {s}"),
+            FlickerError::OutputOverflow { len, capacity } => {
+                write!(
+                    f,
+                    "PAL output of {len} bytes exceeds {capacity}-byte region"
+                )
+            }
+            FlickerError::Attestation(s) => write!(f, "attestation failed: {s}"),
+            FlickerError::ReplayDetected {
+                sealed_version,
+                counter,
+            } => write!(
+                f,
+                "replay detected: sealed version {sealed_version}, counter {counter}"
+            ),
+            FlickerError::Protocol(s) => write!(f, "protocol error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FlickerError {}

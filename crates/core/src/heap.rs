@@ -1,0 +1,272 @@
+//! The Memory Management module: `malloc`/`free`/`realloc` over a fixed
+//! buffer.
+//!
+//! Paper Figure 6 lists a 657-LoC "Memory Management" module: "a small
+//! version of malloc/free/realloc for use by applications. The memory
+//! region used as the heap is simply a large global buffer." This is that
+//! allocator: a first-fit free-list over a caller-supplied arena, with
+//! coalescing on free. PALs that need dynamic allocation link it in; ones
+//! that do not keep it out of their TCB.
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// No free block large enough.
+    OutOfMemory,
+    /// `free`/`realloc` of a pointer that is not a live allocation.
+    InvalidPointer(u32),
+}
+
+impl core::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HeapError::OutOfMemory => write!(f, "PAL heap exhausted"),
+            HeapError::InvalidPointer(p) => write!(f, "invalid heap pointer {p:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+const ALIGN: u32 = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Block {
+    offset: u32,
+    len: u32,
+    free: bool,
+}
+
+/// A first-fit allocator over a PAL-owned arena.
+///
+/// Pointers are offsets into the arena; the arena bytes themselves live in
+/// the PAL's memory region (the "large global buffer").
+#[derive(Debug, Clone)]
+pub struct PalHeap {
+    capacity: u32,
+    blocks: Vec<Block>,
+}
+
+impl PalHeap {
+    /// An empty heap over `capacity` bytes.
+    pub fn new(capacity: u32) -> Self {
+        PalHeap {
+            capacity,
+            blocks: vec![Block {
+                offset: 0,
+                len: capacity,
+                free: true,
+            }],
+        }
+    }
+
+    fn round_up(len: u32) -> u32 {
+        len.div_ceil(ALIGN) * ALIGN
+    }
+
+    /// Allocates `len` bytes; returns the arena offset.
+    pub fn malloc(&mut self, len: u32) -> Result<u32, HeapError> {
+        let len = Self::round_up(len.max(1));
+        let idx = self
+            .blocks
+            .iter()
+            .position(|b| b.free && b.len >= len)
+            .ok_or(HeapError::OutOfMemory)?;
+        let block = self.blocks[idx];
+        if block.len > len {
+            // Split.
+            self.blocks[idx] = Block {
+                offset: block.offset,
+                len,
+                free: false,
+            };
+            self.blocks.insert(
+                idx + 1,
+                Block {
+                    offset: block.offset + len,
+                    len: block.len - len,
+                    free: true,
+                },
+            );
+        } else {
+            self.blocks[idx].free = false;
+        }
+        Ok(block.offset)
+    }
+
+    /// Frees an allocation, coalescing with free neighbours.
+    pub fn free(&mut self, ptr: u32) -> Result<(), HeapError> {
+        let idx = self
+            .blocks
+            .iter()
+            .position(|b| b.offset == ptr && !b.free)
+            .ok_or(HeapError::InvalidPointer(ptr))?;
+        self.blocks[idx].free = true;
+        // Coalesce with the next block.
+        if idx + 1 < self.blocks.len() && self.blocks[idx + 1].free {
+            self.blocks[idx].len += self.blocks[idx + 1].len;
+            self.blocks.remove(idx + 1);
+        }
+        // Coalesce with the previous block.
+        if idx > 0 && self.blocks[idx - 1].free {
+            self.blocks[idx - 1].len += self.blocks[idx].len;
+            self.blocks.remove(idx);
+        }
+        Ok(())
+    }
+
+    /// Resizes an allocation, possibly moving it. Returns the new offset.
+    pub fn realloc(&mut self, ptr: u32, new_len: u32) -> Result<u32, HeapError> {
+        let idx = self
+            .blocks
+            .iter()
+            .position(|b| b.offset == ptr && !b.free)
+            .ok_or(HeapError::InvalidPointer(ptr))?;
+        let old = self.blocks[idx];
+        let want = Self::round_up(new_len.max(1));
+        if want <= old.len {
+            return Ok(ptr); // shrink in place (no split for simplicity)
+        }
+        // Allocate-new / free-old; data copying is the caller's concern
+        // since the bytes live in PAL memory.
+        let new_ptr = self.malloc(new_len)?;
+        self.free(ptr).expect("old pointer was live");
+        Ok(new_ptr)
+    }
+
+    /// Total free bytes.
+    pub fn free_bytes(&self) -> u32 {
+        self.blocks.iter().filter(|b| b.free).map(|b| b.len).sum()
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.blocks.iter().filter(|b| !b.free).count()
+    }
+
+    /// Arena capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn malloc_free_round_trip() {
+        let mut h = PalHeap::new(1024);
+        let a = h.malloc(100).unwrap();
+        let b = h.malloc(200).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(h.live_allocations(), 2);
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert_eq!(h.free_bytes(), 1024);
+        assert_eq!(h.blocks.len(), 1, "fully coalesced");
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut h = PalHeap::new(4096);
+        let ptrs: Vec<(u32, u32)> = (1..20u32)
+            .map(|i| (h.malloc(i * 7).unwrap(), i * 7))
+            .collect();
+        for (i, &(p1, l1)) in ptrs.iter().enumerate() {
+            for &(p2, l2) in &ptrs[i + 1..] {
+                assert!(p1 + PalHeap::round_up(l1) <= p2 || p2 + PalHeap::round_up(l2) <= p1);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut h = PalHeap::new(128);
+        assert_eq!(h.malloc(256), Err(HeapError::OutOfMemory));
+        let _ = h.malloc(64).unwrap();
+        let _ = h.malloc(64).unwrap();
+        assert_eq!(h.malloc(1), Err(HeapError::OutOfMemory));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut h = PalHeap::new(128);
+        let p = h.malloc(16).unwrap();
+        h.free(p).unwrap();
+        assert_eq!(h.free(p), Err(HeapError::InvalidPointer(p)));
+    }
+
+    #[test]
+    fn free_of_garbage_rejected() {
+        let mut h = PalHeap::new(128);
+        let _ = h.malloc(16).unwrap();
+        assert_eq!(h.free(3), Err(HeapError::InvalidPointer(3)));
+    }
+
+    #[test]
+    fn freed_space_is_reused() {
+        let mut h = PalHeap::new(128);
+        let a = h.malloc(64).unwrap();
+        let _b = h.malloc(64).unwrap();
+        h.free(a).unwrap();
+        let c = h.malloc(32).unwrap();
+        assert_eq!(c, a, "first-fit reuses the hole");
+    }
+
+    #[test]
+    fn realloc_grow_moves_when_needed() {
+        let mut h = PalHeap::new(1024);
+        let a = h.malloc(64).unwrap();
+        let _b = h.malloc(64).unwrap(); // blocks in-place growth
+        let a2 = h.realloc(a, 128).unwrap();
+        assert_ne!(a, a2);
+        assert_eq!(h.live_allocations(), 2);
+    }
+
+    #[test]
+    fn realloc_shrink_in_place() {
+        let mut h = PalHeap::new(1024);
+        let a = h.malloc(128).unwrap();
+        assert_eq!(h.realloc(a, 64).unwrap(), a);
+    }
+
+    #[test]
+    fn alignment_maintained() {
+        let mut h = PalHeap::new(1024);
+        for len in [1u32, 3, 7, 9, 15, 17] {
+            let p = h.malloc(len).unwrap();
+            assert_eq!(p % ALIGN, 0, "allocation of {len} at {p}");
+        }
+    }
+
+    proptest! {
+        /// Random malloc/free sequences never corrupt the block list:
+        /// blocks stay sorted, contiguous, and sum to capacity.
+        #[test]
+        fn prop_block_list_invariants(ops in proptest::collection::vec(any::<(bool, u8)>(), 1..200)) {
+            let mut h = PalHeap::new(4096);
+            let mut live: Vec<u32> = Vec::new();
+            for (is_alloc, size) in ops {
+                if is_alloc || live.is_empty() {
+                    if let Ok(p) = h.malloc(size as u32 + 1) {
+                        live.push(p);
+                    }
+                } else {
+                    let p = live.swap_remove((size as usize) % live.len());
+                    h.free(p).unwrap();
+                }
+                // Invariants.
+                let mut cursor = 0u32;
+                for b in &h.blocks {
+                    prop_assert_eq!(b.offset, cursor);
+                    prop_assert!(b.len > 0);
+                    cursor += b.len;
+                }
+                prop_assert_eq!(cursor, 4096);
+                prop_assert_eq!(h.live_allocations(), live.len());
+            }
+        }
+    }
+}

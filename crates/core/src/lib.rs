@@ -1,0 +1,49 @@
+//! Flicker: minimal-TCB isolated execution (the paper's core contribution).
+//!
+//! This crate is the reproduction of Flicker itself (paper §4–§5): the
+//! infrastructure that pauses an untrusted OS, late-launches a measured
+//! Piece of Application Logic (PAL) with hardware-enforced isolation, and
+//! resumes the OS — leaving behind a PCR 17 value that attests to exactly
+//! what ran, with which inputs, and what it produced.
+//!
+//! * [`slb`] — the Secure Loader Block: Figure 3's layout, the builder,
+//!   and measurement prediction.
+//! * [`session`] — the flicker-module + SLB Core: Figure 2's timeline,
+//!   including the §7.2 hashing-stub launch optimisation.
+//! * [`pal`] — the PAL trait and the mediated [`pal::PalContext`]
+//!   (segmented memory, TPM driver/utilities, charged crypto).
+//! * [`attest`] — the PCR 17 measurement chain and the remote verifier
+//!   (§4.4.1).
+//! * [`sealed`] — replay-protected sealed storage (§4.3.2, Figure 4).
+//! * [`secure_channel`] — the §4.4.2 key-establishment protocol.
+//! * [`heap`] — the malloc/free/realloc PAL module.
+//! * [`modules`] — the Figure 6 TCB inventory.
+
+pub mod attest;
+pub mod error;
+pub mod heap;
+pub mod modules;
+pub mod pal;
+pub mod sealed;
+pub mod secure_channel;
+pub mod session;
+pub mod slb;
+pub mod sysfs;
+
+pub use attest::{
+    expected_pcr17_final, expected_pcr17_final_with_extends, io_measurement, launch_pcr17,
+    ExpectedSession, Verifier, TERMINATOR,
+};
+pub use error::{FlickerError, FlickerResult};
+pub use heap::{HeapError, PalHeap};
+pub use pal::{NativePal, PalContext};
+pub use sealed::ReplayProtectedStorage;
+pub use secure_channel::{
+    generate_channel_keypair, open_channel, recover_channel_key, ChannelSetup, RemoteParty,
+};
+pub use session::{
+    hashing_stub_bytes, run_session, SessionParams, SessionRecord, SessionTimings,
+    DEFAULT_SLB_BASE, HASHING_STUB_SIZE, REGION_LEN,
+};
+pub use slb::{PalPayload, SlbImage, SlbOptions, LARGE_PAL_MAX, OVERFLOW_OFFSET, SLB_MAX};
+pub use sysfs::FlickerSysfs;

@@ -1,0 +1,170 @@
+//! The Secure Channel module (paper §4.4.2 and Figure 6).
+//!
+//! "The PAL generates an asymmetric keypair within the protection of the
+//! Flicker session and then transmits the public key to the remote party.
+//! The private key is sealed for a future invocation of the same PAL ...
+//! An attestation convinces the remote party that the PAL ran with
+//! Flicker's protections and that the public key was a legitimate output
+//! of the PAL. Finally, the remote party can use the PAL's public key to
+//! create a secure channel to the PAL."
+//!
+//! The in-PAL halves ([`generate_channel_keypair`], [`open_channel`]) run
+//! against a [`PalContext`]; the remote-party half ([`RemoteParty`]) runs
+//! anywhere.
+
+use crate::error::{FlickerError, FlickerResult};
+use crate::pal::PalContext;
+use flicker_crypto::pkcs1;
+use flicker_crypto::rng::CryptoRng;
+use flicker_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use flicker_tpm::SealedBlob;
+
+/// Output of the key-generation session: what the PAL returns to the
+/// untrusted world.
+#[derive(Debug, Clone)]
+pub struct ChannelSetup {
+    /// The channel public key `K_PAL` (a PAL output, so covered by the
+    /// attestation).
+    pub public_key: RsaPublicKey,
+    /// The private key, sealed so only this PAL in a future Flicker session
+    /// can recover it (`sdata` in the paper's Figure 7).
+    pub sealed_private_key: SealedBlob,
+}
+
+impl ChannelSetup {
+    /// Serializes `public_key ‖ sealed blob` for the PAL output region.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let pk = self.public_key.to_bytes();
+        let blob = self.sealed_private_key.as_bytes();
+        let mut out = Vec::with_capacity(8 + pk.len() + blob.len());
+        out.extend_from_slice(&(pk.len() as u32).to_be_bytes());
+        out.extend_from_slice(&pk);
+        out.extend_from_slice(&(blob.len() as u32).to_be_bytes());
+        out.extend_from_slice(blob);
+        out
+    }
+
+    /// Parses the [`Self::to_bytes`] form.
+    pub fn from_bytes(bytes: &[u8]) -> FlickerResult<Self> {
+        let take = |off: &mut usize| -> FlickerResult<Vec<u8>> {
+            if bytes.len() < *off + 4 {
+                return Err(FlickerError::Protocol("truncated channel setup"));
+            }
+            let len =
+                u32::from_be_bytes(bytes[*off..*off + 4].try_into().expect("4 bytes")) as usize;
+            *off += 4;
+            if bytes.len() < *off + len {
+                return Err(FlickerError::Protocol("truncated channel setup"));
+            }
+            let v = bytes[*off..*off + len].to_vec();
+            *off += len;
+            Ok(v)
+        };
+        let mut off = 0;
+        let pk = take(&mut off)?;
+        let blob = take(&mut off)?;
+        if off != bytes.len() {
+            return Err(FlickerError::Protocol("trailing bytes in channel setup"));
+        }
+        Ok(ChannelSetup {
+            public_key: RsaPublicKey::from_bytes(&pk)
+                .map_err(|_| FlickerError::Protocol("bad public key"))?,
+            sealed_private_key: SealedBlob::from_bytes(blob),
+        })
+    }
+}
+
+/// First-session half: generate `K_PAL`, seal `K_PAL⁻¹` to this PAL's
+/// PCR 17 value, and return both (the public key for the remote party, the
+/// blob for the next session).
+pub fn generate_channel_keypair(ctx: &mut PalContext<'_>) -> FlickerResult<ChannelSetup> {
+    let (private, _stats) = ctx.rsa1024_keygen();
+    let sealed_private_key = ctx.seal_to_self(&private.to_bytes())?;
+    Ok(ChannelSetup {
+        public_key: private.public_key().clone(),
+        sealed_private_key,
+    })
+}
+
+/// Second-session half: recover the channel private key. Fails with
+/// `WrongPcrVal` inside [`FlickerError::Tpm`] if a different PAL (or the
+/// bare OS) tries.
+pub fn recover_channel_key(
+    ctx: &mut PalContext<'_>,
+    sealed_private_key: &SealedBlob,
+) -> FlickerResult<RsaPrivateKey> {
+    let bytes = ctx.unseal(sealed_private_key)?;
+    RsaPrivateKey::from_bytes(&bytes)
+        .map_err(|_| FlickerError::Protocol("sealed blob did not contain a private key"))
+}
+
+/// Second-session half, message form: unseal the key and decrypt one
+/// PKCS#1 v1.5 message sent over the channel.
+pub fn open_channel(
+    ctx: &mut PalContext<'_>,
+    sealed_private_key: &SealedBlob,
+    ciphertext: &[u8],
+) -> FlickerResult<Vec<u8>> {
+    let key = recover_channel_key(ctx, sealed_private_key)?;
+    ctx.rsa1024_decrypt(&key, ciphertext)
+}
+
+/// The remote party's side of the channel.
+#[derive(Debug, Clone)]
+pub struct RemoteParty {
+    pal_public_key: RsaPublicKey,
+}
+
+impl RemoteParty {
+    /// Trusts `pal_public_key` after verifying the attestation over the
+    /// key-generation session (the caller does that with
+    /// [`crate::attest::Verifier`]).
+    pub fn new(pal_public_key: RsaPublicKey) -> Self {
+        RemoteParty { pal_public_key }
+    }
+
+    /// Encrypts `msg` so only the PAL can read it (PKCS#1 v1.5, the
+    /// "chosen-ciphertext-secure and nonmalleable" encryption of §6.3.1).
+    pub fn encrypt<R: CryptoRng + ?Sized>(
+        &self,
+        msg: &[u8],
+        rng: &mut R,
+    ) -> FlickerResult<Vec<u8>> {
+        pkcs1::encrypt(&self.pal_public_key, msg, rng)
+            .map_err(|_| FlickerError::Protocol("message too long for channel key"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flicker_crypto::rng::XorShiftRng;
+
+    #[test]
+    fn channel_setup_serialization_round_trip() {
+        let mut rng = XorShiftRng::new(90);
+        let (key, _) = RsaPrivateKey::generate(512, &mut rng);
+        let setup = ChannelSetup {
+            public_key: key.public_key().clone(),
+            sealed_private_key: SealedBlob::from_bytes(vec![1, 2, 3, 4]),
+        };
+        let back = ChannelSetup::from_bytes(&setup.to_bytes()).unwrap();
+        assert_eq!(back.public_key, setup.public_key);
+        assert_eq!(back.sealed_private_key, setup.sealed_private_key);
+    }
+
+    #[test]
+    fn malformed_setup_rejected() {
+        assert!(ChannelSetup::from_bytes(&[]).is_err());
+        assert!(ChannelSetup::from_bytes(&[0, 0, 0, 99, 1]).is_err());
+        let mut rng = XorShiftRng::new(91);
+        let (key, _) = RsaPrivateKey::generate(512, &mut rng);
+        let setup = ChannelSetup {
+            public_key: key.public_key().clone(),
+            sealed_private_key: SealedBlob::from_bytes(vec![1]),
+        };
+        let mut bytes = setup.to_bytes();
+        bytes.push(0);
+        assert!(ChannelSetup::from_bytes(&bytes).is_err());
+    }
+}

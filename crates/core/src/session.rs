@@ -1,0 +1,366 @@
+//! The Flicker session driver: flicker-module + SLB Core.
+//!
+//! Implements the full timeline of paper Figure 2:
+//!
+//! ```text
+//! accept SLB & inputs → initialize (patch) SLB → suspend OS → SKINIT
+//!   → SLB Core init → execute PAL → cleanup (erase secrets)
+//!   → extend PCR 17 (I/O, nonce, terminator) → resume OS → return outputs
+//! ```
+//!
+//! The *flicker-module* half (everything outside the SKINIT window) is
+//! untrusted: it moves bytes and flips switches, and nothing in the
+//! attestation story depends on it behaving. The *SLB Core* half (from
+//! SKINIT to resume) is the measured 250-line TCB; its observable actions
+//! here are exactly the ones the paper's §4.2 describes.
+
+use crate::attest::{io_measurement, TERMINATOR};
+use crate::error::{FlickerError, FlickerResult};
+use crate::pal::{vm_regs, PalContext, VmBusAdapter};
+use crate::slb::{
+    PalPayload, SlbImage, INPUTS_MAX, INPUTS_OFFSET, OUTPUTS_OFFSET, OVERFLOW_OFFSET,
+    SAVED_STATE_OFFSET, SLB_MAX,
+};
+use flicker_machine::Stopwatch;
+use flicker_os::Os;
+use flicker_palvm::NUM_REGS;
+use std::time::Duration;
+
+/// Default physical address where the flicker-module allocates SLBs (fixed
+/// by convention so verifiers can predict the patched measurement).
+pub const DEFAULT_SLB_BASE: u64 = 0x10_0000;
+
+/// Extent of the OS-allocated region: the 64 KB SLB plus the two parameter
+/// pages.
+pub const REGION_LEN: u32 = (SLB_MAX + 0x2000) as u32;
+
+/// Size of the §7.2 hashing-stub SLB (measured value from the paper).
+pub const HASHING_STUB_SIZE: usize = 4736;
+
+/// Default instruction budget for bytecode PALs.
+pub const DEFAULT_FUEL: u64 = 50_000_000;
+
+/// Modelled PalVM execution rate on the paper's hardware, used to convert
+/// an `SlbOptions::time_limit` into an instruction budget (a simple
+/// interpreter on a 2.2 GHz core executes ~50 M bytecode insns/s).
+pub const VM_INSNS_PER_SEC: u64 = 50_000_000;
+
+/// Modelled flicker-module overhead on each side of the session (state
+/// save/restore, sysfs traffic).
+const SUSPEND_COST: Duration = Duration::from_micros(500);
+const RESUME_COST: Duration = Duration::from_micros(500);
+/// Modelled SLB Core initialization (GDT/TSS load, segment setup).
+const SLBCORE_INIT_COST: Duration = Duration::from_micros(20);
+
+/// Parameters of one Flicker session.
+#[derive(Debug, Clone)]
+pub struct SessionParams {
+    /// Where the flicker-module allocates the SLB.
+    pub slb_base: u64,
+    /// PAL inputs (copied to the input page).
+    pub inputs: Vec<u8>,
+    /// Verifier-supplied nonce, extended into PCR 17 with the results
+    /// (paper §4.4.1); all-zero when no remote party is involved.
+    pub nonce: [u8; 20],
+    /// Launch through the 4 736-byte hashing-stub SLB (§7.2 optimisation).
+    pub use_hashing_stub: bool,
+}
+
+impl Default for SessionParams {
+    fn default() -> Self {
+        SessionParams {
+            slb_base: DEFAULT_SLB_BASE,
+            inputs: Vec::new(),
+            nonce: [0u8; 20],
+            use_hashing_stub: false,
+        }
+    }
+}
+
+impl SessionParams {
+    /// Parameters with the given inputs, defaults otherwise.
+    pub fn with_inputs(inputs: Vec<u8>) -> Self {
+        SessionParams {
+            inputs,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-phase virtual-time breakdown (the paper's Table 1 / Figure 9 rows).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionTimings {
+    /// Suspend OS (flicker-module).
+    pub suspend: Duration,
+    /// The `SKINIT` instruction itself.
+    pub skinit: Duration,
+    /// Hashing-stub measurement of the full window (zero without the stub).
+    pub stub_measure: Duration,
+    /// PAL execution (application logic including its TPM ops).
+    pub pal: Duration,
+    /// Cleanup + terminal PCR extends.
+    pub cleanup: Duration,
+    /// Resume OS.
+    pub resume: Duration,
+    /// End-to-end session time.
+    pub total: Duration,
+}
+
+/// Everything a completed session yields.
+#[derive(Debug, Clone)]
+pub struct SessionRecord {
+    /// PAL outputs (also written to the output page for the OS).
+    pub outputs: Vec<u8>,
+    /// `Ok` or the PAL's fault, stringified. A faulting PAL still gets
+    /// cleanup, terminal extends, and OS resume.
+    pub pal_result: Result<(), String>,
+    /// SHA-1 of the measured SLB (what SKINIT hashed).
+    pub slb_measurement: [u8; 20],
+    /// PCR 17 right after `SKINIT` (and stub measurement, if used).
+    pub pcr17_entry: [u8; 20],
+    /// PCR 17 after the terminal extends — what a quote will show.
+    pub pcr17_final: [u8; 20],
+    /// Phase timings on the virtual clock.
+    pub timings: SessionTimings,
+    /// Per-operation timing log from the PAL's context (TPM commands and
+    /// charged crypto helpers, in execution order).
+    pub op_log: Vec<(&'static str, Duration)>,
+}
+
+/// The deterministic hashing-stub bytes (stands in for the paper's
+/// hash+extend stub PAL: "a cryptographic hash function and enough TPM
+/// support to perform a PCR Extend", 4 736 bytes).
+pub fn hashing_stub_bytes() -> Vec<u8> {
+    let mut bytes = vec![0u8; HASHING_STUB_SIZE];
+    bytes[0..2].copy_from_slice(&(HASHING_STUB_SIZE as u16).to_le_bytes());
+    bytes[2..4].copy_from_slice(&4u16.to_le_bytes());
+    let marker =
+        b"FLICKER-HASHING-STUB v1.0: sha1(full 64KB window) -> extend PCR17; then jump to PAL";
+    bytes[4..4 + marker.len()].copy_from_slice(marker);
+    // Fill the remainder with a fixed pattern (the "code").
+    for (i, b) in bytes.iter_mut().enumerate().skip(4 + marker.len()) {
+        *b = (i % 251) as u8;
+    }
+    bytes
+}
+
+/// Runs one complete Flicker session for `slb` on `os`.
+///
+/// Returns an error only for infrastructure failures (bad SLB placement,
+/// machine refusal); PAL-level faults are reported inside the
+/// [`SessionRecord`] because the SLB Core always regains control and
+/// resumes the OS.
+pub fn run_session(
+    os: &mut Os,
+    slb: &SlbImage,
+    params: &SessionParams,
+) -> FlickerResult<SessionRecord> {
+    if params.inputs.len() > INPUTS_MAX {
+        return Err(FlickerError::SlbBuild("inputs exceed the input region"));
+    }
+    if slb.is_large() && !params.use_hashing_stub {
+        // SKINIT's header length field cannot describe more than 64 KB;
+        // larger PALs need the preparatory (stub) code that extends the
+        // DEV and measures the extra region (paper §4.2).
+        return Err(FlickerError::SlbBuild(
+            "large PALs require the hashing-stub launch path",
+        ));
+    }
+    let clock = os.clock();
+    let total_sw = Stopwatch::start(&clock);
+    let slb_base = params.slb_base;
+
+    // ----- Accept SLB + inputs; initialize (patch) the SLB ------------------
+    // (flicker-module, untrusted)
+    let patched = slb.patched_bytes(slb_base);
+    let (measured_at_base, app_offset, overflow) = if params.use_hashing_stub {
+        let stub = hashing_stub_bytes();
+        os.machine_mut().memory_mut().write(slb_base, &stub)?;
+        // Zero the rest of the window, then place the app image above the
+        // stub (still inside the DEV-protected, stub-measured 64 KB). A
+        // large image continues in the overflow region above the parameter
+        // pages.
+        os.machine_mut()
+            .memory_mut()
+            .zeroize(slb_base + stub.len() as u64, SLB_MAX - stub.len())?;
+        let in_window = patched.len().min(SLB_MAX - HASHING_STUB_SIZE);
+        os.machine_mut()
+            .memory_mut()
+            .write(slb_base + HASHING_STUB_SIZE as u64, &patched[..in_window])?;
+        let overflow = patched[in_window..].to_vec();
+        if !overflow.is_empty() {
+            os.machine_mut()
+                .memory_mut()
+                .write(slb_base + OVERFLOW_OFFSET, &overflow)?;
+        }
+        (stub, HASHING_STUB_SIZE, overflow)
+    } else {
+        os.machine_mut().memory_mut().write(slb_base, &patched)?;
+        (patched, 0, Vec::new())
+    };
+    os.machine_mut()
+        .memory_mut()
+        .write(slb_base + INPUTS_OFFSET, &params.inputs)?;
+
+    // ----- Suspend OS ---------------------------------------------------------
+    let sw = Stopwatch::start(&clock);
+    os.suspend_for_session()?;
+    let saved_state = os
+        .saved_state()
+        .expect("suspend_for_session stores state")
+        .to_bytes();
+    os.machine_mut()
+        .memory_mut()
+        .write(slb_base + SAVED_STATE_OFFSET, &saved_state)?;
+    os.machine_mut().charge_cpu(SUSPEND_COST);
+    let t_suspend = sw.elapsed();
+
+    // ----- SKINIT ---------------------------------------------------------------
+    let sw = Stopwatch::start(&clock);
+    let machine = os.machine_mut();
+    let launch = machine.skinit(0, slb_base)?;
+    let slb_measurement = launch.measurement;
+    debug_assert_eq!(
+        slb_measurement,
+        flicker_crypto::sha1::sha1(&measured_at_base)
+    );
+    let t_skinit = sw.elapsed();
+
+    // ----- Hashing stub (optional §7.2 path) --------------------------------------
+    let sw = Stopwatch::start(&clock);
+    if params.use_hashing_stub {
+        // The stub hashes the full 64 KB window on the main CPU and extends
+        // the result into PCR 17.
+        let window = machine.memory().read(slb_base, SLB_MAX)?.to_vec();
+        let cost = machine.cpu_cost().sha1(window.len());
+        machine.charge_cpu(cost);
+        let window_hash = flicker_crypto::sha1::sha1(&window);
+        machine.tpm_op(|t| t.pcr_extend(17, &window_hash))?;
+        if !overflow.is_empty() {
+            // Large PAL: the preparatory code adds the overflow region to
+            // the DEV and measures it into PCR 17 before any of it runs
+            // (paper §4.2).
+            machine.extend_protection(slb_base + OVERFLOW_OFFSET, overflow.len() as u64)?;
+            let cost = machine.cpu_cost().sha1(overflow.len());
+            machine.charge_cpu(cost);
+            let overflow_hash = flicker_crypto::sha1::sha1(&overflow);
+            machine.tpm_op(|t| t.pcr_extend(17, &overflow_hash))?;
+        }
+    }
+    let t_stub = sw.elapsed();
+    let pcr17_entry = machine.tpm_op(|t| t.pcr_read(17))?;
+
+    // ----- SLB Core init + PAL execution ---------------------------------------
+    let sw = Stopwatch::start(&clock);
+    machine.charge_cpu(SLBCORE_INIT_COST);
+    let region_len = REGION_LEN.max((OVERFLOW_OFFSET as usize + overflow.len()) as u32);
+    let mut ctx = PalContext::new(
+        &mut *machine,
+        slb_base,
+        region_len,
+        slb.options.os_protection,
+        params.inputs.clone(),
+    );
+    // The §5.1.2 timing restriction: a wall-time bound becomes an
+    // instruction budget for bytecode PALs.
+    let fuel = slb.options.fuel.or_else(|| {
+        slb.options
+            .time_limit
+            .map(|t| (t.as_secs_f64() * VM_INSNS_PER_SEC as f64) as u64)
+    });
+    let pal_start = clock.now();
+    let mut pal_result = execute_payload(slb.payload(), &mut ctx, fuel, app_offset);
+    if let (Ok(()), Some(limit)) = (&pal_result, slb.options.time_limit) {
+        // Native PALs cannot be preempted; enforce the bound after the
+        // fact so a runaway PAL is at least *reported* (its outputs are
+        // then discarded by callers that care).
+        if clock.now() - pal_start > limit {
+            pal_result = Err(format!(
+                "PAL exceeded its time limit of {limit:?} (ran {:?})",
+                clock.now() - pal_start
+            ));
+        }
+    }
+    let outputs = ctx.take_outputs();
+    let op_log = ctx.take_op_log();
+    let t_pal = sw.elapsed();
+
+    // ----- Cleanup + terminal extends (SLB Core) ---------------------------------
+    let sw = Stopwatch::start(&clock);
+    // Erase every byte the PAL could have dirtied: the 64 KB window and the
+    // input page (the output page is about to be rewritten).
+    machine.memory_mut().zeroize(slb_base, SLB_MAX)?;
+    machine
+        .memory_mut()
+        .zeroize(slb_base + INPUTS_OFFSET, 0x1000)?;
+    if !overflow.is_empty() {
+        machine
+            .memory_mut()
+            .zeroize(slb_base + OVERFLOW_OFFSET, overflow.len())?;
+    }
+    // Publish outputs through the output page.
+    machine
+        .memory_mut()
+        .write_u32_le(slb_base + OUTPUTS_OFFSET, outputs.len() as u32)?;
+    machine
+        .memory_mut()
+        .write(slb_base + OUTPUTS_OFFSET + 4, &outputs)?;
+    // Terminal extends (paper §4.4.1): measurements of the inputs and
+    // outputs, the verifier nonce, then the fixed public terminator that
+    // revokes PAL secrets and closes the PAL's extension authority.
+    let io = io_measurement(&params.inputs, &outputs);
+    machine.tpm_op(|t| t.pcr_extend(17, &io))?;
+    machine.tpm_op(|t| t.pcr_extend(17, &params.nonce))?;
+    machine.tpm_op(|t| t.pcr_extend(17, &TERMINATOR))?;
+    let pcr17_final = machine.tpm_op(|t| t.pcr_read(17))?;
+    let t_cleanup = sw.elapsed();
+
+    // ----- Resume OS ---------------------------------------------------------------
+    let sw = Stopwatch::start(&clock);
+    machine.resume_os()?;
+    machine.charge_cpu(RESUME_COST);
+    os.resume_after_session()?;
+    let t_resume = sw.elapsed();
+
+    Ok(SessionRecord {
+        outputs,
+        pal_result,
+        slb_measurement,
+        pcr17_entry,
+        pcr17_final,
+        timings: SessionTimings {
+            suspend: t_suspend,
+            skinit: t_skinit,
+            stub_measure: t_stub,
+            pal: t_pal,
+            cleanup: t_cleanup,
+            resume: t_resume,
+            total: total_sw.elapsed(),
+        },
+        op_log,
+    })
+}
+
+fn execute_payload(
+    payload: &PalPayload,
+    ctx: &mut PalContext<'_>,
+    fuel: Option<u64>,
+    _app_offset: usize,
+) -> Result<(), String> {
+    match payload {
+        PalPayload::Native { program, .. } => {
+            let program = program.clone();
+            program.run(ctx).map_err(|e| e.to_string())
+        }
+        PalPayload::Bytecode(prog) => {
+            let mut regs = [0u32; NUM_REGS];
+            regs[vm_regs::INPUTS] = ctx.inputs_logical_addr();
+            regs[vm_regs::OUTPUTS] = ctx.inputs_logical_addr() + 0x1000;
+            regs[vm_regs::INPUT_LEN] = ctx.inputs().len() as u32;
+            let mut bus = VmBusAdapter { ctx };
+            flicker_palvm::run_with_regs(&prog.code, &mut bus, fuel.unwrap_or(DEFAULT_FUEL), regs)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
+    }
+}

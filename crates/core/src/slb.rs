@@ -1,0 +1,348 @@
+//! The Secure Loader Block: layout, builder, and measurement prediction.
+//!
+//! Reproduces Figure 3 of the paper. An SLB is at most 64 KB; its first two
+//! 16-bit words are its length and entry point (paper §2.4). The SLB Core
+//! occupies the front (skeleton GDT/TSS that the flicker-module patches,
+//! init/exit code); the PAL follows, ending by 60 KB; the last 4 KB is
+//! stack space. Parameters live *above* the measured 64 KB window:
+//!
+//! ```text
+//! slb_base + 0x00000 .. 0x10000   the measured SLB (DEV-protected)
+//! slb_base + 0x10000 .. 0x11000   PAL inputs ‖ saved kernel state
+//! slb_base + 0x11000 .. 0x12000   PAL outputs ("the second 4-KB page
+//!                                  above the 64-KB SLB", §5.1.1)
+//! ```
+
+use crate::error::{FlickerError, FlickerResult};
+use flicker_crypto::sha1::sha1;
+use flicker_palvm::Program;
+use flicker_tpm::PcrBank;
+use std::sync::Arc;
+
+/// Maximum SLB size (64 KB).
+pub const SLB_MAX: usize = 64 * 1024;
+/// PAL code must end by this offset (Figure 3: "End of PAL (Start + 60KB)").
+pub const PAL_END: usize = 60 * 1024;
+/// Stack region size at the top of the SLB.
+pub const STACK_SIZE: usize = 4 * 1024;
+/// Offset of the input page relative to `slb_base`.
+pub const INPUTS_OFFSET: u64 = 0x10000;
+/// Offset within the input page where saved kernel state is stashed.
+pub const SAVED_STATE_OFFSET: u64 = 0x10000 + 0xE00;
+/// Offset of the output page relative to `slb_base`.
+pub const OUTPUTS_OFFSET: u64 = 0x11000;
+/// Capacity of the input region (up to the saved-state stash).
+pub const INPUTS_MAX: usize = 0xE00;
+/// Capacity of the output region.
+pub const OUTPUTS_MAX: usize = 0x1000;
+
+/// Offset (from `slb_base`) of the overflow region used by large PALs:
+/// directly above the two parameter pages (paper §4.2: DEV protection "can
+/// be extended to larger memory regions" by preparatory code that also
+/// measures them into PCR 17).
+pub const OVERFLOW_OFFSET: u64 = 0x12000;
+/// Maximum total image size for a large PAL (the overflow region's cap;
+/// generous, and bounded only by the DEV/measurement cost model).
+pub const LARGE_PAL_MAX: usize = 192 * 1024;
+
+/// Size of the SLB Core's fixed region (header + skeleton GDT/TSS + code).
+/// The paper's SLB Core is 94 LoC / 312 B (Figure 6); we reserve a round
+/// 512 B including header and patch slots.
+pub const SLB_CORE_SIZE: usize = 512;
+
+/// Offset of the flicker-module's patch slot (the GDT base fields computed
+/// from `slb_base` once the kernel allocates the SLB — paper §4.2
+/// "Initialize the SLB").
+pub const PATCH_SLOT_OFFSET: usize = 16;
+
+/// The measured SLB-core code bytes (a stand-in for the 312-byte x86 SLB
+/// Core; versioned so measurement changes if the "code" changes).
+const SLB_CORE_CODE: &[u8] = b"FLICKER-SLB-CORE v1.0; init:gdt,tss,cs/ds/ss,call-pal; \
+exit:cleanse,extend17(io,nonce,cap),callgate,paging,resume; (c) reproduction";
+
+/// How the PAL's behaviour is expressed.
+#[derive(Clone)]
+pub enum PalPayload {
+    /// PalVM bytecode: the measured bytes fully determine behaviour.
+    Bytecode(Program),
+    /// A native Rust PAL: `identity` bytes are measured, and the behaviour
+    /// is the `program` trait object. The identity-to-behaviour binding is
+    /// by construction here (a simulation concession; bytecode PALs do not
+    /// need it — see DESIGN.md).
+    Native {
+        /// Measured identity manifest (name, version, parameters).
+        identity: Vec<u8>,
+        /// The behaviour.
+        program: Arc<dyn crate::pal::NativePal>,
+    },
+}
+
+impl PalPayload {
+    /// The bytes that go into the measured SLB.
+    pub fn measured_bytes(&self) -> &[u8] {
+        match self {
+            PalPayload::Bytecode(p) => &p.code,
+            PalPayload::Native { identity, .. } => identity,
+        }
+    }
+}
+
+impl core::fmt::Debug for PalPayload {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PalPayload::Bytecode(p) => write!(f, "PalPayload::Bytecode({} insns)", p.len()),
+            PalPayload::Native { identity, .. } => write!(
+                f,
+                "PalPayload::Native({:?})",
+                String::from_utf8_lossy(identity)
+            ),
+        }
+    }
+}
+
+/// Options for SLB construction.
+#[derive(Debug, Clone)]
+pub struct SlbOptions {
+    /// Run the PAL in ring 3 with segment limits (the OS-Protection module
+    /// of paper §5.1.2). Without it, the PAL runs in ring 0 with flat
+    /// segments and can touch all physical memory.
+    pub os_protection: bool,
+    /// Limit on PAL-executed instructions (the SLB Core's timing
+    /// restriction hook); `None` = the driver default.
+    pub fuel: Option<u64>,
+    /// Wall-time bound on PAL execution (the §5.1.2 "techniques to limit
+    /// a PAL's execution time using timer interrupts"). For bytecode PALs
+    /// this converts to an instruction budget at the modelled execution
+    /// rate; a native PAL that exceeds it is reported as faulted after
+    /// the fact (native code cannot be preempted in this simulation).
+    pub time_limit: Option<std::time::Duration>,
+}
+
+impl Default for SlbOptions {
+    fn default() -> Self {
+        SlbOptions {
+            os_protection: true,
+            fuel: None,
+            time_limit: None,
+        }
+    }
+}
+
+/// A built SLB ready to hand to the flicker-module.
+#[derive(Debug, Clone)]
+pub struct SlbImage {
+    bytes: Vec<u8>,
+    payload: PalPayload,
+    /// Offset of the PAL payload within the image.
+    pal_offset: usize,
+    /// Construction options (consumed by the session driver).
+    pub options: SlbOptions,
+}
+
+impl SlbImage {
+    /// Builds an SLB from a PAL payload.
+    ///
+    /// Layout: `[len:u16][entry:u16][patch slot][SLB core code][PAL]`.
+    pub fn build(payload: PalPayload, options: SlbOptions) -> FlickerResult<Self> {
+        let pal_bytes = payload.measured_bytes();
+        let pal_offset = SLB_CORE_SIZE;
+        let total = pal_offset + pal_bytes.len();
+        if total > LARGE_PAL_MAX {
+            return Err(FlickerError::SlbBuild("PAL exceeds the large-PAL cap"));
+        }
+        if pal_bytes.is_empty() {
+            return Err(FlickerError::SlbBuild("empty PAL"));
+        }
+
+        let mut bytes = vec![0u8; total];
+        // The header's length field is what SKINIT measures directly; for a
+        // large PAL only the first 60 KB fits the measured window and the
+        // remainder is covered by the preparatory (stub) code's DEV
+        // extension + PCR 17 measurement (paper §4.2).
+        let header_len = total.min(PAL_END) as u16;
+        bytes[0..2].copy_from_slice(&header_len.to_le_bytes());
+        // Entry point: the SLB Core's init code, directly after the header
+        // and patch slot.
+        let entry = (PATCH_SLOT_OFFSET + 8) as u16;
+        bytes[2..4].copy_from_slice(&entry.to_le_bytes());
+        // Patch slot zeroed at build time; the flicker-module writes
+        // slb_base here before SKINIT.
+        let core_code_region = &mut bytes[PATCH_SLOT_OFFSET + 8..SLB_CORE_SIZE];
+        let n = SLB_CORE_CODE.len().min(core_code_region.len());
+        core_code_region[..n].copy_from_slice(&SLB_CORE_CODE[..n]);
+        bytes[pal_offset..].copy_from_slice(pal_bytes);
+
+        Ok(SlbImage {
+            bytes,
+            payload,
+            pal_offset,
+            options,
+        })
+    }
+
+    /// The unpatched image bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total image length.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if empty (never, for a built image).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The PAL payload.
+    pub fn payload(&self) -> &PalPayload {
+        &self.payload
+    }
+
+    /// Offset of the PAL within the image.
+    pub fn pal_offset(&self) -> usize {
+        self.pal_offset
+    }
+
+    /// Bytes of the image beyond the 60 KB in-window code region — the part
+    /// a large PAL places in the overflow region (zero for ordinary PALs).
+    pub fn overflow_len(&self) -> usize {
+        self.bytes.len().saturating_sub(PAL_END)
+    }
+
+    /// True if this image needs the large-PAL launch path.
+    pub fn is_large(&self) -> bool {
+        self.overflow_len() > 0
+    }
+
+    /// The image as it will be measured once loaded at `slb_base` — i.e.
+    /// with the flicker-module's address patch applied (paper §4.2: the
+    /// skeleton GDT/TSS entries depend on the allocation address, so the
+    /// measured bytes do too).
+    pub fn patched_bytes(&self, slb_base: u64) -> Vec<u8> {
+        let mut out = self.bytes.clone();
+        out[PATCH_SLOT_OFFSET..PATCH_SLOT_OFFSET + 8].copy_from_slice(&slb_base.to_le_bytes());
+        out
+    }
+
+    /// SHA-1 of the patched image: the measurement `SKINIT` will extend
+    /// into PCR 17.
+    pub fn measurement(&self, slb_base: u64) -> [u8; 20] {
+        sha1(&self.patched_bytes(slb_base))
+    }
+
+    /// The PCR 17 value immediately after `SKINIT` launches this SLB at
+    /// `slb_base`: `H(0^20 ‖ H(SLB))` (paper §4.3.1 / §4.4.1).
+    pub fn expected_pcr17_after_skinit(&self, slb_base: u64) -> [u8; 20] {
+        PcrBank::predict_skinit_pcr17(&self.measurement(slb_base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pal::NativePal;
+    use crate::pal::PalContext;
+
+    struct Nop;
+    impl NativePal for Nop {
+        fn run(&self, _ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+            Ok(())
+        }
+    }
+
+    fn native(identity: &[u8]) -> PalPayload {
+        PalPayload::Native {
+            identity: identity.to_vec(),
+            program: Arc::new(Nop),
+        }
+    }
+
+    #[test]
+    fn builds_with_header_and_entry() {
+        let slb = SlbImage::build(native(b"pal-v1"), SlbOptions::default()).unwrap();
+        let len = u16::from_le_bytes(slb.bytes()[0..2].try_into().unwrap()) as usize;
+        assert_eq!(len, slb.len());
+        let entry = u16::from_le_bytes(slb.bytes()[2..4].try_into().unwrap()) as usize;
+        assert!(entry < len);
+        assert_eq!(slb.pal_offset(), SLB_CORE_SIZE);
+        assert_eq!(&slb.bytes()[SLB_CORE_SIZE..], b"pal-v1");
+    }
+
+    #[test]
+    fn size_classes() {
+        // Fits in the window: not large.
+        let ok = vec![0xAA; PAL_END - SLB_CORE_SIZE];
+        let slb = SlbImage::build(native(&ok), SlbOptions::default()).unwrap();
+        assert!(!slb.is_large());
+        assert_eq!(slb.overflow_len(), 0);
+        // Exceeds the window: large, with the right overflow size.
+        let big = vec![0xAA; PAL_END];
+        let slb = SlbImage::build(native(&big), SlbOptions::default()).unwrap();
+        assert!(slb.is_large());
+        assert_eq!(slb.overflow_len(), SLB_CORE_SIZE);
+        // Beyond the cap: rejected.
+        let huge = vec![0xAA; LARGE_PAL_MAX];
+        assert!(matches!(
+            SlbImage::build(native(&huge), SlbOptions::default()),
+            Err(FlickerError::SlbBuild(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_pal() {
+        assert!(matches!(
+            SlbImage::build(native(b""), SlbOptions::default()),
+            Err(FlickerError::SlbBuild(_))
+        ));
+    }
+
+    #[test]
+    fn measurement_depends_on_pal_and_base() {
+        let a = SlbImage::build(native(b"pal-A"), SlbOptions::default()).unwrap();
+        let b = SlbImage::build(native(b"pal-B"), SlbOptions::default()).unwrap();
+        assert_ne!(a.measurement(0x10_0000), b.measurement(0x10_0000));
+        // The address patch is part of the measured bytes.
+        assert_ne!(a.measurement(0x10_0000), a.measurement(0x20_0000));
+        // Deterministic.
+        assert_eq!(a.measurement(0x10_0000), a.measurement(0x10_0000));
+    }
+
+    #[test]
+    fn patch_slot_is_only_difference() {
+        let slb = SlbImage::build(native(b"pal"), SlbOptions::default()).unwrap();
+        let p1 = slb.patched_bytes(0x10_0000);
+        let p2 = slb.patched_bytes(0x20_0000);
+        let diffs: Vec<usize> = (0..p1.len()).filter(|&i| p1[i] != p2[i]).collect();
+        assert!(!diffs.is_empty());
+        assert!(diffs
+            .iter()
+            .all(|&i| (PATCH_SLOT_OFFSET..PATCH_SLOT_OFFSET + 8).contains(&i)));
+    }
+
+    #[test]
+    fn slb_core_code_is_in_the_image() {
+        let slb = SlbImage::build(native(b"pal"), SlbOptions::default()).unwrap();
+        let hay = slb.bytes();
+        assert!(hay.windows(20).any(|w| w == &SLB_CORE_CODE[..20]));
+    }
+
+    #[test]
+    fn bytecode_payload_measures_program_bytes() {
+        let prog = flicker_palvm::progs::hello_world();
+        let code = prog.code.clone();
+        let slb = SlbImage::build(PalPayload::Bytecode(prog), SlbOptions::default()).unwrap();
+        assert_eq!(&slb.bytes()[slb.pal_offset()..], &code[..]);
+    }
+
+    #[test]
+    fn layout_constants_match_figure3() {
+        // Inputs page directly above the 64 KB window; outputs the page
+        // after ("second 4-KB page above the 64-KB SLB").
+        assert_eq!(INPUTS_OFFSET, 0x10000);
+        assert_eq!(OUTPUTS_OFFSET, 0x11000);
+        assert_eq!(SLB_MAX, 0x10000);
+        const { assert!(PAL_END + STACK_SIZE <= SLB_MAX) };
+    }
+}

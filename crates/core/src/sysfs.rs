@@ -1,0 +1,227 @@
+//! The flicker-module's sysfs interface (paper §4.2).
+//!
+//! "In the sysfs, the flicker-module makes four entries available:
+//! `control`, `inputs`, `outputs`, and `slb`. Applications interact with
+//! the flicker-module via these filesystem entries. An application first
+//! writes to the slb entry an uninitialized SLB containing its PAL code
+//! ... writes any inputs ... initiates the Flicker session by writing to
+//! the control entry ... can simply use open and read to obtain the PAL's
+//! results."
+//!
+//! This module reproduces that byte-oriented ABI over the session driver,
+//! so application code can be written exactly the way the paper's
+//! userspace was.
+
+use crate::error::{FlickerError, FlickerResult};
+use crate::session::{run_session, SessionParams, SessionRecord};
+use crate::slb::SlbImage;
+use flicker_os::Os;
+
+/// Well-known sysfs directory of the flicker-module (documentation value;
+/// this simulation addresses entries through [`FlickerSysfs`] directly).
+pub const SYSFS_DIR: &str = "/sys/kernel/flicker";
+
+/// The four entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entry {
+    /// Write: the uninitialized SLB.
+    Slb,
+    /// Write: PAL input bytes.
+    Inputs,
+    /// Write `"go"` (optionally `"go <hex nonce>"`): run the session.
+    Control,
+    /// Read: PAL output bytes from the last session.
+    Outputs,
+}
+
+/// Userspace-facing state of the flicker-module.
+pub struct FlickerSysfs {
+    pending_slb: Option<SlbImage>,
+    pending_inputs: Vec<u8>,
+    last_outputs: Vec<u8>,
+    last_record: Option<SessionRecord>,
+    use_hashing_stub: bool,
+}
+
+impl Default for FlickerSysfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlickerSysfs {
+    /// A freshly loaded flicker-module.
+    pub fn new() -> Self {
+        FlickerSysfs {
+            pending_slb: None,
+            pending_inputs: Vec::new(),
+            last_outputs: Vec::new(),
+            last_record: None,
+            use_hashing_stub: false,
+        }
+    }
+
+    /// Configures the §7.2 hashing-stub launch path for subsequent
+    /// sessions (a module parameter in spirit).
+    pub fn set_hashing_stub(&mut self, on: bool) {
+        self.use_hashing_stub = on;
+    }
+
+    /// `echo <slb> > /sys/kernel/flicker/slb`.
+    ///
+    /// The simulation transfers a built [`SlbImage`] rather than raw bytes
+    /// because native PAL behaviour cannot cross a byte boundary; bytecode
+    /// PALs round-trip losslessly.
+    pub fn write_slb(&mut self, slb: SlbImage) {
+        self.pending_slb = Some(slb);
+    }
+
+    /// `echo <data> > /sys/kernel/flicker/inputs`.
+    pub fn write_inputs(&mut self, data: &[u8]) -> FlickerResult<()> {
+        if data.len() > crate::slb::INPUTS_MAX {
+            return Err(FlickerError::SlbBuild("inputs exceed the input region"));
+        }
+        self.pending_inputs = data.to_vec();
+        Ok(())
+    }
+
+    /// `echo go > /sys/kernel/flicker/control` — runs the Flicker session.
+    ///
+    /// Accepted commands: `"go"`, or `"go <40-hex-digit nonce>"` to bind a
+    /// verifier nonce into the session.
+    pub fn write_control(&mut self, os: &mut Os, command: &str) -> FlickerResult<()> {
+        let mut parts = command.split_whitespace();
+        let (Some("go"), nonce_part) = (parts.next(), parts.next()) else {
+            return Err(FlickerError::Protocol("unknown control command"));
+        };
+        let nonce = match nonce_part {
+            None => [0u8; 20],
+            Some(hex) => {
+                let bytes = flicker_crypto::hex::decode(hex)
+                    .map_err(|_| FlickerError::Protocol("bad nonce hex"))?;
+                bytes
+                    .try_into()
+                    .map_err(|_| FlickerError::Protocol("nonce must be 20 bytes"))?
+            }
+        };
+        let slb = self
+            .pending_slb
+            .as_ref()
+            .ok_or(FlickerError::Protocol("no SLB written"))?
+            .clone();
+        let params = SessionParams {
+            inputs: std::mem::take(&mut self.pending_inputs),
+            nonce,
+            use_hashing_stub: self.use_hashing_stub,
+            ..Default::default()
+        };
+        let record = run_session(os, &slb, &params)?;
+        self.last_outputs = record.outputs.clone();
+        self.last_record = Some(record);
+        Ok(())
+    }
+
+    /// `cat /sys/kernel/flicker/outputs`.
+    pub fn read_outputs(&self) -> &[u8] {
+        &self.last_outputs
+    }
+
+    /// The full record of the last session (the tqd and verifiers want the
+    /// PCR values and timings, not just the output bytes).
+    pub fn last_record(&self) -> Option<&SessionRecord> {
+        self.last_record.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slb::{PalPayload, SlbOptions};
+    use flicker_os::OsConfig;
+
+    fn hello_slb() -> SlbImage {
+        SlbImage::build(
+            PalPayload::Bytecode(flicker_palvm::progs::hello_world()),
+            SlbOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_workflow_write_slb_inputs_control_read_outputs() {
+        let mut os = Os::boot(OsConfig::fast_for_tests(95));
+        let mut fs = FlickerSysfs::new();
+        fs.write_slb(hello_slb());
+        fs.write_inputs(b"ignored by hello world").unwrap();
+        fs.write_control(&mut os, "go").unwrap();
+        assert_eq!(fs.read_outputs(), b"Hello, world");
+        assert!(fs.last_record().unwrap().pal_result.is_ok());
+    }
+
+    #[test]
+    fn control_without_slb_fails() {
+        let mut os = Os::boot(OsConfig::fast_for_tests(96));
+        let mut fs = FlickerSysfs::new();
+        assert!(matches!(
+            fs.write_control(&mut os, "go"),
+            Err(FlickerError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let mut os = Os::boot(OsConfig::fast_for_tests(97));
+        let mut fs = FlickerSysfs::new();
+        fs.write_slb(hello_slb());
+        assert!(fs.write_control(&mut os, "launch").is_err());
+        assert!(fs.write_control(&mut os, "").is_err());
+    }
+
+    #[test]
+    fn nonce_flows_into_the_session() {
+        let mut os = Os::boot(OsConfig::fast_for_tests(98));
+        let mut fs = FlickerSysfs::new();
+        fs.write_slb(hello_slb());
+        let nonce_hex = "aa".repeat(20);
+        fs.write_control(&mut os, &format!("go {nonce_hex}"))
+            .unwrap();
+        let rec = fs.last_record().unwrap();
+        // The nonce participates in the terminal chain: recompute.
+        let expected = crate::attest::expected_pcr17_final(&crate::attest::ExpectedSession {
+            slb: &hello_slb(),
+            slb_base: crate::session::DEFAULT_SLB_BASE,
+            inputs: &[],
+            outputs: &rec.outputs,
+            nonce: [0xAA; 20],
+            used_hashing_stub: false,
+        });
+        assert_eq!(rec.pcr17_final, expected);
+    }
+
+    #[test]
+    fn bad_nonce_rejected() {
+        let mut os = Os::boot(OsConfig::fast_for_tests(99));
+        let mut fs = FlickerSysfs::new();
+        fs.write_slb(hello_slb());
+        assert!(fs.write_control(&mut os, "go zz").is_err());
+        assert!(fs.write_control(&mut os, "go abcd").is_err(), "too short");
+    }
+
+    #[test]
+    fn inputs_cleared_after_session() {
+        let mut os = Os::boot(OsConfig::fast_for_tests(100));
+        let mut fs = FlickerSysfs::new();
+        fs.write_slb(hello_slb());
+        fs.write_inputs(b"one-shot").unwrap();
+        fs.write_control(&mut os, "go").unwrap();
+        // Second session without rewriting inputs: empty inputs.
+        fs.write_control(&mut os, "go").unwrap();
+        assert_eq!(fs.read_outputs(), b"Hello, world");
+    }
+
+    #[test]
+    fn oversized_inputs_rejected_at_write() {
+        let mut fs = FlickerSysfs::new();
+        assert!(fs.write_inputs(&vec![0u8; 0x1000]).is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! Adversary-model tests (paper §3.1): a malicious OS that controls
+//! ring 0, invokes SKINIT at will, replays ciphertexts, and commands
+//! DMA-capable devices — and malicious PALs trying to escape their region.
+
+use flicker_core::{
+    expected_pcr17_final, run_session, ExpectedSession, FlickerError, FlickerResult, NativePal,
+    PalContext, PalPayload, ReplayProtectedStorage, SessionParams, SlbImage, SlbOptions, Verifier,
+    TERMINATOR,
+};
+use flicker_crypto::rng::XorShiftRng;
+use flicker_crypto::sha1::sha1;
+use flicker_os::{Os, OsConfig};
+use flicker_tpm::{PcrSelection, PrivacyCa, SealedBlob};
+use std::sync::Arc;
+
+fn test_os(seed: u8) -> Os {
+    Os::boot(OsConfig::fast_for_tests(seed))
+}
+
+fn native_slb_with(
+    identity: &[u8],
+    pal: impl NativePal + 'static,
+    options: SlbOptions,
+) -> SlbImage {
+    SlbImage::build(
+        PalPayload::Native {
+            identity: identity.to_vec(),
+            program: Arc::new(pal),
+        },
+        options,
+    )
+    .unwrap()
+}
+
+fn native_slb(identity: &[u8], pal: impl NativePal + 'static) -> SlbImage {
+    native_slb_with(identity, pal, SlbOptions::default())
+}
+
+// ---------------------------------------------------------------------------
+// Attack 1: the OS forges PCR 17 without running the PAL.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn os_cannot_forge_pcr17_by_software_extends() {
+    let mut os = test_os(21);
+    let slb = native_slb(b"victim-pal", EchoPal);
+    let slb_base = flicker_core::DEFAULT_SLB_BASE;
+
+    // The malicious OS knows the PAL's measurement and tries to reproduce
+    // the post-session PCR 17 with plain software extends (no SKINIT).
+    let measurement = slb.measurement(slb_base);
+    os.machine_mut()
+        .tpm_op(|t| t.pcr_extend(17, &measurement))
+        .unwrap();
+    let io = flicker_core::io_measurement(b"", b"forged");
+    os.machine_mut().tpm_op(|t| t.pcr_extend(17, &io)).unwrap();
+    os.machine_mut()
+        .tpm_op(|t| t.pcr_extend(17, &[0u8; 20]))
+        .unwrap();
+    os.machine_mut()
+        .tpm_op(|t| t.pcr_extend(17, &TERMINATOR))
+        .unwrap();
+
+    let forged = os.machine().tpm().pcrs().read(17).unwrap();
+    let honest = expected_pcr17_final(&ExpectedSession {
+        slb: &slb,
+        slb_base,
+        inputs: b"",
+        outputs: b"forged",
+        nonce: [0u8; 20],
+        used_hashing_stub: false,
+    });
+    // The chain roots differ: -1 (reboot) vs 0 (locality-4 reset), and
+    // software cannot perform the reset (tested at the TPM layer), so the
+    // forgery cannot collide.
+    assert_ne!(forged, honest);
+}
+
+#[test]
+fn os_running_evil_pal_yields_detectable_measurement() {
+    // §3.1: "the adversary ... can invoke the SKINIT instruction with
+    // arguments of its choosing". It can — but the measurement pins it.
+    let mut rng = XorShiftRng::new(77);
+    let mut privacy_ca = PrivacyCa::new(512, &mut rng);
+    let mut os = test_os(22);
+    os.provision_attestation(&mut privacy_ca, "victim-host")
+        .unwrap();
+    let cert = os.aik_certificate().unwrap().clone();
+
+    let honest_slb = native_slb(b"honest-pal", EchoPal);
+    let evil_slb = native_slb(b"evil-lookalike", EchoPal);
+
+    let nonce = [0x11; 20];
+    let params = SessionParams {
+        nonce,
+        ..Default::default()
+    };
+    let rec = run_session(&mut os, &evil_slb, &params).unwrap();
+    let quote = os.tqd_quote(nonce, &PcrSelection::pcr17()).unwrap();
+
+    // The OS claims it ran the honest PAL. The verifier is not fooled.
+    let verifier = Verifier::new(privacy_ca.public_key().clone());
+    let claim = ExpectedSession {
+        slb: &honest_slb,
+        slb_base: params.slb_base,
+        inputs: &[],
+        outputs: &rec.outputs,
+        nonce,
+        used_hashing_stub: false,
+    };
+    assert!(matches!(
+        verifier.verify(&cert, &quote, &claim),
+        Err(FlickerError::Attestation(_))
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Attack 2: DMA into the SLB during the session.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dma_into_slb_is_blocked_during_session_only() {
+    // We cannot interleave a device access mid-session through the public
+    // driver (the session call is atomic), so probe the DEV state by
+    // running the same checks the device path uses, inside a PAL.
+    struct DevCheckPal;
+    impl NativePal for DevCheckPal {
+        fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+            // The DEV is machine state a PAL cannot interrogate; this PAL
+            // just proves a session ran between the two DMA probes below.
+            ctx.write_output(b"ran")
+        }
+    }
+    let mut os = test_os(23);
+    let slb = native_slb(b"dev-check", DevCheckPal);
+    let base = flicker_core::DEFAULT_SLB_BASE;
+
+    // Before: DMA to the future SLB address succeeds.
+    os.machine_mut().dma_write(base, &[0u8; 4]).unwrap();
+    run_session(&mut os, &slb, &SessionParams::default()).unwrap();
+    // After: protection released again.
+    os.machine_mut().dma_write(base, &[0u8; 4]).unwrap();
+    // During: covered by the machine-level test
+    // `dev_blocks_dma_during_session_everywhere_in_64k`; here we assert the
+    // session left zero stale protections.
+    assert_eq!(os.machine().dev().active_protections(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Attack 3: malicious PAL scans physical memory.
+// ---------------------------------------------------------------------------
+
+/// Writes a "kernel secret" into physical memory outside the SLB region,
+/// then runs a scanner PAL that tries to read it.
+fn plant_secret(os: &mut Os, addr: u64) {
+    os.machine_mut()
+        .memory_mut()
+        .write(addr, b"KERNEL-SECRET-0123")
+        .unwrap();
+}
+
+#[test]
+fn unprotected_pal_can_read_all_of_memory() {
+    // Without the OS-Protection module the PAL runs ring 0 with flat
+    // segments: it CAN read the kernel secret (the danger §5.1.2 names).
+    let secret_addr = 0x30_0000u64;
+    let prog = flicker_palvm::progs::memory_scanner(secret_addr as u32, 18);
+    let mut os = test_os(24);
+    plant_secret(&mut os, secret_addr);
+    let slb = SlbImage::build(
+        PalPayload::Bytecode(prog),
+        SlbOptions {
+            os_protection: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let rec = run_session(&mut os, &slb, &SessionParams::default()).unwrap();
+    assert_eq!(rec.pal_result, Ok(()));
+    assert_eq!(rec.outputs, b"KERNEL-SECRET-0123");
+}
+
+#[test]
+fn os_protection_contains_the_scanner() {
+    // With the OS-Protection module, the same scanner faults on its first
+    // out-of-segment access and exfiltrates nothing.
+    let secret_addr = 0x30_0000u64;
+    let prog = flicker_palvm::progs::memory_scanner(secret_addr as u32, 18);
+    let mut os = test_os(25);
+    plant_secret(&mut os, secret_addr);
+    let slb = SlbImage::build(PalPayload::Bytecode(prog), SlbOptions::default()).unwrap();
+    let rec = run_session(&mut os, &slb, &SessionParams::default()).unwrap();
+    let err = rec.pal_result.unwrap_err();
+    assert!(err.contains("memory fault"), "{err}");
+    assert!(rec.outputs.is_empty());
+    // And the OS still resumed fine.
+    assert!(os.machine().cpus().bsp().interrupts_enabled);
+}
+
+#[test]
+fn os_protection_still_allows_own_region() {
+    // The contained PAL can use its own memory: scan the input page.
+    let prog = flicker_palvm::progs::memory_scanner(flicker_core::slb::INPUTS_OFFSET as u32, 4);
+    let mut os = test_os(26);
+    let slb = SlbImage::build(PalPayload::Bytecode(prog), SlbOptions::default()).unwrap();
+    let rec = run_session(&mut os, &slb, &SessionParams::with_inputs(b"ping".to_vec())).unwrap();
+    assert_eq!(rec.pal_result, Ok(()));
+    assert_eq!(rec.outputs, b"ping");
+}
+
+// ---------------------------------------------------------------------------
+// Attack 4: secrets must not survive in memory after the session.
+// ---------------------------------------------------------------------------
+
+struct SecretWriterPal;
+impl NativePal for SecretWriterPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        // Stash a secret in PAL memory (inside the SLB region, ring 3,
+        // logical offset in the stack area) and in the input page.
+        ctx.write_logical(61 * 1024, b"IN-MEMORY-SECRET")?;
+        Ok(())
+    }
+}
+
+#[test]
+fn cleanup_erases_pal_memory_before_resume() {
+    let mut os = test_os(27);
+    let slb = native_slb(b"secretive-pal", SecretWriterPal);
+    let params = SessionParams::with_inputs(b"SECRET-INPUT".to_vec());
+    run_session(&mut os, &slb, &params).unwrap();
+
+    // The malicious OS now scans the whole region.
+    let region = os
+        .machine()
+        .memory()
+        .read(params.slb_base, flicker_core::SLB_MAX + 0x1000)
+        .unwrap();
+    assert!(
+        !region
+            .windows(16)
+            .any(|w| w == b"IN-MEMORY-SECRET".as_slice()),
+        "PAL memory must be cleansed"
+    );
+    assert!(
+        !region.windows(12).any(|w| w == b"SECRET-INPUT".as_slice()),
+        "input page must be cleansed"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Attack 5: sealed-storage replay (§4.3.2).
+// ---------------------------------------------------------------------------
+
+const NV_INDEX: u32 = 0x0001_2000;
+
+struct PasswordDbPal {
+    action: DbAction,
+}
+
+enum DbAction {
+    /// Define the NV counter space and seal version 1 of the database.
+    Init { db: Vec<u8> },
+    /// Unseal (input blob), update, reseal.
+    Update { new_db: Vec<u8> },
+    /// Unseal (input blob) and emit the db hash.
+    Read,
+    /// Unseal with a crash between increment and ciphertext output.
+    UpdateCrash { new_db: Vec<u8> },
+}
+
+impl NativePal for PasswordDbPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let store = ReplayProtectedStorage::new(NV_INDEX);
+        match &self.action {
+            DbAction::Init { db } => {
+                store.setup(ctx, &[0u8; 20])?;
+                let blob = store.seal(ctx, db)?;
+                ctx.write_output(blob.as_bytes())
+            }
+            DbAction::Update { new_db } => {
+                let old = SealedBlob::from_bytes(ctx.inputs().to_vec());
+                let _current = store.unseal(ctx, &old)?;
+                let blob = store.seal(ctx, new_db)?;
+                ctx.write_output(blob.as_bytes())
+            }
+            DbAction::Read => {
+                let blob = SealedBlob::from_bytes(ctx.inputs().to_vec());
+                let db = store.unseal(ctx, &blob)?;
+                let digest = ctx.sha1(&db);
+                ctx.write_output(&digest)
+            }
+            DbAction::UpdateCrash { new_db } => {
+                let old = SealedBlob::from_bytes(ctx.inputs().to_vec());
+                let _current = store.unseal(ctx, &old)?;
+                store.seal_then_crash(ctx, new_db)
+            }
+        }
+    }
+}
+
+fn db_session(os: &mut Os, action: DbAction, inputs: Vec<u8>) -> Result<Vec<u8>, String> {
+    let slb = native_slb(b"password-db-pal", PasswordDbPal { action });
+    let rec = run_session(os, &slb, &SessionParams::with_inputs(inputs)).unwrap();
+    rec.pal_result.map(|()| rec.outputs)
+}
+
+#[test]
+fn replay_of_stale_password_database_detected() {
+    let mut os = test_os(28);
+    // v1: database with the old (publicised) password.
+    let v1 = db_session(
+        &mut os,
+        DbAction::Init {
+            db: b"alice:oldpw".to_vec(),
+        },
+        Vec::new(),
+    )
+    .unwrap();
+    // v2: password changed.
+    let v2 = db_session(
+        &mut os,
+        DbAction::Update {
+            new_db: b"alice:newpw".to_vec(),
+        },
+        v1.clone(),
+    )
+    .unwrap();
+
+    // Reading v2 works and shows the new password db.
+    let out = db_session(&mut os, DbAction::Read, v2.clone()).unwrap();
+    assert_eq!(out, sha1(b"alice:newpw"));
+
+    // The malicious OS replays v1: Figure 4's version check fires.
+    let err = db_session(&mut os, DbAction::Read, v1).unwrap_err();
+    assert!(err.contains("replay detected"), "{err}");
+}
+
+#[test]
+fn crash_between_increment_and_output_detected_as_desync() {
+    // The §4.3.2 caveat: a crash after IncrementCounter but before the
+    // ciphertext reaches stable storage leaves the counter ahead of every
+    // existing blob. The system *detects* this (it cannot silently
+    // continue), which is exactly the behaviour the paper calls for.
+    let mut os = test_os(29);
+    let v1 = db_session(
+        &mut os,
+        DbAction::Init {
+            db: b"db-v1".to_vec(),
+        },
+        Vec::new(),
+    )
+    .unwrap();
+    let out = db_session(
+        &mut os,
+        DbAction::UpdateCrash {
+            new_db: b"db-v2-lost".to_vec(),
+        },
+        v1.clone(),
+    )
+    .unwrap();
+    assert!(out.is_empty(), "the new ciphertext never left the session");
+    // All surviving ciphertexts are now stale; reads fail loudly.
+    let err = db_session(&mut os, DbAction::Read, v1).unwrap_err();
+    assert!(err.contains("replay detected"), "{err}");
+}
+
+#[test]
+fn nv_counter_inaccessible_outside_the_pal() {
+    // After the session, PCR 17 holds the terminator chain, so the
+    // PCR-gated NV space refuses the OS.
+    let mut os = test_os(30);
+    db_session(&mut os, DbAction::Init { db: b"db".to_vec() }, Vec::new()).unwrap();
+    let res = os.machine_mut().tpm_op(|t| t.nv_read(NV_INDEX));
+    assert!(
+        matches!(res, Err(flicker_tpm::TpmError::NvPcrMismatch(_))),
+        "{res:?}"
+    );
+}
+
+struct EchoPal;
+impl NativePal for EchoPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let data = ctx.inputs().to_vec();
+        ctx.write_output(&data)
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for Flicker core: SLB builder invariants, the
+//! measurement chain, and a fuzz harness proving that *arbitrary* bytecode
+//! PALs stay contained by the OS-Protection module.
+
+use flicker_core::{
+    expected_pcr17_final, io_measurement, run_session, ExpectedSession, PalPayload, SessionParams,
+    SlbImage, SlbOptions, DEFAULT_SLB_BASE, REGION_LEN,
+};
+use flicker_os::{Os, OsConfig};
+use flicker_palvm::{Insn, Opcode, Program, INSN_LEN};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+struct Nop;
+impl flicker_core::NativePal for Nop {
+    fn run(&self, _: &mut flicker_core::PalContext<'_>) -> flicker_core::FlickerResult<()> {
+        Ok(())
+    }
+}
+
+fn native(identity: Vec<u8>) -> PalPayload {
+    PalPayload::Native {
+        identity,
+        program: Arc::new(Nop),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SLB builder's header is always consistent with the image, and
+    /// the measurement is deterministic and base-sensitive.
+    #[test]
+    fn slb_builder_invariants(
+        identity in proptest::collection::vec(any::<u8>(), 1..2048),
+        base_a in (1u64..256).prop_map(|p| p * 4096),
+        base_b in (1u64..256).prop_map(|p| p * 4096),
+    ) {
+        let slb = SlbImage::build(native(identity.clone()), SlbOptions::default()).unwrap();
+        let len = u16::from_le_bytes(slb.bytes()[0..2].try_into().unwrap()) as usize;
+        prop_assert_eq!(len, slb.len());
+        let entry = u16::from_le_bytes(slb.bytes()[2..4].try_into().unwrap()) as usize;
+        prop_assert!(entry < len);
+        prop_assert_eq!(&slb.bytes()[slb.pal_offset()..], &identity[..]);
+
+        prop_assert_eq!(slb.measurement(base_a), slb.measurement(base_a));
+        if base_a != base_b {
+            prop_assert_ne!(slb.measurement(base_a), slb.measurement(base_b));
+        }
+    }
+
+    /// `io_measurement` separates every (inputs, outputs) framing.
+    #[test]
+    fn io_measurement_framing(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let joined = io_measurement(&a, &b);
+        // Moving one byte across the boundary changes the measurement.
+        if !a.is_empty() {
+            let mut a2 = a.clone();
+            let mut b2 = b.clone();
+            b2.insert(0, a2.pop().unwrap());
+            prop_assert_ne!(io_measurement(&a2, &b2), joined);
+        }
+    }
+
+    /// The expected-PCR17 chain is injective over each component (sampled).
+    #[test]
+    fn chain_component_sensitivity(
+        id_a in proptest::collection::vec(any::<u8>(), 1..64),
+        id_b in proptest::collection::vec(any::<u8>(), 1..64),
+        nonce in any::<[u8; 20]>(),
+    ) {
+        prop_assume!(id_a != id_b);
+        let slb_a = SlbImage::build(native(id_a), SlbOptions::default()).unwrap();
+        let slb_b = SlbImage::build(native(id_b), SlbOptions::default()).unwrap();
+        let mk = |slb: &SlbImage| {
+            expected_pcr17_final(&ExpectedSession {
+                slb,
+                slb_base: DEFAULT_SLB_BASE,
+                inputs: b"i",
+                outputs: b"o",
+                nonce,
+                used_hashing_stub: false,
+            })
+        };
+        prop_assert_ne!(mk(&slb_a), mk(&slb_b));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode fuzzing: arbitrary programs cannot escape the PAL region.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static FUZZ_OS: RefCell<Os> = RefCell::new(Os::boot(OsConfig::fast_for_tests(231)));
+}
+
+/// Strategy for one arbitrary-but-decodable instruction.
+fn arb_insn(max_pc: u32) -> impl Strategy<Value = Insn> {
+    (0u8..=24, 0u8..16, 0u8..16, 0u8..16, any::<u32>()).prop_map(move |(op, rd, rs1, rs2, imm)| {
+        let op = Opcode::from_u8(op).expect("valid opcode range");
+        // Keep branch targets inside the program so runs are not all
+        // instant PcOutOfRange faults.
+        let imm = match op {
+            Opcode::Jmp | Opcode::Jz | Opcode::Jnz | Opcode::Jlt | Opcode::Call => imm % max_pc,
+            _ => imm,
+        };
+        Insn {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        }
+    })
+}
+
+fn encode(insns: &[Insn]) -> Program {
+    let mut code = Vec::with_capacity(insns.len() * INSN_LEN);
+    for i in insns {
+        code.extend_from_slice(&i.encode());
+    }
+    Program {
+        code,
+        labels: BTreeMap::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fuzz: ANY bytecode program, run under the OS-Protection module,
+    /// leaves all memory outside the OS-allocated region untouched, and
+    /// the platform always comes back (interrupts on, no active launch,
+    /// no leaked DEV protections).
+    #[test]
+    fn arbitrary_bytecode_is_contained(
+        insns in proptest::collection::vec(arb_insn(64), 1..64),
+        inputs in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        FUZZ_OS.with(|cell| {
+            let mut os = cell.borrow_mut();
+            let prog = encode(&insns);
+            let slb = SlbImage::build(
+                PalPayload::Bytecode(prog),
+                SlbOptions {
+                    fuel: Some(200_000),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+
+            // Plant sentinels just outside the allocated region.
+            let before = DEFAULT_SLB_BASE - 16;
+            let after = DEFAULT_SLB_BASE + REGION_LEN as u64;
+            os.machine_mut().memory_mut().write(before, b"BEFORE-SENTINEL!").unwrap();
+            os.machine_mut().memory_mut().write(after, b"AFTER-SENTINEL!!").unwrap();
+            let kernel_snapshot = {
+                let (kbase, klen) = os.kernel_region();
+                os.machine_mut().memory().read(kbase, klen.min(4096)).unwrap().to_vec()
+            };
+
+            // Run; the PAL may fault or halt — both are fine.
+            let rec = run_session(&mut os, &slb, &SessionParams::with_inputs(inputs)).unwrap();
+            let _ = rec.pal_result;
+
+            // Containment.
+            prop_assert_eq!(
+                os.machine_mut().memory().read(before, 16).unwrap(),
+                b"BEFORE-SENTINEL!"
+            );
+            prop_assert_eq!(
+                os.machine_mut().memory().read(after, 16).unwrap(),
+                b"AFTER-SENTINEL!!"
+            );
+            let (kbase, _) = os.kernel_region();
+            prop_assert_eq!(
+                os.machine_mut().memory().read(kbase, kernel_snapshot.len()).unwrap(),
+                &kernel_snapshot[..]
+            );
+
+            // Platform restored.
+            prop_assert!(os.machine().cpus().bsp().interrupts_enabled);
+            prop_assert!(os.machine().active_skinit().is_none());
+            prop_assert_eq!(os.machine().dev().active_protections(), 0);
+            Ok(())
+        })?;
+    }
+}

@@ -1,0 +1,384 @@
+//! AES-128 (FIPS 197) with ECB, CBC (PKCS#7 padding), and CTR modes.
+//!
+//! The paper's Crypto module provides AES for the common "seal a symmetric
+//! key in the TPM, bulk-encrypt with it on the CPU" pattern described in
+//! §2.2. This implementation uses the straightforward table-free S-box
+//! formulation; the round transforms operate on a 16-byte column-major
+//! state exactly as FIPS 197 describes them.
+
+use crate::CryptoError;
+
+/// AES block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+/// AES-128 key size in bytes.
+pub const KEY_LEN: usize = 16;
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An AES-128 key schedule usable for block encryption and decryption.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for t in temp.iter_mut() {
+                    *t = SBOX[*t as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for s in state.iter_mut() {
+            *s = SBOX[*s as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for s in state.iter_mut() {
+            *s = INV_SBOX[*s as usize];
+        }
+    }
+
+    // State is stored column-major: state[4*c + r] is row r, column c.
+    fn shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+            for c in 0..4 {
+                state[4 * c + r] = row[(c + r) % 4];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+            for c in 0..4 {
+                state[4 * c + r] = row[(c + 4 - r) % 4];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+            state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] =
+                gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+            state[4 * c + 1] =
+                gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+            state[4 * c + 2] =
+                gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+            state[4 * c + 3] =
+                gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+        }
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Decrypts a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        Self::add_round_key(block, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            Self::inv_shift_rows(block);
+            Self::inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        Self::inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypts `plaintext` in CBC mode with PKCS#7 padding.
+    pub fn cbc_encrypt(&self, iv: &[u8; BLOCK_LEN], plaintext: &[u8]) -> Vec<u8> {
+        let pad = BLOCK_LEN - (plaintext.len() % BLOCK_LEN);
+        let mut data = plaintext.to_vec();
+        data.extend(std::iter::repeat_n(pad as u8, pad));
+
+        let mut out = Vec::with_capacity(data.len());
+        let mut prev = *iv;
+        for chunk in data.chunks_exact(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            for (i, (c, p)) in chunk.iter().zip(prev.iter()).enumerate() {
+                block[i] = c ^ p;
+            }
+            self.encrypt_block(&mut block);
+            out.extend_from_slice(&block);
+            prev = block;
+        }
+        out
+    }
+
+    /// Decrypts CBC ciphertext and strips PKCS#7 padding.
+    ///
+    /// Returns [`CryptoError::BadPadding`] on malformed input.
+    pub fn cbc_decrypt(
+        &self,
+        iv: &[u8; BLOCK_LEN],
+        ciphertext: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_LEN) {
+            return Err(CryptoError::InvalidLength {
+                expected: BLOCK_LEN,
+                actual: ciphertext.len() % BLOCK_LEN,
+            });
+        }
+        let mut out = Vec::with_capacity(ciphertext.len());
+        let mut prev = *iv;
+        for chunk in ciphertext.chunks_exact(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(chunk);
+            let saved = block;
+            self.decrypt_block(&mut block);
+            for (b, p) in block.iter_mut().zip(prev.iter()) {
+                *b ^= p;
+            }
+            out.extend_from_slice(&block);
+            prev = saved;
+        }
+        let pad = *out.last().expect("non-empty") as usize;
+        if pad == 0 || pad > BLOCK_LEN || out.len() < pad {
+            return Err(CryptoError::BadPadding);
+        }
+        if out[out.len() - pad..].iter().any(|&b| b as usize != pad) {
+            return Err(CryptoError::BadPadding);
+        }
+        out.truncate(out.len() - pad);
+        Ok(out)
+    }
+
+    /// Applies CTR-mode keystream to `buf` in place (encrypt == decrypt).
+    ///
+    /// The 16-byte counter block is `nonce || big-endian u64 counter`.
+    pub fn ctr_apply(&self, nonce: &[u8; 8], mut counter: u64, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            block[..8].copy_from_slice(nonce);
+            block[8..].copy_from_slice(&counter.to_be_bytes());
+            self.encrypt_block(&mut block);
+            for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key: [u8; 16] = hex::decode("2b7e151628aed2a6abf7158809cf4f3c")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let mut block: [u8; 16] = hex::decode("3243f6a8885a308d313198a2e0370734")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let aes = Aes128::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex::encode(&block), "3925841d02dc09fbdc118597196a0b32");
+        aes.decrypt_block(&mut block);
+        assert_eq!(hex::encode(&block), "3243f6a8885a308d313198a2e0370734");
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = hex::decode("000102030405060708090a0b0c0d0e0f")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let mut block: [u8; 16] = hex::decode("00112233445566778899aabbccddeeff")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        Aes128::new(&key).encrypt_block(&mut block);
+        assert_eq!(hex::encode(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    }
+
+    #[test]
+    fn nist_sp800_38a_cbc() {
+        let key: [u8; 16] = hex::decode("2b7e151628aed2a6abf7158809cf4f3c")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let iv: [u8; 16] = hex::decode("000102030405060708090a0b0c0d0e0f")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let pt = hex::decode("6bc1bee22e409f96e93d7e117393172a").unwrap();
+        let ct = Aes128::new(&key).cbc_encrypt(&iv, &pt);
+        // First block must match the SP 800-38A vector; the second block is
+        // the encrypted PKCS#7 padding our API appends.
+        assert_eq!(hex::encode(&ct[..16]), "7649abac8119b246cee98e9b12e9197d");
+        assert_eq!(ct.len(), 32);
+        let back = Aes128::new(&key).cbc_decrypt(&iv, &ct).unwrap();
+        assert_eq!(back, pt);
+    }
+
+    #[test]
+    fn nist_sp800_38a_ctr() {
+        let key: [u8; 16] = hex::decode("2b7e151628aed2a6abf7158809cf4f3c")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        // SP 800-38A CTR vector uses counter block f0f1...feff.
+        let nonce: [u8; 8] = hex::decode("f0f1f2f3f4f5f6f7").unwrap().try_into().unwrap();
+        let counter =
+            u64::from_be_bytes(hex::decode("f8f9fafbfcfdfeff").unwrap().try_into().unwrap());
+        let mut buf = hex::decode("6bc1bee22e409f96e93d7e117393172a").unwrap();
+        Aes128::new(&key).ctr_apply(&nonce, counter, &mut buf);
+        assert_eq!(hex::encode(&buf), "874d6191b620e3261bef6864990db6ce");
+    }
+
+    #[test]
+    fn cbc_round_trips_all_lengths() {
+        let key = [7u8; 16];
+        let iv = [9u8; 16];
+        let aes = Aes128::new(&key);
+        for len in 0..64 {
+            let pt: Vec<u8> = (0..len as u8).collect();
+            let ct = aes.cbc_encrypt(&iv, &pt);
+            assert_eq!(ct.len() % BLOCK_LEN, 0);
+            assert_eq!(aes.cbc_decrypt(&iv, &ct).unwrap(), pt, "len={len}");
+        }
+    }
+
+    #[test]
+    fn cbc_rejects_tampered_padding() {
+        let aes = Aes128::new(&[1u8; 16]);
+        let iv = [0u8; 16];
+        let mut ct = aes.cbc_encrypt(&iv, b"hello");
+        let n = ct.len();
+        ct[n - 1] ^= 0xff;
+        // Tampering with the last block corrupts padding with high probability.
+        assert!(aes.cbc_decrypt(&iv, &ct).is_err());
+    }
+
+    #[test]
+    fn cbc_rejects_partial_block() {
+        let aes = Aes128::new(&[1u8; 16]);
+        assert!(aes.cbc_decrypt(&[0u8; 16], &[0u8; 17]).is_err());
+        assert!(aes.cbc_decrypt(&[0u8; 16], &[]).is_err());
+    }
+
+    #[test]
+    fn ctr_round_trip() {
+        let aes = Aes128::new(&[3u8; 16]);
+        let mut buf = b"counter mode state protection for flicker".to_vec();
+        let orig = buf.clone();
+        aes.ctr_apply(&[1u8; 8], 0, &mut buf);
+        assert_ne!(buf, orig);
+        aes.ctr_apply(&[1u8; 8], 0, &mut buf);
+        assert_eq!(buf, orig);
+    }
+}

@@ -1,0 +1,64 @@
+//! Constant-time comparison helpers.
+//!
+//! Secret-dependent early exits in comparison loops leak timing information;
+//! the PAL code paths that compare MACs, password hashes, and unsealed
+//! secrets use these helpers instead of `==`.
+
+/// Compares two byte slices in time independent of their contents.
+///
+/// Returns `false` immediately if the lengths differ (lengths are public in
+/// every protocol in this workspace).
+///
+/// # Examples
+///
+/// ```
+/// assert!(flicker_crypto::ct_eq(b"abc", b"abc"));
+/// assert!(!flicker_crypto::ct_eq(b"abc", b"abd"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Selects `a` if `choice` is true, else `b`, without a secret-dependent
+/// branch on the byte values.
+pub fn ct_select(choice: bool, a: u8, b: u8) -> u8 {
+    let mask = (choice as u8).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"flicker", b"flicker"));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"flicker", b"flickes"));
+        assert!(!ct_eq(b"flicker", b"flicke"));
+        assert!(!ct_eq(b"a", b""));
+    }
+
+    #[test]
+    fn first_and_last_byte_differences_detected() {
+        assert!(!ct_eq(b"xbc", b"abc"));
+        assert!(!ct_eq(b"abx", b"abc"));
+    }
+
+    #[test]
+    fn select() {
+        assert_eq!(ct_select(true, 0xaa, 0x55), 0xaa);
+        assert_eq!(ct_select(false, 0xaa, 0x55), 0x55);
+    }
+}

@@ -1,0 +1,25 @@
+//! Common interface implemented by every hash function in this crate.
+
+/// A streaming cryptographic hash function.
+///
+/// Implementations are value types: clone a partially-updated hasher to fork
+/// the computation (used by [`crate::hmac`] and the TPM's PCR logic).
+pub trait Digest: Default + Clone {
+    /// Digest output length in bytes.
+    const OUTPUT_LEN: usize;
+    /// Internal compression-function block length in bytes (needed by HMAC).
+    const BLOCK_LEN: usize;
+
+    /// Absorbs `data` into the hash state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the hasher and returns the digest (`OUTPUT_LEN` bytes).
+    fn finalize(self) -> Vec<u8>;
+
+    /// Convenience one-shot helper: hash `data` in a single call.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::default();
+        h.update(data);
+        h.finalize()
+    }
+}

@@ -1,0 +1,164 @@
+//! HMAC-DRBG (NIST SP 800-90A) over SHA-256.
+//!
+//! The software TPM's `GetRandom` (paper §2.2: "The TPM includes a random
+//! number generator that can be used for key generation") is backed by this
+//! generator, seeded from the simulated platform's entropy at manufacture
+//! time. Determinism under a fixed seed is a feature here: it makes every
+//! experiment in the evaluation harness reproducible bit-for-bit.
+
+use crate::hmac::Hmac;
+use crate::rng::CryptoRng;
+use crate::sha256::Sha256;
+
+const SEED_INTERVAL: u64 = 1 << 24;
+
+/// HMAC-DRBG instance (SHA-256 variant).
+///
+/// # Examples
+///
+/// ```
+/// use flicker_crypto::{HmacDrbg, CryptoRng};
+/// let mut a = HmacDrbg::new(b"seed", b"nonce");
+/// let mut b = HmacDrbg::new(b"seed", b"nonce");
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+pub struct HmacDrbg {
+    k: Vec<u8>,
+    v: Vec<u8>,
+    reseed_counter: u64,
+}
+
+impl HmacDrbg {
+    /// Instantiates the DRBG from `entropy` and a `nonce` (SP 800-90A §10.1.2.3).
+    pub fn new(entropy: &[u8], nonce: &[u8]) -> Self {
+        let mut drbg = HmacDrbg {
+            k: vec![0u8; 32],
+            v: vec![1u8; 32],
+            reseed_counter: 1,
+        };
+        let mut seed = entropy.to_vec();
+        seed.extend_from_slice(nonce);
+        drbg.update(Some(&seed));
+        drbg
+    }
+
+    /// Mixes fresh entropy into the state (SP 800-90A reseed).
+    pub fn reseed(&mut self, entropy: &[u8]) {
+        self.update(Some(entropy));
+        self.reseed_counter = 1;
+    }
+
+    fn update(&mut self, provided: Option<&[u8]>) {
+        let mut h = Hmac::<Sha256>::new(&self.k);
+        h.update(&self.v);
+        h.update(&[0x00]);
+        if let Some(data) = provided {
+            h.update(data);
+        }
+        self.k = h.finalize();
+        self.v = Hmac::<Sha256>::mac(&self.k, &self.v);
+
+        if let Some(data) = provided {
+            let mut h = Hmac::<Sha256>::new(&self.k);
+            h.update(&self.v);
+            h.update(&[0x01]);
+            h.update(data);
+            self.k = h.finalize();
+            self.v = Hmac::<Sha256>::mac(&self.k, &self.v);
+        }
+    }
+
+    /// Generates `out.len()` pseudorandom bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator exceeds the SP 800-90A reseed interval
+    /// without a reseed (2^24 generate calls — unreachable in this
+    /// workspace's workloads, and a hard failure is safer than silently
+    /// degrading).
+    pub fn generate(&mut self, out: &mut [u8]) {
+        assert!(
+            self.reseed_counter <= SEED_INTERVAL,
+            "HMAC-DRBG requires reseed"
+        );
+        let mut offset = 0;
+        while offset < out.len() {
+            self.v = Hmac::<Sha256>::mac(&self.k, &self.v);
+            let take = (out.len() - offset).min(self.v.len());
+            out[offset..offset + take].copy_from_slice(&self.v[..take]);
+            offset += take;
+        }
+        self.update(None);
+        self.reseed_counter += 1;
+    }
+}
+
+impl CryptoRng for HmacDrbg {
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.generate(dest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    /// NIST CAVP HMAC-DRBG SHA-256 test vector (no personalization, no
+    /// additional input; `pr=false`), from the published DRBG test files.
+    #[test]
+    fn cavp_vector() {
+        let entropy =
+            hex::decode("ca851911349384bffe89de1cbdc46e6831e44d34a4fb935ee285dd14b71a7488")
+                .unwrap();
+        let nonce = hex::decode("659ba96c601dc69fc902940805ec0ca8").unwrap();
+        let mut drbg = HmacDrbg::new(&entropy, &nonce);
+        let mut out = vec![0u8; 128];
+        drbg.generate(&mut out);
+        drbg.generate(&mut out);
+        assert_eq!(
+            hex::encode(&out),
+            "e528e9abf2dece54d47c7e75e5fe302149f817ea9fb4bee6f4199697d04d5b89\
+             d54fbb978a15b5c443c9ec21036d2460b6f73ebad0dc2aba6e624abf07745bc1\
+             07694bb7547bb0995f70de25d6b29e2d3011bb19d27676c07162c8b5ccde0668\
+             961df86803482cb37ed6d5c0bb8d50cf1f50d476aa0458bdaba806f48be9dcb8"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut a = HmacDrbg::new(b"entropy", b"n");
+        let mut b = HmacDrbg::new(b"entropy", b"n");
+        let mut oa = [0u8; 64];
+        let mut ob = [0u8; 64];
+        a.generate(&mut oa);
+        b.generate(&mut ob);
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn different_nonce_diverges() {
+        let mut a = HmacDrbg::new(b"entropy", b"n1");
+        let mut b = HmacDrbg::new(b"entropy", b"n2");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn reseed_changes_stream() {
+        let mut a = HmacDrbg::new(b"entropy", b"n");
+        let mut b = HmacDrbg::new(b"entropy", b"n");
+        b.reseed(b"more entropy");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn odd_length_requests() {
+        let mut drbg = HmacDrbg::new(b"e", b"n");
+        let mut out = vec![0u8; 33];
+        drbg.generate(&mut out);
+        let mut out2 = vec![0u8; 1];
+        drbg.generate(&mut out2);
+        // Just exercising the partial-block copy path; values are arbitrary.
+        assert_eq!(out.len(), 33);
+    }
+}

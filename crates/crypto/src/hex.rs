@@ -1,0 +1,78 @@
+//! Hexadecimal encoding and decoding.
+
+use crate::CryptoError;
+
+/// Encodes `bytes` as a lowercase hexadecimal string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flicker_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (upper or lower case) into bytes.
+///
+/// Returns [`CryptoError::Encoding`] on odd length or non-hex characters.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flicker_crypto::hex::decode("DEad").unwrap(), vec![0xde, 0xad]);
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(CryptoError::Encoding("odd-length hex string"));
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or(CryptoError::Encoding("non-hex character"))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or(CryptoError::Encoding("non-hex character"))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_empty() {
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn encode_all_byte_values_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let s = encode(&bytes);
+        assert_eq!(decode(&s).unwrap(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_odd_length() {
+        assert!(matches!(decode("abc"), Err(CryptoError::Encoding(_))));
+    }
+
+    #[test]
+    fn decode_rejects_non_hex() {
+        assert!(matches!(decode("zz"), Err(CryptoError::Encoding(_))));
+    }
+
+    #[test]
+    fn decode_mixed_case() {
+        assert_eq!(decode("aAbB").unwrap(), vec![0xaa, 0xbb]);
+    }
+}

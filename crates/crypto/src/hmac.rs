@@ -1,0 +1,154 @@
+//! HMAC (RFC 2104), generic over any [`Digest`] in this crate.
+//!
+//! The distributed-computing application (paper §6.2) MACs its
+//! integrity-protected state with HMAC under a TPM-sealed symmetric key;
+//! the TPM's OIAP/OSAP authorization sessions (paper §5.1.2) also compute
+//! HMAC-SHA-1 over command parameters.
+
+use crate::digest::Digest;
+
+/// Streaming HMAC instance over hash `D`.
+///
+/// # Examples
+///
+/// ```
+/// use flicker_crypto::{hmac::Hmac, sha1::Sha1};
+/// let tag = Hmac::<Sha1>::mac(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(
+///     flicker_crypto::hex::encode(&tag),
+///     "de7c9b85b8b78aa6bc8a7a36f70a90701c9db4d9"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    outer: D,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Creates an HMAC instance keyed with `key`.
+    ///
+    /// Keys longer than the hash block length are first hashed, per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut padded = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let kh = D::digest(key);
+            padded[..kh.len()].copy_from_slice(&kh);
+        } else {
+            padded[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner = D::default();
+        let ipad: Vec<u8> = padded.iter().map(|b| b ^ 0x36).collect();
+        inner.update(&ipad);
+
+        let mut outer = D::default();
+        let opad: Vec<u8> = padded.iter().map(|b| b ^ 0x5c).collect();
+        outer.update(&opad);
+
+        Hmac { inner, outer }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the authentication tag (`D::OUTPUT_LEN` bytes).
+    pub fn finalize(mut self) -> Vec<u8> {
+        let inner_hash = self.inner.finalize();
+        self.outer.update(&inner_hash);
+        self.outer.finalize()
+    }
+
+    /// One-shot HMAC computation.
+    pub fn mac(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Verifies `tag` against the HMAC of `data` in constant time.
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        crate::ct_eq(&Self::mac(key, data), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use crate::md5::Md5;
+    use crate::sha1::Sha1;
+    use crate::sha256::Sha256;
+
+    #[test]
+    fn rfc2202_sha1_case1() {
+        let key = [0x0b; 20];
+        let tag = Hmac::<Sha1>::mac(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_case2() {
+        let tag = Hmac::<Sha1>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&tag),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_long_key() {
+        // Case 6: 80-byte key exercises the hash-the-key path.
+        let key = [0xaa; 80];
+        let tag = Hmac::<Sha1>::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex::encode(&tag),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    #[test]
+    fn rfc2202_md5_case1() {
+        let key = [0x0b; 16];
+        let tag = Hmac::<Md5>::mac(&key, b"Hi There");
+        assert_eq!(hex::encode(&tag), "9294727a3638bb1c13f48ef8158bfc9d");
+    }
+
+    #[test]
+    fn rfc4231_sha256_case2() {
+        let tag = Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let key = b"0123456789abcdef";
+        let data = b"some state to protect across flicker sessions";
+        let mut h = Hmac::<Sha1>::new(key);
+        h.update(&data[..10]);
+        h.update(&data[10..]);
+        assert_eq!(h.finalize(), Hmac::<Sha1>::mac(key, data));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = Hmac::<Sha1>::mac(b"k", b"m");
+        assert!(Hmac::<Sha1>::verify(b"k", b"m", &tag));
+        assert!(!Hmac::<Sha1>::verify(b"k", b"m2", &tag));
+        assert!(!Hmac::<Sha1>::verify(b"k2", b"m", &tag));
+        let mut bad = tag.clone();
+        bad[0] ^= 1;
+        assert!(!Hmac::<Sha1>::verify(b"k", b"m", &bad));
+    }
+}

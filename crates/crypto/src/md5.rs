@@ -1,0 +1,201 @@
+//! MD5 (RFC 1321).
+//!
+//! Present for one reason: the SSH password application (paper §6.3.1)
+//! compares against `/etc/passwd` entries produced by `md5crypt`, which is
+//! built on MD5. MD5 is cryptographically broken and must not be used for
+//! anything but that compatibility path.
+
+use crate::digest::Digest;
+
+/// Length in bytes of an MD5 digest.
+pub const OUTPUT_LEN: usize = 16;
+/// MD5 compression block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// Streaming MD5 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use flicker_crypto::digest::Digest;
+/// let d = flicker_crypto::md5::Md5::digest(b"abc");
+/// assert_eq!(flicker_crypto::hex::encode(&d), "900150983cd24fb0d6963f7d28e17f72");
+/// ```
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    buffer: [u8; BLOCK_LEN],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Md5 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            buffer: [0; BLOCK_LEN],
+            buffered: 0,
+            total_len: 0,
+        }
+    }
+}
+
+impl Md5 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i {
+                0..=15 => ((b & c) | ((!b) & d), i),
+                16..=31 => ((d & b) | ((!d) & c), (5 * i + 1) % 16),
+                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+impl Digest for Md5 {
+    const OUTPUT_LEN: usize = OUTPUT_LEN;
+    const BLOCK_LEN: usize = BLOCK_LEN;
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (BLOCK_LEN - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        if data.is_empty() {
+            // Everything was absorbed into the partial buffer; do not let
+            // the remainder logic below clobber `buffered`.
+            return;
+        }
+        let mut chunks = data.chunks_exact(BLOCK_LEN);
+        for chunk in &mut chunks {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(chunk);
+            self.compress(&block);
+        }
+        let rest = chunks.remainder();
+        self.buffer[..rest.len()].copy_from_slice(rest);
+        self.buffered = rest.len();
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != BLOCK_LEN - 8 {
+            self.update(&[0x00]);
+        }
+        // MD5 appends the bit length little-endian, unlike the SHA family.
+        self.update(&bit_len.to_le_bytes());
+        let mut out = Vec::with_capacity(OUTPUT_LEN);
+        for word in self.state {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot MD5 returning a fixed-size array.
+pub fn md5(data: &[u8]) -> [u8; OUTPUT_LEN] {
+    let v = Md5::digest(data);
+    let mut out = [0u8; OUTPUT_LEN];
+    out.copy_from_slice(&v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn hexdigest(data: &[u8]) -> String {
+        hex::encode(&md5(data))
+    }
+
+    #[test]
+    fn rfc1321_vectors() {
+        assert_eq!(hexdigest(b""), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(hexdigest(b"a"), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(hexdigest(b"abc"), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(
+            hexdigest(b"message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
+        assert_eq!(
+            hexdigest(b"abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            hexdigest(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            hexdigest(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            ),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..200u32).map(|i| (i * 3 % 256) as u8).collect();
+        for split in [0, 1, 63, 64, 65, 199] {
+            let mut h = Md5::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Md5::digest(&data), "split={split}");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The FreeBSD/Linux `md5crypt` password hash (`$1$` scheme).
+//!
+//! The paper's SSH PAL "computes the hash of the user's password and salt"
+//! for comparison against `/etc/passwd` (§6.3.1, Figure 7: `hash ←
+//! md5crypt(salt, password)`). This is Poul-Henning Kamp's original
+//! algorithm: a deliberately contorted sequence of MD5 invocations plus a
+//! 1000-round stretching loop.
+
+use crate::digest::Digest;
+use crate::md5::Md5;
+
+const ITOA64: &[u8; 64] = b"./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+
+fn to64(mut v: u32, n: usize) -> String {
+    let mut s = String::with_capacity(n);
+    for _ in 0..n {
+        s.push(ITOA64[(v & 0x3f) as usize] as char);
+        v >>= 6;
+    }
+    s
+}
+
+/// Computes `md5crypt(password, salt)` and returns the full crypt string
+/// `"$1$<salt>$<hash>"`.
+///
+/// `salt` is truncated to 8 bytes and must not contain `'$'` (characters
+/// from the first `'$'` onward are ignored, matching the C implementation).
+///
+/// # Examples
+///
+/// ```
+/// let h = flicker_crypto::md5crypt::md5crypt(b"password", b"saltsalt");
+/// assert_eq!(h, "$1$saltsalt$qjXMvbEw8oaL.CzflDtaK/");
+/// ```
+pub fn md5crypt(password: &[u8], salt: &[u8]) -> String {
+    let salt: &[u8] = {
+        let end = salt
+            .iter()
+            .position(|&b| b == b'$')
+            .unwrap_or(salt.len())
+            .min(8);
+        &salt[..end]
+    };
+
+    // Outer context: password, magic, salt.
+    let mut ctx = Md5::new();
+    ctx.update(password);
+    ctx.update(b"$1$");
+    ctx.update(salt);
+
+    // Alternate sum: MD5(password || salt || password).
+    let mut alt = Md5::new();
+    alt.update(password);
+    alt.update(salt);
+    alt.update(password);
+    let alt_sum = alt.finalize();
+
+    let mut len = password.len();
+    while len > 0 {
+        let take = len.min(16);
+        ctx.update(&alt_sum[..take]);
+        len -= take;
+    }
+
+    // The famous bit-twiddling loop on the password length.
+    let mut len = password.len();
+    while len > 0 {
+        if len & 1 != 0 {
+            ctx.update(&[0u8]);
+        } else {
+            ctx.update(&password[..1]);
+        }
+        len >>= 1;
+    }
+
+    let mut sum = ctx.finalize();
+
+    // 1000 rounds of stretching.
+    for round in 0..1000 {
+        let mut c = Md5::new();
+        if round & 1 != 0 {
+            c.update(password);
+        } else {
+            c.update(&sum);
+        }
+        if round % 3 != 0 {
+            c.update(salt);
+        }
+        if round % 7 != 0 {
+            c.update(password);
+        }
+        if round & 1 != 0 {
+            c.update(&sum);
+        } else {
+            c.update(password);
+        }
+        sum = c.finalize();
+    }
+
+    // Peculiar base64-ish output ordering.
+    let mut out = format!("$1${}$", String::from_utf8_lossy(salt));
+    let order = [
+        (0usize, 6usize, 12usize),
+        (1, 7, 13),
+        (2, 8, 14),
+        (3, 9, 15),
+        (4, 10, 5),
+    ];
+    for (a, b, c) in order {
+        let v = ((sum[a] as u32) << 16) | ((sum[b] as u32) << 8) | sum[c] as u32;
+        out.push_str(&to64(v, 4));
+    }
+    out.push_str(&to64(sum[11] as u32, 2));
+    out
+}
+
+/// Verifies a password against a full `$1$` crypt string in constant time
+/// over the hash comparison.
+pub fn verify(password: &[u8], crypt_string: &str) -> bool {
+    let mut parts = crypt_string.splitn(4, '$');
+    let (Some(""), Some("1"), Some(salt), Some(_)) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return false;
+    };
+    let recomputed = md5crypt(password, salt.as_bytes());
+    crate::ct_eq(recomputed.as_bytes(), crypt_string.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference values produced with `openssl passwd -1 -salt <salt> <pw>`.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(
+            md5crypt(b"password", b"saltsalt"),
+            "$1$saltsalt$qjXMvbEw8oaL.CzflDtaK/"
+        );
+        assert_eq!(md5crypt(b"", b"salt"), "$1$salt$UsdFqFVB.FsuinRDK5eE..");
+        assert_eq!(
+            md5crypt(b"a", b"12345678"),
+            "$1$12345678$3Uz6TyHSiGZR0yDMOX3jO0"
+        );
+    }
+
+    #[test]
+    fn salt_truncated_to_8() {
+        assert_eq!(md5crypt(b"pw", b"0123456789"), md5crypt(b"pw", b"01234567"));
+    }
+
+    #[test]
+    fn salt_stops_at_dollar() {
+        assert_eq!(md5crypt(b"pw", b"abc$def"), md5crypt(b"pw", b"abc"));
+    }
+
+    #[test]
+    fn verify_accepts_correct_password() {
+        let h = md5crypt(b"hunter2", b"fl1ck3r");
+        assert!(verify(b"hunter2", &h));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_password() {
+        let h = md5crypt(b"hunter2", b"fl1ck3r");
+        assert!(!verify(b"hunter3", &h));
+        assert!(!verify(b"", &h));
+    }
+
+    #[test]
+    fn verify_rejects_malformed_strings() {
+        assert!(!verify(b"pw", ""));
+        assert!(!verify(b"pw", "$2$salt$hash"));
+        assert!(!verify(b"pw", "plainhash"));
+    }
+
+    #[test]
+    fn different_salts_different_hashes() {
+        assert_ne!(md5crypt(b"pw", b"saltA"), md5crypt(b"pw", b"saltB"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Montgomery-form modular multiplication and exponentiation.
+//!
+//! RSA-1024/2048 exponentiation with plain multiply-then-divide reduction
+//! spends most of its time in Knuth division. Montgomery's method (CIOS
+//! variant — Koç, Acar, Kaliski, "Analyzing and Comparing Montgomery
+//! Multiplication Algorithms") replaces every reduction with shifts and
+//! adds. [`crate::mpint::Mpint::mod_exp`] switches to this path for odd
+//! moduli (every RSA modulus and prime is odd); the `mont_vs_division`
+//! Criterion bench quantifies the win.
+
+use crate::mpint::Mpint;
+
+/// Precomputed context for arithmetic modulo an odd `n`.
+pub struct MontgomeryCtx {
+    /// The modulus (odd, > 1), as little-endian limbs.
+    n: Vec<u64>,
+    /// `-n⁻¹ mod 2⁶⁴`.
+    n_prime: u64,
+    /// `R² mod n` where `R = 2^(64·len)`, for conversion into Montgomery
+    /// form.
+    r2: Vec<u64>,
+}
+
+/// Computes `-n⁻¹ mod 2⁶⁴` for odd `n` via Newton iteration (5 rounds
+/// double the precision each time: 2 → 4 → 8 → 16 → 32 → 64 bits).
+fn neg_inv_u64(n0: u64) -> u64 {
+    debug_assert!(n0 & 1 == 1);
+    let mut inv: u64 = n0; // correct mod 2^3 for odd n0 (n*n ≡ 1 mod 8)
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(n0.wrapping_mul(inv), 1);
+    inv.wrapping_neg()
+}
+
+/// Compares little-endian limb slices of equal length.
+fn geq(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for odd `modulus > 1`; `None` for even or trivial
+    /// moduli.
+    pub fn new(modulus: &Mpint) -> Option<MontgomeryCtx> {
+        if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
+            return None;
+        }
+        let n = modulus.limbs_le();
+        let n_prime = neg_inv_u64(n[0]);
+        // R² mod n by repeated doubling: start from R mod n (= 2^(64k) mod
+        // n) and double 64k times.
+        let k = n.len();
+        let r_mod_n = Mpint::one().shl(64 * k).rem(modulus);
+        let mut r2 = r_mod_n;
+        for _ in 0..64 * k {
+            r2 = r2.add(&r2).rem(modulus);
+        }
+        Some(MontgomeryCtx {
+            n,
+            n_prime,
+            r2: Self::pad(&r2, k),
+        })
+    }
+
+    fn pad(v: &Mpint, k: usize) -> Vec<u64> {
+        let mut limbs = v.limbs_le();
+        limbs.resize(k, 0);
+        limbs
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R⁻¹ mod n` for
+    /// equal-length Montgomery-form inputs.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.n.len();
+        let mut t = vec![0u64; k + 2];
+        for &ai in a.iter().take(k) {
+            // t += ai * b
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n_prime);
+            let mut carry: u128 = (t[0] as u128 + m as u128 * self.n[0] as u128) >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + ((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        t.truncate(k + 1);
+        // Conditional final subtraction.
+        if t[k] != 0 || geq(&t[..k], &self.n) {
+            // t may exceed n by at most n (t < 2n), so one subtraction
+            // suffices; handle the t[k]=1 overflow limb via wrapping.
+            let mut borrow = 0u64;
+            #[expect(clippy::needless_range_loop, reason = "two-array lockstep")]
+            for i in 0..k {
+                let (d1, b1) = t[i].overflowing_sub(self.n[i]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                t[i] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            t[k] = t[k].wrapping_sub(borrow);
+            debug_assert_eq!(t[k], 0);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Modular exponentiation `base^exp mod n` (left-to-right binary over
+    /// Montgomery products).
+    pub fn mod_exp(&self, base: &Mpint, exp: &Mpint) -> Mpint {
+        let k = self.n.len();
+        let modulus = Mpint::from_limbs_le(self.n.clone());
+        let base_red = base.rem(&modulus);
+        if exp.is_zero() {
+            return Mpint::one().rem(&modulus);
+        }
+        // Into Montgomery form: a·R = montmul(a, R²).
+        let a = self.mont_mul(&Self::pad(&base_red, k), &self.r2);
+        // 1 in Montgomery form = R mod n = montmul(1, R²).
+        let one_m = self.mont_mul(&Self::pad(&Mpint::one(), k), &self.r2);
+
+        let mut acc = one_m.clone();
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &a);
+            }
+        }
+        // Out of Montgomery form: montmul(acc, 1).
+        let mut unit = vec![0u64; k];
+        unit[0] = 1;
+        let out = self.mont_mul(&acc, &unit);
+        Mpint::from_limbs_le(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::XorShiftRng;
+    use proptest::prelude::*;
+
+    fn mp(v: u128) -> Mpint {
+        Mpint::from_bytes_be(&v.to_be_bytes())
+    }
+
+    #[test]
+    fn neg_inv_correct_for_odd_values() {
+        for n in [1u64, 3, 5, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1] {
+            let ninv = neg_inv_u64(n);
+            assert_eq!(n.wrapping_mul(ninv), 1u64.wrapping_neg());
+        }
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(MontgomeryCtx::new(&mp(10)).is_none());
+        assert!(MontgomeryCtx::new(&Mpint::one()).is_none());
+        assert!(MontgomeryCtx::new(&Mpint::zero()).is_none());
+        assert!(MontgomeryCtx::new(&mp(9)).is_some());
+    }
+
+    #[test]
+    fn matches_plain_mod_exp_small() {
+        let m = mp(497);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        assert_eq!(ctx.mod_exp(&mp(4), &mp(13)), mp(445));
+        assert_eq!(ctx.mod_exp(&mp(2), &mp(0)), Mpint::one());
+        assert_eq!(ctx.mod_exp(&mp(0), &mp(5)), Mpint::zero());
+    }
+
+    #[test]
+    fn matches_plain_mod_exp_large() {
+        let mut rng = XorShiftRng::new(77);
+        for _ in 0..10 {
+            let mut m = Mpint::random_bits(&mut rng, 512);
+            m.set_bit(0); // odd
+            let base = Mpint::random_below(&mut rng, &m);
+            let exp = Mpint::random_bits(&mut rng, 128);
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            assert_eq!(ctx.mod_exp(&base, &exp), base.mod_exp_plain(&exp, &m));
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // 2^126 primes-ish check with a known prime: 2^127 - 1.
+        let p = Mpint::one().shl(127).sub(&Mpint::one());
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let pm1 = p.sub(&Mpint::one());
+        for a in [2u128, 3, 65537] {
+            assert_eq!(ctx.mod_exp(&mp(a), &pm1), Mpint::one());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_plain(
+            base in any::<u128>(),
+            exp in any::<u64>(),
+            modulus in any::<u128>(),
+        ) {
+            let m = mp(modulus | 1); // force odd
+            prop_assume!(!m.is_one());
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            let b = mp(base);
+            let e = Mpint::from(exp);
+            prop_assert_eq!(ctx.mod_exp(&b, &e), b.mod_exp_plain(&e, &m));
+        }
+
+        #[test]
+        fn prop_mont_mul_reduces(seed in any::<u64>()) {
+            let mut rng = XorShiftRng::new(seed);
+            let mut m = Mpint::random_bits(&mut rng, 256);
+            m.set_bit(0);
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            let a = Mpint::random_below(&mut rng, &m);
+            let b = Mpint::random_below(&mut rng, &m);
+            let r = ctx.mod_exp(&a, &b);
+            prop_assert!(r < m, "result fully reduced");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! PKCS#1 v1.5 (RFC 2437) encryption padding and signatures.
+//!
+//! The paper's SSH application explicitly uses "PKCS1 encryption which is
+//! chosen-ciphertext-secure and nonmalleable" (§6.3.1, citing \[15\] =
+//! RFC 2437) to protect the password in transit, and the CA application
+//! signs certificates with RSA. Both paddings are implemented here over the
+//! raw RSA operations from [`crate::rsa`].
+
+use crate::digest::Digest;
+use crate::mpint::Mpint;
+use crate::rng::CryptoRng;
+use crate::rsa::{RsaPrivateKey, RsaPublicKey};
+use crate::sha1::Sha1;
+use crate::CryptoError;
+
+/// DER prefix of the `DigestInfo` structure for SHA-1 (RFC 8017 §9.2 note 1).
+const SHA1_DIGEST_INFO: [u8; 15] = [
+    0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00, 0x04, 0x14,
+];
+
+/// Encrypts `msg` under `key` with EME-PKCS1-v1_5 padding (block type 2).
+///
+/// Returns [`CryptoError::MessageTooLong`] if `msg` exceeds `k - 11` bytes
+/// for a `k`-byte modulus.
+pub fn encrypt<R: CryptoRng + ?Sized>(
+    key: &RsaPublicKey,
+    msg: &[u8],
+    rng: &mut R,
+) -> Result<Vec<u8>, CryptoError> {
+    let k = key.modulus_len();
+    if msg.len() + 11 > k {
+        return Err(CryptoError::MessageTooLong);
+    }
+    // EM = 0x00 || 0x02 || PS || 0x00 || M, PS = nonzero random bytes.
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x02);
+    for _ in 0..k - msg.len() - 3 {
+        loop {
+            let mut b = [0u8; 1];
+            rng.fill_bytes(&mut b);
+            if b[0] != 0 {
+                em.push(b[0]);
+                break;
+            }
+        }
+    }
+    em.push(0x00);
+    em.extend_from_slice(msg);
+
+    let m = Mpint::from_bytes_be(&em);
+    let c = key.raw_encrypt(&m)?;
+    c.to_bytes_be_padded(k)
+}
+
+/// Decrypts an EME-PKCS1-v1_5 ciphertext.
+///
+/// Returns [`CryptoError::BadPadding`] on any structural violation. (The
+/// original Flicker PAL runs in an environment with no observable timing
+/// side channel to the attacker during the session, but we still avoid
+/// distinguishing padding failures in the error type.)
+pub fn decrypt(key: &RsaPrivateKey, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let k = key.public_key().modulus_len();
+    if ciphertext.len() != k {
+        return Err(CryptoError::BadPadding);
+    }
+    let c = Mpint::from_bytes_be(ciphertext);
+    let m = key.raw_decrypt(&c).map_err(|_| CryptoError::BadPadding)?;
+    let em = m
+        .to_bytes_be_padded(k)
+        .map_err(|_| CryptoError::BadPadding)?;
+
+    if em[0] != 0x00 || em[1] != 0x02 {
+        return Err(CryptoError::BadPadding);
+    }
+    // Find the 0x00 separator after at least 8 padding bytes.
+    let sep = em[2..]
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or(CryptoError::BadPadding)?;
+    if sep < 8 {
+        return Err(CryptoError::BadPadding);
+    }
+    Ok(em[2 + sep + 1..].to_vec())
+}
+
+fn emsa_encode(msg: &[u8], k: usize) -> Result<Vec<u8>, CryptoError> {
+    let hash = Sha1::digest(msg);
+    let t_len = SHA1_DIGEST_INFO.len() + hash.len();
+    if k < t_len + 11 {
+        return Err(CryptoError::MessageTooLong);
+    }
+    // EM = 0x00 || 0x01 || 0xFF..FF || 0x00 || DigestInfo || H.
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.extend(std::iter::repeat_n(0xff, k - t_len - 3));
+    em.push(0x00);
+    em.extend_from_slice(&SHA1_DIGEST_INFO);
+    em.extend_from_slice(&hash);
+    Ok(em)
+}
+
+/// Signs `msg` with RSASSA-PKCS1-v1_5 over SHA-1.
+pub fn sign(key: &RsaPrivateKey, msg: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let k = key.public_key().modulus_len();
+    let em = emsa_encode(msg, k)?;
+    let m = Mpint::from_bytes_be(&em);
+    let s = key.raw_decrypt(&m)?;
+    s.to_bytes_be_padded(k)
+}
+
+/// Verifies an RSASSA-PKCS1-v1_5 SHA-1 signature.
+///
+/// Verification re-encodes the expected encoded message and compares it to
+/// the full decrypted block, which forecloses the Bleichenbacher '06
+/// forgery class.
+pub fn verify(key: &RsaPublicKey, msg: &[u8], signature: &[u8]) -> Result<(), CryptoError> {
+    let k = key.modulus_len();
+    if signature.len() != k {
+        return Err(CryptoError::VerificationFailed);
+    }
+    let s = Mpint::from_bytes_be(signature);
+    let m = key
+        .raw_encrypt(&s)
+        .map_err(|_| CryptoError::VerificationFailed)?;
+    let em = m
+        .to_bytes_be_padded(k)
+        .map_err(|_| CryptoError::VerificationFailed)?;
+    let expected = emsa_encode(msg, k)?;
+    if crate::ct_eq(&em, &expected) {
+        Ok(())
+    } else {
+        Err(CryptoError::VerificationFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::XorShiftRng;
+
+    fn test_key(seed: u64) -> RsaPrivateKey {
+        let mut rng = XorShiftRng::new(seed);
+        RsaPrivateKey::generate(512, &mut rng).0
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let key = test_key(31);
+        let mut rng = XorShiftRng::new(32);
+        let msg = b"user password + nonce";
+        let ct = encrypt(key.public_key(), msg, &mut rng).unwrap();
+        assert_eq!(ct.len(), key.public_key().modulus_len());
+        assert_eq!(decrypt(&key, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let key = test_key(33);
+        let mut rng = XorShiftRng::new(34);
+        let a = encrypt(key.public_key(), b"m", &mut rng).unwrap();
+        let b = encrypt(key.public_key(), b"m", &mut rng).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(decrypt(&key, &a).unwrap(), b"m");
+        assert_eq!(decrypt(&key, &b).unwrap(), b"m");
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let key = test_key(35);
+        let mut rng = XorShiftRng::new(36);
+        let k = key.public_key().modulus_len();
+        let msg = vec![1u8; k - 10];
+        assert!(matches!(
+            encrypt(key.public_key(), &msg, &mut rng),
+            Err(CryptoError::MessageTooLong)
+        ));
+        // Largest legal message fits.
+        let msg = vec![1u8; k - 11];
+        let ct = encrypt(key.public_key(), &msg, &mut rng).unwrap();
+        assert_eq!(decrypt(&key, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let key = test_key(37);
+        let mut rng = XorShiftRng::new(38);
+        let ct = encrypt(key.public_key(), b"secret", &mut rng).unwrap();
+        // Flipping bits produces garbage padding with overwhelming probability.
+        let mut bad = ct.clone();
+        bad[0] ^= 0x80;
+        let r = decrypt(&key, &bad);
+        assert!(r.is_err() || r.unwrap() != b"secret");
+        assert!(decrypt(&key, &ct[1..]).is_err());
+    }
+
+    #[test]
+    fn empty_message_round_trips() {
+        let key = test_key(39);
+        let mut rng = XorShiftRng::new(40);
+        let ct = encrypt(key.public_key(), b"", &mut rng).unwrap();
+        assert_eq!(decrypt(&key, &ct).unwrap(), b"");
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let key = test_key(41);
+        let sig = sign(&key, b"certificate signing request").unwrap();
+        assert!(verify(key.public_key(), b"certificate signing request", &sig).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let key = test_key(42);
+        let sig = sign(&key, b"msg A").unwrap();
+        assert!(verify(key.public_key(), b"msg B", &sig).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let key = test_key(43);
+        let other = test_key(44);
+        let sig = sign(&key, b"msg").unwrap();
+        assert!(verify(other.public_key(), b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_bitflips() {
+        let key = test_key(45);
+        let sig = sign(&key, b"msg").unwrap();
+        for i in [0, sig.len() / 2, sig.len() - 1] {
+            let mut bad = sig.clone();
+            bad[i] ^= 1;
+            assert!(verify(key.public_key(), b"msg", &bad).is_err(), "bit {i}");
+        }
+        assert!(verify(key.public_key(), b"msg", &sig[..sig.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let key = test_key(46);
+        assert_eq!(sign(&key, b"m").unwrap(), sign(&key, b"m").unwrap());
+    }
+}

@@ -1,0 +1,101 @@
+//! RC4 stream cipher.
+//!
+//! Listed in the paper's Crypto module (Figure 6). RC4 is obsolete and
+//! biased; it is kept for inventory fidelity and must not protect new data.
+
+/// RC4 keystream generator / stream cipher state.
+///
+/// # Examples
+///
+/// ```
+/// use flicker_crypto::rc4::Rc4;
+/// let mut c = Rc4::new(b"Key");
+/// let mut buf = *b"Plaintext";
+/// c.apply_keystream(&mut buf);
+/// assert_eq!(flicker_crypto::hex::encode(&buf), "bbf316e8d940af0ad3");
+/// ```
+pub struct Rc4 {
+    s: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl Rc4 {
+    /// Initializes the cipher with `key` (1–256 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is empty or longer than 256 bytes.
+    pub fn new(key: &[u8]) -> Self {
+        assert!(
+            !key.is_empty() && key.len() <= 256,
+            "RC4 key must be 1-256 bytes"
+        );
+        let mut s = [0u8; 256];
+        for (idx, v) in s.iter_mut().enumerate() {
+            *v = idx as u8;
+        }
+        let mut j = 0u8;
+        for i in 0..256 {
+            j = j.wrapping_add(s[i]).wrapping_add(key[i % key.len()]);
+            s.swap(i, j as usize);
+        }
+        Rc4 { s, i: 0, j: 0 }
+    }
+
+    /// Returns the next keystream byte.
+    pub fn next_byte(&mut self) -> u8 {
+        self.i = self.i.wrapping_add(1);
+        self.j = self.j.wrapping_add(self.s[self.i as usize]);
+        self.s.swap(self.i as usize, self.j as usize);
+        let idx = self.s[self.i as usize].wrapping_add(self.s[self.j as usize]);
+        self.s[idx as usize]
+    }
+
+    /// XORs the keystream into `buf` in place (encrypt == decrypt).
+    pub fn apply_keystream(&mut self, buf: &mut [u8]) {
+        for b in buf.iter_mut() {
+            *b ^= self.next_byte();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn classic_vectors() {
+        let mut c = Rc4::new(b"Key");
+        let mut buf = *b"Plaintext";
+        c.apply_keystream(&mut buf);
+        assert_eq!(hex::encode(&buf), "bbf316e8d940af0ad3");
+
+        let mut c = Rc4::new(b"Wiki");
+        let mut buf = *b"pedia";
+        c.apply_keystream(&mut buf);
+        assert_eq!(hex::encode(&buf), "1021bf0420");
+
+        let mut c = Rc4::new(b"Secret");
+        let mut buf = *b"Attack at dawn";
+        c.apply_keystream(&mut buf);
+        assert_eq!(hex::encode(&buf), "45a01f645fc35b383552544b9bf5");
+    }
+
+    #[test]
+    fn round_trip() {
+        let msg = b"flicker session state".to_vec();
+        let mut buf = msg.clone();
+        Rc4::new(b"k").apply_keystream(&mut buf);
+        assert_ne!(buf, msg);
+        Rc4::new(b"k").apply_keystream(&mut buf);
+        assert_eq!(buf, msg);
+    }
+
+    #[test]
+    #[should_panic(expected = "RC4 key must be")]
+    fn empty_key_rejected() {
+        let _ = Rc4::new(b"");
+    }
+}

@@ -1,0 +1,215 @@
+//! SHA-1 (FIPS 180-4).
+//!
+//! SHA-1 is the measurement hash mandated by the TPM v1.2 specification and
+//! therefore the one Flicker's whole attestation chain is built on: PCR
+//! extends, SLB measurement during `SKINIT`, quote composites, and sealed
+//! storage PCR bindings all use 20-byte SHA-1 digests. It is implemented
+//! here for protocol fidelity, not as an endorsement of SHA-1's residual
+//! collision resistance.
+
+use crate::digest::Digest;
+
+/// Length in bytes of a SHA-1 digest.
+pub const OUTPUT_LEN: usize = 20;
+/// SHA-1 compression block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const H0: [u32; 5] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0];
+
+/// Streaming SHA-1 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use flicker_crypto::digest::Digest;
+/// let d = flicker_crypto::sha1::Sha1::digest(b"abc");
+/// assert_eq!(flicker_crypto::hex::encode(&d), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; BLOCK_LEN],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Sha1 {
+            state: H0,
+            buffer: [0; BLOCK_LEN],
+            buffered: 0,
+            total_len: 0,
+        }
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5a827999),
+                20..=39 => (b ^ c ^ d, 0x6ed9eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+impl Digest for Sha1 {
+    const OUTPUT_LEN: usize = OUTPUT_LEN;
+    const BLOCK_LEN: usize = BLOCK_LEN;
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (BLOCK_LEN - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        if data.is_empty() {
+            // Everything was absorbed into the partial buffer; do not let
+            // the remainder logic below clobber `buffered`.
+            return;
+        }
+        let mut chunks = data.chunks_exact(BLOCK_LEN);
+        for chunk in &mut chunks {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(chunk);
+            self.compress(&block);
+        }
+        let rest = chunks.remainder();
+        self.buffer[..rest.len()].copy_from_slice(rest);
+        self.buffered = rest.len();
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        // `update` above counted the padding byte; the length field must
+        // reflect only the message, so neutralize the counter afterwards.
+        while self.buffered != BLOCK_LEN - 8 {
+            self.update(&[0x00]);
+        }
+        self.total_len = 0;
+        self.update(&bit_len.to_be_bytes());
+        let mut out = Vec::with_capacity(OUTPUT_LEN);
+        for word in self.state {
+            out.extend_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot SHA-1 returning a fixed-size array.
+pub fn sha1(data: &[u8]) -> [u8; OUTPUT_LEN] {
+    let v = Sha1::digest(data);
+    let mut out = [0u8; OUTPUT_LEN];
+    out.copy_from_slice(&v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn hexdigest(data: &[u8]) -> String {
+        hex::encode(&sha1(data))
+    }
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(hexdigest(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hexdigest(b"abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hexdigest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex::encode(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha1::digest(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_matches() {
+        let data = b"The quick brown fox jumps over the lazy dog";
+        let mut h = Sha1::new();
+        for b in data.iter() {
+            h.update(&[*b]);
+        }
+        assert_eq!(
+            hex::encode(&h.finalize()),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn lengths_around_block_boundary() {
+        // Padding logic is most fragile at 55/56/63/64-byte messages.
+        for len in 50..70 {
+            let data = vec![0xabu8; len];
+            let mut h = Sha1::new();
+            h.update(&data);
+            assert_eq!(h.finalize(), Sha1::digest(&data), "len={len}");
+        }
+    }
+}

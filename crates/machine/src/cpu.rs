@@ -1,0 +1,237 @@
+//! CPU cores, privilege rings, and the multi-core launch handshake.
+//!
+//! Models the execution state Flicker manipulates (paper §4.2 "Suspend
+//! OS"): the dual-core Athlon64 X2's Boot Strap Processor runs `SKINIT`;
+//! the Application Processors must be descheduled (Linux CPU hotplug) and
+//! then receive an INIT Inter-Processor Interrupt so they respond to the
+//! `SKINIT` handshake.
+
+use crate::error::{MachineError, MachineResult};
+
+/// Execution state of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreState {
+    /// Executing OS processes.
+    Running,
+    /// Descheduled via CPU hotplug (idle, interruptible).
+    Descheduled,
+    /// Received an INIT IPI; waiting for a Startup IPI. This is the state
+    /// APs must be in for `SKINIT` to succeed.
+    WaitForSipi,
+}
+
+/// CPU operating mode (only the two Flicker cares about).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuMode {
+    /// Normal paged operation under the OS.
+    Paged,
+    /// Flat 32-bit protected mode with paging disabled — the state
+    /// `SKINIT` leaves the BSP in (paper §2.4).
+    Flat32,
+}
+
+/// One CPU core.
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// Core index; 0 is the BSP.
+    pub id: usize,
+    /// Scheduling state.
+    pub state: CoreState,
+    /// Current privilege ring (0 = most privileged).
+    pub ring: u8,
+    /// Whether maskable interrupts are enabled.
+    pub interrupts_enabled: bool,
+    /// Whether hardware debug access is enabled (SKINIT disables it).
+    pub debug_enabled: bool,
+    /// Operating mode.
+    pub mode: CpuMode,
+}
+
+impl Core {
+    /// A core in its normal post-boot state.
+    pub fn new(id: usize) -> Self {
+        Core {
+            id,
+            state: CoreState::Running,
+            ring: 0,
+            interrupts_enabled: true,
+            debug_enabled: true,
+            mode: CpuMode::Paged,
+        }
+    }
+
+    /// True for the Boot Strap Processor.
+    pub fn is_bsp(&self) -> bool {
+        self.id == 0
+    }
+}
+
+/// The CPU complex: BSP + APs.
+#[derive(Debug, Clone)]
+pub struct CpuComplex {
+    cores: Vec<Core>,
+}
+
+impl CpuComplex {
+    /// Creates `n` cores (core 0 is the BSP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "at least one core required");
+        CpuComplex {
+            cores: (0..n).map(Core::new).collect(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// True if single-core.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Immutable core access.
+    pub fn core(&self, id: usize) -> MachineResult<&Core> {
+        self.cores.get(id).ok_or(MachineError::NoSuchCore(id))
+    }
+
+    /// Mutable core access.
+    pub fn core_mut(&mut self, id: usize) -> MachineResult<&mut Core> {
+        self.cores.get_mut(id).ok_or(MachineError::NoSuchCore(id))
+    }
+
+    /// The BSP.
+    pub fn bsp(&self) -> &Core {
+        &self.cores[0]
+    }
+
+    /// The BSP, mutably.
+    pub fn bsp_mut(&mut self) -> &mut Core {
+        &mut self.cores[0]
+    }
+
+    /// Deschedules an AP via CPU hotplug (paper: "use the CPU Hotplug
+    /// support available in recent Linux kernels to deschedule all APs").
+    pub fn deschedule(&mut self, id: usize) -> MachineResult<()> {
+        if id == 0 {
+            return Err(MachineError::PrivilegeViolation(
+                "cannot hot-unplug the BSP",
+            ));
+        }
+        let core = self.core_mut(id)?;
+        core.state = CoreState::Descheduled;
+        Ok(())
+    }
+
+    /// Sends an INIT IPI to an AP. Fails if the AP is still executing
+    /// processes (the flicker-module must deschedule it first).
+    pub fn send_init_ipi(&mut self, id: usize) -> MachineResult<()> {
+        if id == 0 {
+            return Err(MachineError::PrivilegeViolation(
+                "INIT IPI to the BSP would reset the system",
+            ));
+        }
+        let core = self.core_mut(id)?;
+        match core.state {
+            CoreState::Running => Err(MachineError::ApBusy { core: id }),
+            _ => {
+                core.state = CoreState::WaitForSipi;
+                core.interrupts_enabled = false;
+                Ok(())
+            }
+        }
+    }
+
+    /// Checks the `SKINIT` multi-core precondition: every AP is in
+    /// `WaitForSipi`.
+    pub fn aps_quiesced(&self) -> MachineResult<()> {
+        for c in self.cores.iter().skip(1) {
+            if c.state != CoreState::WaitForSipi {
+                return Err(MachineError::ApNotQuiesced { core: c.id });
+            }
+        }
+        Ok(())
+    }
+
+    /// Restarts APs after a Flicker session (Startup IPI + reschedule).
+    pub fn restart_aps(&mut self) {
+        for c in self.cores.iter_mut().skip(1) {
+            c.state = CoreState::Running;
+            c.interrupts_enabled = true;
+        }
+    }
+
+    /// Iterates over all cores.
+    pub fn iter(&self) -> impl Iterator<Item = &Core> {
+        self.cores.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsp_is_core_zero() {
+        let c = CpuComplex::new(2);
+        assert!(c.bsp().is_bsp());
+        assert!(!c.core(1).unwrap().is_bsp());
+    }
+
+    #[test]
+    fn init_ipi_requires_deschedule() {
+        let mut c = CpuComplex::new(2);
+        assert_eq!(c.send_init_ipi(1), Err(MachineError::ApBusy { core: 1 }));
+        c.deschedule(1).unwrap();
+        c.send_init_ipi(1).unwrap();
+        assert_eq!(c.core(1).unwrap().state, CoreState::WaitForSipi);
+    }
+
+    #[test]
+    fn cannot_unplug_or_init_bsp() {
+        let mut c = CpuComplex::new(2);
+        assert!(c.deschedule(0).is_err());
+        assert!(c.send_init_ipi(0).is_err());
+    }
+
+    #[test]
+    fn aps_quiesced_check() {
+        let mut c = CpuComplex::new(4);
+        assert_eq!(
+            c.aps_quiesced(),
+            Err(MachineError::ApNotQuiesced { core: 1 })
+        );
+        for id in 1..4 {
+            c.deschedule(id).unwrap();
+            c.send_init_ipi(id).unwrap();
+        }
+        assert!(c.aps_quiesced().is_ok());
+    }
+
+    #[test]
+    fn single_core_trivially_quiesced() {
+        let c = CpuComplex::new(1);
+        assert!(c.aps_quiesced().is_ok());
+    }
+
+    #[test]
+    fn restart_aps_resumes_execution() {
+        let mut c = CpuComplex::new(2);
+        c.deschedule(1).unwrap();
+        c.send_init_ipi(1).unwrap();
+        c.restart_aps();
+        assert_eq!(c.core(1).unwrap().state, CoreState::Running);
+        assert!(c.core(1).unwrap().interrupts_enabled);
+    }
+
+    #[test]
+    fn no_such_core() {
+        let c = CpuComplex::new(2);
+        assert_eq!(c.core(5).unwrap_err(), MachineError::NoSuchCore(5));
+    }
+}

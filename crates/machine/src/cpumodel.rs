@@ -1,0 +1,155 @@
+//! CPU-side compute cost model.
+//!
+//! Real cryptographic work executes for real in this reproduction, but the
+//! virtual clock must advance by what that work cost on the *paper's*
+//! hardware (a 2.2 GHz Athlon64 X2, §7.1), not on the host running the
+//! simulation. This model is calibrated from the paper:
+//!
+//! * "Hash of Kernel 22.0 ms" (Table 1) for a ~2.2 MB kernel region ⇒
+//!   SHA-1 at ≈100 MB/s.
+//! * "Key Gen 185.7 ms" ± 14 % for RSA-1024 (Figure 9a) ⇒ charged per
+//!   Miller–Rabin round so the natural geometric variance of prime search
+//!   shows up in the simulated numbers, exactly as it did in the paper's.
+//! * "Decrypt 4.6 ms" (Figure 9b) and "RSA signature ≈ 4.7 ms" (§7.4.2)
+//!   for RSA-1024 private operations.
+
+use flicker_crypto::rsa::KeygenStats;
+use std::time::Duration;
+
+/// Cost model for PAL-side CPU work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuCostModel {
+    /// SHA-1 throughput, expressed as cost per byte.
+    pub sha1_per_byte: Duration,
+    /// Cost of one Miller–Rabin round on a 512-bit candidate (the unit of
+    /// RSA-1024 key generation).
+    pub mr_round_512: Duration,
+    /// Fixed RSA-1024 keygen overhead (parameter derivation: d, CRT).
+    pub keygen_fixed: Duration,
+    /// RSA-1024 private-key operation (decrypt).
+    pub rsa1024_decrypt: Duration,
+    /// RSA-1024 signature (private op + encoding).
+    pub rsa1024_sign: Duration,
+    /// RSA-1024 public-key operation (encrypt/verify, e = 65537).
+    pub rsa1024_public: Duration,
+    /// Symmetric crypto (AES / RC4 / HMAC) cost per byte.
+    pub symmetric_per_byte: Duration,
+    /// One `md5crypt` password hash (1000 MD5 rounds).
+    pub md5crypt: Duration,
+}
+
+impl CpuCostModel {
+    /// Model calibrated to the paper's AMD test machine.
+    pub fn athlon64_x2() -> Self {
+        CpuCostModel {
+            // 100 MB/s ⇒ 10 ns/byte.
+            sha1_per_byte: Duration::from_nanos(10),
+            // Calibrated so mean keygen ≈ 185.7 ms with ≈14 % run-to-run
+            // coefficient of variation (Figure 9a): the fixed part covers
+            // the two 40-round Miller-Rabin confirmations plus parameter
+            // derivation; the per-round part prices the geometric prime
+            // search (~68 rejected-candidate rounds on average).
+            mr_round_512: Duration::from_micros(520),
+            keygen_fixed: Duration::from_micros(150_000),
+            rsa1024_decrypt: Duration::from_micros(4_600),
+            rsa1024_sign: Duration::from_micros(4_700),
+            rsa1024_public: Duration::from_micros(250),
+            symmetric_per_byte: Duration::from_nanos(15),
+            md5crypt: Duration::from_micros(90),
+        }
+    }
+
+    /// Cost of SHA-1 hashing `len` bytes.
+    pub fn sha1(&self, len: usize) -> Duration {
+        self.sha1_per_byte * (len as u32)
+    }
+
+    /// Cost of an RSA-1024 key generation that performed the given prime
+    /// search. Charging per executed Miller–Rabin round (minus the 80
+    /// deterministic confirmation rounds folded into `keygen_fixed`)
+    /// reproduces the paper's run-to-run variance.
+    pub fn rsa1024_keygen(&self, stats: &KeygenStats) -> Duration {
+        let total_rounds = stats.p_stats.mr_rounds + stats.q_stats.mr_rounds;
+        let variable = total_rounds.saturating_sub(80);
+        self.keygen_fixed + self.mr_round_512 * (variable as u32)
+    }
+
+    /// Cost of symmetric processing of `len` bytes.
+    pub fn symmetric(&self, len: usize) -> Duration {
+        self.symmetric_per_byte * (len as u32)
+    }
+}
+
+impl Default for CpuCostModel {
+    fn default() -> Self {
+        Self::athlon64_x2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flicker_crypto::prime::PrimeSearchStats;
+
+    #[test]
+    fn kernel_hash_matches_table1() {
+        let m = CpuCostModel::athlon64_x2();
+        // Table 1: hashing the kernel (≈2.2 MB) took 22.0 ms.
+        let t = m.sha1(2_200_000);
+        assert_eq!(t, Duration::from_millis(22));
+    }
+
+    #[test]
+    fn keygen_mean_close_to_fig9a() {
+        let m = CpuCostModel::athlon64_x2();
+        // An average search: ~34 rejected rounds + 40 confirmations/prime.
+        let avg = KeygenStats {
+            p_stats: PrimeSearchStats {
+                candidates_tried: 170,
+                mr_rounds: 74,
+            },
+            q_stats: PrimeSearchStats {
+                candidates_tried: 170,
+                mr_rounds: 74,
+            },
+        };
+        let t = m.rsa1024_keygen(&avg).as_secs_f64() * 1e3;
+        assert!((t - 185.7).abs() < 15.0, "modelled keygen {t:.1} ms");
+    }
+
+    #[test]
+    fn keygen_scales_with_search_length() {
+        let m = CpuCostModel::athlon64_x2();
+        let short = KeygenStats {
+            p_stats: PrimeSearchStats {
+                candidates_tried: 1,
+                mr_rounds: 40,
+            },
+            q_stats: PrimeSearchStats {
+                candidates_tried: 1,
+                mr_rounds: 40,
+            },
+        };
+        let long = KeygenStats {
+            p_stats: PrimeSearchStats {
+                candidates_tried: 500,
+                mr_rounds: 300,
+            },
+            q_stats: PrimeSearchStats {
+                candidates_tried: 500,
+                mr_rounds: 300,
+            },
+        };
+        assert!(m.rsa1024_keygen(&long) > m.rsa1024_keygen(&short));
+        // Lucky searches still pay the fixed cost.
+        assert!(m.rsa1024_keygen(&short) >= m.keygen_fixed);
+    }
+
+    #[test]
+    fn private_ops_match_paper() {
+        let m = CpuCostModel::athlon64_x2();
+        assert_eq!(m.rsa1024_decrypt, Duration::from_micros(4_600));
+        assert_eq!(m.rsa1024_sign, Duration::from_micros(4_700));
+        assert!(m.rsa1024_public < m.rsa1024_decrypt);
+    }
+}

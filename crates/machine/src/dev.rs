@@ -1,0 +1,150 @@
+//! Device Exclusion Vector (DEV).
+//!
+//! AMD's DEV is a chipset bitmap marking physical pages inaccessible to
+//! DMA. `SKINIT` automatically protects the 64 KB starting at the SLB base
+//! (paper §2.4); Flicker's preparatory code may extend protection to larger
+//! regions (paper §4.2 "Execute PAL"). All simulated DMA devices must route
+//! their accesses through [`DeviceExclusionVector::check`].
+
+use crate::error::{MachineError, MachineResult};
+
+/// Page size used by the DEV bitmap.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// The chipset's DMA-exclusion state.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceExclusionVector {
+    /// Protected page ranges as `(first_page, page_count)`.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl DeviceExclusionVector {
+    /// Creates an empty DEV (all memory DMA-accessible).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Protects `len` bytes starting at `addr`, rounded outward to page
+    /// boundaries. Returns a token for later release.
+    pub fn protect(&mut self, addr: u64, len: u64) -> DevProtection {
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len).div_ceil(PAGE_SIZE);
+        self.ranges.push((first, last - first));
+        DevProtection {
+            first_page: first,
+            pages: last - first,
+        }
+    }
+
+    /// Removes a protection previously installed by [`Self::protect`].
+    pub fn release(&mut self, token: DevProtection) {
+        if let Some(pos) = self
+            .ranges
+            .iter()
+            .position(|&(f, p)| f == token.first_page && p == token.pages)
+        {
+            self.ranges.swap_remove(pos);
+        }
+    }
+
+    /// True if any byte of `[addr, addr+len)` is DMA-protected.
+    pub fn covers(&self, addr: u64, len: u64) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len - 1) / PAGE_SIZE;
+        self.ranges
+            .iter()
+            .any(|&(f, p)| first < f + p && f <= last)
+    }
+
+    /// Validates a DMA transaction; returns [`MachineError::DmaBlocked`] if
+    /// it touches protected pages.
+    pub fn check(&self, addr: u64, len: u64) -> MachineResult<()> {
+        if self.covers(addr, len) {
+            Err(MachineError::DmaBlocked { addr })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Number of active protections (diagnostics).
+    pub fn active_protections(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+/// Token identifying one installed protection range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevProtection {
+    first_page: u64,
+    pages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dev_allows_everything() {
+        let dev = DeviceExclusionVector::new();
+        assert!(dev.check(0, 1 << 30).is_ok());
+    }
+
+    #[test]
+    fn protected_range_blocks_dma() {
+        let mut dev = DeviceExclusionVector::new();
+        dev.protect(0x10000, 0x10000); // 64 KB at 64 KB
+        assert!(dev.check(0x10000, 16).is_err());
+        assert!(dev.check(0x1FFFF, 1).is_err());
+        assert!(dev.check(0x0, 0x10000).is_ok(), "below the range");
+        assert!(dev.check(0x20000, 16).is_ok(), "above the range");
+    }
+
+    #[test]
+    fn straddling_access_blocked() {
+        let mut dev = DeviceExclusionVector::new();
+        dev.protect(0x10000, 0x1000);
+        // Access starting below but reaching into the protected page.
+        assert!(dev.check(0xFFF0, 0x20).is_err());
+        // Access starting inside and leaving.
+        assert!(dev.check(0x10FF0, 0x20).is_err());
+    }
+
+    #[test]
+    fn partial_page_protection_rounds_out() {
+        let mut dev = DeviceExclusionVector::new();
+        dev.protect(0x10100, 0x10); // 16 bytes mid-page
+        assert!(dev.check(0x10000, 1).is_err(), "whole page protected");
+        assert!(dev.check(0x10FFF, 1).is_err());
+        assert!(dev.check(0x11000, 1).is_ok());
+    }
+
+    #[test]
+    fn release_restores_access() {
+        let mut dev = DeviceExclusionVector::new();
+        let tok = dev.protect(0x4000, 0x1000);
+        assert!(dev.check(0x4000, 1).is_err());
+        dev.release(tok);
+        assert!(dev.check(0x4000, 1).is_ok());
+        assert_eq!(dev.active_protections(), 0);
+    }
+
+    #[test]
+    fn overlapping_protections_independent() {
+        let mut dev = DeviceExclusionVector::new();
+        let a = dev.protect(0x4000, 0x2000);
+        let _b = dev.protect(0x5000, 0x2000);
+        dev.release(a);
+        assert!(dev.check(0x5000, 1).is_err(), "second protection remains");
+        assert!(dev.check(0x4000, 1).is_ok(), "only covered by released one");
+    }
+
+    #[test]
+    fn zero_length_access_allowed() {
+        let mut dev = DeviceExclusionVector::new();
+        dev.protect(0, 0x1000);
+        assert!(dev.check(0, 0).is_ok());
+    }
+}

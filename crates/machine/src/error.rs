@@ -1,0 +1,111 @@
+//! Machine-level fault and error types.
+
+/// Result alias for machine operations.
+pub type MachineResult<T> = Result<T, MachineError>;
+
+/// Errors raised by the simulated platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A physical memory access fell outside installed RAM.
+    PhysOutOfBounds {
+        /// Faulting physical address.
+        addr: u64,
+        /// Access length.
+        len: usize,
+    },
+    /// A DMA transaction targeted memory protected by the Device Exclusion
+    /// Vector (paper §2.4: SKINIT "disables direct memory access to the
+    /// physical memory pages composing the SLB").
+    DmaBlocked {
+        /// Faulting physical address.
+        addr: u64,
+    },
+    /// `SKINIT` was invoked from a CPU protection ring other than 0 (it is
+    /// a privileged instruction, paper §5.1.2).
+    NotRing0 {
+        /// Ring the caller was executing in.
+        ring: u8,
+    },
+    /// `SKINIT` was invoked on an Application Processor; only the Boot
+    /// Strap Processor may run it (paper §4.2).
+    NotBsp {
+        /// Core that attempted the launch.
+        core: usize,
+    },
+    /// An Application Processor had not received an INIT IPI before
+    /// `SKINIT` (paper §4.2's multi-core requirement).
+    ApNotQuiesced {
+        /// The offending core.
+        core: usize,
+    },
+    /// An INIT IPI was sent to a core still executing processes.
+    ApBusy {
+        /// The busy core.
+        core: usize,
+    },
+    /// A second late launch was attempted while one is active.
+    SkinitActive,
+    /// `resume_os` without an active Flicker session.
+    NoActiveSkinit,
+    /// The supplied SLB violates a structural constraint (size, header).
+    InvalidSlb(&'static str),
+    /// A referenced CPU core does not exist.
+    NoSuchCore(usize),
+    /// A segmented memory access exceeded the segment limit (the
+    /// OS-Protection module's enforcement mechanism, paper §5.1.2).
+    SegmentLimit {
+        /// Offset that was accessed.
+        offset: u32,
+        /// Segment limit.
+        limit: u32,
+    },
+    /// A privilege check failed (e.g. ring-3 PAL touching a ring-0
+    /// resource).
+    PrivilegeViolation(&'static str),
+    /// The TPM interface reported an error during a hardware-driven
+    /// operation.
+    Tpm(flicker_tpm::TpmError),
+}
+
+impl From<flicker_tpm::TpmError> for MachineError {
+    fn from(e: flicker_tpm::TpmError) -> Self {
+        MachineError::Tpm(e)
+    }
+}
+
+impl core::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MachineError::PhysOutOfBounds { addr, len } => {
+                write!(f, "physical access out of bounds: {addr:#x}+{len}")
+            }
+            MachineError::DmaBlocked { addr } => {
+                write!(f, "DMA blocked by DEV at {addr:#x}")
+            }
+            MachineError::NotRing0 { ring } => {
+                write!(f, "SKINIT requires ring 0, caller in ring {ring}")
+            }
+            MachineError::NotBsp { core } => {
+                write!(f, "SKINIT must run on the BSP, attempted on core {core}")
+            }
+            MachineError::ApNotQuiesced { core } => {
+                write!(f, "AP {core} did not receive INIT IPI before SKINIT")
+            }
+            MachineError::ApBusy { core } => write!(f, "AP {core} is busy; deschedule it first"),
+            MachineError::SkinitActive => write!(f, "a Flicker session is already active"),
+            MachineError::NoActiveSkinit => write!(f, "no active Flicker session"),
+            MachineError::InvalidSlb(s) => write!(f, "invalid SLB: {s}"),
+            MachineError::NoSuchCore(c) => write!(f, "no such core: {c}"),
+            MachineError::SegmentLimit { offset, limit } => {
+                write!(
+                    f,
+                    "segment limit violation: offset {offset:#x} > limit {limit:#x}"
+                )
+            }
+            MachineError::PrivilegeViolation(s) => write!(f, "privilege violation: {s}"),
+            MachineError::Tpm(e) => write!(f, "TPM error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}

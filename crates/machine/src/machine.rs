@@ -1,0 +1,549 @@
+//! The simulated platform: CPU complex + RAM + chipset DEV + TPM.
+//!
+//! This is the substrate standing in for the paper's HP dc5750 (AMD
+//! Athlon64 X2 with SVM, Broadcom v1.2 TPM). The [`Machine::skinit`]
+//! method implements the architectural contract of AMD's `SKINIT`
+//! instruction (paper §2.4), and the surrounding methods model the
+//! machine-level facts Flicker's security argument depends on.
+
+use crate::clock::SimClock;
+use crate::cpu::{CpuComplex, CpuMode};
+use crate::cpumodel::CpuCostModel;
+use crate::dev::{DevProtection, DeviceExclusionVector};
+use crate::error::{MachineError, MachineResult};
+use crate::memory::PhysMemory;
+use crate::skinit::{SkinitCostModel, SLB_MAX_LEN};
+use flicker_tpm::{Tpm, TpmConfig};
+use std::time::Duration;
+
+/// Configuration for building a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Installed physical RAM in bytes.
+    pub mem_size: usize,
+    /// Number of CPU cores (the paper's machine is a dual-core).
+    pub num_cores: usize,
+    /// TPM configuration.
+    pub tpm: TpmConfig,
+    /// `SKINIT` latency model.
+    pub skinit_cost: SkinitCostModel,
+    /// CPU compute cost model.
+    pub cpu_cost: CpuCostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            mem_size: 32 * 1024 * 1024,
+            num_cores: 2,
+            tpm: TpmConfig::default(),
+            skinit_cost: SkinitCostModel::default(),
+            cpu_cost: CpuCostModel::default(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Small memory + fast TPM keys, for unit tests.
+    pub fn fast_for_tests(seed: u8) -> Self {
+        MachineConfig {
+            mem_size: 4 * 1024 * 1024,
+            tpm: TpmConfig::fast_for_tests(seed),
+            ..MachineConfig::default()
+        }
+    }
+}
+
+/// State saved by `SKINIT` entry so `resume_os` can restore the platform.
+#[derive(Debug, Clone)]
+struct SavedCpuState {
+    interrupts_enabled: bool,
+    debug_enabled: bool,
+    mode: CpuMode,
+}
+
+/// An in-progress late launch.
+#[derive(Debug)]
+pub struct ActiveSkinit {
+    /// Physical base of the SLB.
+    pub slb_base: u64,
+    /// Declared SLB length (from the SLB header).
+    pub slb_len: usize,
+    /// Declared entry point offset.
+    pub entry_point: u16,
+    /// SHA-1 measurement of the SLB, as extended into PCR 17.
+    pub measurement: [u8; 20],
+    dev_token: DevProtection,
+    extra_dev_tokens: Vec<DevProtection>,
+    saved: SavedCpuState,
+}
+
+/// The simulated platform.
+pub struct Machine {
+    clock: SimClock,
+    tpm: Tpm,
+    memory: PhysMemory,
+    cpus: CpuComplex,
+    dev: DeviceExclusionVector,
+    skinit_cost: SkinitCostModel,
+    cpu_cost: CpuCostModel,
+    active: Option<ActiveSkinit>,
+}
+
+impl Machine {
+    /// Builds a machine from `config`.
+    ///
+    /// The TPM arrives owned (`TakeOwnership` already run) — the state of
+    /// any deployed platform, and required before Seal/Unseal work.
+    pub fn new(config: MachineConfig) -> Self {
+        let mut tpm = Tpm::manufacture(config.tpm);
+        tpm.take_ownership();
+        Machine {
+            clock: SimClock::new(),
+            tpm,
+            memory: PhysMemory::new(config.mem_size),
+            cpus: CpuComplex::new(config.num_cores),
+            dev: DeviceExclusionVector::new(),
+            skinit_cost: config.skinit_cost,
+            cpu_cost: config.cpu_cost,
+            active: None,
+        }
+    }
+
+    // ----- accessors -----------------------------------------------------
+
+    /// The platform clock (cloneable handle).
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Physical memory, immutably.
+    pub fn memory(&self) -> &PhysMemory {
+        &self.memory
+    }
+
+    /// Physical memory, mutably (CPU-initiated access: not DEV-checked; the
+    /// DEV only filters *device* traffic).
+    pub fn memory_mut(&mut self) -> &mut PhysMemory {
+        &mut self.memory
+    }
+
+    /// The CPU complex.
+    pub fn cpus(&self) -> &CpuComplex {
+        &self.cpus
+    }
+
+    /// The CPU complex, mutably.
+    pub fn cpus_mut(&mut self) -> &mut CpuComplex {
+        &mut self.cpus
+    }
+
+    /// The CPU compute cost model.
+    pub fn cpu_cost(&self) -> &CpuCostModel {
+        &self.cpu_cost
+    }
+
+    /// The SKINIT cost model.
+    pub fn skinit_cost(&self) -> &SkinitCostModel {
+        &self.skinit_cost
+    }
+
+    /// The currently active late launch, if any.
+    pub fn active_skinit(&self) -> Option<&ActiveSkinit> {
+        self.active.as_ref()
+    }
+
+    /// Runs a TPM operation (software locality 0–2) and charges the TPM's
+    /// consumed time to the platform clock.
+    pub fn tpm_op<T>(&mut self, f: impl FnOnce(&mut Tpm) -> T) -> T {
+        let out = f(&mut self.tpm);
+        self.clock.advance(self.tpm.take_elapsed());
+        out
+    }
+
+    /// Immutable TPM access (verifier-side inspection in tests).
+    pub fn tpm(&self) -> &Tpm {
+        &self.tpm
+    }
+
+    /// Charges CPU work to the platform clock.
+    pub fn charge_cpu(&mut self, d: Duration) {
+        self.clock.advance(d);
+    }
+
+    // ----- DMA (device-initiated) access ---------------------------------
+
+    /// Device-initiated read (e.g. a NIC fetching a transmit buffer),
+    /// filtered by the DEV.
+    pub fn dma_read(&self, addr: u64, len: usize) -> MachineResult<Vec<u8>> {
+        self.dev.check(addr, len as u64)?;
+        Ok(self.memory.read(addr, len)?.to_vec())
+    }
+
+    /// Device-initiated write, filtered by the DEV.
+    pub fn dma_write(&mut self, addr: u64, data: &[u8]) -> MachineResult<()> {
+        self.dev.check(addr, data.len() as u64)?;
+        self.memory.write(addr, data)
+    }
+
+    /// The chipset DEV (diagnostics).
+    pub fn dev(&self) -> &DeviceExclusionVector {
+        &self.dev
+    }
+
+    // ----- the late launch ------------------------------------------------
+
+    /// Executes `SKINIT slb_base` on core `core` (paper §2.4).
+    ///
+    /// Architectural checks, in order:
+    /// 1. the caller must be in ring 0 (`SKINIT` is privileged);
+    /// 2. the core must be the BSP;
+    /// 3. every AP must have received an INIT IPI;
+    /// 4. no launch may already be active;
+    /// 5. the SLB header (length ‖ entry point, two u16s) must be valid.
+    ///
+    /// Effects: 64 KB at `slb_base` become DEV-protected, interrupts and
+    /// debug access are disabled, dynamic PCRs reset, the SLB is streamed
+    /// to the TPM and its hash extended into PCR 17, and the BSP enters
+    /// flat 32-bit protected mode at the SLB entry point.
+    pub fn skinit(&mut self, core: usize, slb_base: u64) -> MachineResult<&ActiveSkinit> {
+        let c = self.cpus.core(core)?;
+        if c.ring != 0 {
+            return Err(MachineError::NotRing0 { ring: c.ring });
+        }
+        if !c.is_bsp() {
+            return Err(MachineError::NotBsp { core });
+        }
+        self.cpus.aps_quiesced()?;
+        if self.active.is_some() {
+            return Err(MachineError::SkinitActive);
+        }
+
+        // Parse and validate the SLB header.
+        let slb_len = self.memory.read_u16_le(slb_base)? as usize;
+        let entry_point = self.memory.read_u16_le(slb_base + 2)?;
+        if slb_len == 0 || slb_len > SLB_MAX_LEN {
+            return Err(MachineError::InvalidSlb("length out of range"));
+        }
+        if (entry_point as usize) >= slb_len {
+            return Err(MachineError::InvalidSlb("entry point beyond SLB"));
+        }
+
+        // Hardware protections: DEV over the full 64 KB window, interrupts
+        // and debug off, flat 32-bit protected mode.
+        let dev_token = self.dev.protect(slb_base, SLB_MAX_LEN as u64);
+        let saved = {
+            let bsp = self.cpus.bsp_mut();
+            let saved = SavedCpuState {
+                interrupts_enabled: bsp.interrupts_enabled,
+                debug_enabled: bsp.debug_enabled,
+                mode: bsp.mode,
+            };
+            bsp.interrupts_enabled = false;
+            bsp.debug_enabled = false;
+            bsp.mode = CpuMode::Flat32;
+            saved
+        };
+
+        // Measurement: the TPM resets dynamic PCRs and hashes the SLB. Only
+        // the declared `slb_len` bytes are measured (and only they should
+        // be: code beyond the header-declared length is unmeasured and must
+        // never be trusted).
+        let slb = self.memory.read(slb_base, slb_len)?.to_vec();
+        let measurement = self.tpm.skinit_measure(4, &slb)?;
+        self.clock.advance(self.tpm.take_elapsed());
+        self.clock.advance(self.skinit_cost.cost(slb_len));
+
+        self.active = Some(ActiveSkinit {
+            slb_base,
+            slb_len,
+            entry_point,
+            measurement,
+            dev_token,
+            extra_dev_tokens: Vec::new(),
+            saved,
+        });
+        Ok(self.active.as_ref().expect("just set"))
+    }
+
+    /// Intel TXT's `GETSEC[SENTER]` — the paper (§2.4) notes that "Intel's
+    /// TXT technology functions analogously" to SKINIT; this alias models
+    /// a TXT platform. (TXT's measured launch environment details — SINIT
+    /// ACMs, PCR 18 — are out of scope; the Flicker-relevant contract is
+    /// identical.)
+    pub fn senter(&mut self, core: usize, mle_base: u64) -> MachineResult<&ActiveSkinit> {
+        self.skinit(core, mle_base)
+    }
+
+    /// Extends DEV protection over an additional region (paper §4.2: "If
+    /// this is done, preparatory code in the first 64 KB must add this
+    /// additional memory to the DEV" — the caller is responsible for also
+    /// measuring it into PCR 17).
+    pub fn extend_protection(&mut self, addr: u64, len: u64) -> MachineResult<()> {
+        let token = self.dev.protect(addr, len);
+        match &mut self.active {
+            Some(a) => {
+                a.extra_dev_tokens.push(token);
+                Ok(())
+            }
+            None => {
+                self.dev.release(token);
+                Err(MachineError::NoActiveSkinit)
+            }
+        }
+    }
+
+    /// Ends the Flicker session and resumes the previous execution
+    /// environment (paper §4.2 "Resume OS"): DEV protections released,
+    /// CPU state restored, interrupts re-enabled, APs restarted.
+    ///
+    /// The *SLB Core* is responsible for having erased secrets before this
+    /// point; the machine does not zeroize for it.
+    pub fn resume_os(&mut self) -> MachineResult<()> {
+        let active = self.active.take().ok_or(MachineError::NoActiveSkinit)?;
+        self.dev.release(active.dev_token);
+        for t in active.extra_dev_tokens {
+            self.dev.release(t);
+        }
+        let bsp = self.cpus.bsp_mut();
+        bsp.interrupts_enabled = active.saved.interrupts_enabled;
+        bsp.debug_enabled = active.saved.debug_enabled;
+        bsp.mode = active.saved.mode;
+        self.cpus.restart_aps();
+        Ok(())
+    }
+
+    /// Simulates a platform reboot: PCRs to power-on state, CPUs reset, DEV
+    /// cleared, any active session destroyed (its secrets died with the
+    /// power cycle).
+    pub fn reboot(&mut self) {
+        self.tpm.reboot();
+        self.cpus = CpuComplex::new(self.cpus.len());
+        self.dev = DeviceExclusionVector::new();
+        self.active = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flicker_crypto::sha1::sha1;
+    use flicker_tpm::PcrBank;
+
+    /// Builds a machine with a valid SLB at `base` and APs quiesced.
+    fn machine_with_slb(base: u64, body: &[u8]) -> Machine {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(1));
+        write_slb(&mut m, base, body);
+        quiesce(&mut m);
+        m
+    }
+
+    fn write_slb(m: &mut Machine, base: u64, body: &[u8]) {
+        let len = (4 + body.len()) as u16;
+        m.memory_mut().write(base, &len.to_le_bytes()).unwrap();
+        m.memory_mut().write(base + 2, &4u16.to_le_bytes()).unwrap();
+        m.memory_mut().write(base + 4, body).unwrap();
+    }
+
+    fn quiesce(m: &mut Machine) {
+        for id in 1..m.cpus().len() {
+            m.cpus_mut().deschedule(id).unwrap();
+            m.cpus_mut().send_init_ipi(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn skinit_happy_path() {
+        let mut m = machine_with_slb(0x10_0000, b"pal code here");
+        let t0 = m.clock().now();
+        let a = m.skinit(0, 0x10_0000).unwrap();
+        assert_eq!(a.entry_point, 4);
+        assert_eq!(a.slb_len, 4 + 13);
+
+        // PCR 17 holds the predicted post-SKINIT value.
+        let slb = m.memory().read(0x10_0000, 17).unwrap();
+        let expected = PcrBank::predict_skinit_pcr17(&sha1(slb));
+        assert_eq!(m.tpm().pcrs().read(17).unwrap(), expected);
+
+        // Hardware protections in force.
+        let bsp = m.cpus().bsp();
+        assert!(!bsp.interrupts_enabled);
+        assert!(!bsp.debug_enabled);
+        assert_eq!(bsp.mode, CpuMode::Flat32);
+        assert!(m.dma_read(0x10_0000, 4).is_err(), "DEV blocks DMA to SLB");
+
+        // Time advanced by the model.
+        assert!(m.clock().now() > t0);
+    }
+
+    #[test]
+    fn skinit_requires_ring0() {
+        let mut m = machine_with_slb(0x10_0000, b"x");
+        m.cpus_mut().bsp_mut().ring = 3;
+        assert_eq!(
+            m.skinit(0, 0x10_0000).unwrap_err(),
+            MachineError::NotRing0 { ring: 3 }
+        );
+    }
+
+    #[test]
+    fn skinit_requires_bsp() {
+        let mut m = machine_with_slb(0x10_0000, b"x");
+        // Core 1 is in WaitForSipi after quiesce; put it back to running
+        // ring-0 to test the BSP check in isolation.
+        m.cpus_mut().core_mut(1).unwrap().state = crate::cpu::CoreState::Running;
+        assert_eq!(
+            m.skinit(1, 0x10_0000).unwrap_err(),
+            MachineError::NotBsp { core: 1 }
+        );
+    }
+
+    #[test]
+    fn skinit_requires_quiesced_aps() {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(2));
+        write_slb(&mut m, 0x10_0000, b"x");
+        assert_eq!(
+            m.skinit(0, 0x10_0000).unwrap_err(),
+            MachineError::ApNotQuiesced { core: 1 }
+        );
+    }
+
+    #[test]
+    fn skinit_validates_header() {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(3));
+        quiesce(&mut m);
+        // Zero length.
+        m.memory_mut().write(0x1000, &[0, 0, 0, 0]).unwrap();
+        assert!(matches!(
+            m.skinit(0, 0x1000),
+            Err(MachineError::InvalidSlb(_))
+        ));
+        // Entry point beyond length.
+        m.memory_mut().write(0x1000, &8u16.to_le_bytes()).unwrap();
+        m.memory_mut().write(0x1002, &9u16.to_le_bytes()).unwrap();
+        assert!(matches!(
+            m.skinit(0, 0x1000),
+            Err(MachineError::InvalidSlb(_))
+        ));
+    }
+
+    #[test]
+    fn double_skinit_rejected() {
+        let mut m = machine_with_slb(0x10_0000, b"x");
+        m.skinit(0, 0x10_0000).unwrap();
+        assert_eq!(
+            m.skinit(0, 0x10_0000).unwrap_err(),
+            MachineError::SkinitActive
+        );
+    }
+
+    #[test]
+    fn resume_restores_platform() {
+        let mut m = machine_with_slb(0x10_0000, b"x");
+        m.skinit(0, 0x10_0000).unwrap();
+        m.resume_os().unwrap();
+        let bsp = m.cpus().bsp();
+        assert!(bsp.interrupts_enabled);
+        assert!(bsp.debug_enabled);
+        assert_eq!(bsp.mode, CpuMode::Paged);
+        assert!(m.dma_read(0x10_0000, 4).is_ok(), "DEV released");
+        assert_eq!(
+            m.cpus().core(1).unwrap().state,
+            crate::cpu::CoreState::Running
+        );
+        assert_eq!(m.resume_os(), Err(MachineError::NoActiveSkinit));
+    }
+
+    #[test]
+    fn dev_blocks_dma_during_session_everywhere_in_64k() {
+        let mut m = machine_with_slb(0x10_0000, b"small pal");
+        m.skinit(0, 0x10_0000).unwrap();
+        // Even past the declared SLB length, the full 64 KB window is
+        // protected (paper §2.4).
+        assert!(m.dma_write(0x10_0000 + 60_000, &[0xEE]).is_err());
+        assert!(
+            m.dma_write(0x10_0000 + 0x10000, &[0xEE]).is_ok(),
+            "just past window"
+        );
+    }
+
+    #[test]
+    fn extend_protection_covers_large_pals() {
+        let mut m = machine_with_slb(0x10_0000, b"stub");
+        m.skinit(0, 0x10_0000).unwrap();
+        m.extend_protection(0x20_0000, 0x10000).unwrap();
+        assert!(m.dma_read(0x20_0000, 4).is_err());
+        m.resume_os().unwrap();
+        assert!(m.dma_read(0x20_0000, 4).is_ok(), "released at resume");
+    }
+
+    #[test]
+    fn extend_protection_requires_active_session() {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(4));
+        assert_eq!(
+            m.extend_protection(0x20_0000, 0x1000),
+            Err(MachineError::NoActiveSkinit)
+        );
+        assert!(m.dma_read(0x20_0000, 4).is_ok(), "no protection leaked");
+    }
+
+    #[test]
+    fn skinit_cost_scales_with_slb_size() {
+        let mut m1 = machine_with_slb(0x10_0000, &vec![0xAA; 1000]);
+        m1.skinit(0, 0x10_0000).unwrap();
+        let t_small = m1.clock().now();
+
+        let mut m2 = machine_with_slb(0x10_0000, &vec![0xAA; 60_000]);
+        m2.skinit(0, 0x10_0000).unwrap();
+        let t_large = m2.clock().now();
+        assert!(t_large > t_small);
+    }
+
+    #[test]
+    fn malicious_os_can_skinit_but_pcr17_tells_the_truth() {
+        // Adversary model (§3.1): the OS may invoke SKINIT with arguments
+        // of its choosing. It gets a launch — but PCR 17 then reflects the
+        // *evil* SLB's measurement, so attestations expose it.
+        let mut m = machine_with_slb(0x10_0000, b"evil pal");
+        m.skinit(0, 0x10_0000).unwrap();
+        let evil_slb = m.memory().read(0x10_0000, 4 + 8).unwrap();
+        let honest_hash = sha1(b"honest measured pal");
+        assert_ne!(
+            m.tpm().pcrs().read(17).unwrap(),
+            PcrBank::predict_skinit_pcr17(&honest_hash)
+        );
+        assert_eq!(
+            m.tpm().pcrs().read(17).unwrap(),
+            PcrBank::predict_skinit_pcr17(&sha1(evil_slb))
+        );
+    }
+
+    #[test]
+    fn reboot_clears_session_and_resets_pcrs() {
+        let mut m = machine_with_slb(0x10_0000, b"x");
+        m.skinit(0, 0x10_0000).unwrap();
+        m.reboot();
+        assert!(m.active_skinit().is_none());
+        assert_eq!(m.tpm().pcrs().read(17).unwrap(), [0xFF; 20]);
+        assert!(m.dma_read(0x10_0000, 4).is_ok());
+    }
+
+    #[test]
+    fn senter_behaves_like_skinit() {
+        // Intel TXT alias: identical architectural effects.
+        let mut m = machine_with_slb(0x10_0000, b"txt mle");
+        let a = m.senter(0, 0x10_0000).unwrap();
+        assert_eq!(a.entry_point, 4);
+        assert!(!m.cpus().bsp().interrupts_enabled);
+        assert!(m.dma_read(0x10_0000, 4).is_err());
+        m.resume_os().unwrap();
+    }
+
+    #[test]
+    fn tpm_op_drains_time_into_clock() {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(5));
+        let t0 = m.clock().now();
+        m.tpm_op(|t| t.get_random(16));
+        assert!(m.clock().now() > t0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Flat physical memory.
+
+use crate::error::{MachineError, MachineResult};
+
+/// The platform's physical RAM, addressed from 0.
+#[derive(Debug, Clone)]
+pub struct PhysMemory {
+    bytes: Vec<u8>,
+}
+
+impl PhysMemory {
+    /// Installs `size` bytes of zeroed RAM.
+    pub fn new(size: usize) -> Self {
+        PhysMemory {
+            bytes: vec![0u8; size],
+        }
+    }
+
+    /// Installed RAM size.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn range(&self, addr: u64, len: usize) -> MachineResult<std::ops::Range<usize>> {
+        let start =
+            usize::try_from(addr).map_err(|_| MachineError::PhysOutOfBounds { addr, len })?;
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(MachineError::PhysOutOfBounds { addr, len })?;
+        Ok(start..end)
+    }
+
+    /// Reads `len` bytes at `addr`.
+    pub fn read(&self, addr: u64, len: usize) -> MachineResult<&[u8]> {
+        let r = self.range(addr, len)?;
+        Ok(&self.bytes[r])
+    }
+
+    /// Writes `data` at `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> MachineResult<()> {
+        let r = self.range(addr, data.len())?;
+        self.bytes[r].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Overwrites `len` bytes at `addr` with zeroes (the SLB Core's cleanup
+    /// phase erasing PAL secrets, paper §4.2).
+    pub fn zeroize(&mut self, addr: u64, len: usize) -> MachineResult<()> {
+        let r = self.range(addr, len)?;
+        self.bytes[r].fill(0);
+        Ok(())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> MachineResult<u8> {
+        Ok(self.read(addr, 1)?[0])
+    }
+
+    /// Reads a little-endian u16 (the SLB header fields are 16-bit words,
+    /// paper §2.4).
+    pub fn read_u16_le(&self, addr: u64) -> MachineResult<u16> {
+        let b = self.read(addr, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn read_u32_le(&self, addr: u64) -> MachineResult<u32> {
+        let b = self.read(addr, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Writes a little-endian u32.
+    pub fn write_u32_le(&mut self, addr: u64, v: u32) -> MachineResult<()> {
+        self.write(addr, &v.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = PhysMemory::new(1024);
+        m.write(100, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read(100, 3).unwrap(), &[1, 2, 3]);
+        assert_eq!(m.read(99, 1).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut m = PhysMemory::new(16);
+        assert!(matches!(
+            m.read(16, 1),
+            Err(MachineError::PhysOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.write(14, &[0; 3]),
+            Err(MachineError::PhysOutOfBounds { .. })
+        ));
+        // Boundary access is fine.
+        m.write(13, &[0; 3]).unwrap();
+    }
+
+    #[test]
+    fn overflow_addresses_rejected() {
+        let m = PhysMemory::new(16);
+        assert!(m.read(u64::MAX, 1).is_err());
+        assert!(m.read(u64::MAX - 10, 20).is_err());
+    }
+
+    #[test]
+    fn zeroize_erases() {
+        let mut m = PhysMemory::new(64);
+        m.write(0, &[0xAA; 64]).unwrap();
+        m.zeroize(8, 16).unwrap();
+        assert_eq!(m.read(0, 8).unwrap(), &[0xAA; 8]);
+        assert_eq!(m.read(8, 16).unwrap(), &[0u8; 16]);
+        assert_eq!(m.read(24, 8).unwrap(), &[0xAA; 8]);
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        let mut m = PhysMemory::new(64);
+        m.write(0, &[0x34, 0x12]).unwrap();
+        assert_eq!(m.read_u16_le(0).unwrap(), 0x1234);
+        m.write_u32_le(4, 0xdeadbeef).unwrap();
+        assert_eq!(m.read_u32_le(4).unwrap(), 0xdeadbeef);
+        assert_eq!(m.read_u8(4).unwrap(), 0xef);
+    }
+}

@@ -1,0 +1,243 @@
+//! Segmentation: GDT, descriptors, and checked logical→physical
+//! translation.
+//!
+//! Flicker leans on segmentation twice (paper §4.2, §5.1.2):
+//!
+//! 1. The SLB Core creates segments **based at `slb_base`** so the PAL —
+//!    linked to run at address 0 — executes correctly wherever the kernel
+//!    allocated the SLB.
+//! 2. The OS-Protection module gives the PAL ring-3 segments whose **limit**
+//!    ends at the OS-allocated region, so a malicious PAL cannot read or
+//!    write the rest of physical memory.
+
+use crate::error::{MachineError, MachineResult};
+
+/// Descriptor type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Executable code segment.
+    Code,
+    /// Data/stack segment.
+    Data,
+}
+
+/// A segment descriptor (base/limit/DPL subset of the x86 descriptor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentDescriptor {
+    /// Physical base address added to every offset.
+    pub base: u64,
+    /// Highest valid offset (inclusive limit, in bytes).
+    pub limit: u32,
+    /// Descriptor privilege level (0–3).
+    pub dpl: u8,
+    /// Code or data.
+    pub kind: SegmentKind,
+}
+
+impl SegmentDescriptor {
+    /// A flat 4 GiB segment (what the kernel runs with, and what the SLB
+    /// Core loads through its call gate when resuming the OS).
+    pub fn flat(kind: SegmentKind, dpl: u8) -> Self {
+        SegmentDescriptor {
+            base: 0,
+            limit: u32::MAX,
+            dpl,
+            kind,
+        }
+    }
+
+    /// Translates `offset` within this segment to a physical address,
+    /// enforcing the limit and the ring check `cpl <= dpl` is *not* how x86
+    /// works — access requires `cpl <= dpl` numerically reversed; here we
+    /// enforce the one property Flicker uses: a ring-3 access through a
+    /// ring-0 descriptor faults.
+    pub fn translate(&self, offset: u32, len: u32, cpl: u8) -> MachineResult<u64> {
+        if cpl > self.dpl {
+            return Err(MachineError::PrivilegeViolation(
+                "segment DPL below current privilege level",
+            ));
+        }
+        let end = offset
+            .checked_add(len.saturating_sub(1))
+            .ok_or(MachineError::SegmentLimit {
+                offset,
+                limit: self.limit,
+            })?;
+        if end > self.limit {
+            return Err(MachineError::SegmentLimit {
+                offset,
+                limit: self.limit,
+            });
+        }
+        Ok(self.base + offset as u64)
+    }
+}
+
+/// A call-gate entry: the SLB Core's well-known point for transitioning
+/// back to ring 0 and reloading flat segments when resuming the OS
+/// (paper §4.2 "Resume OS").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallGate {
+    /// Index of the target code descriptor in the GDT.
+    pub target_selector: usize,
+    /// Ring the gate transfers to.
+    pub target_ring: u8,
+}
+
+/// A Global Descriptor Table.
+#[derive(Debug, Clone, Default)]
+pub struct Gdt {
+    entries: Vec<SegmentDescriptor>,
+    call_gate: Option<CallGate>,
+}
+
+impl Gdt {
+    /// An empty GDT.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a descriptor, returning its selector index.
+    pub fn push(&mut self, d: SegmentDescriptor) -> usize {
+        self.entries.push(d);
+        self.entries.len() - 1
+    }
+
+    /// Looks up a descriptor by selector.
+    pub fn get(&self, selector: usize) -> MachineResult<&SegmentDescriptor> {
+        self.entries
+            .get(selector)
+            .ok_or(MachineError::PrivilegeViolation("bad segment selector"))
+    }
+
+    /// Installs the call gate.
+    pub fn set_call_gate(&mut self, gate: CallGate) {
+        self.call_gate = Some(gate);
+    }
+
+    /// The installed call gate, if any.
+    pub fn call_gate(&self) -> Option<CallGate> {
+        self.call_gate
+    }
+
+    /// Number of descriptors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the GDT has no descriptors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Builds the two-descriptor GDT the SLB Core uses for the PAL: code and
+/// data segments based at `slb_base` with limit `region_len - 1`, at ring
+/// `dpl` (ring 3 when the OS-Protection module is active, paper §5.1.2).
+pub fn pal_segments(
+    slb_base: u64,
+    region_len: u32,
+    dpl: u8,
+) -> (SegmentDescriptor, SegmentDescriptor) {
+    let limit = region_len.saturating_sub(1);
+    (
+        SegmentDescriptor {
+            base: slb_base,
+            limit,
+            dpl,
+            kind: SegmentKind::Code,
+        },
+        SegmentDescriptor {
+            base: slb_base,
+            limit,
+            dpl,
+            kind: SegmentKind::Data,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_segment_translates_identity() {
+        let d = SegmentDescriptor::flat(SegmentKind::Data, 0);
+        assert_eq!(d.translate(0x1234, 4, 0).unwrap(), 0x1234);
+        assert_eq!(d.translate(u32::MAX, 1, 0).unwrap(), u32::MAX as u64);
+    }
+
+    #[test]
+    fn based_segment_offsets() {
+        let d = SegmentDescriptor {
+            base: 0x10_0000,
+            limit: 0xFFFF,
+            dpl: 3,
+            kind: SegmentKind::Data,
+        };
+        assert_eq!(d.translate(0, 1, 3).unwrap(), 0x10_0000);
+        assert_eq!(d.translate(0xFFFF, 1, 3).unwrap(), 0x10_FFFF);
+    }
+
+    #[test]
+    fn limit_enforced() {
+        let d = SegmentDescriptor {
+            base: 0,
+            limit: 0xFFF,
+            dpl: 3,
+            kind: SegmentKind::Data,
+        };
+        assert!(d.translate(0x1000, 1, 3).is_err());
+        assert!(d.translate(0xFFF, 2, 3).is_err(), "straddles the limit");
+        assert!(d.translate(0xFFF, 1, 3).is_ok(), "last byte accessible");
+    }
+
+    #[test]
+    fn offset_overflow_faults() {
+        let d = SegmentDescriptor::flat(SegmentKind::Data, 3);
+        assert!(d.translate(u32::MAX, 2, 3).is_err());
+    }
+
+    #[test]
+    fn ring3_cannot_use_ring0_descriptor() {
+        let d = SegmentDescriptor::flat(SegmentKind::Data, 0);
+        assert!(matches!(
+            d.translate(0, 1, 3),
+            Err(MachineError::PrivilegeViolation(_))
+        ));
+        // Ring 0 can use a ring-3 descriptor (conforming direction).
+        let d3 = SegmentDescriptor::flat(SegmentKind::Data, 3);
+        assert!(d3.translate(0, 1, 0).is_ok());
+    }
+
+    #[test]
+    fn pal_segments_cover_exact_region() {
+        let (code, data) = pal_segments(0x200000, 0x10000, 3);
+        assert_eq!(code.base, 0x200000);
+        assert_eq!(code.kind, SegmentKind::Code);
+        assert_eq!(data.kind, SegmentKind::Data);
+        assert_eq!(data.translate(0, 1, 3).unwrap(), 0x200000);
+        assert_eq!(data.translate(0xFFFF, 1, 3).unwrap(), 0x20FFFF);
+        assert!(
+            data.translate(0x10000, 1, 3).is_err(),
+            "one past the region"
+        );
+    }
+
+    #[test]
+    fn gdt_selectors_and_call_gate() {
+        let mut gdt = Gdt::new();
+        let cs = gdt.push(SegmentDescriptor::flat(SegmentKind::Code, 0));
+        let ds = gdt.push(SegmentDescriptor::flat(SegmentKind::Data, 0));
+        assert_eq!(gdt.len(), 2);
+        assert_eq!(gdt.get(cs).unwrap().kind, SegmentKind::Code);
+        assert_eq!(gdt.get(ds).unwrap().kind, SegmentKind::Data);
+        assert!(gdt.get(9).is_err());
+
+        gdt.set_call_gate(CallGate {
+            target_selector: cs,
+            target_ring: 0,
+        });
+        assert_eq!(gdt.call_gate().unwrap().target_ring, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Untrusted operating-system model for the Flicker reproduction.
+//!
+//! Models the Linux 2.6.20 environment of the paper's evaluation exactly as
+//! far as Flicker touches it (§4.2, §6, §7.3, §7.5):
+//!
+//! * [`kernel`] — the kernel image the rootkit detector measures, with the
+//!   compromise primitives a rootkit uses (syscall hooks, text patches,
+//!   module injection).
+//! * [`os`] — suspend/resume around sessions (CPU hotplug + INIT IPI +
+//!   saved kernel state) and the `tqd` quote daemon.
+//! * [`sched`] — a simple scheduler for the system-impact experiments
+//!   (Table 3, §6.2 multitasking).
+//! * [`blockdev`] — buffered device transfers under suspension (§7.5).
+//! * [`net`] — the 12-hop verifier link latency model (§7.1).
+//! * [`state`] — the saved kernel state record (Figure 3's "Saved Kernel
+//!   State" region).
+//!
+//! The OS is untrusted in Flicker's threat model; this crate exists so the
+//! system has something realistic to suspend, something worth measuring,
+//! and an adversary with hands.
+
+pub mod blockdev;
+pub mod ima;
+pub mod kernel;
+pub mod net;
+pub mod os;
+pub mod sched;
+pub mod state;
+
+pub use blockdev::{CopyConfig, CopyExperiment, CopyReport, Pacing};
+pub use kernel::{KernelImage, KernelModule};
+pub use net::NetLink;
+pub use os::{Os, OsConfig, KERNEL_PHYS_BASE};
+pub use sched::{Job, Scheduler};
+pub use state::SavedKernelState;

@@ -1,0 +1,118 @@
+//! Network latency model.
+//!
+//! The paper's remote verifier sits "12 hops away ... with minimum,
+//! maximum, and average ping times of 9.33 ms, 10.10 ms, and 9.45 ms over
+//! 50 trials" (§7.1). The rootkit-query and SSH end-to-end numbers include
+//! that link. This model draws per-message one-way delays from a
+//! triangular-ish distribution matching those statistics, deterministically
+//! from a seed.
+
+use flicker_crypto::{CryptoRng, HmacDrbg};
+use std::time::Duration;
+
+/// A bidirectional latency-modelled link.
+pub struct NetLink {
+    min_rtt: Duration,
+    avg_rtt: Duration,
+    max_rtt: Duration,
+    drbg: HmacDrbg,
+}
+
+impl NetLink {
+    /// A link with explicit RTT statistics.
+    pub fn new(min_rtt: Duration, avg_rtt: Duration, max_rtt: Duration, seed: u64) -> Self {
+        assert!(min_rtt <= avg_rtt && avg_rtt <= max_rtt, "rtt ordering");
+        NetLink {
+            min_rtt,
+            avg_rtt,
+            max_rtt,
+            drbg: HmacDrbg::new(&seed.to_be_bytes(), b"netlink"),
+        }
+    }
+
+    /// The paper's 12-hop verifier link (§7.1).
+    pub fn paper_verifier_link(seed: u64) -> Self {
+        NetLink::new(
+            Duration::from_micros(9_330),
+            Duration::from_micros(9_450),
+            Duration::from_micros(10_100),
+            seed,
+        )
+    }
+
+    /// Samples a round-trip time.
+    ///
+    /// Most samples land near the average (the paper's distribution is
+    /// tight); an exponential-ish tail reaches toward the max.
+    pub fn sample_rtt(&mut self) -> Duration {
+        let span_lo = self.avg_rtt - self.min_rtt;
+        let span_hi = self.max_rtt - self.avg_rtt;
+        // Average of two uniforms gives a triangular kernel around avg.
+        let u1 = self.drbg.next_u64() as f64 / u64::MAX as f64;
+        let u2 = self.drbg.next_u64() as f64 / u64::MAX as f64;
+        let t = (u1 + u2) / 2.0; // mean 0.5
+        if t < 0.5 {
+            self.avg_rtt - span_lo.mul_f64((0.5 - t) * 2.0)
+        } else {
+            self.avg_rtt + span_hi.mul_f64((t - 0.5) * 2.0)
+        }
+    }
+
+    /// One-way delay for a message (half an RTT sample; payload size is
+    /// negligible at these message sizes and era bandwidths).
+    pub fn one_way(&mut self) -> Duration {
+        self.sample_rtt() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_respect_bounds() {
+        let mut link = NetLink::paper_verifier_link(1);
+        for _ in 0..500 {
+            let rtt = link.sample_rtt();
+            assert!(rtt >= Duration::from_micros(9_330), "{rtt:?}");
+            assert!(rtt <= Duration::from_micros(10_100), "{rtt:?}");
+        }
+    }
+
+    #[test]
+    fn mean_is_near_avg() {
+        let mut link = NetLink::paper_verifier_link(2);
+        let n = 1000;
+        let total: Duration = (0..n).map(|_| link.sample_rtt()).sum();
+        let mean = total / n;
+        let err = mean.abs_diff(Duration::from_micros(9_450));
+        assert!(err < Duration::from_micros(300), "mean {mean:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = NetLink::paper_verifier_link(3);
+        let mut b = NetLink::paper_verifier_link(3);
+        for _ in 0..10 {
+            assert_eq!(a.sample_rtt(), b.sample_rtt());
+        }
+    }
+
+    #[test]
+    fn one_way_is_half_rtt_scale() {
+        let mut link = NetLink::paper_verifier_link(4);
+        let ow = link.one_way();
+        assert!(ow > Duration::from_millis(4) && ow < Duration::from_millis(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "rtt ordering")]
+    fn bad_ordering_rejected() {
+        let _ = NetLink::new(
+            Duration::from_millis(10),
+            Duration::from_millis(5),
+            Duration::from_millis(20),
+            0,
+        );
+    }
+}

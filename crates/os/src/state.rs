@@ -1,0 +1,91 @@
+//! Saved kernel execution state across a Flicker session.
+//!
+//! `SKINIT` "does not save existing state" (paper §4.2), so the
+//! flicker-module records what the SLB Core and the module itself need to
+//! rebuild the kernel's world: the page-table base (CR3), descriptor-table
+//! pointers, and the interrupt flag. The SLB Core's resume path rebuilds
+//! skeleton page tables, reloads the kernel GDT, and rewrites CR3 from this
+//! record.
+
+/// Kernel state captured during the Suspend OS phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedKernelState {
+    /// Page-table base register.
+    pub cr3: u64,
+    /// Kernel GDT base.
+    pub gdt_base: u64,
+    /// Kernel IDT base.
+    pub idt_base: u64,
+    /// Whether interrupts were enabled.
+    pub interrupts_enabled: bool,
+    /// Kernel stack pointer of the suspended context.
+    pub kernel_esp: u64,
+}
+
+impl SavedKernelState {
+    /// A plausible 2.6.20-era kernel state.
+    pub fn typical() -> Self {
+        SavedKernelState {
+            cr3: 0x0073_8000,
+            gdt_base: 0xC180_0000,
+            idt_base: 0xC180_1000,
+            interrupts_enabled: true,
+            kernel_esp: 0xC1FF_F000,
+        }
+    }
+
+    /// Serializes for stashing in the SLB's saved-state region (Figure 3:
+    /// "In: Saved Kernel State").
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(33);
+        out.extend_from_slice(&self.cr3.to_le_bytes());
+        out.extend_from_slice(&self.gdt_base.to_le_bytes());
+        out.extend_from_slice(&self.idt_base.to_le_bytes());
+        out.push(self.interrupts_enabled as u8);
+        out.extend_from_slice(&self.kernel_esp.to_le_bytes());
+        out
+    }
+
+    /// Parses the [`Self::to_bytes`] form.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 33 {
+            return None;
+        }
+        let u = |r: std::ops::Range<usize>| u64::from_le_bytes(bytes[r].try_into().ok().unwrap());
+        Some(SavedKernelState {
+            cr3: u(0..8),
+            gdt_base: u(8..16),
+            idt_base: u(16..24),
+            interrupts_enabled: bytes[24] != 0,
+            kernel_esp: u(25..33),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let s = SavedKernelState::typical();
+        assert_eq!(SavedKernelState::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!(SavedKernelState::from_bytes(&[0u8; 32]).is_none());
+        assert!(SavedKernelState::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn flag_preserved() {
+        let mut s = SavedKernelState::typical();
+        s.interrupts_enabled = false;
+        assert!(
+            !SavedKernelState::from_bytes(&s.to_bytes())
+                .unwrap()
+                .interrupts_enabled
+        );
+    }
+}

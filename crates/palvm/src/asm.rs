@@ -1,0 +1,395 @@
+//! Two-pass assembler for PalVM programs.
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! ; full-line or trailing comment
+//! label:
+//!     movi r1, 0x10        ; imm forms: decimal, 0x hex, 'c' char
+//!     addi r1, r1, 4
+//!     add  r2, r1, r3
+//!     ldb  r4, [r1+8]
+//!     stw  [r1+12], r4
+//!     jnz  r4, label
+//!     call func            ; label operand
+//!     hcall 2
+//!     halt
+//! ```
+//!
+//! Labels resolve to instruction indices (PalVM jumps are absolute).
+
+use crate::isa::{Insn, Opcode, INSN_LEN, NUM_REGS};
+use std::collections::BTreeMap;
+
+/// An assembled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Encoded instructions, `INSN_LEN` bytes each.
+    pub code: Vec<u8>,
+    /// Label → instruction index map (useful for tests and the extractor).
+    pub labels: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len() / INSN_LEN
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+/// Assembly error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<u8, AsmError> {
+    let t = tok.trim();
+    let Some(num) = t.strip_prefix('r').and_then(|n| n.parse::<u8>().ok()) else {
+        return err(line, format!("expected register, got `{t}`"));
+    };
+    if num as usize >= NUM_REGS {
+        return err(line, format!("register out of range: `{t}`"));
+    }
+    Ok(num)
+}
+
+fn parse_imm(tok: &str, line: usize, labels: &BTreeMap<String, u32>) -> Result<u32, AsmError> {
+    let t = tok.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return u32::from_str_radix(hex, 16).map_err(|_| AsmError {
+            line,
+            message: format!("bad hex immediate `{t}`"),
+        });
+    }
+    if t.len() == 3 && t.starts_with('\'') && t.ends_with('\'') {
+        return Ok(t.as_bytes()[1] as u32);
+    }
+    if let Ok(v) = t.parse::<u32>() {
+        return Ok(v);
+    }
+    if let Ok(v) = t.parse::<i32>() {
+        return Ok(v as u32);
+    }
+    if let Some(&target) = labels.get(t) {
+        return Ok(target);
+    }
+    err(line, format!("bad immediate or unknown label `{t}`"))
+}
+
+/// Parses a `[rN+imm]` memory operand into `(reg, offset)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(u8, u32), AsmError> {
+    let t = tok.trim();
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or(AsmError {
+            line,
+            message: format!("expected [reg+imm], got `{t}`"),
+        })?;
+    let (reg_part, off_part) = match inner.find('+') {
+        Some(i) => (&inner[..i], &inner[i + 1..]),
+        None => (inner, "0"),
+    };
+    let reg = parse_reg(reg_part, line)?;
+    let off = parse_imm(off_part, line, &BTreeMap::new())?;
+    Ok((reg, off))
+}
+
+/// Strips comments and whitespace; returns `None` for blank lines.
+fn clean(line: &str) -> Option<&str> {
+    let line = match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let line = line.trim();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line)
+    }
+}
+
+/// Splits `body` into comma-separated operands.
+fn operands(body: &str) -> Vec<&str> {
+    if body.trim().is_empty() {
+        Vec::new()
+    } else {
+        body.split(',').map(str::trim).collect()
+    }
+}
+
+/// Assembles `source` into a [`Program`].
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: label collection.
+    let mut labels = BTreeMap::new();
+    let mut index: u32 = 0;
+    for (ln, raw) in source.lines().enumerate() {
+        let line_no = ln + 1;
+        let Some(mut text) = clean(raw) else { continue };
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return err(line_no, format!("bad label `{label}`"));
+            }
+            if labels.insert(label.to_string(), index).is_some() {
+                return err(line_no, format!("duplicate label `{label}`"));
+            }
+            text = rest[1..].trim();
+            if text.is_empty() {
+                break;
+            }
+        }
+        if !text.is_empty() {
+            index += 1;
+        }
+    }
+
+    // Pass 2: encoding.
+    let mut code = Vec::new();
+    for (ln, raw) in source.lines().enumerate() {
+        let line_no = ln + 1;
+        let Some(mut text) = clean(raw) else { continue };
+        while let Some(colon) = text.find(':') {
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, body) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let ops = operands(body);
+        let mut insn = Insn {
+            op: Opcode::Halt,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        };
+
+        let need = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                err(
+                    line_no,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                )
+            }
+        };
+
+        match mnemonic.to_ascii_lowercase().as_str() {
+            "halt" => {
+                need(0)?;
+                insn.op = Opcode::Halt;
+            }
+            "movi" => {
+                need(2)?;
+                insn.op = Opcode::Movi;
+                insn.rd = parse_reg(ops[0], line_no)?;
+                insn.imm = parse_imm(ops[1], line_no, &labels)?;
+            }
+            "mov" => {
+                need(2)?;
+                insn.op = Opcode::Mov;
+                insn.rd = parse_reg(ops[0], line_no)?;
+                insn.rs1 = parse_reg(ops[1], line_no)?;
+            }
+            m
+            @ ("add" | "sub" | "mul" | "divu" | "modu" | "and" | "or" | "xor" | "shl" | "shr") => {
+                need(3)?;
+                insn.op = match m {
+                    "add" => Opcode::Add,
+                    "sub" => Opcode::Sub,
+                    "mul" => Opcode::Mul,
+                    "divu" => Opcode::Divu,
+                    "modu" => Opcode::Modu,
+                    "and" => Opcode::And,
+                    "or" => Opcode::Or,
+                    "xor" => Opcode::Xor,
+                    "shl" => Opcode::Shl,
+                    _ => Opcode::Shr,
+                };
+                insn.rd = parse_reg(ops[0], line_no)?;
+                insn.rs1 = parse_reg(ops[1], line_no)?;
+                insn.rs2 = parse_reg(ops[2], line_no)?;
+            }
+            "addi" => {
+                need(3)?;
+                insn.op = Opcode::Addi;
+                insn.rd = parse_reg(ops[0], line_no)?;
+                insn.rs1 = parse_reg(ops[1], line_no)?;
+                insn.imm = parse_imm(ops[2], line_no, &labels)?;
+            }
+            m @ ("ldb" | "ldw") => {
+                need(2)?;
+                insn.op = if m == "ldb" { Opcode::Ldb } else { Opcode::Ldw };
+                insn.rd = parse_reg(ops[0], line_no)?;
+                let (reg, off) = parse_mem(ops[1], line_no)?;
+                insn.rs1 = reg;
+                insn.imm = off;
+            }
+            m @ ("stb" | "stw") => {
+                need(2)?;
+                insn.op = if m == "stb" { Opcode::Stb } else { Opcode::Stw };
+                let (reg, off) = parse_mem(ops[0], line_no)?;
+                insn.rs1 = reg;
+                insn.imm = off;
+                insn.rs2 = parse_reg(ops[1], line_no)?;
+            }
+            "jmp" => {
+                need(1)?;
+                insn.op = Opcode::Jmp;
+                insn.imm = parse_imm(ops[0], line_no, &labels)?;
+            }
+            m @ ("jz" | "jnz") => {
+                need(2)?;
+                insn.op = if m == "jz" { Opcode::Jz } else { Opcode::Jnz };
+                insn.rs1 = parse_reg(ops[0], line_no)?;
+                insn.imm = parse_imm(ops[1], line_no, &labels)?;
+            }
+            "jlt" => {
+                need(3)?;
+                insn.op = Opcode::Jlt;
+                insn.rs1 = parse_reg(ops[0], line_no)?;
+                insn.rs2 = parse_reg(ops[1], line_no)?;
+                insn.imm = parse_imm(ops[2], line_no, &labels)?;
+            }
+            "call" => {
+                need(1)?;
+                insn.op = Opcode::Call;
+                insn.imm = parse_imm(ops[0], line_no, &labels)?;
+            }
+            "ret" => {
+                need(0)?;
+                insn.op = Opcode::Ret;
+            }
+            "hcall" => {
+                need(1)?;
+                insn.op = Opcode::Hcall;
+                insn.imm = parse_imm(ops[0], line_no, &labels)?;
+            }
+            other => return err(line_no, format!("unknown mnemonic `{other}`")),
+        }
+        code.extend_from_slice(&insn.encode());
+    }
+
+    Ok(Program { code, labels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble("movi r1, 5\nhalt").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p =
+            assemble("start: movi r1, 1\n jmp end\n movi r1, 2\n end: halt\n jmp start").unwrap();
+        assert_eq!(p.labels["start"], 0);
+        assert_eq!(p.labels["end"], 3);
+        // The jmp at index 1 targets instruction 3.
+        let insn = Insn::decode(p.code[INSN_LEN..2 * INSN_LEN].try_into().unwrap()).unwrap();
+        assert_eq!(insn.imm, 3);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = assemble("; a comment\n\n   \nmovi r0, 1 ; trailing\nhalt").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn hex_and_char_immediates() {
+        let p = assemble("movi r0, 0xff\nmovi r1, 'A'\nhalt").unwrap();
+        let i0 = Insn::decode(p.code[..INSN_LEN].try_into().unwrap()).unwrap();
+        let i1 = Insn::decode(p.code[INSN_LEN..2 * INSN_LEN].try_into().unwrap()).unwrap();
+        assert_eq!(i0.imm, 255);
+        assert_eq!(i1.imm, 65);
+    }
+
+    #[test]
+    fn negative_immediate_wraps() {
+        let p = assemble("movi r0, -1\nhalt").unwrap();
+        let i0 = Insn::decode(p.code[..INSN_LEN].try_into().unwrap()).unwrap();
+        assert_eq!(i0.imm, u32::MAX);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("ldw r2, [r3+0x10]\nstb [r4], r5\nhalt").unwrap();
+        let i0 = Insn::decode(p.code[..INSN_LEN].try_into().unwrap()).unwrap();
+        assert_eq!((i0.rd, i0.rs1, i0.imm), (2, 3, 0x10));
+        let i1 = Insn::decode(p.code[INSN_LEN..2 * INSN_LEN].try_into().unwrap()).unwrap();
+        assert_eq!((i1.rs1, i1.rs2, i1.imm), (4, 5, 0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("movi r1, 1\nbogus r1\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert!(assemble("movi r16, 1").is_err());
+        assert!(assemble("movi rx, 1").is_err());
+    }
+
+    #[test]
+    fn wrong_operand_count_rejected() {
+        assert!(assemble("add r1, r2").is_err());
+        assert!(assemble("halt r1").is_err());
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a: halt\na: halt").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        assert!(assemble("jmp nowhere").is_err());
+    }
+
+    #[test]
+    fn label_on_own_line() {
+        let p = assemble("here:\n  halt").unwrap();
+        assert_eq!(p.labels["here"], 0);
+        assert_eq!(p.len(), 1);
+    }
+}

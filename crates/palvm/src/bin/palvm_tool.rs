@@ -1,0 +1,119 @@
+//! `palvm-tool` — the PAL developer environment as a CLI (paper §5).
+//!
+//! ```text
+//! palvm-tool asm <file.pal>              assemble; write <file>.bin
+//! palvm-tool disasm <file.bin>           disassemble to stdout
+//! palvm-tool extract <file.pal> <func>   extract a standalone PAL (§5.2)
+//! palvm-tool run <file.pal> [hex-input]  assemble + run on a test bus
+//! ```
+
+use flicker_palvm::{assemble, disasm, extract, run, TestBus};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  palvm-tool asm <file.pal>\n  palvm-tool disasm <file.bin>\n  \
+         palvm-tool extract <file.pal> <function>\n  palvm-tool run <file.pal> [hex-input]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match (cmd.as_str(), args.len()) {
+        ("asm", 2) => {
+            let src = match std::fs::read_to_string(&args[1]) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("read {}: {e}", args[1])),
+            };
+            match assemble(&src) {
+                Ok(prog) => {
+                    let out = format!("{}.bin", args[1].trim_end_matches(".pal"));
+                    if let Err(e) = std::fs::write(&out, &prog.code) {
+                        return fail(&format!("write {out}: {e}"));
+                    }
+                    println!("{}: {} instructions -> {out}", args[1], prog.len());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&format!("assembly error: {e}")),
+            }
+        }
+        ("disasm", 2) => {
+            let code = match std::fs::read(&args[1]) {
+                Ok(c) => c,
+                Err(e) => return fail(&format!("read {}: {e}", args[1])),
+            };
+            match disasm::disassemble(&code) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&format!("disassembly error: {e}")),
+            }
+        }
+        ("extract", 3) => {
+            let src = match std::fs::read_to_string(&args[1]) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("read {}: {e}", args[1])),
+            };
+            match extract(&src, &args[2]) {
+                Ok(result) => {
+                    print!("{}", result.source);
+                    eprintln!(
+                        "; included: {}\n; externs to replace: {}",
+                        result.included.join(", "),
+                        if result.externs.is_empty() {
+                            "(none)".to_string()
+                        } else {
+                            result.externs.join(", ")
+                        }
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&format!("extraction error: {e}")),
+            }
+        }
+        ("run", 2 | 3) => {
+            let src = match std::fs::read_to_string(&args[1]) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("read {}: {e}", args[1])),
+            };
+            let prog = match assemble(&src) {
+                Ok(p) => p,
+                Err(e) => return fail(&format!("assembly error: {e}")),
+            };
+            let mut bus = TestBus::new(64 * 1024);
+            if let Some(hex) = args.get(2) {
+                match flicker_crypto::hex::decode(hex) {
+                    Ok(bytes) => bus.ram[..bytes.len()].copy_from_slice(&bytes),
+                    Err(e) => return fail(&format!("bad hex input: {e}")),
+                }
+            }
+            match run(&prog.code, &mut bus, 100_000_000) {
+                Ok(exit) => {
+                    println!("halted after {} instructions", exit.executed);
+                    println!("r0..r3: {:?}", &exit.regs[..4]);
+                    if !bus.output.is_empty() {
+                        println!(
+                            "output ({} bytes): {:?} [{}]",
+                            bus.output.len(),
+                            String::from_utf8_lossy(&bus.output),
+                            flicker_crypto::hex::encode(&bus.output)
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&format!("vm fault: {e}")),
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("palvm-tool: {msg}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,164 @@
+//! PalVM disassembler.
+//!
+//! Renders encoded programs back to assembler syntax that
+//! [`crate::asm::assemble`] accepts, generating `L<n>:` labels for every
+//! jump/call target. Useful for auditing a measured PAL: given the bytes
+//! SKINIT hashed, this shows exactly what they do.
+
+use crate::isa::{Insn, Opcode, INSN_LEN};
+use std::collections::BTreeSet;
+
+/// Disassembly failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DisasmError {
+    /// The byte length is not a whole number of instructions.
+    TruncatedProgram(usize),
+    /// Undecodable instruction at the given index.
+    BadInstruction(usize),
+}
+
+impl core::fmt::Display for DisasmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DisasmError::TruncatedProgram(n) => {
+                write!(f, "program length {n} is not a multiple of {INSN_LEN}")
+            }
+            DisasmError::BadInstruction(i) => write!(f, "undecodable instruction at index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for DisasmError {}
+
+fn is_branch(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Jmp | Opcode::Jz | Opcode::Jnz | Opcode::Jlt | Opcode::Call
+    )
+}
+
+/// Disassembles `code` into round-trippable assembler text.
+pub fn disassemble(code: &[u8]) -> Result<String, DisasmError> {
+    if !code.len().is_multiple_of(INSN_LEN) {
+        return Err(DisasmError::TruncatedProgram(code.len()));
+    }
+    let insns: Vec<Insn> = code
+        .chunks_exact(INSN_LEN)
+        .enumerate()
+        .map(|(i, raw)| {
+            Insn::decode(raw.try_into().expect("chunk size")).ok_or(DisasmError::BadInstruction(i))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Collect branch targets for label generation.
+    let targets: BTreeSet<u32> = insns
+        .iter()
+        .filter(|i| is_branch(i.op))
+        .map(|i| i.imm)
+        .collect();
+
+    let label = |pc: u32| format!("L{pc}");
+    let mut out = String::new();
+    for (pc, insn) in insns.iter().enumerate() {
+        if targets.contains(&(pc as u32)) {
+            out.push_str(&label(pc as u32));
+            out.push_str(":\n");
+        }
+        let r = |n: u8| format!("r{n}");
+        let line = match insn.op {
+            Opcode::Halt => "halt".to_string(),
+            Opcode::Movi => format!("movi {}, {}", r(insn.rd), insn.imm),
+            Opcode::Mov => format!("mov {}, {}", r(insn.rd), r(insn.rs1)),
+            Opcode::Add => format!("add {}, {}, {}", r(insn.rd), r(insn.rs1), r(insn.rs2)),
+            Opcode::Addi => format!("addi {}, {}, {}", r(insn.rd), r(insn.rs1), insn.imm),
+            Opcode::Sub => format!("sub {}, {}, {}", r(insn.rd), r(insn.rs1), r(insn.rs2)),
+            Opcode::Mul => format!("mul {}, {}, {}", r(insn.rd), r(insn.rs1), r(insn.rs2)),
+            Opcode::Divu => format!("divu {}, {}, {}", r(insn.rd), r(insn.rs1), r(insn.rs2)),
+            Opcode::Modu => format!("modu {}, {}, {}", r(insn.rd), r(insn.rs1), r(insn.rs2)),
+            Opcode::And => format!("and {}, {}, {}", r(insn.rd), r(insn.rs1), r(insn.rs2)),
+            Opcode::Or => format!("or {}, {}, {}", r(insn.rd), r(insn.rs1), r(insn.rs2)),
+            Opcode::Xor => format!("xor {}, {}, {}", r(insn.rd), r(insn.rs1), r(insn.rs2)),
+            Opcode::Shl => format!("shl {}, {}, {}", r(insn.rd), r(insn.rs1), r(insn.rs2)),
+            Opcode::Shr => format!("shr {}, {}, {}", r(insn.rd), r(insn.rs1), r(insn.rs2)),
+            Opcode::Ldb => format!("ldb {}, [{}+{}]", r(insn.rd), r(insn.rs1), insn.imm),
+            Opcode::Ldw => format!("ldw {}, [{}+{}]", r(insn.rd), r(insn.rs1), insn.imm),
+            Opcode::Stb => format!("stb [{}+{}], {}", r(insn.rs1), insn.imm, r(insn.rs2)),
+            Opcode::Stw => format!("stw [{}+{}], {}", r(insn.rs1), insn.imm, r(insn.rs2)),
+            Opcode::Jmp => format!("jmp {}", label(insn.imm)),
+            Opcode::Jz => format!("jz {}, {}", r(insn.rs1), label(insn.imm)),
+            Opcode::Jnz => format!("jnz {}, {}", r(insn.rs1), label(insn.imm)),
+            Opcode::Jlt => format!("jlt {}, {}, {}", r(insn.rs1), r(insn.rs2), label(insn.imm)),
+            Opcode::Call => format!("call {}", label(insn.imm)),
+            Opcode::Ret => "ret".to_string(),
+            Opcode::Hcall => format!("hcall {}", insn.imm),
+        };
+        out.push_str("    ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    // Trailing label (branch to one-past-the-end would be unusual but the
+    // encoding permits it).
+    if targets.contains(&(insns.len() as u32)) {
+        out.push_str(&label(insns.len() as u32));
+        out.push_str(":\n");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn round_trip(src: &str) {
+        let p1 = assemble(src).expect("first assembly");
+        let text = disassemble(&p1.code).expect("disassembles");
+        let p2 = assemble(&text).expect("reassembles");
+        assert_eq!(p1.code, p2.code, "round trip for:\n{src}\n->\n{text}");
+    }
+
+    #[test]
+    fn round_trips_canned_programs() {
+        round_trip("movi r1, 5\nhalt");
+        round_trip("start: movi r1, 10\nloop: movi r3, 1\nsub r1, r1, r3\njnz r1, loop\nhalt");
+        round_trip("movi r0, 72\nhcall 0\nhalt");
+        round_trip("ldw r2, [r14+4]\nstw [r13+8], r2\nhalt");
+        round_trip("call f\nhalt\nf: addi r0, r0, 1\nret");
+    }
+
+    #[test]
+    fn round_trips_library_programs() {
+        for prog in [
+            crate::progs::hello_world(),
+            crate::progs::trial_division(),
+            crate::progs::memory_scanner(100, 10),
+        ] {
+            let text = disassemble(&prog.code).unwrap();
+            let back = assemble(&text).unwrap();
+            assert_eq!(prog.code, back.code);
+        }
+    }
+
+    #[test]
+    fn labels_generated_for_targets() {
+        let p = assemble("movi r1, 3\nloop: jnz r1, loop\nhalt").unwrap();
+        let text = disassemble(&p.code).unwrap();
+        assert!(text.contains("L1:"), "{text}");
+        assert!(text.contains("jnz r1, L1"), "{text}");
+    }
+
+    #[test]
+    fn truncated_program_rejected() {
+        assert_eq!(
+            disassemble(&[0u8; 9]),
+            Err(DisasmError::TruncatedProgram(9))
+        );
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let mut code = assemble("halt").unwrap().code;
+        code[0] = 0xFF;
+        assert_eq!(disassemble(&code), Err(DisasmError::BadInstruction(0)));
+    }
+}

@@ -1,0 +1,319 @@
+//! PAL extraction tool.
+//!
+//! Reproduces the contract of the paper's CIL-based extractor (§5.2): "the
+//! programmer supplies our tool with the name of a target function within a
+//! larger program. The tool then parses the program's call graph and
+//! extracts any functions that the target depends on ... to create a
+//! standalone program. The tool also indicates which additional functions
+//! from standard libraries must be eliminated or replaced."
+//!
+//! Here the "larger program" is a PalVM assembly module whose functions are
+//! delimited by `.func NAME` / `.endfunc` directives. The extractor builds
+//! the call graph from `call` and `jmp` operands, walks reachability from
+//! the target, and emits a standalone module. Calls to functions not
+//! defined in the module are reported as *externs* — the list the
+//! programmer must eliminate or replace (the paper's `printf`/`malloc`
+//! discussion).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Result of an extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extraction {
+    /// The standalone assembly module (target function first).
+    pub source: String,
+    /// Functions included, in emission order.
+    pub included: Vec<String>,
+    /// Called-but-undefined functions the programmer must replace.
+    pub externs: Vec<String>,
+}
+
+/// Extraction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The requested target function is not defined in the module.
+    TargetNotFound(String),
+    /// Structural problem in the module source.
+    Malformed {
+        /// 1-based line.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl core::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExtractError::TargetNotFound(t) => write!(f, "target function `{t}` not found"),
+            ExtractError::Malformed { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+#[derive(Debug, Clone)]
+struct Function {
+    name: String,
+    /// Raw source lines (without the .func/.endfunc directives).
+    body: Vec<String>,
+    /// Call targets appearing in the body.
+    calls: Vec<String>,
+}
+
+fn parse_functions(source: &str) -> Result<BTreeMap<String, Function>, ExtractError> {
+    let mut functions = BTreeMap::new();
+    let mut current: Option<Function> = None;
+
+    for (ln, raw) in source.lines().enumerate() {
+        let line_no = ln + 1;
+        let stripped = raw.split(';').next().unwrap_or("").trim();
+        if let Some(name) = stripped.strip_prefix(".func") {
+            if current.is_some() {
+                return Err(ExtractError::Malformed {
+                    line: line_no,
+                    message: "nested .func".into(),
+                });
+            }
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(ExtractError::Malformed {
+                    line: line_no,
+                    message: ".func without a name".into(),
+                });
+            }
+            current = Some(Function {
+                name: name.to_string(),
+                body: Vec::new(),
+                calls: Vec::new(),
+            });
+            continue;
+        }
+        if stripped == ".endfunc" {
+            let f = current.take().ok_or(ExtractError::Malformed {
+                line: line_no,
+                message: ".endfunc without .func".into(),
+            })?;
+            functions.insert(f.name.clone(), f);
+            continue;
+        }
+        if let Some(f) = current.as_mut() {
+            f.body.push(raw.to_string());
+            // Record call targets (jumps to labels inside the function are
+            // local; `call X` is the inter-procedural edge).
+            let mut toks = stripped.split_whitespace();
+            if toks.next() == Some("call") {
+                if let Some(target) = toks.next() {
+                    f.calls.push(target.trim_end_matches(',').to_string());
+                }
+            }
+        }
+    }
+    if current.is_some() {
+        return Err(ExtractError::Malformed {
+            line: source.lines().count(),
+            message: "unterminated .func".into(),
+        });
+    }
+    Ok(functions)
+}
+
+/// Extracts `target` and its transitive callees from `source`.
+pub fn extract(source: &str, target: &str) -> Result<Extraction, ExtractError> {
+    let functions = parse_functions(source)?;
+    if !functions.contains_key(target) {
+        return Err(ExtractError::TargetNotFound(target.to_string()));
+    }
+
+    // BFS over the call graph from the target.
+    let mut included = Vec::new();
+    let mut externs = BTreeSet::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    seen.insert(target);
+    queue.push_back(target);
+    while let Some(name) = queue.pop_front() {
+        let f = &functions[name];
+        included.push(f.name.clone());
+        for callee in &f.calls {
+            if functions.contains_key(callee.as_str()) {
+                if seen.insert(callee) {
+                    queue.push_back(callee);
+                }
+            } else {
+                externs.insert(callee.clone());
+            }
+        }
+    }
+
+    // Emit: target first (entry point at instruction 0), then callees in
+    // BFS order, each introduced by its label.
+    let mut out = String::new();
+    out.push_str(&format!(
+        "; standalone PAL extracted from module; target = {target}\n"
+    ));
+    for name in &included {
+        let f = &functions[name.as_str()];
+        if name != target {
+            out.push_str(&format!("{name}:\n"));
+        } else {
+            out.push_str(&format!("{name}:  ; entry\n"));
+        }
+        for line in &f.body {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+
+    Ok(Extraction {
+        source: out,
+        included,
+        externs: externs.into_iter().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODULE: &str = "
+.func rsa_keygen
+    call gen_prime
+    call gen_prime
+    call mod_inverse
+    halt
+.endfunc
+
+.func gen_prime
+    call rand_bytes
+    call mr_test
+    ret
+.endfunc
+
+.func mr_test
+    call mod_exp
+    ret
+.endfunc
+
+.func mod_exp
+    ret
+.endfunc
+
+.func mod_inverse
+    ret
+.endfunc
+
+.func rand_bytes
+    call tpm_get_random   ; extern: must come from the TPM utilities module
+    ret
+.endfunc
+
+.func unrelated_ui_code
+    call printf           ; never reachable from rsa_keygen
+    ret
+.endfunc
+";
+
+    #[test]
+    fn extracts_reachable_closure() {
+        let e = extract(MODULE, "rsa_keygen").unwrap();
+        assert_eq!(e.included[0], "rsa_keygen");
+        for f in [
+            "gen_prime",
+            "mr_test",
+            "mod_exp",
+            "mod_inverse",
+            "rand_bytes",
+        ] {
+            assert!(e.included.iter().any(|i| i == f), "missing {f}");
+        }
+        assert!(!e.included.iter().any(|i| i == "unrelated_ui_code"));
+    }
+
+    #[test]
+    fn reports_externs() {
+        let e = extract(MODULE, "rsa_keygen").unwrap();
+        assert_eq!(e.externs, vec!["tpm_get_random".to_string()]);
+        // printf is only called from unreachable code, so it is NOT listed.
+        assert!(!e.externs.contains(&"printf".to_string()));
+    }
+
+    #[test]
+    fn leaf_target_extracts_alone() {
+        let e = extract(MODULE, "mod_exp").unwrap();
+        assert_eq!(e.included, vec!["mod_exp".to_string()]);
+        assert!(e.externs.is_empty());
+    }
+
+    #[test]
+    fn missing_target_errors() {
+        assert_eq!(
+            extract(MODULE, "nope"),
+            Err(ExtractError::TargetNotFound("nope".into()))
+        );
+    }
+
+    #[test]
+    fn malformed_module_errors() {
+        assert!(matches!(
+            extract(".func a\n.func b\n.endfunc\n.endfunc", "a"),
+            Err(ExtractError::Malformed { .. })
+        ));
+        assert!(matches!(
+            extract(".endfunc", "a"),
+            Err(ExtractError::Malformed { .. })
+        ));
+        assert!(matches!(
+            extract(".func x\nret", "x"),
+            Err(ExtractError::Malformed { .. })
+        ));
+        assert!(matches!(
+            extract(".func\nret\n.endfunc", "x"),
+            Err(ExtractError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn extracted_source_assembles() {
+        let e = extract(MODULE, "mod_exp").unwrap();
+        let prog = crate::asm::assemble(&e.source).expect("standalone module assembles");
+        assert_eq!(prog.len(), 1, "single ret");
+    }
+
+    #[test]
+    fn extraction_of_recursive_function_terminates() {
+        let src = ".func f\n call f\n ret\n.endfunc";
+        let e = extract(src, "f").unwrap();
+        assert_eq!(e.included, vec!["f".to_string()]);
+    }
+
+    #[test]
+    fn diamond_dependencies_included_once() {
+        let src = "
+.func a
+ call b
+ call c
+ halt
+.endfunc
+.func b
+ call d
+ ret
+.endfunc
+.func c
+ call d
+ ret
+.endfunc
+.func d
+ ret
+.endfunc";
+        let e = extract(src, "a").unwrap();
+        assert_eq!(
+            e.included.iter().filter(|f| f.as_str() == "d").count(),
+            1,
+            "shared dependency emitted once"
+        );
+    }
+}

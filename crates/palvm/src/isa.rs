@@ -1,0 +1,204 @@
+//! The PalVM instruction set.
+//!
+//! PalVM is a deliberately small 32-bit register machine used to express
+//! PALs whose behaviour is **determined by the measured bytes** — the
+//! property a real Flicker PAL has because `SKINIT` hashes the actual x86
+//! code. Each instruction encodes to exactly 8 bytes:
+//!
+//! ```text
+//! byte 0   opcode
+//! byte 1   rd   (destination register)
+//! byte 2   rs1  (first source)
+//! byte 3   rs2  (second source)
+//! bytes 4-7 imm (little-endian u32)
+//! ```
+//!
+//! Sixteen general registers `r0`–`r15`. Convention: `r0` carries
+//! arguments/results of hypercalls, `r15` is the stack pointer if a program
+//! wants one (the ISA itself has no stack; `call`/`ret` use a host-side
+//! return-address stack so stray stores cannot corrupt control flow).
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+/// Instruction width in bytes.
+pub const INSN_LEN: usize = 8;
+
+/// Operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Stop execution successfully.
+    Halt = 0,
+    /// `rd ← imm`.
+    Movi = 1,
+    /// `rd ← rs1`.
+    Mov = 2,
+    /// `rd ← rs1 + rs2` (wrapping).
+    Add = 3,
+    /// `rd ← rs1 - rs2` (wrapping).
+    Sub = 4,
+    /// `rd ← rs1 * rs2` (wrapping).
+    Mul = 5,
+    /// `rd ← rs1 / rs2` (unsigned; faults on zero divisor).
+    Divu = 6,
+    /// `rd ← rs1 % rs2` (unsigned; faults on zero divisor).
+    Modu = 7,
+    /// `rd ← rs1 & rs2`.
+    And = 8,
+    /// `rd ← rs1 | rs2`.
+    Or = 9,
+    /// `rd ← rs1 ^ rs2`.
+    Xor = 10,
+    /// `rd ← rs1 << (rs2 & 31)`.
+    Shl = 11,
+    /// `rd ← rs1 >> (rs2 & 31)` (logical).
+    Shr = 12,
+    /// `rd ← zero-extended byte at [rs1 + imm]`.
+    Ldb = 13,
+    /// `rd ← little-endian u32 at [rs1 + imm]`.
+    Ldw = 14,
+    /// `byte at [rs1 + imm] ← low 8 bits of rs2`.
+    Stb = 15,
+    /// `u32 at [rs1 + imm] ← rs2` (little-endian).
+    Stw = 16,
+    /// `pc ← imm` (instruction index).
+    Jmp = 17,
+    /// `if rs1 == 0 { pc ← imm }`.
+    Jz = 18,
+    /// `if rs1 != 0 { pc ← imm }`.
+    Jnz = 19,
+    /// `if rs1 < rs2 (unsigned) { pc ← imm }`.
+    Jlt = 20,
+    /// Push return address, `pc ← imm`.
+    Call = 21,
+    /// Pop return address into `pc` (faults on empty stack).
+    Ret = 22,
+    /// Hypercall `imm` to the host (see the host interface in `vm`).
+    Hcall = 23,
+    /// `rd ← rs1 + imm` (wrapping; the assembler's `addi`).
+    Addi = 24,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        Some(match b {
+            0 => Opcode::Halt,
+            1 => Opcode::Movi,
+            2 => Opcode::Mov,
+            3 => Opcode::Add,
+            4 => Opcode::Sub,
+            5 => Opcode::Mul,
+            6 => Opcode::Divu,
+            7 => Opcode::Modu,
+            8 => Opcode::And,
+            9 => Opcode::Or,
+            10 => Opcode::Xor,
+            11 => Opcode::Shl,
+            12 => Opcode::Shr,
+            13 => Opcode::Ldb,
+            14 => Opcode::Ldw,
+            15 => Opcode::Stb,
+            16 => Opcode::Stw,
+            17 => Opcode::Jmp,
+            18 => Opcode::Jz,
+            19 => Opcode::Jnz,
+            20 => Opcode::Jlt,
+            21 => Opcode::Call,
+            22 => Opcode::Ret,
+            23 => Opcode::Hcall,
+            24 => Opcode::Addi,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Insn {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register.
+    pub rd: u8,
+    /// First source register.
+    pub rs1: u8,
+    /// Second source register.
+    pub rs2: u8,
+    /// Immediate.
+    pub imm: u32,
+}
+
+impl Insn {
+    /// Encodes to the 8-byte wire format.
+    pub fn encode(&self) -> [u8; INSN_LEN] {
+        let mut out = [0u8; INSN_LEN];
+        out[0] = self.op as u8;
+        out[1] = self.rd;
+        out[2] = self.rs1;
+        out[3] = self.rs2;
+        out[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        out
+    }
+
+    /// Decodes from the wire format; `None` on an unknown opcode or a
+    /// register index out of range.
+    pub fn decode(bytes: &[u8; INSN_LEN]) -> Option<Insn> {
+        let op = Opcode::from_u8(bytes[0])?;
+        let (rd, rs1, rs2) = (bytes[1], bytes[2], bytes[3]);
+        if rd as usize >= NUM_REGS || rs1 as usize >= NUM_REGS || rs2 as usize >= NUM_REGS {
+            return None;
+        }
+        Some(Insn {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for op_byte in 0..=24u8 {
+            let op = Opcode::from_u8(op_byte).unwrap();
+            let insn = Insn {
+                op,
+                rd: 1,
+                rs1: 2,
+                rs2: 15,
+                imm: 0xdead_beef,
+            };
+            assert_eq!(Insn::decode(&insn.encode()).unwrap(), insn);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(Opcode::from_u8(99).is_none());
+        let bytes = [99u8, 0, 0, 0, 0, 0, 0, 0];
+        assert!(Insn::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let bytes = [1u8, 16, 0, 0, 0, 0, 0, 0];
+        assert!(Insn::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn imm_is_little_endian() {
+        let insn = Insn {
+            op: Opcode::Movi,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0x0102_0304,
+        };
+        assert_eq!(&insn.encode()[4..], &[0x04, 0x03, 0x02, 0x01]);
+    }
+}

@@ -1,0 +1,30 @@
+//! PalVM: a bytecode PAL format for the Flicker reproduction.
+//!
+//! In the original system a PAL is x86 machine code; `SKINIT` hashes those
+//! exact bytes into PCR 17, so the measurement *is* the behaviour. This
+//! crate recreates that property for the simulation: a PAL can be shipped
+//! as PalVM bytecode placed inside the measured SLB, and the Flicker core
+//! executes it with an interpreter whose every memory access and host
+//! request flows through a policy-enforcing bus.
+//!
+//! * [`isa`] — the 8-byte-fixed-width instruction set.
+//! * [`asm`] — a two-pass assembler (the "developer environment" of
+//!   paper §5.1).
+//! * [`vm`] — the interpreter, generic over a [`vm::VmBus`].
+//! * [`mod@extract`] — the call-graph extraction tool mirroring the paper's
+//!   CIL-based PAL extractor (§5.2).
+//! * [`progs`] — canned programs (Figure 5's hello-world PAL, the §6.2
+//!   factoring kernel, and adversarial test programs).
+
+pub mod asm;
+pub mod disasm;
+pub mod extract;
+pub mod isa;
+pub mod progs;
+pub mod vm;
+
+pub use asm::{assemble, AsmError, Program};
+pub use disasm::{disassemble, DisasmError};
+pub use extract::{extract, ExtractError, Extraction};
+pub use isa::{Insn, Opcode, INSN_LEN, NUM_REGS};
+pub use vm::{run, run_with_regs, TestBus, VmBus, VmExit, VmFault, CALL_STACK_MAX};

@@ -1,0 +1,160 @@
+//! Ready-made PalVM programs used by examples, tests, and the Flicker
+//! application suite.
+
+use crate::asm::{assemble, Program};
+
+/// The paper's Figure 5 "Hello, world" PAL, in PalVM form: ignores its
+/// inputs and writes `Hello, world` to the PAL output region via
+/// hypercall 0 (output byte).
+pub fn hello_world() -> Program {
+    // Emit each byte of the message through hcall 0 (r0 = byte).
+    let mut src = String::from("; Figure 5: hello-world PAL\n");
+    for b in b"Hello, world" {
+        src.push_str(&format!("movi r0, {b}\nhcall 0\n"));
+    }
+    src.push_str("halt\n");
+    assemble(&src).expect("hello_world assembles")
+}
+
+/// A PAL that sums the range `[lo, hi)` of candidate divisors of `n`,
+/// recording any divisor found — the inner loop of the paper's §6.2
+/// distributed factoring application, expressed in measured bytecode.
+///
+/// Inputs (read via `ldw` from the input region at address 0):
+/// `n` at offset 0, `lo` at offset 4, `hi` at offset 8.
+/// Output: for each divisor found, the divisor is written via hypercall 1
+/// (report word in `r0`).
+pub fn trial_division() -> Program {
+    let src = "
+        ; r1 = n, r2 = cursor, r3 = hi
+        movi r4, 0
+        ldw r1, [r4+0]
+        ldw r2, [r4+4]
+        ldw r3, [r4+8]
+    loop:
+        jlt r2, r3, body
+        halt
+    body:
+        modu r5, r1, r2
+        jnz r5, next
+        mov r0, r2
+        hcall 1          ; report divisor
+    next:
+        movi r6, 1
+        add r2, r2, r6
+        jmp loop
+    ";
+    assemble(src).expect("trial_division assembles")
+}
+
+/// A rootkit-detector-style PAL in pure measured bytecode: reads a memory
+/// region descriptor (`u64 base ‖ u64 len`, little-endian, low words used)
+/// from the input page, hashes that region via the host's SHA-1 service
+/// (hypercall 2), extends the digest into PCR 17 (hypercall 4), and emits
+/// it as output (hypercall 5) — the §6.1 detector with nothing native
+/// about it.
+pub fn kernel_hasher() -> Program {
+    let src = "
+        ; r14 = inputs base (SLB Core convention)
+        ldw r1, [r14+0]      ; region base (low 32 bits)
+        ldw r2, [r14+8]      ; region length (low 32 bits)
+        addi r3, r14, 0xF00  ; digest scratch inside the input page
+        hcall 2              ; sha1([r1, r1+r2)) -> [r3]
+        mov r1, r3
+        hcall 4              ; extend PCR 17 with digest at [r1]
+        movi r2, 20
+        hcall 5              ; output the 20-byte digest
+        halt
+    ";
+    assemble(src).expect("kernel_hasher assembles")
+}
+
+/// A deliberately malicious PAL that scans memory far beyond its inputs —
+/// used by tests to demonstrate that the OS-Protection module's segment
+/// limits contain it (paper §5.1.2).
+pub fn memory_scanner(start: u32, len: u32) -> Program {
+    let src = format!(
+        "
+        movi r1, {start}
+        movi r2, {len}
+        movi r3, 0
+    loop:
+        jlt r3, r2, body
+        halt
+    body:
+        add r4, r1, r3
+        ldb r0, [r4+0]   ; attempt the read
+        hcall 0          ; exfiltrate the byte
+        movi r5, 1
+        add r3, r3, r5
+        jmp loop
+    "
+    );
+    assemble(&src).expect("memory_scanner assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{run, TestBus};
+
+    #[test]
+    fn hello_world_outputs_message() {
+        let prog = hello_world();
+        let mut bus = TestBus::new(0);
+        run(&prog.code, &mut bus, 10_000).unwrap();
+        assert_eq!(bus.output, b"Hello, world");
+    }
+
+    #[test]
+    fn trial_division_finds_divisors() {
+        let prog = trial_division();
+        let mut bus = TestBus::new(16);
+        // n = 91 = 7 * 13; search range [2, 20).
+        bus.ram[0..4].copy_from_slice(&91u32.to_le_bytes());
+        bus.ram[4..8].copy_from_slice(&2u32.to_le_bytes());
+        bus.ram[8..12].copy_from_slice(&20u32.to_le_bytes());
+        run(&prog.code, &mut bus, 100_000).unwrap();
+        let divisors: Vec<u32> = bus
+            .hcall_log
+            .iter()
+            .filter(|(num, _)| *num == 1)
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(divisors, vec![7, 13]);
+    }
+
+    #[test]
+    fn trial_division_empty_range_reports_nothing() {
+        let prog = trial_division();
+        let mut bus = TestBus::new(16);
+        bus.ram[0..4].copy_from_slice(&97u32.to_le_bytes());
+        bus.ram[4..8].copy_from_slice(&10u32.to_le_bytes());
+        bus.ram[8..12].copy_from_slice(&10u32.to_le_bytes());
+        run(&prog.code, &mut bus, 100_000).unwrap();
+        assert!(bus.hcall_log.iter().all(|(num, _)| *num != 1));
+    }
+
+    #[test]
+    fn prime_has_no_divisors() {
+        let prog = trial_division();
+        let mut bus = TestBus::new(16);
+        bus.ram[0..4].copy_from_slice(&97u32.to_le_bytes());
+        bus.ram[4..8].copy_from_slice(&2u32.to_le_bytes());
+        bus.ram[8..12].copy_from_slice(&97u32.to_le_bytes());
+        run(&prog.code, &mut bus, 100_000).unwrap();
+        assert!(bus.hcall_log.iter().all(|(num, _)| *num != 1));
+    }
+
+    #[test]
+    fn memory_scanner_reads_what_the_bus_allows() {
+        // Against a permissive bus the scanner exfiltrates memory; the
+        // Flicker core's segment-checked bus is what stops it (tested in
+        // the core crate).
+        let prog = memory_scanner(8, 4);
+        let mut bus = TestBus::new(16);
+        bus.ram[8..12].copy_from_slice(b"KEY!");
+        run(&prog.code, &mut bus, 10_000).unwrap();
+        assert_eq!(bus.output, b"KEY!");
+    }
+}

@@ -1,0 +1,415 @@
+//! The PalVM interpreter.
+//!
+//! The VM deliberately owns *nothing*: memory and host services arrive
+//! through the [`VmBus`] trait, so the Flicker core can back them with the
+//! segment-checked PAL memory window and the SLB Core's TPM services. A
+//! PAL expressed in PalVM bytecode therefore has exactly the authority its
+//! execution environment grants — a malicious program can *attempt* any
+//! access, and the bus decides (and the tests observe) what happens.
+
+use crate::isa::{Insn, Opcode, INSN_LEN, NUM_REGS};
+
+/// Faults terminating execution abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmFault {
+    /// Program counter left the program.
+    PcOutOfRange(u32),
+    /// Undecodable instruction at the given instruction index.
+    IllegalInstruction(u32),
+    /// Division or modulo by zero.
+    DivideByZero(u32),
+    /// The bus denied or failed a memory access.
+    MemoryFault {
+        /// VM address.
+        addr: u32,
+        /// Human-readable cause from the bus.
+        cause: String,
+    },
+    /// `ret` with an empty call stack.
+    CallStackUnderflow(u32),
+    /// Call stack exceeded its bound (runaway recursion).
+    CallStackOverflow(u32),
+    /// The host rejected a hypercall.
+    HcallFault {
+        /// Hypercall number.
+        num: u32,
+        /// Cause from the host.
+        cause: String,
+    },
+    /// The fuel limit was exhausted (runaway loop).
+    OutOfFuel,
+}
+
+impl core::fmt::Display for VmFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VmFault::PcOutOfRange(pc) => write!(f, "pc out of range: {pc}"),
+            VmFault::IllegalInstruction(pc) => write!(f, "illegal instruction at {pc}"),
+            VmFault::DivideByZero(pc) => write!(f, "divide by zero at {pc}"),
+            VmFault::MemoryFault { addr, cause } => {
+                write!(f, "memory fault at {addr:#x}: {cause}")
+            }
+            VmFault::CallStackUnderflow(pc) => write!(f, "ret with empty stack at {pc}"),
+            VmFault::CallStackOverflow(pc) => write!(f, "call stack overflow at {pc}"),
+            VmFault::HcallFault { num, cause } => write!(f, "hcall {num} failed: {cause}"),
+            VmFault::OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for VmFault {}
+
+/// Memory and host services for a running program.
+pub trait VmBus {
+    /// Reads one byte at a VM address.
+    fn load_u8(&mut self, addr: u32) -> Result<u8, String>;
+    /// Reads a little-endian u32.
+    fn load_u32(&mut self, addr: u32) -> Result<u32, String> {
+        let mut b = [0u8; 4];
+        for (i, slot) in b.iter_mut().enumerate() {
+            *slot = self.load_u8(addr.wrapping_add(i as u32))?;
+        }
+        Ok(u32::from_le_bytes(b))
+    }
+    /// Writes one byte.
+    fn store_u8(&mut self, addr: u32, v: u8) -> Result<(), String>;
+    /// Writes a little-endian u32.
+    fn store_u32(&mut self, addr: u32, v: u32) -> Result<(), String> {
+        for (i, byte) in v.to_le_bytes().iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u32), *byte)?;
+        }
+        Ok(())
+    }
+    /// Services a hypercall; may read/write the register file.
+    fn hcall(&mut self, num: u32, regs: &mut [u32; NUM_REGS]) -> Result<(), String>;
+}
+
+/// Outcome of a successful run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmExit {
+    /// Register file at `halt`.
+    pub regs: [u32; NUM_REGS],
+    /// Instructions executed.
+    pub executed: u64,
+}
+
+/// Maximum call-stack depth.
+pub const CALL_STACK_MAX: usize = 1024;
+
+/// Executes `program` (raw encoded instructions) over `bus` with zeroed
+/// registers.
+///
+/// `fuel` bounds the instruction count; Flicker sessions are supposed to be
+/// short, and the paper notes (§5.1.2) that the SLB Core may bound a PAL's
+/// execution time — fuel is this model's timer interrupt.
+pub fn run(program: &[u8], bus: &mut dyn VmBus, fuel: u64) -> Result<VmExit, VmFault> {
+    run_with_regs(program, bus, fuel, [0u32; NUM_REGS])
+}
+
+/// Executes `program` with an initial register file (how the SLB Core
+/// passes the input-region address and length to a bytecode PAL).
+pub fn run_with_regs(
+    program: &[u8],
+    bus: &mut dyn VmBus,
+    fuel: u64,
+    init_regs: [u32; NUM_REGS],
+) -> Result<VmExit, VmFault> {
+    let n_insns = (program.len() / INSN_LEN) as u32;
+    let mut regs = init_regs;
+    let mut pc: u32 = 0;
+    let mut call_stack: Vec<u32> = Vec::new();
+    let mut executed: u64 = 0;
+
+    loop {
+        if executed >= fuel {
+            return Err(VmFault::OutOfFuel);
+        }
+        if pc >= n_insns {
+            return Err(VmFault::PcOutOfRange(pc));
+        }
+        let off = pc as usize * INSN_LEN;
+        let raw: &[u8; INSN_LEN] = program[off..off + INSN_LEN]
+            .try_into()
+            .expect("slice length is INSN_LEN");
+        let insn = Insn::decode(raw).ok_or(VmFault::IllegalInstruction(pc))?;
+        executed += 1;
+        let mut next_pc = pc + 1;
+
+        let r = |i: u8| regs[i as usize];
+        match insn.op {
+            Opcode::Halt => {
+                return Ok(VmExit { regs, executed });
+            }
+            Opcode::Movi => regs[insn.rd as usize] = insn.imm,
+            Opcode::Mov => regs[insn.rd as usize] = r(insn.rs1),
+            Opcode::Add => regs[insn.rd as usize] = r(insn.rs1).wrapping_add(r(insn.rs2)),
+            Opcode::Addi => regs[insn.rd as usize] = r(insn.rs1).wrapping_add(insn.imm),
+            Opcode::Sub => regs[insn.rd as usize] = r(insn.rs1).wrapping_sub(r(insn.rs2)),
+            Opcode::Mul => regs[insn.rd as usize] = r(insn.rs1).wrapping_mul(r(insn.rs2)),
+            Opcode::Divu => {
+                let d = r(insn.rs2);
+                if d == 0 {
+                    return Err(VmFault::DivideByZero(pc));
+                }
+                regs[insn.rd as usize] = r(insn.rs1) / d;
+            }
+            Opcode::Modu => {
+                let d = r(insn.rs2);
+                if d == 0 {
+                    return Err(VmFault::DivideByZero(pc));
+                }
+                regs[insn.rd as usize] = r(insn.rs1) % d;
+            }
+            Opcode::And => regs[insn.rd as usize] = r(insn.rs1) & r(insn.rs2),
+            Opcode::Or => regs[insn.rd as usize] = r(insn.rs1) | r(insn.rs2),
+            Opcode::Xor => regs[insn.rd as usize] = r(insn.rs1) ^ r(insn.rs2),
+            Opcode::Shl => regs[insn.rd as usize] = r(insn.rs1) << (r(insn.rs2) & 31),
+            Opcode::Shr => regs[insn.rd as usize] = r(insn.rs1) >> (r(insn.rs2) & 31),
+            Opcode::Ldb => {
+                let addr = r(insn.rs1).wrapping_add(insn.imm);
+                let v = bus
+                    .load_u8(addr)
+                    .map_err(|cause| VmFault::MemoryFault { addr, cause })?;
+                regs[insn.rd as usize] = v as u32;
+            }
+            Opcode::Ldw => {
+                let addr = r(insn.rs1).wrapping_add(insn.imm);
+                let v = bus
+                    .load_u32(addr)
+                    .map_err(|cause| VmFault::MemoryFault { addr, cause })?;
+                regs[insn.rd as usize] = v;
+            }
+            Opcode::Stb => {
+                let addr = r(insn.rs1).wrapping_add(insn.imm);
+                bus.store_u8(addr, r(insn.rs2) as u8)
+                    .map_err(|cause| VmFault::MemoryFault { addr, cause })?;
+            }
+            Opcode::Stw => {
+                let addr = r(insn.rs1).wrapping_add(insn.imm);
+                bus.store_u32(addr, r(insn.rs2))
+                    .map_err(|cause| VmFault::MemoryFault { addr, cause })?;
+            }
+            Opcode::Jmp => next_pc = insn.imm,
+            Opcode::Jz => {
+                if r(insn.rs1) == 0 {
+                    next_pc = insn.imm;
+                }
+            }
+            Opcode::Jnz => {
+                if r(insn.rs1) != 0 {
+                    next_pc = insn.imm;
+                }
+            }
+            Opcode::Jlt => {
+                if r(insn.rs1) < r(insn.rs2) {
+                    next_pc = insn.imm;
+                }
+            }
+            Opcode::Call => {
+                if call_stack.len() >= CALL_STACK_MAX {
+                    return Err(VmFault::CallStackOverflow(pc));
+                }
+                call_stack.push(next_pc);
+                next_pc = insn.imm;
+            }
+            Opcode::Ret => {
+                next_pc = call_stack.pop().ok_or(VmFault::CallStackUnderflow(pc))?;
+            }
+            Opcode::Hcall => {
+                bus.hcall(insn.imm, &mut regs)
+                    .map_err(|cause| VmFault::HcallFault {
+                        num: insn.imm,
+                        cause,
+                    })?;
+            }
+        }
+        pc = next_pc;
+    }
+}
+
+/// A simple bus for tests and standalone use: flat RAM plus a recording
+/// hypercall log. Hypercall 0 appends the low byte of `r0` to `output`.
+#[derive(Debug, Default)]
+pub struct TestBus {
+    /// Flat memory.
+    pub ram: Vec<u8>,
+    /// Bytes emitted via hypercall 0.
+    pub output: Vec<u8>,
+    /// All hypercalls as `(num, r0_at_entry)`.
+    pub hcall_log: Vec<(u32, u32)>,
+}
+
+impl TestBus {
+    /// A bus with `size` bytes of zeroed RAM.
+    pub fn new(size: usize) -> Self {
+        TestBus {
+            ram: vec![0u8; size],
+            output: Vec::new(),
+            hcall_log: Vec::new(),
+        }
+    }
+}
+
+impl VmBus for TestBus {
+    fn load_u8(&mut self, addr: u32) -> Result<u8, String> {
+        self.ram
+            .get(addr as usize)
+            .copied()
+            .ok_or_else(|| format!("load beyond ram ({addr:#x})"))
+    }
+
+    fn store_u8(&mut self, addr: u32, v: u8) -> Result<(), String> {
+        match self.ram.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(format!("store beyond ram ({addr:#x})")),
+        }
+    }
+
+    fn hcall(&mut self, num: u32, regs: &mut [u32; NUM_REGS]) -> Result<(), String> {
+        self.hcall_log.push((num, regs[0]));
+        match num {
+            0 => {
+                self.output.push(regs[0] as u8);
+                Ok(())
+            }
+            // Other numbers are recorded but otherwise inert, so test
+            // programs can "report" values without a full host.
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn exec(src: &str, bus: &mut TestBus) -> Result<VmExit, VmFault> {
+        let prog = assemble(src).expect("assembles");
+        run(&prog.code, bus, 100_000)
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut bus = TestBus::new(0);
+        let exit = exec(
+            "movi r1, 20\n movi r2, 22\n add r3, r1, r2\n halt",
+            &mut bus,
+        )
+        .unwrap();
+        assert_eq!(exit.regs[3], 42);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let mut bus = TestBus::new(64);
+        let exit = exec(
+            "movi r1, 16\n movi r2, 0xabcd1234\n stw [r1+4], r2\n ldw r3, [r1+4]\n halt",
+            &mut bus,
+        )
+        .unwrap();
+        assert_eq!(exit.regs[3], 0xabcd1234);
+        assert_eq!(&bus.ram[20..24], &[0x34, 0x12, 0xcd, 0xab]);
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        // Sum 1..=10 into r2.
+        let src = "
+            movi r1, 10
+            movi r2, 0
+        loop:
+            add r2, r2, r1
+            movi r3, 1
+            sub r1, r1, r3
+            jnz r1, loop
+            halt";
+        let mut bus = TestBus::new(0);
+        let exit = exec(src, &mut bus).unwrap();
+        assert_eq!(exit.regs[2], 55);
+    }
+
+    #[test]
+    fn call_ret() {
+        let src = "
+            call double
+            halt
+        double:
+            add r0, r0, r0
+            ret";
+        let prog = assemble(src).unwrap();
+        let mut bus = TestBus::new(0);
+        // Seed r0 via a tweak: prepend movi. Use a fresh program instead.
+        let src2 = "
+            movi r0, 21
+            call double
+            halt
+        double:
+            add r0, r0, r0
+            ret";
+        let prog2 = assemble(src2).unwrap();
+        let exit = run(&prog2.code, &mut bus, 1000).unwrap();
+        assert_eq!(exit.regs[0], 42);
+        drop(prog);
+    }
+
+    #[test]
+    fn hypercall_output() {
+        let src = "
+            movi r0, 72
+            hcall 0
+            movi r0, 105
+            hcall 0
+            halt";
+        let mut bus = TestBus::new(0);
+        exec(src, &mut bus).unwrap();
+        assert_eq!(bus.output, b"Hi");
+        assert_eq!(bus.hcall_log.len(), 2);
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let mut bus = TestBus::new(0);
+        let r = exec("movi r1, 5\n movi r2, 0\n divu r3, r1, r2\n halt", &mut bus);
+        assert_eq!(r, Err(VmFault::DivideByZero(2)));
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let prog = assemble("loop: jmp loop").unwrap();
+        let mut bus = TestBus::new(0);
+        assert_eq!(run(&prog.code, &mut bus, 100), Err(VmFault::OutOfFuel));
+    }
+
+    #[test]
+    fn memory_fault_surfaces() {
+        let mut bus = TestBus::new(8);
+        let r = exec("movi r1, 100\n ldb r2, [r1+0]\n halt", &mut bus);
+        assert!(matches!(r, Err(VmFault::MemoryFault { addr: 100, .. })));
+    }
+
+    #[test]
+    fn ret_without_call_faults() {
+        let mut bus = TestBus::new(0);
+        assert_eq!(exec("ret", &mut bus), Err(VmFault::CallStackUnderflow(0)));
+    }
+
+    #[test]
+    fn running_off_the_end_faults() {
+        let mut bus = TestBus::new(0);
+        assert_eq!(exec("movi r0, 1", &mut bus), Err(VmFault::PcOutOfRange(1)));
+    }
+
+    #[test]
+    fn recursion_depth_bounded() {
+        let prog = assemble("f: call f").unwrap();
+        let mut bus = TestBus::new(0);
+        assert!(matches!(
+            run(&prog.code, &mut bus, u64::MAX >> 1),
+            Err(VmFault::CallStackOverflow(_))
+        ));
+    }
+}

@@ -1,0 +1,125 @@
+//! TPM monotonic counters (paper §4.3.2).
+//!
+//! One of the two TPM facilities the paper proposes for replay protection
+//! of sealed storage ("the Monotonic Counter and Non-volatile Storage
+//! facilities of v1.2 TPMs"). The v1.2 spec allows one counter increment
+//! per 5 seconds of "throttle"; we do not model the throttle but do model
+//! the spec's *single active counter* restriction, which is why the
+//! NV-based counter is the paper's primary suggestion.
+
+use crate::error::{TpmError, TpmResult};
+use std::collections::BTreeMap;
+
+/// A created monotonic counter.
+#[derive(Debug, Clone)]
+struct Counter {
+    value: u64,
+}
+
+/// The TPM's monotonic counter facility.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Counters {
+    counters: BTreeMap<u32, Counter>,
+    next_id: u32,
+    /// v1.2 allows only one counter to be *used* per boot cycle.
+    active: Option<u32>,
+}
+
+impl Counters {
+    /// Creates a counter, returning its id and initial value.
+    pub(crate) fn create(&mut self) -> (u32, u64) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.counters.insert(id, Counter { value: 0 });
+        (id, 0)
+    }
+
+    /// Increments a counter. The first counter incremented after boot
+    /// becomes the active one; incrementing any other fails until reboot
+    /// (TPM v1.2 behaviour).
+    pub(crate) fn increment(&mut self, id: u32) -> TpmResult<u64> {
+        if !self.counters.contains_key(&id) {
+            return Err(TpmError::BadCounter(id));
+        }
+        match self.active {
+            None => self.active = Some(id),
+            Some(active) if active != id => return Err(TpmError::BadCounter(id)),
+            _ => {}
+        }
+        let c = self.counters.get_mut(&id).expect("checked above");
+        c.value += 1;
+        Ok(c.value)
+    }
+
+    /// Reads a counter (no activity restriction on reads).
+    pub(crate) fn read(&self, id: u32) -> TpmResult<u64> {
+        self.counters
+            .get(&id)
+            .map(|c| c.value)
+            .ok_or(TpmError::BadCounter(id))
+    }
+
+    /// Clears the per-boot active-counter latch (called on reboot). Counter
+    /// values themselves persist: they are non-volatile.
+    pub(crate) fn on_reboot(&mut self) {
+        self.active = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_increment() {
+        let mut c = Counters::default();
+        let (id, v0) = c.create();
+        assert_eq!(v0, 0);
+        assert_eq!(c.increment(id).unwrap(), 1);
+        assert_eq!(c.increment(id).unwrap(), 2);
+        assert_eq!(c.read(id).unwrap(), 2);
+    }
+
+    #[test]
+    fn unknown_counter_errors() {
+        let mut c = Counters::default();
+        assert_eq!(c.read(5), Err(TpmError::BadCounter(5)));
+        assert_eq!(c.increment(5), Err(TpmError::BadCounter(5)));
+    }
+
+    #[test]
+    fn only_one_active_counter_per_boot() {
+        let mut c = Counters::default();
+        let (a, _) = c.create();
+        let (b, _) = c.create();
+        c.increment(a).unwrap();
+        assert_eq!(c.increment(b), Err(TpmError::BadCounter(b)));
+        // Reads still allowed.
+        assert_eq!(c.read(b).unwrap(), 0);
+        // After reboot the other counter can become active.
+        c.on_reboot();
+        assert_eq!(c.increment(b).unwrap(), 1);
+    }
+
+    #[test]
+    fn values_survive_reboot() {
+        let mut c = Counters::default();
+        let (id, _) = c.create();
+        c.increment(id).unwrap();
+        c.increment(id).unwrap();
+        c.on_reboot();
+        assert_eq!(c.read(id).unwrap(), 2, "counters are non-volatile");
+    }
+
+    #[test]
+    fn monotonicity() {
+        let mut c = Counters::default();
+        let (id, _) = c.create();
+        let mut last = 0;
+        for _ in 0..100 {
+            let v = c.increment(id).unwrap();
+            assert!(v > last);
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! TPM error codes.
+//!
+//! A small subset of the TPM v1.2 return codes (TPM Main Part 2 §16),
+//! covering the commands Flicker exercises.
+
+/// Result alias for TPM operations.
+pub type TpmResult<T> = Result<T, TpmError>;
+
+/// TPM command failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TpmError {
+    /// Authorization HMAC did not verify (TPM_AUTHFAIL).
+    AuthFail,
+    /// A PCR index was out of range or not usable for the operation
+    /// (TPM_BADINDEX).
+    BadIndex(u32),
+    /// The command's parameters were malformed (TPM_BAD_PARAMETER).
+    BadParameter(&'static str),
+    /// PCR values did not match those required to release sealed data
+    /// (TPM_WRONGPCRVAL).
+    WrongPcrVal,
+    /// Sealed blob failed its integrity check or was not created by this
+    /// TPM (TPM_DECRYPT_ERROR).
+    DecryptError,
+    /// The command requires a locality the caller does not hold
+    /// (TPM_BAD_LOCALITY).
+    BadLocality {
+        /// Locality required by the command.
+        required: u8,
+        /// Locality the caller presented.
+        actual: u8,
+    },
+    /// An NV index was not defined (TPM_BADINDEX for NV).
+    NvIndexNotDefined(u32),
+    /// NV read/write rejected because the PCR gate did not match
+    /// (TPM_WRONGPCRVAL for NV).
+    NvPcrMismatch(u32),
+    /// NV write exceeded the defined space size (TPM_NOSPACE).
+    NvNoSpace,
+    /// The referenced key handle does not exist (TPM_INVALID_KEYHANDLE).
+    InvalidKeyHandle(u32),
+    /// The referenced counter does not exist (TPM_BAD_COUNTER).
+    BadCounter(u32),
+    /// The referenced authorization session does not exist or was
+    /// terminated (TPM_INVALID_AUTHHANDLE).
+    InvalidAuthHandle(u32),
+    /// The TPM has not been taken ownership of (TPM_NOSRK).
+    NoSrk,
+    /// The TPM's command interface is disabled or busy (driver-level
+    /// failure, not a spec code).
+    InterfaceUnavailable,
+}
+
+impl core::fmt::Display for TpmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TpmError::AuthFail => write!(f, "TPM_AUTHFAIL: authorization failed"),
+            TpmError::BadIndex(i) => write!(f, "TPM_BADINDEX: PCR index {i}"),
+            TpmError::BadParameter(s) => write!(f, "TPM_BAD_PARAMETER: {s}"),
+            TpmError::WrongPcrVal => write!(f, "TPM_WRONGPCRVAL: PCR mismatch at unseal"),
+            TpmError::DecryptError => write!(f, "TPM_DECRYPT_ERROR: blob integrity failure"),
+            TpmError::BadLocality { required, actual } => {
+                write!(f, "TPM_BAD_LOCALITY: need {required}, have {actual}")
+            }
+            TpmError::NvIndexNotDefined(i) => write!(f, "NV index {i:#x} not defined"),
+            TpmError::NvPcrMismatch(i) => write!(f, "NV index {i:#x} PCR gate mismatch"),
+            TpmError::NvNoSpace => write!(f, "TPM_NOSPACE: NV write too large"),
+            TpmError::InvalidKeyHandle(h) => write!(f, "invalid key handle {h:#x}"),
+            TpmError::BadCounter(c) => write!(f, "invalid counter id {c}"),
+            TpmError::InvalidAuthHandle(h) => write!(f, "invalid auth session handle {h:#x}"),
+            TpmError::NoSrk => write!(f, "TPM_NOSRK: ownership not taken"),
+            TpmError::InterfaceUnavailable => write!(f, "TPM interface unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for TpmError {}

@@ -1,0 +1,176 @@
+//! TPM Non-volatile storage (paper §4.3.2).
+//!
+//! "The TPM's Non-volatile Storage facility exposes interfaces to Define
+//! Space, and Read and Write values to defined spaces. Space definition is
+//! authorized by demonstrating possession of the 20-byte TPM Owner
+//! Authorization Data ... A defined space can be configured to restrict
+//! access based on the contents of specified PCRs." Flicker's
+//! replay-protected sealed storage keeps its secure counter here.
+
+use crate::error::{TpmError, TpmResult};
+use crate::pcr::{PcrBank, PcrSelection};
+use std::collections::BTreeMap;
+
+/// PCR-based access policy for an NV space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NvPcrPolicy {
+    /// PCRs that must match for reads and writes.
+    pub selection: PcrSelection,
+    /// Required composite digest (empty selection ⇒ ignored).
+    pub digest: [u8; 20],
+}
+
+/// One defined NV space.
+#[derive(Debug, Clone)]
+pub(crate) struct NvSpace {
+    pub(crate) size: usize,
+    pub(crate) policy: Option<NvPcrPolicy>,
+    pub(crate) data: Vec<u8>,
+}
+
+/// The NV storage array.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NvStorage {
+    spaces: BTreeMap<u32, NvSpace>,
+}
+
+impl NvStorage {
+    /// Defines (or redefines) a space. Owner authorization is checked by
+    /// the command layer before this is called.
+    pub(crate) fn define(&mut self, index: u32, size: usize, policy: Option<NvPcrPolicy>) {
+        self.spaces.insert(
+            index,
+            NvSpace {
+                size,
+                policy,
+                data: vec![0u8; size],
+            },
+        );
+    }
+
+    fn check_policy(&self, index: u32, bank: &PcrBank) -> TpmResult<&NvSpace> {
+        let space = self
+            .spaces
+            .get(&index)
+            .ok_or(TpmError::NvIndexNotDefined(index))?;
+        if let Some(policy) = &space.policy {
+            if !policy.selection.is_empty() {
+                let current = bank.composite_hash(&policy.selection)?;
+                if !flicker_crypto::ct_eq(&current, &policy.digest) {
+                    return Err(TpmError::NvPcrMismatch(index));
+                }
+            }
+        }
+        Ok(space)
+    }
+
+    /// Reads the whole space, subject to the PCR policy.
+    pub(crate) fn read(&self, index: u32, bank: &PcrBank) -> TpmResult<Vec<u8>> {
+        Ok(self.check_policy(index, bank)?.data.clone())
+    }
+
+    /// Writes `data` at `offset`, subject to the PCR policy.
+    pub(crate) fn write(
+        &mut self,
+        index: u32,
+        offset: usize,
+        data: &[u8],
+        bank: &PcrBank,
+    ) -> TpmResult<()> {
+        let size = self.check_policy(index, bank)?.size;
+        if offset + data.len() > size {
+            return Err(TpmError::NvNoSpace);
+        }
+        let space = self.spaces.get_mut(&index).expect("checked above");
+        space.data[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// True if the index has been defined.
+    pub(crate) fn is_defined(&self, index: u32) -> bool {
+        self.spaces.contains_key(&index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcr17_policy(bank: &PcrBank) -> NvPcrPolicy {
+        let selection = PcrSelection::pcr17();
+        let digest = bank.composite_hash(&selection).unwrap();
+        NvPcrPolicy { selection, digest }
+    }
+
+    #[test]
+    fn define_read_write() {
+        let bank = PcrBank::at_reboot();
+        let mut nv = NvStorage::default();
+        nv.define(0x1000, 8, None);
+        assert!(nv.is_defined(0x1000));
+        nv.write(0x1000, 0, &[1, 2, 3], &bank).unwrap();
+        assert_eq!(
+            nv.read(0x1000, &bank).unwrap(),
+            vec![1, 2, 3, 0, 0, 0, 0, 0]
+        );
+        nv.write(0x1000, 6, &[9, 9], &bank).unwrap();
+        assert_eq!(nv.read(0x1000, &bank).unwrap()[6..], [9, 9]);
+    }
+
+    #[test]
+    fn undefined_index_errors() {
+        let bank = PcrBank::at_reboot();
+        let mut nv = NvStorage::default();
+        assert_eq!(
+            nv.read(0x2000, &bank),
+            Err(TpmError::NvIndexNotDefined(0x2000))
+        );
+        assert_eq!(
+            nv.write(0x2000, 0, &[1], &bank),
+            Err(TpmError::NvIndexNotDefined(0x2000))
+        );
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let bank = PcrBank::at_reboot();
+        let mut nv = NvStorage::default();
+        nv.define(1, 4, None);
+        assert_eq!(nv.write(1, 2, &[0; 3], &bank), Err(TpmError::NvNoSpace));
+        assert_eq!(nv.write(1, 0, &[0; 5], &bank), Err(TpmError::NvNoSpace));
+    }
+
+    #[test]
+    fn pcr_gate_enforced() {
+        // Define a space gated on the post-SKINIT PCR17 of a specific PAL.
+        let mut bank = PcrBank::at_reboot();
+        bank.dynamic_reset(4).unwrap();
+        bank.extend(17, &flicker_crypto::sha1::sha1(b"the PAL"))
+            .unwrap();
+
+        let mut nv = NvStorage::default();
+        nv.define(0x1100, 8, Some(pcr17_policy(&bank)));
+
+        // Accessible while the PAL's PCR state holds.
+        nv.write(0x1100, 0, &[42], &bank).unwrap();
+        assert_eq!(nv.read(0x1100, &bank).unwrap()[0], 42);
+
+        // After the SLB Core's terminal extend, access is revoked.
+        bank.extend(17, &[0u8; 20]).unwrap();
+        assert_eq!(nv.read(0x1100, &bank), Err(TpmError::NvPcrMismatch(0x1100)));
+        assert_eq!(
+            nv.write(0x1100, 0, &[7], &bank),
+            Err(TpmError::NvPcrMismatch(0x1100))
+        );
+    }
+
+    #[test]
+    fn redefine_clears_data() {
+        let bank = PcrBank::at_reboot();
+        let mut nv = NvStorage::default();
+        nv.define(1, 4, None);
+        nv.write(1, 0, &[1, 2, 3, 4], &bank).unwrap();
+        nv.define(1, 4, None);
+        assert_eq!(nv.read(1, &bank).unwrap(), vec![0; 4]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Platform Configuration Registers.
+//!
+//! Implements the v1.2 PCR semantics Flicker depends on (paper §2.1, §2.3):
+//!
+//! * 24 PCRs of 20 bytes each.
+//! * Static PCRs 0–16 reset to all-zeroes only on reboot.
+//! * Dynamic PCRs 17–23 are set to **−1** (all `0xFF`) on reboot, so a
+//!   verifier can distinguish "rebooted, never late-launched" from "reset by
+//!   `SKINIT`", and can be reset to **zero** only by the hardware locality-4
+//!   path driven by the `SKINIT` instruction.
+//! * `Extend` computes `PCR_new ← SHA-1(PCR_old ‖ m)`.
+
+use crate::error::{TpmError, TpmResult};
+use flicker_crypto::digest::Digest;
+use flicker_crypto::sha1::{Sha1, OUTPUT_LEN as DIGEST_LEN};
+
+/// Number of PCRs in a v1.2 TPM.
+pub const NUM_PCRS: usize = 24;
+/// First dynamic (resettable) PCR index.
+pub const FIRST_DYNAMIC_PCR: u32 = 17;
+/// The PCR that receives the SLB measurement during `SKINIT`.
+pub const PCR_SKINIT: u32 = 17;
+/// Locality reserved for the CPU's dynamic launch (SKINIT / SENTER).
+pub const LOCALITY_HW: u8 = 4;
+
+/// A single 20-byte PCR value.
+pub type PcrValue = [u8; DIGEST_LEN];
+
+/// A selection of PCR indices (TPM_PCR_SELECTION).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PcrSelection {
+    indices: Vec<u32>,
+}
+
+impl PcrSelection {
+    /// Builds a selection from indices; duplicates are removed, order is
+    /// normalized ascending (matching the bitmap encoding of the spec).
+    pub fn new(indices: &[u32]) -> TpmResult<Self> {
+        let mut v: Vec<u32> = indices.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        if let Some(&bad) = v.iter().find(|&&i| i >= NUM_PCRS as u32) {
+            return Err(TpmError::BadIndex(bad));
+        }
+        Ok(PcrSelection { indices: v })
+    }
+
+    /// Convenience selection of just PCR 17.
+    pub fn pcr17() -> Self {
+        PcrSelection {
+            indices: vec![PCR_SKINIT],
+        }
+    }
+
+    /// The selected indices, ascending.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// True if no PCR is selected.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Encodes as the spec's 3-byte bitmap preceded by its u16 size.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut map = [0u8; 3];
+        for &i in &self.indices {
+            map[(i / 8) as usize] |= 1 << (i % 8);
+        }
+        let mut out = vec![0x00, 0x03];
+        out.extend_from_slice(&map);
+        out
+    }
+}
+
+/// The bank of 24 PCRs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcrBank {
+    values: [PcrValue; NUM_PCRS],
+}
+
+impl PcrBank {
+    /// State immediately after a platform reboot: static PCRs zero, dynamic
+    /// PCRs −1.
+    pub fn at_reboot() -> Self {
+        let mut values = [[0u8; DIGEST_LEN]; NUM_PCRS];
+        for v in values.iter_mut().skip(FIRST_DYNAMIC_PCR as usize) {
+            *v = [0xFF; DIGEST_LEN];
+        }
+        PcrBank { values }
+    }
+
+    /// Reads PCR `index`.
+    pub fn read(&self, index: u32) -> TpmResult<PcrValue> {
+        self.values
+            .get(index as usize)
+            .copied()
+            .ok_or(TpmError::BadIndex(index))
+    }
+
+    /// Extends PCR `index` with `measurement`:
+    /// `PCR ← SHA-1(PCR ‖ measurement)`.
+    ///
+    /// Any locality may extend any PCR in this model (the paper relies on
+    /// extends being *allowed* after SKINIT — it is resets that are gated).
+    pub fn extend(&mut self, index: u32, measurement: &[u8; DIGEST_LEN]) -> TpmResult<PcrValue> {
+        let slot = self
+            .values
+            .get_mut(index as usize)
+            .ok_or(TpmError::BadIndex(index))?;
+        let mut h = Sha1::new();
+        h.update(&slot[..]);
+        h.update(measurement);
+        let digest = h.finalize();
+        slot.copy_from_slice(&digest);
+        Ok(*slot)
+    }
+
+    /// Hardware dynamic reset: zeroes PCRs 17–23.
+    ///
+    /// Only the CPU, as part of executing `SKINIT`, may issue this (paper
+    /// §2.3: "Only a hardware command from the CPU can reset PCR 17").
+    /// Callers must present locality 4.
+    pub fn dynamic_reset(&mut self, locality: u8) -> TpmResult<()> {
+        if locality != LOCALITY_HW {
+            return Err(TpmError::BadLocality {
+                required: LOCALITY_HW,
+                actual: locality,
+            });
+        }
+        for v in self.values.iter_mut().skip(FIRST_DYNAMIC_PCR as usize) {
+            *v = [0u8; DIGEST_LEN];
+        }
+        Ok(())
+    }
+
+    /// Computes the TPM_COMPOSITE_HASH over a selection of this bank's
+    /// current values.
+    pub fn composite_hash(&self, selection: &PcrSelection) -> TpmResult<[u8; DIGEST_LEN]> {
+        let values: Vec<PcrValue> = selection
+            .indices()
+            .iter()
+            .map(|&i| self.read(i))
+            .collect::<TpmResult<_>>()?;
+        Ok(composite_hash_of(selection, &values))
+    }
+
+    /// Predicts the value PCR 17 will hold after `SKINIT` measures an SLB
+    /// whose SHA-1 hash is `slb_hash`: `SHA-1(0^20 ‖ slb_hash)`.
+    ///
+    /// This is the `V ← H(0x0020 ‖ H(P))` the paper uses for sealing to a
+    /// future PAL (§4.3.1) and for attestation verification (§4.4.1).
+    pub fn predict_skinit_pcr17(slb_hash: &[u8; DIGEST_LEN]) -> PcrValue {
+        let mut h = Sha1::new();
+        h.update(&[0u8; DIGEST_LEN]);
+        h.update(slb_hash);
+        let d = h.finalize();
+        let mut out = [0u8; DIGEST_LEN];
+        out.copy_from_slice(&d);
+        out
+    }
+}
+
+/// Computes the TPM_COMPOSITE_HASH over explicitly supplied values:
+/// `SHA-1(encode(selection) ‖ u32 valueSize ‖ values…)`.
+///
+/// Sealing to a *future* PAL (paper §4.3.1) needs this form: the sealer
+/// supplies the PCR 17 value the target PAL **will** have, not the bank's
+/// current contents.
+///
+/// # Panics
+///
+/// Panics if `values.len()` differs from the selection size.
+pub fn composite_hash_of(selection: &PcrSelection, values: &[PcrValue]) -> [u8; DIGEST_LEN] {
+    assert_eq!(
+        selection.indices().len(),
+        values.len(),
+        "one value per selected PCR"
+    );
+    let mut h = Sha1::new();
+    h.update(&selection.encode());
+    let value_size = (values.len() * DIGEST_LEN) as u32;
+    h.update(&value_size.to_be_bytes());
+    for v in values {
+        h.update(v);
+    }
+    let d = h.finalize();
+    let mut out = [0u8; DIGEST_LEN];
+    out.copy_from_slice(&d);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flicker_crypto::sha1::sha1;
+
+    #[test]
+    fn reboot_state_distinguishes_static_and_dynamic() {
+        let bank = PcrBank::at_reboot();
+        for i in 0..FIRST_DYNAMIC_PCR {
+            assert_eq!(bank.read(i).unwrap(), [0u8; 20], "static PCR {i}");
+        }
+        for i in FIRST_DYNAMIC_PCR..NUM_PCRS as u32 {
+            assert_eq!(bank.read(i).unwrap(), [0xFF; 20], "dynamic PCR {i}");
+        }
+    }
+
+    #[test]
+    fn read_out_of_range() {
+        let bank = PcrBank::at_reboot();
+        assert_eq!(bank.read(24), Err(TpmError::BadIndex(24)));
+    }
+
+    #[test]
+    fn extend_is_hash_chain() {
+        let mut bank = PcrBank::at_reboot();
+        let m = sha1(b"measurement");
+        let after = bank.extend(0, &m).unwrap();
+        // Manual recomputation.
+        let mut concat = Vec::new();
+        concat.extend_from_slice(&[0u8; 20]);
+        concat.extend_from_slice(&m);
+        assert_eq!(after, sha1(&concat));
+        assert_eq!(bank.read(0).unwrap(), after);
+    }
+
+    #[test]
+    fn extend_order_matters() {
+        let m1 = sha1(b"a");
+        let m2 = sha1(b"b");
+        let mut bank1 = PcrBank::at_reboot();
+        bank1.extend(0, &m1).unwrap();
+        bank1.extend(0, &m2).unwrap();
+        let mut bank2 = PcrBank::at_reboot();
+        bank2.extend(0, &m2).unwrap();
+        bank2.extend(0, &m1).unwrap();
+        assert_ne!(bank1.read(0).unwrap(), bank2.read(0).unwrap());
+    }
+
+    #[test]
+    fn dynamic_reset_requires_locality_4() {
+        let mut bank = PcrBank::at_reboot();
+        for loc in 0..4u8 {
+            assert_eq!(
+                bank.dynamic_reset(loc),
+                Err(TpmError::BadLocality {
+                    required: 4,
+                    actual: loc
+                })
+            );
+        }
+        bank.dynamic_reset(4).unwrap();
+        for i in FIRST_DYNAMIC_PCR..NUM_PCRS as u32 {
+            assert_eq!(bank.read(i).unwrap(), [0u8; 20]);
+        }
+        // Static PCRs untouched.
+        assert_eq!(bank.read(0).unwrap(), [0u8; 20]);
+    }
+
+    #[test]
+    fn reset_then_extend_yields_predicted_value() {
+        // The core attestation property: PCR17 after SKINIT equals
+        // SHA1(0^20 || H(SLB)), and nothing else produces that value from
+        // the -1 reboot state without a locality-4 reset.
+        let mut bank = PcrBank::at_reboot();
+        let slb_hash = sha1(b"some SLB contents");
+        bank.dynamic_reset(4).unwrap();
+        bank.extend(17, &slb_hash).unwrap();
+        assert_eq!(
+            bank.read(17).unwrap(),
+            PcrBank::predict_skinit_pcr17(&slb_hash)
+        );
+    }
+
+    #[test]
+    fn software_cannot_forge_pcr17_from_reboot_state() {
+        // Starting from -1 (no reset), extending with the SLB hash gives a
+        // different value than the post-SKINIT one.
+        let mut bank = PcrBank::at_reboot();
+        let slb_hash = sha1(b"target PAL");
+        bank.extend(17, &slb_hash).unwrap();
+        assert_ne!(
+            bank.read(17).unwrap(),
+            PcrBank::predict_skinit_pcr17(&slb_hash)
+        );
+    }
+
+    #[test]
+    fn selection_encoding_and_validation() {
+        assert!(PcrSelection::new(&[24]).is_err());
+        let sel = PcrSelection::new(&[17, 0, 17, 23]).unwrap();
+        assert_eq!(sel.indices(), &[0, 17, 23]);
+        let enc = sel.encode();
+        assert_eq!(enc[0..2], [0x00, 0x03]);
+        assert_eq!(enc[2], 0b0000_0001); // PCR 0
+        assert_eq!(enc[4], 0b1000_0010); // PCRs 17 and 23
+    }
+
+    #[test]
+    fn composite_hash_depends_on_selection_and_values() {
+        let mut bank = PcrBank::at_reboot();
+        let sel17 = PcrSelection::pcr17();
+        let sel18 = PcrSelection::new(&[18]).unwrap();
+        let a = bank.composite_hash(&sel17).unwrap();
+        let b = bank.composite_hash(&sel18).unwrap();
+        assert_ne!(a, b, "selection is bound into the composite");
+        bank.dynamic_reset(4).unwrap();
+        let c = bank.composite_hash(&sel17).unwrap();
+        assert_ne!(a, c, "values are bound into the composite");
+    }
+
+    #[test]
+    fn empty_selection_composite_is_stable() {
+        let bank = PcrBank::at_reboot();
+        let sel = PcrSelection::new(&[]).unwrap();
+        assert!(sel.is_empty());
+        let a = bank.composite_hash(&sel).unwrap();
+        let b = bank.composite_hash(&sel).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! TPM_Quote: signed attestation of PCR contents (paper §2.1, §4.4.1).
+//!
+//! A quote is an AIK signature over `TPM_QUOTE_INFO`, which binds the
+//! composite hash of the selected PCRs and the verifier's nonce. The
+//! verifier recomputes the expected PCR values from the (untrusted) event
+//! log and checks them against the signed composite.
+
+use crate::pcr::{composite_hash_of, PcrSelection, PcrValue};
+use flicker_crypto::pkcs1;
+use flicker_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use flicker_crypto::CryptoError;
+
+/// The fixed four-byte tag in TPM_QUOTE_INFO.
+const QUOTE_FIXED: &[u8; 4] = b"QUOT";
+/// Structure version (1.1.0.0 as in the v1.2 spec).
+const QUOTE_VERSION: [u8; 4] = [1, 1, 0, 0];
+
+/// A quote produced by [`crate::Tpm::quote`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TpmQuote {
+    /// PCRs covered by the quote.
+    pub selection: PcrSelection,
+    /// The PCR values at quote time (reported alongside, like
+    /// TPM_PCR_COMPOSITE; the signature covers their hash).
+    pub values: Vec<PcrValue>,
+    /// The anti-replay nonce supplied by the verifier.
+    pub nonce: [u8; 20],
+    /// AIK signature over `SHA-1(TPM_QUOTE_INFO)`.
+    pub signature: Vec<u8>,
+}
+
+/// Serializes TPM_QUOTE_INFO: tag ‖ version ‖ composite digest ‖ nonce.
+fn quote_info(composite: &[u8; 20], nonce: &[u8; 20]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 4 + 20 + 20);
+    out.extend_from_slice(&QUOTE_VERSION);
+    out.extend_from_slice(QUOTE_FIXED);
+    out.extend_from_slice(composite);
+    out.extend_from_slice(nonce);
+    out
+}
+
+/// Signs a quote (TPM-internal; called by [`crate::Tpm`]).
+pub(crate) fn sign_quote(
+    aik: &RsaPrivateKey,
+    selection: PcrSelection,
+    values: Vec<PcrValue>,
+    nonce: [u8; 20],
+) -> Result<TpmQuote, CryptoError> {
+    let composite = composite_hash_of(&selection, &values);
+    let signature = pkcs1::sign(aik, &quote_info(&composite, &nonce))?;
+    Ok(TpmQuote {
+        selection,
+        values,
+        nonce,
+        signature,
+    })
+}
+
+impl TpmQuote {
+    /// Verifies the quote's signature and nonce against `aik_public`.
+    ///
+    /// On success the *reported values* are authentic: the composite of
+    /// `self.values` is exactly what the TPM signed. The caller must still
+    /// decide whether those values represent a trusted configuration
+    /// (paper §4.4.1's final step).
+    pub fn verify(
+        &self,
+        aik_public: &RsaPublicKey,
+        expected_nonce: &[u8; 20],
+    ) -> Result<(), CryptoError> {
+        if !flicker_crypto::ct_eq(&self.nonce, expected_nonce) {
+            return Err(CryptoError::VerificationFailed);
+        }
+        if self.values.len() != self.selection.indices().len() {
+            return Err(CryptoError::VerificationFailed);
+        }
+        let composite = composite_hash_of(&self.selection, &self.values);
+        pkcs1::verify(
+            aik_public,
+            &quote_info(&composite, &self.nonce),
+            &self.signature,
+        )
+    }
+
+    /// Returns the reported value of PCR `index`, if it was quoted.
+    pub fn pcr_value(&self, index: u32) -> Option<&PcrValue> {
+        self.selection
+            .indices()
+            .iter()
+            .position(|&i| i == index)
+            .map(|pos| &self.values[pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flicker_crypto::rng::XorShiftRng;
+
+    fn aik() -> RsaPrivateKey {
+        let mut rng = XorShiftRng::new(70);
+        RsaPrivateKey::generate(512, &mut rng).0
+    }
+
+    fn sample_quote(aik: &RsaPrivateKey) -> TpmQuote {
+        let sel = PcrSelection::new(&[17, 18]).unwrap();
+        let values = vec![[1u8; 20], [2u8; 20]];
+        sign_quote(aik, sel, values, [9; 20]).unwrap()
+    }
+
+    #[test]
+    fn quote_verifies() {
+        let aik = aik();
+        let q = sample_quote(&aik);
+        assert!(q.verify(aik.public_key(), &[9; 20]).is_ok());
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let aik = aik();
+        let q = sample_quote(&aik);
+        assert!(q.verify(aik.public_key(), &[8; 20]).is_err());
+    }
+
+    #[test]
+    fn tampered_values_rejected() {
+        let aik = aik();
+        let mut q = sample_quote(&aik);
+        q.values[0] = [0xEE; 20];
+        assert!(q.verify(aik.public_key(), &[9; 20]).is_err());
+    }
+
+    #[test]
+    fn tampered_selection_rejected() {
+        let aik = aik();
+        let mut q = sample_quote(&aik);
+        q.selection = PcrSelection::new(&[17, 19]).unwrap();
+        assert!(q.verify(aik.public_key(), &[9; 20]).is_err());
+    }
+
+    #[test]
+    fn value_count_mismatch_rejected() {
+        let aik = aik();
+        let mut q = sample_quote(&aik);
+        q.values.push([3u8; 20]);
+        assert!(q.verify(aik.public_key(), &[9; 20]).is_err());
+    }
+
+    #[test]
+    fn wrong_aik_rejected() {
+        let aik = aik();
+        let mut rng = XorShiftRng::new(71);
+        let other = RsaPrivateKey::generate(512, &mut rng).0;
+        let q = sample_quote(&aik);
+        assert!(q.verify(other.public_key(), &[9; 20]).is_err());
+    }
+
+    #[test]
+    fn pcr_value_lookup() {
+        let aik = aik();
+        let q = sample_quote(&aik);
+        assert_eq!(q.pcr_value(17), Some(&[1u8; 20]));
+        assert_eq!(q.pcr_value(18), Some(&[2u8; 20]));
+        assert_eq!(q.pcr_value(19), None);
+    }
+}

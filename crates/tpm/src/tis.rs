@@ -1,0 +1,293 @@
+//! TIS-style byte-level command marshalling.
+//!
+//! The paper's TPM Driver (216 LoC, Figure 6) exists because "the TPM is a
+//! memory-mapped I/O device. As such, it needs a small amount of driver
+//! functionality to keep it in an appropriate state and to ensure that its
+//! buffers never over- or underflow." This module reproduces that boundary:
+//! commands cross it as TCG-format byte frames
+//! (`tag ‖ paramSize ‖ ordinal ‖ params`), responses come back as
+//! (`tag ‖ paramSize ‖ returnCode ‖ params`), and a FIFO-size check models
+//! the buffer discipline.
+//!
+//! Marshalled coverage is the unauthorized-command subset (Extend, PCRRead,
+//! GetRandom) — the commands the SLB Core itself needs. Authorized commands
+//! (Seal/Unseal/Quote) ride the typed API in [`crate::Tpm`]; their OIAP
+//! HMAC discipline is implemented in [`crate::auth`], and marshalling them
+//! adds no further behaviour this reproduction exercises.
+
+use crate::error::{TpmError, TpmResult};
+use crate::tpm::Tpm;
+
+/// TPM_TAG_RQU_COMMAND.
+pub const TAG_RQU_COMMAND: u16 = 0x00C1;
+/// TPM_TAG_RSP_COMMAND.
+pub const TAG_RSP_COMMAND: u16 = 0x00C4;
+
+/// TPM_ORD_Extend.
+pub const ORD_EXTEND: u32 = 0x0000_0014;
+/// TPM_ORD_PcrRead.
+pub const ORD_PCR_READ: u32 = 0x0000_0015;
+/// TPM_ORD_GetRandom.
+pub const ORD_GET_RANDOM: u32 = 0x0000_0046;
+
+/// TPM_SUCCESS.
+pub const RC_SUCCESS: u32 = 0;
+/// TPM_E_BAD_PARAMETER.
+pub const RC_BAD_PARAMETER: u32 = 3;
+/// TPM_E_BADINDEX.
+pub const RC_BADINDEX: u32 = 2;
+/// TPM_E_BAD_ORDINAL.
+pub const RC_BAD_ORDINAL: u32 = 10;
+/// Driver-level: frame larger than the FIFO.
+pub const RC_SIZE: u32 = 0x11;
+
+/// Capacity of the command FIFO (the buffer the driver "must never over-
+/// or underflow"; TIS mandates at least 64 bytes — real chips expose ~1-4 KB).
+pub const FIFO_SIZE: usize = 1024;
+
+/// Builds a command frame.
+pub fn build_command(ordinal: u32, params: &[u8]) -> Vec<u8> {
+    let size = (10 + params.len()) as u32;
+    let mut out = Vec::with_capacity(size as usize);
+    out.extend_from_slice(&TAG_RQU_COMMAND.to_be_bytes());
+    out.extend_from_slice(&size.to_be_bytes());
+    out.extend_from_slice(&ordinal.to_be_bytes());
+    out.extend_from_slice(params);
+    out
+}
+
+fn build_response(rc: u32, params: &[u8]) -> Vec<u8> {
+    let size = (10 + params.len()) as u32;
+    let mut out = Vec::with_capacity(size as usize);
+    out.extend_from_slice(&TAG_RSP_COMMAND.to_be_bytes());
+    out.extend_from_slice(&size.to_be_bytes());
+    out.extend_from_slice(&rc.to_be_bytes());
+    out.extend_from_slice(params);
+    out
+}
+
+/// Parses a response frame into `(returnCode, params)`.
+pub fn parse_response(frame: &[u8]) -> TpmResult<(u32, &[u8])> {
+    if frame.len() < 10 {
+        return Err(TpmError::BadParameter("short response frame"));
+    }
+    let tag = u16::from_be_bytes(frame[0..2].try_into().expect("2 bytes"));
+    let size = u32::from_be_bytes(frame[2..6].try_into().expect("4 bytes")) as usize;
+    let rc = u32::from_be_bytes(frame[6..10].try_into().expect("4 bytes"));
+    if tag != TAG_RSP_COMMAND || size != frame.len() {
+        return Err(TpmError::BadParameter("malformed response frame"));
+    }
+    Ok((rc, &frame[10..]))
+}
+
+/// Executes one marshalled command frame against `tpm`, returning the
+/// response frame. Never panics on malformed input — errors come back as
+/// in-band return codes, like hardware.
+pub fn execute(tpm: &mut Tpm, frame: &[u8]) -> Vec<u8> {
+    if frame.len() > FIFO_SIZE {
+        return build_response(RC_SIZE, &[]);
+    }
+    if frame.len() < 10 {
+        return build_response(RC_BAD_PARAMETER, &[]);
+    }
+    let tag = u16::from_be_bytes(frame[0..2].try_into().expect("2 bytes"));
+    let size = u32::from_be_bytes(frame[2..6].try_into().expect("4 bytes")) as usize;
+    let ordinal = u32::from_be_bytes(frame[6..10].try_into().expect("4 bytes"));
+    if tag != TAG_RQU_COMMAND || size != frame.len() {
+        return build_response(RC_BAD_PARAMETER, &[]);
+    }
+    let params = &frame[10..];
+
+    match ordinal {
+        ORD_EXTEND => {
+            // params: pcrNum (u32) ‖ inDigest (20 bytes).
+            if params.len() != 24 {
+                return build_response(RC_BAD_PARAMETER, &[]);
+            }
+            let pcr = u32::from_be_bytes(params[0..4].try_into().expect("4 bytes"));
+            let digest: [u8; 20] = params[4..24].try_into().expect("20 bytes");
+            match tpm.pcr_extend(pcr, &digest) {
+                Ok(out) => build_response(RC_SUCCESS, &out),
+                Err(TpmError::BadIndex(_)) => build_response(RC_BADINDEX, &[]),
+                Err(_) => build_response(RC_BAD_PARAMETER, &[]),
+            }
+        }
+        ORD_PCR_READ => {
+            // params: pcrIndex (u32).
+            if params.len() != 4 {
+                return build_response(RC_BAD_PARAMETER, &[]);
+            }
+            let pcr = u32::from_be_bytes(params[0..4].try_into().expect("4 bytes"));
+            match tpm.pcr_read(pcr) {
+                Ok(out) => build_response(RC_SUCCESS, &out),
+                Err(TpmError::BadIndex(_)) => build_response(RC_BADINDEX, &[]),
+                Err(_) => build_response(RC_BAD_PARAMETER, &[]),
+            }
+        }
+        ORD_GET_RANDOM => {
+            // params: bytesRequested (u32); response: size (u32) ‖ bytes.
+            if params.len() != 4 {
+                return build_response(RC_BAD_PARAMETER, &[]);
+            }
+            let n = u32::from_be_bytes(params[0..4].try_into().expect("4 bytes")) as usize;
+            // Buffer discipline: never emit more than the FIFO holds.
+            let n = n.min(FIFO_SIZE - 14);
+            let bytes = tpm.get_random(n);
+            let mut out = Vec::with_capacity(4 + n);
+            out.extend_from_slice(&(n as u32).to_be_bytes());
+            out.extend_from_slice(&bytes);
+            build_response(RC_SUCCESS, &out)
+        }
+        _ => build_response(RC_BAD_ORDINAL, &[]),
+    }
+}
+
+/// The PAL-side driver: typed wrappers that marshal through [`execute`],
+/// exactly as the SLB Core's 216-line driver does over MMIO.
+pub struct TpmDriver<'a> {
+    tpm: &'a mut Tpm,
+}
+
+impl<'a> TpmDriver<'a> {
+    /// Attaches the driver to the (memory-mapped) TPM.
+    pub fn new(tpm: &'a mut Tpm) -> Self {
+        TpmDriver { tpm }
+    }
+
+    fn call(&mut self, ordinal: u32, params: &[u8]) -> TpmResult<Vec<u8>> {
+        let frame = build_command(ordinal, params);
+        let response = execute(self.tpm, &frame);
+        let (rc, out) = parse_response(&response)?;
+        match rc {
+            RC_SUCCESS => Ok(out.to_vec()),
+            RC_BADINDEX => Err(TpmError::BadIndex(u32::MAX)),
+            RC_BAD_ORDINAL => Err(TpmError::BadParameter("bad ordinal")),
+            _ => Err(TpmError::BadParameter("TPM returned an error")),
+        }
+    }
+
+    /// `TPM_Extend` over the wire.
+    pub fn extend(&mut self, pcr: u32, digest: &[u8; 20]) -> TpmResult<[u8; 20]> {
+        let mut params = Vec::with_capacity(24);
+        params.extend_from_slice(&pcr.to_be_bytes());
+        params.extend_from_slice(digest);
+        let out = self.call(ORD_EXTEND, &params)?;
+        out.try_into()
+            .map_err(|_| TpmError::BadParameter("short extend response"))
+    }
+
+    /// `TPM_PCRRead` over the wire.
+    pub fn pcr_read(&mut self, pcr: u32) -> TpmResult<[u8; 20]> {
+        let out = self.call(ORD_PCR_READ, &pcr.to_be_bytes())?;
+        out.try_into()
+            .map_err(|_| TpmError::BadParameter("short pcrread response"))
+    }
+
+    /// `TPM_GetRandom` over the wire.
+    pub fn get_random(&mut self, n: usize) -> TpmResult<Vec<u8>> {
+        let out = self.call(ORD_GET_RANDOM, &(n as u32).to_be_bytes())?;
+        if out.len() < 4 {
+            return Err(TpmError::BadParameter("short getrandom response"));
+        }
+        let count = u32::from_be_bytes(out[0..4].try_into().expect("4 bytes")) as usize;
+        if out.len() != 4 + count {
+            return Err(TpmError::BadParameter("getrandom length mismatch"));
+        }
+        Ok(out[4..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpm::TpmConfig;
+
+    fn tpm() -> Tpm {
+        Tpm::manufacture(TpmConfig::fast_for_tests(110))
+    }
+
+    #[test]
+    fn extend_over_the_wire_matches_typed_api() {
+        let mut hw = tpm();
+        let typed_result = {
+            let mut reference = tpm();
+            reference.pcr_extend(17, &[7; 20]).unwrap()
+        };
+        let mut drv = TpmDriver::new(&mut hw);
+        let wire_result = drv.extend(17, &[7; 20]).unwrap();
+        assert_eq!(wire_result, typed_result);
+        assert_eq!(drv.pcr_read(17).unwrap(), typed_result);
+    }
+
+    #[test]
+    fn pcr_read_reports_reboot_state() {
+        let mut hw = tpm();
+        let mut drv = TpmDriver::new(&mut hw);
+        assert_eq!(drv.pcr_read(0).unwrap(), [0u8; 20]);
+        assert_eq!(drv.pcr_read(17).unwrap(), [0xFF; 20]);
+    }
+
+    #[test]
+    fn get_random_over_the_wire() {
+        let mut hw = tpm();
+        let mut drv = TpmDriver::new(&mut hw);
+        let a = drv.get_random(32).unwrap();
+        let b = drv.get_random(32).unwrap();
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bad_index_is_in_band() {
+        let mut hw = tpm();
+        let frame = build_command(ORD_PCR_READ, &99u32.to_be_bytes());
+        let resp = execute(&mut hw, &frame);
+        let (rc, _) = parse_response(&resp).unwrap();
+        assert_eq!(rc, RC_BADINDEX);
+    }
+
+    #[test]
+    fn unknown_ordinal_is_in_band() {
+        let mut hw = tpm();
+        let frame = build_command(0xDEAD_BEEF, &[]);
+        let (rc, _) = parse_response(&execute(&mut hw, &frame)).unwrap();
+        assert_eq!(rc, RC_BAD_ORDINAL);
+    }
+
+    #[test]
+    fn malformed_frames_never_panic() {
+        let mut hw = tpm();
+        for frame in [
+            &[][..],
+            &[0xC1][..],
+            &[0; 9][..],
+            &[0xFF; 10][..],
+            &build_command(ORD_EXTEND, &[1, 2, 3])[..], // short params
+        ] {
+            let resp = execute(&mut hw, frame);
+            let (rc, _) = parse_response(&resp).unwrap();
+            assert_ne!(rc, RC_SUCCESS, "frame {frame:02x?}");
+        }
+        // Size field lying about the length.
+        let mut lying = build_command(ORD_PCR_READ, &0u32.to_be_bytes());
+        lying[5] = lying[5].wrapping_add(1);
+        let (rc, _) = parse_response(&execute(&mut hw, &lying)).unwrap();
+        assert_eq!(rc, RC_BAD_PARAMETER);
+    }
+
+    #[test]
+    fn fifo_overflow_refused() {
+        let mut hw = tpm();
+        let frame = build_command(ORD_GET_RANDOM, &vec![0u8; FIFO_SIZE]);
+        let (rc, _) = parse_response(&execute(&mut hw, &frame)).unwrap();
+        assert_eq!(rc, RC_SIZE);
+    }
+
+    #[test]
+    fn get_random_clamped_to_fifo() {
+        let mut hw = tpm();
+        let mut drv = TpmDriver::new(&mut hw);
+        let out = drv.get_random(100_000).unwrap();
+        assert!(out.len() <= FIFO_SIZE, "driver buffer discipline");
+    }
+}

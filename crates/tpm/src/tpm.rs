@@ -1,0 +1,739 @@
+//! The top-level software TPM: command surface, key slots, time accounting.
+
+use crate::auth::{
+    osap_shared_secret, AuthData, AuthSession, ClientSession, CommandAuth, Nonce, SessionKind,
+};
+use crate::counter::Counters;
+use crate::error::{TpmError, TpmResult};
+use crate::keys::{key_digest, AikCertificate, PrivacyCa, TpmKey, KH_AIK_BASE, KH_SRK};
+use crate::nv::{NvPcrPolicy, NvStorage};
+use crate::pcr::{PcrBank, PcrSelection, PcrValue, LOCALITY_HW};
+use crate::quote::{sign_quote, TpmQuote};
+use crate::seal::{digest_at_release_for, pcrs_satisfy, SealedBlob, StorageRoot};
+use crate::timing::TpmTimingProfile;
+use flicker_crypto::digest::Digest;
+use flicker_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use flicker_crypto::sha1::{sha1, Sha1};
+use flicker_crypto::HmacDrbg;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Configuration for manufacturing a [`Tpm`].
+#[derive(Debug, Clone)]
+pub struct TpmConfig {
+    /// RSA modulus size for EK/SRK/AIK keys. The spec mandates 2048; tests
+    /// may use smaller keys to keep key generation fast. Security of the
+    /// *simulation* does not depend on this (the simulated TPM boundary
+    /// does), so it is a speed knob only.
+    pub key_bits: usize,
+    /// Latency model for command costs.
+    pub timing: TpmTimingProfile,
+    /// Owner authorization data installed at `TakeOwnership`.
+    pub owner_auth: AuthData,
+    /// Seed for the TPM's internal DRBG (models the hardware entropy
+    /// source; fix it for reproducible experiments).
+    pub entropy_seed: [u8; 32],
+}
+
+impl Default for TpmConfig {
+    fn default() -> Self {
+        TpmConfig {
+            key_bits: 2048,
+            timing: TpmTimingProfile::default(),
+            owner_auth: [0u8; 20],
+            entropy_seed: [0x42; 32],
+        }
+    }
+}
+
+impl TpmConfig {
+    /// A fast configuration for unit tests: 512-bit keys, Broadcom timing.
+    pub fn fast_for_tests(seed: u8) -> Self {
+        TpmConfig {
+            key_bits: 512,
+            entropy_seed: [seed; 32],
+            ..TpmConfig::default()
+        }
+    }
+}
+
+/// A software TPM v1.2 exposing the command subset Flicker uses.
+///
+/// All commands charge simulated time to an internal accumulator; the
+/// platform (machine/OS simulator) drains it with [`Tpm::take_elapsed`] and
+/// advances its clock accordingly. This keeps the TPM reusable under any
+/// clock discipline.
+pub struct Tpm {
+    config: TpmConfig,
+    pcrs: PcrBank,
+    drbg: HmacDrbg,
+    storage_root: StorageRoot,
+    ek: TpmKey,
+    srk: Option<TpmKey>,
+    aiks: BTreeMap<u32, TpmKey>,
+    next_aik_handle: u32,
+    nv: NvStorage,
+    counters: Counters,
+    sessions: BTreeMap<u32, AuthSession>,
+    next_session_handle: u32,
+    elapsed: Duration,
+}
+
+impl Tpm {
+    /// Manufactures a TPM: generates the EK, derives the storage root, and
+    /// initializes PCRs to the reboot state.
+    pub fn manufacture(config: TpmConfig) -> Self {
+        let mut drbg = HmacDrbg::new(&config.entropy_seed, b"tpm-manufacture");
+        let (ek_key, _) = RsaPrivateKey::generate(config.key_bits, &mut drbg);
+        let mut enc_key = [0u8; 16];
+        drbg.generate(&mut enc_key);
+        let mut mac_key = [0u8; 20];
+        drbg.generate(&mut mac_key);
+        Tpm {
+            config,
+            pcrs: PcrBank::at_reboot(),
+            drbg,
+            storage_root: StorageRoot::new(enc_key, mac_key),
+            ek: TpmKey { private: ek_key },
+            srk: None,
+            aiks: BTreeMap::new(),
+            next_aik_handle: KH_AIK_BASE,
+            nv: NvStorage::default(),
+            counters: Counters::default(),
+            sessions: BTreeMap::new(),
+            next_session_handle: 0x0200_0000,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Manufactures a TPM, takes ownership, and registers the EK with
+    /// `privacy_ca` — the state a deployed platform is in.
+    pub fn provisioned(config: TpmConfig, privacy_ca: &mut PrivacyCa) -> Self {
+        let mut tpm = Self::manufacture(config);
+        tpm.take_ownership();
+        privacy_ca.register_ek(tpm.ek_public().clone());
+        tpm
+    }
+
+    // ----- platform lifecycle -------------------------------------------
+
+    /// Simulates a platform reboot: static PCRs to 0, dynamic PCRs to −1,
+    /// sessions flushed, counter latch cleared. NV and keys persist.
+    pub fn reboot(&mut self) {
+        self.pcrs = PcrBank::at_reboot();
+        self.sessions.clear();
+        self.counters.on_reboot();
+    }
+
+    /// Installs the SRK (models `TPM_TakeOwnership`).
+    pub fn take_ownership(&mut self) {
+        let (srk, _) = RsaPrivateKey::generate(self.config.key_bits, &mut self.drbg);
+        self.srk = Some(TpmKey { private: srk });
+    }
+
+    /// Drains the simulated time consumed by commands since the last call.
+    pub fn take_elapsed(&mut self) -> Duration {
+        std::mem::take(&mut self.elapsed)
+    }
+
+    /// The timing profile in force.
+    pub fn timing(&self) -> &TpmTimingProfile {
+        &self.config.timing
+    }
+
+    fn charge(&mut self, d: Duration) {
+        self.elapsed += d;
+    }
+
+    // ----- key material --------------------------------------------------
+
+    /// The endorsement public key.
+    pub fn ek_public(&self) -> &RsaPublicKey {
+        self.ek.public()
+    }
+
+    /// Generates an AIK inside the TPM (`TPM_MakeIdentity`) and obtains a
+    /// certificate from `privacy_ca`. Returns the loaded key handle and
+    /// the certificate.
+    pub fn make_identity(
+        &mut self,
+        privacy_ca: &PrivacyCa,
+        label: &str,
+    ) -> TpmResult<(u32, AikCertificate)> {
+        if self.srk.is_none() {
+            return Err(TpmError::NoSrk);
+        }
+        let (aik, _) = RsaPrivateKey::generate(self.config.key_bits, &mut self.drbg);
+        let cert = privacy_ca
+            .certify_aik(self.ek.public(), aik.public_key(), label)
+            .map_err(|_| TpmError::BadParameter("EK not registered with Privacy CA"))?;
+        let handle = self.next_aik_handle;
+        self.next_aik_handle += 1;
+        self.aiks.insert(handle, TpmKey { private: aik });
+        let load_cost = self.config.timing.load_key;
+        self.charge(load_cost);
+        Ok((handle, cert))
+    }
+
+    /// SHA-1 fingerprint of a loaded AIK's public key.
+    pub fn aik_digest(&self, handle: u32) -> TpmResult<[u8; 20]> {
+        self.aiks
+            .get(&handle)
+            .map(|k| key_digest(k.public()))
+            .ok_or(TpmError::InvalidKeyHandle(handle))
+    }
+
+    // ----- PCR commands --------------------------------------------------
+
+    /// `TPM_PCRRead`.
+    pub fn pcr_read(&mut self, index: u32) -> TpmResult<PcrValue> {
+        let cost = self.config.timing.pcr_read;
+        self.charge(cost);
+        self.pcrs.read(index)
+    }
+
+    /// `TPM_Extend`.
+    pub fn pcr_extend(&mut self, index: u32, measurement: &[u8; 20]) -> TpmResult<PcrValue> {
+        let cost = self.config.timing.pcr_extend;
+        self.charge(cost);
+        self.pcrs.extend(index, measurement)
+    }
+
+    /// The locality-4 dynamic-launch path driven by `SKINIT` (paper §2.4):
+    /// resets PCRs 17–23 to zero, measures the SLB bytes, and extends the
+    /// measurement into PCR 17. Returns the measurement.
+    ///
+    /// Only the CPU may invoke this; the machine simulator enforces that by
+    /// being the only caller that can present locality 4.
+    pub fn skinit_measure(&mut self, locality: u8, slb: &[u8]) -> TpmResult<[u8; 20]> {
+        if locality != LOCALITY_HW {
+            return Err(TpmError::BadLocality {
+                required: LOCALITY_HW,
+                actual: locality,
+            });
+        }
+        self.pcrs.dynamic_reset(locality)?;
+        let measurement = sha1(slb);
+        // No separate charge: the TPM-side hashing latency is part of the
+        // platform's calibrated SKINIT transfer model (Table 2), which the
+        // machine applies around this call.
+        self.pcrs.extend(crate::pcr::PCR_SKINIT, &measurement)?;
+        Ok(measurement)
+    }
+
+    /// Read-only view of the PCR bank (for the verifier-side test harness;
+    /// a real platform reads PCRs via `pcr_read`).
+    pub fn pcrs(&self) -> &PcrBank {
+        &self.pcrs
+    }
+
+    // ----- randomness -----------------------------------------------------
+
+    /// `TPM_GetRandom`.
+    pub fn get_random(&mut self, n: usize) -> Vec<u8> {
+        let cost = self.config.timing.get_random(n);
+        self.charge(cost);
+        let mut out = vec![0u8; n];
+        self.drbg.generate(&mut out);
+        out
+    }
+
+    // ----- authorization sessions ----------------------------------------
+
+    /// `TPM_OIAP`: starts an object-independent session. The returned
+    /// [`ClientSession`] is the caller-side state (keyed by the object's
+    /// authdata, which the caller must know).
+    pub fn oiap(&mut self, object_auth: AuthData) -> ClientSession {
+        let nonce_even = self.fresh_nonce();
+        let handle = self.next_session_handle;
+        self.next_session_handle += 1;
+        self.sessions.insert(
+            handle,
+            AuthSession {
+                kind: SessionKind::Oiap,
+                nonce_even,
+                shared_secret: None,
+            },
+        );
+        ClientSession::new(SessionKind::Oiap, handle, object_auth, nonce_even)
+    }
+
+    /// `TPM_OSAP`: starts an object-specific session bound to `object_auth`
+    /// via the derived shared secret.
+    pub fn osap(&mut self, object_auth: AuthData, nonce_odd_osap: Nonce) -> ClientSession {
+        let nonce_even = self.fresh_nonce();
+        let nonce_even_osap = self.fresh_nonce();
+        let shared = osap_shared_secret(&object_auth, &nonce_even_osap, &nonce_odd_osap);
+        let handle = self.next_session_handle;
+        self.next_session_handle += 1;
+        self.sessions.insert(
+            handle,
+            AuthSession {
+                kind: SessionKind::Osap,
+                nonce_even,
+                shared_secret: Some(shared),
+            },
+        );
+        ClientSession::new(SessionKind::Osap, handle, shared, nonce_even)
+    }
+
+    fn fresh_nonce(&mut self) -> Nonce {
+        let mut n = [0u8; 20];
+        self.drbg.generate(&mut n);
+        n
+    }
+
+    fn verify_auth(
+        &mut self,
+        object_auth: &AuthData,
+        param_digest: &[u8; 20],
+        auth: &CommandAuth,
+    ) -> TpmResult<()> {
+        let session = self
+            .sessions
+            .get(&auth.session_handle)
+            .ok_or(TpmError::InvalidAuthHandle(auth.session_handle))?;
+        let result = session.verify(object_auth, param_digest, auth);
+        if result.is_err() || !auth.continue_session {
+            self.sessions.remove(&auth.session_handle);
+        } else {
+            // Roll the even nonce for the next command.
+            let new_even = self.fresh_nonce();
+            if let Some(s) = self.sessions.get_mut(&auth.session_handle) {
+                s.nonce_even = new_even;
+            }
+        }
+        result
+    }
+
+    // ----- sealed storage --------------------------------------------------
+
+    /// `TPM_Seal`: seals `data` under the *current* values of `selection`.
+    pub fn seal(
+        &mut self,
+        data: &[u8],
+        selection: &PcrSelection,
+        blob_auth: &AuthData,
+        auth: &CommandAuth,
+    ) -> TpmResult<SealedBlob> {
+        let digest = if selection.is_empty() {
+            [0u8; 20]
+        } else {
+            self.pcrs.composite_hash(selection)?
+        };
+        self.seal_with_digest(data, selection, digest, blob_auth, auth)
+    }
+
+    /// `TPM_Seal` with an explicit `digestAtRelease` — how a PAL seals data
+    /// for a *different future* PAL (paper §4.3.1: specify that PCR 17 must
+    /// have `V = H(0x0020 ‖ H(P'))`).
+    pub fn seal_for_future(
+        &mut self,
+        data: &[u8],
+        selection: &PcrSelection,
+        release_values: &[PcrValue],
+        blob_auth: &AuthData,
+        auth: &CommandAuth,
+    ) -> TpmResult<SealedBlob> {
+        if release_values.len() != selection.indices().len() {
+            return Err(TpmError::BadParameter("one value per selected PCR"));
+        }
+        let digest = digest_at_release_for(selection, release_values);
+        self.seal_with_digest(data, selection, digest, blob_auth, auth)
+    }
+
+    fn seal_with_digest(
+        &mut self,
+        data: &[u8],
+        selection: &PcrSelection,
+        digest: [u8; 20],
+        blob_auth: &AuthData,
+        auth: &CommandAuth,
+    ) -> TpmResult<SealedBlob> {
+        if self.srk.is_none() {
+            return Err(TpmError::NoSrk);
+        }
+        let param_digest = Self::param_digest(&[b"TPM_Seal", data, &selection.encode(), &digest]);
+        self.verify_auth(&self.srk_auth(), &param_digest, auth)?;
+        let mut nonce = [0u8; 8];
+        self.drbg.generate(&mut nonce);
+        let blob = self
+            .storage_root
+            .seal(data, selection, digest, blob_auth, nonce);
+        let cost = self.config.timing.seal;
+        self.charge(cost);
+        Ok(blob)
+    }
+
+    /// `TPM_Unseal`: releases the data iff the PCR policy holds and the
+    /// caller authorizes with the blob's auth secret.
+    pub fn unseal(&mut self, blob: &SealedBlob, auth: &CommandAuth) -> TpmResult<Vec<u8>> {
+        if self.srk.is_none() {
+            return Err(TpmError::NoSrk);
+        }
+        let cost = self.config.timing.unseal;
+        self.charge(cost);
+        let (selection, digest_at_release, blob_auth, data) = self.storage_root.open(blob)?;
+        let param_digest = Self::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
+        self.verify_auth(&blob_auth, &param_digest, auth)?;
+        if !pcrs_satisfy(&self.pcrs, &selection, &digest_at_release)? {
+            return Err(TpmError::WrongPcrVal);
+        }
+        Ok(data)
+    }
+
+    /// The canonical parameter digest for authorized commands:
+    /// `SHA-1(field₀ ‖ field₁ ‖ …)`.
+    pub fn param_digest(fields: &[&[u8]]) -> [u8; 20] {
+        let mut h = Sha1::new();
+        for f in fields {
+            h.update(f);
+        }
+        let d = h.finalize();
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&d);
+        out
+    }
+
+    fn srk_auth(&self) -> AuthData {
+        // The SRK uses well-known auth in this platform (standard TrouSerS
+        // deployment choice); per-blob auth provides the real secrecy.
+        crate::auth::WELL_KNOWN_AUTH
+    }
+
+    // ----- quote ------------------------------------------------------------
+
+    /// `TPM_Quote` over `selection` with the verifier's `nonce`.
+    pub fn quote(
+        &mut self,
+        aik_handle: u32,
+        nonce: [u8; 20],
+        selection: &PcrSelection,
+    ) -> TpmResult<TpmQuote> {
+        let aik = self
+            .aiks
+            .get(&aik_handle)
+            .ok_or(TpmError::InvalidKeyHandle(aik_handle))?;
+        let values: Vec<PcrValue> = selection
+            .indices()
+            .iter()
+            .map(|&i| self.pcrs.read(i))
+            .collect::<TpmResult<_>>()?;
+        let q = sign_quote(&aik.private, selection.clone(), values, nonce)
+            .map_err(|_| TpmError::BadParameter("quote signing failed"))?;
+        let cost = self.config.timing.quote;
+        self.charge(cost);
+        Ok(q)
+    }
+
+    // ----- NV storage ---------------------------------------------------------
+
+    /// `TPM_NV_DefineSpace`, authorized by the owner auth (paper §4.3.2).
+    pub fn nv_define_space(
+        &mut self,
+        index: u32,
+        size: usize,
+        policy: Option<NvPcrPolicy>,
+        presented_owner_auth: &AuthData,
+    ) -> TpmResult<()> {
+        if !flicker_crypto::ct_eq(presented_owner_auth, &self.config.owner_auth) {
+            return Err(TpmError::AuthFail);
+        }
+        self.nv.define(index, size, policy);
+        let cost = self.config.timing.nv_op;
+        self.charge(cost);
+        Ok(())
+    }
+
+    /// `TPM_NV_ReadValue`.
+    pub fn nv_read(&mut self, index: u32) -> TpmResult<Vec<u8>> {
+        let cost = self.config.timing.nv_op;
+        self.charge(cost);
+        self.nv.read(index, &self.pcrs)
+    }
+
+    /// `TPM_NV_WriteValue`.
+    pub fn nv_write(&mut self, index: u32, offset: usize, data: &[u8]) -> TpmResult<()> {
+        let cost = self.config.timing.nv_op;
+        self.charge(cost);
+        self.nv.write(index, offset, data, &self.pcrs)
+    }
+
+    /// True if an NV index is defined.
+    pub fn nv_is_defined(&self, index: u32) -> bool {
+        self.nv.is_defined(index)
+    }
+
+    // ----- monotonic counters ---------------------------------------------------
+
+    /// `TPM_CreateCounter`.
+    pub fn create_counter(&mut self) -> (u32, u64) {
+        let cost = self.config.timing.counter_op;
+        self.charge(cost);
+        self.counters.create()
+    }
+
+    /// `TPM_IncrementCounter`.
+    pub fn increment_counter(&mut self, id: u32) -> TpmResult<u64> {
+        let cost = self.config.timing.counter_op;
+        self.charge(cost);
+        self.counters.increment(id)
+    }
+
+    /// `TPM_ReadCounter`.
+    pub fn read_counter(&mut self, id: u32) -> TpmResult<u64> {
+        let cost = self.config.timing.counter_op;
+        self.charge(cost);
+        self.counters.read(id)
+    }
+
+    /// The SRK handle constant, for callers that log key provenance.
+    pub fn srk_handle(&self) -> u32 {
+        KH_SRK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flicker_crypto::rng::XorShiftRng;
+
+    fn tpm() -> Tpm {
+        let mut t = Tpm::manufacture(TpmConfig::fast_for_tests(1));
+        t.take_ownership();
+        t
+    }
+
+    fn authorize_seal(
+        tpm: &mut Tpm,
+        data: &[u8],
+        sel: &PcrSelection,
+        blob_auth: AuthData,
+    ) -> SealedBlob {
+        let digest = if sel.is_empty() {
+            [0u8; 20]
+        } else {
+            tpm.pcrs().composite_hash(sel).unwrap()
+        };
+        let pd = Tpm::param_digest(&[b"TPM_Seal", data, &sel.encode(), &digest]);
+        let mut session = tpm.oiap(crate::auth::WELL_KNOWN_AUTH);
+        let mut rng = XorShiftRng::new(80);
+        let ca = session.authorize(&pd, &mut rng);
+        tpm.seal(data, sel, &blob_auth, &ca).unwrap()
+    }
+
+    fn authorize_unseal(
+        tpm: &mut Tpm,
+        blob: &SealedBlob,
+        blob_auth: AuthData,
+    ) -> TpmResult<Vec<u8>> {
+        let pd = Tpm::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
+        let mut session = tpm.oiap(blob_auth);
+        let mut rng = XorShiftRng::new(81);
+        let ca = session.authorize(&pd, &mut rng);
+        tpm.unseal(blob, &ca)
+    }
+
+    #[test]
+    fn seal_unseal_round_trip_same_pcrs() {
+        let mut t = tpm();
+        let sel = PcrSelection::pcr17();
+        let blob = authorize_seal(&mut t, b"secret", &sel, [3; 20]);
+        assert_eq!(authorize_unseal(&mut t, &blob, [3; 20]).unwrap(), b"secret");
+    }
+
+    #[test]
+    fn unseal_fails_after_pcr_change() {
+        let mut t = tpm();
+        let sel = PcrSelection::pcr17();
+        let blob = authorize_seal(&mut t, b"secret", &sel, [3; 20]);
+        t.pcr_extend(17, &[0xAA; 20]).unwrap();
+        assert_eq!(
+            authorize_unseal(&mut t, &blob, [3; 20]),
+            Err(TpmError::WrongPcrVal)
+        );
+    }
+
+    #[test]
+    fn unseal_fails_with_wrong_blob_auth() {
+        let mut t = tpm();
+        let sel = PcrSelection::pcr17();
+        let blob = authorize_seal(&mut t, b"secret", &sel, [3; 20]);
+        assert_eq!(
+            authorize_unseal(&mut t, &blob, [4; 20]),
+            Err(TpmError::AuthFail)
+        );
+    }
+
+    #[test]
+    fn unseal_on_other_tpm_fails() {
+        let mut t1 = tpm();
+        let mut t2 = Tpm::manufacture(TpmConfig::fast_for_tests(2));
+        t2.take_ownership();
+        let sel = PcrSelection::pcr17();
+        let blob = authorize_seal(&mut t1, b"secret", &sel, [3; 20]);
+        assert_eq!(
+            authorize_unseal(&mut t2, &blob, [3; 20]),
+            Err(TpmError::DecryptError)
+        );
+    }
+
+    #[test]
+    fn seal_for_future_pal() {
+        let mut t = tpm();
+        let sel = PcrSelection::pcr17();
+        // Predict PCR17 for a future PAL.
+        let pal_hash = sha1(b"the future PAL");
+        let predicted = PcrBank::predict_skinit_pcr17(&pal_hash);
+
+        let digest = digest_at_release_for(&sel, &[predicted]);
+        let pd = Tpm::param_digest(&[b"TPM_Seal", b"handoff", &sel.encode(), &digest]);
+        let mut session = t.oiap(crate::auth::WELL_KNOWN_AUTH);
+        let mut rng = XorShiftRng::new(82);
+        let ca = session.authorize(&pd, &mut rng);
+        let blob = t
+            .seal_for_future(b"handoff", &sel, &[predicted], &[0; 20], &ca)
+            .unwrap();
+
+        // Not unsealable now (PCR17 is -1 from reboot).
+        assert_eq!(
+            authorize_unseal(&mut t, &blob, [0; 20]),
+            Err(TpmError::WrongPcrVal)
+        );
+
+        // After SKINIT with the right PAL, it unseals.
+        t.skinit_measure(4, b"the future PAL").unwrap();
+        assert_eq!(
+            authorize_unseal(&mut t, &blob, [0; 20]).unwrap(),
+            b"handoff"
+        );
+
+        // A different PAL cannot unseal it.
+        t.skinit_measure(4, b"an evil PAL").unwrap();
+        assert_eq!(
+            authorize_unseal(&mut t, &blob, [0; 20]),
+            Err(TpmError::WrongPcrVal)
+        );
+    }
+
+    #[test]
+    fn skinit_requires_locality_4() {
+        let mut t = tpm();
+        assert!(matches!(
+            t.skinit_measure(0, b"slb"),
+            Err(TpmError::BadLocality { .. })
+        ));
+    }
+
+    #[test]
+    fn quote_end_to_end() {
+        let mut rng = XorShiftRng::new(83);
+        let mut ca = PrivacyCa::new(512, &mut rng);
+        let mut t = Tpm::provisioned(TpmConfig::fast_for_tests(3), &mut ca);
+        let (aik, cert) = t.make_identity(&ca, "host").unwrap();
+        assert!(cert.verify(ca.public_key()).is_ok());
+
+        t.skinit_measure(4, b"a PAL").unwrap();
+        let sel = PcrSelection::pcr17();
+        let nonce = [7u8; 20];
+        let q = t.quote(aik, nonce, &sel).unwrap();
+        assert!(q.verify(&cert.aik_public, &nonce).is_ok());
+        assert_eq!(
+            q.pcr_value(17).unwrap(),
+            &PcrBank::predict_skinit_pcr17(&sha1(b"a PAL"))
+        );
+    }
+
+    #[test]
+    fn quote_with_bad_handle_fails() {
+        let mut t = tpm();
+        assert_eq!(
+            t.quote(0xdead, [0; 20], &PcrSelection::pcr17()),
+            Err(TpmError::InvalidKeyHandle(0xdead))
+        );
+    }
+
+    #[test]
+    fn make_identity_requires_ownership_and_registration() {
+        let mut rng = XorShiftRng::new(84);
+        let ca = PrivacyCa::new(512, &mut rng);
+        let mut t = Tpm::manufacture(TpmConfig::fast_for_tests(4));
+        assert_eq!(t.make_identity(&ca, "x").unwrap_err(), TpmError::NoSrk);
+        t.take_ownership();
+        // EK not registered with this CA.
+        assert!(t.make_identity(&ca, "x").is_err());
+    }
+
+    #[test]
+    fn nv_define_requires_owner_auth() {
+        let mut t = tpm();
+        assert_eq!(
+            t.nv_define_space(0x10, 4, None, &[1; 20]),
+            Err(TpmError::AuthFail)
+        );
+        t.nv_define_space(0x10, 4, None, &[0; 20]).unwrap();
+        assert!(t.nv_is_defined(0x10));
+        t.nv_write(0x10, 0, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(t.nv_read(0x10).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn get_random_is_deterministic_per_seed_and_charges_time() {
+        let mut a = Tpm::manufacture(TpmConfig::fast_for_tests(7));
+        let mut b = Tpm::manufacture(TpmConfig::fast_for_tests(7));
+        assert_eq!(a.get_random(32), b.get_random(32));
+        assert!(a.take_elapsed() > Duration::ZERO);
+        assert_eq!(a.take_elapsed(), Duration::ZERO, "drained");
+    }
+
+    #[test]
+    fn reboot_resets_pcrs_but_keeps_nv_and_counters() {
+        let mut t = tpm();
+        t.nv_define_space(0x20, 4, None, &[0; 20]).unwrap();
+        t.nv_write(0x20, 0, &[9, 9, 9, 9]).unwrap();
+        let (cid, _) = t.create_counter();
+        t.increment_counter(cid).unwrap();
+        t.skinit_measure(4, b"pal").unwrap();
+
+        t.reboot();
+        assert_eq!(
+            t.pcr_read(17).unwrap(),
+            [0xFF; 20],
+            "dynamic PCR back to -1"
+        );
+        assert_eq!(t.nv_read(0x20).unwrap(), vec![9, 9, 9, 9]);
+        assert_eq!(t.read_counter(cid).unwrap(), 1);
+    }
+
+    #[test]
+    fn session_consumed_on_auth_failure() {
+        let mut t = tpm();
+        let sel = PcrSelection::pcr17();
+        let blob = authorize_seal(&mut t, b"secret", &sel, [3; 20]);
+        // Wrong auth terminates the session; reusing its handle fails with
+        // InvalidAuthHandle.
+        let pd = Tpm::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
+        let mut bad = t.oiap([9; 20]);
+        let mut rng = XorShiftRng::new(85);
+        let ca = bad.authorize(&pd, &mut rng);
+        assert_eq!(t.unseal(&blob, &ca), Err(TpmError::AuthFail));
+        let ca2 = bad.authorize(&pd, &mut rng);
+        assert_eq!(
+            t.unseal(&blob, &ca2),
+            Err(TpmError::InvalidAuthHandle(ca2.session_handle))
+        );
+    }
+
+    #[test]
+    fn timing_charged_per_command() {
+        let mut t = tpm();
+        t.take_elapsed();
+        t.pcr_extend(17, &[0; 20]).unwrap();
+        assert_eq!(t.take_elapsed(), t.timing().pcr_extend);
+        let sel = PcrSelection::pcr17();
+        let blob = authorize_seal(&mut t, b"x", &sel, [0; 20]);
+        t.take_elapsed();
+        let _ = authorize_unseal(&mut t, &blob, [0; 20]);
+        assert!(t.take_elapsed() >= t.timing().unseal);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the TPM's core invariants.
+
+use flicker_crypto::rng::XorShiftRng;
+use flicker_tpm::{PcrBank, PcrSelection, SealedBlob, Tpm, TpmConfig, TpmError, WELL_KNOWN_AUTH};
+use proptest::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    // TPM manufacture costs a keygen; share one instance across cases.
+    static TPM: RefCell<Tpm> = RefCell::new({
+        let mut t = Tpm::manufacture(TpmConfig::fast_for_tests(200));
+        t.take_ownership();
+        t
+    });
+}
+
+fn seal(tpm: &mut Tpm, data: &[u8], sel: &PcrSelection) -> SealedBlob {
+    let digest = if sel.is_empty() {
+        [0u8; 20]
+    } else {
+        tpm.pcrs().composite_hash(sel).unwrap()
+    };
+    let pd = Tpm::param_digest(&[b"TPM_Seal", data, &sel.encode(), &digest]);
+    let mut session = tpm.oiap(WELL_KNOWN_AUTH);
+    let mut rng = XorShiftRng::new(1);
+    let auth = session.authorize(&pd, &mut rng);
+    tpm.seal(data, sel, &WELL_KNOWN_AUTH, &auth).unwrap()
+}
+
+fn unseal(tpm: &mut Tpm, blob: &SealedBlob) -> Result<Vec<u8>, TpmError> {
+    let pd = Tpm::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
+    let mut session = tpm.oiap(WELL_KNOWN_AUTH);
+    let mut rng = XorShiftRng::new(2);
+    let auth = session.authorize(&pd, &mut rng);
+    tpm.unseal(blob, &auth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Seal/unseal round-trips arbitrary data under arbitrary (current-
+    /// value) PCR selections.
+    #[test]
+    fn seal_unseal_round_trip(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        indices in proptest::collection::vec(0u32..24, 0..5),
+    ) {
+        TPM.with(|t| {
+            let mut tpm = t.borrow_mut();
+            let sel = PcrSelection::new(&indices).unwrap();
+            let blob = seal(&mut tpm, &data, &sel);
+            prop_assert_eq!(unseal(&mut tpm, &blob).unwrap(), data);
+            Ok(())
+        })?;
+    }
+
+    /// Any single-byte corruption of a sealed blob is rejected.
+    #[test]
+    fn corrupted_blob_rejected(
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+        pos_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        TPM.with(|t| {
+            let mut tpm = t.borrow_mut();
+            let sel = PcrSelection::new(&[]).unwrap();
+            let blob = seal(&mut tpm, &data, &sel);
+            let mut bytes = blob.as_bytes().to_vec();
+            let pos = pos_seed % bytes.len();
+            bytes[pos] ^= flip;
+            let r = unseal(&mut tpm, &SealedBlob::from_bytes(bytes));
+            prop_assert_eq!(r.unwrap_err(), TpmError::DecryptError);
+            Ok(())
+        })?;
+    }
+
+    /// The extend chain is deterministic and order-sensitive.
+    #[test]
+    fn extend_chain_order_sensitive(
+        a in any::<[u8; 20]>(),
+        b in any::<[u8; 20]>(),
+    ) {
+        let mut bank1 = PcrBank::at_reboot();
+        bank1.extend(17, &a).unwrap();
+        bank1.extend(17, &b).unwrap();
+        let mut bank2 = PcrBank::at_reboot();
+        bank2.extend(17, &b).unwrap();
+        bank2.extend(17, &a).unwrap();
+        if a != b {
+            prop_assert_ne!(bank1.read(17).unwrap(), bank2.read(17).unwrap());
+        } else {
+            prop_assert_eq!(bank1.read(17).unwrap(), bank2.read(17).unwrap());
+        }
+    }
+
+    /// A PCR never returns to an earlier value by further extends (no
+    /// short cycles; probabilistic preimage property over random inputs).
+    #[test]
+    fn extends_never_revisit(values in proptest::collection::vec(any::<[u8;20]>(), 1..20)) {
+        let mut bank = PcrBank::at_reboot();
+        let mut seen = vec![bank.read(17).unwrap()];
+        for v in &values {
+            let new = bank.extend(17, v).unwrap();
+            prop_assert!(!seen.contains(&new), "hash-chain collision");
+            seen.push(new);
+        }
+    }
+
+    /// The composite hash commits to the selection, not just the values.
+    #[test]
+    fn composite_commits_to_selection(
+        i in 0u32..24,
+        j in 0u32..24,
+    ) {
+        prop_assume!(i != j);
+        let bank = PcrBank::at_reboot();
+        let a = bank.composite_hash(&PcrSelection::new(&[i]).unwrap()).unwrap();
+        let b = bank.composite_hash(&PcrSelection::new(&[j]).unwrap()).unwrap();
+        // PCRs i and j may hold equal values (both 0 or both -1); the
+        // encoding of the selection must still separate the composites.
+        prop_assert_ne!(a, b);
+    }
+
+    /// NV storage round-trips arbitrary writes at arbitrary offsets.
+    #[test]
+    fn nv_round_trip(
+        data in proptest::collection::vec(any::<u8>(), 1..32),
+        offset in 0usize..32,
+    ) {
+        TPM.with(|t| {
+            let mut tpm = t.borrow_mut();
+            let index = 0x9000;
+            tpm.nv_define_space(index, 64, None, &[0u8; 20]).unwrap();
+            tpm.nv_write(index, offset, &data).unwrap();
+            let read = tpm.nv_read(index).unwrap();
+            prop_assert_eq!(&read[offset..offset + data.len()], &data[..]);
+            Ok(())
+        })?;
+    }
+}
+
+/// Non-proptest: sealing under PCR 17 then extending it always revokes.
+#[test]
+fn extend_always_revokes_pcr17_seals() {
+    let mut tpm = Tpm::manufacture(TpmConfig::fast_for_tests(201));
+    tpm.take_ownership();
+    for round in 0..16u8 {
+        tpm.skinit_measure(4, &[round; 32]).unwrap();
+        let sel = PcrSelection::pcr17();
+        let blob = seal(&mut tpm, b"session secret", &sel);
+        assert!(unseal(&mut tpm, &blob).is_ok());
+        tpm.pcr_extend(17, &[0xEE; 20]).unwrap();
+        assert_eq!(unseal(&mut tpm, &blob).unwrap_err(), TpmError::WrongPcrVal);
+    }
+}

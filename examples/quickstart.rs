@@ -1,0 +1,69 @@
+//! Quickstart: the paper's Figure 5 "Hello, world" PAL.
+//!
+//! Builds a PalVM bytecode PAL, wraps it in a Secure Loader Block, runs it
+//! in a Flicker session on the simulated platform, and shows the PCR 17
+//! measurement chain a verifier would check.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use flicker::core::{
+    expected_pcr17_final, run_session, ExpectedSession, PalPayload, SessionParams, SlbImage,
+    SlbOptions,
+};
+use flicker::os::{Os, OsConfig};
+
+fn main() {
+    // A simulated HP dc5750 (AMD SVM + Broadcom v1.2 TPM) running an
+    // untrusted OS. (Fast TPM keys keep the example snappy; set
+    // `OsConfig::default()` for spec-size 2048-bit keys.)
+    let mut os = Os::boot(OsConfig::fast_for_tests(42));
+
+    // The Figure 5 PAL: ignores its inputs, outputs "Hello, world".
+    // It is PalVM bytecode, so the bytes SKINIT measures *are* the program.
+    let pal = flicker::palvm::progs::hello_world();
+    let slb =
+        SlbImage::build(PalPayload::Bytecode(pal), SlbOptions::default()).expect("SLB builds");
+    println!(
+        "SLB: {} bytes ({} of SLB core + {} of PAL bytecode)",
+        slb.len(),
+        slb.pal_offset(),
+        slb.len() - slb.pal_offset()
+    );
+
+    // One Flicker session: suspend OS -> SKINIT -> PAL -> cleanup -> resume.
+    let params = SessionParams::default();
+    let record = run_session(&mut os, &slb, &params).expect("session runs");
+    record.pal_result.as_ref().expect("PAL succeeded");
+
+    println!(
+        "PAL output (via the sysfs `outputs` entry): {:?}",
+        String::from_utf8_lossy(&record.outputs)
+    );
+    println!(
+        "Session timings: SKINIT {:.2} ms, PAL {:.2} ms, total {:.2} ms",
+        record.timings.skinit.as_secs_f64() * 1e3,
+        record.timings.pal.as_secs_f64() * 1e3,
+        record.timings.total.as_secs_f64() * 1e3,
+    );
+
+    // The attestation story: PCR 17 now commits to the PAL, its I/O, and
+    // session termination. A verifier recomputes the same chain.
+    let expected = expected_pcr17_final(&ExpectedSession {
+        slb: &slb,
+        slb_base: params.slb_base,
+        inputs: &params.inputs,
+        outputs: &record.outputs,
+        nonce: params.nonce,
+        used_hashing_stub: false,
+    });
+    println!(
+        "PCR 17 after session:  {}",
+        flicker::crypto::hex::encode(&record.pcr17_final)
+    );
+    println!(
+        "Verifier's recomputed: {}",
+        flicker::crypto::hex::encode(&expected)
+    );
+    assert_eq!(record.pcr17_final, expected);
+    println!("=> the measurement chain verifies: this exact PAL ran, with these exact outputs.");
+}

@@ -1,0 +1,54 @@
+//! The §6.1 scenario: a network administrator runs an attested rootkit
+//! detector on a remote host before admitting it to the corporate VPN —
+//! then the host gets rooted, and the next scan catches it.
+//!
+//! Run with: `cargo run --example rootkit_scan`
+
+use flicker::apps::rootkit::{known_good_hash, Administrator};
+use flicker::crypto::rng::XorShiftRng;
+use flicker::os::{NetLink, Os, OsConfig};
+use flicker::tpm::PrivacyCa;
+
+fn main() {
+    // Provision the fleet host: TPM ownership, AIK, Privacy-CA certificate.
+    let mut rng = XorShiftRng::new(2008);
+    let mut privacy_ca = PrivacyCa::new(1024, &mut rng);
+    let mut host = Os::boot(OsConfig::fast_for_tests(7));
+    host.provision_attestation(&mut privacy_ca, "employee-laptop-17")
+        .expect("provisioning");
+    let cert = host.aik_certificate().expect("provisioned").clone();
+
+    // The administrator knows the fleet kernel's good measurement and is
+    // 12 network hops away (§7.1).
+    let mut admin = Administrator::new(
+        privacy_ca.public_key().clone(),
+        known_good_hash(&host),
+        NetLink::paper_verifier_link(1),
+    );
+
+    // Scan 1: clean host.
+    let report = admin.query(&mut host, &cert).expect("attested query");
+    println!(
+        "scan 1: clean={} (query latency {:.0} ms, of which TPM quote {:.0} ms)",
+        report.clean,
+        report.query_latency.as_secs_f64() * 1e3,
+        report.quote_time.as_secs_f64() * 1e3,
+    );
+    assert!(report.clean);
+
+    // The host is compromised: an adore-style rootkit hooks sys_getdents
+    // to hide itself and loads a malicious module.
+    host.kernel_mut().hook_syscall(141, 0xdead_c0de);
+    host.kernel_mut()
+        .inject_module("adore-ng", vec![0xCC; 4096]);
+    host.sync_kernel_to_memory();
+    println!("(rootkit installed: syscall 141 hooked, module 'adore-ng' loaded)");
+
+    // Scan 2: the detector runs inside Flicker, where the rootkit cannot
+    // touch it, and the TPM quote proves the hash it reports is the one it
+    // computed.
+    let report = admin.query(&mut host, &cert).expect("attested query");
+    println!("scan 2: clean={}", report.clean);
+    assert!(!report.clean);
+    println!("=> VPN access denied; the rootkit could not fake the attested measurement.");
+}

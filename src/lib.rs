@@ -1,0 +1,20 @@
+//! Facade crate for the Flicker reproduction workspace.
+//!
+//! Re-exports every subsystem crate under a short name so examples and
+//! integration tests can depend on a single `flicker` package:
+//!
+//! * [`crypto`] — from-scratch cryptographic primitives (paper Figure 6).
+//! * [`tpm`] — software TPM v1.2 (paper §2.1–2.3).
+//! * [`machine`] — simulated AMD SVM machine with `SKINIT` (paper §2.4).
+//! * [`palvm`] — bytecode VM, assembler, and PAL extraction tool (paper §5).
+//! * [`os`] — untrusted operating-system model (paper §4.2, §7.5).
+//! * [`core`] — the Flicker infrastructure itself (paper §4).
+//! * [`apps`] — the four paper applications (paper §6).
+
+pub use flicker_apps as apps;
+pub use flicker_core as core;
+pub use flicker_crypto as crypto;
+pub use flicker_machine as machine;
+pub use flicker_os as os;
+pub use flicker_palvm as palvm;
+pub use flicker_tpm as tpm;

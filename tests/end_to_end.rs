@@ -1,0 +1,200 @@
+//! Workspace-level integration tests: complete multi-application workflows
+//! on one simulated platform, crossing every crate boundary.
+
+use flicker::apps::rootkit::{known_good_hash, Administrator};
+use flicker::apps::{
+    BoincClient, Csr, FlickerCa, IssuancePolicy, PasswdEntry, SshClient, SshServer, WorkUnit,
+};
+use flicker::core::{
+    run_session, FlickerResult, NativePal, PalContext, PalPayload, SessionParams, SlbImage,
+    SlbOptions,
+};
+use flicker::crypto::rng::XorShiftRng;
+use flicker::crypto::rsa::RsaPrivateKey;
+use flicker::os::{NetLink, Os, OsConfig};
+use flicker::tpm::{PrivacyCa, SealedBlob};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn provisioned(seed: u8) -> (Os, flicker::tpm::AikCertificate, PrivacyCa) {
+    let mut rng = XorShiftRng::new(seed as u64 * 31 + 5);
+    let mut ca = PrivacyCa::new(512, &mut rng);
+    let mut os = Os::boot(OsConfig::fast_for_tests(seed));
+    os.provision_attestation(&mut ca, "integration-host")
+        .unwrap();
+    let cert = os.aik_certificate().unwrap().clone();
+    (os, cert, ca)
+}
+
+/// All four §6 applications share one platform; their sessions interleave
+/// without interfering, and each app's sealed state stays its own.
+#[test]
+fn four_applications_share_one_platform() {
+    let (mut os, cert, privacy_ca) = provisioned(81);
+
+    // 1. SSH channel setup.
+    let mut ssh = SshServer::new(vec![PasswdEntry::new("alice", b"pw", b"salt0001")]);
+    let mut ssh_client = SshClient::new(privacy_ca.public_key().clone());
+    let mut link = NetLink::paper_verifier_link(81);
+    let transcript = ssh.connection_setup(&mut os, &mut link, [1; 20]).unwrap();
+    ssh_client.verify_setup(&cert, &transcript).unwrap();
+
+    // 2. A rootkit scan between the two SSH sessions.
+    let mut admin = Administrator::new(
+        privacy_ca.public_key().clone(),
+        known_good_hash(&os),
+        NetLink::paper_verifier_link(82),
+    );
+    assert!(admin.query(&mut os, &cert).unwrap().clean);
+
+    // 3. CA issues a certificate.
+    let policy = IssuancePolicy {
+        allowed_suffixes: vec![".corp".into()],
+        max_certificates: 10,
+    };
+    let (mut ca_app, _) = FlickerCa::init(&mut os, policy).unwrap();
+    let mut rng = XorShiftRng::new(810);
+    let (subj, _) = RsaPrivateKey::generate(512, &mut rng);
+    let report = ca_app
+        .sign(
+            &mut os,
+            &Csr {
+                subject: "www.corp".into(),
+                public_key: subj.public_key().clone(),
+            },
+        )
+        .unwrap();
+    report.certificate.verify(&ca_app.public_key).unwrap();
+
+    // 4. A distcomp slice.
+    let (mut boinc, _) = BoincClient::start(
+        &mut os,
+        WorkUnit {
+            n: 91,
+            lo: 2,
+            hi: 50,
+        },
+    )
+    .unwrap();
+    boinc.run_slice(&mut os, Duration::from_millis(1)).unwrap();
+
+    // 5. The SSH login still works: its sealed channel key survived three
+    //    other applications' sessions (each PAL's seals bind to *its own*
+    //    PCR 17 value, so they cannot collide).
+    let nonce = ssh.issue_nonce();
+    let ct = ssh_client
+        .encrypt_password(b"pw", &nonce, &mut rng)
+        .unwrap();
+    let outcome = ssh.login(&mut os, &mut link, "alice", &ct, nonce).unwrap();
+    assert!(outcome.accepted);
+}
+
+struct SealWithIdentity {
+    secret: Vec<u8>,
+}
+impl NativePal for SealWithIdentity {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let blob = ctx.seal_to_self(&self.secret)?;
+        ctx.write_output(blob.as_bytes())
+    }
+}
+
+struct UnsealAttempt;
+impl NativePal for UnsealAttempt {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let blob = SealedBlob::from_bytes(ctx.inputs().to_vec());
+        let data = ctx.unseal(&blob)?;
+        ctx.write_output(&data)
+    }
+}
+
+fn slb_for(identity: &[u8], pal: impl NativePal + 'static) -> SlbImage {
+    SlbImage::build(
+        PalPayload::Native {
+            identity: identity.to_vec(),
+            program: Arc::new(pal),
+        },
+        SlbOptions::default(),
+    )
+    .unwrap()
+}
+
+/// Cross-application isolation on one TPM: state sealed under the SSH
+/// PAL's identity is unreadable to a PAL with the CA's identity.
+#[test]
+fn apps_cannot_unseal_each_others_state() {
+    let (mut os, _, _) = provisioned(82);
+
+    // Seal a secret under the SSH PAL's measured identity.
+    let sealer = slb_for(
+        flicker::apps::ssh::SSH_PAL_IDENTITY,
+        SealWithIdentity {
+            secret: b"ssh channel private key".to_vec(),
+        },
+    );
+    let r1 = run_session(&mut os, &sealer, &SessionParams::default()).unwrap();
+    assert_eq!(r1.pal_result, Ok(()));
+
+    // A PAL with the CA's identity tries to unseal it.
+    let thief = slb_for(flicker::apps::ca::CA_PAL_IDENTITY, UnsealAttempt);
+    let r2 = run_session(
+        &mut os,
+        &thief,
+        &SessionParams::with_inputs(r1.outputs.clone()),
+    )
+    .unwrap();
+    assert!(r2.pal_result.is_err(), "cross-PAL unseal must fail");
+    assert!(r2.outputs.is_empty());
+
+    // The rightful owner still can.
+    let owner = slb_for(flicker::apps::ssh::SSH_PAL_IDENTITY, UnsealAttempt);
+    let r3 = run_session(&mut os, &owner, &SessionParams::with_inputs(r1.outputs)).unwrap();
+    assert_eq!(r3.pal_result, Ok(()));
+    assert_eq!(r3.outputs, b"ssh channel private key");
+}
+
+/// The platform reboots mid-workflow: dynamic PCRs return to -1, sealed
+/// state survives (blobs are non-volatile data), and the applications
+/// recover by re-running their PALs.
+#[test]
+fn reboot_recovery() {
+    let (mut os, cert, privacy_ca) = provisioned(83);
+    let mut ssh = SshServer::new(vec![PasswdEntry::new("alice", b"pw", b"salt0001")]);
+    let mut ssh_client = SshClient::new(privacy_ca.public_key().clone());
+    let mut link = NetLink::paper_verifier_link(84);
+    let transcript = ssh.connection_setup(&mut os, &mut link, [3; 20]).unwrap();
+    ssh_client.verify_setup(&cert, &transcript).unwrap();
+
+    // Power cycle.
+    os.machine_mut().reboot();
+    assert_eq!(os.machine().tpm().pcrs().read(17).unwrap(), [0xFF; 20]);
+
+    // The sealed channel key still unseals — but only inside the right
+    // PAL's session, which requires a fresh SKINIT after reboot.
+    let nonce = ssh.issue_nonce();
+    let mut rng = XorShiftRng::new(830);
+    let ct = ssh_client
+        .encrypt_password(b"pw", &nonce, &mut rng)
+        .unwrap();
+    let outcome = ssh.login(&mut os, &mut link, "alice", &ct, nonce).unwrap();
+    assert!(outcome.accepted, "sealed storage survives reboot");
+}
+
+/// Quotes do not transfer between platforms: a quote from host B's TPM
+/// cannot verify under host A's AIK certificate.
+#[test]
+fn attestation_is_platform_bound() {
+    let (_os_a, cert_a, mut privacy_ca) = provisioned(84);
+    let mut os_b = Os::boot(OsConfig::fast_for_tests(85));
+    os_b.provision_attestation(&mut privacy_ca, "host-b")
+        .unwrap();
+
+    let nonce = [9u8; 20];
+    let quote_b = os_b
+        .tqd_quote(nonce, &flicker::tpm::PcrSelection::pcr17())
+        .unwrap();
+    assert!(quote_b.verify(&cert_a.aik_public, &nonce).is_err());
+    // And under its own certificate it verifies.
+    let cert_b = os_b.aik_certificate().unwrap();
+    assert!(quote_b.verify(&cert_b.aik_public, &nonce).is_ok());
+}
