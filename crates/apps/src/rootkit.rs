@@ -122,7 +122,7 @@ impl Administrator {
         let start = clock.now();
 
         // Challenge travels to the host.
-        clock.advance(self.link.one_way());
+        clock.advance(self.link.one_way_reliable());
         let nonce = self.fresh_nonce();
 
         // Host side: run the detector under Flicker.
@@ -150,7 +150,7 @@ impl Administrator {
         let quote_time = quote_sw.elapsed();
 
         // Response travels back.
-        clock.advance(self.link.one_way());
+        clock.advance(self.link.one_way_reliable());
 
         // Administrator verifies: the detector extended the kernel hash
         // into PCR 17 during the session, so it is part of the chain.

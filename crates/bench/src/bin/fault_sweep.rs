@@ -1,0 +1,79 @@
+//! Seeded fault-injection sweep: N schedules across the §6 applications.
+//!
+//! Every schedule must either survive (correct results despite faults) or
+//! recover (clean error, platform fully restored). Any violation — panic,
+//! leaked suspend state, secret residue, permanently unreadable sealed
+//! storage — is reported and makes the process exit non-zero.
+//!
+//! Usage: `fault_sweep [--seed N] [--schedules N]`
+
+use flicker_bench::faultsweep::{run_sweep, Outcome, APPS};
+use flicker_bench::print_table;
+
+fn main() {
+    let mut base_seed = 0u64;
+    let mut schedules = 200u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric argument"))
+        };
+        match arg.as_str() {
+            "--seed" => base_seed = value("--seed"),
+            "--schedules" => schedules = value("--schedules"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let report = run_sweep(base_seed, schedules);
+
+    let rows: Vec<Vec<String>> = APPS
+        .iter()
+        .map(|app| {
+            let of_app = report.results.iter().filter(|r| r.app == *app);
+            let (mut survived, mut recovered, mut violations, mut faults) =
+                (0u64, 0u64, 0u64, 0u64);
+            for r in of_app {
+                match &r.outcome {
+                    Outcome::Survived => survived += 1,
+                    Outcome::Recovered(_) => recovered += 1,
+                    Outcome::Violation(_) => violations += 1,
+                }
+                faults += r.faults.total();
+            }
+            vec![
+                app.to_string(),
+                survived.to_string(),
+                recovered.to_string(),
+                violations.to_string(),
+                faults.to_string(),
+            ]
+        })
+        .collect();
+
+    print_table(
+        &format!(
+            "Fault sweep: {schedules} schedules from seed {base_seed} \
+             ({} faults fired)",
+            report.faults_fired
+        ),
+        &["App", "Survived", "Recovered", "Violations", "Faults"],
+        &rows,
+    );
+
+    for r in report.violating() {
+        if let Outcome::Violation(why) = &r.outcome {
+            eprintln!("VIOLATION seed={} app={}: {why}", r.seed, r.app);
+        }
+    }
+
+    println!(
+        "\n{} survived, {} recovered, {} violations",
+        report.survived, report.recovered, report.violations
+    );
+    if report.violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,8 @@ use flicker_os::{Os, OsConfig};
 use flicker_tpm::{PrivacyCa, TpmTimingProfile};
 use std::time::Duration;
 
+pub mod faultsweep;
+
 /// RSA modulus size used for TPM-internal keys during evaluation runs.
 ///
 /// The v1.2 spec mandates 2048-bit keys; the evaluation uses 1024-bit ones

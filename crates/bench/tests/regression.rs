@@ -32,9 +32,15 @@ fn table1_total_query_latency() {
         "total query latency {total:.1} ms vs paper 1022.7"
     );
     let hash = ms(op_total(&report.session.op_log, "sha1"));
-    assert!((21.0..=24.0).contains(&hash), "kernel hash {hash:.1} ms vs 22.0");
+    assert!(
+        (21.0..=24.0).contains(&hash),
+        "kernel hash {hash:.1} ms vs 22.0"
+    );
     let skinit = ms(report.session.timings.skinit);
-    assert!((13.0..=16.0).contains(&skinit), "SKINIT {skinit:.1} ms vs 15.4");
+    assert!(
+        (13.0..=16.0).contains(&skinit),
+        "SKINIT {skinit:.1} ms vs 15.4"
+    );
 }
 
 /// Table 4 row 1: a 1 s work slice carries 45–50 % Flicker overhead
@@ -50,9 +56,15 @@ fn table4_one_second_slice_overhead() {
     let (mut client, _) = BoincClient::start(&mut os, unit).unwrap();
     let rep = client.run_slice(&mut os, Duration::from_secs(1)).unwrap();
     let pct = 100.0 * rep.overhead.as_secs_f64() / rep.session.timings.total.as_secs_f64();
-    assert!((45.0..=50.0).contains(&pct), "overhead {pct:.1}% vs paper 47%");
+    assert!(
+        (45.0..=50.0).contains(&pct),
+        "overhead {pct:.1}% vs paper 47%"
+    );
     let unseal = ms(op_total(&rep.session.op_log, "unseal"));
-    assert!((895.0..=910.0).contains(&unseal), "unseal {unseal:.1} ms vs 898.3");
+    assert!(
+        (895.0..=910.0).contains(&unseal),
+        "unseal {unseal:.1} ms vs 898.3"
+    );
 }
 
 /// Figure 8: the crossover with 3-way replication falls between 1 s and
@@ -82,15 +94,21 @@ fn fig9b_login_total() {
     let (mut os, cert, ca_pub) = provisioned_eval_os(154);
     let mut link = NetLink::paper_verifier_link(154);
     let mut server = flicker_apps::SshServer::new(vec![flicker_apps::PasswdEntry::new(
-        "alice", b"pw", b"salt0001",
+        "alice",
+        b"pw",
+        b"salt0001",
     )]);
     let mut client = flicker_apps::SshClient::new(ca_pub);
-    let transcript = server.connection_setup(&mut os, &mut link, [1; 20]).unwrap();
+    let transcript = server
+        .connection_setup(&mut os, &mut link, [1; 20])
+        .unwrap();
     client.verify_setup(&cert, &transcript).unwrap();
     let nonce = server.issue_nonce();
     let mut rng = flicker_crypto::rng::XorShiftRng::new(154);
     let ct = client.encrypt_password(b"pw", &nonce, &mut rng).unwrap();
-    let outcome = server.login(&mut os, &mut link, "alice", &ct, nonce).unwrap();
+    let outcome = server
+        .login(&mut os, &mut link, "alice", &ct, nonce)
+        .unwrap();
     assert!(outcome.accepted);
     let total = ms(outcome.session.timings.total);
     assert!(
@@ -109,7 +127,9 @@ fn fig9a_keygen_mean_and_spread() {
     let mut samples = Vec::new();
     for i in 0..30u8 {
         let mut server = flicker_apps::SshServer::new(vec![flicker_apps::PasswdEntry::new(
-            "alice", b"pw", b"salt0001",
+            "alice",
+            b"pw",
+            b"salt0001",
         )]);
         let transcript = server
             .connection_setup(&mut os, &mut link, [i; 20])

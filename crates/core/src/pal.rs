@@ -22,7 +22,7 @@ use flicker_crypto::rng::{CryptoRng, XorShiftRng};
 use flicker_crypto::rsa::{KeygenStats, RsaPrivateKey};
 use flicker_crypto::sha1::Sha1;
 use flicker_machine::{pal_segments, Machine, SegmentDescriptor, SegmentKind};
-use flicker_tpm::{PcrSelection, PcrValue, SealedBlob, Tpm, WELL_KNOWN_AUTH};
+use flicker_tpm::{PcrSelection, PcrValue, SealedBlob, Tpm, TpmResult, WELL_KNOWN_AUTH};
 use std::time::Duration;
 
 /// The behaviour of a native (Rust-implemented) PAL.
@@ -183,13 +183,13 @@ impl<'a> PalContext<'a> {
     /// Extends PCR 17 with `measurement`.
     pub fn pcr17_extend(&mut self, measurement: &[u8; 20]) -> FlickerResult<PcrValue> {
         Ok(self.logged("pcr_extend", |m| {
-            m.tpm_op(|t| t.pcr_extend(17, measurement))
+            m.tpm_op_retrying(|t| t.pcr_extend(17, measurement))
         })?)
     }
 
     /// Reads a PCR.
     pub fn pcr_read(&mut self, index: u32) -> FlickerResult<PcrValue> {
-        Ok(self.machine.tpm_op(|t| t.pcr_read(index))?)
+        Ok(self.machine.tpm_op_retrying(|t| t.pcr_read(index))?)
     }
 
     /// `TPM_GetRandom` (charges the TPM latency).
@@ -214,8 +214,10 @@ impl<'a> PalContext<'a> {
         let sel = PcrSelection::pcr17();
         let digest = self.machine.tpm_op(|t| t.pcrs().composite_hash(&sel))?;
         let nonce_rng = self.rng().next_u64();
+        // Each retry builds a fresh OIAP session: the TPM consumes a
+        // session on any failed command, so nonces cannot be reused.
         Ok(self.logged("seal", |m| {
-            m.tpm_op(|t| {
+            m.tpm_op_retrying(|t| {
                 let pd = Tpm::param_digest(&[b"TPM_Seal", data, &sel.encode(), &digest]);
                 let mut session = t.oiap(WELL_KNOWN_AUTH);
                 let mut r = XorShiftRng::new(nonce_rng);
@@ -235,7 +237,7 @@ impl<'a> PalContext<'a> {
         let sel = PcrSelection::pcr17();
         let nonce_rng = self.rng().next_u64();
         Ok(self.logged("seal", |m| {
-            m.tpm_op(|t| {
+            m.tpm_op_retrying(|t| {
                 let digest = flicker_tpm::seal::digest_at_release_for(&sel, &[target_pcr17]);
                 let pd = Tpm::param_digest(&[b"TPM_Seal", data, &sel.encode(), &digest]);
                 let mut session = t.oiap(WELL_KNOWN_AUTH);
@@ -251,7 +253,7 @@ impl<'a> PalContext<'a> {
     pub fn unseal(&mut self, blob: &SealedBlob) -> FlickerResult<Vec<u8>> {
         let nonce_rng = self.rng().next_u64();
         Ok(self.logged("unseal", |m| {
-            m.tpm_op(|t| {
+            m.tpm_op_retrying(|t| {
                 let pd = Tpm::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
                 let mut session = t.oiap(WELL_KNOWN_AUTH);
                 let mut r = XorShiftRng::new(nonce_rng);
@@ -265,6 +267,13 @@ impl<'a> PalContext<'a> {
     /// helpers above do not cover (NV storage, counters).
     pub fn tpm_op<T>(&mut self, f: impl FnOnce(&mut Tpm) -> T) -> T {
         self.machine.tpm_op(f)
+    }
+
+    /// Raw TPM access with driver-side `TPM_E_RETRY` retry and backoff
+    /// (see [`flicker_machine::TPM_RETRY_BACKOFF`]). `f` runs once per
+    /// attempt, so any authorization session must be built inside it.
+    pub fn tpm_op_retrying<T>(&mut self, f: impl FnMut(&mut Tpm) -> TpmResult<T>) -> TpmResult<T> {
+        self.machine.tpm_op_retrying(f)
     }
 
     // ----- CPU work (charged crypto helpers) ---------------------------------

@@ -16,13 +16,61 @@
 //! (paper: "Setting the PCR requirements to match those specified during
 //! the TPM Seal command creates an environment where a counter value
 //! stored in non-volatile storage is only available to the desired PAL").
+//!
+//! # Crash consistency (the §4.3.2 caveat, fixed)
+//!
+//! Figure 4 as written increments *first* and seals *second*, so a crash —
+//! or a mere seal failure — between the two leaves the counter ahead of
+//! every existing ciphertext: all data is permanently unreadable. The
+//! paper acknowledges this ("the secure counter can become out-of-sync
+//! with the latest sealed-storage ciphertext"). Worse, *any* eager
+//! increment has the dual failure: if the new ciphertext never reaches the
+//! OS's stable storage (power cut before the output page is read, a
+//! faulted write), the counter has moved past every blob that still
+//! exists. This implementation therefore commits *lazily*:
+//!
+//! 1. **Seal** produces the ciphertext under `committed + 1` and does
+//!    *not* move the counter. A crash anywhere — before, during, or after
+//!    the seal, including losing the ciphertext itself — leaves the
+//!    committed version and its blob intact.
+//! 2. **Unseal** accepts the committed version (the current blob) *or*
+//!    `committed + 1` (a newer blob whose first use this is). Seeing the
+//!    latter commits it — into the *inactive* slot of a two-slot
+//!    ping-pong record, each slot checksummed so a torn NV write can
+//!    never destroy the last committed value — and from that moment every
+//!    older blob is rejected as a replay.
+//!
+//! The one-version grace window is the price of crash recovery without
+//! write-ahead stable storage: until a new blob is first used, the
+//! previous one remains valid, and whichever the OS presents first wins
+//! that fork. Once any blob unseals, the window closes behind it. What the
+//! construction guarantees in exchange: no reachable crash point leaves
+//! the store permanently unreadable.
 
 use crate::error::{FlickerError, FlickerResult};
 use crate::pal::PalContext;
 use flicker_tpm::{AuthData, NvPcrPolicy, PcrSelection, SealedBlob};
 
-/// Size of the NV space backing the counter (a big-endian u64).
-const COUNTER_SIZE: usize = 8;
+/// Each slot: version (8 bytes BE) ‖ checksum (8 bytes BE).
+const SLOT_SIZE: usize = 16;
+/// The NV space holds two slots (ping-pong commit record).
+const NV_SIZE: usize = 2 * SLOT_SIZE;
+/// Checksum whitening constant: `check = version ^ CHECK_MAGIC`, so an
+/// all-zero (torn or never-written) slot is invalid.
+const CHECK_MAGIC: u64 = 0x5EA1_C0DE_D5EA_1C0D;
+
+fn encode_slot(version: u64) -> [u8; SLOT_SIZE] {
+    let mut out = [0u8; SLOT_SIZE];
+    out[..8].copy_from_slice(&version.to_be_bytes());
+    out[8..].copy_from_slice(&(version ^ CHECK_MAGIC).to_be_bytes());
+    out
+}
+
+fn decode_slot(bytes: &[u8]) -> Option<u64> {
+    let version = u64::from_be_bytes(bytes[..8].try_into().ok()?);
+    let check = u64::from_be_bytes(bytes[8..SLOT_SIZE].try_into().ok()?);
+    (version ^ CHECK_MAGIC == check).then_some(version)
+}
 
 /// A replay-protected store rooted in one NV index.
 #[derive(Debug, Clone, Copy)]
@@ -38,7 +86,8 @@ impl ReplayProtectedStorage {
 
     /// One-time setup, run *inside* the owning PAL's session: defines the
     /// NV space gated to the PAL's current PCR 17 (so only this PAL, in a
-    /// Flicker session, can touch the counter) and zeroes it.
+    /// Flicker session, can touch the counter) and commits version 0 into
+    /// slot 0. Slot 1 starts all-zero, which the checksum leaves invalid.
     ///
     /// `owner_auth` is the 20-byte TPM Owner Authorization Data, delivered
     /// to the PAL over a secure channel per the paper.
@@ -50,57 +99,81 @@ impl ReplayProtectedStorage {
             let digest = t.pcrs().composite_hash(&selection)?;
             t.nv_define_space(
                 index,
-                COUNTER_SIZE,
+                NV_SIZE,
                 Some(NvPcrPolicy { selection, digest }),
                 &auth,
-            )?;
-            t.nv_write(index, 0, &0u64.to_be_bytes())
+            )
         })?;
+        ctx.tpm_op_retrying(move |t| t.nv_write(index, 0, &encode_slot(0)))?;
         Ok(())
     }
 
-    fn read_counter(&self, ctx: &mut PalContext<'_>) -> FlickerResult<u64> {
+    /// Reads the commit record: `(committed_version, slot_holding_it)`.
+    /// A torn slot (bad checksum) is ignored; the other slot's value
+    /// stands. Both slots invalid means the record was never set up (or
+    /// both writes tore — impossible for single-slot commits).
+    fn read_state(&self, ctx: &mut PalContext<'_>) -> FlickerResult<(u64, usize)> {
         let index = self.nv_index;
-        let bytes = ctx.tpm_op(move |t| t.nv_read(index))?;
-        let arr: [u8; COUNTER_SIZE] = bytes
-            .try_into()
-            .map_err(|_| FlickerError::Protocol("counter space has wrong size"))?;
-        Ok(u64::from_be_bytes(arr))
+        let bytes = ctx.tpm_op_retrying(move |t| t.nv_read(index))?;
+        if bytes.len() != NV_SIZE {
+            return Err(FlickerError::Protocol("counter space has wrong size"));
+        }
+        let slot0 = decode_slot(&bytes[..SLOT_SIZE]);
+        let slot1 = decode_slot(&bytes[SLOT_SIZE..]);
+        match (slot0, slot1) {
+            (Some(a), Some(b)) if b > a => Ok((b, 1)),
+            (Some(a), _) => Ok((a, 0)),
+            (None, Some(b)) => Ok((b, 1)),
+            (None, None) => Err(FlickerError::Protocol("counter record unreadable")),
+        }
     }
 
-    fn increment_counter(&self, ctx: &mut PalContext<'_>) -> FlickerResult<u64> {
-        let next = self.read_counter(ctx)? + 1;
+    /// Commits `version` into `slot` (the one *not* holding the current
+    /// committed value, so a torn write can only hurt the new record).
+    fn write_commit(
+        &self,
+        ctx: &mut PalContext<'_>,
+        slot: usize,
+        version: u64,
+    ) -> FlickerResult<()> {
         let index = self.nv_index;
-        ctx.tpm_op(move |t| t.nv_write(index, 0, &next.to_be_bytes()))?;
-        Ok(next)
+        ctx.tpm_op_retrying(move |t| t.nv_write(index, slot * SLOT_SIZE, &encode_slot(version)))?;
+        Ok(())
     }
 
-    /// Figure 4's `Seal(d)`.
+    /// The committed counter value (diagnostics and tests).
+    pub fn committed_version(&self, ctx: &mut PalContext<'_>) -> FlickerResult<u64> {
+        Ok(self.read_state(ctx)?.0)
+    }
+
+    /// Figure 4's `Seal(d)`, with a lazy commit: the ciphertext is
+    /// produced under `committed + 1` and the counter does *not* move
+    /// until the new blob is first unsealed. A failure at any point —
+    /// including loss of the returned ciphertext before it reaches the
+    /// OS's stable storage — leaves the committed blob readable.
     pub fn seal(&self, ctx: &mut PalContext<'_>, data: &[u8]) -> FlickerResult<SealedBlob> {
-        let version = self.increment_counter(ctx)?;
-        let mut payload = Vec::with_capacity(data.len() + 8);
-        payload.extend_from_slice(data);
-        payload.extend_from_slice(&version.to_be_bytes());
-        ctx.seal_to_self(&payload)
+        let (committed, _slot) = self.read_state(ctx)?;
+        ctx.seal_to_self(&seal_payload(data, committed + 1))
     }
 
-    /// Figure 4's `Seal(d)` with a simulated power failure *after* the
-    /// counter increment but *before* the ciphertext is returned — the
-    /// §4.3.2 caveat ("the secure counter can become out-of-sync with the
-    /// latest sealed-storage ciphertext"). The data is gone; the increment
-    /// persists.
-    pub fn seal_then_crash(&self, ctx: &mut PalContext<'_>, data: &[u8]) -> FlickerResult<()> {
-        let _ = self.increment_counter(ctx)?;
-        let mut payload = Vec::with_capacity(data.len() + 8);
-        payload.extend_from_slice(data);
-        payload.extend_from_slice(&version_never_escapes());
-        let _lost_ciphertext = ctx.seal_to_self(&payload)?;
-        Ok(())
+    /// [`ReplayProtectedStorage::seal`] followed by a crash before any
+    /// commit could happen — the §4.3.2 window. With the lazy-commit
+    /// protocol this is *the same operation as `seal`*: the counter never
+    /// moves until first use, so there is no seal/commit gap for a crash
+    /// to land in. Kept as a named entry point so tests state the
+    /// scenario they exercise.
+    pub fn seal_then_crash(
+        &self,
+        ctx: &mut PalContext<'_>,
+        data: &[u8],
+    ) -> FlickerResult<SealedBlob> {
+        self.seal(ctx, data)
     }
 
     /// Figure 4's `Unseal(c)`: returns [`FlickerError::ReplayDetected`]
-    /// when the ciphertext's version is not the counter's current value —
-    /// either a replayed stale blob or a crash-induced desync.
+    /// when the ciphertext's version is neither the committed counter
+    /// value nor the one uncommitted version ahead of it. Seeing the
+    /// uncommitted version commits it (crash recovery).
     pub fn unseal(&self, ctx: &mut PalContext<'_>, blob: &SealedBlob) -> FlickerResult<Vec<u8>> {
         let payload = ctx.unseal(blob)?;
         if payload.len() < 8 {
@@ -108,19 +181,48 @@ impl ReplayProtectedStorage {
         }
         let (data, ver) = payload.split_at(payload.len() - 8);
         let sealed_version = u64::from_be_bytes(ver.try_into().expect("8 bytes"));
-        let counter = self.read_counter(ctx)?;
-        if sealed_version != counter {
+        let (committed, slot) = self.read_state(ctx)?;
+        if sealed_version == committed + 1 {
+            // The blob outran its commit (crash between seal and commit):
+            // adopt its version and carry on.
+            self.write_commit(ctx, 1 - slot, sealed_version)?;
+        } else if sealed_version != committed {
             return Err(FlickerError::ReplayDetected {
                 sealed_version,
-                counter,
+                counter: committed,
             });
         }
         Ok(data.to_vec())
     }
 }
 
-fn version_never_escapes() -> [u8; 8] {
-    // The crashed seal's version bytes; the value is irrelevant because the
-    // ciphertext is dropped on the floor.
-    [0xFF; 8]
+fn seal_payload(data: &[u8], version: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(data.len() + 8);
+    payload.extend_from_slice(data);
+    payload.extend_from_slice(&version.to_be_bytes());
+    payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_roundtrip_and_torn_invalidity() {
+        for v in [0u64, 1, 7, u64::MAX - 1] {
+            let enc = encode_slot(v);
+            assert_eq!(decode_slot(&enc), Some(v));
+            // Any torn prefix of the record is invalid.
+            for keep in 0..SLOT_SIZE {
+                let mut torn = [0u8; SLOT_SIZE];
+                torn[..keep].copy_from_slice(&enc[..keep]);
+                assert_eq!(decode_slot(&torn), None, "v={v} keep={keep}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_slot_is_invalid() {
+        assert_eq!(decode_slot(&[0u8; SLOT_SIZE]), None);
+    }
 }

@@ -144,12 +144,74 @@ pub fn hashing_stub_bytes() -> Vec<u8> {
     bytes
 }
 
+/// RAII recovery for a suspended OS.
+///
+/// Created immediately after a successful `suspend_for_session`; disarmed
+/// only when the session has resumed the OS itself. If `run_session`
+/// returns early through any error path in between, the drop restores the
+/// platform to a safe, usable state: scrub the SLB region, cap PCR 17 with
+/// the terminator (so the aborted session's measurement chain can never
+/// release a sealed secret), resume the OS — or, after a power loss,
+/// reboot the machine outright.
+struct ResumeGuard<'a> {
+    os: &'a mut Os,
+    slb_base: u64,
+    overflow_len: usize,
+    armed: bool,
+}
+
+impl ResumeGuard<'_> {
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ResumeGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        if self.os.machine().power_lost() {
+            // Power died mid-session. RAM — and every secret staged in
+            // it — is already gone, and PCR 17 resets to -1 at reboot, so
+            // nothing can unseal against the dead session's half-built
+            // chain. All that is left is to bring the platform back up.
+            self.os.reboot_after_power_loss();
+            return;
+        }
+        let machine = self.os.machine_mut();
+        // Scrub everything the session staged or the PAL dirtied: the SLB
+        // window, both parameter pages, and any overflow region.
+        let _ = machine.memory_mut().zeroize(self.slb_base, SLB_MAX);
+        let _ = machine
+            .memory_mut()
+            .zeroize(self.slb_base + INPUTS_OFFSET, 0x2000);
+        if self.overflow_len > 0 {
+            let _ = machine
+                .memory_mut()
+                .zeroize(self.slb_base + OVERFLOW_OFFSET, self.overflow_len);
+        }
+        if machine.active_skinit().is_some() {
+            let _ = machine.tpm_op_retrying(|t| t.pcr_extend(17, &TERMINATOR));
+            let _ = machine.resume_os();
+        } else {
+            // SKINIT never ran (or was refused): the APs are still parked
+            // from the suspend; bring them back directly.
+            machine.cpus_mut().restart_aps();
+        }
+        let _ = self.os.resume_after_session();
+    }
+}
+
 /// Runs one complete Flicker session for `slb` on `os`.
 ///
 /// Returns an error only for infrastructure failures (bad SLB placement,
-/// machine refusal); PAL-level faults are reported inside the
-/// [`SessionRecord`] because the SLB Core always regains control and
-/// resumes the OS.
+/// machine refusal, injected platform faults); PAL-level faults are
+/// reported inside the [`SessionRecord`] because the SLB Core always
+/// regains control and resumes the OS. Whenever an error *is* returned,
+/// the platform has already been restored: the OS is running again (or
+/// rebooted, after a power loss), no suspend state is leaked, the SLB
+/// region is scrubbed, and PCR 17 is capped.
 pub fn run_session(
     os: &mut Os,
     slb: &SlbImage,
@@ -171,59 +233,54 @@ pub fn run_session(
     let slb_base = params.slb_base;
 
     // ----- Accept SLB + inputs; initialize (patch) the SLB ------------------
-    // (flicker-module, untrusted)
+    // (flicker-module, untrusted). The OS is still running here, so a
+    // failure only needs the staged bytes scrubbed, not a resume.
     let patched = slb.patched_bytes(slb_base);
-    let (measured_at_base, app_offset, overflow) = if params.use_hashing_stub {
-        let stub = hashing_stub_bytes();
-        os.machine_mut().memory_mut().write(slb_base, &stub)?;
-        // Zero the rest of the window, then place the app image above the
-        // stub (still inside the DEV-protected, stub-measured 64 KB). A
-        // large image continues in the overflow region above the parameter
-        // pages.
-        os.machine_mut()
-            .memory_mut()
-            .zeroize(slb_base + stub.len() as u64, SLB_MAX - stub.len())?;
-        let in_window = patched.len().min(SLB_MAX - HASHING_STUB_SIZE);
-        os.machine_mut()
-            .memory_mut()
-            .write(slb_base + HASHING_STUB_SIZE as u64, &patched[..in_window])?;
-        let overflow = patched[in_window..].to_vec();
-        if !overflow.is_empty() {
-            os.machine_mut()
-                .memory_mut()
-                .write(slb_base + OVERFLOW_OFFSET, &overflow)?;
-        }
-        (stub, HASHING_STUB_SIZE, overflow)
-    } else {
-        os.machine_mut().memory_mut().write(slb_base, &patched)?;
-        (patched, 0, Vec::new())
-    };
-    os.machine_mut()
-        .memory_mut()
-        .write(slb_base + INPUTS_OFFSET, &params.inputs)?;
+    let (measured_at_base, app_offset, overflow) =
+        match stage_images(os, slb_base, &patched, params) {
+            Ok(staged) => staged,
+            Err(e) => {
+                scrub_staging(os, slb_base, patched.len());
+                return Err(e);
+            }
+        };
 
     // ----- Suspend OS ---------------------------------------------------------
     let sw = Stopwatch::start(&clock);
-    os.suspend_for_session()?;
-    let saved_state = os
+    if let Err(e) = os.suspend_for_session() {
+        scrub_staging(os, slb_base, patched.len());
+        return Err(e.into());
+    }
+    // From here until the OS is back, every early return must restore the
+    // platform; the guard's drop does exactly that.
+    let mut guard = ResumeGuard {
+        os,
+        slb_base,
+        overflow_len: overflow.len(),
+        armed: true,
+    };
+    let saved_state = guard
+        .os
         .saved_state()
         .expect("suspend_for_session stores state")
         .to_bytes();
-    os.machine_mut()
+    let machine = guard.os.machine_mut();
+    machine
         .memory_mut()
         .write(slb_base + SAVED_STATE_OFFSET, &saved_state)?;
-    os.machine_mut().charge_cpu(SUSPEND_COST);
+    machine.charge_cpu(SUSPEND_COST);
+    machine.check_power()?;
     let t_suspend = sw.elapsed();
 
     // ----- SKINIT ---------------------------------------------------------------
     let sw = Stopwatch::start(&clock);
-    let machine = os.machine_mut();
     let launch = machine.skinit(0, slb_base)?;
     let slb_measurement = launch.measurement;
     debug_assert_eq!(
         slb_measurement,
         flicker_crypto::sha1::sha1(&measured_at_base)
     );
+    machine.check_power()?;
     let t_skinit = sw.elapsed();
 
     // ----- Hashing stub (optional §7.2 path) --------------------------------------
@@ -235,7 +292,7 @@ pub fn run_session(
         let cost = machine.cpu_cost().sha1(window.len());
         machine.charge_cpu(cost);
         let window_hash = flicker_crypto::sha1::sha1(&window);
-        machine.tpm_op(|t| t.pcr_extend(17, &window_hash))?;
+        machine.tpm_op_retrying(|t| t.pcr_extend(17, &window_hash))?;
         if !overflow.is_empty() {
             // Large PAL: the preparatory code adds the overflow region to
             // the DEV and measures it into PCR 17 before any of it runs
@@ -244,15 +301,27 @@ pub fn run_session(
             let cost = machine.cpu_cost().sha1(overflow.len());
             machine.charge_cpu(cost);
             let overflow_hash = flicker_crypto::sha1::sha1(&overflow);
-            machine.tpm_op(|t| t.pcr_extend(17, &overflow_hash))?;
+            machine.tpm_op_retrying(|t| t.pcr_extend(17, &overflow_hash))?;
         }
     }
+    machine.check_power()?;
     let t_stub = sw.elapsed();
-    let pcr17_entry = machine.tpm_op(|t| t.pcr_read(17))?;
+    let pcr17_entry = machine.tpm_op_retrying(|t| t.pcr_read(17))?;
 
     // ----- SLB Core init + PAL execution ---------------------------------------
     let sw = Stopwatch::start(&clock);
     machine.charge_cpu(SLBCORE_INIT_COST);
+    // Verify the PAL actually sits at its launch offset before jumping to
+    // it: the SLB Core's jump target is `slb_base + app_offset`, and if the
+    // flicker-module staged the image anywhere else the core must abort
+    // rather than execute whatever bytes happen to live there.
+    let probe_len = patched.len().min(64);
+    let at_offset = machine
+        .memory()
+        .read(slb_base + app_offset as u64, probe_len)?;
+    if at_offset != &patched[..probe_len] {
+        return Err(FlickerError::Protocol("PAL image not at its launch offset"));
+    }
     let region_len = REGION_LEN.max((OVERFLOW_OFFSET as usize + overflow.len()) as u32);
     let mut ctx = PalContext::new(
         &mut *machine,
@@ -269,7 +338,7 @@ pub fn run_session(
             .map(|t| (t.as_secs_f64() * VM_INSNS_PER_SEC as f64) as u64)
     });
     let pal_start = clock.now();
-    let mut pal_result = execute_payload(slb.payload(), &mut ctx, fuel, app_offset);
+    let mut pal_result = execute_payload(slb.payload(), &mut ctx, fuel);
     if let (Ok(()), Some(limit)) = (&pal_result, slb.options.time_limit) {
         // Native PALs cannot be preempted; enforce the bound after the
         // fact so a runaway PAL is at least *reported* (its outputs are
@@ -283,6 +352,7 @@ pub fn run_session(
     }
     let outputs = ctx.take_outputs();
     let op_log = ctx.take_op_log();
+    machine.check_power()?;
     let t_pal = sw.elapsed();
 
     // ----- Cleanup + terminal extends (SLB Core) ---------------------------------
@@ -309,17 +379,20 @@ pub fn run_session(
     // outputs, the verifier nonce, then the fixed public terminator that
     // revokes PAL secrets and closes the PAL's extension authority.
     let io = io_measurement(&params.inputs, &outputs);
-    machine.tpm_op(|t| t.pcr_extend(17, &io))?;
-    machine.tpm_op(|t| t.pcr_extend(17, &params.nonce))?;
-    machine.tpm_op(|t| t.pcr_extend(17, &TERMINATOR))?;
-    let pcr17_final = machine.tpm_op(|t| t.pcr_read(17))?;
+    machine.tpm_op_retrying(|t| t.pcr_extend(17, &io))?;
+    machine.tpm_op_retrying(|t| t.pcr_extend(17, &params.nonce))?;
+    machine.tpm_op_retrying(|t| t.pcr_extend(17, &TERMINATOR))?;
+    let pcr17_final = machine.tpm_op_retrying(|t| t.pcr_read(17))?;
+    machine.check_power()?;
     let t_cleanup = sw.elapsed();
 
     // ----- Resume OS ---------------------------------------------------------------
     let sw = Stopwatch::start(&clock);
     machine.resume_os()?;
     machine.charge_cpu(RESUME_COST);
-    os.resume_after_session()?;
+    machine.check_power()?;
+    guard.os.resume_after_session()?;
+    guard.disarm();
     let t_resume = sw.elapsed();
 
     Ok(SessionRecord {
@@ -341,11 +414,63 @@ pub fn run_session(
     })
 }
 
+/// Copies the SLB image (or hashing stub + image) and the inputs into the
+/// session's physical region. Returns the bytes SKINIT will measure at
+/// `slb_base`, the PAL's offset within the window, and any overflow bytes.
+fn stage_images(
+    os: &mut Os,
+    slb_base: u64,
+    patched: &[u8],
+    params: &SessionParams,
+) -> FlickerResult<(Vec<u8>, usize, Vec<u8>)> {
+    let staged = if params.use_hashing_stub {
+        let stub = hashing_stub_bytes();
+        os.machine_mut().memory_mut().write(slb_base, &stub)?;
+        // Zero the rest of the window, then place the app image above the
+        // stub (still inside the DEV-protected, stub-measured 64 KB). A
+        // large image continues in the overflow region above the parameter
+        // pages.
+        os.machine_mut()
+            .memory_mut()
+            .zeroize(slb_base + stub.len() as u64, SLB_MAX - stub.len())?;
+        let in_window = patched.len().min(SLB_MAX - HASHING_STUB_SIZE);
+        os.machine_mut()
+            .memory_mut()
+            .write(slb_base + HASHING_STUB_SIZE as u64, &patched[..in_window])?;
+        let overflow = patched[in_window..].to_vec();
+        if !overflow.is_empty() {
+            os.machine_mut()
+                .memory_mut()
+                .write(slb_base + OVERFLOW_OFFSET, &overflow)?;
+        }
+        (stub, HASHING_STUB_SIZE, overflow)
+    } else {
+        os.machine_mut().memory_mut().write(slb_base, patched)?;
+        (patched.to_vec(), 0, Vec::new())
+    };
+    os.machine_mut()
+        .memory_mut()
+        .write(slb_base + INPUTS_OFFSET, &params.inputs)?;
+    Ok(staged)
+}
+
+/// Best-effort scrub of everything staging may have written. Used on the
+/// pre-SKINIT failure paths, where the OS is still running and nothing
+/// else needs restoring.
+fn scrub_staging(os: &mut Os, slb_base: u64, image_len: usize) {
+    let mem = os.machine_mut().memory_mut();
+    let _ = mem.zeroize(slb_base, SLB_MAX);
+    let _ = mem.zeroize(slb_base + INPUTS_OFFSET, 0x1000);
+    if image_len > SLB_MAX - HASHING_STUB_SIZE {
+        let overflow_len = image_len - (SLB_MAX - HASHING_STUB_SIZE);
+        let _ = mem.zeroize(slb_base + OVERFLOW_OFFSET, overflow_len);
+    }
+}
+
 fn execute_payload(
     payload: &PalPayload,
     ctx: &mut PalContext<'_>,
     fuel: Option<u64>,
-    _app_offset: usize,
 ) -> Result<(), String> {
     match payload {
         PalPayload::Native { program, .. } => {

@@ -292,7 +292,8 @@ impl NativePal for PasswordDbPal {
             DbAction::UpdateCrash { new_db } => {
                 let old = SealedBlob::from_bytes(ctx.inputs().to_vec());
                 let _current = store.unseal(ctx, &old)?;
-                store.seal_then_crash(ctx, new_db)
+                let blob = store.seal_then_crash(ctx, new_db)?;
+                ctx.write_output(blob.as_bytes())
             }
         }
     }
@@ -336,11 +337,12 @@ fn replay_of_stale_password_database_detected() {
 }
 
 #[test]
-fn crash_between_increment_and_output_detected_as_desync() {
-    // The §4.3.2 caveat: a crash after IncrementCounter but before the
-    // ciphertext reaches stable storage leaves the counter ahead of every
-    // existing blob. The system *detects* this (it cannot silently
-    // continue), which is exactly the behaviour the paper calls for.
+fn crash_between_seal_and_commit_recovers_without_data_loss() {
+    // The §4.3.2 caveat, fixed: a crash between producing the ciphertext
+    // and committing the counter used to leave the counter ahead of every
+    // blob — all data permanently unreadable. With the lazy commit the
+    // counter only moves when a new blob is first unsealed, so a crashed
+    // update strands nothing and no state is ever lost.
     let mut os = test_os(29);
     let v1 = db_session(
         &mut os,
@@ -350,16 +352,37 @@ fn crash_between_increment_and_output_detected_as_desync() {
         Vec::new(),
     )
     .unwrap();
-    let out = db_session(
+    let v2_uncommitted = db_session(
         &mut os,
         DbAction::UpdateCrash {
-            new_db: b"db-v2-lost".to_vec(),
+            new_db: b"db-v2".to_vec(),
         },
         v1.clone(),
     )
     .unwrap();
-    assert!(out.is_empty(), "the new ciphertext never left the session");
-    // All surviving ciphertexts are now stale; reads fail loudly.
+
+    // The previous blob is still readable — the crashed update did not
+    // strand the store.
+    let out = db_session(&mut os, DbAction::Read, v1.clone()).unwrap();
+    assert_eq!(out, sha1(b"db-v1"));
+
+    // The uncommitted blob also unseals; doing so commits its version.
+    let out = db_session(&mut os, DbAction::Read, v2_uncommitted.clone()).unwrap();
+    assert_eq!(out, sha1(b"db-v2"));
+
+    // The store keeps working after recovery...
+    let v3 = db_session(
+        &mut os,
+        DbAction::Update {
+            new_db: b"db-v3".to_vec(),
+        },
+        v2_uncommitted,
+    )
+    .unwrap();
+    let out = db_session(&mut os, DbAction::Read, v3).unwrap();
+    assert_eq!(out, sha1(b"db-v3"));
+
+    // ...and the grace window has closed: the stale blob is now a replay.
     let err = db_session(&mut os, DbAction::Read, v1).unwrap_err();
     assert!(err.contains("replay detected"), "{err}");
 }

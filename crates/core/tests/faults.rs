@@ -1,0 +1,297 @@
+//! Recovery-semantics tests under deterministic fault injection.
+//!
+//! The contract: any single injected fault leaves the session either fully
+//! successful or failed with a clean [`FlickerError`] — and in *every*
+//! case the OS is resumed (or rebooted after a power cut), no suspend
+//! state leaks, the DEV protections are lifted, PCR 17 cannot release PAL
+//! secrets, and no secret byte survives in simulated RAM.
+
+use flicker_core::{
+    run_session, FlickerError, FlickerResult, NativePal, PalContext, PalPayload, SessionParams,
+    SlbImage, SlbOptions, DEFAULT_SLB_BASE, TERMINATOR,
+};
+use flicker_crypto::sha1::sha1;
+use flicker_faults::{Fault, FaultInjector, FaultPlan};
+use flicker_machine::{CoreState, MachineError};
+use flicker_os::{Os, OsConfig};
+use flicker_tpm::TpmError;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A recognisable secret that must never survive a session in RAM.
+const SECRET: &[u8] = b"FLICKER-FAULT-SECRET-0123456789";
+
+fn test_os(seed: u8) -> Os {
+    Os::boot(OsConfig::fast_for_tests(seed))
+}
+
+/// Hashes its inputs, stashing a copy in PAL stack memory first so the
+/// cleanup phase has an in-window secret to erase. Outputs only the digest
+/// — the raw secret must never be released.
+struct DigestPal;
+impl NativePal for DigestPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let inputs = ctx.inputs().to_vec();
+        ctx.write_logical(61 * 1024, &inputs)?;
+        let digest = ctx.sha1(&inputs);
+        ctx.write_output(&digest)
+    }
+}
+
+fn digest_slb() -> SlbImage {
+    SlbImage::build(
+        PalPayload::Native {
+            identity: b"digest-pal".to_vec(),
+            program: Arc::new(DigestPal),
+        },
+        SlbOptions::default(),
+    )
+    .unwrap()
+}
+
+fn secret_params() -> SessionParams {
+    SessionParams::with_inputs(SECRET.to_vec())
+}
+
+fn ram_contains(os: &Os, needle: &[u8]) -> bool {
+    let mem = os.machine().memory();
+    mem.read(0, mem.size())
+        .unwrap()
+        .windows(needle.len())
+        .any(|w| w == needle)
+}
+
+/// The full post-session platform invariant, success or failure.
+fn assert_platform_restored(os: &Os, context: &str) {
+    assert!(
+        os.saved_state().is_none(),
+        "{context}: suspend state leaked"
+    );
+    assert!(
+        os.machine().active_skinit().is_none(),
+        "{context}: launch left active"
+    );
+    assert_eq!(
+        os.machine().dev().active_protections(),
+        0,
+        "{context}: DEV protections leaked"
+    );
+    assert!(!os.machine().power_lost(), "{context}: machine left dead");
+    assert_eq!(
+        os.machine().cpus().core(1).unwrap().state,
+        CoreState::Running,
+        "{context}: AP not rescheduled"
+    );
+    assert!(
+        !ram_contains(os, SECRET),
+        "{context}: secret residue in RAM"
+    );
+}
+
+fn sha1_extend(pcr: [u8; 20], data: &[u8; 20]) -> [u8; 20] {
+    let mut buf = [0u8; 40];
+    buf[..20].copy_from_slice(&pcr);
+    buf[20..].copy_from_slice(data);
+    sha1(&buf)
+}
+
+// ---------------------------------------------------------------------------
+// Transient TPM busy: absorbed by the driver's TPM_E_RETRY backoff.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn transient_tpm_busy_is_absorbed_by_retry() {
+    let mut os = test_os(40);
+    let inj = FaultInjector::new(&FaultPlan::one(Fault::TpmTransient {
+        skip: 1,
+        failures: 2,
+    }));
+    os.machine_mut().set_fault_injector(inj.clone());
+
+    let rec = run_session(&mut os, &digest_slb(), &secret_params()).unwrap();
+    assert!(rec.pal_result.is_ok(), "{:?}", rec.pal_result);
+    assert_eq!(rec.outputs, sha1(SECRET));
+    assert_eq!(inj.counts().tpm_transient, 2, "both busy answers delivered");
+    assert_platform_restored(&os, "transient tpm");
+}
+
+// ---------------------------------------------------------------------------
+// Permanent TPM busy: the session fails cleanly, and the resume guard still
+// caps PCR 17 once the TPM recovers during its own (retried) extend.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn permanent_tpm_busy_fails_cleanly_and_caps_pcr17() {
+    let mut os = test_os(41);
+    // Four driver attempts exhaust on the first gated command; the guard's
+    // terminator extend eats the remaining two busies and lands.
+    os.machine_mut()
+        .set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::TpmTransient {
+            skip: 0,
+            failures: 6,
+        })));
+
+    let slb = digest_slb();
+    let err = run_session(&mut os, &slb, &secret_params()).unwrap_err();
+    assert!(matches!(err, FlickerError::Tpm(TpmError::Retry)), "{err:?}");
+    assert_platform_restored(&os, "permanent tpm");
+
+    // PCR 17 was capped on the way out: launch value + terminator, so the
+    // aborted session's chain can never release a sealed secret.
+    let expected = sha1_extend(
+        slb.expected_pcr17_after_skinit(DEFAULT_SLB_BASE),
+        &TERMINATOR,
+    );
+    let pcr17 = os.machine_mut().tpm_op(|t| t.pcr_read(17)).unwrap();
+    assert_eq!(pcr17, expected);
+
+    // The platform is immediately usable again.
+    os.machine_mut().clear_fault_injector();
+    let rec = run_session(&mut os, &digest_slb(), &secret_params()).unwrap();
+    assert_eq!(rec.outputs, sha1(SECRET));
+}
+
+// ---------------------------------------------------------------------------
+// Memory write faults: the suspended-OS leak regression.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn staging_write_fault_leaves_os_running_and_scrubbed() {
+    let mut os = test_os(42);
+    // Write order: SLB image, inputs — the second write faults, before the
+    // OS is ever suspended.
+    os.machine_mut()
+        .set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::MemWriteFault {
+            skip: 1,
+        })));
+
+    let err = run_session(&mut os, &digest_slb(), &secret_params()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            FlickerError::Machine(MachineError::MemWriteFault { .. })
+        ),
+        "{err:?}"
+    );
+    assert_platform_restored(&os, "staging fault");
+
+    os.machine_mut().clear_fault_injector();
+    let rec = run_session(&mut os, &digest_slb(), &secret_params()).unwrap();
+    assert_eq!(rec.outputs, sha1(SECRET));
+}
+
+#[test]
+fn saved_state_write_fault_does_not_leak_the_suspended_os() {
+    let mut os = test_os(43);
+    // Write order: SLB image, inputs, saved kernel state — the third write
+    // faults *after* `suspend_for_session`, the exact spot where a naive
+    // driver strands the OS suspended forever.
+    os.machine_mut()
+        .set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::MemWriteFault {
+            skip: 2,
+        })));
+
+    let err = run_session(&mut os, &digest_slb(), &secret_params()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            FlickerError::Machine(MachineError::MemWriteFault { .. })
+        ),
+        "{err:?}"
+    );
+    assert_platform_restored(&os, "saved-state fault");
+
+    os.machine_mut().clear_fault_injector();
+    let rec = run_session(&mut os, &digest_slb(), &secret_params()).unwrap();
+    assert!(rec.pal_result.is_ok());
+    assert_eq!(rec.outputs, sha1(SECRET));
+}
+
+// ---------------------------------------------------------------------------
+// Power loss mid-session: reboot, secrets gone, PCR 17 unusable.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn power_loss_mid_session_reboots_with_no_secrets() {
+    let mut os = test_os(44);
+    os.machine_mut()
+        .set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::PowerLossAfter {
+            after: Duration::from_millis(1),
+        })));
+
+    let err = run_session(&mut os, &digest_slb(), &secret_params()).unwrap_err();
+    assert!(
+        matches!(err, FlickerError::Machine(MachineError::PowerLoss)),
+        "{err:?}"
+    );
+    // The guard rebooted the platform: no suspend state, no launch, no
+    // protections, power back on.
+    assert_platform_restored(&os, "power loss");
+    // RAM died with the machine: the secret cannot survive anywhere.
+    assert!(!ram_contains(&os, SECRET));
+    assert!(!ram_contains(&os, &sha1(SECRET)));
+    // PCR 17 is back at -1: the dead session's measurement chain is gone
+    // and nothing can unseal against it.
+    let pcr17 = os.machine_mut().tpm_op(|t| t.pcr_read(17)).unwrap();
+    assert_eq!(pcr17, [0xFF; 20]);
+
+    // The rebooted platform runs sessions again.
+    os.machine_mut().clear_fault_injector();
+    let rec = run_session(&mut os, &digest_slb(), &secret_params()).unwrap();
+    assert_eq!(rec.outputs, sha1(SECRET));
+}
+
+// ---------------------------------------------------------------------------
+// Hashing-stub + bytecode PAL: the PAL really runs at its staged offset.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hashing_stub_launches_bytecode_pal_at_its_offset() {
+    let mut os = test_os(45);
+    let slb = SlbImage::build(
+        PalPayload::Bytecode(flicker_palvm::progs::hello_world()),
+        SlbOptions::default(),
+    )
+    .unwrap();
+    let params = SessionParams {
+        use_hashing_stub: true,
+        ..Default::default()
+    };
+    let rec = run_session(&mut os, &slb, &params).unwrap();
+    assert!(rec.pal_result.is_ok(), "{:?}", rec.pal_result);
+    assert_eq!(rec.outputs, b"Hello, world");
+    assert_platform_restored(&os, "stub bytecode");
+
+    // The same image runs identically through the direct launch path.
+    let rec2 = run_session(&mut os, &slb, &SessionParams::default()).unwrap();
+    assert_eq!(rec2.outputs, b"Hello, world");
+}
+
+// ---------------------------------------------------------------------------
+// Seeded schedules: the sweep invariant, in regression-test form.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_fault_schedules_recover_or_fail_clean() {
+    for seed in 0..200u64 {
+        let mut os = test_os((seed % 197) as u8 + 50);
+        os.machine_mut()
+            .set_fault_injector(FaultInjector::new(&FaultPlan::seeded(seed)));
+
+        let res = run_session(&mut os, &digest_slb(), &secret_params());
+        if let Ok(rec) = &res {
+            if rec.pal_result.is_ok() {
+                assert_eq!(rec.outputs, sha1(SECRET), "seed {seed}: wrong outputs");
+            }
+        }
+        // Success or failure, the platform is whole again.
+        assert_platform_restored(&os, &format!("seed {seed} ({res:?})"));
+
+        // And a fault-free follow-up session always succeeds.
+        os.machine_mut().clear_fault_injector();
+        let rec = run_session(&mut os, &digest_slb(), &secret_params())
+            .unwrap_or_else(|e| panic!("seed {seed}: follow-up failed: {e:?}"));
+        assert!(rec.pal_result.is_ok(), "seed {seed}: {:?}", rec.pal_result);
+        assert_eq!(rec.outputs, sha1(SECRET), "seed {seed}: follow-up outputs");
+    }
+}

@@ -373,8 +373,7 @@ fn bytecode_rootkit_detector_end_to_end() {
     let rec = run_session(&mut os, &slb, &params).unwrap();
     assert_eq!(rec.pal_result, Ok(()));
 
-    let expected_hash =
-        flicker_crypto::sha1::sha1(&os.kernel().measured_region());
+    let expected_hash = flicker_crypto::sha1::sha1(&os.kernel().measured_region());
     assert_eq!(rec.outputs, expected_hash);
 
     // Chain verification with the PAL-performed extend.
@@ -489,12 +488,12 @@ fn pal_uses_the_memory_management_module() {
         fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
             let arena_base: u32 = 60 * 1024; // the SLB's stack/heap area
             let mut heap = flicker_core::PalHeap::new(4096);
-            let a = heap.malloc(64).map_err(|e| {
-                flicker_core::FlickerError::PalFault(e.to_string())
-            })?;
-            let b = heap.malloc(128).map_err(|e| {
-                flicker_core::FlickerError::PalFault(e.to_string())
-            })?;
+            let a = heap
+                .malloc(64)
+                .map_err(|e| flicker_core::FlickerError::PalFault(e.to_string()))?;
+            let b = heap
+                .malloc(128)
+                .map_err(|e| flicker_core::FlickerError::PalFault(e.to_string()))?;
             ctx.write_logical(arena_base + a, b"allocated-in-pal-heap")?;
             let back = ctx.read_logical(arena_base + a, 21)?;
             ctx.write_output(&back)?;

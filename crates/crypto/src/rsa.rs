@@ -138,7 +138,10 @@ impl RsaPrivateKey {
     ///
     /// Panics if `bits` is not an even number >= 64.
     pub fn generate<R: CryptoRng + ?Sized>(bits: usize, rng: &mut R) -> (Self, KeygenStats) {
-        assert!(bits >= 64 && bits.is_multiple_of(2), "unsupported RSA modulus size");
+        assert!(
+            bits >= 64 && bits.is_multiple_of(2),
+            "unsupported RSA modulus size"
+        );
         let e = Mpint::from(PUBLIC_EXPONENT);
         loop {
             let (p, p_stats) = generate_prime(bits / 2, MR_ROUNDS, rng);

@@ -1,0 +1,489 @@
+//! Deterministic fault injection for the simulated substrates.
+//!
+//! The simulator is normally *friendly*: the TPM never reports busy, NV
+//! writes are atomic, power never fails mid-session, RAM never drops a
+//! store, and the network delivers everything. Real platforms offer none of
+//! those guarantees, and the paper's own §4.3.2 describes a power-loss
+//! window that desynchronizes replay-protected storage. This crate arms
+//! named fault points inside the substrates so the layers above can be
+//! *proved* to survive them:
+//!
+//! * **TPM transient busy/fail** — any Result-returning TPM command can
+//!   return `TPM_E_RETRY` a bounded number of times (TPM v1.2 drivers are
+//!   required to retry these).
+//! * **Torn NV writes** — a `TPM_NV_WriteValue` persists only a prefix of
+//!   its bytes before failing (power dropped mid-write to the NV cells).
+//! * **Power loss** — at an arbitrary virtual-clock instant the platform
+//!   dies: RAM (and every secret in it) is lost, PCRs reset on the way
+//!   back up.
+//! * **Memory write faults** — a CPU store to physical RAM fails.
+//! * **Network drop/delay** — a message on the verifier link is lost (the
+//!   sender must retransmit) or delayed.
+//!
+//! A [`FaultPlan`] is a list of faults; [`FaultPlan::seeded`] derives one
+//! deterministically from a seed so whole fault *schedules* can be swept
+//! and any failure replayed. A [`FaultInjector`] is the cloneable armed
+//! handle the substrates query at each fault point.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One armed fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// After `skip` gated TPM commands succeed, the next `failures`
+    /// commands report `TPM_E_RETRY` without executing.
+    TpmTransient {
+        /// Commands to let through first.
+        skip: u32,
+        /// Consecutive busy responses after that.
+        failures: u32,
+    },
+    /// The (`skip`+1)-th NV write persists only `keep` bytes of its data
+    /// (clamped to the write length) and then fails.
+    TornNvWrite {
+        /// NV writes to let through first.
+        skip: u32,
+        /// Prefix bytes that reach the NV cells.
+        keep: usize,
+    },
+    /// Power fails once the virtual clock advances `after` past the moment
+    /// the injector is armed on a machine.
+    PowerLossAfter {
+        /// Virtual time until the power cut.
+        after: Duration,
+    },
+    /// The (`skip`+1)-th physical memory write faults.
+    MemWriteFault {
+        /// Writes to let through first.
+        skip: u32,
+    },
+    /// The (`skip`+1)-th network message is dropped.
+    NetDrop {
+        /// Messages to deliver first.
+        skip: u32,
+    },
+    /// Every network message is delayed by `extra` on top of the link's
+    /// sampled latency.
+    NetDelay {
+        /// Added one-way delay.
+        extra: Duration,
+    },
+}
+
+/// A deterministic schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults to arm.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (nothing armed).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A single-fault plan.
+    pub fn one(fault: Fault) -> Self {
+        FaultPlan {
+            faults: vec![fault],
+        }
+    }
+
+    /// Derives a schedule of one or two faults from `seed`, covering every
+    /// fault kind across the seed space. Identical seeds always produce
+    /// identical schedules.
+    pub fn seeded(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let count = 1 + (rng.next() % 2) as usize;
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            faults.push(random_fault(&mut rng));
+        }
+        FaultPlan { faults }
+    }
+}
+
+fn random_fault(rng: &mut SplitMix64) -> Fault {
+    match rng.next() % 6 {
+        0 => Fault::TpmTransient {
+            skip: (rng.next() % 6) as u32,
+            failures: 1 + (rng.next() % 2) as u32,
+        },
+        1 => Fault::TornNvWrite {
+            skip: (rng.next() % 3) as u32,
+            keep: (rng.next() % 24) as usize,
+        },
+        2 => Fault::PowerLossAfter {
+            // Anywhere from "almost immediately" to ~1.5 virtual seconds —
+            // the span of a slow full-SLB session on the Broadcom profile.
+            after: Duration::from_micros(500 + rng.next() % 1_500_000),
+        },
+        3 => Fault::MemWriteFault {
+            skip: (rng.next() % 8) as u32,
+        },
+        4 => Fault::NetDrop {
+            skip: (rng.next() % 4) as u32,
+        },
+        _ => Fault::NetDelay {
+            extra: Duration::from_micros(rng.next() % 20_000),
+        },
+    }
+}
+
+/// What the injector decided about one network message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Deliver normally.
+    Deliver,
+    /// The message is lost; the sender must retransmit.
+    Drop,
+    /// Deliver after this much extra delay.
+    Delay(Duration),
+}
+
+/// How many of each fault kind actually fired (observability for sweeps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// TPM commands answered with `TPM_E_RETRY`.
+    pub tpm_transient: u64,
+    /// NV writes torn.
+    pub torn_nv_writes: u64,
+    /// Power cuts delivered.
+    pub power_losses: u64,
+    /// Memory writes faulted.
+    pub mem_write_faults: u64,
+    /// Network messages dropped.
+    pub net_drops: u64,
+    /// Network messages delayed.
+    pub net_delays: u64,
+}
+
+impl FaultCounts {
+    /// Total faults delivered.
+    pub fn total(&self) -> u64 {
+        self.tpm_transient
+            + self.torn_nv_writes
+            + self.power_losses
+            + self.mem_write_faults
+            + self.net_drops
+            + self.net_delays
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// (commands still to skip, busy responses still to deliver).
+    tpm: Option<(u32, u32)>,
+    /// (NV writes still to skip, prefix bytes to keep).
+    torn: Option<(u32, usize)>,
+    /// Relative deadline from the plan, pending [`FaultInjector::arm_power_base`].
+    power_after: Option<Duration>,
+    /// Absolute virtual-clock deadline once armed on a machine.
+    power_deadline: Option<Duration>,
+    /// Memory writes still to skip before the one that faults.
+    mem: Option<u32>,
+    /// Messages still to deliver before the one that drops.
+    net_drop: Option<u32>,
+    /// Extra delay applied to every delivered message.
+    net_delay: Option<Duration>,
+    counts: FaultCounts,
+}
+
+/// The armed, shareable fault injector. Clones share state: the TPM, the
+/// machine, physical memory, and network links all hold the same handle, so
+/// one plan coordinates faults across every substrate.
+///
+/// A default-constructed injector is disarmed and never fires.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Arc<Mutex<State>>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("counts", &self.counts())
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Arms `plan`. Later faults of the same kind override earlier ones.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut s = State::default();
+        for fault in &plan.faults {
+            match *fault {
+                Fault::TpmTransient { skip, failures } => s.tpm = Some((skip, failures)),
+                Fault::TornNvWrite { skip, keep } => s.torn = Some((skip, keep)),
+                Fault::PowerLossAfter { after } => s.power_after = Some(after),
+                Fault::MemWriteFault { skip } => s.mem = Some(skip),
+                Fault::NetDrop { skip } => s.net_drop = Some(skip),
+                Fault::NetDelay { extra } => s.net_delay = Some(extra),
+            }
+        }
+        FaultInjector {
+            inner: Arc::new(Mutex::new(s)),
+        }
+    }
+
+    /// A permanently disarmed injector.
+    pub fn disarmed() -> Self {
+        FaultInjector::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.inner.lock().expect("fault injector poisoned")
+    }
+
+    // ----- fault points ---------------------------------------------------
+
+    /// TPM command gate: `true` means the command must report
+    /// `TPM_E_RETRY` instead of executing.
+    pub fn tpm_command_gate(&self, _command: &'static str) -> bool {
+        let mut s = self.lock();
+        if let Some((skip, failures)) = s.tpm.as_mut() {
+            if *skip > 0 {
+                *skip -= 1;
+                return false;
+            }
+            if *failures > 0 {
+                *failures -= 1;
+                let exhausted = *failures == 0;
+                s.counts.tpm_transient += 1;
+                if exhausted {
+                    s.tpm = None;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// NV-write gate: `Some(keep)` means only the first `keep` bytes of a
+    /// `len`-byte write reach the NV cells before the command fails.
+    pub fn torn_nv_write(&self, len: usize) -> Option<usize> {
+        let mut s = self.lock();
+        match s.torn.as_mut() {
+            Some((skip, _)) if *skip > 0 => {
+                *skip -= 1;
+                None
+            }
+            Some((_, keep)) => {
+                let keep = (*keep).min(len);
+                s.torn = None;
+                s.counts.torn_nv_writes += 1;
+                Some(keep)
+            }
+            None => None,
+        }
+    }
+
+    /// Converts the plan's relative power deadline into an absolute one.
+    /// Called by the machine when the injector is installed, with the
+    /// current virtual-clock reading.
+    pub fn arm_power_base(&self, now: Duration) {
+        let mut s = self.lock();
+        if let Some(after) = s.power_after.take() {
+            s.power_deadline = Some(now + after);
+        }
+    }
+
+    /// Power gate: `true` once the virtual clock has reached the armed
+    /// deadline. Fires exactly once.
+    pub fn power_loss_due(&self, now: Duration) -> bool {
+        let mut s = self.lock();
+        match s.power_deadline {
+            Some(deadline) if now >= deadline => {
+                s.power_deadline = None;
+                s.counts.power_losses += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Memory-write gate: `true` means this physical store faults.
+    pub fn mem_write_fault(&self, _addr: u64) -> bool {
+        let mut s = self.lock();
+        match s.mem {
+            Some(0) => {
+                s.mem = None;
+                s.counts.mem_write_faults += 1;
+                true
+            }
+            Some(ref mut skip) => {
+                *skip -= 1;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Network gate for one message.
+    pub fn net_fault(&self) -> NetFault {
+        let mut s = self.lock();
+        match s.net_drop {
+            Some(0) => {
+                s.net_drop = None;
+                s.counts.net_drops += 1;
+                return NetFault::Drop;
+            }
+            Some(ref mut skip) => *skip -= 1,
+            None => {}
+        }
+        if let Some(extra) = s.net_delay {
+            s.counts.net_delays += 1;
+            return NetFault::Delay(extra);
+        }
+        NetFault::Deliver
+    }
+
+    // ----- observability --------------------------------------------------
+
+    /// How many faults of each kind have fired so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.lock().counts
+    }
+}
+
+/// splitmix64 — tiny, deterministic, and dependency-free; quality is ample
+/// for spreading fault kinds and parameters across a seed space.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_injector_never_fires() {
+        let inj = FaultInjector::disarmed();
+        for _ in 0..32 {
+            assert!(!inj.tpm_command_gate("x"));
+            assert!(inj.torn_nv_write(8).is_none());
+            assert!(!inj.power_loss_due(Duration::from_secs(9)));
+            assert!(!inj.mem_write_fault(0));
+            assert_eq!(inj.net_fault(), NetFault::Deliver);
+        }
+        assert_eq!(inj.counts().total(), 0);
+    }
+
+    #[test]
+    fn tpm_transient_skips_then_fails_then_clears() {
+        let inj = FaultInjector::new(&FaultPlan::one(Fault::TpmTransient {
+            skip: 2,
+            failures: 2,
+        }));
+        assert!(!inj.tpm_command_gate("a"));
+        assert!(!inj.tpm_command_gate("b"));
+        assert!(inj.tpm_command_gate("c"));
+        assert!(inj.tpm_command_gate("d"));
+        assert!(!inj.tpm_command_gate("e"));
+        assert_eq!(inj.counts().tpm_transient, 2);
+    }
+
+    #[test]
+    fn torn_write_clamps_to_length_and_is_one_shot() {
+        let inj = FaultInjector::new(&FaultPlan::one(Fault::TornNvWrite { skip: 1, keep: 100 }));
+        assert_eq!(inj.torn_nv_write(8), None);
+        assert_eq!(inj.torn_nv_write(8), Some(8));
+        assert_eq!(inj.torn_nv_write(8), None);
+        assert_eq!(inj.counts().torn_nv_writes, 1);
+    }
+
+    #[test]
+    fn power_loss_fires_once_at_deadline() {
+        let inj = FaultInjector::new(&FaultPlan::one(Fault::PowerLossAfter {
+            after: Duration::from_millis(10),
+        }));
+        inj.arm_power_base(Duration::from_millis(5));
+        assert!(!inj.power_loss_due(Duration::from_millis(14)));
+        assert!(inj.power_loss_due(Duration::from_millis(15)));
+        assert!(!inj.power_loss_due(Duration::from_millis(99)));
+        assert_eq!(inj.counts().power_losses, 1);
+    }
+
+    #[test]
+    fn power_loss_needs_arming() {
+        let inj = FaultInjector::new(&FaultPlan::one(Fault::PowerLossAfter {
+            after: Duration::ZERO,
+        }));
+        // Without a machine arming the base, the relative deadline is inert.
+        assert!(!inj.power_loss_due(Duration::from_secs(100)));
+    }
+
+    #[test]
+    fn mem_fault_counts_down_writes() {
+        let inj = FaultInjector::new(&FaultPlan::one(Fault::MemWriteFault { skip: 1 }));
+        assert!(!inj.mem_write_fault(0x1000));
+        assert!(inj.mem_write_fault(0x2000));
+        assert!(!inj.mem_write_fault(0x3000));
+    }
+
+    #[test]
+    fn net_drop_then_delay() {
+        let inj = FaultInjector::new(&FaultPlan {
+            faults: vec![
+                Fault::NetDrop { skip: 0 },
+                Fault::NetDelay {
+                    extra: Duration::from_millis(3),
+                },
+            ],
+        });
+        assert_eq!(inj.net_fault(), NetFault::Drop);
+        assert_eq!(inj.net_fault(), NetFault::Delay(Duration::from_millis(3)));
+        assert_eq!(inj.counts().net_drops, 1);
+        assert!(inj.counts().net_delays >= 1);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_cover_kinds() {
+        for seed in 0..64 {
+            assert_eq!(FaultPlan::seeded(seed), FaultPlan::seeded(seed));
+        }
+        let mut kinds = [false; 6];
+        for seed in 0..256 {
+            for f in &FaultPlan::seeded(seed).faults {
+                let k = match f {
+                    Fault::TpmTransient { .. } => 0,
+                    Fault::TornNvWrite { .. } => 1,
+                    Fault::PowerLossAfter { .. } => 2,
+                    Fault::MemWriteFault { .. } => 3,
+                    Fault::NetDrop { .. } => 4,
+                    Fault::NetDelay { .. } => 5,
+                };
+                kinds[k] = true;
+            }
+        }
+        assert!(kinds.iter().all(|&k| k), "all fault kinds reachable");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = FaultInjector::new(&FaultPlan::one(Fault::TpmTransient {
+            skip: 0,
+            failures: 1,
+        }));
+        let b = a.clone();
+        assert!(b.tpm_command_gate("x"));
+        assert!(!a.tpm_command_gate("y"), "consumed through the clone");
+        assert_eq!(a.counts().tpm_transient, 1);
+    }
+}

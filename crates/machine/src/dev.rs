@@ -54,9 +54,7 @@ impl DeviceExclusionVector {
         }
         let first = addr / PAGE_SIZE;
         let last = (addr + len - 1) / PAGE_SIZE;
-        self.ranges
-            .iter()
-            .any(|&(f, p)| first < f + p && f <= last)
+        self.ranges.iter().any(|&(f, p)| first < f + p && f <= last)
     }
 
     /// Validates a DMA transaction; returns [`MachineError::DmaBlocked`] if

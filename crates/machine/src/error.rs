@@ -65,6 +65,14 @@ pub enum MachineError {
     /// The TPM interface reported an error during a hardware-driven
     /// operation.
     Tpm(flicker_tpm::TpmError),
+    /// Platform power was lost (injected fault). All RAM contents are gone;
+    /// the machine must be power-cycled before further use.
+    PowerLoss,
+    /// A CPU store to physical RAM faulted (injected fault).
+    MemWriteFault {
+        /// Faulting physical address.
+        addr: u64,
+    },
 }
 
 impl From<flicker_tpm::TpmError> for MachineError {
@@ -104,6 +112,10 @@ impl core::fmt::Display for MachineError {
             }
             MachineError::PrivilegeViolation(s) => write!(f, "privilege violation: {s}"),
             MachineError::Tpm(e) => write!(f, "TPM error: {e}"),
+            MachineError::PowerLoss => write!(f, "platform power lost"),
+            MachineError::MemWriteFault { addr } => {
+                write!(f, "memory write fault at {addr:#x}")
+            }
         }
     }
 }

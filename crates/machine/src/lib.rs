@@ -31,7 +31,7 @@ pub use cpu::{Core, CoreState, CpuComplex, CpuMode};
 pub use cpumodel::CpuCostModel;
 pub use dev::{DevProtection, DeviceExclusionVector, PAGE_SIZE};
 pub use error::{MachineError, MachineResult};
-pub use machine::{ActiveSkinit, Machine, MachineConfig};
+pub use machine::{ActiveSkinit, Machine, MachineConfig, TPM_RETRY_BACKOFF};
 pub use memory::PhysMemory;
 pub use seg::{pal_segments, CallGate, Gdt, SegmentDescriptor, SegmentKind};
 pub use skinit::{SkinitCostModel, SLB_MAX_LEN};

@@ -13,8 +13,19 @@ use crate::dev::{DevProtection, DeviceExclusionVector};
 use crate::error::{MachineError, MachineResult};
 use crate::memory::PhysMemory;
 use crate::skinit::{SkinitCostModel, SLB_MAX_LEN};
-use flicker_tpm::{Tpm, TpmConfig};
+use flicker_faults::FaultInjector;
+use flicker_tpm::{Tpm, TpmConfig, TpmError, TpmResult};
 use std::time::Duration;
+
+/// Backoff schedule for transient TPM busy responses: the driver retries a
+/// `TPM_E_RETRY` after these successive waits (then gives up). Four attempts
+/// total — generous against the injector's 1–2 consecutive busy responses,
+/// and bounded so a hard-failed TPM still surfaces promptly.
+pub const TPM_RETRY_BACKOFF: [Duration; 3] = [
+    Duration::from_millis(1),
+    Duration::from_millis(2),
+    Duration::from_millis(4),
+];
 
 /// Configuration for building a [`Machine`].
 #[derive(Debug, Clone)]
@@ -88,6 +99,8 @@ pub struct Machine {
     skinit_cost: SkinitCostModel,
     cpu_cost: CpuCostModel,
     active: Option<ActiveSkinit>,
+    injector: Option<FaultInjector>,
+    power_lost: bool,
 }
 
 impl Machine {
@@ -107,7 +120,74 @@ impl Machine {
             skinit_cost: config.skinit_cost,
             cpu_cost: config.cpu_cost,
             active: None,
+            injector: None,
+            power_lost: false,
         }
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    /// Installs a fault injector across every substrate: the TPM's command
+    /// gates, physical memory's store gate, and the machine's own power
+    /// monitor. The plan's relative power deadline is armed against the
+    /// current virtual clock.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        injector.arm_power_base(self.clock.now());
+        self.tpm.set_fault_injector(injector.clone());
+        self.memory.set_fault_injector(injector.clone());
+        self.injector = Some(injector);
+        self.power_lost = false;
+    }
+
+    /// Removes any installed fault injector from every substrate.
+    pub fn clear_fault_injector(&mut self) {
+        self.tpm.clear_fault_injector();
+        self.memory.clear_fault_injector();
+        self.injector = None;
+    }
+
+    /// True once an injected power loss has struck and the machine has not
+    /// yet been power-cycled.
+    pub fn power_lost(&self) -> bool {
+        self.power_lost
+    }
+
+    /// Errors with [`MachineError::PowerLoss`] if power has been lost.
+    /// Drivers call this at phase boundaries so a mid-session cut surfaces
+    /// as an error instead of silently continuing on a dead platform.
+    pub fn check_power(&self) -> MachineResult<()> {
+        if self.power_lost {
+            Err(MachineError::PowerLoss)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Latches the power-lost flag if the armed deadline has passed.
+    fn poll_power(&mut self) {
+        if !self.power_lost {
+            if let Some(inj) = &self.injector {
+                if inj.power_loss_due(self.clock.now()) {
+                    self.power_lost = true;
+                }
+            }
+        }
+    }
+
+    /// Power-cycles the platform after a power loss: RAM contents are gone
+    /// (every in-flight secret died with the charge in the cells), the TPM
+    /// reboots (dynamic PCRs back to −1), CPUs and chipset reset, and any
+    /// active late launch is destroyed.
+    pub fn power_cycle(&mut self) {
+        let size = self.memory.size();
+        self.memory
+            .zeroize(0, size)
+            .expect("full-RAM zeroize is in range");
+        self.tpm.reboot();
+        self.cpus = CpuComplex::new(self.cpus.len());
+        self.dev = DeviceExclusionVector::new();
+        self.active = None;
+        self.power_lost = false;
     }
 
     // ----- accessors -----------------------------------------------------
@@ -158,7 +238,37 @@ impl Machine {
     pub fn tpm_op<T>(&mut self, f: impl FnOnce(&mut Tpm) -> T) -> T {
         let out = f(&mut self.tpm);
         self.clock.advance(self.tpm.take_elapsed());
+        self.poll_power();
         out
+    }
+
+    /// Runs a TPM operation with driver-side retry: a `TPM_E_RETRY` answer
+    /// is retried after each backoff in [`TPM_RETRY_BACKOFF`] (charged to
+    /// the virtual clock), then surfaced to the caller. Any other result is
+    /// returned immediately.
+    ///
+    /// Authorization sessions must be built *inside* `f`: the TPM consumes
+    /// a session on a failed command, so each attempt needs fresh nonces.
+    pub fn tpm_op_retrying<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Tpm) -> TpmResult<T>,
+    ) -> TpmResult<T> {
+        let mut backoffs = TPM_RETRY_BACKOFF.iter();
+        loop {
+            let out = self.tpm_op(&mut f);
+            match out {
+                Err(TpmError::Retry) => match backoffs.next() {
+                    Some(&wait) => {
+                        self.charge_cpu(wait);
+                        if self.power_lost {
+                            return Err(TpmError::Retry);
+                        }
+                    }
+                    None => return Err(TpmError::Retry),
+                },
+                other => return other,
+            }
+        }
     }
 
     /// Immutable TPM access (verifier-side inspection in tests).
@@ -169,6 +279,7 @@ impl Machine {
     /// Charges CPU work to the platform clock.
     pub fn charge_cpu(&mut self, d: Duration) {
         self.clock.advance(d);
+        self.poll_power();
     }
 
     // ----- DMA (device-initiated) access ---------------------------------
@@ -253,6 +364,7 @@ impl Machine {
         let measurement = self.tpm.skinit_measure(4, &slb)?;
         self.clock.advance(self.tpm.take_elapsed());
         self.clock.advance(self.skinit_cost.cost(slb_len));
+        self.poll_power();
 
         self.active = Some(ActiveSkinit {
             slb_base,
@@ -545,5 +657,62 @@ mod tests {
         let t0 = m.clock().now();
         m.tpm_op(|t| t.get_random(16));
         assert!(m.clock().now() > t0);
+    }
+
+    #[test]
+    fn tpm_op_retrying_rides_out_transient_faults() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut m = Machine::new(MachineConfig::fast_for_tests(6));
+        m.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::TpmTransient {
+            skip: 0,
+            failures: 2,
+        })));
+        let t0 = m.clock().now();
+        let v = m.tpm_op_retrying(|t| t.pcr_read(17)).unwrap();
+        assert_eq!(v, [0xFF; 20]);
+        // Two backoffs (1 ms + 2 ms) were charged to the virtual clock.
+        assert!(m.clock().now() >= t0 + Duration::from_millis(3));
+    }
+
+    #[test]
+    fn tpm_op_retrying_gives_up_on_persistent_busy() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut m = Machine::new(MachineConfig::fast_for_tests(7));
+        m.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::TpmTransient {
+            skip: 0,
+            failures: 100,
+        })));
+        assert_eq!(
+            m.tpm_op_retrying(|t| t.pcr_read(17)),
+            Err(flicker_tpm::TpmError::Retry)
+        );
+        m.clear_fault_injector();
+        assert!(m.tpm_op_retrying(|t| t.pcr_read(17)).is_ok());
+    }
+
+    #[test]
+    fn power_loss_latches_and_power_cycle_recovers() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut m = machine_with_slb(0x10_0000, b"secret-bearing pal");
+        m.memory_mut().write(0x2000, b"a RAM secret").unwrap();
+        m.skinit(0, 0x10_0000).unwrap();
+        m.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::PowerLossAfter {
+            after: Duration::from_micros(10),
+        })));
+        assert!(m.check_power().is_ok());
+        m.charge_cpu(Duration::from_millis(1));
+        assert!(m.power_lost());
+        assert_eq!(m.check_power(), Err(MachineError::PowerLoss));
+
+        m.power_cycle();
+        assert!(!m.power_lost());
+        assert!(m.active_skinit().is_none());
+        assert_eq!(m.tpm().pcrs().read(17).unwrap(), [0xFF; 20]);
+        assert_eq!(
+            m.memory().read(0x2000, 12).unwrap(),
+            &[0u8; 12],
+            "RAM contents died with the power"
+        );
+        assert!(m.dma_read(0x10_0000, 4).is_ok(), "DEV cleared");
     }
 }

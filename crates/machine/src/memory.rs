@@ -1,11 +1,13 @@
 //! Flat physical memory.
 
 use crate::error::{MachineError, MachineResult};
+use flicker_faults::FaultInjector;
 
 /// The platform's physical RAM, addressed from 0.
 #[derive(Debug, Clone)]
 pub struct PhysMemory {
     bytes: Vec<u8>,
+    injector: Option<FaultInjector>,
 }
 
 impl PhysMemory {
@@ -13,7 +15,18 @@ impl PhysMemory {
     pub fn new(size: usize) -> Self {
         PhysMemory {
             bytes: vec![0u8; size],
+            injector: None,
         }
+    }
+
+    /// Installs a fault injector; subsequent stores consult its gate.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Removes any installed fault injector.
+    pub fn clear_fault_injector(&mut self) {
+        self.injector = None;
     }
 
     /// Installed RAM size.
@@ -40,12 +53,21 @@ impl PhysMemory {
     /// Writes `data` at `addr`.
     pub fn write(&mut self, addr: u64, data: &[u8]) -> MachineResult<()> {
         let r = self.range(addr, data.len())?;
+        if let Some(inj) = &self.injector {
+            if inj.mem_write_fault(addr) {
+                return Err(MachineError::MemWriteFault { addr });
+            }
+        }
         self.bytes[r].copy_from_slice(data);
         Ok(())
     }
 
     /// Overwrites `len` bytes at `addr` with zeroes (the SLB Core's cleanup
     /// phase erasing PAL secrets, paper §4.2).
+    ///
+    /// Deliberately not subject to memory-write faults: erasure is the one
+    /// store the recovery paths themselves rely on, and a real `rep stosb`
+    /// sweep either completes or the power-loss fault model applies instead.
     pub fn zeroize(&mut self, addr: u64, len: usize) -> MachineResult<()> {
         let r = self.range(addr, len)?;
         self.bytes[r].fill(0);
@@ -118,6 +140,24 @@ mod tests {
         assert_eq!(m.read(0, 8).unwrap(), &[0xAA; 8]);
         assert_eq!(m.read(8, 16).unwrap(), &[0u8; 16]);
         assert_eq!(m.read(24, 8).unwrap(), &[0xAA; 8]);
+    }
+
+    #[test]
+    fn write_fault_leaves_memory_untouched() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut m = PhysMemory::new(64);
+        m.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::MemWriteFault {
+            skip: 1,
+        })));
+        m.write(0, &[1, 2, 3]).unwrap();
+        assert_eq!(
+            m.write(8, &[9, 9, 9]),
+            Err(MachineError::MemWriteFault { addr: 8 })
+        );
+        assert_eq!(m.read(8, 3).unwrap(), &[0, 0, 0], "store dropped whole");
+        m.write(8, &[9, 9, 9]).unwrap();
+        // Zeroize is never faulted.
+        m.zeroize(0, 64).unwrap();
     }
 
     #[test]

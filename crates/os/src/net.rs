@@ -8,6 +8,7 @@
 //! from a seed.
 
 use flicker_crypto::{CryptoRng, HmacDrbg};
+use flicker_faults::{FaultInjector, NetFault};
 use std::time::Duration;
 
 /// A bidirectional latency-modelled link.
@@ -16,6 +17,7 @@ pub struct NetLink {
     avg_rtt: Duration,
     max_rtt: Duration,
     drbg: HmacDrbg,
+    injector: Option<FaultInjector>,
 }
 
 impl NetLink {
@@ -27,7 +29,14 @@ impl NetLink {
             avg_rtt,
             max_rtt,
             drbg: HmacDrbg::new(&seed.to_be_bytes(), b"netlink"),
+            injector: None,
         }
+    }
+
+    /// Installs a fault injector; subsequent messages consult its gate for
+    /// drops and added delay.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
     }
 
     /// The paper's 12-hop verifier link (§7.1).
@@ -62,6 +71,35 @@ impl NetLink {
     /// negligible at these message sizes and era bandwidths).
     pub fn one_way(&mut self) -> Duration {
         self.sample_rtt() / 2
+    }
+
+    /// One-way delivery attempt under fault injection: `None` if the
+    /// message was dropped (the sender must retransmit), otherwise the
+    /// delay, including any injected extra latency.
+    pub fn try_one_way(&mut self) -> Option<Duration> {
+        let base = self.one_way();
+        match self.injector.as_ref().map(|i| i.net_fault()) {
+            Some(NetFault::Drop) => None,
+            Some(NetFault::Delay(extra)) => Some(base + extra),
+            Some(NetFault::Deliver) | None => Some(base),
+        }
+    }
+
+    /// One-way delivery with sender-side retransmission: each drop costs a
+    /// retransmission timeout of one max RTT before the resend. Returns the
+    /// total time from first transmission to delivery. With no injector (or
+    /// no armed drops) this draws exactly the same DRBG samples as
+    /// [`NetLink::one_way`], so fault-free timings are unchanged.
+    ///
+    /// Terminates because armed drops are finite one-shots.
+    pub fn one_way_reliable(&mut self) -> Duration {
+        let mut total = Duration::ZERO;
+        loop {
+            match self.try_one_way() {
+                Some(delay) => return total + delay,
+                None => total += self.max_rtt,
+            }
+        }
     }
 }
 
@@ -103,6 +141,40 @@ mod tests {
         let mut link = NetLink::paper_verifier_link(4);
         let ow = link.one_way();
         assert!(ow > Duration::from_millis(4) && ow < Duration::from_millis(6));
+    }
+
+    #[test]
+    fn reliable_matches_plain_when_disarmed() {
+        let mut a = NetLink::paper_verifier_link(5);
+        let mut b = NetLink::paper_verifier_link(5);
+        for _ in 0..10 {
+            assert_eq!(a.one_way(), b.one_way_reliable());
+        }
+    }
+
+    #[test]
+    fn drops_cost_a_retransmission_timeout() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut faulty = NetLink::paper_verifier_link(6);
+        let mut clean = NetLink::paper_verifier_link(6);
+        faulty.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::NetDrop {
+            skip: 1,
+        })));
+        assert_eq!(faulty.one_way_reliable(), clean.one_way_reliable());
+        let t_faulty = faulty.one_way_reliable();
+        // The drop costs one max-RTT RTO plus the redelivery sample.
+        assert!(t_faulty > Duration::from_micros(10_100));
+        assert!(faulty.try_one_way().is_some(), "drop was one-shot");
+    }
+
+    #[test]
+    fn delay_fault_adds_latency() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut link = NetLink::paper_verifier_link(7);
+        link.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::NetDelay {
+            extra: Duration::from_millis(50),
+        })));
+        assert!(link.one_way_reliable() > Duration::from_millis(50));
     }
 
     #[test]

@@ -153,6 +153,18 @@ impl Os {
         Ok(())
     }
 
+    /// Boots the OS back up after a platform power loss: power-cycles the
+    /// machine (RAM gone, PCRs reset, DEV cleared), discards any saved
+    /// suspend state (it died in RAM with everything else), and reloads the
+    /// kernel image into memory. TPM NV storage, counters, and keys
+    /// persist — that durability is exactly what replay-protected storage
+    /// builds on.
+    pub fn reboot_after_power_loss(&mut self) {
+        self.machine.power_cycle();
+        self.saved = None;
+        self.sync_kernel_to_memory();
+    }
+
     // ----- tqd: the TPM quote daemon (paper §6) -----------------------------
 
     /// Provisions the attestation identity: TPM ownership, EK registration,
@@ -177,12 +189,20 @@ impl Os {
 
     /// The tqd's quote service: sign the selected PCRs under the verifier's
     /// nonce. Runs with the OS live (the paper is explicit that the quote
-    /// happens *after* the session, under the untrusted OS — §6.1).
+    /// happens *after* the session, under the untrusted OS — §6.1). Like
+    /// any real TPM driver, the tqd retries `TPM_E_RETRY` with backoff.
     pub fn tqd_quote(&mut self, nonce: [u8; 20], selection: &PcrSelection) -> TpmResult<TpmQuote> {
         let (handle, _) = *self.aik.as_ref().ok_or(flicker_tpm::TpmError::NoSrk)?;
         let sel = selection.clone();
-        self.machine
-            .tpm_op(move |tpm| tpm.quote(handle, nonce, &sel))
+        let quote = self
+            .machine
+            .tpm_op_retrying(move |tpm| tpm.quote(handle, nonce, &sel))?;
+        // A power cut that lands while the command is in flight takes the
+        // answer with it.
+        if self.machine.power_lost() {
+            return Err(flicker_tpm::TpmError::InterfaceUnavailable);
+        }
+        Ok(quote)
     }
 }
 
@@ -235,6 +255,32 @@ mod tests {
         assert!(os.saved_state().is_none());
         // Can suspend again.
         os.suspend_for_session().unwrap();
+    }
+
+    #[test]
+    fn reboot_after_power_loss_restores_a_usable_platform() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        use std::time::Duration;
+        let mut os = os(8);
+        os.suspend_for_session().unwrap();
+        os.machine_mut()
+            .set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::PowerLossAfter {
+                after: Duration::ZERO,
+            })));
+        os.machine_mut().charge_cpu(Duration::from_micros(1));
+        assert!(os.machine().power_lost());
+
+        os.reboot_after_power_loss();
+        assert!(os.saved_state().is_none(), "suspend state died in RAM");
+        assert!(!os.machine().power_lost());
+        // The kernel image is back in memory and a fresh session can run.
+        let (base, len) = os.kernel_region();
+        assert_eq!(
+            os.machine().memory().read(base, len).unwrap(),
+            &os.kernel().measured_region()[..]
+        );
+        os.suspend_for_session().unwrap();
+        os.resume_after_session().unwrap();
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub enum TpmError {
     /// The TPM's command interface is disabled or busy (driver-level
     /// failure, not a spec code).
     InterfaceUnavailable,
+    /// The TPM is temporarily busy and the command should be retried
+    /// (TPM_E_RETRY). TPM v1.2 drivers are required to back off and
+    /// resubmit; the command had no effect.
+    Retry,
 }
 
 impl core::fmt::Display for TpmError {
@@ -70,6 +74,7 @@ impl core::fmt::Display for TpmError {
             TpmError::InvalidAuthHandle(h) => write!(f, "invalid auth session handle {h:#x}"),
             TpmError::NoSrk => write!(f, "TPM_NOSRK: ownership not taken"),
             TpmError::InterfaceUnavailable => write!(f, "TPM interface unavailable"),
+            TpmError::Retry => write!(f, "TPM_E_RETRY: TPM busy, retry the command"),
         }
     }
 }

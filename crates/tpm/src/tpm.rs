@@ -15,6 +15,7 @@ use flicker_crypto::digest::Digest;
 use flicker_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use flicker_crypto::sha1::{sha1, Sha1};
 use flicker_crypto::HmacDrbg;
+use flicker_faults::FaultInjector;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -77,6 +78,7 @@ pub struct Tpm {
     sessions: BTreeMap<u32, AuthSession>,
     next_session_handle: u32,
     elapsed: Duration,
+    injector: Option<FaultInjector>,
 }
 
 impl Tpm {
@@ -103,6 +105,7 @@ impl Tpm {
             sessions: BTreeMap::new(),
             next_session_handle: 0x0200_0000,
             elapsed: Duration::ZERO,
+            injector: None,
         }
     }
 
@@ -143,6 +146,32 @@ impl Tpm {
 
     fn charge(&mut self, d: Duration) {
         self.elapsed += d;
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    /// Installs a fault injector; subsequent commands consult its gates.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Removes any installed fault injector.
+    pub fn clear_fault_injector(&mut self) {
+        self.injector = None;
+    }
+
+    /// Transient-busy gate, consulted at the head of every Result-returning
+    /// command. When it fires, the command has no effect beyond a short
+    /// busy-poll charge and the caller sees `TPM_E_RETRY`.
+    fn gate(&mut self, command: &'static str) -> TpmResult<()> {
+        if let Some(inj) = &self.injector {
+            if inj.tpm_command_gate(command) {
+                let cost = self.config.timing.pcr_read;
+                self.charge(cost);
+                return Err(TpmError::Retry);
+            }
+        }
+        Ok(())
     }
 
     // ----- key material --------------------------------------------------
@@ -187,6 +216,7 @@ impl Tpm {
 
     /// `TPM_PCRRead`.
     pub fn pcr_read(&mut self, index: u32) -> TpmResult<PcrValue> {
+        self.gate("TPM_PCRRead")?;
         let cost = self.config.timing.pcr_read;
         self.charge(cost);
         self.pcrs.read(index)
@@ -194,6 +224,7 @@ impl Tpm {
 
     /// `TPM_Extend`.
     pub fn pcr_extend(&mut self, index: u32, measurement: &[u8; 20]) -> TpmResult<PcrValue> {
+        self.gate("TPM_Extend")?;
         let cost = self.config.timing.pcr_extend;
         self.charge(cost);
         self.pcrs.extend(index, measurement)
@@ -350,6 +381,7 @@ impl Tpm {
         blob_auth: &AuthData,
         auth: &CommandAuth,
     ) -> TpmResult<SealedBlob> {
+        self.gate("TPM_Seal")?;
         if self.srk.is_none() {
             return Err(TpmError::NoSrk);
         }
@@ -368,6 +400,7 @@ impl Tpm {
     /// `TPM_Unseal`: releases the data iff the PCR policy holds and the
     /// caller authorizes with the blob's auth secret.
     pub fn unseal(&mut self, blob: &SealedBlob, auth: &CommandAuth) -> TpmResult<Vec<u8>> {
+        self.gate("TPM_Unseal")?;
         if self.srk.is_none() {
             return Err(TpmError::NoSrk);
         }
@@ -410,6 +443,7 @@ impl Tpm {
         nonce: [u8; 20],
         selection: &PcrSelection,
     ) -> TpmResult<TpmQuote> {
+        self.gate("TPM_Quote")?;
         let aik = self
             .aiks
             .get(&aik_handle)
@@ -436,6 +470,7 @@ impl Tpm {
         policy: Option<NvPcrPolicy>,
         presented_owner_auth: &AuthData,
     ) -> TpmResult<()> {
+        self.gate("TPM_NV_DefineSpace")?;
         if !flicker_crypto::ct_eq(presented_owner_auth, &self.config.owner_auth) {
             return Err(TpmError::AuthFail);
         }
@@ -447,15 +482,29 @@ impl Tpm {
 
     /// `TPM_NV_ReadValue`.
     pub fn nv_read(&mut self, index: u32) -> TpmResult<Vec<u8>> {
+        self.gate("TPM_NV_ReadValue")?;
         let cost = self.config.timing.nv_op;
         self.charge(cost);
         self.nv.read(index, &self.pcrs)
     }
 
     /// `TPM_NV_WriteValue`.
+    ///
+    /// Under an armed torn-write fault, only a prefix of `data` reaches the
+    /// NV cells before the command fails — the power-dropped-mid-write case
+    /// that crash-consistent layouts above must tolerate.
     pub fn nv_write(&mut self, index: u32, offset: usize, data: &[u8]) -> TpmResult<()> {
+        self.gate("TPM_NV_WriteValue")?;
         let cost = self.config.timing.nv_op;
         self.charge(cost);
+        if let Some(keep) = self
+            .injector
+            .as_ref()
+            .and_then(|inj| inj.torn_nv_write(data.len()))
+        {
+            self.nv.write(index, offset, &data[..keep], &self.pcrs)?;
+            return Err(TpmError::Retry);
+        }
         self.nv.write(index, offset, data, &self.pcrs)
     }
 
@@ -475,6 +524,7 @@ impl Tpm {
 
     /// `TPM_IncrementCounter`.
     pub fn increment_counter(&mut self, id: u32) -> TpmResult<u64> {
+        self.gate("TPM_IncrementCounter")?;
         let cost = self.config.timing.counter_op;
         self.charge(cost);
         self.counters.increment(id)
@@ -482,6 +532,7 @@ impl Tpm {
 
     /// `TPM_ReadCounter`.
     pub fn read_counter(&mut self, id: u32) -> TpmResult<u64> {
+        self.gate("TPM_ReadCounter")?;
         let cost = self.config.timing.counter_op;
         self.charge(cost);
         self.counters.read(id)
@@ -722,6 +773,53 @@ mod tests {
             t.unseal(&blob, &ca2),
             Err(TpmError::InvalidAuthHandle(ca2.session_handle))
         );
+    }
+
+    #[test]
+    fn transient_fault_reports_retry_then_clears() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut t = tpm();
+        t.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::TpmTransient {
+            skip: 1,
+            failures: 2,
+        })));
+        assert!(t.pcr_read(17).is_ok(), "skipped command executes");
+        assert_eq!(t.pcr_read(17), Err(TpmError::Retry));
+        assert_eq!(t.pcr_extend(17, &[1; 20]), Err(TpmError::Retry));
+        // Fault exhausted: commands execute again, and the busy responses
+        // had no effect on PCR state.
+        let before = t.pcr_read(17).unwrap();
+        assert_eq!(t.pcrs().read(17).unwrap(), before);
+    }
+
+    #[test]
+    fn torn_nv_write_persists_prefix_and_fails() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut t = tpm();
+        t.nv_define_space(0x30, 8, None, &[0; 20]).unwrap();
+        t.nv_write(0x30, 0, &[0xAA; 8]).unwrap();
+        t.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::TornNvWrite {
+            skip: 0,
+            keep: 3,
+        })));
+        assert_eq!(t.nv_write(0x30, 0, &[0xBB; 8]), Err(TpmError::Retry));
+        // Exactly the first 3 bytes made it to the cells.
+        assert_eq!(
+            t.nv_read(0x30).unwrap(),
+            vec![0xBB, 0xBB, 0xBB, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA]
+        );
+        // One-shot: the retried write goes through whole.
+        t.nv_write(0x30, 0, &[0xCC; 8]).unwrap();
+        assert_eq!(t.nv_read(0x30).unwrap(), vec![0xCC; 8]);
+    }
+
+    #[test]
+    fn disarmed_injector_leaves_timing_exact() {
+        let mut t = tpm();
+        t.set_fault_injector(flicker_faults::FaultInjector::disarmed());
+        t.take_elapsed();
+        t.pcr_extend(17, &[0; 20]).unwrap();
+        assert_eq!(t.take_elapsed(), t.timing().pcr_extend);
     }
 
     #[test]

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full offline CI gate: format, lints, build, tests, fault sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test --workspace -q
+# Deterministic robustness gate: 200 seeded fault schedules across the §6
+# applications; exits non-zero on any violation.
+cargo run --release -p flicker-bench --bin fault_sweep -- --seed 0 --schedules 200
