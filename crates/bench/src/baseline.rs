@@ -1,0 +1,488 @@
+//! The perf-baseline harness: traced end-to-end runs of the paper's §6
+//! applications, aggregated into a machine-readable latency baseline.
+//!
+//! One [`Trace`] is threaded through every platform (machine, TPM, network
+//! link), so a single run yields:
+//!
+//! * **per-phase** latency percentiles over every Flicker session (the six
+//!   Figure-2 phase spans `run_session` opens),
+//! * **per-TPM-ordinal** command latency percentiles (`tpm.TPM_*`
+//!   histograms recorded by the TPM driver),
+//! * **per-application** end-to-end iteration latency, and
+//! * every counter the tracer collected (retries, DEV ops, zeroized bytes).
+//!
+//! The report is emitted as `BENCH_perf_baseline.json` with schema
+//! [`SCHEMA`]; [`validate`] checks a parsed document against that schema so
+//! CI can reject a malformed or under-sampled baseline.
+
+use crate::json::Value;
+use crate::{eval_os, faultsweep::APPS, provisioned_eval_os};
+use flicker_apps::{
+    known_good_hash, Administrator, BoincClient, Csr, FlickerCa, IssuancePolicy, PasswdEntry,
+    SshClient, SshServer, WorkUnit,
+};
+use flicker_core::{
+    run_session, FlickerResult, NativePal, PalContext, PalPayload, ReplayProtectedStorage,
+    SessionParams, SlbImage, SlbOptions, PHASE_SPAN_NAMES,
+};
+use flicker_crypto::rng::XorShiftRng;
+use flicker_crypto::RsaPrivateKey;
+use flicker_os::{NetLink, Os};
+use flicker_tpm::SealedBlob;
+use flicker_trace::{DurationHistogram, Trace};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Schema identifier stamped into (and required of) every baseline file.
+pub const SCHEMA: &str = "flicker-perf-baseline/v1";
+
+/// A full (non-quick) baseline must cover at least this many sessions.
+pub const MIN_FULL_SESSIONS: u64 = 200;
+
+/// Sessions one iteration of each application contributes: rootkit 1,
+/// ssh 2 (setup + login), distcomp 2 (start + slice), ca 2 (init + sign),
+/// storage 3 (init + update + read).
+pub const SESSIONS_PER_ITERATION: u64 = 1 + 2 + 2 + 2 + 3;
+
+/// NV index for the baseline's storage workload (distinct from any test's
+/// or the fault sweep's).
+const BASELINE_NV_INDEX: u32 = 0x0001_5000;
+
+const SSH_PASSWORD: &[u8] = b"baseline-hunter2";
+
+/// How much work to run.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineConfig {
+    /// End-to-end iterations per application.
+    pub iterations_per_app: usize,
+    /// Marks the emitted report as a quick run (exempt from
+    /// [`MIN_FULL_SESSIONS`]).
+    pub quick: bool,
+}
+
+impl BaselineConfig {
+    /// The committed-artifact configuration: 25 iterations × 10 sessions
+    /// per iteration = 250 sessions, comfortably over [`MIN_FULL_SESSIONS`].
+    pub fn full() -> BaselineConfig {
+        BaselineConfig {
+            iterations_per_app: 25,
+            quick: false,
+        }
+    }
+
+    /// The CI smoke configuration (~20 sessions).
+    pub fn quick() -> BaselineConfig {
+        BaselineConfig {
+            iterations_per_app: 2,
+            quick: true,
+        }
+    }
+}
+
+/// Runs every application workload under one shared trace and returns the
+/// aggregated report document.
+pub fn run_baseline(cfg: &BaselineConfig) -> Value {
+    let trace = Trace::new();
+    run_rootkit(&trace, cfg.iterations_per_app);
+    run_ssh(&trace, cfg.iterations_per_app);
+    run_distcomp(&trace, cfg.iterations_per_app);
+    run_ca(&trace, cfg.iterations_per_app);
+    run_storage(&trace, cfg.iterations_per_app);
+    report(cfg, &trace)
+}
+
+// ---------------------------------------------------------------------------
+// Workloads. Each mirrors the corresponding fault-sweep trial, minus the
+// injector: the platform is healthy, so every protocol step must succeed.
+// ---------------------------------------------------------------------------
+
+/// Virtual-clock stopwatch around one application iteration.
+fn timed_iteration(trace: &Trace, app: &'static str, os: &mut Os, f: impl FnOnce(&mut Os)) {
+    let t0 = os.machine().clock().now();
+    f(os);
+    let dt = os.machine().clock().now() - t0;
+    trace.observe(app, dt);
+}
+
+fn run_rootkit(trace: &Trace, iterations: usize) {
+    let (mut os, cert, ca_public) = provisioned_eval_os(11);
+    os.set_tracer(trace.clone());
+    let mut link = NetLink::paper_verifier_link(11);
+    link.set_tracer(trace.clone());
+    let known_good = known_good_hash(&os);
+    let mut admin = Administrator::new(ca_public, known_good, link);
+    for _ in 0..iterations {
+        timed_iteration(trace, "app.rootkit", &mut os, |os| {
+            let report = admin.query(os, &cert).expect("rootkit query");
+            assert!(report.clean, "pristine kernel reported compromised");
+        });
+    }
+}
+
+fn run_ssh(trace: &Trace, iterations: usize) {
+    let (mut os, cert, ca_public) = provisioned_eval_os(12);
+    os.set_tracer(trace.clone());
+    let mut link = NetLink::paper_verifier_link(12);
+    link.set_tracer(trace.clone());
+    let mut client = SshClient::new(ca_public);
+    let mut rng = XorShiftRng::new(0xBA5E_55E8);
+    for _ in 0..iterations {
+        // A fresh server per iteration, as each connection regenerates its
+        // session keypair (the Figure-9a workload).
+        let mut server = SshServer::new(vec![PasswdEntry::new("alice", SSH_PASSWORD, b"fl1ck3r")]);
+        timed_iteration(trace, "app.ssh", &mut os, |os| {
+            let transcript = server
+                .connection_setup(os, &mut link, [0x55; 20])
+                .expect("ssh connection setup");
+            client.verify_setup(&cert, &transcript).expect("ssh verify");
+            let nonce = server.issue_nonce();
+            let ciphertext = client
+                .encrypt_password(SSH_PASSWORD, &nonce, &mut rng)
+                .expect("ssh encrypt");
+            let outcome = server
+                .login(os, &mut link, "alice", &ciphertext, nonce)
+                .expect("ssh login");
+            assert!(outcome.accepted, "correct password rejected");
+        });
+    }
+}
+
+fn run_distcomp(trace: &Trace, iterations: usize) {
+    let mut os = eval_os(13);
+    os.set_tracer(trace.clone());
+    for _ in 0..iterations {
+        timed_iteration(trace, "app.distcomp", &mut os, |os| {
+            let unit = WorkUnit {
+                n: 91,
+                lo: 2,
+                hi: 64,
+            };
+            let (mut client, _) = BoincClient::start(os, unit).expect("boinc start");
+            client
+                .run_slice(os, Duration::from_millis(50))
+                .expect("boinc slice");
+        });
+    }
+}
+
+fn run_ca(trace: &Trace, iterations: usize) {
+    let mut os = eval_os(14);
+    os.set_tracer(trace.clone());
+    let mut rng = XorShiftRng::new(0xBA5E_00CA);
+    for _ in 0..iterations {
+        timed_iteration(trace, "app.ca", &mut os, |os| {
+            let policy = IssuancePolicy {
+                allowed_suffixes: vec![".corp.example".into()],
+                max_certificates: 8,
+            };
+            let (mut ca, _) = FlickerCa::init(os, policy).expect("ca init");
+            let (subject_key, _) = RsaPrivateKey::generate(512, &mut rng);
+            let csr = Csr {
+                subject: "baseline.corp.example".into(),
+                public_key: subject_key.public_key().clone(),
+            };
+            let report = ca.sign(os, &csr).expect("ca sign");
+            report
+                .certificate
+                .verify(&ca.public_key)
+                .expect("issued certificate verifies");
+        });
+    }
+}
+
+enum StoreAction {
+    Init { data: Vec<u8> },
+    Update { data: Vec<u8> },
+    Read,
+}
+
+struct StoragePal {
+    action: StoreAction,
+}
+
+impl NativePal for StoragePal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let store = ReplayProtectedStorage::new(BASELINE_NV_INDEX);
+        match &self.action {
+            StoreAction::Init { data } => {
+                store.setup(ctx, &[0u8; 20])?;
+                let blob = store.seal(ctx, data)?;
+                ctx.write_output(blob.as_bytes())
+            }
+            StoreAction::Update { data } => {
+                let old = SealedBlob::from_bytes(ctx.inputs().to_vec());
+                let _ = store.unseal(ctx, &old)?;
+                let blob = store.seal(ctx, data)?;
+                ctx.write_output(blob.as_bytes())
+            }
+            StoreAction::Read => {
+                let blob = SealedBlob::from_bytes(ctx.inputs().to_vec());
+                let data = store.unseal(ctx, &blob)?;
+                ctx.write_output(&data)
+            }
+        }
+    }
+}
+
+fn storage_session(os: &mut Os, action: StoreAction, inputs: Vec<u8>) -> Vec<u8> {
+    let slb = SlbImage::build(
+        PalPayload::Native {
+            identity: b"baseline-storage-pal".to_vec(),
+            program: Arc::new(StoragePal { action }),
+        },
+        SlbOptions::default(),
+    )
+    .expect("storage slb builds");
+    let rec =
+        run_session(os, &slb, &SessionParams::with_inputs(inputs)).expect("storage session runs");
+    rec.pal_result.clone().expect("storage pal succeeds");
+    rec.outputs
+}
+
+fn run_storage(trace: &Trace, iterations: usize) {
+    let mut os = eval_os(15);
+    os.set_tracer(trace.clone());
+    for _ in 0..iterations {
+        timed_iteration(trace, "app.storage", &mut os, |os| {
+            let blob1 = storage_session(
+                os,
+                StoreAction::Init {
+                    data: b"state-v1".to_vec(),
+                },
+                Vec::new(),
+            );
+            let blob2 = storage_session(
+                os,
+                StoreAction::Update {
+                    data: b"state-v2".to_vec(),
+                },
+                blob1,
+            );
+            let out = storage_session(os, StoreAction::Read, blob2);
+            assert_eq!(out, b"state-v2", "storage read-back");
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation and schema.
+// ---------------------------------------------------------------------------
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn hist_value(h: &DurationHistogram) -> Value {
+    let (p50, p95, p99) = h.percentiles();
+    Value::Object(BTreeMap::from([
+        ("count".into(), Value::Number(h.count() as f64)),
+        ("p50_ms".into(), Value::Number(ms(p50))),
+        ("p95_ms".into(), Value::Number(ms(p95))),
+        ("p99_ms".into(), Value::Number(ms(p99))),
+        ("mean_ms".into(), Value::Number(ms(h.mean()))),
+        ("min_ms".into(), Value::Number(ms(h.min()))),
+        ("max_ms".into(), Value::Number(ms(h.max()))),
+    ]))
+}
+
+/// Folds the aggregated trace into the report document.
+fn report(cfg: &BaselineConfig, trace: &Trace) -> Value {
+    let sessions = trace.spans_named("phase.suspend").len() as u64;
+
+    let mut phases = BTreeMap::new();
+    for name in PHASE_SPAN_NAMES {
+        let mut h = DurationHistogram::default();
+        for span in trace.spans_named(name) {
+            h.observe(span.duration.unwrap_or(Duration::ZERO));
+        }
+        phases.insert(name.to_string(), hist_value(&h));
+    }
+
+    let mut apps = BTreeMap::new();
+    let mut tpm = BTreeMap::new();
+    let mut ops = BTreeMap::new();
+    for (name, h) in trace.histograms() {
+        if let Some(app) = name.strip_prefix("app.") {
+            apps.insert(app.to_string(), hist_value(&h));
+        } else if name.starts_with("tpm.TPM_") {
+            tpm.insert(name.to_string(), hist_value(&h));
+        } else {
+            ops.insert(name.to_string(), hist_value(&h));
+        }
+    }
+
+    let counters: BTreeMap<String, Value> = trace
+        .counters()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), Value::Number(v as f64)))
+        .collect();
+
+    Value::Object(BTreeMap::from([
+        ("schema".into(), Value::String(SCHEMA.into())),
+        ("quick".into(), Value::Bool(cfg.quick)),
+        (
+            "iterations_per_app".into(),
+            Value::Number(cfg.iterations_per_app as f64),
+        ),
+        ("sessions".into(), Value::Number(sessions as f64)),
+        ("apps".into(), Value::Object(apps)),
+        ("phases".into(), Value::Object(phases)),
+        ("tpm".into(), Value::Object(tpm)),
+        ("ops".into(), Value::Object(ops)),
+        ("counters".into(), Value::Object(counters)),
+    ]))
+}
+
+fn check_stats(doc: &Value, section: &str, key: &str) -> Result<u64, String> {
+    let entry = doc
+        .get(section)
+        .and_then(|s| s.get(key))
+        .ok_or_else(|| format!("{section}.{key} missing"))?;
+    let count = entry
+        .get("count")
+        .and_then(Value::as_number)
+        .ok_or_else(|| format!("{section}.{key}.count missing"))?;
+    if count < 1.0 {
+        return Err(format!("{section}.{key} has no samples"));
+    }
+    let mut last = 0.0f64;
+    for stat in ["p50_ms", "p95_ms", "p99_ms"] {
+        let v = entry
+            .get(stat)
+            .and_then(Value::as_number)
+            .ok_or_else(|| format!("{section}.{key}.{stat} missing"))?;
+        if !v.is_finite() || v < last {
+            return Err(format!("{section}.{key}.{stat} = {v} not monotone"));
+        }
+        last = v;
+    }
+    Ok(count as u64)
+}
+
+/// Validates a parsed baseline document against [`SCHEMA`]. Returns the
+/// session count on success.
+pub fn validate(doc: &Value) -> Result<u64, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("schema field missing")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let quick = doc
+        .get("quick")
+        .and_then(Value::as_bool)
+        .ok_or("quick field missing")?;
+    let sessions = doc
+        .get("sessions")
+        .and_then(Value::as_number)
+        .ok_or("sessions field missing")? as u64;
+    if !quick && sessions < MIN_FULL_SESSIONS {
+        return Err(format!(
+            "full baseline covers only {sessions} sessions (need {MIN_FULL_SESSIONS})"
+        ));
+    }
+    for app in APPS {
+        check_stats(doc, "apps", app)?;
+    }
+    for phase in PHASE_SPAN_NAMES {
+        let count = check_stats(doc, "phases", phase)?;
+        if count != sessions {
+            return Err(format!(
+                "phases.{phase} has {count} samples for {sessions} sessions"
+            ));
+        }
+    }
+    let tpm = doc
+        .get("tpm")
+        .and_then(Value::as_object)
+        .ok_or("tpm section missing")?;
+    if tpm.is_empty() {
+        return Err("tpm section has no ordinals".into());
+    }
+    let ordinals: Vec<String> = tpm.keys().cloned().collect();
+    for ordinal in &ordinals {
+        if !ordinal.starts_with("tpm.TPM_") {
+            return Err(format!("tpm section key {ordinal:?} is not an ordinal"));
+        }
+        check_stats(doc, "tpm", ordinal)?;
+    }
+    doc.get("counters")
+        .and_then(Value::as_object)
+        .ok_or("counters section missing")?;
+    Ok(sessions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn quick_baseline_is_schema_valid_and_round_trips() {
+        let cfg = BaselineConfig::quick();
+        let doc = run_baseline(&cfg);
+        let sessions = validate(&doc).expect("quick baseline validates");
+        assert_eq!(
+            sessions,
+            cfg.iterations_per_app as u64 * SESSIONS_PER_ITERATION
+        );
+
+        // The emitted text parses back to the same document and still
+        // validates — what `perf_baseline --check` relies on.
+        let back = json::parse(&doc.to_pretty()).expect("emitted JSON parses");
+        assert_eq!(back, doc);
+        validate(&back).expect("round-tripped baseline validates");
+
+        // The paper's dominant cost must be visible: a quote-bearing
+        // ordinal with ~900 ms latency.
+        let quote = doc
+            .get("tpm")
+            .and_then(|t| t.get("tpm.TPM_Quote"))
+            .expect("quote ordinal present");
+        let p50 = quote.get("p50_ms").and_then(Value::as_number).unwrap();
+        assert!(p50 > 500.0, "TPM_Quote p50 {p50} ms implausibly fast");
+    }
+
+    #[test]
+    fn validate_rejects_corruptions() {
+        let cfg = BaselineConfig::quick();
+        let doc = run_baseline(&cfg);
+
+        let corrupt = |f: &dyn Fn(&mut BTreeMap<String, Value>)| {
+            let Value::Object(mut map) = doc.clone() else {
+                unreachable!()
+            };
+            f(&mut map);
+            Value::Object(map)
+        };
+
+        // Wrong schema string.
+        let bad = corrupt(&|m| {
+            m.insert("schema".into(), Value::String("nope/v0".into()));
+        });
+        assert!(validate(&bad).is_err());
+
+        // A full run with too few sessions.
+        let bad = corrupt(&|m| {
+            m.insert("quick".into(), Value::Bool(false));
+        });
+        assert!(validate(&bad).unwrap_err().contains("200"));
+
+        // A missing application.
+        let bad = corrupt(&|m| {
+            let Some(Value::Object(apps)) = m.get_mut("apps") else {
+                unreachable!()
+            };
+            apps.remove("ssh");
+        });
+        assert!(validate(&bad).unwrap_err().contains("apps.ssh"));
+
+        // Phase sample count disagreeing with the session count.
+        let bad = corrupt(&|m| {
+            m.insert("sessions".into(), Value::Number(9999.0));
+        });
+        assert!(validate(&bad).is_err());
+    }
+}

@@ -19,8 +19,8 @@ fn main() {
     println!(
         "CA initialization session: {:.1} ms (keygen {:.1} ms, seal {:.1} ms)",
         init_rec.timings.total.as_secs_f64() * 1e3,
-        op_total(&init_rec.op_log, "rsa1024_keygen").as_secs_f64() * 1e3,
-        op_total(&init_rec.op_log, "seal").as_secs_f64() * 1e3,
+        op_total(&init_rec.op_log(), "rsa1024_keygen").as_secs_f64() * 1e3,
+        op_total(&init_rec.op_log(), "seal").as_secs_f64() * 1e3,
     );
 
     let mut rng = XorShiftRng::new(1010);
@@ -39,8 +39,8 @@ fn main() {
             .verify(&ca.public_key)
             .expect("valid cert");
         latency.push(report.latency);
-        unseal.push(op_total(&report.session.op_log, "unseal"));
-        sign_op.push(op_total(&report.session.op_log, "rsa1024_sign"));
+        unseal.push(op_total(&report.session.op_log(), "unseal"));
+        sign_op.push(op_total(&report.session.op_log(), "rsa1024_sign"));
     }
 
     let rows = vec![

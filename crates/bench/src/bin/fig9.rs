@@ -39,8 +39,8 @@ fn main() {
         client.verify_setup(&cert, &transcript).expect("verified");
 
         pal1_skinit.push(transcript.session.timings.skinit);
-        pal1_keygen.push(op_total(&transcript.session.op_log, "rsa1024_keygen"));
-        pal1_seal.push(op_total(&transcript.session.op_log, "seal"));
+        pal1_keygen.push(op_total(&transcript.session.op_log(), "rsa1024_keygen"));
+        pal1_seal.push(op_total(&transcript.session.op_log(), "seal"));
         pal1_total.push(transcript.session.timings.total);
         to_prompt.push(transcript.time_to_prompt);
 
@@ -54,8 +54,8 @@ fn main() {
         assert!(outcome.accepted);
 
         pal2_skinit.push(outcome.session.timings.skinit);
-        pal2_unseal.push(op_total(&outcome.session.op_log, "unseal"));
-        pal2_decrypt.push(op_total(&outcome.session.op_log, "rsa1024_decrypt"));
+        pal2_unseal.push(op_total(&outcome.session.op_log(), "unseal"));
+        pal2_decrypt.push(op_total(&outcome.session.op_log(), "rsa1024_decrypt"));
         pal2_total.push(outcome.session.timings.total);
         to_session.push(outcome.time_to_session);
     }

@@ -1,0 +1,136 @@
+//! Perf-baseline harness: runs every §6 application under the trace
+//! recorder and emits aggregated per-phase / per-TPM-ordinal / per-app
+//! latency percentiles as `BENCH_perf_baseline.json`.
+//!
+//! ```text
+//! perf_baseline [--quick] [--out PATH]   # run and write the report
+//! perf_baseline --check PATH             # validate an existing report
+//! ```
+
+use flicker_bench::baseline::{run_baseline, validate, BaselineConfig};
+use flicker_bench::json::{self, Value};
+use flicker_bench::print_table;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = String::from("BENCH_perf_baseline.json");
+    let mut check: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(path) => check = Some(path),
+                None => return usage("--check needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        return check_file(&path);
+    }
+
+    let cfg = if quick {
+        BaselineConfig::quick()
+    } else {
+        BaselineConfig::full()
+    };
+    eprintln!(
+        "running perf baseline: {} iterations per app{}",
+        cfg.iterations_per_app,
+        if cfg.quick { " (quick)" } else { "" },
+    );
+    let doc = run_baseline(&cfg);
+    let sessions = match validate(&doc) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("generated baseline failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, doc.to_pretty()) {
+        eprintln!("writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print_summary(&doc);
+    eprintln!("\nwrote {out} ({sessions} sessions)");
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!("usage: perf_baseline [--quick] [--out PATH] [--check PATH]");
+    ExitCode::FAILURE
+}
+
+fn check_file(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&doc) {
+        Ok(sessions) => {
+            println!("{path}: schema-valid baseline covering {sessions} sessions");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path} failed validation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints one aligned table per report section.
+fn print_summary(doc: &Value) {
+    for (section, title) in [
+        ("phases", "Per-phase latency (ms)"),
+        ("tpm", "Per-TPM-ordinal latency (ms)"),
+        ("apps", "Per-application iteration latency (ms)"),
+    ] {
+        let Some(entries) = doc.get(section).and_then(Value::as_object) else {
+            continue;
+        };
+        let rows: Vec<Vec<String>> = entries
+            .iter()
+            .map(|(name, stats)| {
+                let cell = |key: &str| {
+                    stats
+                        .get(key)
+                        .and_then(Value::as_number)
+                        .map_or_else(|| "-".into(), |v| format!("{v:.2}"))
+                };
+                let count = stats.get("count").and_then(Value::as_number).unwrap_or(0.0);
+                vec![
+                    name.clone(),
+                    format!("{count:.0}"),
+                    cell("p50_ms"),
+                    cell("p95_ms"),
+                    cell("p99_ms"),
+                    cell("mean_ms"),
+                ]
+            })
+            .collect();
+        print_table(
+            title,
+            &["name", "count", "p50", "p95", "p99", "mean"],
+            &rows,
+        );
+    }
+}

@@ -25,8 +25,8 @@ fn main() {
         let report = admin.query(&mut os, &cert).expect("query succeeds");
         assert!(report.clean);
         skinit.push(report.session.timings.skinit);
-        extend.push(op_total(&report.session.op_log, "pcr_extend"));
-        hash.push(op_total(&report.session.op_log, "sha1"));
+        extend.push(op_total(&report.session.op_log(), "pcr_extend"));
+        hash.push(op_total(&report.session.op_log(), "sha1"));
         quote.push(report.quote_time);
         total.push(report.query_latency);
     }

@@ -21,7 +21,7 @@ fn main() {
             .expect("slice");
 
         let skinit = report.session.timings.skinit;
-        let unseal = op_total(&report.session.op_log, "unseal");
+        let unseal = op_total(&report.session.op_log(), "unseal");
         let overhead_pct =
             100.0 * report.overhead.as_secs_f64() / report.session.timings.total.as_secs_f64();
 

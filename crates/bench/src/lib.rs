@@ -12,7 +12,9 @@ use flicker_os::{Os, OsConfig};
 use flicker_tpm::{PrivacyCa, TpmTimingProfile};
 use std::time::Duration;
 
+pub mod baseline;
 pub mod faultsweep;
+pub mod json;
 
 /// RSA modulus size used for TPM-internal keys during evaluation runs.
 ///

@@ -31,7 +31,7 @@ fn table1_total_query_latency() {
         (1_012.0..=1_040.0).contains(&total),
         "total query latency {total:.1} ms vs paper 1022.7"
     );
-    let hash = ms(op_total(&report.session.op_log, "sha1"));
+    let hash = ms(op_total(&report.session.op_log(), "sha1"));
     assert!(
         (21.0..=24.0).contains(&hash),
         "kernel hash {hash:.1} ms vs 22.0"
@@ -60,7 +60,7 @@ fn table4_one_second_slice_overhead() {
         (45.0..=50.0).contains(&pct),
         "overhead {pct:.1}% vs paper 47%"
     );
-    let unseal = ms(op_total(&rep.session.op_log, "unseal"));
+    let unseal = ms(op_total(&rep.session.op_log(), "unseal"));
     assert!(
         (895.0..=910.0).contains(&unseal),
         "unseal {unseal:.1} ms vs 898.3"
@@ -135,7 +135,7 @@ fn fig9a_keygen_mean_and_spread() {
             .connection_setup(&mut os, &mut link, [i; 20])
             .unwrap();
         client.verify_setup(&cert, &transcript).unwrap();
-        samples.push(op_total(&transcript.session.op_log, "rsa1024_keygen"));
+        samples.push(op_total(&transcript.session.op_log(), "rsa1024_keygen"));
     }
     let stats = flicker_bench::Stats::of(&samples);
     assert!(
@@ -144,4 +144,28 @@ fn fig9a_keygen_mean_and_spread() {
         stats.mean_ms()
     );
     assert!(stats.std_ms() > 5.0, "keygen variance must be visible");
+}
+
+/// The committed perf-baseline artifact at the repo root stays parseable,
+/// schema-valid, and adequately sampled: a full (non-quick) run over at
+/// least 200 sessions covering every §6 application.
+#[test]
+fn committed_perf_baseline_is_valid() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_perf_baseline.json"
+    );
+    let text = std::fs::read_to_string(path).expect("BENCH_perf_baseline.json committed");
+    let doc = flicker_bench::json::parse(&text).expect("artifact parses as JSON");
+    let sessions = flicker_bench::baseline::validate(&doc).expect("artifact is schema-valid");
+    assert!(
+        sessions >= flicker_bench::baseline::MIN_FULL_SESSIONS,
+        "committed baseline covers {sessions} sessions"
+    );
+    assert_eq!(
+        doc.get("quick")
+            .and_then(flicker_bench::json::Value::as_bool),
+        Some(false),
+        "the committed artifact must be a full run"
+    );
 }

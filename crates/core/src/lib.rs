@@ -43,7 +43,10 @@ pub use secure_channel::{
 };
 pub use session::{
     hashing_stub_bytes, run_session, SessionParams, SessionRecord, SessionTimings,
-    DEFAULT_SLB_BASE, HASHING_STUB_SIZE, REGION_LEN,
+    DEFAULT_SLB_BASE, HASHING_STUB_SIZE, PHASE_SPAN_NAMES, REGION_LEN,
 };
-pub use slb::{PalPayload, SlbImage, SlbOptions, LARGE_PAL_MAX, OVERFLOW_OFFSET, SLB_MAX};
+pub use slb::{
+    PalPayload, SlbImage, SlbOptions, LARGE_PAL_MAX, OUTPUTS_MAX, OUTPUTS_OFFSET, OVERFLOW_OFFSET,
+    SLB_MAX,
+};
 pub use sysfs::FlickerSysfs;

@@ -23,6 +23,7 @@ use flicker_crypto::rsa::{KeygenStats, RsaPrivateKey};
 use flicker_crypto::sha1::Sha1;
 use flicker_machine::{pal_segments, Machine, SegmentDescriptor, SegmentKind};
 use flicker_tpm::{PcrSelection, PcrValue, SealedBlob, Tpm, TpmResult, WELL_KNOWN_AUTH};
+use flicker_trace::OpEvent;
 use std::time::Duration;
 
 /// The behaviour of a native (Rust-implemented) PAL.
@@ -52,7 +53,7 @@ pub struct PalContext<'a> {
     inputs: Vec<u8>,
     outputs: Vec<u8>,
     rng: Option<XorShiftRng>,
-    op_log: Vec<(&'static str, Duration)>,
+    ops: Vec<OpEvent>,
 }
 
 impl<'a> PalContext<'a> {
@@ -86,7 +87,7 @@ impl<'a> PalContext<'a> {
             inputs,
             outputs: Vec::new(),
             rng: None,
-            op_log: Vec::new(),
+            ops: Vec::new(),
         }
     }
 
@@ -118,25 +119,39 @@ impl<'a> PalContext<'a> {
         std::mem::take(&mut self.outputs)
     }
 
-    /// Per-operation timing log: `(operation, simulated duration)` for
-    /// every charged TPM command and crypto helper, in execution order.
-    /// This is the observability hook behind the Figure 9-style breakdowns
-    /// in the evaluation harness.
-    pub fn op_log(&self) -> &[(&'static str, Duration)] {
-        &self.op_log
+    /// Per-operation timing events for every charged TPM command and
+    /// crypto helper, in execution order. This is the observability hook
+    /// behind the Figure 9-style breakdowns in the evaluation harness.
+    pub fn ops(&self) -> &[OpEvent] {
+        &self.ops
     }
 
-    pub(crate) fn take_op_log(&mut self) -> Vec<(&'static str, Duration)> {
-        std::mem::take(&mut self.op_log)
+    /// The op events as `(operation, simulated duration)` tuples — the
+    /// pre-trace view of [`PalContext::ops`], kept for harness code that
+    /// only cares about name + duration.
+    pub fn op_log(&self) -> Vec<(&'static str, Duration)> {
+        self.ops.iter().map(|e| (e.name, e.duration)).collect()
+    }
+
+    pub(crate) fn take_ops(&mut self) -> Vec<OpEvent> {
+        std::mem::take(&mut self.ops)
     }
 
     /// Runs a machine operation, recording its simulated duration in the
-    /// op log under `name`.
+    /// op log under `name` (and in the platform trace's histogram of the
+    /// same name, when one is installed).
     fn logged<T>(&mut self, name: &'static str, f: impl FnOnce(&mut Machine) -> T) -> T {
         let start = self.machine.clock().now();
         let out = f(self.machine);
         let dt = self.machine.clock().now() - start;
-        self.op_log.push((name, dt));
+        self.ops.push(OpEvent {
+            name,
+            at: start,
+            duration: dt,
+        });
+        if let Some(t) = self.machine.tracer() {
+            t.observe(name, dt);
+        }
         out
     }
 

@@ -21,9 +21,10 @@ use crate::slb::{
     PalPayload, SlbImage, INPUTS_MAX, INPUTS_OFFSET, OUTPUTS_OFFSET, OVERFLOW_OFFSET,
     SAVED_STATE_OFFSET, SLB_MAX,
 };
-use flicker_machine::Stopwatch;
+use flicker_machine::{SimClock, Stopwatch};
 use flicker_os::Os;
 use flicker_palvm::NUM_REGS;
+use flicker_trace::{OpEvent, SpanId, Trace};
 use std::time::Duration;
 
 /// Default physical address where the flicker-module allocates SLBs (fixed
@@ -122,9 +123,39 @@ pub struct SessionRecord {
     pub pcr17_final: [u8; 20],
     /// Phase timings on the virtual clock.
     pub timings: SessionTimings,
-    /// Per-operation timing log from the PAL's context (TPM commands and
-    /// charged crypto helpers, in execution order).
-    pub op_log: Vec<(&'static str, Duration)>,
+    /// Per-operation timing events from the PAL's context (TPM commands
+    /// and charged crypto helpers, in execution order).
+    pub ops: Vec<OpEvent>,
+}
+
+impl SessionRecord {
+    /// The op events as `(operation, simulated duration)` tuples — the
+    /// historical shape of this record's log, kept as a view for harness
+    /// code that only cares about name + duration.
+    pub fn op_log(&self) -> Vec<(&'static str, Duration)> {
+        self.ops.iter().map(|e| (e.name, e.duration)).collect()
+    }
+}
+
+/// The Figure-2 phase names under which [`run_session`] opens one trace
+/// span each (in timeline order) when a tracer is installed on the OS.
+pub const PHASE_SPAN_NAMES: [&str; 6] = [
+    "phase.suspend",
+    "phase.skinit",
+    "phase.stub_measure",
+    "phase.pal",
+    "phase.cleanup",
+    "phase.resume",
+];
+
+fn phase_start(tracer: &Option<Trace>, clock: &SimClock, name: &'static str) -> Option<SpanId> {
+    tracer.as_ref().map(|t| t.span_start(name, clock.now()))
+}
+
+fn phase_end(tracer: &Option<Trace>, clock: &SimClock, id: Option<SpanId>) {
+    if let (Some(t), Some(id)) = (tracer.as_ref(), id) {
+        t.span_end(id, clock.now());
+    }
 }
 
 /// The deterministic hashing-stub bytes (stands in for the paper's
@@ -229,6 +260,7 @@ pub fn run_session(
         ));
     }
     let clock = os.clock();
+    let tracer = os.machine().tracer().cloned();
     let total_sw = Stopwatch::start(&clock);
     let slb_base = params.slb_base;
 
@@ -240,15 +272,16 @@ pub fn run_session(
         match stage_images(os, slb_base, &patched, params) {
             Ok(staged) => staged,
             Err(e) => {
-                scrub_staging(os, slb_base, patched.len());
+                scrub_staging(os, slb_base, patched.len(), params.use_hashing_stub);
                 return Err(e);
             }
         };
 
     // ----- Suspend OS ---------------------------------------------------------
     let sw = Stopwatch::start(&clock);
+    let span = phase_start(&tracer, &clock, "phase.suspend");
     if let Err(e) = os.suspend_for_session() {
-        scrub_staging(os, slb_base, patched.len());
+        scrub_staging(os, slb_base, patched.len(), params.use_hashing_stub);
         return Err(e.into());
     }
     // From here until the OS is back, every early return must restore the
@@ -270,10 +303,12 @@ pub fn run_session(
         .write(slb_base + SAVED_STATE_OFFSET, &saved_state)?;
     machine.charge_cpu(SUSPEND_COST);
     machine.check_power()?;
+    phase_end(&tracer, &clock, span);
     let t_suspend = sw.elapsed();
 
     // ----- SKINIT ---------------------------------------------------------------
     let sw = Stopwatch::start(&clock);
+    let span = phase_start(&tracer, &clock, "phase.skinit");
     let launch = machine.skinit(0, slb_base)?;
     let slb_measurement = launch.measurement;
     debug_assert_eq!(
@@ -281,10 +316,12 @@ pub fn run_session(
         flicker_crypto::sha1::sha1(&measured_at_base)
     );
     machine.check_power()?;
+    phase_end(&tracer, &clock, span);
     let t_skinit = sw.elapsed();
 
     // ----- Hashing stub (optional §7.2 path) --------------------------------------
     let sw = Stopwatch::start(&clock);
+    let span = phase_start(&tracer, &clock, "phase.stub_measure");
     if params.use_hashing_stub {
         // The stub hashes the full 64 KB window on the main CPU and extends
         // the result into PCR 17.
@@ -305,12 +342,17 @@ pub fn run_session(
         }
     }
     machine.check_power()?;
+    phase_end(&tracer, &clock, span);
     let t_stub = sw.elapsed();
-    let pcr17_entry = machine.tpm_op_retrying(|t| t.pcr_read(17))?;
 
     // ----- SLB Core init + PAL execution ---------------------------------------
     let sw = Stopwatch::start(&clock);
+    let span = phase_start(&tracer, &clock, "phase.pal");
     machine.charge_cpu(SLBCORE_INIT_COST);
+    // The SLB Core records the entry measurement (PCR 17 after SKINIT and
+    // any stub extends) before jumping to the PAL; charging the read here
+    // keeps the per-phase durations summing to the session total.
+    let pcr17_entry = machine.tpm_op_retrying(|t| t.pcr_read(17))?;
     // Verify the PAL actually sits at its launch offset before jumping to
     // it: the SLB Core's jump target is `slb_base + app_offset`, and if the
     // flicker-module staged the image anywhere else the core must abort
@@ -339,36 +381,50 @@ pub fn run_session(
     });
     let pal_start = clock.now();
     let mut pal_result = execute_payload(slb.payload(), &mut ctx, fuel);
+    let mut timed_out = false;
     if let (Ok(()), Some(limit)) = (&pal_result, slb.options.time_limit) {
         // Native PALs cannot be preempted; enforce the bound after the
-        // fact so a runaway PAL is at least *reported* (its outputs are
-        // then discarded by callers that care).
+        // fact so a runaway PAL is at least *reported*.
         if clock.now() - pal_start > limit {
+            timed_out = true;
             pal_result = Err(format!(
                 "PAL exceeded its time limit of {limit:?} (ran {:?})",
                 clock.now() - pal_start
             ));
         }
     }
-    let outputs = ctx.take_outputs();
-    let op_log = ctx.take_op_log();
+    let mut outputs = ctx.take_outputs();
+    if timed_out {
+        // A PAL that blew through its timing restriction (§5.1.2) gets no
+        // output channel: publishing would let a runaway PAL exfiltrate
+        // through a path the session already declared faulted.
+        outputs.clear();
+    }
+    let ops = ctx.take_ops();
     machine.check_power()?;
+    phase_end(&tracer, &clock, span);
     let t_pal = sw.elapsed();
 
     // ----- Cleanup + terminal extends (SLB Core) ---------------------------------
     let sw = Stopwatch::start(&clock);
-    // Erase every byte the PAL could have dirtied: the 64 KB window and the
-    // input page (the output page is about to be rewritten).
+    let span = phase_start(&tracer, &clock, "phase.cleanup");
+    // Erase every byte the PAL could have dirtied: the 64 KB window, the
+    // input page, and the whole output page (so a short or discarded
+    // output never leaves a previous session's bytes behind).
     machine.memory_mut().zeroize(slb_base, SLB_MAX)?;
     machine
         .memory_mut()
         .zeroize(slb_base + INPUTS_OFFSET, 0x1000)?;
+    machine
+        .memory_mut()
+        .zeroize(slb_base + OUTPUTS_OFFSET, 0x1000)?;
     if !overflow.is_empty() {
         machine
             .memory_mut()
             .zeroize(slb_base + OVERFLOW_OFFSET, overflow.len())?;
     }
-    // Publish outputs through the output page.
+    // Publish outputs through the output page (length header ‖ bytes; both
+    // bounded to the page by `OUTPUTS_MAX`).
     machine
         .memory_mut()
         .write_u32_le(slb_base + OUTPUTS_OFFSET, outputs.len() as u32)?;
@@ -384,15 +440,18 @@ pub fn run_session(
     machine.tpm_op_retrying(|t| t.pcr_extend(17, &TERMINATOR))?;
     let pcr17_final = machine.tpm_op_retrying(|t| t.pcr_read(17))?;
     machine.check_power()?;
+    phase_end(&tracer, &clock, span);
     let t_cleanup = sw.elapsed();
 
     // ----- Resume OS ---------------------------------------------------------------
     let sw = Stopwatch::start(&clock);
+    let span = phase_start(&tracer, &clock, "phase.resume");
     machine.resume_os()?;
     machine.charge_cpu(RESUME_COST);
     machine.check_power()?;
     guard.os.resume_after_session()?;
     guard.disarm();
+    phase_end(&tracer, &clock, span);
     let t_resume = sw.elapsed();
 
     Ok(SessionRecord {
@@ -410,7 +469,7 @@ pub fn run_session(
             resume: t_resume,
             total: total_sw.elapsed(),
         },
-        op_log,
+        ops,
     })
 }
 
@@ -457,11 +516,16 @@ fn stage_images(
 /// Best-effort scrub of everything staging may have written. Used on the
 /// pre-SKINIT failure paths, where the OS is still running and nothing
 /// else needs restoring.
-fn scrub_staging(os: &mut Os, slb_base: u64, image_len: usize) {
+///
+/// The overflow region is only in play on the hashing-stub path (that's
+/// the launch mode that displaces the image by the stub size); a direct
+/// launch never wrote there, and an image long enough to trip the size
+/// arithmetic must not cause a scrub of memory the session never touched.
+fn scrub_staging(os: &mut Os, slb_base: u64, image_len: usize, used_stub: bool) {
     let mem = os.machine_mut().memory_mut();
     let _ = mem.zeroize(slb_base, SLB_MAX);
     let _ = mem.zeroize(slb_base + INPUTS_OFFSET, 0x1000);
-    if image_len > SLB_MAX - HASHING_STUB_SIZE {
+    if used_stub && image_len > SLB_MAX - HASHING_STUB_SIZE {
         let overflow_len = image_len - (SLB_MAX - HASHING_STUB_SIZE);
         let _ = mem.zeroize(slb_base + OVERFLOW_OFFSET, overflow_len);
     }

@@ -33,8 +33,11 @@ pub const SAVED_STATE_OFFSET: u64 = 0x10000 + 0xE00;
 pub const OUTPUTS_OFFSET: u64 = 0x11000;
 /// Capacity of the input region (up to the saved-state stash).
 pub const INPUTS_MAX: usize = 0xE00;
-/// Capacity of the output region.
-pub const OUTPUTS_MAX: usize = 0x1000;
+/// Capacity of the output region: the 4 KB output page minus the 4-byte
+/// little-endian length header the session driver writes at its front. A
+/// PAL that filled all 0x1000 bytes would otherwise push the last 4 bytes
+/// past the page into the overflow region.
+pub const OUTPUTS_MAX: usize = 0x1000 - 4;
 
 /// Offset (from `slb_base`) of the overflow region used by large PALs:
 /// directly above the two parameter pages (paper §4.2: DEV protection "can
@@ -344,5 +347,8 @@ mod tests {
         assert_eq!(OUTPUTS_OFFSET, 0x11000);
         assert_eq!(SLB_MAX, 0x10000);
         const { assert!(PAL_END + STACK_SIZE <= SLB_MAX) };
+        // Length header + maximal output must fit the single output page.
+        const { assert!(4 + OUTPUTS_MAX <= 0x1000) };
+        const { assert!(OUTPUTS_OFFSET + 0x1000 == OVERFLOW_OFFSET) };
     }
 }

@@ -694,3 +694,199 @@ fn secure_channel_two_sessions() {
         flicker_crypto::sha1::sha1(b"hunter2-and-a-nonce")
     );
 }
+
+// ----- output-page and session-result regression tests -----------------------
+
+use flicker_core::{
+    DEFAULT_SLB_BASE, OUTPUTS_MAX, OUTPUTS_OFFSET, OVERFLOW_OFFSET, PHASE_SPAN_NAMES,
+};
+
+/// Writes `self.0` bytes of 0xAB output.
+struct FillOutputPal(usize);
+impl NativePal for FillOutputPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        ctx.write_output(&vec![0xAB; self.0])
+    }
+}
+
+#[test]
+fn maximal_output_pal_stays_inside_output_page() {
+    let mut os = test_os(30);
+    // Sentinel directly after the output page: the byte a 4-byte length
+    // header plus a full-page output used to clobber.
+    let sentinel_addr = DEFAULT_SLB_BASE + OVERFLOW_OFFSET;
+    os.machine_mut()
+        .memory_mut()
+        .write(sentinel_addr, &[0xCD; 8])
+        .unwrap();
+
+    let slb = native_slb(b"fill-output-pal", FillOutputPal(OUTPUTS_MAX));
+    let rec = run_session(&mut os, &slb, &SessionParams::default()).unwrap();
+    assert_eq!(rec.pal_result, Ok(()));
+    assert_eq!(rec.outputs.len(), OUTPUTS_MAX);
+
+    let mem = os.machine().memory();
+    let out_base = DEFAULT_SLB_BASE + OUTPUTS_OFFSET;
+    assert_eq!(mem.read_u32_le(out_base).unwrap() as usize, OUTPUTS_MAX);
+    assert_eq!(
+        mem.read(out_base + 4, OUTPUTS_MAX).unwrap(),
+        &rec.outputs[..]
+    );
+    // Length header + maximal output exactly fill the page...
+    assert_eq!(out_base + 4 + OUTPUTS_MAX as u64, sentinel_addr);
+    // ...and the byte after the page is untouched.
+    assert_eq!(mem.read(sentinel_addr, 8).unwrap(), &[0xCD; 8]);
+}
+
+#[test]
+fn over_capacity_output_is_refused() {
+    let mut os = test_os(31);
+    let slb = native_slb(b"overflow-pal", FillOutputPal(OUTPUTS_MAX + 1));
+    let rec = run_session(&mut os, &slb, &SessionParams::default()).unwrap();
+    let err = rec.pal_result.unwrap_err();
+    assert!(err.contains("output"), "unexpected fault text: {err}");
+    assert!(rec.outputs.is_empty());
+}
+
+/// Burns more virtual time than any sane limit, then tries to exfiltrate.
+struct RunawayPal;
+impl NativePal for RunawayPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        ctx.charge_cpu(Duration::from_millis(50));
+        ctx.write_output(b"EXFILTRATED-SECRET")
+    }
+}
+
+#[test]
+fn timed_out_native_pal_gets_no_outputs() {
+    let mut os = test_os(32);
+    // First, a well-behaved session dirties the output page so stale bytes
+    // would be visible if cleanup failed to erase it.
+    let slb = native_slb(b"reverse-pal", ReversePal);
+    run_session(
+        &mut os,
+        &slb,
+        &SessionParams::with_inputs(b"previous-session-output".to_vec()),
+    )
+    .unwrap();
+
+    let slb = SlbImage::build(
+        PalPayload::Native {
+            identity: b"runaway-pal".to_vec(),
+            program: Arc::new(RunawayPal),
+        },
+        SlbOptions {
+            time_limit: Some(Duration::from_millis(1)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let rec = run_session(&mut os, &slb, &SessionParams::default()).unwrap();
+
+    let err = rec.pal_result.unwrap_err();
+    assert!(err.contains("time limit"), "unexpected fault text: {err}");
+    assert!(
+        rec.outputs.is_empty(),
+        "timed-out outputs must be discarded"
+    );
+    // The output page holds a zero length and no stale bytes from either
+    // the runaway PAL or the previous session.
+    let mem = os.machine().memory();
+    let out_base = DEFAULT_SLB_BASE + OUTPUTS_OFFSET;
+    assert_eq!(mem.read_u32_le(out_base).unwrap(), 0);
+    assert_eq!(
+        mem.read(out_base + 4, 0x1000 - 4).unwrap(),
+        &[0u8; 0x1000 - 4][..]
+    );
+}
+
+#[test]
+fn failed_non_stub_staging_leaves_overflow_region_alone() {
+    use flicker_core::{HASHING_STUB_SIZE, SLB_MAX};
+    use flicker_faults::{Fault, FaultInjector, FaultPlan};
+
+    // A direct-launch image long enough to trip the stub-path overflow
+    // arithmetic (total > SLB_MAX - HASHING_STUB_SIZE) while still fitting
+    // the measured window (not large).
+    let identity = vec![0x5A; SLB_MAX - HASHING_STUB_SIZE];
+    let slb = native_slb(&identity, ReversePal);
+    assert!(!slb.is_large());
+
+    let mut os = test_os(33);
+    // OS-owned memory above the parameter pages; staging never wrote here,
+    // so a failed session must not scrub it.
+    let sentinel_addr = DEFAULT_SLB_BASE + OVERFLOW_OFFSET;
+    os.machine_mut()
+        .memory_mut()
+        .write(sentinel_addr, &[0xEE; 16])
+        .unwrap();
+    // Fail the second staging store (the inputs page write).
+    os.machine_mut()
+        .set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::MemWriteFault {
+            skip: 1,
+        })));
+
+    let err = run_session(&mut os, &slb, &SessionParams::with_inputs(b"in".to_vec())).unwrap_err();
+    assert!(format!("{err}").contains("machine"), "{err}");
+    assert_eq!(
+        os.machine().memory().read(sentinel_addr, 16).unwrap(),
+        &[0xEE; 16],
+        "non-stub scrub must not reach the overflow region"
+    );
+}
+
+/// Hashes its inputs (one logged `sha1` op) and emits the digest.
+struct HashPal;
+impl NativePal for HashPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let inputs = ctx.inputs().to_vec();
+        let digest = ctx.sha1(&inputs);
+        ctx.write_output(&digest)
+    }
+}
+
+#[test]
+fn traced_session_has_one_span_per_phase_summing_to_total() {
+    let mut os = test_os(34);
+    let trace = flicker_trace::Trace::default();
+    os.set_tracer(trace.clone());
+
+    let slb = native_slb(b"hash-pal", HashPal);
+    let rec = run_session(
+        &mut os,
+        &slb,
+        &SessionParams::with_inputs(b"span me".to_vec()),
+    )
+    .unwrap();
+    assert_eq!(rec.pal_result, Ok(()));
+
+    let mut sum = Duration::ZERO;
+    for name in PHASE_SPAN_NAMES {
+        let spans = trace.spans_named(name);
+        assert_eq!(spans.len(), 1, "exactly one {name} span");
+        sum += spans[0].duration.expect("span closed");
+    }
+    assert_eq!(sum, rec.timings.total, "phases must account for the total");
+
+    // Phase spans agree with the record's own timings.
+    let t = &rec.timings;
+    for (name, expect) in [
+        ("phase.suspend", t.suspend),
+        ("phase.skinit", t.skinit),
+        ("phase.stub_measure", t.stub_measure),
+        ("phase.pal", t.pal),
+        ("phase.cleanup", t.cleanup),
+        ("phase.resume", t.resume),
+    ] {
+        assert_eq!(trace.spans_named(name)[0].duration, Some(expect), "{name}");
+    }
+
+    // The PAL's logged op landed in the trace and in the typed op events.
+    assert_eq!(trace.histogram("sha1").unwrap().count(), 1);
+    assert_eq!(rec.ops.iter().filter(|e| e.name == "sha1").count(), 1);
+    assert_eq!(rec.op_log().len(), rec.ops.len());
+
+    // A second traced session appends another set of spans.
+    run_session(&mut os, &slb, &SessionParams::default()).unwrap();
+    assert_eq!(trace.spans_named("phase.pal").len(), 2);
+}

@@ -15,6 +15,7 @@ use crate::memory::PhysMemory;
 use crate::skinit::{SkinitCostModel, SLB_MAX_LEN};
 use flicker_faults::FaultInjector;
 use flicker_tpm::{Tpm, TpmConfig, TpmError, TpmResult};
+use flicker_trace::Trace;
 use std::time::Duration;
 
 /// Backoff schedule for transient TPM busy responses: the driver retries a
@@ -100,6 +101,7 @@ pub struct Machine {
     cpu_cost: CpuCostModel,
     active: Option<ActiveSkinit>,
     injector: Option<FaultInjector>,
+    tracer: Option<Trace>,
     power_lost: bool,
 }
 
@@ -121,8 +123,34 @@ impl Machine {
             cpu_cost: config.cpu_cost,
             active: None,
             injector: None,
+            tracer: None,
             power_lost: false,
         }
+    }
+
+    // ----- tracing --------------------------------------------------------
+
+    /// Installs a trace recorder across every substrate, mirroring
+    /// [`Machine::set_fault_injector`]: the TPM records per-ordinal command
+    /// latency, physical memory counts store/zeroize traffic, and the
+    /// machine itself records SKINIT latency, DEV operations, charged CPU
+    /// time, and TPM driver retries.
+    pub fn set_tracer(&mut self, tracer: Trace) {
+        self.tpm.set_tracer(tracer.clone());
+        self.memory.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes any installed trace recorder from every substrate.
+    pub fn clear_tracer(&mut self) {
+        self.tpm.clear_tracer();
+        self.memory.clear_tracer();
+        self.tracer = None;
+    }
+
+    /// The installed trace recorder, if any (cheap cloneable handle).
+    pub fn tracer(&self) -> Option<&Trace> {
+        self.tracer.as_ref()
     }
 
     // ----- fault injection ------------------------------------------------
@@ -259,6 +287,9 @@ impl Machine {
             match out {
                 Err(TpmError::Retry) => match backoffs.next() {
                     Some(&wait) => {
+                        if let Some(t) = &self.tracer {
+                            t.counter_add("tpm.retry", 1);
+                        }
                         self.charge_cpu(wait);
                         if self.power_lost {
                             return Err(TpmError::Retry);
@@ -278,6 +309,9 @@ impl Machine {
 
     /// Charges CPU work to the platform clock.
     pub fn charge_cpu(&mut self, d: Duration) {
+        if let Some(t) = &self.tracer {
+            t.counter_add("cpu.charged_ns", d.as_nanos().min(u64::MAX as u128) as u64);
+        }
         self.clock.advance(d);
         self.poll_power();
     }
@@ -287,13 +321,23 @@ impl Machine {
     /// Device-initiated read (e.g. a NIC fetching a transmit buffer),
     /// filtered by the DEV.
     pub fn dma_read(&self, addr: u64, len: usize) -> MachineResult<Vec<u8>> {
-        self.dev.check(addr, len as u64)?;
+        if let Err(e) = self.dev.check(addr, len as u64) {
+            if let Some(t) = &self.tracer {
+                t.counter_add("dev.dma_blocked", 1);
+            }
+            return Err(e);
+        }
         Ok(self.memory.read(addr, len)?.to_vec())
     }
 
     /// Device-initiated write, filtered by the DEV.
     pub fn dma_write(&mut self, addr: u64, data: &[u8]) -> MachineResult<()> {
-        self.dev.check(addr, data.len() as u64)?;
+        if let Err(e) = self.dev.check(addr, data.len() as u64) {
+            if let Some(t) = &self.tracer {
+                t.counter_add("dev.dma_blocked", 1);
+            }
+            return Err(e);
+        }
         self.memory.write(addr, data)
     }
 
@@ -343,6 +387,9 @@ impl Machine {
         // Hardware protections: DEV over the full 64 KB window, interrupts
         // and debug off, flat 32-bit protected mode.
         let dev_token = self.dev.protect(slb_base, SLB_MAX_LEN as u64);
+        if let Some(t) = &self.tracer {
+            t.counter_add("dev.protect", 1);
+        }
         let saved = {
             let bsp = self.cpus.bsp_mut();
             let saved = SavedCpuState {
@@ -362,9 +409,14 @@ impl Machine {
         // never be trusted).
         let slb = self.memory.read(slb_base, slb_len)?.to_vec();
         let measurement = self.tpm.skinit_measure(4, &slb)?;
-        self.clock.advance(self.tpm.take_elapsed());
-        self.clock.advance(self.skinit_cost.cost(slb_len));
+        let tpm_time = self.tpm.take_elapsed();
+        let instr_time = self.skinit_cost.cost(slb_len);
+        self.clock.advance(tpm_time);
+        self.clock.advance(instr_time);
         self.poll_power();
+        if let Some(t) = &self.tracer {
+            t.observe("machine.skinit", tpm_time + instr_time);
+        }
 
         self.active = Some(ActiveSkinit {
             slb_base,
@@ -396,6 +448,9 @@ impl Machine {
         match &mut self.active {
             Some(a) => {
                 a.extra_dev_tokens.push(token);
+                if let Some(t) = &self.tracer {
+                    t.counter_add("dev.protect", 1);
+                }
                 Ok(())
             }
             None => {
@@ -413,9 +468,13 @@ impl Machine {
     /// point; the machine does not zeroize for it.
     pub fn resume_os(&mut self) -> MachineResult<()> {
         let active = self.active.take().ok_or(MachineError::NoActiveSkinit)?;
+        let releases = 1 + active.extra_dev_tokens.len() as u64;
         self.dev.release(active.dev_token);
         for t in active.extra_dev_tokens {
             self.dev.release(t);
+        }
+        if let Some(t) = &self.tracer {
+            t.counter_add("dev.release", releases);
         }
         let bsp = self.cpus.bsp_mut();
         bsp.interrupts_enabled = active.saved.interrupts_enabled;
@@ -688,6 +747,56 @@ mod tests {
         );
         m.clear_fault_injector();
         assert!(m.tpm_op_retrying(|t| t.pcr_read(17)).is_ok());
+    }
+
+    #[test]
+    fn tracer_records_skinit_dev_and_retries() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut m = machine_with_slb(0x10_0000, b"traced pal");
+        let trace = Trace::default();
+        m.set_tracer(trace.clone());
+
+        m.skinit(0, 0x10_0000).unwrap();
+        m.extend_protection(0x20_0000, 0x10000).unwrap();
+        m.resume_os().unwrap();
+
+        // One SKINIT observed, with the full measured latency.
+        let h = trace.histogram("machine.skinit").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.max() > Duration::ZERO);
+
+        // DEV bookkeeping: SLB window + extension protected, both released.
+        assert_eq!(trace.counter("dev.protect"), 2);
+        assert_eq!(trace.counter("dev.release"), 2);
+
+        // Blocked DMA during a fresh session increments the counter.
+        quiesce(&mut m);
+        m.skinit(0, 0x10_0000).unwrap();
+        assert!(m.dma_read(0x10_0000, 4).is_err());
+        assert_eq!(trace.counter("dev.dma_blocked"), 1);
+        m.resume_os().unwrap();
+
+        // Driver retries are counted, and CPU backoff time is charged.
+        m.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::TpmTransient {
+            skip: 0,
+            failures: 2,
+        })));
+        m.tpm_op_retrying(|t| t.pcr_read(17)).unwrap();
+        assert_eq!(trace.counter("tpm.retry"), 2);
+        assert!(trace.counter("cpu.charged_ns") >= 3_000_000);
+
+        // Memory traffic counters flow from PhysMemory.
+        let before = trace.counter("mem.write_bytes");
+        m.memory_mut().write(0x3000, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(trace.counter("mem.write_bytes"), before + 4);
+        m.memory_mut().zeroize(0x3000, 16).unwrap();
+        assert!(trace.counter("mem.zeroize_bytes") >= 16);
+
+        // clear_tracer stops recording everywhere.
+        m.clear_tracer();
+        let n = trace.counter("mem.write_bytes");
+        m.memory_mut().write(0x3000, &[5]).unwrap();
+        assert_eq!(trace.counter("mem.write_bytes"), n);
     }
 
     #[test]

@@ -2,12 +2,14 @@
 
 use crate::error::{MachineError, MachineResult};
 use flicker_faults::FaultInjector;
+use flicker_trace::Trace;
 
 /// The platform's physical RAM, addressed from 0.
 #[derive(Debug, Clone)]
 pub struct PhysMemory {
     bytes: Vec<u8>,
     injector: Option<FaultInjector>,
+    tracer: Option<Trace>,
 }
 
 impl PhysMemory {
@@ -16,6 +18,7 @@ impl PhysMemory {
         PhysMemory {
             bytes: vec![0u8; size],
             injector: None,
+            tracer: None,
         }
     }
 
@@ -27,6 +30,16 @@ impl PhysMemory {
     /// Removes any installed fault injector.
     pub fn clear_fault_injector(&mut self) {
         self.injector = None;
+    }
+
+    /// Installs a tracer; stores and erasures bump `mem.*` byte counters.
+    pub fn set_tracer(&mut self, tracer: Trace) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes any installed tracer.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
     }
 
     /// Installed RAM size.
@@ -59,6 +72,9 @@ impl PhysMemory {
             }
         }
         self.bytes[r].copy_from_slice(data);
+        if let Some(t) = &self.tracer {
+            t.counter_add("mem.write_bytes", data.len() as u64);
+        }
         Ok(())
     }
 
@@ -71,6 +87,9 @@ impl PhysMemory {
     pub fn zeroize(&mut self, addr: u64, len: usize) -> MachineResult<()> {
         let r = self.range(addr, len)?;
         self.bytes[r].fill(0);
+        if let Some(t) = &self.tracer {
+            t.counter_add("mem.zeroize_bytes", len as u64);
+        }
         Ok(())
     }
 

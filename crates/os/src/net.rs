@@ -9,6 +9,7 @@
 
 use flicker_crypto::{CryptoRng, HmacDrbg};
 use flicker_faults::{FaultInjector, NetFault};
+use flicker_trace::Trace;
 use std::time::Duration;
 
 /// A bidirectional latency-modelled link.
@@ -18,6 +19,7 @@ pub struct NetLink {
     max_rtt: Duration,
     drbg: HmacDrbg,
     injector: Option<FaultInjector>,
+    tracer: Option<Trace>,
 }
 
 impl NetLink {
@@ -30,6 +32,7 @@ impl NetLink {
             max_rtt,
             drbg: HmacDrbg::new(&seed.to_be_bytes(), b"netlink"),
             injector: None,
+            tracer: None,
         }
     }
 
@@ -37,6 +40,17 @@ impl NetLink {
     /// drops and added delay.
     pub fn set_fault_injector(&mut self, injector: FaultInjector) {
         self.injector = Some(injector);
+    }
+
+    /// Installs a tracer; sampled RTTs land in the `net.rtt` histogram and
+    /// injected drops bump the `net.drop` counter.
+    pub fn set_tracer(&mut self, tracer: Trace) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes any installed tracer.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
     }
 
     /// The paper's 12-hop verifier link (§7.1).
@@ -60,11 +74,15 @@ impl NetLink {
         let u1 = self.drbg.next_u64() as f64 / u64::MAX as f64;
         let u2 = self.drbg.next_u64() as f64 / u64::MAX as f64;
         let t = (u1 + u2) / 2.0; // mean 0.5
-        if t < 0.5 {
+        let rtt = if t < 0.5 {
             self.avg_rtt - span_lo.mul_f64((0.5 - t) * 2.0)
         } else {
             self.avg_rtt + span_hi.mul_f64((t - 0.5) * 2.0)
+        };
+        if let Some(tr) = &self.tracer {
+            tr.observe("net.rtt", rtt);
         }
+        rtt
     }
 
     /// One-way delay for a message (half an RTT sample; payload size is
@@ -79,7 +97,12 @@ impl NetLink {
     pub fn try_one_way(&mut self) -> Option<Duration> {
         let base = self.one_way();
         match self.injector.as_ref().map(|i| i.net_fault()) {
-            Some(NetFault::Drop) => None,
+            Some(NetFault::Drop) => {
+                if let Some(tr) = &self.tracer {
+                    tr.counter_add("net.drop", 1);
+                }
+                None
+            }
             Some(NetFault::Delay(extra)) => Some(base + extra),
             Some(NetFault::Deliver) | None => Some(base),
         }
@@ -175,6 +198,23 @@ mod tests {
             extra: Duration::from_millis(50),
         })));
         assert!(link.one_way_reliable() > Duration::from_millis(50));
+    }
+
+    #[test]
+    fn tracer_records_rtts_and_drops() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut link = NetLink::paper_verifier_link(8);
+        let trace = Trace::default();
+        link.set_tracer(trace.clone());
+        link.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::NetDrop {
+            skip: 0,
+        })));
+        link.one_way_reliable();
+        assert_eq!(trace.counter("net.drop"), 1);
+        let h = trace.histogram("net.rtt").unwrap();
+        assert_eq!(h.count(), 2, "dropped send + successful resend");
+        assert!(h.min() >= Duration::from_micros(9_330));
+        assert!(h.max() <= Duration::from_micros(10_100));
     }
 
     #[test]

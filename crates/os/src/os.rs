@@ -15,6 +15,7 @@ use crate::kernel::KernelImage;
 use crate::state::SavedKernelState;
 use flicker_machine::{Machine, MachineConfig, MachineError, MachineResult, SimClock};
 use flicker_tpm::{AikCertificate, PcrSelection, PrivacyCa, TpmQuote, TpmResult};
+use flicker_trace::Trace;
 
 /// Configuration for the OS simulator.
 #[derive(Debug, Clone)]
@@ -108,6 +109,18 @@ impl Os {
         self.machine.clock()
     }
 
+    /// Installs a trace recorder across the whole platform (delegates to
+    /// [`Machine::set_tracer`]); OS-level lifecycle events (`os.*` counters,
+    /// tqd quote latency) record into the same trace.
+    pub fn set_tracer(&mut self, tracer: Trace) {
+        self.machine.set_tracer(tracer);
+    }
+
+    /// Removes any installed trace recorder.
+    pub fn clear_tracer(&mut self) {
+        self.machine.clear_tracer();
+    }
+
     /// The kernel image.
     pub fn kernel(&self) -> &KernelImage {
         &self.kernel
@@ -133,6 +146,9 @@ impl Os {
             self.machine.cpus_mut().send_init_ipi(id)?;
         }
         self.saved = Some(SavedKernelState::typical());
+        if let Some(t) = self.machine.tracer() {
+            t.counter_add("os.suspend", 1);
+        }
         Ok(())
     }
 
@@ -150,6 +166,9 @@ impl Os {
         // flicker-module's remaining work (restore execution state,
         // re-enable interrupts) is represented by the machine-level resume
         // the session driver performed. Nothing further to model.
+        if let Some(t) = self.machine.tracer() {
+            t.counter_add("os.resume", 1);
+        }
         Ok(())
     }
 
@@ -163,6 +182,9 @@ impl Os {
         self.machine.power_cycle();
         self.saved = None;
         self.sync_kernel_to_memory();
+        if let Some(t) = self.machine.tracer() {
+            t.counter_add("os.reboot_after_power_loss", 1);
+        }
     }
 
     // ----- tqd: the TPM quote daemon (paper §6) -----------------------------
@@ -194,9 +216,13 @@ impl Os {
     pub fn tqd_quote(&mut self, nonce: [u8; 20], selection: &PcrSelection) -> TpmResult<TpmQuote> {
         let (handle, _) = *self.aik.as_ref().ok_or(flicker_tpm::TpmError::NoSrk)?;
         let sel = selection.clone();
+        let t0 = self.machine.clock().now();
         let quote = self
             .machine
             .tpm_op_retrying(move |tpm| tpm.quote(handle, nonce, &sel))?;
+        if let Some(t) = self.machine.tracer() {
+            t.observe("os.tqd_quote", self.machine.clock().now() - t0);
+        }
         // A power cut that lands while the command is in flight takes the
         // answer with it.
         if self.machine.power_lost() {
@@ -302,6 +328,30 @@ mod tests {
         assert!(q.verify(&cert.aik_public, &nonce).is_ok());
         // PCR 17 is -1: no late launch has happened.
         assert_eq!(q.pcr_value(17).unwrap(), &[0xFF; 20]);
+    }
+
+    #[test]
+    fn tracer_records_lifecycle_and_quote_latency() {
+        let mut os = os(9);
+        let trace = Trace::default();
+        os.set_tracer(trace.clone());
+
+        os.suspend_for_session().unwrap();
+        os.resume_after_session().unwrap();
+        assert_eq!(trace.counter("os.suspend"), 1);
+        assert_eq!(trace.counter("os.resume"), 1);
+
+        let mut ca = privacy_ca(62);
+        os.provision_attestation(&mut ca, "traced").unwrap();
+        os.tqd_quote([0; 20], &PcrSelection::pcr17()).unwrap();
+        let h = trace.histogram("os.tqd_quote").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), os.machine().tpm().timing().quote);
+        // The quote's TPM command also landed in the per-ordinal histogram.
+        assert_eq!(trace.histogram("tpm.TPM_Quote").unwrap().count(), 1);
+
+        os.reboot_after_power_loss();
+        assert_eq!(trace.counter("os.reboot_after_power_loss"), 1);
     }
 
     #[test]

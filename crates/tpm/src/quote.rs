@@ -29,7 +29,9 @@ pub struct TpmQuote {
     pub signature: Vec<u8>,
 }
 
-/// Serializes TPM_QUOTE_INFO: tag ‖ version ‖ composite digest ‖ nonce.
+/// Serializes TPM_QUOTE_INFO: version ‖ tag ‖ composite digest ‖ nonce —
+/// the TPM 1.2 field order (TPM_STRUCT_VER comes first; the `QUOT` fixed
+/// tag follows it).
 fn quote_info(composite: &[u8; 20], nonce: &[u8; 20]) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + 4 + 20 + 20);
     out.extend_from_slice(&QUOTE_VERSION);
@@ -106,6 +108,24 @@ mod tests {
         let sel = PcrSelection::new(&[17, 18]).unwrap();
         let values = vec![[1u8; 20], [2u8; 20]];
         sign_quote(aik, sel, values, [9; 20]).unwrap()
+    }
+
+    #[test]
+    fn quote_info_layout_golden() {
+        // Byte-level pin of the TPM 1.2 TPM_QUOTE_INFO serialization:
+        // TPM_STRUCT_VER (1.1.0.0) ‖ "QUOT" ‖ composite ‖ nonce. The
+        // version precedes the tag; a reordering would silently break
+        // interop with real verifiers.
+        let composite = [0xAA; 20];
+        let nonce = [0xBB; 20];
+        let info = quote_info(&composite, &nonce);
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&[1, 1, 0, 0]);
+        expected.extend_from_slice(b"QUOT");
+        expected.extend_from_slice(&[0xAA; 20]);
+        expected.extend_from_slice(&[0xBB; 20]);
+        assert_eq!(info, expected);
+        assert_eq!(info.len(), 48);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use flicker_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use flicker_crypto::sha1::{sha1, Sha1};
 use flicker_crypto::HmacDrbg;
 use flicker_faults::FaultInjector;
+use flicker_trace::Trace;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -79,6 +80,7 @@ pub struct Tpm {
     next_session_handle: u32,
     elapsed: Duration,
     injector: Option<FaultInjector>,
+    tracer: Option<Trace>,
 }
 
 impl Tpm {
@@ -106,6 +108,7 @@ impl Tpm {
             next_session_handle: 0x0200_0000,
             elapsed: Duration::ZERO,
             injector: None,
+            tracer: None,
         }
     }
 
@@ -148,6 +151,30 @@ impl Tpm {
         self.elapsed += d;
     }
 
+    /// Charges `d` and records it as a latency observation for `ordinal`
+    /// (the command's spec name, prefixed `tpm.`) when a tracer is
+    /// installed. Every ordinal-gated command funnels its cost through
+    /// here, so a trace sees the complete per-command latency picture.
+    fn charge_traced(&mut self, ordinal: &'static str, d: Duration) {
+        self.elapsed += d;
+        if let Some(t) = &self.tracer {
+            t.observe(ordinal, d);
+        }
+    }
+
+    // ----- tracing --------------------------------------------------------
+
+    /// Installs a trace recorder; subsequent commands record per-ordinal
+    /// latency observations into it.
+    pub fn set_tracer(&mut self, tracer: Trace) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes any installed trace recorder.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
     // ----- fault injection ------------------------------------------------
 
     /// Installs a fault injector; subsequent commands consult its gates.
@@ -168,6 +195,9 @@ impl Tpm {
             if inj.tpm_command_gate(command) {
                 let cost = self.config.timing.pcr_read;
                 self.charge(cost);
+                if let Some(t) = &self.tracer {
+                    t.counter_add("tpm.busy", 1);
+                }
                 return Err(TpmError::Retry);
             }
         }
@@ -200,7 +230,7 @@ impl Tpm {
         self.next_aik_handle += 1;
         self.aiks.insert(handle, TpmKey { private: aik });
         let load_cost = self.config.timing.load_key;
-        self.charge(load_cost);
+        self.charge_traced("tpm.TPM_MakeIdentity", load_cost);
         Ok((handle, cert))
     }
 
@@ -218,7 +248,7 @@ impl Tpm {
     pub fn pcr_read(&mut self, index: u32) -> TpmResult<PcrValue> {
         self.gate("TPM_PCRRead")?;
         let cost = self.config.timing.pcr_read;
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_PCRRead", cost);
         self.pcrs.read(index)
     }
 
@@ -226,7 +256,7 @@ impl Tpm {
     pub fn pcr_extend(&mut self, index: u32, measurement: &[u8; 20]) -> TpmResult<PcrValue> {
         self.gate("TPM_Extend")?;
         let cost = self.config.timing.pcr_extend;
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_Extend", cost);
         self.pcrs.extend(index, measurement)
     }
 
@@ -263,7 +293,7 @@ impl Tpm {
     /// `TPM_GetRandom`.
     pub fn get_random(&mut self, n: usize) -> Vec<u8> {
         let cost = self.config.timing.get_random(n);
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_GetRandom", cost);
         let mut out = vec![0u8; n];
         self.drbg.generate(&mut out);
         out
@@ -393,7 +423,7 @@ impl Tpm {
             .storage_root
             .seal(data, selection, digest, blob_auth, nonce);
         let cost = self.config.timing.seal;
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_Seal", cost);
         Ok(blob)
     }
 
@@ -405,7 +435,7 @@ impl Tpm {
             return Err(TpmError::NoSrk);
         }
         let cost = self.config.timing.unseal;
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_Unseal", cost);
         let (selection, digest_at_release, blob_auth, data) = self.storage_root.open(blob)?;
         let param_digest = Self::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
         self.verify_auth(&blob_auth, &param_digest, auth)?;
@@ -456,7 +486,7 @@ impl Tpm {
         let q = sign_quote(&aik.private, selection.clone(), values, nonce)
             .map_err(|_| TpmError::BadParameter("quote signing failed"))?;
         let cost = self.config.timing.quote;
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_Quote", cost);
         Ok(q)
     }
 
@@ -476,7 +506,7 @@ impl Tpm {
         }
         self.nv.define(index, size, policy);
         let cost = self.config.timing.nv_op;
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_NV_DefineSpace", cost);
         Ok(())
     }
 
@@ -484,7 +514,7 @@ impl Tpm {
     pub fn nv_read(&mut self, index: u32) -> TpmResult<Vec<u8>> {
         self.gate("TPM_NV_ReadValue")?;
         let cost = self.config.timing.nv_op;
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_NV_ReadValue", cost);
         self.nv.read(index, &self.pcrs)
     }
 
@@ -496,7 +526,7 @@ impl Tpm {
     pub fn nv_write(&mut self, index: u32, offset: usize, data: &[u8]) -> TpmResult<()> {
         self.gate("TPM_NV_WriteValue")?;
         let cost = self.config.timing.nv_op;
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_NV_WriteValue", cost);
         if let Some(keep) = self
             .injector
             .as_ref()
@@ -518,7 +548,7 @@ impl Tpm {
     /// `TPM_CreateCounter`.
     pub fn create_counter(&mut self) -> (u32, u64) {
         let cost = self.config.timing.counter_op;
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_CreateCounter", cost);
         self.counters.create()
     }
 
@@ -526,7 +556,7 @@ impl Tpm {
     pub fn increment_counter(&mut self, id: u32) -> TpmResult<u64> {
         self.gate("TPM_IncrementCounter")?;
         let cost = self.config.timing.counter_op;
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_IncrementCounter", cost);
         self.counters.increment(id)
     }
 
@@ -534,7 +564,7 @@ impl Tpm {
     pub fn read_counter(&mut self, id: u32) -> TpmResult<u64> {
         self.gate("TPM_ReadCounter")?;
         let cost = self.config.timing.counter_op;
-        self.charge(cost);
+        self.charge_traced("tpm.TPM_ReadCounter", cost);
         self.counters.read(id)
     }
 
@@ -820,6 +850,50 @@ mod tests {
         t.take_elapsed();
         t.pcr_extend(17, &[0; 20]).unwrap();
         assert_eq!(t.take_elapsed(), t.timing().pcr_extend);
+    }
+
+    #[test]
+    fn tracer_records_per_ordinal_latency() {
+        let mut t = tpm();
+        let trace = flicker_trace::Trace::new();
+        t.set_tracer(trace.clone());
+        t.pcr_extend(17, &[0; 20]).unwrap();
+        t.pcr_extend(17, &[1; 20]).unwrap();
+        t.pcr_read(17).unwrap();
+
+        let extend = trace.histogram("tpm.TPM_Extend").expect("extend traced");
+        assert_eq!(extend.count(), 2);
+        assert_eq!(extend.max(), t.timing().pcr_extend);
+        let read = trace.histogram("tpm.TPM_PCRRead").expect("read traced");
+        assert_eq!(read.count(), 1);
+        assert!(trace.histogram("tpm.TPM_Seal").is_none());
+
+        t.clear_tracer();
+        t.pcr_read(17).unwrap();
+        assert_eq!(
+            trace.histogram("tpm.TPM_PCRRead").unwrap().count(),
+            1,
+            "cleared tracer records nothing"
+        );
+    }
+
+    #[test]
+    fn tracer_counts_busy_responses() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut t = tpm();
+        let trace = flicker_trace::Trace::new();
+        t.set_tracer(trace.clone());
+        t.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::TpmTransient {
+            skip: 0,
+            failures: 2,
+        })));
+        assert_eq!(t.pcr_read(17), Err(TpmError::Retry));
+        assert_eq!(t.pcr_read(17), Err(TpmError::Retry));
+        t.pcr_read(17).unwrap();
+        assert_eq!(trace.counter("tpm.busy"), 2);
+        // Busy responses are not command completions: only the successful
+        // read lands in the latency histogram.
+        assert_eq!(trace.histogram("tpm.TPM_PCRRead").unwrap().count(), 1);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Log-bucketed duration histograms on the virtual clock.
+//!
+//! The recorder must stay cheap enough to leave enabled on the hot path, so
+//! a histogram is a fixed array of counts — no per-sample allocation, no
+//! sorted sample vector. Buckets are HDR-style: each power-of-two octave of
+//! nanoseconds is split into [`SUBBUCKETS`] linear sub-buckets, giving a
+//! worst-case relative quantile error of `1/SUBBUCKETS` (~6 %) across the
+//! full nanosecond-to-hours range. Exact `min`/`max`/`sum`/`count` are kept
+//! alongside so the extremes and the mean are precise.
+
+use std::time::Duration;
+
+/// Sub-buckets per power-of-two octave (must be a power of two).
+pub const SUBBUCKETS: u64 = 16;
+const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros();
+/// Enough buckets to index any u64 nanosecond value.
+const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUBBUCKETS as usize;
+
+/// Bucket index for a nanosecond value (monotone in `ns`).
+fn bucket_index(ns: u64) -> usize {
+    if ns < SUBBUCKETS {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let base = (((msb - SUB_BITS) as u64 + 1) << SUB_BITS) as usize;
+    base + ((ns >> shift) - SUBBUCKETS) as usize
+}
+
+/// Inclusive lower bound of a bucket's value range.
+fn bucket_low(index: usize) -> u64 {
+    let i = index as u64;
+    if i < SUBBUCKETS {
+        return i;
+    }
+    let octave = (i >> SUB_BITS) - 1;
+    let within = i & (SUBBUCKETS - 1);
+    (SUBBUCKETS + within) << octave
+}
+
+/// A fixed-size duration histogram with exact count/sum/min/max.
+#[derive(Clone)]
+pub struct DurationHistogram {
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram {
+            buckets: Box::new([0u64; NUM_BUCKETS]),
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl DurationHistogram {
+    /// Records one sample.
+    pub fn observe(&mut self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest sample (`Duration::ZERO` when empty).
+    pub fn min(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Exact largest sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Exact arithmetic mean (`Duration::ZERO` when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.count as u128) as u64)
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`: the midpoint of the bucket
+    /// holding the sample of that rank, clamped to the exact min/max.
+    /// Returns `Duration::ZERO` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen >= rank {
+                let low = bucket_low(i);
+                let high = bucket_low(i + 1);
+                let mid = (low + high) / 2;
+                return Duration::from_nanos(mid.clamp(self.min_ns, self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// The p50 / p95 / p99 triple used by the perf baseline.
+    pub fn percentiles(&self) -> (Duration, Duration, Duration) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+impl std::fmt::Debug for DurationHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurationHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("mean", &self.mean())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        let mut last = 0usize;
+        for ns in 0..10_000u64 {
+            let i = bucket_index(ns);
+            assert!(i >= last, "index not monotone at {ns}");
+            assert!(i - last <= 1, "index jumps at {ns}");
+            last = i;
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_low_inverts_index() {
+        for ns in [0u64, 1, 15, 16, 17, 1000, 123_456, u64::MAX / 2] {
+            let i = bucket_index(ns);
+            assert!(bucket_low(i) <= ns, "low({i}) > {ns}");
+            assert!(bucket_low(i + 1) > ns, "low({}) <= {ns}", i + 1);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = DurationHistogram::default();
+        for ns in 0..16u64 {
+            h.observe(Duration::from_nanos(ns));
+        }
+        assert_eq!(h.quantile(0.0), Duration::from_nanos(0));
+        assert_eq!(h.max(), Duration::from_nanos(15));
+    }
+
+    #[test]
+    fn quantiles_of_uniform_samples_are_close() {
+        let mut h = DurationHistogram::default();
+        for us in 1..=1000u64 {
+            h.observe(Duration::from_micros(us));
+        }
+        let p50 = h.quantile(0.50).as_secs_f64();
+        let p95 = h.quantile(0.95).as_secs_f64();
+        let p99 = h.quantile(0.99).as_secs_f64();
+        assert!((p50 - 500e-6).abs() / 500e-6 < 0.07, "p50 {p50}");
+        assert!((p95 - 950e-6).abs() / 950e-6 < 0.07, "p95 {p95}");
+        assert!((p99 - 990e-6).abs() / 990e-6 < 0.07, "p99 {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn exact_stats() {
+        let mut h = DurationHistogram::default();
+        h.observe(Duration::from_millis(10));
+        h.observe(Duration::from_millis(20));
+        h.observe(Duration::from_millis(60));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Duration::from_millis(10));
+        assert_eq!(h.max(), Duration::from_millis(60));
+        assert_eq!(h.mean(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = DurationHistogram::default();
+        let mut b = DurationHistogram::default();
+        a.observe(Duration::from_millis(1));
+        b.observe(Duration::from_millis(9));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Duration::from_millis(1));
+        assert_eq!(a.max(), Duration::from_millis(9));
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = DurationHistogram::default();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantile_clamped_to_observed_range() {
+        let mut h = DurationHistogram::default();
+        h.observe(Duration::from_nanos(1_000_003));
+        let q = h.quantile(0.5);
+        assert_eq!(q, Duration::from_nanos(1_000_003), "single sample exact");
+    }
+}

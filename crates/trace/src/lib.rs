@@ -1,0 +1,323 @@
+//! Structured trace recorder for the Flicker reproduction.
+//!
+//! The simulator runs on a virtual clock (`SimClock` in `flicker-machine`),
+//! so this crate deliberately knows nothing about clocks: every recording
+//! call takes an explicit [`Duration`] timestamp ("virtual nanoseconds since
+//! boot"). That keeps `flicker-trace` dependency-free and lets it sit below
+//! every other crate in the workspace.
+//!
+//! Three primitives, mirroring what the perf-baseline harness consumes:
+//!
+//! * **Spans** — named intervals with nesting ([`Trace::span_start`] /
+//!   [`Trace::span_end`]). `run_session` opens one span per Figure-2 phase.
+//! * **Counters** — saturating named totals ([`Trace::counter_add`]), e.g.
+//!   `tpm.retry` or `mem.zeroize_bytes`.
+//! * **Observations** — named duration samples ([`Trace::observe`]) folded
+//!   into a log-bucketed [`DurationHistogram`], e.g. per-TPM-ordinal command
+//!   latency or net RTTs.
+//!
+//! A [`Trace`] is a cheap cloneable handle (`Rc<RefCell<..>>`, `!Send` like
+//! the rest of the simulator); every component that wants to record clones
+//! the same handle, mirroring how the fault injector is threaded through.
+
+mod hist;
+
+pub use hist::DurationHistogram;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Identifies a span within one [`Trace`]; returned by [`Trace::span_start`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(usize);
+
+/// A completed (or still-open) named interval.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Static span name, e.g. `"phase.skinit"`.
+    pub name: &'static str,
+    /// Virtual time at which the span was opened.
+    pub start: Duration,
+    /// `Some(end - start)` once closed, `None` while open.
+    pub duration: Option<Duration>,
+    /// Nesting depth: 0 for a root span.
+    pub depth: usize,
+    /// The enclosing span, if any.
+    pub parent: Option<SpanId>,
+}
+
+/// One logged PAL/session operation: a typed replacement for the old
+/// `(&'static str, Duration)` tuples in `op_log`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpEvent {
+    /// Operation name, e.g. `"seal"` or `"rsa1024_sign"`.
+    pub name: &'static str,
+    /// Virtual time at which the operation started.
+    pub at: Duration,
+    /// How long the operation took on the virtual clock.
+    pub duration: Duration,
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: Vec<Span>,
+    open: Vec<SpanId>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, DurationHistogram>,
+}
+
+/// Cloneable recorder handle. All clones share the same buffers.
+#[derive(Clone, Default)]
+pub struct Trace {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Opens a span at virtual time `now`, nested under the innermost open
+    /// span (if any).
+    pub fn span_start(&self, name: &'static str, now: Duration) -> SpanId {
+        let mut inner = self.inner.borrow_mut();
+        let parent = inner.open.last().copied();
+        let depth = inner.open.len();
+        let id = SpanId(inner.spans.len());
+        inner.spans.push(Span {
+            name,
+            start: now,
+            duration: None,
+            depth,
+            parent,
+        });
+        inner.open.push(id);
+        id
+    }
+
+    /// Closes `id` at virtual time `now`. Any spans opened after `id` that
+    /// are still open are closed with it (a span cannot outlive its parent).
+    /// Closing an already-closed span is a no-op.
+    pub fn span_end(&self, id: SpanId, now: Duration) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(pos) = inner.open.iter().position(|&o| o == id) else {
+            return;
+        };
+        for open_id in inner.open.split_off(pos) {
+            let span = &mut inner.spans[open_id.0];
+            span.duration = Some(now.saturating_sub(span.start));
+        }
+    }
+
+    /// Records a fully-formed span in one call (used when start and end are
+    /// both known, e.g. when converting a stopwatch measurement).
+    pub fn span_closed(&self, name: &'static str, start: Duration, duration: Duration) {
+        let mut inner = self.inner.borrow_mut();
+        let parent = inner.open.last().copied();
+        let depth = inner.open.len();
+        inner.spans.push(Span {
+            name,
+            start,
+            duration: Some(duration),
+            depth,
+            parent,
+        });
+    }
+
+    /// Adds to a named counter, saturating at `u64::MAX`.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let c = inner.counters.entry(name).or_insert(0);
+        *c = c.saturating_add(delta);
+    }
+
+    /// Records a duration sample into the named histogram.
+    pub fn observe(&self, name: &'static str, sample: Duration) {
+        let mut inner = self.inner.borrow_mut();
+        inner.histograms.entry(name).or_default().observe(sample);
+    }
+
+    /// Snapshot of all spans in creation order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.borrow().spans.clone()
+    }
+
+    /// Completed spans with the given name, in creation order.
+    pub fn spans_named(&self, name: &str) -> Vec<Span> {
+        self.inner
+            .borrow()
+            .spans
+            .iter()
+            .filter(|s| s.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.inner
+            .borrow()
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Clone of the named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<DurationHistogram> {
+        self.inner.borrow().histograms.get(name).cloned()
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(&'static str, DurationHistogram)> {
+        self.inner
+            .borrow()
+            .histograms
+            .iter()
+            .map(|(&k, v)| (k, v.clone()))
+            .collect()
+    }
+
+    /// Discards all recorded data, keeping the handle (and its clones) live.
+    pub fn reset(&self) {
+        *self.inner.borrow_mut() = Inner::default();
+    }
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Trace")
+            .field("spans", &inner.spans.len())
+            .field("open", &inner.open.len())
+            .field("counters", &inner.counters.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn span_nesting_tracks_depth_and_parent() {
+        let t = Trace::new();
+        let outer = t.span_start("outer", us(0));
+        let inner = t.span_start("inner", us(10));
+        t.span_end(inner, us(25));
+        t.span_end(outer, us(40));
+
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].duration, Some(us(40)));
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].parent, Some(outer));
+        assert_eq!(spans[1].duration, Some(us(15)));
+    }
+
+    #[test]
+    fn closing_parent_closes_dangling_children() {
+        let t = Trace::new();
+        let outer = t.span_start("outer", us(0));
+        let _inner = t.span_start("inner", us(5));
+        t.span_end(outer, us(20));
+        let spans = t.spans();
+        assert_eq!(spans[1].duration, Some(us(15)), "child closed with parent");
+        assert_eq!(spans[0].duration, Some(us(20)));
+    }
+
+    #[test]
+    fn double_close_is_noop() {
+        let t = Trace::new();
+        let s = t.span_start("s", us(0));
+        t.span_end(s, us(10));
+        t.span_end(s, us(99));
+        assert_eq!(t.spans()[0].duration, Some(us(10)));
+    }
+
+    #[test]
+    fn sibling_spans_share_depth() {
+        let t = Trace::new();
+        let a = t.span_start("a", us(0));
+        t.span_end(a, us(1));
+        let b = t.span_start("b", us(1));
+        t.span_end(b, us(2));
+        let spans = t.spans();
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[1].parent, None);
+    }
+
+    #[test]
+    fn span_closed_records_under_open_parent() {
+        let t = Trace::new();
+        let outer = t.span_start("outer", us(0));
+        t.span_closed("leaf", us(3), us(4));
+        t.span_end(outer, us(10));
+        let spans = t.spans();
+        assert_eq!(spans[1].parent, Some(outer));
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].duration, Some(us(4)));
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let t = Trace::new();
+        t.counter_add("c", u64::MAX - 1);
+        t.counter_add("c", 5);
+        assert_eq!(t.counter("c"), u64::MAX);
+        assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn observations_build_histograms() {
+        let t = Trace::new();
+        for ms in [1u64, 2, 3, 4, 100] {
+            t.observe("tpm.TPM_Seal", Duration::from_millis(ms));
+        }
+        let h = t.histogram("tpm.TPM_Seal").expect("histogram exists");
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), Duration::from_millis(100));
+        assert!(t.histogram("tpm.TPM_Quote").is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Trace::new();
+        let b = a.clone();
+        b.counter_add("shared", 2);
+        assert_eq!(a.counter("shared"), 2);
+        let s = a.span_start("s", us(0));
+        b.span_end(s, us(7));
+        assert_eq!(a.spans()[0].duration, Some(us(7)));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = Trace::new();
+        t.counter_add("c", 1);
+        t.span_start("s", us(0));
+        t.observe("h", us(1));
+        t.reset();
+        assert!(t.spans().is_empty());
+        assert_eq!(t.counter("c"), 0);
+        assert!(t.histogram("h").is_none());
+    }
+}

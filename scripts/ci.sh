@@ -10,3 +10,9 @@ cargo test --workspace -q
 # Deterministic robustness gate: 200 seeded fault schedules across the §6
 # applications; exits non-zero on any violation.
 cargo run --release -p flicker-bench --bin fault_sweep -- --seed 0 --schedules 200
+# Perf-baseline gate: a quick traced run must still produce a schema-valid
+# report (written under target/ so the committed full-run artifact is never
+# clobbered), and the committed artifact must itself stay valid.
+cargo run --release -p flicker-bench --bin perf_baseline -- --quick --out target/BENCH_perf_baseline_quick.json
+cargo run --release -p flicker-bench --bin perf_baseline -- --check target/BENCH_perf_baseline_quick.json
+cargo run --release -p flicker-bench --bin perf_baseline -- --check BENCH_perf_baseline.json
