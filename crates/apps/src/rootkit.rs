@@ -63,6 +63,22 @@ pub fn detector_slb() -> SlbImage {
     .expect("detector SLB builds")
 }
 
+/// Builds the detector as pure measured bytecode (`progs::kernel_hasher`):
+/// the verified-by-construction variant, where the SKINIT-hashed bytes
+/// *are* the behaviour and the static verifier has proven them memory-safe,
+/// terminating, and leak-free before launch. Still no OS protection — the
+/// detector's whole job is reading kernel memory.
+pub fn detector_slb_bytecode() -> SlbImage {
+    SlbImage::build(
+        PalPayload::Bytecode(flicker_palvm::progs::kernel_hasher()),
+        SlbOptions {
+            os_protection: false,
+            ..Default::default()
+        },
+    )
+    .expect("bytecode detector SLB builds and verifies")
+}
+
 /// Result of one remote detection query.
 #[derive(Debug, Clone)]
 pub struct DetectionReport {
@@ -118,6 +134,28 @@ impl Administrator {
     /// Returns an error if the *attestation* fails (a compromised host can
     /// always refuse or garble; it cannot fake cleanliness).
     pub fn query(&mut self, os: &mut Os, cert: &AikCertificate) -> FlickerResult<DetectionReport> {
+        self.query_with(os, cert, &detector_slb())
+    }
+
+    /// Like [`Administrator::query`], but launches the statically verified
+    /// bytecode detector ([`detector_slb_bytecode`]) instead of the native
+    /// one. The attested PCR 17 chain then covers bytecode whose memory
+    /// safety, termination, and output discipline were proven before
+    /// SKINIT ever ran.
+    pub fn query_bytecode(
+        &mut self,
+        os: &mut Os,
+        cert: &AikCertificate,
+    ) -> FlickerResult<DetectionReport> {
+        self.query_with(os, cert, &detector_slb_bytecode())
+    }
+
+    fn query_with(
+        &mut self,
+        os: &mut Os,
+        cert: &AikCertificate,
+        slb: &SlbImage,
+    ) -> FlickerResult<DetectionReport> {
         let clock = os.clock();
         let start = clock.now();
 
@@ -130,7 +168,6 @@ impl Administrator {
         let mut inputs = Vec::with_capacity(16);
         inputs.extend_from_slice(&kbase.to_le_bytes());
         inputs.extend_from_slice(&(klen as u64).to_le_bytes());
-        let slb = detector_slb();
         let params = SessionParams {
             inputs: inputs.clone(),
             nonce,
@@ -139,7 +176,7 @@ impl Administrator {
             use_hashing_stub: true,
             ..Default::default()
         };
-        let session = run_session(os, &slb, &params)?;
+        let session = run_session(os, slb, &params)?;
         session.pal_result.clone().map_err(FlickerError::PalFault)?;
 
         // tqd quotes PCR 17 (the dominant cost: ~972.7 ms on Broadcom).
@@ -160,7 +197,7 @@ impl Administrator {
             .try_into()
             .map_err(|_| FlickerError::Protocol("bad detector output"))?;
         let expected = ExpectedSession {
-            slb: &slb,
+            slb,
             slb_base: params.slb_base,
             inputs: &params.inputs,
             outputs: &session.outputs,
@@ -267,6 +304,43 @@ mod tests {
         assert!(report.quote_time >= Duration::from_millis(970));
         assert!(report.query_latency > report.quote_time);
         assert!(report.query_latency < Duration::from_millis(1100));
+    }
+
+    #[test]
+    fn shipped_bytecode_pals_verify_clean() {
+        // Every bytecode PAL the application suite ships must pass the
+        // static verifier — `SlbImage::build` enforces this, but assert it
+        // directly so a regression names the failing check.
+        let verdict = flicker_verifier::verify_program(&flicker_palvm::progs::kernel_hasher());
+        assert!(verdict.is_ok(), "{}", verdict.report());
+        // And the builder path agrees (would panic on a rejected program).
+        let _ = detector_slb_bytecode();
+    }
+
+    #[test]
+    fn bytecode_detector_reports_clean_and_detects_hooks() {
+        // The statically verified bytecode detector is a drop-in for the
+        // native one: same inputs, same PCR 17 extend, same digest output.
+        let (mut os, cert, mut admin) = setup(48);
+        let report = admin.query_bytecode(&mut os, &cert).unwrap();
+        assert!(report.clean);
+        assert_eq!(report.kernel_hash, known_good_hash(&os));
+
+        os.kernel_mut().hook_syscall(59, 0xEE11);
+        os.sync_kernel_to_memory();
+        let report = admin.query_bytecode(&mut os, &cert).unwrap();
+        assert!(!report.clean, "bytecode detector must see the hook too");
+    }
+
+    #[test]
+    fn bytecode_detector_agrees_with_native_detector() {
+        let (mut os, cert, mut admin) = setup(49);
+        os.kernel_mut().inject_module("adore-ng", vec![0x90; 2048]);
+        os.sync_kernel_to_memory();
+        let native = admin.query(&mut os, &cert).unwrap();
+        let bytecode = admin.query_bytecode(&mut os, &cert).unwrap();
+        assert_eq!(native.kernel_hash, bytecode.kernel_hash);
+        assert!(!native.clean && !bytecode.clean);
     }
 
     #[test]

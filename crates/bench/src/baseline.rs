@@ -112,9 +112,23 @@ fn run_rootkit(trace: &Trace, iterations: usize) {
     link.set_tracer(trace.clone());
     let known_good = known_good_hash(&os);
     let mut admin = Administrator::new(ca_public, known_good, link);
-    for _ in 0..iterations {
+    for i in 0..iterations {
         timed_iteration(trace, "app.rootkit", &mut os, |os| {
-            let report = admin.query(os, &cert).expect("rootkit query");
+            // Alternate native / verified-bytecode detectors so the
+            // baseline also covers PalVM sessions end to end.
+            let report = if i.is_multiple_of(2) {
+                admin.query(os, &cert)
+            } else {
+                admin.query_bytecode(os, &cert)
+            }
+            .unwrap_or_else(|e| {
+                let msg = e.to_string();
+                assert!(
+                    !crate::vm_safety_fault(&msg),
+                    "verified session hit a VM safety fault: {msg}"
+                );
+                panic!("rootkit query failed: {msg}");
+            });
             assert!(report.clean, "pristine kernel reported compromised");
         });
     }

@@ -60,23 +60,33 @@ pub enum Outcome {
 /// One schedule's result.
 #[derive(Debug, Clone)]
 pub struct ScheduleResult {
+    /// The schedule's fault-plan seed.
     pub seed: u64,
+    /// Which application scenario ran.
     pub app: &'static str,
+    /// How the schedule ended.
     pub outcome: Outcome,
+    /// Faults the plan actually fired.
     pub faults: FaultCounts,
 }
 
 /// The whole sweep's results plus aggregate counts.
 #[derive(Debug, Clone, Default)]
 pub struct SweepReport {
+    /// Every schedule's individual result.
     pub results: Vec<ScheduleResult>,
+    /// Schedules that completed with no fault landing.
     pub survived: usize,
+    /// Schedules that hit faults and recovered correctly.
     pub recovered: usize,
+    /// Schedules that broke the robustness contract.
     pub violations: usize,
+    /// Total faults fired across the sweep.
     pub faults_fired: u64,
 }
 
 impl SweepReport {
+    /// The schedules that broke the contract (for failure reports).
     pub fn violating(&self) -> impl Iterator<Item = &ScheduleResult> {
         self.results
             .iter()
@@ -138,6 +148,7 @@ pub fn run_schedule(seed: u64) -> ScheduleResult {
             link,
             cert.as_ref().expect("provisioned"),
             ca_public.clone().expect("provisioned"),
+            seed,
         ),
         "ssh" => ssh_trial(
             &mut os,
@@ -203,6 +214,12 @@ fn classify(
     }
     match result {
         Ok(()) => Outcome::Survived,
+        // Injected faults may abort a protocol, but a *verified* bytecode
+        // session ending in a VM safety fault means the static verifier's
+        // soundness contract broke — never an acceptable recovery.
+        Err(e) if crate::vm_safety_fault(&e) => {
+            Outcome::Violation(format!("verified session hit a VM safety fault: {e}"))
+        }
         Err(e) => Outcome::Recovered(e),
     }
 }
@@ -239,10 +256,18 @@ fn rootkit_trial(
     link: NetLink,
     cert: &AikCertificate,
     ca_public: RsaPublicKey,
+    seed: u64,
 ) -> Result<(), String> {
     let known_good = known_good_hash(os);
     let mut admin = Administrator::new(ca_public, known_good, link);
-    let report = admin.query(os, cert).map_err(|e| e.to_string())?;
+    // Alternate between the native detector and the statically verified
+    // bytecode one, so the sweep also drives verified PalVM sessions with
+    // faults armed (`classify` escalates any VM safety fault).
+    let report = if seed.is_multiple_of(2) {
+        admin.query(os, cert).map_err(|e| e.to_string())?
+    } else {
+        admin.query_bytecode(os, cert).map_err(|e| e.to_string())?
+    };
     if !report.clean {
         return Err("pristine kernel reported compromised".into());
     }

@@ -12,11 +12,17 @@ use std::fmt::Write as _;
 /// A parsed or to-be-emitted JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// JSON `null`.
     Null,
+    /// JSON boolean.
     Bool(bool),
+    /// JSON number (all numbers are f64 here).
     Number(f64),
+    /// JSON string.
     String(String),
+    /// JSON array.
     Array(Vec<Value>),
+    /// JSON object with sorted keys (deterministic output).
     Object(BTreeMap<String, Value>),
 }
 

@@ -16,6 +16,23 @@ pub mod baseline;
 pub mod faultsweep;
 pub mod json;
 
+/// Whether an error string carries one of PalVM's *safety* fault
+/// signatures — the faults the static verifier proves away. A verified
+/// bytecode session may legitimately run out of fuel or have a hypercall
+/// refused under injected faults, but if one of these four appears, the
+/// verifier (or the VM) is unsound and the harness must fail loudly
+/// rather than classify it as an absorbed fault.
+pub fn vm_safety_fault(err: &str) -> bool {
+    [
+        "memory fault at",
+        "pc out of range:",
+        "illegal instruction at",
+        "ret with empty stack at",
+    ]
+    .iter()
+    .any(|sig| err.contains(sig))
+}
+
 /// RSA modulus size used for TPM-internal keys during evaluation runs.
 ///
 /// The v1.2 spec mandates 2048-bit keys; the evaluation uses 1024-bit ones

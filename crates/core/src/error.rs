@@ -36,6 +36,9 @@ pub enum FlickerError {
     },
     /// A protocol message was malformed.
     Protocol(&'static str),
+    /// The static verifier rejected a bytecode PAL at SLB build time;
+    /// each string is one diagnostic (`[check] insn …: reason`).
+    Verification(Vec<String>),
 }
 
 impl From<MachineError> for FlickerError {
@@ -72,6 +75,17 @@ impl core::fmt::Display for FlickerError {
                 "replay detected: sealed version {sealed_version}, counter {counter}"
             ),
             FlickerError::Protocol(s) => write!(f, "protocol error: {s}"),
+            FlickerError::Verification(diags) => {
+                write!(f, "PAL failed static verification ({} error", diags.len())?;
+                if diags.len() != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -439,6 +439,24 @@ impl flicker_palvm::VmBus for VmBusAdapter<'_, '_> {
                     .map_err(|e| e.to_string())?;
                 self.ctx.write_output(&data).map_err(|e| e.to_string())
             }
+            // 6: unseal the blob at logical [r1, r1+r2) (succeeds only
+            //    when PCR 17 matches its release policy), write the
+            //    plaintext at logical r3, and return its length in r0.
+            //    The verifier treats the plaintext region as tainted:
+            //    secret bytes may only leave through a release point.
+            6 => {
+                let blob_bytes = self
+                    .ctx
+                    .read_logical(regs[1], regs[2])
+                    .map_err(|e| e.to_string())?;
+                let blob = SealedBlob::from_bytes(blob_bytes);
+                let plain = self.ctx.unseal(&blob).map_err(|e| e.to_string())?;
+                self.ctx
+                    .write_logical(regs[3], &plain)
+                    .map_err(|e| e.to_string())?;
+                regs[0] = plain.len() as u32;
+                Ok(())
+            }
             other => Err(format!("unknown hypercall {other}")),
         }
     }

@@ -139,6 +139,8 @@ impl SessionRecord {
 
 /// The Figure-2 phase names under which [`run_session`] opens one trace
 /// span each (in timeline order) when a tracer is installed on the OS.
+/// `phase.verify` only appears for bytecode payloads (there is nothing to
+/// statically verify about a native PAL's identity manifest).
 pub const PHASE_SPAN_NAMES: [&str; 6] = [
     "phase.suspend",
     "phase.skinit",
@@ -147,6 +149,16 @@ pub const PHASE_SPAN_NAMES: [&str; 6] = [
     "phase.cleanup",
     "phase.resume",
 ];
+
+/// Span name for the pre-launch static-verification phase.
+pub const VERIFY_SPAN_NAME: &str = "phase.verify";
+/// Counter bumped when a bytecode payload passes the static verifier.
+pub const VERIFY_ACCEPT_COUNTER: &str = "verify.accept";
+/// Counter bumped when a bytecode payload fails the static verifier
+/// (possible only via `SlbImage::build_unverified`; the session still
+/// runs — the run-time defences are the backstop — but the rejection is
+/// on the record).
+pub const VERIFY_REJECT_COUNTER: &str = "verify.reject";
 
 fn phase_start(tracer: &Option<Trace>, clock: &SimClock, name: &'static str) -> Option<SpanId> {
     tracer.as_ref().map(|t| t.span_start(name, clock.now()))
@@ -263,6 +275,27 @@ pub fn run_session(
     let tracer = os.machine().tracer().cloned();
     let total_sw = Stopwatch::start(&clock);
     let slb_base = params.slb_base;
+
+    // ----- Static verification (observability) ------------------------------
+    // `SlbImage::build` already gates on the verifier; re-running it here
+    // puts the verdict in the session trace, so a sweep over recorded
+    // sessions can assert "no verified PAL ever faulted" — and so images
+    // smuggled in through `build_unverified` are visibly on the record.
+    if let PalPayload::Bytecode(prog) = slb.payload() {
+        let span = phase_start(&tracer, &clock, VERIFY_SPAN_NAME);
+        let verdict = flicker_verifier::verify_program(prog);
+        if let Some(t) = tracer.as_ref() {
+            t.counter_add(
+                if verdict.is_ok() {
+                    VERIFY_ACCEPT_COUNTER
+                } else {
+                    VERIFY_REJECT_COUNTER
+                },
+                1,
+            );
+        }
+        phase_end(&tracer, &clock, span);
+    }
 
     // ----- Accept SLB + inputs; initialize (patch) the SLB ------------------
     // (flicker-module, untrusted). The OS is still running here, so a

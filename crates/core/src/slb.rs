@@ -145,8 +145,31 @@ pub struct SlbImage {
 impl SlbImage {
     /// Builds an SLB from a PAL payload.
     ///
+    /// Bytecode payloads are statically verified first (memory bounds,
+    /// termination, hypercall discipline, stack hygiene — see
+    /// `flicker-verifier`); a rejected program never reaches SKINIT.
+    /// Native payloads carry only an identity manifest, so there is
+    /// nothing to analyze — their containment is the OS-Protection
+    /// module's job at run time.
+    ///
     /// Layout: `[len:u16][entry:u16][patch slot][SLB core code][PAL]`.
     pub fn build(payload: PalPayload, options: SlbOptions) -> FlickerResult<Self> {
+        if let PalPayload::Bytecode(prog) = &payload {
+            let verdict = flicker_verifier::verify_program(prog);
+            if !verdict.is_ok() {
+                return Err(FlickerError::Verification(
+                    verdict.errors.iter().map(|e| e.to_string()).collect(),
+                ));
+            }
+        }
+        Self::build_unverified(payload, options)
+    }
+
+    /// Builds an SLB *without* static verification — the escape hatch the
+    /// adversarial tests use to get known-bad bytecode past the builder
+    /// and demonstrate that the run-time defences (segment limits, fuel)
+    /// contain it anyway. Production callers should use [`SlbImage::build`].
+    pub fn build_unverified(payload: PalPayload, options: SlbOptions) -> FlickerResult<Self> {
         let pal_bytes = payload.measured_bytes();
         let pal_offset = SLB_CORE_SIZE;
         let total = pal_offset + pal_bytes.len();
@@ -337,6 +360,51 @@ mod tests {
         let code = prog.code.clone();
         let slb = SlbImage::build(PalPayload::Bytecode(prog), SlbOptions::default()).unwrap();
         assert_eq!(&slb.bytes()[slb.pal_offset()..], &code[..]);
+    }
+
+    #[test]
+    fn build_rejects_unverifiable_bytecode() {
+        // The kernel-memory scanner is provably out of the parameter
+        // window; `build` must refuse it with per-check diagnostics.
+        let prog = flicker_palvm::progs::memory_scanner(0x30_0000, 64);
+        let err =
+            SlbImage::build(PalPayload::Bytecode(prog.clone()), SlbOptions::default()).unwrap_err();
+        match err {
+            FlickerError::Verification(diags) => {
+                assert!(!diags.is_empty());
+                assert!(
+                    diags.iter().any(|d| d.contains("memory-bounds")),
+                    "{diags:?}"
+                );
+            }
+            other => panic!("expected Verification, got {other:?}"),
+        }
+        // The escape hatch still builds it, for the adversarial tests.
+        SlbImage::build_unverified(PalPayload::Bytecode(prog), SlbOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn build_accepts_verified_bytecode() {
+        for prog in [
+            flicker_palvm::progs::hello_world(),
+            flicker_palvm::progs::trial_division(),
+            flicker_palvm::progs::kernel_hasher(),
+        ] {
+            SlbImage::build(PalPayload::Bytecode(prog), SlbOptions::default()).unwrap();
+        }
+    }
+
+    #[test]
+    fn verifier_config_matches_slb_layout() {
+        // The verifier's model of the parameter window must agree with
+        // the real layout, or its proofs say nothing about this SLB.
+        let cfg = flicker_verifier::VerifierConfig::default();
+        assert_eq!(u64::from(cfg.inputs_base), INPUTS_OFFSET);
+        assert_eq!(u64::from(cfg.outputs_base), OUTPUTS_OFFSET);
+        assert_eq!(cfg.inputs_max as usize, INPUTS_MAX);
+        assert_eq!(cfg.outputs_max as usize, OUTPUTS_MAX);
+        assert_eq!(u64::from(cfg.window_end), OVERFLOW_OFFSET);
+        assert_eq!(cfg.call_stack_max, flicker_palvm::CALL_STACK_MAX as u32);
     }
 
     #[test]

@@ -167,7 +167,9 @@ fn unprotected_pal_can_read_all_of_memory() {
     let prog = flicker_palvm::progs::memory_scanner(secret_addr as u32, 18);
     let mut os = test_os(24);
     plant_secret(&mut os, secret_addr);
-    let slb = SlbImage::build(
+    // `build_unverified`: the static verifier would reject this scanner,
+    // and the point of the test is the *run-time* danger.
+    let slb = SlbImage::build_unverified(
         PalPayload::Bytecode(prog),
         SlbOptions {
             os_protection: false,
@@ -188,7 +190,10 @@ fn os_protection_contains_the_scanner() {
     let prog = flicker_palvm::progs::memory_scanner(secret_addr as u32, 18);
     let mut os = test_os(25);
     plant_secret(&mut os, secret_addr);
-    let slb = SlbImage::build(PalPayload::Bytecode(prog), SlbOptions::default()).unwrap();
+    // Past the verifier via the escape hatch; the OS-Protection module is
+    // the defence in depth this test exercises.
+    let slb =
+        SlbImage::build_unverified(PalPayload::Bytecode(prog), SlbOptions::default()).unwrap();
     let rec = run_session(&mut os, &slb, &SessionParams::default()).unwrap();
     let err = rec.pal_result.unwrap_err();
     assert!(err.contains("memory fault"), "{err}");

@@ -145,7 +145,9 @@ proptest! {
         FUZZ_OS.with(|cell| {
             let mut os = cell.borrow_mut();
             let prog = encode(&insns);
-            let slb = SlbImage::build(
+            // Fuzzed programs rarely pass the static verifier; the whole
+            // point here is run-time containment of arbitrary bytecode.
+            let slb = SlbImage::build_unverified(
                 PalPayload::Bytecode(prog),
                 SlbOptions {
                     fuel: Some(200_000),

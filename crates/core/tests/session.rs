@@ -278,7 +278,9 @@ fn time_limit_converts_to_fuel_for_bytecode() {
     // 50 000 instructions; an infinite loop hits it and the OS resumes.
     let prog = flicker_palvm::assemble("loop: jmp loop").unwrap();
     let mut os = test_os(18);
-    let slb = SlbImage::build(
+    // The verifier proves termination and would reject this loop; the
+    // escape hatch lets the test exercise the timing backstop.
+    let slb = SlbImage::build_unverified(
         PalPayload::Bytecode(prog),
         SlbOptions {
             time_limit: Some(Duration::from_millis(1)),
@@ -333,7 +335,9 @@ fn native_slb_with_options(
 fn runaway_bytecode_pal_is_bounded_by_fuel() {
     let prog = flicker_palvm::assemble("loop: jmp loop").unwrap();
     let mut os = test_os(13);
-    let slb = SlbImage::build(
+    // Unverified on purpose: fuel is the backstop for exactly the
+    // programs the termination check cannot pass.
+    let slb = SlbImage::build_unverified(
         PalPayload::Bytecode(prog),
         SlbOptions {
             fuel: Some(10_000),
@@ -567,6 +571,110 @@ fn sealed_state_crosses_sessions_of_same_pal() {
         r2.outputs,
         flicker_crypto::sha1::sha1(b"the CA private key")
     );
+}
+
+/// Seals its secret for a *different* future PAL whose post-SKINIT
+/// PCR 17 is carried in this PAL's inputs.
+struct SealerForPal {
+    secret: Vec<u8>,
+}
+impl NativePal for SealerForPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let target: [u8; 20] = ctx.inputs().try_into().expect("20-byte PCR value");
+        let blob = ctx.seal_for_pal(&self.secret, target)?;
+        ctx.write_output(blob.as_bytes())
+    }
+}
+
+#[test]
+fn bytecode_pal_unseals_through_hcall_6() {
+    // §4.3.1 handoff *into measured bytecode*: a native PAL seals a
+    // secret to the bytecode PAL's predicted post-SKINIT PCR 17; the
+    // bytecode PAL unseals it with hypercall 6 and — respecting the
+    // secret-flow discipline the verifier enforces — emits only the
+    // SHA-1 of the plaintext through the hash release point.
+    let src = "
+        mov r1, r14          ; blob = the whole input region
+        mov r2, r12
+        addi r3, r14, 0x800  ; plaintext scratch
+        hcall 6              ; unseal; r0 = plaintext length
+        mov r2, r0
+        mov r1, r3
+        addi r3, r14, 0x700  ; digest scratch (disjoint from plaintext)
+        hcall 2              ; sha1(plaintext) -> digest (release point)
+        mov r1, r3
+        movi r2, 20
+        hcall 5              ; output the digest
+        halt";
+    let prog = flicker_palvm::assemble(src).unwrap();
+    // The unsealer must pass the real builder: this is the production
+    // path, not an adversarial one.
+    let unsealer = SlbImage::build(PalPayload::Bytecode(prog), SlbOptions::default()).unwrap();
+    let target_pcr17 = unsealer.expected_pcr17_after_skinit(DEFAULT_SLB_BASE);
+
+    let mut os = test_os(36);
+    let secret = b"bytecode-owned secret".to_vec();
+    let sealer = native_slb(
+        b"provisioning-pal",
+        SealerForPal {
+            secret: secret.clone(),
+        },
+    );
+    let r1 = run_session(
+        &mut os,
+        &sealer,
+        &SessionParams::with_inputs(target_pcr17.to_vec()),
+    )
+    .unwrap();
+    assert_eq!(r1.pal_result, Ok(()));
+
+    let r2 = run_session(&mut os, &unsealer, &SessionParams::with_inputs(r1.outputs)).unwrap();
+    assert_eq!(r2.pal_result, Ok(()));
+    assert_eq!(r2.outputs, flicker_crypto::sha1::sha1(&secret));
+}
+
+#[test]
+fn wrong_bytecode_pal_cannot_unseal_through_hcall_6() {
+    // The same handoff, but the running bytecode differs from the one the
+    // secret was sealed to: PCR 17 differs, TPM_Unseal refuses, and the
+    // hypercall surfaces the failure as a PAL fault with no output.
+    let src = "
+        mov r1, r14
+        mov r2, r12
+        addi r3, r14, 0x800
+        hcall 6
+        halt";
+    let imposter = SlbImage::build(
+        PalPayload::Bytecode(flicker_palvm::assemble(src).unwrap()),
+        SlbOptions::default(),
+    )
+    .unwrap();
+    // Seal against a different program's measurement.
+    let legit = SlbImage::build(
+        PalPayload::Bytecode(flicker_palvm::progs::hello_world()),
+        SlbOptions::default(),
+    )
+    .unwrap();
+    let target_pcr17 = legit.expected_pcr17_after_skinit(DEFAULT_SLB_BASE);
+
+    let mut os = test_os(37);
+    let sealer = native_slb(
+        b"provisioning-pal",
+        SealerForPal {
+            secret: b"not for you".to_vec(),
+        },
+    );
+    let r1 = run_session(
+        &mut os,
+        &sealer,
+        &SessionParams::with_inputs(target_pcr17.to_vec()),
+    )
+    .unwrap();
+
+    let r2 = run_session(&mut os, &imposter, &SessionParams::with_inputs(r1.outputs)).unwrap();
+    let err = r2.pal_result.unwrap_err();
+    assert!(err.contains("WRONGPCRVAL") || err.contains("PCR"), "{err}");
+    assert!(r2.outputs.is_empty());
 }
 
 #[test]
@@ -889,4 +997,47 @@ fn traced_session_has_one_span_per_phase_summing_to_total() {
     // A second traced session appends another set of spans.
     run_session(&mut os, &slb, &SessionParams::default()).unwrap();
     assert_eq!(trace.spans_named("phase.pal").len(), 2);
+
+    // Native payloads have nothing to statically verify: no verify span,
+    // no verdict counters.
+    assert!(trace.spans_named(flicker_core::VERIFY_SPAN_NAME).is_empty());
+    assert_eq!(trace.counter(flicker_core::VERIFY_ACCEPT_COUNTER), 0);
+}
+
+#[test]
+fn traced_bytecode_session_records_the_verifier_verdict() {
+    use flicker_core::{VERIFY_ACCEPT_COUNTER, VERIFY_REJECT_COUNTER, VERIFY_SPAN_NAME};
+
+    let mut os = test_os(35);
+    let trace = flicker_trace::Trace::default();
+    os.set_tracer(trace.clone());
+
+    // A verified program: accept counter, one verify span.
+    let slb = SlbImage::build(
+        PalPayload::Bytecode(flicker_palvm::progs::hello_world()),
+        SlbOptions::default(),
+    )
+    .unwrap();
+    let rec = run_session(&mut os, &slb, &SessionParams::default()).unwrap();
+    assert_eq!(rec.pal_result, Ok(()));
+    assert_eq!(trace.spans_named(VERIFY_SPAN_NAME).len(), 1);
+    assert_eq!(trace.counter(VERIFY_ACCEPT_COUNTER), 1);
+    assert_eq!(trace.counter(VERIFY_REJECT_COUNTER), 0);
+
+    // An unverifiable program smuggled past the builder: the rejection is
+    // on the record even though the session still runs (and the run-time
+    // defences contain it).
+    let bad = SlbImage::build_unverified(
+        PalPayload::Bytecode(flicker_palvm::assemble("loop: jmp loop").unwrap()),
+        SlbOptions {
+            fuel: Some(10_000),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let rec = run_session(&mut os, &bad, &SessionParams::default()).unwrap();
+    assert!(rec.pal_result.is_err());
+    assert_eq!(trace.spans_named(VERIFY_SPAN_NAME).len(), 2);
+    assert_eq!(trace.counter(VERIFY_ACCEPT_COUNTER), 1);
+    assert_eq!(trace.counter(VERIFY_REJECT_COUNTER), 1);
 }

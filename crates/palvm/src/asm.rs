@@ -169,8 +169,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         }
     }
 
-    // Pass 2: encoding.
+    // Pass 2: encoding. `lines` tracks the source line of each emitted
+    // instruction for the validation pass below.
     let mut code = Vec::new();
+    let mut lines = Vec::new();
     for (ln, raw) in source.lines().enumerate() {
         let line_no = ln + 1;
         let Some(mut text) = clean(raw) else { continue };
@@ -299,6 +301,43 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             other => return err(line_no, format!("unknown mnemonic `{other}`")),
         }
         code.extend_from_slice(&insn.encode());
+        lines.push(line_no);
+    }
+
+    // Pass 3: validation. Control transfers must land inside the program
+    // and hypercall numbers must name a service the host actually
+    // provides — catching both at assembly time means a source-level
+    // mistake never has to wait for the verifier (or the VM) to fault.
+    let n = lines.len() as u32;
+    for (idx, chunk) in code.chunks_exact(INSN_LEN).enumerate() {
+        let insn = Insn::decode(chunk.try_into().expect("chunk is INSN_LEN"))
+            .expect("assembler emits only valid encodings");
+        let line_no = lines[idx];
+        match insn.op {
+            Opcode::Jmp | Opcode::Jz | Opcode::Jnz | Opcode::Jlt | Opcode::Call
+                if insn.imm >= n =>
+            {
+                return err(
+                    line_no,
+                    format!(
+                        "target {} out of range (program has {} instructions)",
+                        insn.imm, n
+                    ),
+                );
+            }
+            Opcode::Hcall if !crate::KNOWN_HCALLS.contains(&insn.imm) => {
+                return err(
+                    line_no,
+                    format!(
+                        "unknown hypercall {} (known: {}..={})",
+                        insn.imm,
+                        crate::KNOWN_HCALLS.start(),
+                        crate::KNOWN_HCALLS.end()
+                    ),
+                );
+            }
+            _ => {}
+        }
     }
 
     Ok(Program { code, labels })
@@ -384,6 +423,32 @@ mod tests {
     #[test]
     fn unknown_label_rejected() {
         assert!(assemble("jmp nowhere").is_err());
+    }
+
+    #[test]
+    fn numeric_target_out_of_range_rejected() {
+        // Labels always resolve in range; a raw numeric target can't.
+        let e = assemble("jmp 99\nhalt").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("out of range"));
+        let e = assemble("movi r1, 1\ncall 7\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn in_range_numeric_target_accepted() {
+        assert!(assemble("jmp 1\nhalt").is_ok());
+    }
+
+    #[test]
+    fn unknown_hcall_number_rejected() {
+        let e = assemble("hcall 42\nhalt").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown hypercall"));
+        // Every known number still assembles.
+        for n in crate::KNOWN_HCALLS {
+            assert!(assemble(&format!("hcall {n}\nhalt")).is_ok(), "hcall {n}");
+        }
     }
 
     #[test]

@@ -5,15 +5,18 @@
 //! palvm-tool disasm <file.bin>           disassemble to stdout
 //! palvm-tool extract <file.pal> <func>   extract a standalone PAL (§5.2)
 //! palvm-tool run <file.pal> [hex-input]  assemble + run on a test bus
+//! palvm-tool verify <file.pal|file.bin>  static verification report
+//! palvm-tool verify --builtin            verify every library program
 //! ```
 
-use flicker_palvm::{assemble, disasm, extract, run, TestBus};
+use flicker_palvm::{assemble, disasm, extract, progs, run, TestBus};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  palvm-tool asm <file.pal>\n  palvm-tool disasm <file.bin>\n  \
-         palvm-tool extract <file.pal> <function>\n  palvm-tool run <file.pal> [hex-input]"
+         palvm-tool extract <file.pal> <function>\n  palvm-tool run <file.pal> [hex-input]\n  \
+         palvm-tool verify <file.pal|file.bin>\n  palvm-tool verify --builtin"
     );
     ExitCode::from(2)
 }
@@ -107,6 +110,57 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => fail(&format!("vm fault: {e}")),
+            }
+        }
+        ("verify", 2) if args[1] == "--builtin" => {
+            // CI gate: every program the library ships must pass the
+            // static verifier.
+            let builtins = [
+                ("hello_world", progs::hello_world()),
+                ("trial_division", progs::trial_division()),
+                ("kernel_hasher", progs::kernel_hasher()),
+            ];
+            let mut bad = 0;
+            for (name, prog) in builtins {
+                let verdict = flicker_verifier::verify_program(&prog);
+                if verdict.is_ok() {
+                    println!("{name}: VERIFIED ({} instructions)", verdict.insns);
+                } else {
+                    bad += 1;
+                    println!("{name}: REJECTED");
+                    for line in verdict.report().lines().skip(1) {
+                        println!("  {line}");
+                    }
+                }
+            }
+            if bad == 0 {
+                ExitCode::SUCCESS
+            } else {
+                fail(&format!("{bad} builtin program(s) failed verification"))
+            }
+        }
+        ("verify", 2) => {
+            let code = if args[1].ends_with(".bin") {
+                match std::fs::read(&args[1]) {
+                    Ok(c) => c,
+                    Err(e) => return fail(&format!("read {}: {e}", args[1])),
+                }
+            } else {
+                let src = match std::fs::read_to_string(&args[1]) {
+                    Ok(s) => s,
+                    Err(e) => return fail(&format!("read {}: {e}", args[1])),
+                };
+                match assemble(&src) {
+                    Ok(p) => p.code,
+                    Err(e) => return fail(&format!("assembly error: {e}")),
+                }
+            };
+            let verdict = flicker_verifier::verify(&code);
+            print!("{}", verdict.report());
+            if verdict.is_ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             }
         }
         _ => usage(),

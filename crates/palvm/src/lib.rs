@@ -23,6 +23,13 @@ pub mod isa;
 pub mod progs;
 pub mod vm;
 
+/// Hypercall numbers the Flicker host interface services (see the
+/// `VmBusAdapter` in `flicker-core`): 0/1 output a register, 2 hashes a
+/// region, 3 draws TPM randomness, 4 extends PCR 17, 5 outputs a region,
+/// 6 unseals a blob. The assembler and the static verifier both reject
+/// numbers outside this range.
+pub const KNOWN_HCALLS: core::ops::RangeInclusive<u32> = 0..=6;
+
 pub use asm::{assemble, AsmError, Program};
 pub use disasm::{disassemble, DisasmError};
 pub use extract::{extract, ExtractError, Extraction};

@@ -20,17 +20,16 @@ pub fn hello_world() -> Program {
 /// recording any divisor found — the inner loop of the paper's §6.2
 /// distributed factoring application, expressed in measured bytecode.
 ///
-/// Inputs (read via `ldw` from the input region at address 0):
-/// `n` at offset 0, `lo` at offset 4, `hi` at offset 8.
-/// Output: for each divisor found, the divisor is written via hypercall 1
-/// (report word in `r0`).
+/// Inputs (read via `ldw` from the input region, whose address the SLB
+/// Core passes in `r14`): `n` at offset 0, `lo` at offset 4, `hi` at
+/// offset 8. Output: for each divisor found, the divisor is written via
+/// hypercall 1 (report word in `r0`).
 pub fn trial_division() -> Program {
     let src = "
         ; r1 = n, r2 = cursor, r3 = hi
-        movi r4, 0
-        ldw r1, [r4+0]
-        ldw r2, [r4+4]
-        ldw r3, [r4+8]
+        ldw r1, [r14+0]
+        ldw r2, [r14+4]
+        ldw r3, [r14+8]
     loop:
         jlt r2, r3, body
         halt

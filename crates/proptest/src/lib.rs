@@ -11,6 +11,7 @@
 //! test's name), so failures are reproducible run-to-run. On failure the
 //! generated inputs are printed with the panic message.
 
+/// Value-generation strategies (`any`, ranges, tuples, `prop_map`).
 pub mod strategy {
     use crate::test_runner::TestRng;
 
@@ -202,6 +203,7 @@ pub mod strategy {
     }
 }
 
+/// Collection strategies (`collection::vec`).
 pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -267,6 +269,7 @@ pub mod collection {
     }
 }
 
+/// The case loop, config, and deterministic RNG behind `proptest!`.
 pub mod test_runner {
     /// Why a single generated case did not pass.
     #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,273 @@
+//! Control-flow recovery over a decoded PalVM program: per-instruction
+//! successors, routine (call-graph) structure, and natural loops.
+//!
+//! PalVM's `call`/`ret` use a host-side stack, so control flow is fully
+//! recoverable from the bytes alone: routine entries are instruction 0
+//! plus every `call` target, and a `ret` returns to the fall-through of
+//! whichever call site reached the routine. Loop detection runs on each
+//! routine's *intra-procedural* graph (a `call` falls through to its
+//! continuation) so that a routine invoked from two sites does not fake a
+//! cycle through its shared `ret`.
+
+use flicker_palvm::{Insn, Opcode, INSN_LEN};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A decoded program plus recovered structure.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Decoded instructions, one per slot.
+    pub insns: Vec<Insn>,
+    /// Routine entry → member instruction indices (intra-procedural
+    /// reachability from the entry).
+    pub routines: BTreeMap<u32, BTreeSet<u32>>,
+    /// Routine entry → entries of routines it calls.
+    pub call_graph: BTreeMap<u32, BTreeSet<u32>>,
+    /// Routine entry → indices of its reachable `ret` instructions.
+    pub rets: BTreeMap<u32, Vec<u32>>,
+    /// Call-site index → callee entry, for reachable `call`s.
+    pub call_sites: BTreeMap<u32, u32>,
+    /// Natural loops, one per back-edge.
+    pub loops: Vec<Loop>,
+}
+
+/// One natural loop (per back-edge) in a routine's subgraph.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Loop header (the back-edge target).
+    pub header: u32,
+    /// Back-edge source (the instruction that jumps back to the header).
+    pub latch: u32,
+    /// All instruction indices in the loop body (header included).
+    pub nodes: BTreeSet<u32>,
+}
+
+/// Intra-procedural successors: `call` continues at its fall-through,
+/// `ret`/`halt` terminate.
+pub fn intra_succs(insn: &Insn, pc: u32) -> Vec<u32> {
+    match insn.op {
+        Opcode::Halt | Opcode::Ret => Vec::new(),
+        Opcode::Jmp => vec![insn.imm],
+        Opcode::Jz | Opcode::Jnz | Opcode::Jlt => vec![insn.imm, pc + 1],
+        _ => vec![pc + 1],
+    }
+}
+
+impl Cfg {
+    /// Decodes `code` and recovers routines, the call graph, and loops.
+    /// Callers run the decode check first; this returns `None` on any
+    /// undecodable slot or out-of-range control target so later passes
+    /// never see a malformed graph.
+    pub fn build(code: &[u8]) -> Option<Cfg> {
+        if code.is_empty() || !code.len().is_multiple_of(INSN_LEN) {
+            return None;
+        }
+        let insns: Vec<Insn> = code
+            .chunks_exact(INSN_LEN)
+            .map(|raw| Insn::decode(raw.try_into().expect("chunk size")))
+            .collect::<Option<_>>()?;
+        let n = insns.len() as u32;
+        for (pc, insn) in insns.iter().enumerate() {
+            if matches!(
+                insn.op,
+                Opcode::Jmp | Opcode::Jz | Opcode::Jnz | Opcode::Jlt | Opcode::Call
+            ) && insn.imm >= n
+            {
+                return None;
+            }
+            // A fall-through off the last slot would leave the program.
+            let falls = !matches!(insn.op, Opcode::Halt | Opcode::Jmp | Opcode::Ret);
+            if falls && pc as u32 + 1 >= n {
+                return None;
+            }
+        }
+
+        // Routine entries: instruction 0 plus every call target, then
+        // intra-procedural reachability from each entry.
+        let mut entries: BTreeSet<u32> = BTreeSet::from([0]);
+        for insn in &insns {
+            if insn.op == Opcode::Call {
+                entries.insert(insn.imm);
+            }
+        }
+        let mut routines = BTreeMap::new();
+        let mut call_graph: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        let mut rets: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let mut call_sites = BTreeMap::new();
+        for &entry in &entries {
+            let mut members = BTreeSet::new();
+            let mut stack = vec![entry];
+            while let Some(pc) = stack.pop() {
+                if !members.insert(pc) {
+                    continue;
+                }
+                let insn = &insns[pc as usize];
+                if insn.op == Opcode::Call {
+                    call_graph.entry(entry).or_default().insert(insn.imm);
+                    call_sites.insert(pc, insn.imm);
+                }
+                if insn.op == Opcode::Ret {
+                    rets.entry(entry).or_default().push(pc);
+                }
+                stack.extend(intra_succs(insn, pc));
+            }
+            routines.insert(entry, members);
+        }
+
+        let loops = find_loops(&insns, &routines);
+        Some(Cfg {
+            insns,
+            routines,
+            call_graph,
+            rets,
+            call_sites,
+            loops,
+        })
+    }
+
+    /// The routine containing `pc` (smallest matching member set wins so a
+    /// shared tail attributes to the innermost caller is not needed — any
+    /// containing routine serves the loop queries we make).
+    pub fn loops_containing(&self, pc: u32) -> impl Iterator<Item = &Loop> {
+        self.loops.iter().filter(move |l| l.nodes.contains(&pc))
+    }
+}
+
+/// Back-edge discovery (iterative DFS per routine) and natural-loop body
+/// collection: for back-edge `latch → header`, the body is `header` plus
+/// everything that reaches `latch` without passing through `header`.
+fn find_loops(insns: &[Insn], routines: &BTreeMap<u32, BTreeSet<u32>>) -> Vec<Loop> {
+    let mut loops = Vec::new();
+    for (&entry, members) in routines {
+        // DFS with colours: 0 unvisited, 1 on stack, 2 done.
+        let mut colour: BTreeMap<u32, u8> = BTreeMap::new();
+        let mut back_edges = Vec::new();
+        let mut stack = vec![(entry, 0usize)];
+        colour.insert(entry, 1);
+        while let Some(&mut (pc, ref mut next)) = stack.last_mut() {
+            let succs = intra_succs(&insns[pc as usize], pc);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                match colour.get(&s).copied().unwrap_or(0) {
+                    0 => {
+                        colour.insert(s, 1);
+                        stack.push((s, 0));
+                    }
+                    1 => back_edges.push((pc, s)),
+                    _ => {}
+                }
+            } else {
+                colour.insert(pc, 2);
+                stack.pop();
+            }
+        }
+        for (latch, header) in back_edges {
+            // Reverse reachability from the latch, not crossing the header.
+            let preds = predecessors(insns, members);
+            let mut nodes = BTreeSet::from([header, latch]);
+            let mut work = vec![latch];
+            while let Some(pc) = work.pop() {
+                if pc == header {
+                    continue;
+                }
+                for &p in preds.get(&pc).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if nodes.insert(p) {
+                        work.push(p);
+                    }
+                }
+            }
+            loops.push(Loop {
+                header,
+                latch,
+                nodes,
+            });
+        }
+    }
+    loops
+}
+
+/// Intra-procedural predecessor map over one routine's members.
+fn predecessors(insns: &[Insn], members: &BTreeSet<u32>) -> BTreeMap<u32, Vec<u32>> {
+    let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &pc in members {
+        for s in intra_succs(&insns[pc as usize], pc) {
+            preds.entry(s).or_default().push(pc);
+        }
+    }
+    preds
+}
+
+/// Whether every path from `header` to `latch` inside `l` passes through
+/// `node`: checked by deleting `node` and testing that `latch` becomes
+/// unreachable from the header within the loop body.
+pub fn cuts_loop(insns: &[Insn], l: &Loop, node: u32) -> bool {
+    if node == l.latch {
+        return true;
+    }
+    let mut seen = BTreeSet::from([l.header]);
+    let mut work = vec![l.header];
+    while let Some(pc) = work.pop() {
+        if pc == node {
+            continue;
+        }
+        if pc == l.latch {
+            return false;
+        }
+        for s in intra_succs(&insns[pc as usize], pc) {
+            if l.nodes.contains(&s) && seen.insert(s) {
+                work.push(s);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flicker_palvm::assemble;
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let p = assemble("movi r0, 1\nhalt").unwrap();
+        let cfg = Cfg::build(&p.code).unwrap();
+        assert!(cfg.loops.is_empty());
+        assert_eq!(cfg.routines.len(), 1);
+    }
+
+    #[test]
+    fn simple_loop_found() {
+        let p =
+            assemble("movi r1, 5\nloop: movi r2, 1\nsub r1, r1, r2\njnz r1, loop\nhalt").unwrap();
+        let cfg = Cfg::build(&p.code).unwrap();
+        assert_eq!(cfg.loops.len(), 1);
+        let l = &cfg.loops[0];
+        assert_eq!((l.header, l.latch), (1, 3));
+        assert_eq!(l.nodes, BTreeSet::from([1, 2, 3]));
+        // The decrement (index 2) cuts the loop; the header trivially not.
+        assert!(cuts_loop(&cfg.insns, l, 2));
+    }
+
+    #[test]
+    fn call_does_not_fake_a_cycle() {
+        // Two sites calling one routine: no loop anywhere.
+        let p = assemble("call f\ncall f\nhalt\nf: addi r0, r0, 1\nret").unwrap();
+        let cfg = Cfg::build(&p.code).unwrap();
+        assert!(cfg.loops.is_empty());
+        assert_eq!(cfg.call_sites.len(), 2);
+        assert_eq!(cfg.rets[&3], vec![4]);
+    }
+
+    #[test]
+    fn malformed_targets_refuse_to_build() {
+        let p = assemble("movi r0, 1\nhalt").unwrap();
+        let mut code = p.code.clone();
+        code[0] = 17; // movi -> jmp with imm 1... in range; instead:
+        assert!(Cfg::build(&code).is_some());
+        let mut bad = p.code;
+        bad[4] = 0xFF; // jmp target way out of range once opcode patched
+        bad[0] = 17;
+        assert!(Cfg::build(&bad).is_none());
+        assert!(Cfg::build(&[]).is_none());
+    }
+}

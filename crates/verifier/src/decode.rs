@@ -1,0 +1,124 @@
+//! Check 1: decode soundness.
+//!
+//! Every 8-byte slot must decode to a known instruction, every
+//! `jmp/jz/jnz/jlt/call` target must be an in-range instruction index,
+//! and the last slot must not fall through (the program counter would
+//! leave the program). Together with the VM's own `pc` checks these are
+//! the conditions under which `PcOutOfRange`/`IllegalInstruction` can
+//! never fire at runtime.
+
+use crate::{CheckError, Diagnostic};
+use flicker_palvm::{Insn, Opcode, INSN_LEN};
+
+/// Runs the decode-soundness check over raw bytes.
+pub fn check(code: &[u8]) -> Vec<CheckError> {
+    let mut errors = Vec::new();
+    if code.is_empty() {
+        errors.push(CheckError::Decode(Diagnostic::new(
+            0,
+            None,
+            "empty program",
+        )));
+        return errors;
+    }
+    if !code.len().is_multiple_of(INSN_LEN) {
+        errors.push(CheckError::Decode(Diagnostic::new(
+            (code.len() / INSN_LEN) as u32,
+            None,
+            format!(
+                "{} trailing byte(s) do not form an instruction",
+                code.len() % INSN_LEN
+            ),
+        )));
+        return errors;
+    }
+    let n = (code.len() / INSN_LEN) as u32;
+    for (pc, raw) in code.chunks_exact(INSN_LEN).enumerate() {
+        let pc = pc as u32;
+        let Some(insn) = Insn::decode(raw.try_into().expect("chunk size")) else {
+            errors.push(CheckError::Decode(Diagnostic::new(
+                pc,
+                None,
+                format!("undecodable instruction (opcode byte {})", raw[0]),
+            )));
+            continue;
+        };
+        if matches!(
+            insn.op,
+            Opcode::Jmp | Opcode::Jz | Opcode::Jnz | Opcode::Jlt | Opcode::Call
+        ) && insn.imm >= n
+        {
+            errors.push(CheckError::Decode(Diagnostic::new(
+                pc,
+                None,
+                format!(
+                    "control target {} outside program of {n} instruction(s)",
+                    insn.imm
+                ),
+            )));
+        }
+        let falls_through = !matches!(insn.op, Opcode::Halt | Opcode::Jmp | Opcode::Ret);
+        if falls_through && pc + 1 >= n {
+            errors.push(CheckError::Decode(Diagnostic::new(
+                pc,
+                None,
+                "last instruction falls through off the end of the program",
+            )));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flicker_palvm::assemble;
+
+    #[test]
+    fn clean_program_passes() {
+        let p = assemble("movi r0, 1\nhalt").unwrap();
+        assert!(check(&p.code).is_empty());
+    }
+
+    #[test]
+    fn undecodable_slot_flagged() {
+        let mut code = assemble("halt").unwrap().code;
+        code[0] = 200;
+        let errs = check(&code);
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], CheckError::Decode(_)));
+    }
+
+    #[test]
+    fn out_of_range_target_flagged() {
+        // Hand-encode `jmp 9` in a 1-instruction program.
+        let code = Insn {
+            op: Opcode::Jmp,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 9,
+        }
+        .encode()
+        .to_vec();
+        let errs = check(&code);
+        assert!(errs
+            .iter()
+            .any(|e| e.diagnostic().reason.contains("control target")));
+    }
+
+    #[test]
+    fn fall_through_off_end_flagged() {
+        let p = assemble("movi r0, 1").unwrap();
+        let errs = check(&p.code);
+        assert!(errs
+            .iter()
+            .any(|e| e.diagnostic().reason.contains("falls through")));
+    }
+
+    #[test]
+    fn truncated_and_empty_flagged() {
+        assert!(!check(&[]).is_empty());
+        assert!(!check(&[0u8; 9]).is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Abstract domains for the verifier: unsigned intervals, taint bits, and
+//! must-initialization, joined per register into an abstract machine state.
+//!
+//! The interval domain is deliberately wrap-averse: any operation whose
+//! concrete result *could* wrap around `u32::MAX` goes straight to ⊤
+//! rather than modelling modular arithmetic. That keeps every derived
+//! bound a true over-approximation of the concrete value, which is what
+//! the memory-bounds check (and the soundness property test) rely on.
+
+use flicker_palvm::NUM_REGS;
+
+/// An inclusive unsigned interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible concrete value.
+    pub lo: u32,
+    /// Largest possible concrete value.
+    pub hi: u32,
+}
+
+impl Interval {
+    /// The full range (no information).
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: u32::MAX,
+    };
+
+    /// A single known value.
+    pub fn exact(v: u32) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The range `[lo, hi]` (callers must keep `lo <= hi`).
+    pub fn new(lo: u32, hi: u32) -> Interval {
+        debug_assert!(lo <= hi);
+        Interval { lo, hi }
+    }
+
+    /// `Some(v)` when the interval pins a single value.
+    pub fn as_exact(&self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Smallest interval containing both.
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Whether the two ranges share any value.
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Whether `self` lies entirely within `other`.
+    pub fn within(&self, other: &Interval) -> bool {
+        other.lo <= self.lo && self.hi <= other.hi
+    }
+
+    /// Widen against the previous value at a join point: any bound still
+    /// moving after repeated joins is sent to its extreme so fixpoints
+    /// terminate.
+    pub fn widen(&self, prev: &Interval) -> Interval {
+        Interval {
+            lo: if self.lo < prev.lo { 0 } else { self.lo },
+            hi: if self.hi > prev.hi { u32::MAX } else { self.hi },
+        }
+    }
+
+    /// Addition; ⊤ if the maximum could wrap.
+    pub fn add(&self, other: &Interval) -> Interval {
+        match (self.hi as u64).checked_add(other.hi as u64) {
+            Some(hi) if hi <= u32::MAX as u64 => Interval::new(self.lo + other.lo, hi as u32),
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Subtraction; ⊤ if the minimum could wrap below zero.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        if self.lo >= other.hi {
+            Interval::new(self.lo - other.hi, self.hi - other.lo)
+        } else {
+            Interval::TOP
+        }
+    }
+
+    /// Multiplication; ⊤ if the maximum could wrap.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        match (self.hi as u64).checked_mul(other.hi as u64) {
+            Some(hi) if hi <= u32::MAX as u64 => Interval::new(self.lo * other.lo, hi as u32),
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Unsigned division (result range when the divisor is non-zero; a
+    /// zero divisor faults at runtime, which is not a soundness fault).
+    pub fn divu(&self, other: &Interval) -> Interval {
+        let lo_div = other.hi.max(1);
+        let hi_div = other.lo.max(1);
+        Interval::new(self.lo / lo_div, self.hi / hi_div)
+    }
+
+    /// Unsigned modulo: bounded by both the divisor and the dividend.
+    pub fn modu(&self, other: &Interval) -> Interval {
+        Interval::new(0, other.hi.saturating_sub(1).min(self.hi))
+    }
+
+    /// Bitwise AND: bounded by the smaller operand.
+    pub fn and(&self, other: &Interval) -> Interval {
+        Interval::new(0, self.hi.min(other.hi))
+    }
+
+    /// Bitwise OR/XOR: bounded by the next power of two covering both.
+    pub fn or_xor(&self, other: &Interval) -> Interval {
+        let m = self.hi | other.hi;
+        let bits = 32 - m.leading_zeros();
+        let hi = if bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
+        Interval::new(0, hi)
+    }
+
+    /// Left shift (amount masked to 31, as the VM does); ⊤ unless the
+    /// amount is a known constant and nothing can wrap.
+    pub fn shl(&self, amount: &Interval) -> Interval {
+        match amount.as_exact() {
+            Some(s) => {
+                let s = s & 31;
+                match (self.hi as u64).checked_shl(s) {
+                    Some(hi) if hi <= u32::MAX as u64 => Interval::new(self.lo << s, hi as u32),
+                    _ => Interval::TOP,
+                }
+            }
+            None => Interval::TOP,
+        }
+    }
+
+    /// Logical right shift.
+    pub fn shr(&self, amount: &Interval) -> Interval {
+        match amount.as_exact() {
+            Some(s) => {
+                let s = s & 31;
+                Interval::new(self.lo >> s, self.hi >> s)
+            }
+            None => Interval::new(0, self.hi),
+        }
+    }
+}
+
+/// One register's abstract value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsReg {
+    /// Range of possible concrete values.
+    pub range: Interval,
+    /// Whether the value may derive from unsealed secret data.
+    pub tainted: bool,
+    /// Whether the register was written on *every* path here (the
+    /// SLB-Core-initialized registers count as written).
+    pub written: bool,
+}
+
+impl AbsReg {
+    /// The VM zeroes uninitialized registers.
+    pub fn zeroed() -> AbsReg {
+        AbsReg {
+            range: Interval::exact(0),
+            tainted: false,
+            written: false,
+        }
+    }
+}
+
+/// Abstract state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    /// Per-register values.
+    pub regs: [AbsReg; NUM_REGS],
+    /// Hull of all addresses that may hold unsealed secret bytes
+    /// (`None` = nothing tainted yet).
+    pub tainted_mem: Option<Interval>,
+    /// Address range whose contents have passed through a declared
+    /// release point (a hash digest) and may leave the PAL.
+    pub released: Option<Interval>,
+}
+
+impl AbsState {
+    /// State with all registers zeroed and memory clean.
+    pub fn zeroed() -> AbsState {
+        AbsState {
+            regs: [AbsReg::zeroed(); NUM_REGS],
+            tainted_mem: None,
+            released: None,
+        }
+    }
+
+    /// Pointwise join: interval hulls, may-taint, must-written.
+    pub fn join(&self, other: &AbsState) -> AbsState {
+        let mut regs = self.regs;
+        for (r, o) in regs.iter_mut().zip(other.regs.iter()) {
+            r.range = r.range.join(&o.range);
+            r.tainted |= o.tainted;
+            r.written &= o.written;
+        }
+        let tainted_mem = match (self.tainted_mem, other.tainted_mem) {
+            (Some(a), Some(b)) => Some(a.join(&b)),
+            (a, b) => a.or(b),
+        };
+        // `released` is a must-property: keep it only when both paths
+        // agree on the exact range.
+        let released = match (self.released, other.released) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        };
+        AbsState {
+            regs,
+            tainted_mem,
+            released,
+        }
+    }
+
+    /// Widen every register against the previous state at this point.
+    pub fn widen(&self, prev: &AbsState) -> AbsState {
+        let mut out = self.clone();
+        for (r, p) in out.regs.iter_mut().zip(prev.regs.iter()) {
+            r.range = r.range.widen(&p.range);
+        }
+        if let (Some(t), Some(p)) = (&mut out.tainted_mem, &prev.tainted_mem) {
+            *t = t.widen(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_arith_is_conservative() {
+        let a = Interval::new(5, 10);
+        let b = Interval::new(1, 3);
+        assert_eq!(a.add(&b), Interval::new(6, 13));
+        assert_eq!(a.sub(&b), Interval::new(2, 9));
+        assert_eq!(a.mul(&b), Interval::new(5, 30));
+        assert_eq!(b.sub(&a), Interval::TOP, "possible wrap goes to top");
+        let near_max = Interval::new(u32::MAX - 1, u32::MAX);
+        assert_eq!(near_max.add(&b), Interval::TOP);
+    }
+
+    #[test]
+    fn modu_and_bitops_bounded() {
+        let a = Interval::new(0, 1000);
+        let d = Interval::new(1, 7);
+        assert_eq!(a.modu(&d), Interval::new(0, 6));
+        assert_eq!(a.and(&d), Interval::new(0, 7));
+        let o = a.or_xor(&d);
+        assert!(o.hi >= 1000 && o.hi < 2048);
+    }
+
+    #[test]
+    fn widen_pins_moving_bounds() {
+        let prev = Interval::new(0, 4);
+        let grew = Interval::new(0, 5);
+        assert_eq!(grew.widen(&prev), Interval::new(0, u32::MAX));
+        assert_eq!(prev.widen(&prev), prev);
+    }
+
+    #[test]
+    fn join_written_is_must() {
+        let mut a = AbsState::zeroed();
+        a.regs[1].written = true;
+        let b = AbsState::zeroed();
+        assert!(!a.join(&b).regs[1].written);
+        assert!(a.join(&a.clone()).regs[1].written);
+    }
+}

@@ -1,0 +1,108 @@
+//! Check 4 support: the hypercall interface the verifier reasons about.
+//!
+//! Mirrors the `VmBusAdapter` services in `flicker-core` (the SLB Core's
+//! TPM-utilities surface) and `flicker_palvm::KNOWN_HCALLS`. Each entry
+//! names the argument registers a call consumes (they must be written on
+//! every path) and classifies the call for the secret-flow check:
+//! output sinks may not receive tainted data, release points (hashing)
+//! declassify the digest they produce, and the unseal service is the
+//! taint source.
+
+/// How one hypercall participates in the secret-flow discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HcallKind {
+    /// Emits the value in `r0` to the PAL output page (numbers 0 and 1).
+    OutputReg,
+    /// SHA-1 of `[r1, r1+r2)` written to `[r3, r3+20)`: a declared
+    /// release point — the digest may leave the PAL.
+    HashRelease,
+    /// `r0 <- ` TPM randomness (writes `r0`, clean).
+    Random,
+    /// Extends PCR 17 with the digest at `[r1, r1+20)`; extending
+    /// secret-derived digests is the protocol, so taint may flow here.
+    PcrExtend,
+    /// Emits `[r1, r1+r2)` to the PAL output page.
+    OutputMem,
+    /// Unseals the blob at `[r1, r1+r2)` into `[r3, ...)`: the taint
+    /// source; writes the plaintext length to `r0`.
+    Unseal,
+}
+
+/// Static description of one hypercall number.
+#[derive(Debug, Clone, Copy)]
+pub struct HcallSpec {
+    /// The hypercall number.
+    pub num: u32,
+    /// Role in the secret-flow discipline.
+    pub kind: HcallKind,
+    /// Registers the host reads; each must be written on every path.
+    pub args: &'static [u8],
+    /// Register the host writes, if any.
+    pub writes: Option<u8>,
+}
+
+/// The known hypercall surface (keep in lockstep with
+/// `flicker_palvm::KNOWN_HCALLS` and `VmBusAdapter::hcall`).
+pub const SPECS: &[HcallSpec] = &[
+    HcallSpec {
+        num: 0,
+        kind: HcallKind::OutputReg,
+        args: &[0],
+        writes: None,
+    },
+    HcallSpec {
+        num: 1,
+        kind: HcallKind::OutputReg,
+        args: &[0],
+        writes: None,
+    },
+    HcallSpec {
+        num: 2,
+        kind: HcallKind::HashRelease,
+        args: &[1, 2, 3],
+        writes: None,
+    },
+    HcallSpec {
+        num: 3,
+        kind: HcallKind::Random,
+        args: &[],
+        writes: Some(0),
+    },
+    HcallSpec {
+        num: 4,
+        kind: HcallKind::PcrExtend,
+        args: &[1],
+        writes: None,
+    },
+    HcallSpec {
+        num: 5,
+        kind: HcallKind::OutputMem,
+        args: &[1, 2],
+        writes: None,
+    },
+    HcallSpec {
+        num: 6,
+        kind: HcallKind::Unseal,
+        args: &[1, 2, 3],
+        writes: Some(0),
+    },
+];
+
+/// Looks up a hypercall number.
+pub fn spec(num: u32) -> Option<&'static HcallSpec> {
+    SPECS.iter().find(|s| s.num == num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_table_matches_palvm_known_range() {
+        for n in flicker_palvm::KNOWN_HCALLS {
+            assert!(spec(n).is_some(), "hcall {n} missing from spec table");
+        }
+        assert!(spec(*flicker_palvm::KNOWN_HCALLS.end() + 1).is_none());
+        assert_eq!(SPECS.len() as u32, *flicker_palvm::KNOWN_HCALLS.end() + 1);
+    }
+}

@@ -1,0 +1,502 @@
+//! The abstract-interpretation engine: a worklist fixpoint over
+//! per-instruction states in the interval × taint × must-written domain,
+//! then a reporting pass for checks 2 (memory bounds) and 4 (hypercall
+//! discipline).
+//!
+//! Branch edges refine the tested registers (`jlt r3, r2, body` caps
+//! `r3` below `r2` on the taken edge), which is what lets bounded loops
+//! like the canned `memory_scanner(inputs, 4)` prove their addresses
+//! in-window even after widening sends the raw counter to ⊤.
+
+use crate::cfg::Cfg;
+use crate::domain::{AbsState, Interval};
+use crate::hcall::{spec, HcallKind};
+use crate::{CheckError, Diagnostic, VerifierConfig};
+use flicker_palvm::{Insn, Opcode};
+use std::collections::BTreeMap;
+
+/// Joins per program point before widening kicks in.
+const WIDEN_AFTER: u32 = 4;
+
+/// Fixpoint result: the abstract state *entering* each reachable
+/// instruction.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Instruction index → joined entry state (absent = unreachable).
+    pub in_states: BTreeMap<u32, AbsState>,
+}
+
+impl Analysis {
+    /// The entry state at `pc`, if the instruction is reachable.
+    pub fn at(&self, pc: u32) -> Option<&AbsState> {
+        self.in_states.get(&pc)
+    }
+}
+
+/// The state the SLB Core hands a bytecode PAL: `r14` = input-region
+/// address, `r13` = output-region address, `r12` = input length; all
+/// other registers zeroed and *unwritten* (the zeroing is the VM's, not
+/// the program's).
+fn entry_state(config: &VerifierConfig) -> AbsState {
+    let mut st = AbsState::zeroed();
+    st.regs[14].range = Interval::exact(config.inputs_base);
+    st.regs[14].written = true;
+    st.regs[13].range = Interval::exact(config.outputs_base);
+    st.regs[13].written = true;
+    st.regs[12].range = Interval::new(0, config.inputs_max);
+    st.regs[12].written = true;
+    st
+}
+
+/// Runs the fixpoint and returns the per-instruction entry states.
+pub fn analyze(cfg: &Cfg, config: &VerifierConfig) -> Analysis {
+    // ret -> return continuations (call-site fall-throughs), for the
+    // interprocedural propagation.
+    let mut ret_targets: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for (&site, &callee) in &cfg.call_sites {
+        for r in cfg.rets.get(&callee).map(|v| v.as_slice()).unwrap_or(&[]) {
+            ret_targets.entry(*r).or_default().push(site + 1);
+        }
+    }
+
+    let mut in_states: BTreeMap<u32, AbsState> = BTreeMap::new();
+    let mut join_counts: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut work = vec![0u32];
+    in_states.insert(0, entry_state(config));
+
+    while let Some(pc) = work.pop() {
+        let state = in_states[&pc].clone();
+        let insn = cfg.insns[pc as usize];
+        let out = transfer(&insn, &state, config, None);
+        for (succ, succ_state) in edges(&insn, pc, &out, &ret_targets) {
+            let (merged, changed) = match in_states.get(&succ) {
+                None => (succ_state, true),
+                Some(prev) => {
+                    let mut joined = prev.join(&succ_state);
+                    if joined != *prev {
+                        let count = join_counts.entry(succ).or_insert(0);
+                        *count += 1;
+                        if *count > WIDEN_AFTER {
+                            joined = joined.widen(prev);
+                        }
+                        (joined, true)
+                    } else {
+                        (joined, false)
+                    }
+                }
+            };
+            if changed {
+                in_states.insert(succ, merged);
+                work.push(succ);
+            }
+        }
+    }
+    Analysis { in_states }
+}
+
+/// Reporting pass for checks 2 and 4 over the fixpoint states.
+pub fn report(cfg: &Cfg, config: &VerifierConfig, analysis: &Analysis) -> Vec<CheckError> {
+    let mut errors = Vec::new();
+    for (&pc, state) in &analysis.in_states {
+        let insn = cfg.insns[pc as usize];
+        let mut sink = Some((&mut errors, pc));
+        let _ = transfer_inner(&insn, state, config, &mut sink);
+    }
+    errors
+}
+
+/// Successor edges with branch refinement applied to the outgoing state.
+/// `call` flows into the callee; `ret` flows to every continuation of a
+/// call site that can reach it.
+fn edges(
+    insn: &Insn,
+    pc: u32,
+    out: &AbsState,
+    ret_targets: &BTreeMap<u32, Vec<u32>>,
+) -> Vec<(u32, AbsState)> {
+    let mut v = Vec::new();
+    match insn.op {
+        Opcode::Halt => {}
+        Opcode::Ret => {
+            for &t in ret_targets.get(&pc).map(|x| x.as_slice()).unwrap_or(&[]) {
+                v.push((t, out.clone()));
+            }
+        }
+        Opcode::Jmp => v.push((insn.imm, out.clone())),
+        Opcode::Call => v.push((insn.imm, out.clone())),
+        Opcode::Jz => {
+            if let Some(taken) = refine_eq_zero(out, insn.rs1, true) {
+                v.push((insn.imm, taken));
+            }
+            if let Some(fall) = refine_eq_zero(out, insn.rs1, false) {
+                v.push((pc + 1, fall));
+            }
+        }
+        Opcode::Jnz => {
+            if let Some(taken) = refine_eq_zero(out, insn.rs1, false) {
+                v.push((insn.imm, taken));
+            }
+            if let Some(fall) = refine_eq_zero(out, insn.rs1, true) {
+                v.push((pc + 1, fall));
+            }
+        }
+        Opcode::Jlt => {
+            if let Some(taken) = refine_lt(out, insn.rs1, insn.rs2, true) {
+                v.push((insn.imm, taken));
+            }
+            if let Some(fall) = refine_lt(out, insn.rs1, insn.rs2, false) {
+                v.push((pc + 1, fall));
+            }
+        }
+        _ => v.push((pc + 1, out.clone())),
+    }
+    v
+}
+
+/// Refine `r == 0` (or `!= 0`); `None` when the edge is infeasible.
+fn refine_eq_zero(state: &AbsState, r: u8, zero: bool) -> Option<AbsState> {
+    let range = state.regs[r as usize].range;
+    let mut out = state.clone();
+    if zero {
+        if range.lo > 0 {
+            return None;
+        }
+        out.regs[r as usize].range = Interval::exact(0);
+    } else {
+        if range.hi == 0 {
+            return None;
+        }
+        if range.lo == 0 {
+            out.regs[r as usize].range = Interval::new(1.max(range.lo), range.hi.max(1));
+        }
+    }
+    Some(out)
+}
+
+/// Refine `a < b` (taken) or `a >= b` (fall-through); `None` when
+/// infeasible.
+fn refine_lt(state: &AbsState, a: u8, b: u8, taken: bool) -> Option<AbsState> {
+    let ra = state.regs[a as usize].range;
+    let rb = state.regs[b as usize].range;
+    let mut out = state.clone();
+    if taken {
+        // a < b: a <= b.hi - 1, b >= a.lo + 1.
+        if rb.hi == 0 || ra.lo >= rb.hi {
+            return None;
+        }
+        out.regs[a as usize].range = Interval::new(ra.lo, ra.hi.min(rb.hi - 1));
+        out.regs[b as usize].range = Interval::new(rb.lo.max(ra.lo + 1), rb.hi);
+    } else {
+        // a >= b: a >= b.lo, b <= a.hi.
+        if ra.hi < rb.lo {
+            return None;
+        }
+        out.regs[a as usize].range = Interval::new(ra.lo.max(rb.lo), ra.hi);
+        out.regs[b as usize].range = Interval::new(rb.lo, rb.hi.min(ra.hi));
+    }
+    Some(out)
+}
+
+/// Transfer function; with a `sink`, also emits check-2/check-4
+/// diagnostics for this instruction.
+fn transfer(
+    insn: &Insn,
+    state: &AbsState,
+    config: &VerifierConfig,
+    mut sink: Option<(&mut Vec<CheckError>, u32)>,
+) -> AbsState {
+    transfer_inner(insn, state, config, &mut sink)
+}
+
+#[allow(clippy::too_many_lines)]
+fn transfer_inner(
+    insn: &Insn,
+    state: &AbsState,
+    config: &VerifierConfig,
+    sink: &mut Option<(&mut Vec<CheckError>, u32)>,
+) -> AbsState {
+    let mut out = state.clone();
+    let reg = |r: u8| state.regs[r as usize];
+    let set = |st: &mut AbsState, r: u8, range: Interval, tainted: bool| {
+        st.regs[r as usize].range = range;
+        st.regs[r as usize].tainted = tainted;
+        st.regs[r as usize].written = true;
+    };
+    let emit = |sink: &mut Option<(&mut Vec<CheckError>, u32)>,
+                e: fn(Diagnostic) -> CheckError,
+                r: Option<u8>,
+                reason: String| {
+        if let Some((errors, pc)) = sink {
+            errors.push(e(Diagnostic::new(*pc, r, reason)));
+        }
+    };
+
+    match insn.op {
+        Opcode::Halt
+        | Opcode::Jmp
+        | Opcode::Jz
+        | Opcode::Jnz
+        | Opcode::Jlt
+        | Opcode::Call
+        | Opcode::Ret => {}
+        Opcode::Movi => set(&mut out, insn.rd, Interval::exact(insn.imm), false),
+        Opcode::Mov => set(
+            &mut out,
+            insn.rd,
+            reg(insn.rs1).range,
+            reg(insn.rs1).tainted,
+        ),
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::Divu
+        | Opcode::Modu
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Shl
+        | Opcode::Shr => {
+            let (a, b) = (reg(insn.rs1), reg(insn.rs2));
+            let range = match insn.op {
+                Opcode::Add => a.range.add(&b.range),
+                Opcode::Sub => a.range.sub(&b.range),
+                Opcode::Mul => a.range.mul(&b.range),
+                Opcode::Divu => a.range.divu(&b.range),
+                Opcode::Modu => a.range.modu(&b.range),
+                Opcode::And => a.range.and(&b.range),
+                Opcode::Or | Opcode::Xor => a.range.or_xor(&b.range),
+                Opcode::Shl => a.range.shl(&b.range),
+                _ => a.range.shr(&b.range),
+            };
+            set(&mut out, insn.rd, range, a.tainted || b.tainted);
+        }
+        Opcode::Addi => {
+            let a = reg(insn.rs1);
+            set(
+                &mut out,
+                insn.rd,
+                a.range.add(&Interval::exact(insn.imm)),
+                a.tainted,
+            );
+        }
+        Opcode::Ldb | Opcode::Ldw => {
+            let width = if insn.op == Opcode::Ldb { 1 } else { 4 };
+            let addr = effective(state, insn);
+            let tainted = check_load(state, config, &addr, width, insn, sink);
+            let range = if insn.op == Opcode::Ldb {
+                Interval::new(0, 255)
+            } else {
+                Interval::TOP
+            };
+            set(&mut out, insn.rd, range, tainted);
+        }
+        Opcode::Stb | Opcode::Stw => {
+            let width = if insn.op == Opcode::Stb { 1 } else { 4 };
+            let addr = effective(state, insn);
+            let span = span_of(&addr, width);
+            if !span.within(&config.store_window()) {
+                emit(
+                    sink,
+                    CheckError::MemoryBounds,
+                    Some(insn.rs1),
+                    format!(
+                        "store address range [{:#x}, {:#x}] may leave the writable window [{:#x}, {:#x}]",
+                        span.lo,
+                        span.hi,
+                        config.store_window().lo,
+                        config.store_window().hi
+                    ),
+                );
+            }
+            if reg(insn.rs2).tainted {
+                if span.intersects(&config.output_range()) {
+                    emit(
+                        sink,
+                        CheckError::Hypercall,
+                        Some(insn.rs2),
+                        "tainted (unseal-derived) value stored to the output page without a release point"
+                            .to_string(),
+                    );
+                }
+                out.tainted_mem = Some(match out.tainted_mem {
+                    Some(t) => t.join(&span),
+                    None => span,
+                });
+                if out.released.is_some_and(|rel| rel.intersects(&span)) {
+                    out.released = None;
+                }
+            }
+        }
+        Opcode::Hcall => {
+            hcall_transfer(insn, state, &mut out, config, sink);
+        }
+    }
+    out
+}
+
+/// Effective address interval of a memory instruction: `rs1 + imm`.
+fn effective(state: &AbsState, insn: &Insn) -> Interval {
+    state.regs[insn.rs1 as usize]
+        .range
+        .add(&Interval::exact(insn.imm))
+}
+
+/// The closed byte span `[addr.lo, addr.hi + width - 1]` an access of
+/// `width` bytes may touch (⊤ when the top would wrap).
+fn span_of(addr: &Interval, width: u32) -> Interval {
+    match addr.hi.checked_add(width - 1) {
+        Some(hi) => Interval::new(addr.lo, hi),
+        None => Interval::TOP,
+    }
+}
+
+/// Bounds-checks a load and returns whether the loaded value is tainted.
+fn check_load(
+    state: &AbsState,
+    config: &VerifierConfig,
+    addr: &Interval,
+    width: u32,
+    insn: &Insn,
+    sink: &mut Option<(&mut Vec<CheckError>, u32)>,
+) -> bool {
+    let span = span_of(addr, width);
+    if !span.within(&config.load_window()) {
+        if let Some((errors, pc)) = sink {
+            errors.push(CheckError::MemoryBounds(Diagnostic::new(
+                *pc,
+                Some(insn.rs1),
+                format!(
+                    "load address range [{:#x}, {:#x}] may leave the readable window [{:#x}, {:#x}]",
+                    span.lo,
+                    span.hi,
+                    config.load_window().lo,
+                    config.load_window().hi
+                ),
+            )));
+        }
+    }
+    match state.tainted_mem {
+        Some(t) if t.intersects(&span) => {
+            // A load entirely inside the released (hashed) range is clean.
+            !state.released.is_some_and(|rel| span.within(&rel))
+        }
+        _ => false,
+    }
+}
+
+/// Hypercall transfer + discipline diagnostics.
+fn hcall_transfer(
+    insn: &Insn,
+    state: &AbsState,
+    out: &mut AbsState,
+    config: &VerifierConfig,
+    sink: &mut Option<(&mut Vec<CheckError>, u32)>,
+) {
+    let emit = |sink: &mut Option<(&mut Vec<CheckError>, u32)>,
+                e: fn(Diagnostic) -> CheckError,
+                r: Option<u8>,
+                reason: String| {
+        if let Some((errors, pc)) = sink {
+            errors.push(e(Diagnostic::new(*pc, r, reason)));
+        }
+    };
+    let Some(spec) = spec(insn.imm) else {
+        emit(
+            sink,
+            CheckError::Hypercall,
+            None,
+            format!("unknown hypercall number {}", insn.imm),
+        );
+        // Conservatively assume an unknown call clobbers r0.
+        out.regs[0].range = Interval::TOP;
+        out.regs[0].tainted = true;
+        return;
+    };
+    for &a in spec.args {
+        if !state.regs[a as usize].written {
+            emit(
+                sink,
+                CheckError::Hypercall,
+                Some(a),
+                format!(
+                    "hypercall {} argument register not written on every path",
+                    spec.num
+                ),
+            );
+        }
+    }
+    let r = |i: usize| state.regs[i].range;
+    match spec.kind {
+        HcallKind::OutputReg => {
+            if state.regs[0].tainted {
+                emit(
+                    sink,
+                    CheckError::Hypercall,
+                    Some(0),
+                    "tainted (unseal-derived) register flows into an output hypercall".to_string(),
+                );
+            }
+        }
+        HcallKind::OutputMem => {
+            let src = span_of(&r(1), r(2).hi.max(1));
+            let leaks = state.tainted_mem.is_some_and(|t| t.intersects(&src))
+                && !state.released.is_some_and(|rel| src.within(&rel));
+            if leaks {
+                emit(
+                    sink,
+                    CheckError::Hypercall,
+                    Some(1),
+                    "output hypercall may emit tainted (unseal-derived) memory without a release point"
+                        .to_string(),
+                );
+            }
+        }
+        HcallKind::HashRelease => {
+            let dst = span_of(&r(3), 20);
+            if !dst.within(&config.store_window()) {
+                emit(
+                    sink,
+                    CheckError::MemoryBounds,
+                    Some(3),
+                    format!(
+                        "hash digest destination [{:#x}, {:#x}] may leave the writable window",
+                        dst.lo, dst.hi
+                    ),
+                );
+            }
+            // The digest is the declared release point: loads/outputs
+            // wholly inside it are declassified.
+            out.released = Some(dst);
+        }
+        HcallKind::Random => {
+            out.regs[0].range = Interval::TOP;
+            out.regs[0].tainted = false;
+            out.regs[0].written = true;
+        }
+        HcallKind::PcrExtend => {}
+        HcallKind::Unseal => {
+            let dst = span_of(&r(3), r(2).hi.max(1));
+            if !dst.within(&config.store_window()) {
+                emit(
+                    sink,
+                    CheckError::MemoryBounds,
+                    Some(3),
+                    format!(
+                        "unseal destination [{:#x}, {:#x}] may leave the writable window",
+                        dst.lo, dst.hi
+                    ),
+                );
+            }
+            out.tainted_mem = Some(match out.tainted_mem {
+                Some(t) => t.join(&dst),
+                None => dst,
+            });
+            if out.released.is_some_and(|rel| rel.intersects(&dst)) {
+                out.released = None;
+            }
+            out.regs[0].range = Interval::new(0, r(2).hi);
+            out.regs[0].tainted = false;
+            out.regs[0].written = true;
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Check 5: stack hygiene.
+//!
+//! PalVM's `call`/`ret` use a host-side stack, so the abstract call
+//! stack is fully determined by control flow: execution starts in
+//! routine 0 with an empty stack, a `call` pushes, a `ret` pops. A `ret`
+//! reachable *intra-procedurally* from instruction 0 (i.e. without an
+//! enclosing `call`) would pop an empty stack — the VM's
+//! `CallStackUnderflow` fault, caught here before launch.
+
+use crate::cfg::Cfg;
+use crate::{CheckError, Diagnostic};
+
+/// Runs the stack-hygiene check.
+pub fn check(cfg: &Cfg) -> Vec<CheckError> {
+    cfg.rets
+        .get(&0)
+        .map(|rets| {
+            rets.iter()
+                .map(|&pc| {
+                    CheckError::StackHygiene(Diagnostic::new(
+                        pc,
+                        None,
+                        "ret reachable with an empty call stack",
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use flicker_palvm::assemble;
+
+    #[test]
+    fn balanced_call_ret_passes() {
+        let p = assemble("call f\nhalt\nf: addi r0, r0, 1\nret").unwrap();
+        let cfg = Cfg::build(&p.code).unwrap();
+        assert!(check(&cfg).is_empty());
+    }
+
+    #[test]
+    fn bare_ret_flagged() {
+        let p = assemble("movi r0, 1\nret").unwrap();
+        let cfg = Cfg::build(&p.code).unwrap();
+        let errs = check(&cfg);
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], CheckError::StackHygiene(_)));
+        assert_eq!(errs[0].diagnostic().insn, 1);
+    }
+
+    #[test]
+    fn jump_into_shared_tail_flagged() {
+        // After f returns, main jumps into f's body: the second arrival
+        // at `ret` has an empty stack.
+        let p = assemble("call f\njmp f\nf: addi r0, r0, 1\nret").unwrap();
+        let cfg = Cfg::build(&p.code).unwrap();
+        assert!(!check(&cfg).is_empty());
+    }
+}

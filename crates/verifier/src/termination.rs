@@ -1,0 +1,222 @@
+//! Check 3: termination fuel.
+//!
+//! Every loop back-edge must be cut by a provably decreasing measure,
+//! else the program is flagged `MayDiverge`; and the call graph must be
+//! acyclic with its deepest chain inside the VM's call-stack cap.
+//!
+//! The proof patterns are deliberately syntactic-plus-intervals (this is
+//! a 1k-LoC verifier, not a termination prover):
+//!
+//! * **zero-exit** (`jz`/`jnz` at the header or latch leaving the loop):
+//!   the tested register is written exactly once per iteration by an
+//!   `add`/`sub`/`addi` of an odd constant — an odd step walks every
+//!   residue of the 2^32 ring, so the exit value is always reached.
+//! * **jlt-continue** (`jlt a, b, body` continues the loop): `a` is
+//!   incremented by exactly 1 each iteration and `b` is loop-invariant,
+//!   so `a` climbs to `b` without wrapping.
+//! * **jlt-exit** (`jlt a, b, out` leaves the loop): `a` is decremented
+//!   by exactly 1, `b` is loop-invariant with a provably positive lower
+//!   bound, so `a` descends into `[0, b)`.
+//!
+//! In every pattern the counter write must execute on each trip around
+//! the back-edge (it *cuts* the loop) and must not sit inside a strictly
+//! nested inner loop (where it could run more than once per outer trip,
+//! breaking the odd-step argument).
+
+use crate::cfg::{cuts_loop, intra_succs, Cfg, Loop};
+use crate::interp::Analysis;
+use crate::{CheckError, Diagnostic, VerifierConfig};
+use flicker_palvm::{Insn, Opcode};
+use std::collections::BTreeMap;
+
+/// Runs the termination check.
+pub fn check(cfg: &Cfg, config: &VerifierConfig, analysis: &Analysis) -> Vec<CheckError> {
+    let mut errors = call_depth(cfg, config);
+    for l in &cfg.loops {
+        // A loop no reachable state enters is dead code: nothing to prove.
+        if analysis.at(l.header).is_none() {
+            continue;
+        }
+        if !loop_proved(cfg, l, analysis) {
+            errors.push(CheckError::MayDiverge(Diagnostic::new(
+                l.latch,
+                None,
+                format!(
+                    "back-edge to insn {} is not cut by a provably decreasing counter",
+                    l.header
+                ),
+            )));
+        }
+    }
+    errors
+}
+
+/// The register an instruction writes, if any (hypercalls 3 and 6 write
+/// `r0`; unknown numbers are assumed to, conservatively).
+fn written_reg(insn: &Insn) -> Option<u8> {
+    match insn.op {
+        Opcode::Movi
+        | Opcode::Mov
+        | Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::Divu
+        | Opcode::Modu
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Shl
+        | Opcode::Shr
+        | Opcode::Ldb
+        | Opcode::Ldw
+        | Opcode::Addi => Some(insn.rd),
+        Opcode::Hcall => match insn.imm {
+            0 | 1 | 2 | 4 | 5 => None,
+            _ => Some(0),
+        },
+        _ => None,
+    }
+}
+
+/// Tries every candidate exit branch of the loop.
+fn loop_proved(cfg: &Cfg, l: &Loop, analysis: &Analysis) -> bool {
+    [l.header, l.latch]
+        .iter()
+        .any(|&b| exit_branch_proves(cfg, l, b, analysis))
+}
+
+/// Whether the branch at `b` provably terminates loop `l`.
+fn exit_branch_proves(cfg: &Cfg, l: &Loop, b: u32, analysis: &Analysis) -> bool {
+    let insn = cfg.insns[b as usize];
+    let succs = intra_succs(&insn, b);
+    let exits: Vec<bool> = succs.iter().map(|s| !l.nodes.contains(s)).collect();
+    // Exactly one way out: a branch with both edges inside proves
+    // nothing; both edges outside cannot be a loop node.
+    if exits.iter().filter(|&&e| e).count() != 1 {
+        return false;
+    }
+    match insn.op {
+        Opcode::Jz | Opcode::Jnz => {
+            // Either sense works: the counter changes by an odd constant
+            // every iteration, so it cannot stay equal (or unequal) to
+            // zero forever.
+            counter_step(cfg, l, insn.rs1, analysis).is_some_and(|step| step % 2 == 1)
+        }
+        Opcode::Jlt => {
+            let taken_exits = exits[0];
+            if taken_exits {
+                // Exit when a < b: `a` must step down by 1, with `b`
+                // loop-invariant and provably >= 1.
+                counter_step(cfg, l, insn.rs1, analysis) == Some(u32::MAX) // -1 as u32
+                    && register_invariant(cfg, l, insn.rs2)
+                    && analysis
+                        .at(b)
+                        .is_some_and(|st| st.regs[insn.rs2 as usize].range.lo >= 1)
+            } else {
+                // Continue while a < b: `a` must step up by 1, with `b`
+                // loop-invariant.
+                counter_step(cfg, l, insn.rs1, analysis) == Some(1)
+                    && register_invariant(cfg, l, insn.rs2)
+            }
+        }
+        _ => false,
+    }
+}
+
+/// If `reg` is written exactly once in the loop, by an `add`/`sub`/`addi`
+/// of a constant, at a point that cuts the loop and is not inside a
+/// strictly nested inner loop, returns the signed step (as a wrapped
+/// u32: `sub` by k yields `-k`). Otherwise `None`.
+fn counter_step(cfg: &Cfg, l: &Loop, reg: u8, analysis: &Analysis) -> Option<u32> {
+    let writes: Vec<u32> = l
+        .nodes
+        .iter()
+        .copied()
+        .filter(|&pc| written_reg(&cfg.insns[pc as usize]) == Some(reg))
+        .collect();
+    let [w] = writes.as_slice() else { return None };
+    let w = *w;
+    if !cuts_loop(&cfg.insns, l, w) {
+        return None;
+    }
+    // Inside a strictly nested loop the write may run many times per
+    // outer iteration; reject.
+    let nested = cfg
+        .loops
+        .iter()
+        .any(|l2| l2.nodes.contains(&w) && l2.nodes.is_subset(&l.nodes) && l2.nodes != l.nodes);
+    if nested {
+        return None;
+    }
+    let insn = cfg.insns[w as usize];
+    let state = analysis.at(w)?;
+    let const_of = |r: u8| state.regs[r as usize].range.as_exact();
+    match insn.op {
+        // The register must step itself (`add r, r, k`), else the "same
+        // arithmetic progression each iteration" argument breaks.
+        Opcode::Add if insn.rs1 == reg && insn.rs2 != reg => const_of(insn.rs2),
+        Opcode::Sub if insn.rs1 == reg && insn.rs2 != reg => {
+            const_of(insn.rs2).map(|k| k.wrapping_neg())
+        }
+        Opcode::Addi if insn.rs1 == reg => Some(insn.imm),
+        _ => None,
+    }
+}
+
+/// True when nothing inside the loop writes `reg`.
+fn register_invariant(cfg: &Cfg, l: &Loop, reg: u8) -> bool {
+    l.nodes
+        .iter()
+        .all(|&pc| written_reg(&cfg.insns[pc as usize]) != Some(reg))
+}
+
+/// Call-graph acyclicity + depth bound.
+fn call_depth(cfg: &Cfg, config: &VerifierConfig) -> Vec<CheckError> {
+    let mut errors = Vec::new();
+    // Depth = deepest chain of active calls starting from routine 0.
+    // DFS with memoization; a cycle (recursion) has unbounded depth.
+    let mut depth: BTreeMap<u32, Option<u32>> = BTreeMap::new(); // None = in progress
+    let mut cycle_at: Option<u32> = None;
+    fn dfs(
+        entry: u32,
+        graph: &BTreeMap<u32, std::collections::BTreeSet<u32>>,
+        depth: &mut BTreeMap<u32, Option<u32>>,
+        cycle_at: &mut Option<u32>,
+    ) -> u32 {
+        match depth.get(&entry) {
+            Some(Some(d)) => return *d,
+            Some(None) => {
+                cycle_at.get_or_insert(entry);
+                return 0;
+            }
+            None => {}
+        }
+        depth.insert(entry, None);
+        let mut best = 0;
+        if let Some(callees) = graph.get(&entry) {
+            for &c in callees {
+                best = best.max(1 + dfs(c, graph, depth, cycle_at));
+            }
+        }
+        depth.insert(entry, Some(best));
+        best
+    }
+    let deepest = dfs(0, &cfg.call_graph, &mut depth, &mut cycle_at);
+    if let Some(at) = cycle_at {
+        errors.push(CheckError::MayDiverge(Diagnostic::new(
+            at,
+            None,
+            "recursive call cycle: call depth is unbounded",
+        )));
+    } else if deepest > config.call_stack_max {
+        errors.push(CheckError::MayDiverge(Diagnostic::new(
+            0,
+            None,
+            format!(
+                "deepest call chain ({deepest}) exceeds the call-stack cap ({})",
+                config.call_stack_max
+            ),
+        )));
+    }
+    errors
+}

@@ -1,0 +1,230 @@
+//! Per-check rejection tests (one crafted program per check class) and
+//! the "every shipped program verifies clean" acceptance test.
+
+use flicker_palvm::{assemble, progs, Insn, Opcode};
+use flicker_verifier::{verify, verify_program, CheckError, VerifierConfig};
+
+fn classes(code: &[u8]) -> Vec<&'static str> {
+    verify(code).errors.iter().map(|e| e.class()).collect()
+}
+
+// ----- check 1: decode soundness ------------------------------------------
+
+#[test]
+fn rejects_undecodable_instruction() {
+    let mut code = assemble("movi r0, 1\nhalt").unwrap().code;
+    code[0] = 0xC3; // not a PalVM opcode
+    let v = verify(&code);
+    assert!(!v.is_ok());
+    assert!(matches!(v.errors[0], CheckError::Decode(_)));
+}
+
+#[test]
+fn rejects_out_of_range_branch_target() {
+    // Hand-encoded: the assembler itself now refuses this, so build the
+    // bytes directly.
+    let code: Vec<u8> = [
+        Insn {
+            op: Opcode::Jmp,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 1000,
+        },
+        Insn {
+            op: Opcode::Halt,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        },
+    ]
+    .iter()
+    .flat_map(|i| i.encode())
+    .collect();
+    assert!(classes(&code).contains(&"decode"));
+}
+
+#[test]
+fn rejects_fall_through_off_the_end() {
+    let p = assemble("movi r0, 1\nmovi r1, 2").unwrap();
+    assert!(classes(&p.code).contains(&"decode"));
+}
+
+// ----- check 2: memory bounds ---------------------------------------------
+
+#[test]
+fn rejects_load_outside_the_window() {
+    // The adversarial scanner aimed at kernel memory: provably out of
+    // window.
+    let p = progs::memory_scanner(0x30_0000, 64);
+    let v = verify_program(&p);
+    assert!(!v.is_ok());
+    assert!(v
+        .errors
+        .iter()
+        .any(|e| matches!(e, CheckError::MemoryBounds(_))));
+}
+
+#[test]
+fn rejects_store_below_the_window() {
+    let p = assemble("movi r1, 16\nmovi r2, 7\nstb [r1+0], r2\nhalt").unwrap();
+    assert!(classes(&p.code).contains(&"memory-bounds"));
+}
+
+#[test]
+fn accepts_scanner_aimed_at_its_own_inputs() {
+    // The same scanner constrained to the input page verifies: the
+    // branch refinement caps the loop counter below the exact length.
+    let cfg = VerifierConfig::default();
+    let p = progs::memory_scanner(cfg.inputs_base, 4);
+    let v = verify_program(&p);
+    assert!(v.is_ok(), "{}", v.report());
+}
+
+// ----- check 3: termination ------------------------------------------------
+
+#[test]
+fn rejects_unbounded_loop() {
+    let p = assemble("loop: jmp loop").unwrap();
+    let v = verify_program(&p);
+    assert!(
+        v.errors
+            .iter()
+            .any(|e| matches!(e, CheckError::MayDiverge(_))),
+        "{}",
+        v.report()
+    );
+}
+
+#[test]
+fn rejects_loop_with_even_step() {
+    // Counter stepping by 2 can hop over zero and spin forever.
+    let p = assemble("movi r1, 5\nloop: movi r2, 2\nsub r1, r1, r2\njnz r1, loop\nhalt").unwrap();
+    assert!(classes(&p.code).contains(&"termination"));
+}
+
+#[test]
+fn rejects_recursion() {
+    let p = assemble("f: call f\nhalt").unwrap();
+    assert!(classes(&p.code).contains(&"termination"));
+}
+
+#[test]
+fn accepts_counted_loop() {
+    let p = assemble(
+        "movi r1, 10\nmovi r2, 0\nloop: add r2, r2, r1\nmovi r3, 1\nsub r1, r1, r3\njnz r1, loop\nhalt",
+    )
+    .unwrap();
+    let v = verify_program(&p);
+    assert!(v.is_ok(), "{}", v.report());
+}
+
+// ----- check 4: hypercall discipline ---------------------------------------
+
+#[test]
+fn rejects_unknown_hypercall_number() {
+    // Hand-encoded: the assembler refuses unknown numbers now.
+    let code: Vec<u8> = [
+        Insn {
+            op: Opcode::Hcall,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 99,
+        },
+        Insn {
+            op: Opcode::Halt,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        },
+    ]
+    .iter()
+    .flat_map(|i| i.encode())
+    .collect();
+    assert!(classes(&code).contains(&"hypercall"));
+}
+
+#[test]
+fn rejects_unwritten_argument_register() {
+    // r0 is never written before the output hypercall on the taken path.
+    let p = assemble("jz r5, out\nmovi r0, 1\nout: hcall 0\nhalt").unwrap();
+    assert!(classes(&p.code).contains(&"hypercall"));
+}
+
+#[test]
+fn rejects_unsealed_secret_flowing_to_output() {
+    // Unseal into scratch, load a plaintext byte, emit it raw: the
+    // classic exfiltration the discipline exists to stop.
+    let src = "
+        mov r1, r14          ; blob at inputs
+        movi r2, 32          ; blob length
+        addi r3, r14, 0x200  ; plaintext scratch
+        hcall 6              ; unseal (taint source)
+        ldb r0, [r3+0]
+        hcall 0              ; leak a secret byte
+        halt";
+    let p = assemble(src).unwrap();
+    assert!(classes(&p.code).contains(&"hypercall"));
+}
+
+#[test]
+fn accepts_secret_released_through_hash() {
+    // Unseal, hash the plaintext (release point), emit the digest only.
+    let src = "
+        mov r1, r14
+        movi r2, 32
+        addi r3, r14, 0x200
+        hcall 6              ; unseal
+        mov r1, r3
+        movi r2, 32
+        addi r3, r14, 0x400
+        hcall 2              ; sha1(plaintext) -> digest (release)
+        mov r1, r3
+        movi r2, 20
+        hcall 5              ; output the digest
+        halt";
+    let p = assemble(src).unwrap();
+    let v = verify_program(&p);
+    assert!(v.is_ok(), "{}", v.report());
+}
+
+// ----- check 5: stack hygiene ----------------------------------------------
+
+#[test]
+fn rejects_ret_with_empty_stack() {
+    let p = assemble("movi r0, 1\nret").unwrap();
+    let v = verify_program(&p);
+    assert!(v
+        .errors
+        .iter()
+        .any(|e| matches!(e, CheckError::StackHygiene(_))));
+}
+
+// ----- acceptance: all shipped programs verify clean -----------------------
+
+#[test]
+fn all_canned_programs_verify_clean() {
+    let progs = [
+        ("hello_world", progs::hello_world()),
+        ("trial_division", progs::trial_division()),
+        ("kernel_hasher", progs::kernel_hasher()),
+    ];
+    for (name, p) in progs {
+        let v = verify_program(&p);
+        assert!(v.is_ok(), "{name} must verify:\n{}", v.report());
+    }
+}
+
+#[test]
+fn report_names_the_failing_check() {
+    let p = assemble("loop: jmp loop").unwrap();
+    let v = verify_program(&p);
+    let report = v.report();
+    assert!(report.contains("REJECTED"));
+    assert!(report.contains("[termination]"));
+    let ok = verify_program(&progs::hello_world());
+    assert!(ok.report().contains("VERIFIED"));
+}

@@ -10,6 +10,10 @@ cargo test --workspace -q
 # Deterministic robustness gate: 200 seeded fault schedules across the §6
 # applications; exits non-zero on any violation.
 cargo run --release -p flicker-bench --bin fault_sweep -- --seed 0 --schedules 200
+# Static-verification gate: every bytecode PAL the repo ships must pass
+# the verifier (`SlbImage::build` would refuse them at run time anyway;
+# this fails fast with the per-check report).
+cargo run --release -p flicker-verifier --bin palvm_tool -- verify --builtin
 # Perf-baseline gate: a quick traced run must still produce a schema-valid
 # report (written under target/ so the committed full-run artifact is never
 # clobbered), and the committed artifact must itself stay valid.
