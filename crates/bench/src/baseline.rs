@@ -83,13 +83,20 @@ impl BaselineConfig {
 /// Runs every application workload under one shared trace and returns the
 /// aggregated report document.
 pub fn run_baseline(cfg: &BaselineConfig) -> Value {
+    run_baseline_traced(cfg).0
+}
+
+/// Like [`run_baseline`], but also returns the shared [`Trace`] — the
+/// flight record the trace tool exports and the invariant auditor replays.
+pub fn run_baseline_traced(cfg: &BaselineConfig) -> (Value, Trace) {
     let trace = Trace::new();
     run_rootkit(&trace, cfg.iterations_per_app);
     run_ssh(&trace, cfg.iterations_per_app);
     run_distcomp(&trace, cfg.iterations_per_app);
     run_ca(&trace, cfg.iterations_per_app);
     run_storage(&trace, cfg.iterations_per_app);
-    report(cfg, &trace)
+    let doc = report(cfg, &trace);
+    (doc, trace)
 }
 
 // ---------------------------------------------------------------------------
@@ -110,6 +117,7 @@ fn run_rootkit(trace: &Trace, iterations: usize) {
     os.set_tracer(trace.clone());
     let mut link = NetLink::paper_verifier_link(11);
     link.set_tracer(trace.clone());
+    link.set_clock(os.clock());
     let known_good = known_good_hash(&os);
     let mut admin = Administrator::new(ca_public, known_good, link);
     for i in 0..iterations {
@@ -139,6 +147,7 @@ fn run_ssh(trace: &Trace, iterations: usize) {
     os.set_tracer(trace.clone());
     let mut link = NetLink::paper_verifier_link(12);
     link.set_tracer(trace.clone());
+    link.set_clock(os.clock());
     let mut client = SshClient::new(ca_public);
     let mut rng = XorShiftRng::new(0xBA5E_55E8);
     for _ in 0..iterations {
@@ -498,5 +507,47 @@ mod tests {
             m.insert("sessions".into(), Value::Number(9999.0));
         });
         assert!(validate(&bad).is_err());
+    }
+
+    #[test]
+    fn quick_baseline_trace_exports_and_audits_clean() {
+        use flicker_trace::{audit, export, DROPPED_EVENTS_COUNTER};
+
+        let cfg = BaselineConfig::quick();
+        let (doc, trace) = run_baseline_traced(&cfg);
+        validate(&doc).expect("traced quick baseline validates");
+
+        // Chrome trace_event export of the full five-app run is schema-
+        // checked: a JSON object with displayTimeUnit and non-empty
+        // traceEvents, each a complete ("X") or instant ("i") event
+        // carrying a name and timestamp.
+        let chrome = json::parse(&export::chrome_trace_json(&trace))
+            .expect("chrome trace export is valid JSON");
+        assert_eq!(
+            chrome.get("displayTimeUnit").and_then(Value::as_str),
+            Some("ms")
+        );
+        let trace_events = chrome
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert!(!trace_events.is_empty());
+        for te in trace_events {
+            let ph = te.get("ph").and_then(Value::as_str).expect("ph field");
+            assert!(ph == "X" || ph == "i", "unexpected phase type {ph:?}");
+            assert!(te.get("name").and_then(Value::as_str).is_some());
+            assert!(te.get("ts").and_then(Value::as_number).is_some());
+        }
+
+        // The JSONL dump round-trips losslessly.
+        let events = export::parse_events_jsonl(&export::events_jsonl(&trace))
+            .expect("jsonl export parses back");
+        assert_eq!(events.len(), trace.event_count());
+
+        // The acceptance bar: every application's normal sessions replay
+        // through the auditor with zero invariant violations, and the
+        // quick run fits the ring buffer (nothing dropped).
+        assert_eq!(audit::audit_events(&events), vec![]);
+        assert_eq!(trace.counter(DROPPED_EVENTS_COUNTER), 0);
     }
 }

@@ -3,28 +3,50 @@
 //! Every schedule must either survive (correct results despite faults) or
 //! recover (clean error, platform fully restored). Any violation — panic,
 //! leaked suspend state, secret residue, permanently unreadable sealed
-//! storage — is reported and makes the process exit non-zero.
+//! storage, or a flight-recorder audit failure — is reported and makes
+//! the process exit non-zero. Violating schedules dump their full flight
+//! record as JSONL (replayable with `flicker_trace_tool audit --jsonl`).
 //!
-//! Usage: `fault_sweep [--seed N] [--schedules N]`
+//! Usage: `fault_sweep [--seed N] [--schedules N] [--quick] [--dump-dir DIR]`
 
 use flicker_bench::faultsweep::{run_sweep, Outcome, APPS};
 use flicker_bench::print_table;
+use std::io::Write as _;
+use std::path::Path;
+
+/// `--quick` schedule count: enough to exercise every app and fault kind,
+/// small enough for a CI gate.
+const QUICK_SCHEDULES: u64 = 25;
 
 fn main() {
     let mut base_seed = 0u64;
     let mut schedules = 200u64;
+    let mut quick = false;
+    let mut dump_dir = String::from("target");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("{name} needs a numeric argument"))
+                .unwrap_or_else(|| panic!("{name} needs an argument"))
         };
         match arg.as_str() {
-            "--seed" => base_seed = value("--seed"),
-            "--schedules" => schedules = value("--schedules"),
+            "--seed" => {
+                base_seed = value("--seed")
+                    .parse()
+                    .expect("--seed needs a numeric argument");
+            }
+            "--schedules" => {
+                schedules = value("--schedules")
+                    .parse()
+                    .expect("--schedules needs a numeric argument");
+            }
+            "--quick" => quick = true,
+            "--dump-dir" => dump_dir = value("--dump-dir"),
             other => panic!("unknown argument: {other}"),
         }
+    }
+    if quick {
+        schedules = QUICK_SCHEDULES;
     }
 
     let report = run_sweep(base_seed, schedules);
@@ -66,6 +88,10 @@ fn main() {
     for r in report.violating() {
         if let Outcome::Violation(why) = &r.outcome {
             eprintln!("VIOLATION seed={} app={}: {why}", r.seed, r.app);
+            match dump_flight_record(&dump_dir, r.seed, r.app, &r.flight_record) {
+                Ok(path) => eprintln!("  flight record: {path}"),
+                Err(e) => eprintln!("  flight record dump failed: {e}"),
+            }
         }
     }
 
@@ -76,4 +102,21 @@ fn main() {
     if report.violations > 0 {
         std::process::exit(1);
     }
+}
+
+/// Writes one violating schedule's events to
+/// `<dir>/flight_record_seed<seed>_<app>.jsonl` and returns the path.
+fn dump_flight_record(
+    dir: &str,
+    seed: u64,
+    app: &str,
+    events: &[flicker_trace::Event],
+) -> Result<String, String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let path = Path::new(dir).join(format!("flight_record_seed{seed}_{app}.jsonl"));
+    let mut f = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+    for e in events {
+        writeln!(f, "{}", e.to_jsonl()).map_err(|e| e.to_string())?;
+    }
+    Ok(path.display().to_string())
 }

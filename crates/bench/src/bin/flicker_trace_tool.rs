@@ -1,0 +1,305 @@
+//! Flight-recorder trace tool: export, summarise, audit, and analyse a
+//! full §6 application run's event stream.
+//!
+//! ```text
+//! flicker_trace_tool export [--quick] [--format chrome|jsonl|prom]
+//!                           [--out PATH] [--verify]
+//! flicker_trace_tool summary [--quick]
+//! flicker_trace_tool audit [--quick | --jsonl PATH]
+//! flicker_trace_tool critical-path [--quick]
+//! ```
+//!
+//! Every subcommand except `audit --jsonl` runs the perf-baseline workload
+//! (all five applications) under one shared trace and operates on that
+//! flight record. `audit` exits non-zero if the stream breaks any of the
+//! paper's Figure-2/§4 invariants.
+
+use flicker_bench::baseline::{run_baseline_traced, BaselineConfig};
+use flicker_bench::{json, print_table};
+use flicker_trace::{audit, export, DurationHistogram, Trace, DROPPED_EVENTS_COUNTER};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage("missing subcommand");
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "export" => cmd_export(&args),
+        "summary" => cmd_summary(&args),
+        "audit" => cmd_audit(&args),
+        "critical-path" => cmd_critical_path(&args),
+        other => usage(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: flicker_trace_tool <subcommand> [options]\n\
+         \n\
+         subcommands:\n\
+         \x20 export        [--quick] [--format chrome|jsonl|prom] [--out PATH] [--verify]\n\
+         \x20 summary       [--quick]\n\
+         \x20 audit         [--quick | --jsonl PATH]\n\
+         \x20 critical-path [--quick]"
+    );
+    ExitCode::FAILURE
+}
+
+fn config(quick: bool) -> BaselineConfig {
+    if quick {
+        BaselineConfig::quick()
+    } else {
+        BaselineConfig::full()
+    }
+}
+
+fn record_flight(quick: bool) -> Trace {
+    eprintln!(
+        "recording flight: all five applications{}",
+        if quick { " (quick)" } else { "" }
+    );
+    run_baseline_traced(&config(quick)).1
+}
+
+// ----- export ---------------------------------------------------------------
+
+fn cmd_export(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut format = String::from("chrome");
+    let mut out: Option<String> = None;
+    let mut verify = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--verify" => verify = true,
+            "--format" => match it.next() {
+                Some(f) => format = f.clone(),
+                None => return usage("--format needs chrome|jsonl|prom"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown export argument {other:?}")),
+        }
+    }
+    let trace = record_flight(quick);
+    let text = match format.as_str() {
+        "chrome" => export::chrome_trace_json(&trace),
+        "jsonl" => export::events_jsonl(&trace),
+        "prom" => export::prometheus_text(&trace),
+        other => return usage(&format!("unknown format {other:?}")),
+    };
+    if verify {
+        if let Err(e) = verify_export(&format, &text, &trace) {
+            eprintln!("export self-check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("export self-check passed ({format})");
+    }
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path} ({} bytes)", text.len());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Smoke-checks an exported document: it must parse in its own format and
+/// agree with the trace it came from.
+fn verify_export(format: &str, text: &str, trace: &Trace) -> Result<(), String> {
+    match format {
+        "chrome" => {
+            let doc = json::parse(text).map_err(|e| format!("chrome JSON invalid: {e}"))?;
+            let events = doc
+                .get("traceEvents")
+                .and_then(json::Value::as_array)
+                .ok_or("traceEvents missing")?;
+            if events.is_empty() {
+                return Err("no trace events".into());
+            }
+            Ok(())
+        }
+        "jsonl" => {
+            let events = export::parse_events_jsonl(text)?;
+            if events.len() != trace.event_count() {
+                return Err(format!(
+                    "round-trip lost events: {} != {}",
+                    events.len(),
+                    trace.event_count()
+                ));
+            }
+            Ok(())
+        }
+        "prom" => {
+            if !text.lines().any(|l| l.starts_with("# TYPE flicker_")) {
+                return Err("no flicker_* metric families".into());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown format {other:?}")),
+    }
+}
+
+// ----- summary --------------------------------------------------------------
+
+fn cmd_summary(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => return usage(&format!("unknown summary argument {other:?}")),
+        }
+    }
+    let trace = record_flight(quick);
+    let events = trace.events();
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in &events {
+        *by_kind.entry(e.kind.name()).or_insert(0) += 1;
+    }
+    let rows: Vec<Vec<String>> = by_kind
+        .iter()
+        .map(|(kind, n)| vec![kind.to_string(), n.to_string()])
+        .collect();
+    print_table("Flight-recorder events by kind", &["kind", "count"], &rows);
+    let sessions = trace.spans_named("phase.suspend").len();
+    println!("\nsessions:       {sessions}");
+    println!("events kept:    {}", events.len());
+    println!(
+        "events dropped: {} (ring-buffer evictions, `{DROPPED_EVENTS_COUNTER}`)",
+        trace.counter(DROPPED_EVENTS_COUNTER)
+    );
+    ExitCode::SUCCESS
+}
+
+// ----- audit ----------------------------------------------------------------
+
+fn cmd_audit(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut jsonl: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jsonl" => match it.next() {
+                Some(p) => jsonl = Some(p.clone()),
+                None => return usage("--jsonl needs a path"),
+            },
+            other => return usage(&format!("unknown audit argument {other:?}")),
+        }
+    }
+    let events = match jsonl {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("reading {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match export::parse_events_jsonl(&text) {
+                Ok(events) => events,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => record_flight(quick).events(),
+    };
+    let violations = audit::audit_events(&events);
+    if violations.is_empty() {
+        println!(
+            "audit clean: {} events satisfy every Figure-2/§4 invariant",
+            events.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!("VIOLATION {v}");
+    }
+    eprintln!("{} invariant violation(s)", violations.len());
+    ExitCode::FAILURE
+}
+
+// ----- critical-path --------------------------------------------------------
+
+fn cmd_critical_path(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => return usage(&format!("unknown critical-path argument {other:?}")),
+        }
+    }
+    let trace = record_flight(quick);
+
+    // Where session wall-time goes, by Figure-2 phase.
+    let mut phase_totals: Vec<(String, Duration, u64)> = Vec::new();
+    let mut grand_total = Duration::ZERO;
+    for name in flicker_core::PHASE_SPAN_NAMES {
+        let spans = trace.spans_named(name);
+        let total: Duration = spans.iter().filter_map(|s| s.duration).sum();
+        grand_total += total;
+        phase_totals.push((name.to_string(), total, spans.len() as u64));
+    }
+    phase_totals.sort_by_key(|t| std::cmp::Reverse(t.1));
+    let rows: Vec<Vec<String>> = phase_totals
+        .iter()
+        .map(|(name, total, n)| {
+            let share = if grand_total.is_zero() {
+                0.0
+            } else {
+                total.as_secs_f64() / grand_total.as_secs_f64() * 100.0
+            };
+            vec![
+                name.clone(),
+                n.to_string(),
+                format!("{:.1}", total.as_secs_f64() * 1e3),
+                format!("{share:.1}%"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Critical path: session time by phase",
+        &["phase", "spans", "total_ms", "share"],
+        &rows,
+    );
+
+    // The TPM ordinals behind those phases, by total simulated time.
+    let mut ordinals: Vec<(&'static str, DurationHistogram)> = trace
+        .histograms()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("tpm.TPM_"))
+        .collect();
+    ordinals.sort_by_key(|o| std::cmp::Reverse(o.1.sum()));
+    let rows: Vec<Vec<String>> = ordinals
+        .iter()
+        .take(8)
+        .map(|(name, h)| {
+            vec![
+                name.to_string(),
+                h.count().to_string(),
+                format!("{:.1}", h.sum().as_secs_f64() * 1e3),
+                format!("{:.1}", h.mean().as_secs_f64() * 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        "Dominant TPM ordinals",
+        &["ordinal", "count", "total_ms", "mean_ms"],
+        &rows,
+    );
+    ExitCode::SUCCESS
+}

@@ -3,27 +3,40 @@
 //! latency percentiles as `BENCH_perf_baseline.json`.
 //!
 //! ```text
-//! perf_baseline [--quick] [--out PATH]   # run and write the report
+//! perf_baseline [--quick] [--out PATH] [--audit] [--trajectory PATH]
 //! perf_baseline --check PATH             # validate an existing report
 //! ```
+//!
+//! Every run (other than `--check`) also appends a one-line JSONL summary
+//! to the trajectory file (default `BENCH_trajectory.jsonl`) so latency
+//! drift across commits is diffable without re-running old revisions.
 
-use flicker_bench::baseline::{run_baseline, validate, BaselineConfig};
+use flicker_bench::baseline::{run_baseline_traced, validate, BaselineConfig};
 use flicker_bench::json::{self, Value};
 use flicker_bench::print_table;
+use flicker_trace::audit;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut quick = false;
     let mut out = String::from("BENCH_perf_baseline.json");
+    let mut trajectory = String::from("BENCH_trajectory.jsonl");
+    let mut audit_run = false;
     let mut check: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--audit" => audit_run = true,
             "--out" => match args.next() {
                 Some(path) => out = path,
                 None => return usage("--out needs a path"),
+            },
+            "--trajectory" => match args.next() {
+                Some(path) => trajectory = path,
+                None => return usage("--trajectory needs a path"),
             },
             "--check" => match args.next() {
                 Some(path) => check = Some(path),
@@ -47,7 +60,7 @@ fn main() -> ExitCode {
         cfg.iterations_per_app,
         if cfg.quick { " (quick)" } else { "" },
     );
-    let doc = run_baseline(&cfg);
+    let (doc, trace) = run_baseline_traced(&cfg);
     let sessions = match validate(&doc) {
         Ok(n) => n,
         Err(e) => {
@@ -55,19 +68,98 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if audit_run {
+        let events = trace.events();
+        let violations = audit::audit_events(&events);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("VIOLATION {v}");
+            }
+            eprintln!(
+                "trace audit failed: {} violation(s) over {} events",
+                violations.len(),
+                events.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "trace audit clean: {} events satisfy every Figure-2/§4 invariant",
+            events.len()
+        );
+    }
     if let Err(e) = std::fs::write(&out, doc.to_pretty()) {
         eprintln!("writing {out}: {e}");
         return ExitCode::FAILURE;
     }
+    if let Err(e) = append_trajectory(&trajectory, &doc, sessions) {
+        eprintln!("appending {trajectory}: {e}");
+        return ExitCode::FAILURE;
+    }
     print_summary(&doc);
-    eprintln!("\nwrote {out} ({sessions} sessions)");
+    eprintln!("\nwrote {out} ({sessions} sessions); appended {trajectory}");
     ExitCode::SUCCESS
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
-    eprintln!("usage: perf_baseline [--quick] [--out PATH] [--check PATH]");
+    eprintln!(
+        "usage: perf_baseline [--quick] [--out PATH] [--audit] [--trajectory PATH] [--check PATH]"
+    );
     ExitCode::FAILURE
+}
+
+/// Best-effort current commit for trajectory lines; benches must run in
+/// exported tarballs too, so a missing `git` degrades to `"unknown"`.
+fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Appends one JSONL summary line (commit, quick, sessions, per-app
+/// p50/p95) to the trajectory file, creating it if absent.
+fn append_trajectory(path: &str, doc: &Value, sessions: u64) -> Result<(), String> {
+    let mut apps = BTreeMap::new();
+    if let Some(entries) = doc.get("apps").and_then(Value::as_object) {
+        for (name, stats) in entries {
+            let pick = |key: &str| stats.get(key).cloned().unwrap_or(Value::Null);
+            apps.insert(
+                name.clone(),
+                Value::Object(BTreeMap::from([
+                    ("p50_ms".into(), pick("p50_ms")),
+                    ("p95_ms".into(), pick("p95_ms")),
+                ])),
+            );
+        }
+    }
+    let line = Value::Object(BTreeMap::from([
+        (
+            "schema".into(),
+            Value::String("flicker-bench-trajectory/v1".into()),
+        ),
+        ("commit".into(), Value::String(current_commit())),
+        (
+            "quick".into(),
+            doc.get("quick").cloned().unwrap_or(Value::Null),
+        ),
+        ("sessions".into(), Value::Number(sessions as f64)),
+        ("apps".into(), Value::Object(apps)),
+    ]));
+    let mut text = line.to_compact();
+    text.push('\n');
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| e.to_string())?;
+    f.write_all(text.as_bytes()).map_err(|e| e.to_string())
 }
 
 fn check_file(path: &str) -> ExitCode {

@@ -29,6 +29,7 @@ use flicker_crypto::{RsaPrivateKey, RsaPublicKey};
 use flicker_faults::{FaultCounts, FaultInjector, FaultPlan};
 use flicker_os::{NetLink, Os, OsConfig};
 use flicker_tpm::{AikCertificate, PrivacyCa, SealedBlob};
+use flicker_trace::{audit, Event, Trace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
@@ -68,6 +69,10 @@ pub struct ScheduleResult {
     pub outcome: Outcome,
     /// Faults the plan actually fired.
     pub faults: FaultCounts,
+    /// The schedule's flight record, kept only when the outcome is a
+    /// violation (so a failing sweep can dump exactly what the platform
+    /// did); empty otherwise.
+    pub flight_record: Vec<Event>,
 }
 
 /// The whole sweep's results plus aggregate counts.
@@ -116,6 +121,13 @@ pub fn run_schedule(seed: u64) -> ScheduleResult {
     let app = APPS[(seed % APPS.len() as u64) as usize];
     let mut os = Os::boot(OsConfig::fast_for_tests((seed % 211) as u8 + 1));
     let mut link = NetLink::paper_verifier_link(seed);
+    // Every schedule flies with the recorder on: after classification the
+    // event stream is replayed through the paper-invariant auditor, and on
+    // a violation it is kept for the post-mortem dump.
+    let trace = Trace::new();
+    os.set_tracer(trace.clone());
+    link.set_tracer(trace.clone());
+    link.set_clock(os.clock());
 
     // Provisioning (Privacy-CA interaction, AIK certification) is
     // manufacture-time setup, not the protocol under test: it happens
@@ -184,11 +196,28 @@ pub fn run_schedule(seed: u64) -> ScheduleResult {
             classify(&mut os, result, &last_blob)
         }
     };
+    // The trace audit is part of the robustness contract: a schedule that
+    // "recovered" but whose flight record shows a Figure-2 invariant broken
+    // (a resume without erasure, an unmeasured unseal) is a violation.
+    let events = trace.events();
+    let outcome = match outcome {
+        Outcome::Violation(v) => Outcome::Violation(v),
+        other => match audit::audit_events(&events).first() {
+            None => other,
+            Some(v) => Outcome::Violation(format!("trace audit: {v}")),
+        },
+    };
+    let flight_record = if matches!(outcome, Outcome::Violation(_)) {
+        events
+    } else {
+        Vec::new()
+    };
     ScheduleResult {
         seed,
         app,
         outcome,
         faults,
+        flight_record,
     }
 }
 

@@ -51,6 +51,14 @@ impl Value {
         }
     }
 
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
     /// The value as a bool, if it is one.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
@@ -62,6 +70,47 @@ impl Value {
     /// Member lookup on an object (`None` for non-objects/missing keys).
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Serializes on a single line with no insignificant whitespace
+    /// (JSONL-friendly).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     /// Serializes with 2-space indentation and `\n` line ends.
@@ -388,6 +437,21 @@ mod tests {
         assert!(parse("{\"a\":1} trailing").is_err());
         assert!(parse("\"unterminated").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let doc = Value::Object(BTreeMap::from([
+            ("a b".into(), Value::String("with space".into())),
+            (
+                "list".into(),
+                Value::Array(vec![Value::Number(1.0), Value::Null, Value::Bool(true)]),
+            ),
+        ]));
+        let text = doc.to_compact();
+        assert!(!text.contains('\n'));
+        assert_eq!(text, r#"{"a b":"with space","list":[1,null,true]}"#);
+        assert_eq!(parse(&text).unwrap(), doc);
     }
 
     #[test]

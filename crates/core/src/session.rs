@@ -24,7 +24,7 @@ use crate::slb::{
 use flicker_machine::{SimClock, Stopwatch};
 use flicker_os::Os;
 use flicker_palvm::NUM_REGS;
-use flicker_trace::{OpEvent, SpanId, Trace};
+use flicker_trace::{EventKind, OpEvent, SpanId, Trace};
 use std::time::Duration;
 
 /// Default physical address where the flicker-module allocates SLBs (fixed
@@ -161,12 +161,26 @@ pub const VERIFY_ACCEPT_COUNTER: &str = "verify.accept";
 pub const VERIFY_REJECT_COUNTER: &str = "verify.reject";
 
 fn phase_start(tracer: &Option<Trace>, clock: &SimClock, name: &'static str) -> Option<SpanId> {
-    tracer.as_ref().map(|t| t.span_start(name, clock.now()))
+    tracer.as_ref().map(|t| {
+        t.event(
+            clock.now(),
+            EventKind::PhaseStart {
+                name: name.to_string(),
+            },
+        );
+        t.span_start(name, clock.now())
+    })
 }
 
-fn phase_end(tracer: &Option<Trace>, clock: &SimClock, id: Option<SpanId>) {
+fn phase_end(tracer: &Option<Trace>, clock: &SimClock, name: &'static str, id: Option<SpanId>) {
     if let (Some(t), Some(id)) = (tracer.as_ref(), id) {
         t.span_end(id, clock.now());
+        t.event(
+            clock.now(),
+            EventKind::PhaseEnd {
+                name: name.to_string(),
+            },
+        );
     }
 }
 
@@ -275,6 +289,11 @@ pub fn run_session(
     let tracer = os.machine().tracer().cloned();
     let total_sw = Stopwatch::start(&clock);
     let slb_base = params.slb_base;
+    let session_id = tracer.as_ref().map(|t| {
+        let id = t.next_session_id();
+        t.event(clock.now(), EventKind::SessionStart { id });
+        id
+    });
 
     // ----- Static verification (observability) ------------------------------
     // `SlbImage::build` already gates on the verifier; re-running it here
@@ -294,7 +313,7 @@ pub fn run_session(
                 1,
             );
         }
-        phase_end(&tracer, &clock, span);
+        phase_end(&tracer, &clock, VERIFY_SPAN_NAME, span);
     }
 
     // ----- Accept SLB + inputs; initialize (patch) the SLB ------------------
@@ -336,7 +355,7 @@ pub fn run_session(
         .write(slb_base + SAVED_STATE_OFFSET, &saved_state)?;
     machine.charge_cpu(SUSPEND_COST);
     machine.check_power()?;
-    phase_end(&tracer, &clock, span);
+    phase_end(&tracer, &clock, "phase.suspend", span);
     let t_suspend = sw.elapsed();
 
     // ----- SKINIT ---------------------------------------------------------------
@@ -349,7 +368,7 @@ pub fn run_session(
         flicker_crypto::sha1::sha1(&measured_at_base)
     );
     machine.check_power()?;
-    phase_end(&tracer, &clock, span);
+    phase_end(&tracer, &clock, "phase.skinit", span);
     let t_skinit = sw.elapsed();
 
     // ----- Hashing stub (optional §7.2 path) --------------------------------------
@@ -375,7 +394,7 @@ pub fn run_session(
         }
     }
     machine.check_power()?;
-    phase_end(&tracer, &clock, span);
+    phase_end(&tracer, &clock, "phase.stub_measure", span);
     let t_stub = sw.elapsed();
 
     // ----- SLB Core init + PAL execution ---------------------------------------
@@ -435,7 +454,7 @@ pub fn run_session(
     }
     let ops = ctx.take_ops();
     machine.check_power()?;
-    phase_end(&tracer, &clock, span);
+    phase_end(&tracer, &clock, "phase.pal", span);
     let t_pal = sw.elapsed();
 
     // ----- Cleanup + terminal extends (SLB Core) ---------------------------------
@@ -473,7 +492,7 @@ pub fn run_session(
     machine.tpm_op_retrying(|t| t.pcr_extend(17, &TERMINATOR))?;
     let pcr17_final = machine.tpm_op_retrying(|t| t.pcr_read(17))?;
     machine.check_power()?;
-    phase_end(&tracer, &clock, span);
+    phase_end(&tracer, &clock, "phase.cleanup", span);
     let t_cleanup = sw.elapsed();
 
     // ----- Resume OS ---------------------------------------------------------------
@@ -484,8 +503,11 @@ pub fn run_session(
     machine.check_power()?;
     guard.os.resume_after_session()?;
     guard.disarm();
-    phase_end(&tracer, &clock, span);
+    phase_end(&tracer, &clock, "phase.resume", span);
     let t_resume = sw.elapsed();
+    if let (Some(t), Some(id)) = (tracer.as_ref(), session_id) {
+        t.event(clock.now(), EventKind::SessionEnd { id });
+    }
 
     Ok(SessionRecord {
         outputs,

@@ -1041,3 +1041,45 @@ fn traced_bytecode_session_records_the_verifier_verdict() {
     assert_eq!(trace.counter(VERIFY_ACCEPT_COUNTER), 1);
     assert_eq!(trace.counter(VERIFY_REJECT_COUNTER), 1);
 }
+
+#[test]
+fn traced_session_event_stream_audits_clean() {
+    let mut os = test_os(36);
+    let trace = flicker_trace::Trace::default();
+    os.set_tracer(trace.clone());
+
+    // A seal session then an unseal session: the unseal exercises the
+    // auditor's strictest rule (TPM_Unseal only inside a measured PAL).
+    let slb1 = native_slb(
+        b"audited-pal",
+        SealerPal {
+            secret: b"flight-recorded secret".to_vec(),
+        },
+    );
+    let r1 = run_session(&mut os, &slb1, &SessionParams::default()).unwrap();
+    assert_eq!(r1.pal_result, Ok(()));
+    let slb2 = native_slb(b"audited-pal", UnsealerPal);
+    let r2 = run_session(&mut os, &slb2, &SessionParams::with_inputs(r1.outputs)).unwrap();
+    assert_eq!(r2.pal_result, Ok(()));
+
+    let events = trace.events();
+    let names: Vec<_> = events.iter().map(|e| e.kind.name()).collect();
+    assert_eq!(names.iter().filter(|n| **n == "session_start").count(), 2);
+    assert_eq!(names.iter().filter(|n| **n == "session_end").count(), 2);
+    assert!(matches!(
+        events[0].kind,
+        flicker_trace::EventKind::SessionStart { id: 1 }
+    ));
+    assert_eq!(
+        names.iter().filter(|n| **n == "phase_start").count(),
+        names.iter().filter(|n| **n == "phase_end").count(),
+        "every phase start has a matching end"
+    );
+    assert!(
+        names.contains(&"tpm_command"),
+        "TPM traffic is on the record"
+    );
+
+    // The real driver's stream satisfies every Figure-2 / §4 invariant.
+    assert_eq!(flicker_trace::audit::audit_events(&events), vec![]);
+}

@@ -28,6 +28,26 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// Stable names for *fired* faults, used as the `fault` field of
+/// flight-recorder `FaultInjected` events. Substrates emit these at the
+/// moment a gate actually fires (not when the plan is merely armed), so an
+/// event stream shows exactly which fault landed where; keeping them here
+/// means the emitting crates and any audit tooling agree on spelling.
+pub mod fired {
+    /// A gated TPM command reported `TPM_E_RETRY`.
+    pub const TPM_TRANSIENT: &str = "tpm_transient";
+    /// An NV write persisted only a prefix before failing.
+    pub const TORN_NV_WRITE: &str = "torn_nv_write";
+    /// The platform's power-loss latch tripped.
+    pub const POWER_LOSS: &str = "power_loss";
+    /// A physical memory write faulted.
+    pub const MEM_WRITE: &str = "mem_write";
+    /// A network message was dropped.
+    pub const NET_DROP: &str = "net_drop";
+    /// A network message was delayed beyond the link's sampled latency.
+    pub const NET_DELAY: &str = "net_delay";
+}
+
 /// One armed fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Fault {
@@ -69,6 +89,20 @@ pub enum Fault {
         /// Added one-way delay.
         extra: Duration,
     },
+}
+
+impl Fault {
+    /// The [`fired`] name this fault produces when its gate trips.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Fault::TpmTransient { .. } => fired::TPM_TRANSIENT,
+            Fault::TornNvWrite { .. } => fired::TORN_NV_WRITE,
+            Fault::PowerLossAfter { .. } => fired::POWER_LOSS,
+            Fault::MemWriteFault { .. } => fired::MEM_WRITE,
+            Fault::NetDrop { .. } => fired::NET_DROP,
+            Fault::NetDelay { .. } => fired::NET_DELAY,
+        }
+    }
 }
 
 /// A deterministic schedule of faults.

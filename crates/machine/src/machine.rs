@@ -13,9 +13,9 @@ use crate::dev::{DevProtection, DeviceExclusionVector};
 use crate::error::{MachineError, MachineResult};
 use crate::memory::PhysMemory;
 use crate::skinit::{SkinitCostModel, SLB_MAX_LEN};
-use flicker_faults::FaultInjector;
+use flicker_faults::{fired, FaultInjector};
 use flicker_tpm::{Tpm, TpmConfig, TpmError, TpmResult};
-use flicker_trace::Trace;
+use flicker_trace::{EventKind, Trace};
 use std::time::Duration;
 
 /// Backoff schedule for transient TPM busy responses: the driver retries a
@@ -113,10 +113,13 @@ impl Machine {
     pub fn new(config: MachineConfig) -> Self {
         let mut tpm = Tpm::manufacture(config.tpm);
         tpm.take_ownership();
+        let clock = SimClock::new();
+        let mut memory = PhysMemory::new(config.mem_size);
+        memory.set_clock(clock.clone());
         Machine {
-            clock: SimClock::new(),
+            clock,
             tpm,
-            memory: PhysMemory::new(config.mem_size),
+            memory,
             cpus: CpuComplex::new(config.num_cores),
             dev: DeviceExclusionVector::new(),
             skinit_cost: config.skinit_cost,
@@ -151,6 +154,27 @@ impl Machine {
     /// The installed trace recorder, if any (cheap cloneable handle).
     pub fn tracer(&self) -> Option<&Trace> {
         self.tracer.as_ref()
+    }
+
+    /// Records a flight-recorder event at the current virtual time.
+    fn emit(&self, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.event(self.clock.now(), kind);
+        }
+    }
+
+    /// Drains the TPM's pended flight-recorder events, stamping each with
+    /// the current virtual time (the completion time of the command batch
+    /// that produced them — the clock has just been advanced by
+    /// `take_elapsed`).
+    fn drain_tpm_events(&mut self) {
+        if self.tracer.is_some() {
+            for kind in self.tpm.take_pending_events() {
+                self.emit(kind);
+            }
+        } else {
+            self.tpm.take_pending_events();
+        }
     }
 
     // ----- fault injection ------------------------------------------------
@@ -197,6 +221,9 @@ impl Machine {
             if let Some(inj) = &self.injector {
                 if inj.power_loss_due(self.clock.now()) {
                     self.power_lost = true;
+                    self.emit(EventKind::FaultInjected {
+                        fault: fired::POWER_LOSS.to_string(),
+                    });
                 }
             }
         }
@@ -216,6 +243,7 @@ impl Machine {
         self.dev = DeviceExclusionVector::new();
         self.active = None;
         self.power_lost = false;
+        self.emit(EventKind::Reboot);
     }
 
     // ----- accessors -----------------------------------------------------
@@ -266,6 +294,7 @@ impl Machine {
     pub fn tpm_op<T>(&mut self, f: impl FnOnce(&mut Tpm) -> T) -> T {
         let out = f(&mut self.tpm);
         self.clock.advance(self.tpm.take_elapsed());
+        self.drain_tpm_events();
         self.poll_power();
         out
     }
@@ -390,6 +419,10 @@ impl Machine {
         if let Some(t) = &self.tracer {
             t.counter_add("dev.protect", 1);
         }
+        self.emit(EventKind::DevProtect {
+            base: slb_base,
+            len: SLB_MAX_LEN as u64,
+        });
         let saved = {
             let bsp = self.cpus.bsp_mut();
             let saved = SavedCpuState {
@@ -402,6 +435,7 @@ impl Machine {
             bsp.mode = CpuMode::Flat32;
             saved
         };
+        self.emit(EventKind::InterruptsChanged { enabled: false });
 
         // Measurement: the TPM resets dynamic PCRs and hashes the SLB. Only
         // the declared `slb_len` bytes are measured (and only they should
@@ -413,10 +447,15 @@ impl Machine {
         let instr_time = self.skinit_cost.cost(slb_len);
         self.clock.advance(tpm_time);
         self.clock.advance(instr_time);
+        self.drain_tpm_events();
         self.poll_power();
         if let Some(t) = &self.tracer {
             t.observe("machine.skinit", tpm_time + instr_time);
         }
+        self.emit(EventKind::Skinit {
+            slb_base,
+            slb_len: slb_len as u64,
+        });
 
         self.active = Some(ActiveSkinit {
             slb_base,
@@ -451,6 +490,7 @@ impl Machine {
                 if let Some(t) = &self.tracer {
                     t.counter_add("dev.protect", 1);
                 }
+                self.emit(EventKind::DevProtect { base: addr, len });
                 Ok(())
             }
             None => {
@@ -476,11 +516,16 @@ impl Machine {
         if let Some(t) = &self.tracer {
             t.counter_add("dev.release", releases);
         }
+        self.emit(EventKind::DevRelease { count: releases });
+        let restored_if = active.saved.interrupts_enabled;
         let bsp = self.cpus.bsp_mut();
-        bsp.interrupts_enabled = active.saved.interrupts_enabled;
+        bsp.interrupts_enabled = restored_if;
         bsp.debug_enabled = active.saved.debug_enabled;
         bsp.mode = active.saved.mode;
         self.cpus.restart_aps();
+        self.emit(EventKind::InterruptsChanged {
+            enabled: restored_if,
+        });
         Ok(())
     }
 
@@ -492,6 +537,7 @@ impl Machine {
         self.cpus = CpuComplex::new(self.cpus.len());
         self.dev = DeviceExclusionVector::new();
         self.active = None;
+        self.emit(EventKind::Reboot);
     }
 }
 
@@ -823,5 +869,90 @@ mod tests {
             "RAM contents died with the power"
         );
         assert!(m.dma_read(0x10_0000, 4).is_ok(), "DEV cleared");
+    }
+
+    #[test]
+    fn flight_recorder_event_order_audits_clean() {
+        let mut m = machine_with_slb(0x10_0000, b"audited pal");
+        let trace = Trace::default();
+        m.set_tracer(trace.clone());
+
+        m.skinit(0, 0x10_0000).unwrap();
+        m.memory_mut().zeroize(0x10_0000, 0x1_0000).unwrap();
+        m.resume_os().unwrap();
+
+        let events = trace.events();
+        let names: Vec<&'static str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "dev_protect",
+                "interrupts",
+                "pcr_reset",
+                "pcr_extend",
+                "skinit",
+                "zeroize",
+                "dev_release",
+                "interrupts",
+            ]
+        );
+        assert!(matches!(
+            events[4].kind,
+            EventKind::Skinit {
+                slb_base: 0x10_0000,
+                ..
+            }
+        ));
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at, "timestamps not monotone");
+        }
+        assert!(events[4].at > Duration::ZERO, "SKINIT stamped post-launch");
+        assert_eq!(flicker_trace::audit::audit_events(&events), vec![]);
+    }
+
+    #[test]
+    fn flight_recorder_catches_resume_without_zeroize() {
+        let mut m = machine_with_slb(0x10_0000, b"leaky pal");
+        let trace = Trace::default();
+        m.set_tracer(trace.clone());
+
+        m.skinit(0, 0x10_0000).unwrap();
+        m.resume_os().unwrap(); // no zeroize of the SLB window
+
+        let violations = flicker_trace::audit::audit_events(&trace.events());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == flicker_trace::audit::Invariant::ZeroizeBeforeResume),
+            "expected zeroize-before-resume violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_catches_unseal_outside_session() {
+        use flicker_tpm::{CommandAuth, SealedBlob};
+        let mut m = Machine::new(MachineConfig::fast_for_tests(8));
+        let trace = Trace::default();
+        m.set_tracer(trace.clone());
+
+        // A garbage blob still charges (and records) the TPM_Unseal command
+        // before the blob fails to open — exactly what an auditor watching
+        // the bus would see.
+        let blob = SealedBlob::from_bytes(vec![0u8; 64]);
+        let auth = CommandAuth {
+            session_handle: 0,
+            nonce_odd: [0; 20],
+            continue_session: false,
+            hmac: [0; 20],
+        };
+        assert!(m.tpm_op(|t| t.unseal(&blob, &auth)).is_err());
+
+        let violations = flicker_trace::audit::audit_events(&trace.events());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == flicker_trace::audit::Invariant::UnsealWithoutMeasurement),
+            "expected unseal-without-measurement violation, got {violations:?}"
+        );
     }
 }

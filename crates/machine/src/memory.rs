@@ -1,8 +1,9 @@
 //! Flat physical memory.
 
+use crate::clock::SimClock;
 use crate::error::{MachineError, MachineResult};
-use flicker_faults::FaultInjector;
-use flicker_trace::Trace;
+use flicker_faults::{fired, FaultInjector};
+use flicker_trace::{EventKind, Trace};
 
 /// The platform's physical RAM, addressed from 0.
 #[derive(Debug, Clone)]
@@ -10,6 +11,7 @@ pub struct PhysMemory {
     bytes: Vec<u8>,
     injector: Option<FaultInjector>,
     tracer: Option<Trace>,
+    clock: Option<SimClock>,
 }
 
 impl PhysMemory {
@@ -19,7 +21,18 @@ impl PhysMemory {
             bytes: vec![0u8; size],
             injector: None,
             tracer: None,
+            clock: None,
         }
+    }
+
+    /// Shares the platform clock so flight-recorder events carry real
+    /// virtual timestamps; without it they are stamped `Duration::ZERO`.
+    pub fn set_clock(&mut self, clock: SimClock) {
+        self.clock = Some(clock);
+    }
+
+    fn now(&self) -> std::time::Duration {
+        self.clock.as_ref().map(SimClock::now).unwrap_or_default()
     }
 
     /// Installs a fault injector; subsequent stores consult its gate.
@@ -68,6 +81,14 @@ impl PhysMemory {
         let r = self.range(addr, data.len())?;
         if let Some(inj) = &self.injector {
             if inj.mem_write_fault(addr) {
+                if let Some(t) = &self.tracer {
+                    t.event(
+                        self.now(),
+                        EventKind::FaultInjected {
+                            fault: fired::MEM_WRITE.to_string(),
+                        },
+                    );
+                }
                 return Err(MachineError::MemWriteFault { addr });
             }
         }
@@ -89,6 +110,13 @@ impl PhysMemory {
         self.bytes[r].fill(0);
         if let Some(t) = &self.tracer {
             t.counter_add("mem.zeroize_bytes", len as u64);
+            t.event(
+                self.now(),
+                EventKind::Zeroize {
+                    base: addr,
+                    len: len as u64,
+                },
+            );
         }
         Ok(())
     }

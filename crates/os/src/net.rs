@@ -8,8 +8,9 @@
 //! from a seed.
 
 use flicker_crypto::{CryptoRng, HmacDrbg};
-use flicker_faults::{FaultInjector, NetFault};
-use flicker_trace::Trace;
+use flicker_faults::{fired, FaultInjector, NetFault};
+use flicker_machine::SimClock;
+use flicker_trace::{EventKind, Trace};
 use std::time::Duration;
 
 /// A bidirectional latency-modelled link.
@@ -20,6 +21,7 @@ pub struct NetLink {
     drbg: HmacDrbg,
     injector: Option<FaultInjector>,
     tracer: Option<Trace>,
+    clock: Option<SimClock>,
 }
 
 impl NetLink {
@@ -33,7 +35,14 @@ impl NetLink {
             drbg: HmacDrbg::new(&seed.to_be_bytes(), b"netlink"),
             injector: None,
             tracer: None,
+            clock: None,
         }
+    }
+
+    /// Shares the platform clock so injected-drop flight-recorder events
+    /// carry virtual timestamps; without it they are stamped zero.
+    pub fn set_clock(&mut self, clock: SimClock) {
+        self.clock = Some(clock);
     }
 
     /// Installs a fault injector; subsequent messages consult its gate for
@@ -100,6 +109,13 @@ impl NetLink {
             Some(NetFault::Drop) => {
                 if let Some(tr) = &self.tracer {
                     tr.counter_add("net.drop", 1);
+                    let at = self.clock.as_ref().map(SimClock::now).unwrap_or_default();
+                    tr.event(
+                        at,
+                        EventKind::FaultInjected {
+                            fault: fired::NET_DROP.to_string(),
+                        },
+                    );
                 }
                 None
             }
@@ -211,6 +227,12 @@ mod tests {
         })));
         link.one_way_reliable();
         assert_eq!(trace.counter("net.drop"), 1);
+        let events = trace.events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0].kind,
+            flicker_trace::EventKind::FaultInjected { fault } if fault == "net_drop"
+        ));
         let h = trace.histogram("net.rtt").unwrap();
         assert_eq!(h.count(), 2, "dropped send + successful resend");
         assert!(h.min() >= Duration::from_micros(9_330));

@@ -15,7 +15,7 @@ use crate::kernel::KernelImage;
 use crate::state::SavedKernelState;
 use flicker_machine::{Machine, MachineConfig, MachineError, MachineResult, SimClock};
 use flicker_tpm::{AikCertificate, PcrSelection, PrivacyCa, TpmQuote, TpmResult};
-use flicker_trace::Trace;
+use flicker_trace::{EventKind, Trace};
 
 /// Configuration for the OS simulator.
 #[derive(Debug, Clone)]
@@ -148,6 +148,7 @@ impl Os {
         self.saved = Some(SavedKernelState::typical());
         if let Some(t) = self.machine.tracer() {
             t.counter_add("os.suspend", 1);
+            t.event(self.machine.clock().now(), EventKind::OsSuspend);
         }
         Ok(())
     }
@@ -168,6 +169,7 @@ impl Os {
         // the session driver performed. Nothing further to model.
         if let Some(t) = self.machine.tracer() {
             t.counter_add("os.resume", 1);
+            t.event(self.machine.clock().now(), EventKind::OsResume);
         }
         Ok(())
     }
@@ -340,6 +342,8 @@ mod tests {
         os.resume_after_session().unwrap();
         assert_eq!(trace.counter("os.suspend"), 1);
         assert_eq!(trace.counter("os.resume"), 1);
+        let names: Vec<_> = trace.events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(names, ["os_suspend", "os_resume"]);
 
         let mut ca = privacy_ca(62);
         os.provision_attestation(&mut ca, "traced").unwrap();

@@ -15,8 +15,8 @@ use flicker_crypto::digest::Digest;
 use flicker_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use flicker_crypto::sha1::{sha1, Sha1};
 use flicker_crypto::HmacDrbg;
-use flicker_faults::FaultInjector;
-use flicker_trace::Trace;
+use flicker_faults::{fired, FaultInjector};
+use flicker_trace::{EventKind, Trace};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -81,6 +81,7 @@ pub struct Tpm {
     elapsed: Duration,
     injector: Option<FaultInjector>,
     tracer: Option<Trace>,
+    pending_events: Vec<EventKind>,
 }
 
 impl Tpm {
@@ -109,6 +110,7 @@ impl Tpm {
             elapsed: Duration::ZERO,
             injector: None,
             tracer: None,
+            pending_events: Vec::new(),
         }
     }
 
@@ -154,12 +156,37 @@ impl Tpm {
     /// Charges `d` and records it as a latency observation for `ordinal`
     /// (the command's spec name, prefixed `tpm.`) when a tracer is
     /// installed. Every ordinal-gated command funnels its cost through
-    /// here, so a trace sees the complete per-command latency picture.
+    /// here, so a trace sees the complete per-command latency picture —
+    /// and a `TpmCommand` flight-recorder event is pended per command.
     fn charge_traced(&mut self, ordinal: &'static str, d: Duration) {
         self.elapsed += d;
         if let Some(t) = &self.tracer {
             t.observe(ordinal, d);
         }
+        let spec_name = ordinal.strip_prefix("tpm.").unwrap_or(ordinal);
+        self.pend(EventKind::TpmCommand {
+            ordinal: spec_name.to_string(),
+            locality: 0,
+        });
+    }
+
+    /// Queues a flight-recorder event. The TPM has no clock (it sits below
+    /// `machine` in the crate stack), so events wait here untimestamped;
+    /// the platform drains them via [`Tpm::take_pending_events`] right
+    /// after it advances its clock by [`Tpm::take_elapsed`], stamping each
+    /// with the command's completion time. No tracer, no queue: without a
+    /// drain loop the buffer would otherwise grow unbounded.
+    fn pend(&mut self, kind: EventKind) {
+        if self.tracer.is_some() {
+            self.pending_events.push(kind);
+        }
+    }
+
+    /// Drains flight-recorder events pended since the last call. The
+    /// caller (the machine simulator) owns the clock and is responsible
+    /// for recording them with a timestamp.
+    pub fn take_pending_events(&mut self) -> Vec<EventKind> {
+        std::mem::take(&mut self.pending_events)
     }
 
     // ----- tracing --------------------------------------------------------
@@ -198,6 +225,9 @@ impl Tpm {
                 if let Some(t) = &self.tracer {
                     t.counter_add("tpm.busy", 1);
                 }
+                self.pend(EventKind::FaultInjected {
+                    fault: fired::TPM_TRANSIENT.to_string(),
+                });
                 return Err(TpmError::Retry);
             }
         }
@@ -257,7 +287,9 @@ impl Tpm {
         self.gate("TPM_Extend")?;
         let cost = self.config.timing.pcr_extend;
         self.charge_traced("tpm.TPM_Extend", cost);
-        self.pcrs.extend(index, measurement)
+        let value = self.pcrs.extend(index, measurement)?;
+        self.pend(EventKind::PcrExtend { index, locality: 0 });
+        Ok(value)
     }
 
     /// The locality-4 dynamic-launch path driven by `SKINIT` (paper §2.4):
@@ -274,11 +306,19 @@ impl Tpm {
             });
         }
         self.pcrs.dynamic_reset(locality)?;
+        self.pend(EventKind::PcrReset {
+            index: crate::pcr::PCR_SKINIT,
+            locality,
+        });
         let measurement = sha1(slb);
         // No separate charge: the TPM-side hashing latency is part of the
         // platform's calibrated SKINIT transfer model (Table 2), which the
         // machine applies around this call.
         self.pcrs.extend(crate::pcr::PCR_SKINIT, &measurement)?;
+        self.pend(EventKind::PcrExtend {
+            index: crate::pcr::PCR_SKINIT,
+            locality,
+        });
         Ok(measurement)
     }
 
@@ -532,6 +572,9 @@ impl Tpm {
             .as_ref()
             .and_then(|inj| inj.torn_nv_write(data.len()))
         {
+            self.pend(EventKind::FaultInjected {
+                fault: fired::TORN_NV_WRITE.to_string(),
+            });
             self.nv.write(index, offset, &data[..keep], &self.pcrs)?;
             return Err(TpmError::Retry);
         }
@@ -894,6 +937,60 @@ mod tests {
         // Busy responses are not command completions: only the successful
         // read lands in the latency histogram.
         assert_eq!(trace.histogram("tpm.TPM_PCRRead").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn commands_pend_flight_recorder_events() {
+        let mut t = tpm();
+        // No tracer: nothing queues (the platform may never drain).
+        t.pcr_read(17).unwrap();
+        assert!(t.take_pending_events().is_empty());
+
+        t.set_tracer(flicker_trace::Trace::new());
+        t.pcr_extend(17, &[0; 20]).unwrap();
+        t.skinit_measure(4, b"a PAL").unwrap();
+        let events = t.take_pending_events();
+        assert_eq!(
+            events,
+            vec![
+                EventKind::TpmCommand {
+                    ordinal: "TPM_Extend".to_string(),
+                    locality: 0,
+                },
+                EventKind::PcrExtend {
+                    index: 17,
+                    locality: 0,
+                },
+                EventKind::PcrReset {
+                    index: 17,
+                    locality: 4,
+                },
+                EventKind::PcrExtend {
+                    index: 17,
+                    locality: 4,
+                },
+            ]
+        );
+        assert!(t.take_pending_events().is_empty(), "drained");
+    }
+
+    #[test]
+    fn fired_faults_pend_events() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        let mut t = tpm();
+        t.set_tracer(flicker_trace::Trace::new());
+        t.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::TpmTransient {
+            skip: 0,
+            failures: 1,
+        })));
+        assert_eq!(t.pcr_read(17), Err(TpmError::Retry));
+        let events = t.take_pending_events();
+        assert_eq!(
+            events,
+            vec![EventKind::FaultInjected {
+                fault: "tpm_transient".to_string(),
+            }]
+        );
     }
 
     #[test]

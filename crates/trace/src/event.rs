@@ -1,0 +1,406 @@
+//! The typed flight-recorder event stream.
+//!
+//! Spans answer "how long did each phase take"; events answer "what did the
+//! platform *do*, in what order". Each [`Event`] is a virtual-clock-stamped
+//! [`EventKind`] recorded by the substrate that performed the action — the
+//! machine (SKINIT, DEV, interrupt flag), the TPM (per-ordinal commands,
+//! PCR extends and resets), physical memory (zeroize sweeps), the OS
+//! (suspend/resume lifecycle), and the session driver (session and phase
+//! transitions). Injected faults appear in the same stream, so a replay
+//! shows exactly which fault landed between which protocol steps.
+//!
+//! The stream is what `trace::audit` replays to check the paper's Figure-2
+//! ordering invariants, and what the JSONL / Chrome-trace exporters emit.
+
+use std::time::Duration;
+
+/// One recorded platform action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time at which the action completed.
+    pub at: Duration,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of actions the flight recorder distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A Flicker session began (the session driver allocated `id`).
+    SessionStart {
+        /// Monotonic per-trace session id.
+        id: u64,
+    },
+    /// The session with `id` completed its full Figure-2 timeline.
+    SessionEnd {
+        /// The id from the matching [`EventKind::SessionStart`].
+        id: u64,
+    },
+    /// A Figure-2 phase opened (e.g. `phase.skinit`).
+    PhaseStart {
+        /// Phase span name.
+        name: String,
+    },
+    /// A Figure-2 phase closed.
+    PhaseEnd {
+        /// Phase span name.
+        name: String,
+    },
+    /// A TPM command completed (successfully or not) at a software
+    /// locality.
+    TpmCommand {
+        /// Spec ordinal name, e.g. `TPM_Seal`.
+        ordinal: String,
+        /// Locality the command was issued at (0 for the OS driver path).
+        locality: u8,
+    },
+    /// A PCR was extended.
+    PcrExtend {
+        /// PCR index.
+        index: u32,
+        /// Locality of the extend (4 only on the hardware SKINIT path).
+        locality: u8,
+    },
+    /// The dynamic PCRs were reset (17–23 to zero).
+    PcrReset {
+        /// The PCR whose reset matters to the audit (17).
+        index: u32,
+        /// Locality presented for the reset; only 4 is legitimate.
+        locality: u8,
+    },
+    /// The DEV began protecting a physical range from device access.
+    DevProtect {
+        /// Protected base address.
+        base: u64,
+        /// Protected length in bytes.
+        len: u64,
+    },
+    /// All DEV protections of the active launch were released.
+    DevRelease {
+        /// How many protection tokens were released.
+        count: u64,
+    },
+    /// The BSP's interrupt flag changed.
+    InterruptsChanged {
+        /// New state: `true` means interrupts are deliverable again.
+        enabled: bool,
+    },
+    /// `SKINIT` completed: the SLB is measured and the PAL is about to run.
+    Skinit {
+        /// Physical base of the SLB.
+        slb_base: u64,
+        /// Header-declared (measured) SLB length.
+        slb_len: u64,
+    },
+    /// A physical memory range was overwritten with zeroes.
+    Zeroize {
+        /// Erased base address.
+        base: u64,
+        /// Erased length in bytes.
+        len: u64,
+    },
+    /// An armed fault fired in some substrate.
+    FaultInjected {
+        /// Stable fault-kind name (see `flicker_faults::fired`).
+        fault: String,
+    },
+    /// The OS suspended itself for a session (APs parked, state saved).
+    OsSuspend,
+    /// The OS resumed after a session.
+    OsResume,
+    /// The platform rebooted (power cycle or explicit reset): RAM gone,
+    /// dynamic PCRs back to −1, DEV cleared, any launch destroyed.
+    Reboot,
+}
+
+impl EventKind {
+    /// Stable snake_case name of the kind (the JSONL `kind` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SessionStart { .. } => "session_start",
+            EventKind::SessionEnd { .. } => "session_end",
+            EventKind::PhaseStart { .. } => "phase_start",
+            EventKind::PhaseEnd { .. } => "phase_end",
+            EventKind::TpmCommand { .. } => "tpm_command",
+            EventKind::PcrExtend { .. } => "pcr_extend",
+            EventKind::PcrReset { .. } => "pcr_reset",
+            EventKind::DevProtect { .. } => "dev_protect",
+            EventKind::DevRelease { .. } => "dev_release",
+            EventKind::InterruptsChanged { .. } => "interrupts",
+            EventKind::Skinit { .. } => "skinit",
+            EventKind::Zeroize { .. } => "zeroize",
+            EventKind::FaultInjected { .. } => "fault",
+            EventKind::OsSuspend => "os_suspend",
+            EventKind::OsResume => "os_resume",
+            EventKind::Reboot => "reboot",
+        }
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape(value, out);
+    out.push('"');
+}
+
+fn push_u64_field(out: &mut String, key: &str, value: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+impl Event {
+    /// Serializes the event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(64);
+        s.push_str("{\"at_ns\":");
+        let ns = u64::try_from(self.at.as_nanos()).unwrap_or(u64::MAX);
+        s.push_str(&ns.to_string());
+        push_str_field(&mut s, "kind", self.kind.name());
+        match &self.kind {
+            EventKind::SessionStart { id } | EventKind::SessionEnd { id } => {
+                push_u64_field(&mut s, "id", *id);
+            }
+            EventKind::PhaseStart { name } | EventKind::PhaseEnd { name } => {
+                push_str_field(&mut s, "name", name);
+            }
+            EventKind::TpmCommand { ordinal, locality } => {
+                push_str_field(&mut s, "ordinal", ordinal);
+                push_u64_field(&mut s, "locality", u64::from(*locality));
+            }
+            EventKind::PcrExtend { index, locality } | EventKind::PcrReset { index, locality } => {
+                push_u64_field(&mut s, "index", u64::from(*index));
+                push_u64_field(&mut s, "locality", u64::from(*locality));
+            }
+            EventKind::DevProtect { base, len } => {
+                push_u64_field(&mut s, "base", *base);
+                push_u64_field(&mut s, "len", *len);
+            }
+            EventKind::DevRelease { count } => push_u64_field(&mut s, "count", *count),
+            EventKind::InterruptsChanged { enabled } => {
+                s.push_str(",\"enabled\":");
+                s.push_str(if *enabled { "true" } else { "false" });
+            }
+            EventKind::Skinit { slb_base, slb_len } => {
+                push_u64_field(&mut s, "slb_base", *slb_base);
+                push_u64_field(&mut s, "slb_len", *slb_len);
+            }
+            EventKind::Zeroize { base, len } => {
+                push_u64_field(&mut s, "base", *base);
+                push_u64_field(&mut s, "len", *len);
+            }
+            EventKind::FaultInjected { fault } => push_str_field(&mut s, "fault", fault),
+            EventKind::OsSuspend | EventKind::OsResume | EventKind::Reboot => {}
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one line in the exact format [`Event::to_jsonl`] emits.
+    ///
+    /// This is a line-oriented field extractor, not a general JSON parser:
+    /// it accepts the shapes this crate writes (and tolerates reordered
+    /// fields), which is all the round-trip and `audit --jsonl` paths need.
+    pub fn from_jsonl(line: &str) -> Result<Event, String> {
+        let at_ns = field_u64(line, "at_ns").ok_or_else(|| format!("missing at_ns: {line}"))?;
+        let at = Duration::from_nanos(at_ns);
+        let kind_name = field_str(line, "kind").ok_or_else(|| format!("missing kind: {line}"))?;
+        let req_u64 = |key: &str| {
+            field_u64(line, key).ok_or_else(|| format!("missing {key} in {kind_name} event"))
+        };
+        let req_str = |key: &str| {
+            field_str(line, key).ok_or_else(|| format!("missing {key} in {kind_name} event"))
+        };
+        let kind = match kind_name.as_str() {
+            "session_start" => EventKind::SessionStart { id: req_u64("id")? },
+            "session_end" => EventKind::SessionEnd { id: req_u64("id")? },
+            "phase_start" => EventKind::PhaseStart {
+                name: req_str("name")?,
+            },
+            "phase_end" => EventKind::PhaseEnd {
+                name: req_str("name")?,
+            },
+            "tpm_command" => EventKind::TpmCommand {
+                ordinal: req_str("ordinal")?,
+                locality: req_u64("locality")? as u8,
+            },
+            "pcr_extend" => EventKind::PcrExtend {
+                index: req_u64("index")? as u32,
+                locality: req_u64("locality")? as u8,
+            },
+            "pcr_reset" => EventKind::PcrReset {
+                index: req_u64("index")? as u32,
+                locality: req_u64("locality")? as u8,
+            },
+            "dev_protect" => EventKind::DevProtect {
+                base: req_u64("base")?,
+                len: req_u64("len")?,
+            },
+            "dev_release" => EventKind::DevRelease {
+                count: req_u64("count")?,
+            },
+            "interrupts" => EventKind::InterruptsChanged {
+                enabled: field_bool(line, "enabled")
+                    .ok_or_else(|| format!("missing enabled: {line}"))?,
+            },
+            "skinit" => EventKind::Skinit {
+                slb_base: req_u64("slb_base")?,
+                slb_len: req_u64("slb_len")?,
+            },
+            "zeroize" => EventKind::Zeroize {
+                base: req_u64("base")?,
+                len: req_u64("len")?,
+            },
+            "fault" => EventKind::FaultInjected {
+                fault: req_str("fault")?,
+            },
+            "os_suspend" => EventKind::OsSuspend,
+            "os_resume" => EventKind::OsResume,
+            "reboot" => EventKind::Reboot,
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(Event { at, kind })
+    }
+}
+
+/// Finds `"key":` in `line` and returns the byte offset just past the colon.
+fn value_offset(line: &str, key: &str) -> Option<usize> {
+    let needle = format!("\"{key}\":");
+    line.find(&needle).map(|i| i + needle.len())
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = &line[value_offset(line, key)?..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    let rest = &line[value_offset(line, key)?..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[value_offset(line, key)?..];
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(e: Event) {
+        let line = e.to_jsonl();
+        let back = Event::from_jsonl(&line).expect("parses");
+        assert_eq!(back, e, "line was {line}");
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let at = Duration::from_micros(1234);
+        for kind in [
+            EventKind::SessionStart { id: 7 },
+            EventKind::SessionEnd { id: 7 },
+            EventKind::PhaseStart {
+                name: "phase.skinit".into(),
+            },
+            EventKind::PhaseEnd {
+                name: "phase.skinit".into(),
+            },
+            EventKind::TpmCommand {
+                ordinal: "TPM_Seal".into(),
+                locality: 0,
+            },
+            EventKind::PcrExtend {
+                index: 17,
+                locality: 4,
+            },
+            EventKind::PcrReset {
+                index: 17,
+                locality: 4,
+            },
+            EventKind::DevProtect {
+                base: 0x10_0000,
+                len: 0x1_0000,
+            },
+            EventKind::DevRelease { count: 2 },
+            EventKind::InterruptsChanged { enabled: false },
+            EventKind::Skinit {
+                slb_base: 0x10_0000,
+                slb_len: 4736,
+            },
+            EventKind::Zeroize {
+                base: 0,
+                len: u64::MAX,
+            },
+            EventKind::FaultInjected {
+                fault: "torn_nv_write".into(),
+            },
+            EventKind::OsSuspend,
+            EventKind::OsResume,
+            EventKind::Reboot,
+        ] {
+            round_trip(Event { at, kind });
+        }
+    }
+
+    #[test]
+    fn strings_with_specials_round_trip() {
+        round_trip(Event {
+            at: Duration::ZERO,
+            kind: EventKind::FaultInjected {
+                fault: "weird \"name\"\\with\nspecials".into(),
+            },
+        });
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Event::from_jsonl("not json").is_err());
+        assert!(Event::from_jsonl("{\"at_ns\":1,\"kind\":\"no_such_kind\"}").is_err());
+        assert!(Event::from_jsonl("{\"at_ns\":1,\"kind\":\"skinit\"}").is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Render a [`Trace`] in formats external tools understand.
+//!
+//! Three exporters, all hand-rolled (the workspace is dependency-free):
+//!
+//! * [`chrome_trace_json`] — Chrome `trace_event` JSON. Completed spans
+//!   become `ph:"X"` complete events, flight-recorder events become
+//!   `ph:"i"` instants; load the file at `chrome://tracing` or in Perfetto.
+//! * [`events_jsonl`] — one JSON object per line per flight-recorder event;
+//!   [`parse_events_jsonl`] reads the same format back, which is how
+//!   `flicker_trace_tool audit --jsonl` replays saved recordings.
+//! * [`prometheus_text`] — Prometheus text exposition of counters (as
+//!   `_total`) and histograms (cumulative `le` buckets in seconds).
+
+use crate::{Event, EventKind, Trace};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with fractional part, the unit `trace_event` expects.
+fn us(d: Duration) -> String {
+    let ns = d.as_nanos();
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn event_args(kind: &EventKind) -> String {
+    match kind {
+        EventKind::SessionStart { id } | EventKind::SessionEnd { id } => {
+            format!("{{\"id\":{id}}}")
+        }
+        EventKind::PhaseStart { name } | EventKind::PhaseEnd { name } => {
+            format!("{{\"name\":\"{}\"}}", escape_json(name))
+        }
+        EventKind::TpmCommand { ordinal, locality } => format!(
+            "{{\"ordinal\":\"{}\",\"locality\":{locality}}}",
+            escape_json(ordinal)
+        ),
+        EventKind::PcrExtend { index, locality } | EventKind::PcrReset { index, locality } => {
+            format!("{{\"index\":{index},\"locality\":{locality}}}")
+        }
+        EventKind::DevProtect { base, len } => format!("{{\"base\":{base},\"len\":{len}}}"),
+        EventKind::DevRelease { count } => format!("{{\"count\":{count}}}"),
+        EventKind::InterruptsChanged { enabled } => format!("{{\"enabled\":{enabled}}}"),
+        EventKind::Skinit { slb_base, slb_len } => {
+            format!("{{\"slb_base\":{slb_base},\"slb_len\":{slb_len}}}")
+        }
+        EventKind::Zeroize { base, len } => format!("{{\"base\":{base},\"len\":{len}}}"),
+        EventKind::FaultInjected { fault } => {
+            format!("{{\"fault\":\"{}\"}}", escape_json(fault))
+        }
+        EventKind::OsSuspend | EventKind::OsResume | EventKind::Reboot => "{}".to_string(),
+    }
+}
+
+/// Renders completed spans and flight-recorder events as Chrome
+/// `trace_event` JSON (the object form: `{"traceEvents":[...]}`).
+///
+/// Spans still open at export time are skipped — they have no duration and
+/// `ph:"X"` requires one. Everything lands on `pid` 1 / `tid` 1 so the
+/// Figure-2 phase nesting renders as a single flame.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut entries: Vec<String> = Vec::new();
+    for span in trace.spans() {
+        let Some(duration) = span.duration else {
+            continue;
+        };
+        entries.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"span\",\"pid\":1,\"tid\":1,\
+             \"ts\":{},\"dur\":{}}}",
+            escape_json(span.name),
+            us(span.start),
+            us(duration),
+        ));
+    }
+    for event in trace.events() {
+        entries.push(format!(
+            "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"event\",\"pid\":1,\"tid\":1,\
+             \"ts\":{},\"s\":\"t\",\"args\":{}}}",
+            escape_json(event.kind.name()),
+            us(event.at),
+            event_args(&event.kind),
+        ));
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Serializes the flight-recorder event stream as JSONL, oldest first.
+pub fn events_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for event in trace.events() {
+        out.push_str(&event.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses text produced by [`events_jsonl`] back into events. Blank lines
+/// are skipped; any malformed line fails the whole parse with its line
+/// number, because a silently truncated flight record would corrupt audits.
+pub fn parse_events_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = Event::from_jsonl(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Maps a trace metric name to a Prometheus-legal one: lowercased,
+/// non-alphanumerics collapsed to `_`, prefixed `flicker_`.
+fn metric_name(name: &str) -> String {
+    let mut out = String::from("flicker_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Seconds with enough digits to round-trip nanosecond-granular bounds.
+fn secs(d: Duration) -> String {
+    if d == Duration::from_nanos(u64::MAX) {
+        return "+Inf".to_string();
+    }
+    let s = format!("{:.9}", d.as_secs_f64());
+    let trimmed = s.trim_end_matches('0');
+    let trimmed = trimmed.strip_suffix('.').unwrap_or(trimmed);
+    trimmed.to_string()
+}
+
+/// Renders counters and histograms in the Prometheus text exposition
+/// format: counters as `<name>_total`, histograms as `<name>_seconds` with
+/// cumulative `le` buckets derived from
+/// [`DurationHistogram::nonzero_buckets`](crate::DurationHistogram::nonzero_buckets).
+pub fn prometheus_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    for (name, value) in trace.counters() {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# TYPE {metric}_total counter");
+        let _ = writeln!(out, "{metric}_total {value}");
+    }
+    for (name, hist) in trace.histograms() {
+        let metric = format!("{}_seconds", metric_name(name));
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        let mut cumulative = 0u64;
+        for (_low, high, count) in hist.nonzero_buckets() {
+            cumulative += count;
+            let _ = writeln!(out, "{metric}_bucket{{le=\"{}\"}} {cumulative}", secs(high));
+        }
+        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", hist.count());
+        let _ = writeln!(out, "{metric}_sum {}", secs(hist.sum()));
+        let _ = writeln!(out, "{metric}_count {}", hist.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let t = Trace::new();
+        let outer = t.span_start("phase.pal", Duration::from_micros(10));
+        t.span_end(outer, Duration::from_micros(250));
+        t.span_start("open.span", Duration::from_micros(300));
+        t.counter_add("tpm.retry", 3);
+        t.observe("tpm.TPM_Seal", Duration::from_millis(20));
+        t.observe("tpm.TPM_Seal", Duration::from_millis(21));
+        t.event(
+            Duration::from_micros(42),
+            EventKind::TpmCommand {
+                ordinal: "TPM_Seal".into(),
+                locality: 0,
+            },
+        );
+        t.event(Duration::from_micros(50), EventKind::OsResume);
+        t
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_and_instant_events() {
+        let json = chrome_trace_json(&sample_trace());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"phase.pal\""));
+        assert!(json.contains("\"dur\":240.000"), "{json}");
+        assert!(
+            !json.contains("open.span"),
+            "open spans must be skipped: {json}"
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parse() {
+        let t = sample_trace();
+        let text = events_jsonl(&t);
+        let parsed = parse_events_jsonl(&text).expect("parses");
+        assert_eq!(parsed, t.events());
+    }
+
+    #[test]
+    fn jsonl_parse_reports_bad_line_number() {
+        let err = parse_events_jsonl("{\"at_ns\":1,\"kind\":\"os_resume\"}\nbroken\n")
+            .expect_err("must fail");
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_text_exposes_counters_and_histograms() {
+        let text = prometheus_text(&sample_trace());
+        assert!(text.contains("# TYPE flicker_tpm_retry_total counter"));
+        assert!(text.contains("flicker_tpm_retry_total 3"));
+        assert!(text.contains("# TYPE flicker_tpm_tpm_seal_seconds histogram"));
+        assert!(text.contains("flicker_tpm_tpm_seal_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("flicker_tpm_tpm_seal_seconds_sum 0.041"));
+        assert!(text.contains("flicker_tpm_tpm_seal_seconds_count 2"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let t = Trace::new();
+        t.observe("h", Duration::from_nanos(3));
+        t.observe("h", Duration::from_micros(900));
+        let text = prometheus_text(&t);
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.contains("_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.last(), Some(&2));
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+}

@@ -38,6 +38,18 @@ fn bucket_low(index: usize) -> u64 {
     (SUBBUCKETS + within) << octave
 }
 
+/// Exclusive upper bound of a bucket's value range, saturating at
+/// `u64::MAX` for the final bucket (whose true bound would overflow).
+fn bucket_high(index: usize) -> u64 {
+    let i = (index + 1) as u64;
+    if i < SUBBUCKETS {
+        return i;
+    }
+    let octave = (i >> SUB_BITS) - 1;
+    let within = i & (SUBBUCKETS - 1);
+    u64::try_from(u128::from(SUBBUCKETS + within) << octave).unwrap_or(u64::MAX)
+}
+
 /// A fixed-size duration histogram with exact count/sum/min/max.
 #[derive(Clone)]
 pub struct DurationHistogram {
@@ -128,6 +140,29 @@ impl DurationHistogram {
             }
         }
         self.max()
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(u64::try_from(self.sum_ns).unwrap_or(u64::MAX))
+    }
+
+    /// Iterates the non-empty buckets in ascending order as
+    /// `(low, high, count)`, where the bucket covered samples in
+    /// `[low, high)`. This is the view text exporters (Prometheus-style
+    /// histograms) need: cumulative `le` bounds are the `high` values.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (Duration, Duration, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                (
+                    Duration::from_nanos(bucket_low(i)),
+                    Duration::from_nanos(bucket_high(i)),
+                    n,
+                )
+            })
     }
 
     /// The p50 / p95 / p99 triple used by the perf baseline.
@@ -231,6 +266,41 @@ mod tests {
         assert_eq!(h.quantile(0.5), Duration::ZERO);
         assert_eq!(h.mean(), Duration::ZERO);
         assert_eq!(h.min(), Duration::ZERO);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_samples_in_order() {
+        let mut h = DurationHistogram::default();
+        for ns in [3u64, 3, 900, 1_000_003, u64::MAX] {
+            h.observe(Duration::from_nanos(ns));
+        }
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets.iter().map(|&(_, _, n)| n).sum::<u64>(), h.count());
+        for window in buckets.windows(2) {
+            assert!(window[0].1 <= window[1].0, "buckets out of order");
+        }
+        for &(low, high, _) in &buckets {
+            assert!(low < high, "empty-range bucket ({low:?}, {high:?})");
+        }
+        assert_eq!(buckets[0].0, Duration::from_nanos(3));
+        assert_eq!(buckets[0].2, 2, "both 3ns samples share the exact bucket");
+        let last = buckets.last().unwrap();
+        assert_eq!(
+            last.1,
+            Duration::from_nanos(u64::MAX),
+            "final bound saturates"
+        );
+        assert!(h.nonzero_buckets().count() < 8);
+        assert_eq!(DurationHistogram::default().nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn sum_is_exact() {
+        let mut h = DurationHistogram::default();
+        h.observe(Duration::from_millis(10));
+        h.observe(Duration::from_millis(25));
+        assert_eq!(h.sum(), Duration::from_millis(35));
+        assert_eq!(DurationHistogram::default().sum(), Duration::ZERO);
     }
 
     #[test]

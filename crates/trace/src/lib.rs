@@ -16,18 +16,39 @@
 //!   into a log-bucketed [`DurationHistogram`], e.g. per-TPM-ordinal command
 //!   latency or net RTTs.
 //!
+//! A fourth primitive turns the trace into a **flight recorder**: a bounded
+//! ring buffer of typed [`Event`]s ([`Trace::event`]) — session and phase
+//! transitions, TPM commands, PCR extends/resets, DEV protect/release,
+//! interrupt-flag changes, zeroize sweeps, injected faults. The [`audit`]
+//! module replays that stream against the paper's Figure-2/§4 ordering
+//! invariants, and [`export`] renders it as Chrome `trace_event` JSON,
+//! JSONL, or Prometheus-style text.
+//!
 //! A [`Trace`] is a cheap cloneable handle (`Rc<RefCell<..>>`, `!Send` like
 //! the rest of the simulator); every component that wants to record clones
 //! the same handle, mirroring how the fault injector is threaded through.
 
+pub mod audit;
+mod event;
+pub mod export;
 mod hist;
 
+pub use event::{Event, EventKind};
 pub use hist::DurationHistogram;
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 use std::time::Duration;
+
+/// Counter incremented once per event evicted from a full ring buffer, so
+/// truncated flight records are never mistaken for quiet runs.
+pub const DROPPED_EVENTS_COUNTER: &str = "trace.dropped_events";
+
+/// Default flight-recorder capacity: comfortably holds a full 250-session
+/// perf-baseline run (~60 events/session) with an order of magnitude to
+/// spare.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
 
 /// Identifies a span within one [`Trace`]; returned by [`Trace::span_start`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,12 +81,39 @@ pub struct OpEvent {
     pub duration: Duration,
 }
 
-#[derive(Default)]
 struct Inner {
     spans: Vec<Span>,
     open: Vec<SpanId>,
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, DurationHistogram>,
+    events: VecDeque<Event>,
+    event_capacity: usize,
+    next_session_id: u64,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            spans: Vec::new(),
+            open: Vec::new(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            events: VecDeque::new(),
+            event_capacity: DEFAULT_EVENT_CAPACITY,
+            next_session_id: 0,
+        }
+    }
+}
+
+impl Inner {
+    /// Evicts oldest events until `len <= event_capacity`, counting drops.
+    fn enforce_event_capacity(&mut self) {
+        while self.events.len() > self.event_capacity {
+            self.events.pop_front();
+            let c = self.counters.entry(DROPPED_EVENTS_COUNTER).or_insert(0);
+            *c = c.saturating_add(1);
+        }
+    }
 }
 
 /// Cloneable recorder handle. All clones share the same buffers.
@@ -145,15 +193,52 @@ impl Trace {
         self.inner.borrow().spans.clone()
     }
 
-    /// Completed spans with the given name, in creation order.
+    /// Completed spans with the given name, in creation order. Spans still
+    /// open at snapshot time are excluded (they have no duration yet); use
+    /// [`Trace::spans`] for the raw list including open spans.
     pub fn spans_named(&self, name: &str) -> Vec<Span> {
         self.inner
             .borrow()
             .spans
             .iter()
-            .filter(|s| s.name == name)
+            .filter(|s| s.name == name && s.duration.is_some())
             .cloned()
             .collect()
+    }
+
+    /// Records a flight-recorder event at virtual time `at`. When the ring
+    /// buffer is full the oldest event is evicted and
+    /// [`DROPPED_EVENTS_COUNTER`] is incremented.
+    pub fn event(&self, at: Duration, kind: EventKind) {
+        let mut inner = self.inner.borrow_mut();
+        inner.events.push_back(Event { at, kind });
+        inner.enforce_event_capacity();
+    }
+
+    /// Snapshot of the flight-recorder ring buffer, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.borrow().events.iter().cloned().collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn event_count(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// Changes the ring-buffer bound. Shrinking below the current length
+    /// evicts the oldest events (counted as drops). A capacity of 0 keeps
+    /// room for a single event, the smallest useful flight record.
+    pub fn set_event_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.borrow_mut();
+        inner.event_capacity = capacity.max(1);
+        inner.enforce_event_capacity();
+    }
+
+    /// Allocates the next session id (1, 2, …) for `SessionStart` events.
+    pub fn next_session_id(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        inner.next_session_id += 1;
+        inner.next_session_id
     }
 
     /// Current value of a counter (0 if never touched).
@@ -187,8 +272,14 @@ impl Trace {
     }
 
     /// Discards all recorded data, keeping the handle (and its clones) live.
+    /// The configured event capacity survives the reset.
     pub fn reset(&self) {
-        *self.inner.borrow_mut() = Inner::default();
+        let mut inner = self.inner.borrow_mut();
+        let capacity = inner.event_capacity;
+        *inner = Inner {
+            event_capacity: capacity,
+            ..Inner::default()
+        };
     }
 }
 
@@ -200,6 +291,7 @@ impl std::fmt::Debug for Trace {
             .field("open", &inner.open.len())
             .field("counters", &inner.counters.len())
             .field("histograms", &inner.histograms.len())
+            .field("events", &inner.events.len())
             .finish()
     }
 }
@@ -315,9 +407,69 @@ mod tests {
         t.counter_add("c", 1);
         t.span_start("s", us(0));
         t.observe("h", us(1));
+        t.event(us(2), EventKind::OsSuspend);
         t.reset();
         assert!(t.spans().is_empty());
         assert_eq!(t.counter("c"), 0);
         assert!(t.histogram("h").is_none());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn spans_named_returns_only_completed_spans() {
+        let t = Trace::new();
+        let done = t.span_start("phase.suspend", us(0));
+        t.span_end(done, us(5));
+        let _still_open = t.span_start("phase.suspend", us(6));
+        let named = t.spans_named("phase.suspend");
+        assert_eq!(named.len(), 1, "open span must not be returned");
+        assert_eq!(named[0].duration, Some(us(5)));
+        assert_eq!(t.spans().len(), 2, "raw view still shows both");
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let t = Trace::new();
+        t.set_event_capacity(3);
+        for id in 1..=5u64 {
+            t.event(us(id), EventKind::SessionStart { id });
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::SessionStart { id: 3 });
+        assert_eq!(events[2].kind, EventKind::SessionStart { id: 5 });
+        assert_eq!(t.counter(DROPPED_EVENTS_COUNTER), 2);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_and_counts() {
+        let t = Trace::new();
+        for id in 1..=4u64 {
+            t.event(us(id), EventKind::SessionEnd { id });
+        }
+        t.set_event_capacity(2);
+        assert_eq!(t.event_count(), 2);
+        assert_eq!(t.counter(DROPPED_EVENTS_COUNTER), 2);
+    }
+
+    #[test]
+    fn reset_preserves_event_capacity() {
+        let t = Trace::new();
+        t.set_event_capacity(2);
+        t.reset();
+        for id in 1..=3u64 {
+            t.event(us(id), EventKind::SessionStart { id });
+        }
+        assert_eq!(t.event_count(), 2, "capacity survives reset");
+        assert_eq!(t.counter(DROPPED_EVENTS_COUNTER), 1);
+    }
+
+    #[test]
+    fn session_ids_are_monotone_from_one() {
+        let t = Trace::new();
+        assert_eq!(t.next_session_id(), 1);
+        assert_eq!(t.next_session_id(), 2);
+        t.reset();
+        assert_eq!(t.next_session_id(), 1, "reset restarts the id sequence");
     }
 }

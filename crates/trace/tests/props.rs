@@ -1,0 +1,137 @@
+//! Span-tree well-formedness under arbitrary API interleavings.
+//!
+//! The recorder promises a forest invariant: parents precede children,
+//! `depth` equals the parent chain length, every `parent` id refers to an
+//! earlier span, and (on a monotone clock, which is how the simulator
+//! drives it) a child's end never exceeds its parent's. These properties
+//! must hold for *any* interleaving of `span_start` / `span_end` /
+//! `span_closed` / `reset`, including ends of already-closed spans and
+//! ends that implicitly close dangling children.
+
+use flicker_trace::{Span, SpanId, Trace};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// One scripted recorder call, decoded from a `(selector, param)` pair.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Start(usize),
+    End(usize),
+    Closed(u64),
+    Reset,
+}
+
+fn decode(selector: u8, param: u16) -> Op {
+    match selector % 16 {
+        0..=7 => Op::Start(param as usize % NAMES.len()),
+        8..=13 => Op::End(param as usize),
+        14 => Op::Closed(u64::from(param) % 500 + 1),
+        _ => Op::Reset,
+    }
+}
+
+/// Replays `ops` on a fresh trace with a strictly monotone clock, then
+/// checks the forest invariants on the resulting snapshot.
+fn check_interleaving(ops: &[(u8, u16)]) -> Result<(), String> {
+    let trace = Trace::new();
+    let mut now_ns: u64 = 0;
+    // Creation-order ledger mirroring `trace.spans()`: `Some(id)` for spans
+    // from `span_start`, `None` for `span_closed` entries (which have no id).
+    let mut ids: Vec<Option<SpanId>> = Vec::new();
+
+    for &(selector, param) in ops {
+        now_ns += u64::from(param % 997) + 1;
+        let now = Duration::from_nanos(now_ns);
+        match decode(selector, param) {
+            Op::Start(name) => {
+                let id = trace.span_start(NAMES[name], now);
+                ids.push(Some(id));
+            }
+            Op::End(pick) => {
+                let started: Vec<SpanId> = ids.iter().flatten().copied().collect();
+                if let Some(&id) = started.get(pick % started.len().max(1)) {
+                    trace.span_end(id, now);
+                }
+            }
+            Op::Closed(dur_ns) => {
+                trace.span_closed("closed", now, Duration::from_nanos(dur_ns));
+                now_ns += dur_ns;
+                ids.push(None);
+            }
+            Op::Reset => {
+                trace.reset();
+                ids.clear();
+            }
+        }
+    }
+
+    let spans = trace.spans();
+    if spans.len() != ids.len() {
+        return Err(format!(
+            "ledger drift: {} spans vs {} ledger entries",
+            spans.len(),
+            ids.len()
+        ));
+    }
+    let end_of = |s: &Span| s.duration.map(|d| s.start + d);
+    for (i, span) in spans.iter().enumerate() {
+        match span.parent {
+            None => {
+                if span.depth != 0 {
+                    return Err(format!("span {i}: no parent but depth {}", span.depth));
+                }
+            }
+            Some(parent_id) => {
+                let Some(j) = ids.iter().position(|&id| id == Some(parent_id)) else {
+                    return Err(format!("span {i}: dangling parent id {parent_id:?}"));
+                };
+                if j >= i {
+                    return Err(format!("span {i}: parent at later index {j}"));
+                }
+                let parent = &spans[j];
+                if span.depth != parent.depth + 1 {
+                    return Err(format!(
+                        "span {i}: depth {} but parent depth {}",
+                        span.depth, parent.depth
+                    ));
+                }
+                if span.start < parent.start {
+                    return Err(format!("span {i}: starts before its parent"));
+                }
+                if let (Some(child_end), Some(parent_end)) = (end_of(span), end_of(parent)) {
+                    if child_end > parent_end {
+                        return Err(format!(
+                            "span {i}: ends at {child_end:?}, after parent end {parent_end:?}"
+                        ));
+                    }
+                }
+                if end_of(parent).is_some() && end_of(span).is_none() {
+                    return Err(format!("span {i}: still open under a closed parent"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn span_tree_is_well_formed_under_arbitrary_interleavings(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..64),
+    ) {
+        if let Err(reason) = check_interleaving(&ops) {
+            prop_assert!(false, "{}", reason);
+        }
+    }
+}
+
+#[test]
+fn targeted_interleaving_dangling_children() {
+    // start, start, end(parent) — the classic dangling-child close.
+    let ops = [(0u8, 0u16), (0, 1), (8, 0)];
+    check_interleaving(&ops).expect("well-formed");
+}

@@ -8,15 +8,28 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test --workspace -q
 # Deterministic robustness gate: 200 seeded fault schedules across the §6
-# applications; exits non-zero on any violation.
+# applications; every schedule's flight record is replayed through the
+# trace auditor, and any violation exits non-zero. The --quick sweep runs
+# first so a broken auditor fails in seconds, not after the full sweep.
+cargo run --release -p flicker-bench --bin fault_sweep -- --quick
 cargo run --release -p flicker-bench --bin fault_sweep -- --seed 0 --schedules 200
 # Static-verification gate: every bytecode PAL the repo ships must pass
 # the verifier (`SlbImage::build` would refuse them at run time anyway;
 # this fails fast with the per-check report).
 cargo run --release -p flicker-verifier --bin palvm_tool -- verify --builtin
 # Perf-baseline gate: a quick traced run must still produce a schema-valid
-# report (written under target/ so the committed full-run artifact is never
-# clobbered), and the committed artifact must itself stay valid.
-cargo run --release -p flicker-bench --bin perf_baseline -- --quick --out target/BENCH_perf_baseline_quick.json
+# report AND an audit-clean flight record (written under target/ so the
+# committed full-run artifact and trajectory are never clobbered), and the
+# committed artifact must itself stay valid.
+cargo run --release -p flicker-bench --bin perf_baseline -- --quick --audit \
+  --out target/BENCH_perf_baseline_quick.json \
+  --trajectory target/BENCH_trajectory_quick.jsonl
 cargo run --release -p flicker-bench --bin perf_baseline -- --check target/BENCH_perf_baseline_quick.json
 cargo run --release -p flicker-bench --bin perf_baseline -- --check BENCH_perf_baseline.json
+# Flight-recorder gates: the paper-invariant auditor must pass over a
+# fresh quick run, and each exporter must emit a self-consistent document.
+cargo run --release -p flicker-bench --bin flicker_trace_tool -- audit --quick
+for fmt in chrome jsonl prom; do
+  cargo run --release -p flicker-bench --bin flicker_trace_tool -- \
+    export --quick --format "$fmt" --verify --out "target/trace_smoke.$fmt" >/dev/null
+done
