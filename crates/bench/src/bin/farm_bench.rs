@@ -1,0 +1,237 @@
+//! Farm benchmark: drives the sharded attestation farm under the seeded
+//! fault injector and reports throughput, latency percentiles, and the
+//! conservation invariant (no request lost, none duplicated).
+//!
+//! ```text
+//! farm_bench [--quick] [--machines N] [--requests N] [--trajectory PATH]
+//! ```
+//!
+//! Full mode runs 8 machines against a 200-schedule fault sweep (the same
+//! `FaultPlan::seeded` schedules the fault-sweep harness uses). The run
+//! FAILS — non-zero exit — if any request is lost or duplicated, if any
+//! attempt bound is exceeded, or if any machine's flight record violates a
+//! paper invariant. Each run appends one JSONL line to the trajectory file
+//! so farm throughput drift across commits stays diffable.
+
+use flicker_bench::json::Value;
+use flicker_bench::print_table;
+use flicker_farm::{Farm, FarmConfig, RequestSpec, Terminal};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut machines: Option<usize> = None;
+    let mut requests: Option<u64> = None;
+    let mut trajectory = String::from("BENCH_trajectory.jsonl");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--machines" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => machines = Some(n),
+                None => return usage("--machines needs a count"),
+            },
+            "--requests" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => requests = Some(n),
+                None => return usage("--requests needs a count"),
+            },
+            "--trajectory" => match args.next() {
+                Some(path) => trajectory = path,
+                None => return usage("--trajectory needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let machines = machines.unwrap_or(if quick { 2 } else { 8 });
+    let requests = requests.unwrap_or(if quick { 15 } else { 200 });
+    let config = FarmConfig {
+        machines,
+        queue_bound: requests as usize, // size the queue for the sweep
+        ..FarmConfig::default()
+    };
+    eprintln!(
+        "farm_bench: {machines} machines, {requests} seeded fault schedules{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let wall_start = std::time::Instant::now();
+    let farm = Farm::start(config);
+    let boot_secs = wall_start.elapsed().as_secs_f64();
+    let serve_start = std::time::Instant::now();
+    for seed in 0..requests {
+        farm.submit(RequestSpec::seeded(seed));
+    }
+    let report = farm.shutdown();
+    let serve_secs = serve_start.elapsed().as_secs_f64();
+
+    // ---- hard invariants -----------------------------------------------
+    if let Err(e) = report.verify_conservation() {
+        eprintln!("CONSERVATION VIOLATED: {e}");
+        return ExitCode::FAILURE;
+    }
+    let violations = report.audit_shards();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("VIOLATION {v}");
+        }
+        eprintln!("trace audit failed: {} violation(s)", violations.len());
+        return ExitCode::FAILURE;
+    }
+
+    // ---- throughput + latency ------------------------------------------
+    let ran: Vec<Duration> = report
+        .outcomes
+        .iter()
+        .filter(|o| !matches!(o.terminal, Terminal::Shed))
+        .map(|o| o.latency)
+        .collect();
+    let sessions_per_sec = if serve_secs > 0.0 {
+        ran.len() as f64 / serve_secs
+    } else {
+        0.0
+    };
+    let (p50, p95, p99) = percentiles(&ran);
+
+    print_table(
+        "Farm outcomes",
+        &["terminal", "count"],
+        &[
+            vec!["done".into(), report.done().to_string()],
+            vec!["failed".into(), report.failed().to_string()],
+            vec!["timed_out".into(), report.timed_out().to_string()],
+            vec!["shed".into(), report.shed().to_string()],
+        ],
+    );
+    print_table(
+        "Supervision",
+        &["metric", "value"],
+        &[
+            vec!["retries".into(), report.retries().to_string()],
+            vec!["requeues".into(), report.requeues().to_string()],
+            vec!["quarantines".into(), report.quarantines().to_string()],
+            vec![
+                "retired machines".into(),
+                report
+                    .shards
+                    .iter()
+                    .filter(|s| s.retired)
+                    .count()
+                    .to_string(),
+            ],
+        ],
+    );
+    print_table(
+        "Latency (virtual ms, over non-shed requests)",
+        &["p50", "p95", "p99"],
+        &[vec![ms(p50), ms(p95), ms(p99)]],
+    );
+    println!(
+        "\nzero lost, zero duplicated: {} submitted -> {} terminal outcomes",
+        report.submitted,
+        report.outcomes.len()
+    );
+    println!(
+        "throughput: {sessions_per_sec:.1} sessions/sec wall \
+         ({:.1}s boot, {serve_secs:.1}s serving)",
+        boot_secs
+    );
+
+    let line = trajectory_line(&report, machines, quick, sessions_per_sec, p50, p95, p99);
+    if let Err(e) = append_line(&trajectory, &line) {
+        eprintln!("appending {trajectory}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("appended {trajectory}");
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!("usage: farm_bench [--quick] [--machines N] [--requests N] [--trajectory PATH]");
+    ExitCode::FAILURE
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Nearest-rank percentiles over an unsorted sample set.
+fn percentiles(samples: &[Duration]) -> (Duration, Duration, Duration) {
+    if samples.is_empty() {
+        return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = |p: f64| {
+        let idx = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    (rank(50.0), rank(95.0), rank(99.0))
+}
+
+/// Best-effort current commit; missing `git` degrades to `"unknown"`.
+fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn trajectory_line(
+    report: &flicker_farm::FarmReport,
+    machines: usize,
+    quick: bool,
+    sessions_per_sec: f64,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+) -> Value {
+    let num = |v: f64| Value::Number(v);
+    let dur_ms = |d: Duration| Value::Number(d.as_secs_f64() * 1e3);
+    let farm = Value::Object(BTreeMap::from([
+        ("machines".into(), num(machines as f64)),
+        ("requests".into(), num(report.submitted as f64)),
+        ("done".into(), num(report.done() as f64)),
+        ("failed".into(), num(report.failed() as f64)),
+        ("timed_out".into(), num(report.timed_out() as f64)),
+        ("shed".into(), num(report.shed() as f64)),
+        ("retries".into(), num(report.retries() as f64)),
+        ("requeues".into(), num(report.requeues() as f64)),
+        ("quarantines".into(), num(report.quarantines() as f64)),
+        ("sessions_per_sec".into(), num(sessions_per_sec)),
+        ("p50_ms".into(), dur_ms(p50)),
+        ("p95_ms".into(), dur_ms(p95)),
+        ("p99_ms".into(), dur_ms(p99)),
+    ]));
+    Value::Object(BTreeMap::from([
+        (
+            "schema".into(),
+            Value::String("flicker-bench-trajectory/v1".into()),
+        ),
+        ("commit".into(), Value::String(current_commit())),
+        ("quick".into(), Value::Bool(quick)),
+        ("farm".into(), farm),
+    ]))
+}
+
+fn append_line(path: &str, line: &Value) -> Result<(), String> {
+    let mut text = line.to_compact();
+    text.push('\n');
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| e.to_string())?;
+    f.write_all(text.as_bytes()).map_err(|e| e.to_string())
+}

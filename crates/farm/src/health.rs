@@ -1,0 +1,147 @@
+//! Per-machine health tracking: a circuit breaker with probing re-admission.
+//!
+//! Each farm machine carries one [`CircuitBreaker`]. Attempt failures
+//! accumulate; after `threshold` *consecutive* failures the breaker opens
+//! and the machine is quarantined — its in-flight request goes back to the
+//! queue and the worker stops taking new work. A quarantined machine earns
+//! its way back by running probe sessions (half-open state): one clean
+//! probe closes the breaker, a failed probe re-opens it for another round
+//! of backoff. This is the standard closed → open → half-open cycle,
+//! driven entirely on virtual time.
+
+/// Breaker position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: serving requests.
+    Closed,
+    /// Quarantined: not serving; waiting to probe.
+    Open,
+    /// Probing: one trial session decides re-admission.
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    consecutive: u32,
+    state: BreakerState,
+    quarantines: u64,
+    probes: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive failures.
+    /// `threshold` 0 is clamped to 1 (an always-tripping breaker would
+    /// quarantine on the farm's very first transient fault).
+    pub fn new(threshold: u32) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            consecutive: 0,
+            state: BreakerState::Closed,
+            quarantines: 0,
+            probes: 0,
+        }
+    }
+
+    /// Current position.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has opened.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Probe sessions run while half-open.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Records a successful attempt (resets the failure run).
+    pub fn record_success(&mut self) {
+        self.consecutive = 0;
+    }
+
+    /// Records a failed attempt. Returns `true` exactly when this failure
+    /// trips the breaker open (the caller then quarantines the machine).
+    pub fn record_failure(&mut self) -> bool {
+        self.consecutive += 1;
+        if self.state == BreakerState::Closed && self.consecutive >= self.threshold {
+            self.state = BreakerState::Open;
+            self.quarantines += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Moves an open breaker to half-open for one probe.
+    pub fn begin_probe(&mut self) {
+        debug_assert_eq!(self.state, BreakerState::Open);
+        self.state = BreakerState::HalfOpen;
+        self.probes += 1;
+    }
+
+    /// Resolves the half-open probe: success closes the breaker (failure
+    /// run cleared), failure re-opens it for another backoff round.
+    pub fn probe_result(&mut self, ok: bool) {
+        debug_assert_eq!(self.state, BreakerState::HalfOpen);
+        if ok {
+            self.state = BreakerState::Closed;
+            self.consecutive = 0;
+        } else {
+            self.state = BreakerState::Open;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_only_on_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        b.record_success();
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.quarantines(), 1);
+    }
+
+    #[test]
+    fn trips_exactly_once_per_quarantine() {
+        let mut b = CircuitBreaker::new(1);
+        assert!(b.record_failure());
+        assert!(!b.record_failure(), "already open: no second trip");
+        assert_eq!(b.quarantines(), 1);
+    }
+
+    #[test]
+    fn probe_cycle_closes_or_reopens() {
+        let mut b = CircuitBreaker::new(1);
+        assert!(b.record_failure());
+        b.begin_probe();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.probe_result(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        b.begin_probe();
+        b.probe_result(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.probes(), 2);
+        // Re-closed breaker counts a fresh run; with threshold 1 the very
+        // next failure trips a second quarantine.
+        assert!(b.record_failure());
+        assert_eq!(b.quarantines(), 2);
+    }
+
+    #[test]
+    fn zero_threshold_clamped() {
+        let mut b = CircuitBreaker::new(0);
+        assert!(b.record_failure(), "clamped to 1: first failure trips");
+    }
+}

@@ -1,0 +1,35 @@
+//! A fault-tolerant, sharded Flicker attestation farm.
+//!
+//! Flicker's §7.4–7.5 make a blunt point: a session *monopolizes the
+//! platform*. The CPU is halted except one core, interrupts are off, and a
+//! TPM quote alone costs ~900 ms — so an attestation **service** scales by
+//! running many machines, not by making one machine faster. This crate
+//! builds that service over the simulated substrate:
+//!
+//! * [`shard`] — a self-contained machine instance (`Send`): OS, TPM,
+//!   provisioned AIK, its own virtual clock and flight recorder, plus the
+//!   five §6 application workloads as one-call session drivers.
+//! * [`health`] — per-machine circuit breaker (closed → open → half-open)
+//!   with probing re-admission.
+//! * [`request`] — request specs, lifecycle action vocabulary, terminal
+//!   outcomes.
+//! * [`farm`] — the supervisor: bounded admission queue, per-machine
+//!   workers, retry with jittered exponential backoff on virtual time,
+//!   per-request deadlines, quarantine with exactly-once requeue of
+//!   in-flight work, and a [`FarmReport`] whose
+//!   [`verify_conservation`](FarmReport::verify_conservation) proves no
+//!   request was lost or duplicated.
+//!
+//! The `farm_bench` binary (in `flicker-bench`) drives the farm under the
+//! seeded fault injector and reports throughput, latency percentiles, and
+//! the conservation invariant.
+
+pub mod farm;
+pub mod health;
+pub mod request;
+pub mod shard;
+
+pub use farm::{Farm, FarmConfig, FarmReport, ShardSummary, Submitted};
+pub use health::{BreakerState, CircuitBreaker};
+pub use request::{AppKind, RequestOutcome, RequestSpec, Terminal, NO_MACHINE, NO_REQUEST};
+pub use shard::Shard;

@@ -1,0 +1,377 @@
+//! A farm shard: one self-contained simulated platform plus the workload
+//! drivers that run the §6 application protocols on it.
+//!
+//! Each shard owns everything it needs — machine, TPM, OS, its own virtual
+//! clock, its own flight recorder, its own provisioned AIK — and shares no
+//! mutable state with any other shard, so a worker thread can move one in
+//! and drive sessions independently (the `Send` bound is asserted by a
+//! test). Per-shard traces matter for more than isolation: the paper-
+//! invariant auditor models *one* platform's Figure-2 state machine, so
+//! interleaving two machines' events in one recording would read as
+//! violations. Farm-level scheduling events go to the coordinator's
+//! separate trace instead.
+
+use crate::health::CircuitBreaker;
+use crate::request::AppKind;
+use flicker_apps::{
+    known_good_hash, Administrator, BoincClient, Csr, FlickerCa, IssuancePolicy, PasswdEntry,
+    SshClient, SshServer, WorkUnit,
+};
+use flicker_core::{
+    run_session, FlickerResult, NativePal, PalContext, PalPayload, ReplayProtectedStorage,
+    SessionParams, SlbImage, SlbOptions,
+};
+use flicker_crypto::rng::XorShiftRng;
+use flicker_crypto::{RsaPrivateKey, RsaPublicKey};
+use flicker_faults::FaultInjector;
+use flicker_machine::SimClock;
+use flicker_os::{NetLink, Os, OsConfig};
+use flicker_tpm::{AikCertificate, PrivacyCa, SealedBlob};
+use flicker_trace::Trace;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// NV index the farm's storage workload roots its counter at (distinct
+/// from the fault sweep's `0x0001_4000` and the perf baseline's
+/// `0x0001_5000`, so harnesses sharing a TPM image can never collide).
+pub const FARM_NV_INDEX: u32 = 0x0001_6000;
+
+/// The SSH workload's password (a recognisable string, as in the sweep,
+/// so leak checks grep for it).
+pub const FARM_SSH_PASSWORD: &[u8] = b"FARM-SECRET-hunter2";
+
+/// One self-contained farm machine.
+pub struct Shard {
+    id: u64,
+    os: Os,
+    cert: AikCertificate,
+    ca_public: RsaPublicKey,
+    trace: Trace,
+    /// Per-machine health state (owned here so a shard and its history
+    /// travel together between threads).
+    pub breaker: CircuitBreaker,
+    /// Sessions completed successfully on this machine.
+    pub completed: u64,
+    /// Attempts that failed on this machine.
+    pub failures: u64,
+}
+
+impl Shard {
+    /// Boots and provisions shard `id`. Provisioning (Privacy-CA
+    /// interaction, AIK certification) is manufacture-time setup: it runs
+    /// before any fault plan is armed, exactly as in the fault sweep.
+    pub fn new(id: u64, base_seed: u64) -> Self {
+        let seed = base_seed.wrapping_add(id);
+        let mut os = Os::boot(OsConfig::fast_for_tests((seed % 211) as u8 + 1));
+        let trace = Trace::new();
+        os.set_tracer(trace.clone());
+        let mut rng = XorShiftRng::new(seed.wrapping_add(9_000));
+        let mut pca = PrivacyCa::new(512, &mut rng);
+        os.provision_attestation(&mut pca, "farm-host")
+            .expect("fault-free provisioning");
+        let cert = os.aik_certificate().expect("just provisioned").clone();
+        Shard {
+            id,
+            os,
+            cert,
+            ca_public: pca.public_key().clone(),
+            trace,
+            breaker: CircuitBreaker::new(u32::MAX),
+            completed: 0,
+            failures: 0,
+        }
+    }
+
+    /// This shard's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The shard's virtual clock (retry backoff is charged here).
+    pub fn clock(&self) -> SimClock {
+        self.os.clock()
+    }
+
+    /// The shard's flight recorder.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Arms a fault injector on the platform.
+    pub fn arm(&mut self, injector: FaultInjector) {
+        self.os.machine_mut().set_fault_injector(injector);
+    }
+
+    /// Disarms fault injection.
+    pub fn disarm(&mut self) {
+        self.os.machine_mut().clear_fault_injector();
+    }
+
+    /// Whether the platform is currently dead from an injected power cut.
+    pub fn power_lost(&self) -> bool {
+        self.os.machine().power_lost()
+    }
+
+    /// Brings a power-lost platform back up (RAM gone, NV/keys persist).
+    pub fn reboot(&mut self) {
+        self.os.reboot_after_power_loss();
+    }
+
+    /// Runs one attempt of `app` on this shard. `Ok(())` only for a fully
+    /// correct protocol run; the error string otherwise. A panic anywhere
+    /// in the protocol stack is converted into an error — a farm worker
+    /// must survive anything a workload does.
+    pub fn run_attempt(&mut self, app: AppKind, seed: u64) -> Result<(), String> {
+        let trial = catch_unwind(AssertUnwindSafe(|| match app {
+            AppKind::Rootkit => self.rootkit(seed),
+            AppKind::Ssh => self.ssh(seed),
+            AppKind::Distcomp => self.distcomp(),
+            AppKind::Ca => self.ca(seed),
+            AppKind::Storage => self.storage(),
+        }));
+        let result = match trial {
+            Ok(r) => r,
+            Err(_) => Err("panic during attempt".into()),
+        };
+        match &result {
+            Ok(()) if self.power_lost() => {
+                // Never report success on a machine that died under the
+                // protocol (same contract as the sweep's classifier).
+                self.failures += 1;
+                Err("protocol claimed success on a dead machine".into())
+            }
+            Ok(()) => {
+                self.completed += 1;
+                result
+            }
+            Err(_) => {
+                self.failures += 1;
+                result
+            }
+        }
+    }
+
+    /// Disarmed probe session for re-admission: the trivial bytecode PAL
+    /// must run end-to-end and produce its known output.
+    pub fn probe(&mut self) -> Result<(), String> {
+        if self.power_lost() {
+            self.reboot();
+        }
+        let slb = SlbImage::build(
+            PalPayload::Bytecode(flicker_palvm::progs::hello_world()),
+            SlbOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let rec = run_session(&mut self.os, &slb, &SessionParams::default())
+            .map_err(|e| e.to_string())?;
+        rec.pal_result.clone().map_err(|e| format!("pal: {e}"))?;
+        if rec.outputs != b"Hello, world" {
+            return Err("probe outputs wrong".into());
+        }
+        Ok(())
+    }
+
+    /// A verifier link seeded per request, wired to this shard's clock,
+    /// trace, and (if armed) injector. Fresh per attempt, as in the sweep:
+    /// the protocol objects consume the link.
+    fn link(&self, seed: u64) -> NetLink {
+        let mut link = NetLink::paper_verifier_link(seed);
+        link.set_clock(self.os.clock());
+        link.set_tracer(self.trace.clone());
+        if let Some(inj) = self.os.machine().fault_injector() {
+            link.set_fault_injector(inj.clone());
+        }
+        link
+    }
+
+    // ----- the five §6 workloads (sweep-equivalent, self-contained) -------
+
+    fn rootkit(&mut self, seed: u64) -> Result<(), String> {
+        let known_good = known_good_hash(&self.os);
+        let link = self.link(seed);
+        let mut admin = Administrator::new(self.ca_public.clone(), known_good, link);
+        let report = if seed.is_multiple_of(2) {
+            admin.query(&mut self.os, &self.cert)
+        } else {
+            admin.query_bytecode(&mut self.os, &self.cert)
+        }
+        .map_err(|e| e.to_string())?;
+        if !report.clean {
+            return Err("pristine kernel reported compromised".into());
+        }
+        Ok(())
+    }
+
+    fn ssh(&mut self, seed: u64) -> Result<(), String> {
+        let mut link = self.link(seed);
+        let mut server = SshServer::new(vec![PasswdEntry::new(
+            "alice",
+            FARM_SSH_PASSWORD,
+            b"fl1ck3r",
+        )]);
+        let mut client = SshClient::new(self.ca_public.clone());
+        let attestation_nonce = [0x55; 20];
+        let transcript = server
+            .connection_setup(&mut self.os, &mut link, attestation_nonce)
+            .map_err(|e| e.to_string())?;
+        client
+            .verify_setup(&self.cert, &transcript)
+            .map_err(|e| e.to_string())?;
+        let nonce = server.issue_nonce();
+        let mut rng = XorShiftRng::new(seed.wrapping_add(4_000));
+        let ciphertext = client
+            .encrypt_password(FARM_SSH_PASSWORD, &nonce, &mut rng)
+            .map_err(|e| e.to_string())?;
+        let outcome = server
+            .login(&mut self.os, &mut link, "alice", &ciphertext, nonce)
+            .map_err(|e| e.to_string())?;
+        if !outcome.accepted {
+            return Err("correct password rejected".into());
+        }
+        Ok(())
+    }
+
+    fn distcomp(&mut self) -> Result<(), String> {
+        let unit = WorkUnit {
+            n: 91,
+            lo: 2,
+            hi: 64,
+        };
+        let (mut client, _) = BoincClient::start(&mut self.os, unit).map_err(|e| e.to_string())?;
+        client
+            .run_slice(&mut self.os, Duration::from_millis(50))
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    fn ca(&mut self, seed: u64) -> Result<(), String> {
+        let policy = IssuancePolicy {
+            allowed_suffixes: vec![".corp.example".into()],
+            max_certificates: 8,
+        };
+        let (mut ca, _) = FlickerCa::init(&mut self.os, policy).map_err(|e| e.to_string())?;
+        let mut rng = XorShiftRng::new(seed.wrapping_add(5_000));
+        let (subject_key, _) = RsaPrivateKey::generate(512, &mut rng);
+        let csr = Csr {
+            subject: "farm.corp.example".into(),
+            public_key: subject_key.public_key().clone(),
+        };
+        let report = ca.sign(&mut self.os, &csr).map_err(|e| e.to_string())?;
+        report
+            .certificate
+            .verify(&ca.public_key)
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    fn storage(&mut self) -> Result<(), String> {
+        // Init redefines the NV space, so the chain is idempotent: a retry
+        // after a mid-chain fault restarts cleanly, and many storage
+        // requests can share one machine.
+        let blob1 = self.storage_session(
+            StoreAction::Init {
+                data: b"state-v1".to_vec(),
+            },
+            Vec::new(),
+        )?;
+        let blob2 = self.storage_session(
+            StoreAction::Update {
+                data: b"state-v2".to_vec(),
+            },
+            blob1,
+        )?;
+        let out = self.storage_session(StoreAction::Read, blob2)?;
+        if out != b"state-v2" {
+            return Err("read returned wrong data".into());
+        }
+        Ok(())
+    }
+
+    fn storage_session(&mut self, action: StoreAction, inputs: Vec<u8>) -> Result<Vec<u8>, String> {
+        let slb = SlbImage::build(
+            PalPayload::Native {
+                identity: b"farm-storage-pal".to_vec(),
+                program: Arc::new(StoragePal { action }),
+            },
+            SlbOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let rec = run_session(&mut self.os, &slb, &SessionParams::with_inputs(inputs))
+            .map_err(|e| e.to_string())?;
+        rec.pal_result.clone().map_err(|e| format!("pal: {e}"))?;
+        Ok(rec.outputs)
+    }
+}
+
+enum StoreAction {
+    Init { data: Vec<u8> },
+    Update { data: Vec<u8> },
+    Read,
+}
+
+struct StoragePal {
+    action: StoreAction,
+}
+
+impl NativePal for StoragePal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let store = ReplayProtectedStorage::new(FARM_NV_INDEX);
+        match &self.action {
+            StoreAction::Init { data } => {
+                store.setup(ctx, &[0u8; 20])?;
+                let blob = store.seal(ctx, data)?;
+                ctx.write_output(blob.as_bytes())
+            }
+            StoreAction::Update { data } => {
+                let old = SealedBlob::from_bytes(ctx.inputs().to_vec());
+                let _ = store.unseal(ctx, &old)?;
+                let blob = store.seal(ctx, data)?;
+                ctx.write_output(blob.as_bytes())
+            }
+            StoreAction::Read => {
+                let blob = SealedBlob::from_bytes(ctx.inputs().to_vec());
+                let data = store.unseal(ctx, &blob)?;
+                ctx.write_output(&data)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Shard>();
+    }
+
+    #[test]
+    fn every_workload_succeeds_unfaulted() {
+        let mut shard = Shard::new(0, 1000);
+        for (i, app) in AppKind::ALL.into_iter().enumerate() {
+            shard
+                .run_attempt(app, 1000 + i as u64)
+                .unwrap_or_else(|e| panic!("{} failed clean: {e}", app.name()));
+        }
+        assert_eq!(shard.completed, 5);
+        assert_eq!(shard.failures, 0);
+    }
+
+    #[test]
+    fn probe_succeeds_on_healthy_shard() {
+        let mut shard = Shard::new(1, 2000);
+        shard.probe().expect("probe on healthy shard");
+    }
+
+    #[test]
+    fn shards_have_independent_clocks() {
+        let a = Shard::new(0, 1);
+        let b = Shard::new(1, 1);
+        let b_before = b.clock().now();
+        a.clock().advance(Duration::from_secs(5));
+        assert_eq!(b.clock().now(), b_before, "b's clock must not move");
+    }
+}

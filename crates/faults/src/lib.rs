@@ -83,6 +83,15 @@ pub enum Fault {
         /// Messages to deliver first.
         skip: u32,
     },
+    /// After `skip` delivered messages, the next `count` messages are all
+    /// dropped — a burst outage. Exercises retransmission backoff growth
+    /// (a single drop never charges more than one timeout).
+    NetDropBurst {
+        /// Messages to deliver first.
+        skip: u32,
+        /// Consecutive drops after that.
+        count: u32,
+    },
     /// Every network message is delayed by `extra` on top of the link's
     /// sampled latency.
     NetDelay {
@@ -99,7 +108,7 @@ impl Fault {
             Fault::TornNvWrite { .. } => fired::TORN_NV_WRITE,
             Fault::PowerLossAfter { .. } => fired::POWER_LOSS,
             Fault::MemWriteFault { .. } => fired::MEM_WRITE,
-            Fault::NetDrop { .. } => fired::NET_DROP,
+            Fault::NetDrop { .. } | Fault::NetDropBurst { .. } => fired::NET_DROP,
             Fault::NetDelay { .. } => fired::NET_DELAY,
         }
     }
@@ -218,8 +227,8 @@ struct State {
     power_deadline: Option<Duration>,
     /// Memory writes still to skip before the one that faults.
     mem: Option<u32>,
-    /// Messages still to deliver before the one that drops.
-    net_drop: Option<u32>,
+    /// (messages still to deliver, consecutive drops remaining after that).
+    net_drop: Option<(u32, u32)>,
     /// Extra delay applied to every delivered message.
     net_delay: Option<Duration>,
     counts: FaultCounts,
@@ -253,7 +262,10 @@ impl FaultInjector {
                 Fault::TornNvWrite { skip, keep } => s.torn = Some((skip, keep)),
                 Fault::PowerLossAfter { after } => s.power_after = Some(after),
                 Fault::MemWriteFault { skip } => s.mem = Some(skip),
-                Fault::NetDrop { skip } => s.net_drop = Some(skip),
+                Fault::NetDrop { skip } => s.net_drop = Some((skip, 1)),
+                Fault::NetDropBurst { skip, count } => {
+                    s.net_drop = (count > 0).then_some((skip, count));
+                }
                 Fault::NetDelay { extra } => s.net_delay = Some(extra),
             }
         }
@@ -358,13 +370,16 @@ impl FaultInjector {
     /// Network gate for one message.
     pub fn net_fault(&self) -> NetFault {
         let mut s = self.lock();
-        match s.net_drop {
-            Some(0) => {
-                s.net_drop = None;
+        match s.net_drop.as_mut() {
+            Some((0, count)) => {
+                *count -= 1;
+                if *count == 0 {
+                    s.net_drop = None;
+                }
                 s.counts.net_drops += 1;
                 return NetFault::Drop;
             }
-            Some(ref mut skip) => *skip -= 1,
+            Some((skip, _)) => *skip -= 1,
             None => {}
         }
         if let Some(extra) = s.net_delay {
@@ -488,6 +503,24 @@ mod tests {
     }
 
     #[test]
+    fn net_drop_burst_drops_consecutively() {
+        let inj = FaultInjector::new(&FaultPlan::one(Fault::NetDropBurst { skip: 1, count: 3 }));
+        assert_eq!(inj.net_fault(), NetFault::Deliver);
+        assert_eq!(inj.net_fault(), NetFault::Drop);
+        assert_eq!(inj.net_fault(), NetFault::Drop);
+        assert_eq!(inj.net_fault(), NetFault::Drop);
+        assert_eq!(inj.net_fault(), NetFault::Deliver);
+        assert_eq!(inj.counts().net_drops, 3);
+    }
+
+    #[test]
+    fn empty_net_drop_burst_is_inert() {
+        let inj = FaultInjector::new(&FaultPlan::one(Fault::NetDropBurst { skip: 0, count: 0 }));
+        assert_eq!(inj.net_fault(), NetFault::Deliver);
+        assert_eq!(inj.counts().net_drops, 0);
+    }
+
+    #[test]
     fn seeded_plans_are_deterministic_and_cover_kinds() {
         for seed in 0..64 {
             assert_eq!(FaultPlan::seeded(seed), FaultPlan::seeded(seed));
@@ -500,7 +533,7 @@ mod tests {
                     Fault::TornNvWrite { .. } => 1,
                     Fault::PowerLossAfter { .. } => 2,
                     Fault::MemWriteFault { .. } => 3,
-                    Fault::NetDrop { .. } => 4,
+                    Fault::NetDrop { .. } | Fault::NetDropBurst { .. } => 4,
                     Fault::NetDelay { .. } => 5,
                 };
                 kinds[k] = true;

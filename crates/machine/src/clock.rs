@@ -7,17 +7,20 @@
 //! the paper took on a 2008 HP dc5750 — the *numbers* come from the model,
 //! the *logic* runs for real.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A shared virtual clock with nanosecond resolution.
 ///
 /// Cloning produces another handle to the same clock (the platform, OS, and
-/// session driver all hold one).
+/// session driver all hold one). The handle is `Send + Sync`, so a machine
+/// and its clock can move to a worker thread together — each farm shard
+/// runs on its own independent clock. Virtual time is a `u64` nanosecond
+/// counter (≈584 years of virtual uptime), advanced with saturation.
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
-    ns: Rc<Cell<u128>>,
+    ns: Arc<AtomicU64>,
 }
 
 impl SimClock {
@@ -28,13 +31,25 @@ impl SimClock {
 
     /// Current virtual time since platform power-on.
     pub fn now(&self) -> Duration {
-        let ns = self.ns.get();
-        Duration::new((ns / 1_000_000_000) as u64, (ns % 1_000_000_000) as u32)
+        Duration::from_nanos(self.ns.load(Ordering::SeqCst))
     }
 
     /// Advances the clock by `d`.
     pub fn advance(&self, d: Duration) {
-        self.ns.set(self.ns.get() + d.as_nanos());
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        // Saturating add: a runaway advance pins the clock at the end of
+        // virtual time instead of wrapping back to the boot instant.
+        let mut cur = self.ns.load(Ordering::SeqCst);
+        loop {
+            let next = cur.saturating_add(ns);
+            match self
+                .ns
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     /// Measures virtual time consumed by `f`.
@@ -113,6 +128,21 @@ mod tests {
         });
         assert_eq!(v, 42);
         assert_eq!(d, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn clock_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimClock>();
+        assert_send_sync::<Stopwatch>();
+    }
+
+    #[test]
+    fn advance_saturates_at_end_of_virtual_time() {
+        let c = SimClock::new();
+        c.advance(Duration::from_nanos(u64::MAX));
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_nanos(u64::MAX));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod dev;
 pub mod error;
 pub mod machine;
 pub mod memory;
+pub mod retry;
 pub mod seg;
 pub mod skinit;
 
@@ -33,5 +34,6 @@ pub use dev::{DevProtection, DeviceExclusionVector, PAGE_SIZE};
 pub use error::{MachineError, MachineResult};
 pub use machine::{ActiveSkinit, Machine, MachineConfig, TPM_RETRY_BACKOFF};
 pub use memory::PhysMemory;
+pub use retry::RetryPolicy;
 pub use seg::{pal_segments, CallGate, Gdt, SegmentDescriptor, SegmentKind};
 pub use skinit::{SkinitCostModel, SLB_MAX_LEN};

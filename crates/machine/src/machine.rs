@@ -12,6 +12,7 @@ use crate::cpumodel::CpuCostModel;
 use crate::dev::{DevProtection, DeviceExclusionVector};
 use crate::error::{MachineError, MachineResult};
 use crate::memory::PhysMemory;
+use crate::retry::RetryPolicy;
 use crate::skinit::{SkinitCostModel, SLB_MAX_LEN};
 use flicker_faults::{fired, FaultInjector};
 use flicker_tpm::{Tpm, TpmConfig, TpmError, TpmResult};
@@ -21,7 +22,10 @@ use std::time::Duration;
 /// Backoff schedule for transient TPM busy responses: the driver retries a
 /// `TPM_E_RETRY` after these successive waits (then gives up). Four attempts
 /// total — generous against the injector's 1–2 consecutive busy responses,
-/// and bounded so a hard-failed TPM still surfaces promptly.
+/// and bounded so a hard-failed TPM still surfaces promptly. Kept as a
+/// const for callers that budget deadlines; it is definitionally equal to
+/// [`RetryPolicy::tpm_default`]'s schedule (a unit test pins the two
+/// together).
 pub const TPM_RETRY_BACKOFF: [Duration; 3] = [
     Duration::from_millis(1),
     Duration::from_millis(2),
@@ -198,6 +202,11 @@ impl Machine {
         self.injector = None;
     }
 
+    /// The installed fault injector, if any (cheap cloneable handle).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
     /// True once an injected power loss has struck and the machine has not
     /// yet been power-cycled.
     pub fn power_lost(&self) -> bool {
@@ -299,23 +308,33 @@ impl Machine {
         out
     }
 
-    /// Runs a TPM operation with driver-side retry: a `TPM_E_RETRY` answer
-    /// is retried after each backoff in [`TPM_RETRY_BACKOFF`] (charged to
+    /// Runs a TPM operation with driver-side retry under the default
+    /// schedule ([`RetryPolicy::tpm_default`], i.e. [`TPM_RETRY_BACKOFF`]):
+    /// a `TPM_E_RETRY` answer is retried after each backoff (charged to
     /// the virtual clock), then surfaced to the caller. Any other result is
     /// returned immediately.
     ///
     /// Authorization sessions must be built *inside* `f`: the TPM consumes
     /// a session on a failed command, so each attempt needs fresh nonces.
-    pub fn tpm_op_retrying<T>(
+    pub fn tpm_op_retrying<T>(&mut self, f: impl FnMut(&mut Tpm) -> TpmResult<T>) -> TpmResult<T> {
+        self.tpm_op_retrying_with(&RetryPolicy::tpm_default(), f)
+    }
+
+    /// [`Machine::tpm_op_retrying`] under a caller-supplied [`RetryPolicy`]
+    /// (nominal schedule only — TPM driver retries don't jitter; session
+    /// level retry jitter is the farm scheduler's job).
+    pub fn tpm_op_retrying_with<T>(
         &mut self,
+        policy: &RetryPolicy,
         mut f: impl FnMut(&mut Tpm) -> TpmResult<T>,
     ) -> TpmResult<T> {
-        let mut backoffs = TPM_RETRY_BACKOFF.iter();
+        let mut retry = 0u32;
         loop {
             let out = self.tpm_op(&mut f);
             match out {
-                Err(TpmError::Retry) => match backoffs.next() {
-                    Some(&wait) => {
+                Err(TpmError::Retry) => match policy.backoff(retry) {
+                    Some(wait) => {
+                        retry += 1;
                         if let Some(t) = &self.tracer {
                             t.counter_add("tpm.retry", 1);
                         }

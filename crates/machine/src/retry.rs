@@ -1,0 +1,196 @@
+//! A shared, configurable retry policy.
+//!
+//! Both the TPM driver ([`Machine::tpm_op_retrying`]) and the farm's
+//! session scheduler retry transient failures with bounded exponential
+//! backoff. The schedule used to live as an ad-hoc constant inside the
+//! driver loop; [`RetryPolicy`] extracts it so every retry site in the
+//! workspace draws from one description: maximum attempts, a base wait
+//! that grows geometrically, a cap, and optional deterministic jitter.
+//!
+//! Jitter is deliberately *deterministic*: the whole reproduction runs on
+//! virtual time from seeded fault plans, so the jitter for a given
+//! `(seed, retry)` pair is a pure function — replays stay bit-identical.
+//!
+//! [`Machine::tpm_op_retrying`]: crate::Machine::tpm_op_retrying
+
+use std::time::Duration;
+
+/// Bounded exponential backoff with optional deterministic jitter.
+///
+/// A policy allows `max_retries` retries after the first attempt, waiting
+/// `min(base * factor^n, cap)` before retry `n` (0-based). With
+/// `jitter_pct > 0`, up to that percentage of the nominal wait is *added*,
+/// derived deterministically from a caller-supplied seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt.
+    pub max_retries: u32,
+    /// Wait before the first retry.
+    pub base: Duration,
+    /// Geometric growth factor applied per retry.
+    pub factor: u32,
+    /// Ceiling on any single (pre-jitter) wait.
+    pub cap: Duration,
+    /// Jitter amplitude as a percentage of the nominal wait (0 = none).
+    pub jitter_pct: u32,
+}
+
+impl RetryPolicy {
+    /// A jitter-free policy: `max_retries` waits of
+    /// `min(base * factor^n, cap)`.
+    pub const fn new(max_retries: u32, base: Duration, factor: u32, cap: Duration) -> Self {
+        RetryPolicy {
+            max_retries,
+            base,
+            factor,
+            cap,
+            jitter_pct: 0,
+        }
+    }
+
+    /// Adds deterministic jitter of up to `pct` percent of each wait.
+    pub const fn with_jitter_pct(mut self, pct: u32) -> Self {
+        self.jitter_pct = pct;
+        self
+    }
+
+    /// The TPM driver's schedule: 4 attempts total, waits of 1, 2 and 4 ms.
+    ///
+    /// Generous against the fault injector's 1–2 consecutive busy
+    /// responses, bounded so a hard-failed TPM surfaces promptly. This is
+    /// exactly the schedule in
+    /// [`TPM_RETRY_BACKOFF`](crate::TPM_RETRY_BACKOFF).
+    pub const fn tpm_default() -> Self {
+        RetryPolicy::new(3, Duration::from_millis(1), 2, Duration::from_millis(4))
+    }
+
+    /// Total attempts the policy allows (first try + retries).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_retries.saturating_add(1)
+    }
+
+    /// Nominal (pre-jitter) wait before 0-based retry `n`, or `None` once
+    /// the policy is exhausted.
+    pub fn backoff(&self, retry: u32) -> Option<Duration> {
+        if retry >= self.max_retries {
+            return None;
+        }
+        let mult = self.factor.checked_pow(retry).unwrap_or(u32::MAX);
+        let nominal = self.base.checked_mul(mult).unwrap_or(Duration::MAX);
+        Some(nominal.min(self.cap))
+    }
+
+    /// Wait before 0-based retry `n` with deterministic jitter mixed in
+    /// from `seed`. With `jitter_pct == 0` this equals [`Self::backoff`].
+    pub fn backoff_jittered(&self, retry: u32, seed: u64) -> Option<Duration> {
+        let nominal = self.backoff(retry)?;
+        if self.jitter_pct == 0 {
+            return Some(nominal);
+        }
+        let span_ns = nominal
+            .as_nanos()
+            .min(u64::MAX as u128)
+            .saturating_mul(self.jitter_pct as u128)
+            / 100;
+        let span_ns = u64::try_from(span_ns).unwrap_or(u64::MAX);
+        let extra = splitmix64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(retry as u64 + 1)))
+            % span_ns.saturating_add(1);
+        Some(nominal.saturating_add(Duration::from_nanos(extra)))
+    }
+
+    /// The full nominal schedule, one wait per allowed retry.
+    pub fn schedule(&self) -> Vec<Duration> {
+        (0..self.max_retries)
+            .filter_map(|n| self.backoff(n))
+            .collect()
+    }
+
+    /// Sum of the nominal schedule — the worst-case extra virtual time a
+    /// caller budgeting a deadline must allow for waits alone.
+    pub fn total_backoff(&self) -> Duration {
+        self.schedule()
+            .into_iter()
+            .fold(Duration::ZERO, |acc, d| acc.saturating_add(d))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::tpm_default()
+    }
+}
+
+/// SplitMix64: a tiny, well-distributed mixer (same finalizer the fault
+/// planner uses) — enough for jitter, not a cryptographic RNG.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpm_default_matches_legacy_schedule() {
+        assert_eq!(
+            RetryPolicy::tpm_default().schedule(),
+            crate::TPM_RETRY_BACKOFF.to_vec()
+        );
+        assert_eq!(RetryPolicy::tpm_default().max_attempts(), 4);
+    }
+
+    #[test]
+    fn backoff_grows_geometrically_then_caps() {
+        let p = RetryPolicy::new(6, Duration::from_millis(10), 2, Duration::from_millis(80));
+        let waits: Vec<u64> = p.schedule().iter().map(|d| d.as_millis() as u64).collect();
+        assert_eq!(waits, vec![10, 20, 40, 80, 80, 80]);
+        assert_eq!(p.backoff(6), None);
+    }
+
+    #[test]
+    fn huge_retry_counts_do_not_overflow() {
+        let p = RetryPolicy::new(
+            u32::MAX,
+            Duration::from_secs(1),
+            10,
+            Duration::from_secs(30),
+        );
+        assert_eq!(p.backoff(1_000_000), Some(Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::new(3, Duration::from_millis(100), 2, Duration::from_secs(1))
+            .with_jitter_pct(50);
+        for retry in 0..3 {
+            let nominal = p.backoff(retry).unwrap();
+            let a = p.backoff_jittered(retry, 42).unwrap();
+            let b = p.backoff_jittered(retry, 42).unwrap();
+            assert_eq!(a, b, "same (seed, retry) must jitter identically");
+            assert!(a >= nominal);
+            assert!(a <= nominal + nominal.mul_f64(0.5) + Duration::from_nanos(1));
+        }
+        let x = p.backoff_jittered(0, 1).unwrap();
+        let y = p.backoff_jittered(0, 2).unwrap();
+        assert_ne!(x, y, "different seeds should (here) jitter differently");
+    }
+
+    #[test]
+    fn zero_jitter_matches_nominal() {
+        let p = RetryPolicy::tpm_default();
+        for retry in 0..3 {
+            assert_eq!(p.backoff_jittered(retry, 7), p.backoff(retry));
+        }
+    }
+
+    #[test]
+    fn total_backoff_sums_schedule() {
+        assert_eq!(
+            RetryPolicy::tpm_default().total_backoff(),
+            Duration::from_millis(7)
+        );
+    }
+}

@@ -9,9 +9,13 @@
 
 use flicker_crypto::{CryptoRng, HmacDrbg};
 use flicker_faults::{fired, FaultInjector, NetFault};
-use flicker_machine::SimClock;
+use flicker_machine::{RetryPolicy, SimClock};
 use flicker_trace::{EventKind, Trace};
 use std::time::Duration;
+
+/// Ceiling on the retransmission timeout, as a multiple of the link's max
+/// RTT: the RTO doubles per consecutive drop and stops growing here.
+pub const RTO_CAP_FACTOR: u32 = 8;
 
 /// A bidirectional latency-modelled link.
 pub struct NetLink {
@@ -124,19 +128,41 @@ impl NetLink {
         }
     }
 
-    /// One-way delivery with sender-side retransmission: each drop costs a
-    /// retransmission timeout of one max RTT before the resend. Returns the
-    /// total time from first transmission to delivery. With no injector (or
-    /// no armed drops) this draws exactly the same DRBG samples as
-    /// [`NetLink::one_way`], so fault-free timings are unchanged.
+    /// The sender's retransmission-timeout schedule: the first RTO is one
+    /// max RTT, doubling on each consecutive drop and capped at
+    /// [`RTO_CAP_FACTOR`]× max RTT — standard capped exponential backoff,
+    /// expressed through the shared [`RetryPolicy`]. Retransmission never
+    /// gives up (armed drops are finite), so the attempt bound is `u32::MAX`.
+    fn rto_policy(&self) -> RetryPolicy {
+        RetryPolicy::new(
+            u32::MAX,
+            self.max_rtt,
+            2,
+            self.max_rtt.saturating_mul(RTO_CAP_FACTOR),
+        )
+    }
+
+    /// One-way delivery with sender-side retransmission: each consecutive
+    /// drop charges the next wait of the capped exponential RTO schedule
+    /// ([`NetLink::rto_policy`]) before the resend — a lone drop still costs
+    /// exactly one max RTT, while a burst backs off instead of hammering
+    /// the link at a fixed cadence. Returns the total time from first
+    /// transmission to delivery. With no injector (or no armed drops) this
+    /// draws exactly the same DRBG samples as [`NetLink::one_way`], so
+    /// fault-free timings are unchanged.
     ///
     /// Terminates because armed drops are finite one-shots.
     pub fn one_way_reliable(&mut self) -> Duration {
+        let rto = self.rto_policy();
+        let mut drops = 0u32;
         let mut total = Duration::ZERO;
         loop {
             match self.try_one_way() {
                 Some(delay) => return total + delay,
-                None => total += self.max_rtt,
+                None => {
+                    total += rto.backoff(drops).expect("RTO schedule is unbounded");
+                    drops += 1;
+                }
             }
         }
     }
@@ -204,6 +230,39 @@ mod tests {
         // The drop costs one max-RTT RTO plus the redelivery sample.
         assert!(t_faulty > Duration::from_micros(10_100));
         assert!(faulty.try_one_way().is_some(), "drop was one-shot");
+    }
+
+    #[test]
+    fn drop_bursts_charge_capped_exponential_rto() {
+        use flicker_faults::{Fault, FaultInjector, FaultPlan};
+        // A degenerate link (min = avg = max = 10 ms) makes every sample
+        // exactly 10 ms, so the RTO arithmetic is checked precisely.
+        let rtt = Duration::from_millis(10);
+        let fixed_link = || NetLink::new(rtt, rtt, rtt, 9);
+        let total_after_burst = |count: u32| {
+            let mut link = fixed_link();
+            link.set_fault_injector(FaultInjector::new(&FaultPlan::one(Fault::NetDropBurst {
+                skip: 0,
+                count,
+            })));
+            link.one_way_reliable()
+        };
+        let delivery = rtt / 2;
+        // 1 drop: one base RTO. 2 drops: base + doubled. 3 drops: +4x.
+        assert_eq!(total_after_burst(1), rtt + delivery);
+        assert_eq!(total_after_burst(2), rtt * 3 + delivery);
+        assert_eq!(total_after_burst(3), rtt * 7 + delivery);
+        // Per-drop waits strictly increase until the cap (8x max RTT)...
+        let mut prev = Duration::ZERO;
+        for count in 1..=4u32 {
+            let wait = total_after_burst(count) - total_after_burst(count - 1);
+            assert!(wait > prev, "RTO must grow per consecutive drop");
+            prev = wait;
+        }
+        // ...then plateaus: drops 4, 5, 6 each cost exactly the cap.
+        let cap = rtt * RTO_CAP_FACTOR;
+        assert_eq!(total_after_burst(5) - total_after_burst(4), cap);
+        assert_eq!(total_after_burst(6) - total_after_burst(5), cap);
     }
 
     #[test]

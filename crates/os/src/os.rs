@@ -13,7 +13,7 @@
 
 use crate::kernel::KernelImage;
 use crate::state::SavedKernelState;
-use flicker_machine::{Machine, MachineConfig, MachineError, MachineResult, SimClock};
+use flicker_machine::{Machine, MachineConfig, MachineError, MachineResult, RetryPolicy, SimClock};
 use flicker_tpm::{AikCertificate, PcrSelection, PrivacyCa, TpmQuote, TpmResult};
 use flicker_trace::{EventKind, Trace};
 
@@ -191,6 +191,10 @@ impl Os {
 
     // ----- tqd: the TPM quote daemon (paper §6) -----------------------------
 
+    /// The tqd's retry schedule for `TPM_E_RETRY` answers — the TPM
+    /// driver's default policy, shared rather than re-derived here.
+    pub const TQD_RETRY_POLICY: RetryPolicy = RetryPolicy::tpm_default();
+
     /// Provisions the attestation identity: TPM ownership, EK registration,
     /// `MakeIdentity`, Privacy-CA certification.
     pub fn provision_attestation(
@@ -214,14 +218,19 @@ impl Os {
     /// The tqd's quote service: sign the selected PCRs under the verifier's
     /// nonce. Runs with the OS live (the paper is explicit that the quote
     /// happens *after* the session, under the untrusted OS — §6.1). Like
-    /// any real TPM driver, the tqd retries `TPM_E_RETRY` with backoff.
+    /// any real TPM driver, the tqd retries `TPM_E_RETRY` with backoff —
+    /// under [`Os::TQD_RETRY_POLICY`], the same shared [`RetryPolicy`] the
+    /// machine's driver loop uses, so there is exactly one place the
+    /// schedule is defined.
     pub fn tqd_quote(&mut self, nonce: [u8; 20], selection: &PcrSelection) -> TpmResult<TpmQuote> {
         let (handle, _) = *self.aik.as_ref().ok_or(flicker_tpm::TpmError::NoSrk)?;
         let sel = selection.clone();
         let t0 = self.machine.clock().now();
         let quote = self
             .machine
-            .tpm_op_retrying(move |tpm| tpm.quote(handle, nonce, &sel))?;
+            .tpm_op_retrying_with(&Self::TQD_RETRY_POLICY, move |tpm| {
+                tpm.quote(handle, nonce, &sel)
+            })?;
         if let Some(t) = self.machine.tracer() {
             t.observe("os.tqd_quote", self.machine.clock().now() - t0);
         }

@@ -263,6 +263,7 @@ pub fn audit_events(events: &[Event]) -> Vec<Violation> {
             | EventKind::PhaseStart { .. }
             | EventKind::PhaseEnd { .. }
             | EventKind::FaultInjected { .. }
+            | EventKind::Farm { .. }
             | EventKind::OsSuspend
             | EventKind::OsResume => {}
         }

@@ -111,6 +111,20 @@ pub enum EventKind {
     /// The platform rebooted (power cycle or explicit reset): RAM gone,
     /// dynamic PCRs back to −1, DEV cleared, any launch destroyed.
     Reboot,
+    /// A farm-level scheduling decision (the sharded attestation service's
+    /// robustness policy layer). Stable `action` names are defined by
+    /// `flicker-farm` (`enqueued`, `admitted`, `running`, `done`, `failed`,
+    /// `retry`, `shed`, `timed_out`, `requeued`, `quarantine`, `probe`,
+    /// `readmitted`).
+    Farm {
+        /// Decision name (snake_case).
+        action: String,
+        /// Request id the decision concerns (0 for machine-level actions).
+        request: u64,
+        /// Machine shard index ([`u64::MAX`] when no machine is involved,
+        /// e.g. an admission-control shed decided at the queue).
+        machine: u64,
+    },
 }
 
 impl EventKind {
@@ -133,6 +147,7 @@ impl EventKind {
             EventKind::OsSuspend => "os_suspend",
             EventKind::OsResume => "os_resume",
             EventKind::Reboot => "reboot",
+            EventKind::Farm { .. } => "farm",
         }
     }
 }
@@ -205,6 +220,15 @@ impl Event {
                 push_u64_field(&mut s, "len", *len);
             }
             EventKind::FaultInjected { fault } => push_str_field(&mut s, "fault", fault),
+            EventKind::Farm {
+                action,
+                request,
+                machine,
+            } => {
+                push_str_field(&mut s, "action", action);
+                push_u64_field(&mut s, "request", *request);
+                push_u64_field(&mut s, "machine", *machine);
+            }
             EventKind::OsSuspend | EventKind::OsResume | EventKind::Reboot => {}
         }
         s.push('}');
@@ -272,6 +296,11 @@ impl Event {
             "os_suspend" => EventKind::OsSuspend,
             "os_resume" => EventKind::OsResume,
             "reboot" => EventKind::Reboot,
+            "farm" => EventKind::Farm {
+                action: req_str("action")?,
+                request: req_u64("request")?,
+                machine: req_u64("machine")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(Event { at, kind })
@@ -382,6 +411,11 @@ mod tests {
             EventKind::OsSuspend,
             EventKind::OsResume,
             EventKind::Reboot,
+            EventKind::Farm {
+                action: "quarantine".into(),
+                request: 0,
+                machine: 3,
+            },
         ] {
             round_trip(Event { at, kind });
         }

@@ -62,6 +62,14 @@ fn event_args(kind: &EventKind) -> String {
         EventKind::FaultInjected { fault } => {
             format!("{{\"fault\":\"{}\"}}", escape_json(fault))
         }
+        EventKind::Farm {
+            action,
+            request,
+            machine,
+        } => format!(
+            "{{\"action\":\"{}\",\"request\":{request},\"machine\":{machine}}}",
+            escape_json(action)
+        ),
         EventKind::OsSuspend | EventKind::OsResume | EventKind::Reboot => "{}".to_string(),
     }
 }

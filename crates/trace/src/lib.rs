@@ -24,9 +24,13 @@
 //! invariants, and [`export`] renders it as Chrome `trace_event` JSON,
 //! JSONL, or Prometheus-style text.
 //!
-//! A [`Trace`] is a cheap cloneable handle (`Rc<RefCell<..>>`, `!Send` like
-//! the rest of the simulator); every component that wants to record clones
-//! the same handle, mirroring how the fault injector is threaded through.
+//! A [`Trace`] is a cheap cloneable handle (`Arc<Mutex<..>>`, `Send + Sync`
+//! like the fault injector); every component that wants to record clones
+//! the same handle. Because the handle is `Send`, a whole machine — clock,
+//! TPM, memory, recorder — can move onto a worker thread, which is what the
+//! farm's sharded service layer does: one private trace per machine shard,
+//! audited independently (per-shard virtual clocks mean timestamps are only
+//! comparable within one shard's stream).
 
 pub mod audit;
 mod event;
@@ -36,9 +40,8 @@ mod hist;
 pub use event::{Event, EventKind};
 pub use hist::DurationHistogram;
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Counter incremented once per event evicted from a full ring buffer, so
@@ -119,7 +122,15 @@ impl Inner {
 /// Cloneable recorder handle. All clones share the same buffers.
 #[derive(Clone, Default)]
 pub struct Trace {
-    inner: Rc<RefCell<Inner>>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Trace {
+    /// Locks the shared recorder state (poisoning is not recoverable for a
+    /// recorder — a panicking recorder thread already lost its data).
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("trace recorder poisoned")
+    }
 }
 
 impl Trace {
@@ -131,7 +142,7 @@ impl Trace {
     /// Opens a span at virtual time `now`, nested under the innermost open
     /// span (if any).
     pub fn span_start(&self, name: &'static str, now: Duration) -> SpanId {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let parent = inner.open.last().copied();
         let depth = inner.open.len();
         let id = SpanId(inner.spans.len());
@@ -150,7 +161,7 @@ impl Trace {
     /// are still open are closed with it (a span cannot outlive its parent).
     /// Closing an already-closed span is a no-op.
     pub fn span_end(&self, id: SpanId, now: Duration) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let Some(pos) = inner.open.iter().position(|&o| o == id) else {
             return;
         };
@@ -163,7 +174,7 @@ impl Trace {
     /// Records a fully-formed span in one call (used when start and end are
     /// both known, e.g. when converting a stopwatch measurement).
     pub fn span_closed(&self, name: &'static str, start: Duration, duration: Duration) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let parent = inner.open.last().copied();
         let depth = inner.open.len();
         inner.spans.push(Span {
@@ -177,28 +188,27 @@ impl Trace {
 
     /// Adds to a named counter, saturating at `u64::MAX`.
     pub fn counter_add(&self, name: &'static str, delta: u64) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let c = inner.counters.entry(name).or_insert(0);
         *c = c.saturating_add(delta);
     }
 
     /// Records a duration sample into the named histogram.
     pub fn observe(&self, name: &'static str, sample: Duration) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.histograms.entry(name).or_default().observe(sample);
     }
 
     /// Snapshot of all spans in creation order.
     pub fn spans(&self) -> Vec<Span> {
-        self.inner.borrow().spans.clone()
+        self.lock().spans.clone()
     }
 
     /// Completed spans with the given name, in creation order. Spans still
     /// open at snapshot time are excluded (they have no duration yet); use
     /// [`Trace::spans`] for the raw list including open spans.
     pub fn spans_named(&self, name: &str) -> Vec<Span> {
-        self.inner
-            .borrow()
+        self.lock()
             .spans
             .iter()
             .filter(|s| s.name == name && s.duration.is_some())
@@ -210,61 +220,55 @@ impl Trace {
     /// buffer is full the oldest event is evicted and
     /// [`DROPPED_EVENTS_COUNTER`] is incremented.
     pub fn event(&self, at: Duration, kind: EventKind) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.events.push_back(Event { at, kind });
         inner.enforce_event_capacity();
     }
 
     /// Snapshot of the flight-recorder ring buffer, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.borrow().events.iter().cloned().collect()
+        self.lock().events.iter().cloned().collect()
     }
 
     /// Number of events currently buffered.
     pub fn event_count(&self) -> usize {
-        self.inner.borrow().events.len()
+        self.lock().events.len()
     }
 
     /// Changes the ring-buffer bound. Shrinking below the current length
     /// evicts the oldest events (counted as drops). A capacity of 0 keeps
     /// room for a single event, the smallest useful flight record.
     pub fn set_event_capacity(&self, capacity: usize) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.event_capacity = capacity.max(1);
         inner.enforce_event_capacity();
     }
 
     /// Allocates the next session id (1, 2, …) for `SessionStart` events.
     pub fn next_session_id(&self) -> u64 {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.next_session_id += 1;
         inner.next_session_id
     }
 
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+        self.lock().counters.get(name).copied().unwrap_or(0)
     }
 
     /// All counters, sorted by name.
     pub fn counters(&self) -> Vec<(&'static str, u64)> {
-        self.inner
-            .borrow()
-            .counters
-            .iter()
-            .map(|(&k, &v)| (k, v))
-            .collect()
+        self.lock().counters.iter().map(|(&k, &v)| (k, v)).collect()
     }
 
     /// Clone of the named histogram, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<DurationHistogram> {
-        self.inner.borrow().histograms.get(name).cloned()
+        self.lock().histograms.get(name).cloned()
     }
 
     /// All histograms, sorted by name.
     pub fn histograms(&self) -> Vec<(&'static str, DurationHistogram)> {
-        self.inner
-            .borrow()
+        self.lock()
             .histograms
             .iter()
             .map(|(&k, v)| (k, v.clone()))
@@ -274,7 +278,7 @@ impl Trace {
     /// Discards all recorded data, keeping the handle (and its clones) live.
     /// The configured event capacity survives the reset.
     pub fn reset(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let capacity = inner.event_capacity;
         *inner = Inner {
             event_capacity: capacity,
@@ -285,7 +289,7 @@ impl Trace {
 
 impl std::fmt::Debug for Trace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         f.debug_struct("Trace")
             .field("spans", &inner.spans.len())
             .field("open", &inner.open.len())

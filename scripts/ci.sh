@@ -26,6 +26,12 @@ cargo run --release -p flicker-bench --bin perf_baseline -- --quick --audit \
   --trajectory target/BENCH_trajectory_quick.jsonl
 cargo run --release -p flicker-bench --bin perf_baseline -- --check target/BENCH_perf_baseline_quick.json
 cargo run --release -p flicker-bench --bin perf_baseline -- --check BENCH_perf_baseline.json
+# Farm gate: a quick farm run (2 machines, seeded faults) must finish with
+# zero lost / zero duplicated requests and audit-clean per-machine flight
+# records; the trajectory line goes under target/ so the committed file
+# only carries full runs.
+cargo run --release -p flicker-bench --bin farm_bench -- --quick \
+  --trajectory target/BENCH_trajectory_quick.jsonl
 # Flight-recorder gates: the paper-invariant auditor must pass over a
 # fresh quick run, and each exporter must emit a self-consistent document.
 cargo run --release -p flicker-bench --bin flicker_trace_tool -- audit --quick
