@@ -12,7 +12,7 @@ fn seal_blob(tpm: &mut Tpm, data: &[u8]) -> flicker_tpm::SealedBlob {
     let pd = Tpm::param_digest(&[b"TPM_Seal", data, &sel.encode(), &digest]);
     let mut session = tpm.oiap(WELL_KNOWN_AUTH);
     let mut rng = XorShiftRng::new(7);
-    let auth = session.authorize(&pd, &mut rng);
+    let auth = session.authorize(&pd, &mut rng, false);
     tpm.seal(data, &sel, &WELL_KNOWN_AUTH, &auth).unwrap()
 }
 
@@ -38,7 +38,7 @@ fn bench_tpm(c: &mut Criterion) {
             let pd = Tpm::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
             let mut session = tpm.oiap(WELL_KNOWN_AUTH);
             let mut rng = XorShiftRng::new(8);
-            let auth = session.authorize(&pd, &mut rng);
+            let auth = session.authorize(&pd, &mut rng, false);
             tpm.unseal(&blob, &auth).unwrap()
         });
     });

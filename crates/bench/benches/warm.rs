@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the §7.6 warm-path cache's *host-side* cost:
+//! what a measurement-memo hit saves the simulator versus recomputing the
+//! SLB hash, and what a seal-memo lookup costs. (The *simulated* savings —
+//! skipped `TPM_Seal`s and session opens on the virtual clock — are
+//! measured by the `warm_bench` binary, not here.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flicker_crypto::sha1::sha1;
+use flicker_machine::{SealKey, WarmCache};
+use flicker_tpm::SealedBlob;
+
+fn bench_warm(c: &mut Criterion) {
+    // A realistic SLB: tens of kilobytes of PAL image.
+    let image = vec![0xA5u8; 64 * 1024];
+    let digest = sha1(&image);
+
+    let mut cache = WarmCache::new();
+    cache.store_measurement(&image, digest);
+    c.bench_function("warm/measurement_memo_hit", |b| {
+        b.iter(|| cache.lookup_measurement(&image).unwrap());
+    });
+
+    // The work a miss has to redo.
+    c.bench_function("warm/measurement_miss_sha1_64k", |b| {
+        b.iter(|| sha1(&image));
+    });
+
+    let key = SealKey {
+        data: b"warm-bench-refresh-state".to_vec(),
+        selection: vec![0, 2, 0, 0, 2],
+        digest_at_release: [7u8; 20],
+        blob_auth: [0u8; 20],
+    };
+    let mut seal_cache = WarmCache::new();
+    seal_cache.store_seal(key.clone(), SealedBlob::from_bytes(vec![0x5Au8; 96]));
+    c.bench_function("warm/seal_memo_hit", |b| {
+        b.iter(|| seal_cache.lookup_seal(&key).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_warm);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Renders the append-only bench trajectory (`BENCH_trajectory.jsonl`)
+//! into a static HTML dashboard, `github-action-benchmark` style: a
+//! `data.js` assigning `window.BENCHMARK_DATA` plus a dependency-free
+//! `index.html` that charts every metric series across commits.
+//!
+//! ```text
+//! trajectory_dashboard [--trajectory PATH] [--out-dir DIR] [--include-quick]
+//! ```
+//!
+//! Defaults read `BENCH_trajectory.jsonl` and write `docs/bench/`. Quick
+//! runs are skipped by default (the committed trajectory only carries
+//! full runs; CI writes its quick lines under `target/`). Every numeric
+//! leaf in a trajectory line becomes one series, named by its JSON path
+//! (`apps/ssh/p50_ms`, `farm/p50_ms`, `warm/ssh/warm_p50_ms`, ...).
+
+use flicker_bench::json::{self, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const INDEX_HTML: &str = include_str!("trajectory_dashboard_index.html");
+
+fn main() -> ExitCode {
+    let mut trajectory = String::from("BENCH_trajectory.jsonl");
+    let mut out_dir = String::from("docs/bench");
+    let mut include_quick = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trajectory" => match args.next() {
+                Some(path) => trajectory = path,
+                None => return usage("--trajectory needs a path"),
+            },
+            "--out-dir" => match args.next() {
+                Some(dir) => out_dir = dir,
+                None => return usage("--out-dir needs a directory"),
+            },
+            "--include-quick" => include_quick = true,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let text = match std::fs::read_to_string(&trajectory) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {trajectory}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{trajectory}:{}: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        if value.get("schema").and_then(Value::as_str) != Some("flicker-bench-trajectory/v1") {
+            eprintln!("{trajectory}:{}: unknown schema", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        let quick = value.get("quick").and_then(Value::as_bool).unwrap_or(false);
+        if quick && !include_quick {
+            continue;
+        }
+        let commit = value
+            .get("commit")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let mut benches = Vec::new();
+        flatten(&value, "", &mut benches);
+        if benches.is_empty() {
+            continue;
+        }
+        entries.push(entry(&commit, entries.len() as u64, benches));
+    }
+    if entries.is_empty() {
+        eprintln!("{trajectory}: no full-run trajectory lines to chart");
+        return ExitCode::FAILURE;
+    }
+
+    let doc = Value::Object(BTreeMap::from([
+        (
+            "lastUpdate".into(),
+            Value::Number(entries.len() as f64), // monotonic, not wall time
+        ),
+        ("repoUrl".into(), Value::String(String::new())),
+        (
+            "entries".into(),
+            Value::Object(BTreeMap::from([(
+                "Flicker bench trajectory".into(),
+                Value::Array(entries),
+            )])),
+        ),
+    ]));
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("creating {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let data_js = format!("window.BENCHMARK_DATA = {};\n", doc.to_pretty());
+    for (name, content) in [("data.js", data_js.as_str()), ("index.html", INDEX_HTML)] {
+        let path = format!("{out_dir}/{name}");
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!("usage: trajectory_dashboard [--trajectory PATH] [--out-dir DIR] [--include-quick]");
+    ExitCode::FAILURE
+}
+
+/// Collects every numeric leaf under `value` as a `path/to/leaf` series
+/// sample, skipping the envelope fields (`schema`, `commit`, `quick`).
+fn flatten(value: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Object(map) => {
+            for (key, child) in map {
+                if prefix.is_empty() && matches!(key.as_str(), "schema" | "commit" | "quick") {
+                    continue;
+                }
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}/{key}")
+                };
+                flatten(child, &path, out);
+            }
+        }
+        Value::Number(n) => out.push((prefix.to_string(), *n)),
+        _ => {}
+    }
+}
+
+/// One `github-action-benchmark`-shaped entry: commit header, sequence
+/// date, and the flattened samples. Virtual-clock latencies are labelled
+/// `ms`; counts are unitless.
+fn entry(commit: &str, seq: u64, benches: Vec<(String, f64)>) -> Value {
+    let benches = benches
+        .into_iter()
+        .map(|(name, value)| {
+            let unit = if name.ends_with("_ms") { "ms" } else { "" };
+            Value::Object(BTreeMap::from([
+                ("name".into(), Value::String(name)),
+                ("value".into(), Value::Number(value)),
+                ("unit".into(), Value::String(unit.into())),
+            ]))
+        })
+        .collect();
+    Value::Object(BTreeMap::from([
+        (
+            "commit".into(),
+            Value::Object(BTreeMap::from([
+                ("id".into(), Value::String(commit.into())),
+                ("message".into(), Value::String(String::new())),
+                ("url".into(), Value::String(String::new())),
+            ])),
+        ),
+        ("date".into(), Value::Number(seq as f64)),
+        ("tool".into(), Value::String("customSmallerIsBetter".into())),
+        ("benches".into(), Value::Array(benches)),
+    ]))
+}

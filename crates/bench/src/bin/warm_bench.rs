@@ -1,0 +1,452 @@
+//! Warm-path benchmark: measures the §7.6 session-reuse / caching win on
+//! back-to-back runs of the same PAL, and gates it.
+//!
+//! ```text
+//! warm_bench [--quick] [--iterations N] [--out PATH] [--trajectory PATH]
+//!            [--check PATH]
+//! ```
+//!
+//! Two workloads run twice each — once with the warm path disabled (the
+//! cold baseline: one-shot auth sessions, every seal executed) and once
+//! with it enabled (parked sessions, measurement memo, seal-skip):
+//!
+//! * **ssh** — repeated Figure-9a SSH sessions against one platform, the
+//!   paper's motivating "same PAL, back to back" case.
+//! * **storage_refresh** — a PAL that re-seals an *unchanged* payload each
+//!   run, the pure seal-skip case (§7.6: skip re-seal when the sealed
+//!   payload and PCR-17 policy are unchanged).
+//!
+//! The run FAILS — non-zero exit — if any auth session leaks (cold runs
+//! must end with an empty session table, warm runs with at most the one
+//! parked session), if any flight record violates a paper invariant, if
+//! the warm p50 is not strictly below the cold p50, or (with `--check`)
+//! if the warm path regressed against a committed baseline. Latencies are
+//! virtual-clock, so every number here is deterministic.
+
+use flicker_apps::{PasswdEntry, SshClient, SshServer};
+use flicker_bench::json::{self, Value};
+use flicker_bench::{eval_os, print_table, provisioned_eval_os};
+use flicker_core::{
+    run_session, FlickerResult, NativePal, PalContext, PalPayload, SessionParams, SlbImage,
+    SlbOptions,
+};
+use flicker_crypto::rng::XorShiftRng;
+use flicker_os::NetLink;
+use flicker_trace::{audit, Trace};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Schema identifier stamped into (and required of) the warm baseline.
+pub const SCHEMA: &str = "flicker-warm-bench/v1";
+
+/// Allowed relative slowdown of a warm p50 against the committed baseline
+/// before `--check` fails. The clock is virtual, so honest drift only
+/// comes from timing-model changes; 5% absorbs small recalibrations.
+const CHECK_TOLERANCE: f64 = 0.05;
+
+const SSH_PASSWORD: &[u8] = b"warm-bench-hunter2";
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut iterations: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut trajectory = String::from("BENCH_trajectory.jsonl");
+    let mut check: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--iterations" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => iterations = Some(n),
+                None => return usage("--iterations needs a count"),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => return usage("--out needs a path"),
+            },
+            "--trajectory" => match args.next() {
+                Some(path) => trajectory = path,
+                None => return usage("--trajectory needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(path) => check = Some(path),
+                None => return usage("--check needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let iterations = iterations.unwrap_or(if quick { 4 } else { 25 });
+    eprintln!(
+        "warm_bench: {iterations} back-to-back iterations per workload{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let mut workloads = BTreeMap::new();
+    let mut rows = Vec::new();
+    let mut counters = Counters::default();
+    for (name, runner) in [
+        ("ssh", run_ssh as fn(bool, usize) -> Series),
+        ("storage_refresh", run_refresh as fn(bool, usize) -> Series),
+    ] {
+        let cold = runner(false, iterations);
+        let warm = runner(true, iterations);
+        for (mode, series) in [("cold", &cold), ("warm", &warm)] {
+            if let Err(e) = series.verify(mode) {
+                eprintln!("{name}/{mode}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let cold_p50 = p50(&cold.latencies);
+        let warm_p50 = p50(&warm.latencies);
+        if warm_p50 >= cold_p50 {
+            eprintln!(
+                "{name}: warm p50 {} not below cold p50 {} — the warm path \
+                 bought nothing",
+                ms(warm_p50),
+                ms(cold_p50)
+            );
+            return ExitCode::FAILURE;
+        }
+        let speedup = cold_p50.as_secs_f64() / warm_p50.as_secs_f64();
+        counters.absorb(&warm.trace);
+        rows.push(vec![
+            name.into(),
+            ms(cold_p50),
+            ms(warm_p50),
+            format!("{speedup:.2}x"),
+        ]);
+        workloads.insert(
+            name.to_string(),
+            Value::Object(BTreeMap::from([
+                ("cold_p50_ms".into(), Value::Number(to_ms(cold_p50))),
+                ("warm_p50_ms".into(), Value::Number(to_ms(warm_p50))),
+                ("speedup".into(), Value::Number(speedup)),
+            ])),
+        );
+    }
+
+    print_table(
+        "Warm-path win (virtual ms per iteration)",
+        &["workload", "cold p50", "warm p50", "speedup"],
+        &rows,
+    );
+    println!(
+        "\ncounters: {} warm hits, {} misses, {} invalidations, {} evictions",
+        counters.hit, counters.miss, counters.invalidate, counters.evicted
+    );
+
+    let doc = document(quick, iterations, &workloads, &counters);
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    let line = trajectory_line(quick, &workloads, &counters);
+    if let Err(e) = append_line(&trajectory, &line) {
+        eprintln!("appending {trajectory}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("appended {trajectory}");
+
+    if let Some(path) = check {
+        return check_against(&path, &doc);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: warm_bench [--quick] [--iterations N] [--out PATH] \
+         [--trajectory PATH] [--check PATH]"
+    );
+    ExitCode::FAILURE
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+/// One measured series: per-iteration virtual latencies plus everything
+/// needed to prove the run was safe.
+struct Series {
+    latencies: Vec<Duration>,
+    trace: Trace,
+    /// Auth sessions live in the TPM table when the series ended.
+    open_sessions: usize,
+    /// Whether the warm path was enabled.
+    warm: bool,
+}
+
+impl Series {
+    /// The §7.6 safety gates: no leaked sessions, no invariant violation.
+    fn verify(&self, mode: &str) -> Result<(), String> {
+        let allowed = if self.warm { 1 } else { 0 };
+        if self.open_sessions > allowed {
+            return Err(format!(
+                "{} live auth sessions after the {mode} run (allowed {allowed})",
+                self.open_sessions
+            ));
+        }
+        let violations = audit::audit_events(&self.trace.events());
+        if !violations.is_empty() {
+            return Err(format!(
+                "{} paper-invariant violation(s), first: {}",
+                violations.len(),
+                violations[0]
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn run_ssh(warm: bool, iterations: usize) -> Series {
+    let (mut os, cert, ca_public) = provisioned_eval_os(21);
+    let trace = Trace::new();
+    os.set_tracer(trace.clone());
+    os.machine_mut().set_warm_enabled(warm);
+    let mut link = NetLink::paper_verifier_link(21);
+    link.set_tracer(trace.clone());
+    link.set_clock(os.clock());
+    let mut client = SshClient::new(ca_public);
+    let mut rng = XorShiftRng::new(0x3A96_0001);
+    let mut latencies = Vec::new();
+    for _ in 0..iterations {
+        let mut server = SshServer::new(vec![PasswdEntry::new("alice", SSH_PASSWORD, b"fl1ck3r")]);
+        let t0 = os.machine().clock().now();
+        let transcript = server
+            .connection_setup(&mut os, &mut link, [0x55; 20])
+            .expect("ssh connection setup");
+        client.verify_setup(&cert, &transcript).expect("ssh verify");
+        let nonce = server.issue_nonce();
+        let ciphertext = client
+            .encrypt_password(SSH_PASSWORD, &nonce, &mut rng)
+            .expect("ssh encrypt");
+        let outcome = server
+            .login(&mut os, &mut link, "alice", &ciphertext, nonce)
+            .expect("ssh login");
+        assert!(outcome.accepted, "correct password rejected");
+        latencies.push(os.machine().clock().now() - t0);
+    }
+    let open_sessions = os.machine().tpm().open_session_count();
+    Series {
+        latencies,
+        trace,
+        open_sessions,
+        warm,
+    }
+}
+
+/// Seals one unchanged payload to itself and unseals it back — a storage
+/// refresh. Warm runs skip the re-seal entirely after the first pass.
+struct RefreshPal;
+impl NativePal for RefreshPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let blob = ctx.seal_to_self(b"warm-bench-refresh-state")?;
+        let data = ctx.unseal(&blob)?;
+        ctx.write_output(&data)
+    }
+}
+
+fn run_refresh(warm: bool, iterations: usize) -> Series {
+    let mut os = eval_os(22);
+    let trace = Trace::new();
+    os.set_tracer(trace.clone());
+    os.machine_mut().set_warm_enabled(warm);
+    let slb = SlbImage::build(
+        PalPayload::Native {
+            identity: b"warm-refresh-pal".to_vec(),
+            program: Arc::new(RefreshPal),
+        },
+        SlbOptions::default(),
+    )
+    .expect("refresh SLB builds");
+    let mut latencies = Vec::new();
+    for _ in 0..iterations {
+        let t0 = os.machine().clock().now();
+        let rec = run_session(&mut os, &slb, &SessionParams::default()).expect("refresh session");
+        rec.pal_result.clone().expect("refresh PAL succeeds");
+        assert_eq!(rec.outputs, b"warm-bench-refresh-state");
+        latencies.push(os.machine().clock().now() - t0);
+    }
+    let open_sessions = os.machine().tpm().open_session_count();
+    Series {
+        latencies,
+        trace,
+        open_sessions,
+        warm,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics + artifacts
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Counters {
+    hit: u64,
+    miss: u64,
+    invalidate: u64,
+    evicted: u64,
+}
+
+impl Counters {
+    fn absorb(&mut self, trace: &Trace) {
+        self.hit += trace.counter("warm.hit");
+        self.miss += trace.counter("warm.miss");
+        self.invalidate += trace.counter("warm.invalidate");
+        self.evicted += trace.counter("tpm.session_evicted");
+    }
+}
+
+fn p50(samples: &[Duration]) -> Duration {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64 / 2.0).ceil() as usize).max(1) - 1;
+    sorted[idx]
+}
+
+fn to_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}", to_ms(d))
+}
+
+fn document(
+    quick: bool,
+    iterations: usize,
+    workloads: &BTreeMap<String, Value>,
+    counters: &Counters,
+) -> Value {
+    Value::Object(BTreeMap::from([
+        ("schema".into(), Value::String(SCHEMA.into())),
+        ("quick".into(), Value::Bool(quick)),
+        ("iterations".into(), Value::Number(iterations as f64)),
+        ("workloads".into(), Value::Object(workloads.clone())),
+        (
+            "counters".into(),
+            Value::Object(BTreeMap::from([
+                ("warm_hit".into(), Value::Number(counters.hit as f64)),
+                ("warm_miss".into(), Value::Number(counters.miss as f64)),
+                (
+                    "warm_invalidate".into(),
+                    Value::Number(counters.invalidate as f64),
+                ),
+                (
+                    "session_evicted".into(),
+                    Value::Number(counters.evicted as f64),
+                ),
+            ])),
+        ),
+    ]))
+}
+
+fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn trajectory_line(quick: bool, workloads: &BTreeMap<String, Value>, counters: &Counters) -> Value {
+    let mut warm = workloads.clone();
+    warm.insert("warm_hits".into(), Value::Number(counters.hit as f64));
+    warm.insert("warm_misses".into(), Value::Number(counters.miss as f64));
+    Value::Object(BTreeMap::from([
+        (
+            "schema".into(),
+            Value::String("flicker-bench-trajectory/v1".into()),
+        ),
+        ("commit".into(), Value::String(current_commit())),
+        ("quick".into(), Value::Bool(quick)),
+        ("warm".into(), Value::Object(warm)),
+    ]))
+}
+
+fn append_line(path: &str, line: &Value) -> Result<(), String> {
+    let mut text = line.to_compact();
+    text.push('\n');
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| e.to_string())?
+        .write_all(text.as_bytes())
+        .map_err(|e| e.to_string())
+}
+
+/// Regression gate: the fresh run's warm p50s and speedups must not have
+/// regressed past [`CHECK_TOLERANCE`] against the committed baseline.
+fn check_against(path: &str, fresh: &Value) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("parsing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        eprintln!("{path}: missing or wrong schema (want {SCHEMA})");
+        return ExitCode::FAILURE;
+    }
+    let (Some(base), Some(now)) = (
+        baseline.get("workloads").and_then(Value::as_object),
+        fresh.get("workloads").and_then(Value::as_object),
+    ) else {
+        eprintln!("{path}: no workloads object");
+        return ExitCode::FAILURE;
+    };
+    for (name, b) in base {
+        let Some(n) = now.get(name) else {
+            eprintln!("workload {name} present in baseline but not in this run");
+            return ExitCode::FAILURE;
+        };
+        let field = |v: &Value, key: &str| v.get(key).and_then(Value::as_number);
+        let (Some(b_p50), Some(n_p50)) = (field(b, "warm_p50_ms"), field(n, "warm_p50_ms")) else {
+            eprintln!("{name}: warm_p50_ms missing from baseline or this run");
+            return ExitCode::FAILURE;
+        };
+        if n_p50 > b_p50 * (1.0 + CHECK_TOLERANCE) {
+            eprintln!(
+                "{name}: warm p50 regressed {b_p50:.2}ms -> {n_p50:.2}ms \
+                 (tolerance {:.0}%)",
+                CHECK_TOLERANCE * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        let (Some(b_spd), Some(n_spd)) = (field(b, "speedup"), field(n, "speedup")) else {
+            eprintln!("{name}: speedup missing from baseline or this run");
+            return ExitCode::FAILURE;
+        };
+        if n_spd < b_spd * (1.0 - CHECK_TOLERANCE) {
+            eprintln!(
+                "{name}: warm speedup regressed {b_spd:.2}x -> {n_spd:.2}x \
+                 (tolerance {:.0}%)",
+                CHECK_TOLERANCE * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("warm-path check against {path} passed");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,185 @@
+//! Warm-path equivalence: §7.6 caching is a pure latency optimisation.
+//!
+//! The property: for any seeded fault schedule (TPM busy gates, torn NV
+//! writes) and any workload, running the same back-to-back PAL sessions
+//! with the warm path ON and OFF produces **byte-identical PAL outcomes**
+//! and **identical paper-invariant audit verdicts**. Caching may skip a
+//! `TPM_Seal` or reuse an auth session, but it must never change what a
+//! session computes, releases, or proves.
+//!
+//! Two determinism decisions make this hold (see `flicker-tpm`):
+//! session nonces come from a dedicated DRBG so skipped session opens
+//! never shift the `GetRandom` stream, and seal blobs use an SIV-style
+//! deterministic nonce so a re-seal of an unchanged payload is
+//! byte-identical to the memoized blob it replaces.
+
+use flicker_core::{
+    run_session, FlickerResult, NativePal, PalContext, PalPayload, ReplayProtectedStorage,
+    SessionParams, SlbImage, SlbOptions,
+};
+use flicker_faults::{Fault, FaultInjector, FaultPlan};
+use flicker_os::{Os, OsConfig};
+use flicker_trace::{audit, Trace};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// NV index for this harness's storage workload (distinct from the fault
+/// sweep's `0x0001_4000`, the perf baseline's `0x0001_5000`, and the
+/// farm's `0x0001_6000`).
+const WARM_NV_INDEX: u32 = 0x0001_7000;
+
+/// Seals a fixed payload to itself and proves it can get it back. Running
+/// this three times back to back is the §7.6 warm case: same image (the
+/// measurement memo hits), same payload and PCR policy (the seal memo
+/// hits), same machine (the parked auth session is reused).
+struct SealRoundtripPal;
+impl NativePal for SealRoundtripPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let payload = b"warm-equivalence-payload";
+        let blob = ctx.seal_to_self(payload)?;
+        let back = ctx.unseal(&blob)?;
+        ctx.write_output(&back)
+    }
+}
+
+/// A replay-protected storage chain inside one session: setup, seal,
+/// unseal. Its NV counter advances every run, so the sealed payload is
+/// never identical and the seal memo must *not* fire — the cold and warm
+/// TPM command streams for this PAL are the same.
+struct StorageChainPal;
+impl NativePal for StorageChainPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let store = ReplayProtectedStorage::new(WARM_NV_INDEX);
+        store.setup(ctx, &[0u8; 20])?;
+        let blob = store.seal(ctx, b"warm-equivalence-state")?;
+        let data = store.unseal(ctx, &blob)?;
+        ctx.write_output(&data)
+    }
+}
+
+fn build_slb(storage: bool) -> SlbImage {
+    let payload = if storage {
+        PalPayload::Native {
+            identity: b"warm-storage-pal".to_vec(),
+            program: Arc::new(StorageChainPal),
+        }
+    } else {
+        PalPayload::Native {
+            identity: b"warm-roundtrip-pal".to_vec(),
+            program: Arc::new(SealRoundtripPal),
+        }
+    };
+    SlbImage::build(payload, SlbOptions::default()).unwrap()
+}
+
+/// Decodes a generated `(kind, skip, mag)` triple into a fault plan. Only
+/// faults whose recovery is deterministic are in scope: TPM busy gates
+/// are absorbed by the bounded backoff, torn NV writes fail the same NV
+/// write in both runs (caching never skips an NV write). Power loss is
+/// exercised separately (it deliberately invalidates the warm state).
+fn plan(kind: u8, skip: u32, mag: u32) -> FaultPlan {
+    match kind {
+        1 => FaultPlan::one(Fault::TpmTransient {
+            skip,
+            failures: mag.clamp(1, 2),
+        }),
+        2 => FaultPlan::one(Fault::TornNvWrite {
+            skip: skip % 4,
+            keep: mag as usize * 3,
+        }),
+        _ => FaultPlan::none(),
+    }
+}
+
+/// One PAL session's observable result: what the PAL computed (or how it
+/// failed) and what the session released.
+type Outcome = (Result<(), String>, Vec<u8>);
+
+struct RunRecord {
+    outcomes: Vec<Outcome>,
+    verdicts: Vec<String>,
+    warm_hits: u64,
+}
+
+/// Runs `iterations` back-to-back sessions of one image on a fresh
+/// platform, with the warm path on or off, under one armed fault
+/// schedule carried across the whole run (consumed gates stay consumed,
+/// as in the farm).
+fn drive(
+    seed: u8,
+    schedule: &FaultPlan,
+    storage: bool,
+    warm: bool,
+    iterations: usize,
+) -> RunRecord {
+    let mut os = Os::boot(OsConfig::fast_for_tests(seed));
+    let trace = Trace::new();
+    os.set_tracer(trace.clone());
+    if !warm {
+        os.machine_mut().set_warm_enabled(false);
+    }
+    let slb = build_slb(storage);
+    os.machine_mut()
+        .set_fault_injector(FaultInjector::new(schedule));
+    let mut outcomes = Vec::new();
+    for _ in 0..iterations {
+        match run_session(&mut os, &slb, &SessionParams::default()) {
+            Ok(rec) => outcomes.push((
+                rec.pal_result.clone().map_err(|e| e.to_string()),
+                rec.outputs.clone(),
+            )),
+            Err(e) => outcomes.push((Err(e.to_string()), Vec::new())),
+        }
+    }
+    os.machine_mut().clear_fault_injector();
+    let verdicts = audit::audit_events(&trace.events())
+        .into_iter()
+        .map(|v| v.to_string())
+        .collect();
+    RunRecord {
+        outcomes,
+        verdicts,
+        warm_hits: trace.counter("warm.hit"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline §7.6 property (see module docs).
+    #[test]
+    fn warm_and_cold_runs_agree(
+        seed in 1u8..200,
+        kind in 0u8..3,
+        skip in 0u32..6,
+        mag in 1u32..3,
+        storage in any::<bool>(),
+    ) {
+        let schedule = plan(kind, skip, mag);
+        let warm = drive(seed, &schedule, storage, true, 3);
+        let cold = drive(seed, &schedule, storage, false, 3);
+        prop_assert_eq!(&warm.outcomes, &cold.outcomes,
+            "PAL outcomes diverged under schedule {:?}", schedule);
+        prop_assert_eq!(&warm.verdicts, &cold.verdicts,
+            "audit verdicts diverged under schedule {:?}", schedule);
+        prop_assert!(warm.verdicts.is_empty(), "violations: {:?}", warm.verdicts);
+        // The comparison is only meaningful if the warm run actually
+        // cached: three launches of one image must hit the measurement
+        // memo at least twice.
+        prop_assert!(warm.warm_hits >= 2, "warm path never engaged");
+        prop_assert_eq!(cold.warm_hits, 0, "cold run must not cache");
+    }
+}
+
+/// Deterministic spot-check outside the proptest loop: the clean warm run
+/// of the roundtrip PAL skips re-seals (seal memo hit) and still unseals
+/// the identical payload every time.
+#[test]
+fn warm_run_skips_reseal_and_outputs_are_stable() {
+    let rec = drive(7, &FaultPlan::none(), false, true, 3);
+    for (result, output) in &rec.outcomes {
+        assert!(result.is_ok(), "clean run failed: {result:?}");
+        assert_eq!(output, b"warm-equivalence-payload");
+    }
+    assert!(rec.verdicts.is_empty(), "violations: {:?}", rec.verdicts);
+}

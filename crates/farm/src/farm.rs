@@ -199,6 +199,10 @@ pub struct ShardSummary {
     pub probes: u64,
     /// True if the shard exhausted `max_probes` and stopped serving.
     pub retired: bool,
+    /// Auth sessions still live in the shard's TPM session table at
+    /// shutdown. A healthy warm-path machine parks at most one, so the
+    /// farm-wide sum stays ≤ the machine count (§7.6 leak bound).
+    pub open_sessions: usize,
     /// The shard's flight record (auditable independently).
     pub trace: Trace,
     /// The shard's final virtual time.
@@ -262,6 +266,14 @@ impl FarmReport {
     /// Total machine quarantines.
     pub fn quarantines(&self) -> u64 {
         self.shards.iter().map(|s| s.quarantines).sum()
+    }
+
+    /// Auth sessions still live across all shards at shutdown. Anything
+    /// beyond one parked session per machine is a leak (the bug this
+    /// bound regression-tests: one-shot auths that never closed their
+    /// OIAP session and grew the table without limit).
+    pub fn open_sessions(&self) -> usize {
+        self.shards.iter().map(|s| s.open_sessions).sum()
     }
 
     /// The farm's conservation law: every submitted id reached **exactly
@@ -489,6 +501,12 @@ fn worker_loop(inner: &Inner, mut shard: Shard) -> ShardSummary {
                     let tripped = shard.breaker.record_failure();
                     if tripped {
                         inner.emit(actions::QUARANTINE, p.id, shard.id());
+                        // A quarantined machine forfeits its warm-path
+                        // state: parked auth sessions and memoized seals
+                        // on a sick machine must not survive into the
+                        // probe/re-admission cycle (§7.6 invalidation on
+                        // quarantine, alongside reboot and power loss).
+                        shard.invalidate_warm();
                         if p.attempts >= policy.max_attempts() {
                             // Terminal anyway: record it rather than
                             // requeueing a request with no attempts left.
@@ -537,6 +555,7 @@ fn worker_loop(inner: &Inner, mut shard: Shard) -> ShardSummary {
         quarantines: shard.breaker.quarantines(),
         probes: shard.breaker.probes(),
         retired,
+        open_sessions: shard.open_session_count(),
         virtual_time: shard.clock().now(),
         trace: shard.trace().clone(),
     }
@@ -646,6 +665,110 @@ mod tests {
         assert_eq!(o.machine, 0);
         assert_eq!(report.retries(), u64::from(o.attempts) - 1);
         report.verify_conservation().expect("conservation");
+        assert!(
+            report.audit_shards().is_empty(),
+            "{:?}",
+            report.audit_shards()
+        );
+    }
+
+    /// The §7.6 leak bound, end to end: 200 requests through a small farm
+    /// must leave at most one parked auth session per machine. Before the
+    /// session-table fix, every seal/unseal retry closure opened a fresh
+    /// OIAP session and never closed it, so a run like this grew the
+    /// table monotonically.
+    #[test]
+    fn two_hundred_requests_leave_sessions_bounded_by_machines() {
+        let machines = 4;
+        let mut config = FarmConfig::fast_for_tests(machines);
+        config.queue_bound = 256;
+        let farm = Farm::start(config);
+        for i in 0..200u64 {
+            let app = AppKind::ALL[(i % AppKind::ALL.len() as u64) as usize];
+            assert!(matches!(
+                farm.submit(friendly(app, 31_000 + i)),
+                Submitted::Admitted(_)
+            ));
+        }
+        let report = farm.shutdown();
+        assert_eq!(report.done(), 200, "failed: {:?}", report.failed());
+        report.verify_conservation().expect("conservation");
+        assert!(
+            report.audit_shards().is_empty(),
+            "{:?}",
+            report.audit_shards()
+        );
+        for s in &report.shards {
+            assert!(
+                s.open_sessions <= 1,
+                "machine {} holds {} live sessions after the run (warm \
+                 parking allows exactly one)",
+                s.id,
+                s.open_sessions
+            );
+        }
+        assert!(
+            report.open_sessions() <= machines,
+            "{} live sessions across {machines} machines",
+            report.open_sessions()
+        );
+    }
+
+    /// Farm recovery with an auth session open across a power cut: the
+    /// first SSH request parks a warm session, the cut kills the platform
+    /// mid-protocol, and the rebooted machine must serve the retry with
+    /// fresh handles (monotonic allocation means the stale parked handle
+    /// can never be re-issued to collide with post-reboot state).
+    #[test]
+    fn session_open_across_power_loss_recovers() {
+        let mut config = FarmConfig::fast_for_tests(1);
+        config.quarantine_after = 10; // keep the breaker out of the way
+        let farm = Farm::start(config);
+        // Warm the shard: a clean SSH run leaves one parked session.
+        farm.submit(friendly(AppKind::Ssh, 41));
+        // Then a run whose power fails mid-protocol, with the parked
+        // session still live from the previous request.
+        farm.submit(RequestSpec {
+            app: AppKind::Ssh,
+            seed: 42,
+            faults: FaultPlan::one(Fault::PowerLossAfter {
+                after: Duration::from_micros(50),
+            }),
+        });
+        let report = farm.shutdown();
+        assert_eq!(report.done(), 2, "outcomes: {:?}", report.outcomes);
+        report.verify_conservation().expect("conservation");
+        assert!(
+            report.audit_shards().is_empty(),
+            "{:?}",
+            report.audit_shards()
+        );
+        assert!(
+            report.shards[0].open_sessions <= 1,
+            "reboot must flush pre-cut sessions, found {}",
+            report.shards[0].open_sessions
+        );
+    }
+
+    /// TPM busy responses inside one request are retried with a fresh odd
+    /// nonce per attempt. The old code re-seeded the nonce RNG identically
+    /// inside the retry closure; the TPM now rejects a repeated odd nonce
+    /// outright, so this run only completes if every retry rolls.
+    #[test]
+    fn tpm_busy_retries_roll_fresh_nonces() {
+        let mut config = FarmConfig::fast_for_tests(1);
+        config.quarantine_after = 10;
+        let farm = Farm::start(config);
+        farm.submit(RequestSpec {
+            app: AppKind::Ssh,
+            seed: 43,
+            faults: FaultPlan::one(Fault::TpmTransient {
+                skip: 2,
+                failures: 2,
+            }),
+        });
+        let report = farm.shutdown();
+        assert_eq!(report.done(), 1, "outcomes: {:?}", report.outcomes);
         assert!(
             report.audit_shards().is_empty(),
             "{:?}",

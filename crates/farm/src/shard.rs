@@ -118,6 +118,23 @@ impl Shard {
         self.os.reboot_after_power_loss();
     }
 
+    /// Drops the machine's §7.6 warm-path state (parked auth session,
+    /// measurement and seal memos). The farm calls this when the breaker
+    /// quarantines a shard: a machine sick enough to quarantine cannot be
+    /// trusted to still hold live TPM session state, and probes must earn
+    /// re-admission from a cold start.
+    pub fn invalidate_warm(&mut self) {
+        self.os.machine_mut().invalidate_warm();
+    }
+
+    /// Auth sessions currently live in this shard's TPM session table.
+    /// With the warm path on, a healthy machine parks at most one reusable
+    /// session between commands, so the farm-wide total stays bounded by
+    /// the machine count.
+    pub fn open_session_count(&self) -> usize {
+        self.os.machine().tpm().open_session_count()
+    }
+
     /// Runs one attempt of `app` on this shard. `Ok(())` only for a fully
     /// correct protocol run; the error string otherwise. A panic anywhere
     /// in the protocol stack is converted into an error — a farm worker

@@ -14,6 +14,7 @@ use crate::error::{MachineError, MachineResult};
 use crate::memory::PhysMemory;
 use crate::retry::RetryPolicy;
 use crate::skinit::{SkinitCostModel, SLB_MAX_LEN};
+use crate::warm::WarmCache;
 use flicker_faults::{fired, FaultInjector};
 use flicker_tpm::{Tpm, TpmConfig, TpmError, TpmResult};
 use flicker_trace::{EventKind, Trace};
@@ -107,6 +108,10 @@ pub struct Machine {
     injector: Option<FaultInjector>,
     tracer: Option<Trace>,
     power_lost: bool,
+    /// §7.6 warm-path cache (measurement memo, seal memo, parked auth
+    /// session). Invalidated by [`Machine::reboot`] and
+    /// [`Machine::power_cycle`]; the farm also invalidates on quarantine.
+    warm: WarmCache,
 }
 
 impl Machine {
@@ -132,6 +137,40 @@ impl Machine {
             injector: None,
             tracer: None,
             power_lost: false,
+            warm: WarmCache::new(),
+        }
+    }
+
+    // ----- warm path ------------------------------------------------------
+
+    /// The §7.6 warm-path cache.
+    pub fn warm(&self) -> &WarmCache {
+        &self.warm
+    }
+
+    /// The §7.6 warm-path cache, mutably.
+    pub fn warm_mut(&mut self) -> &mut WarmCache {
+        &mut self.warm
+    }
+
+    /// Turns the warm path on or off. Turning it off invalidates, so a
+    /// cold run never serves stale warm state.
+    pub fn set_warm_enabled(&mut self, on: bool) {
+        if self.warm.set_enabled(on) {
+            if let Some(t) = &self.tracer {
+                t.counter_add("warm.invalidate", 1);
+            }
+        }
+    }
+
+    /// Drops all warm state, bumping `warm.invalidate` if anything was
+    /// cached. Reboot/power-cycle call this; the farm calls it on
+    /// quarantine.
+    pub fn invalidate_warm(&mut self) {
+        if self.warm.invalidate() {
+            if let Some(t) = &self.tracer {
+                t.counter_add("warm.invalidate", 1);
+            }
         }
     }
 
@@ -252,6 +291,7 @@ impl Machine {
         self.dev = DeviceExclusionVector::new();
         self.active = None;
         self.power_lost = false;
+        self.invalidate_warm();
         self.emit(EventKind::Reboot);
     }
 
@@ -314,8 +354,13 @@ impl Machine {
     /// the virtual clock), then surfaced to the caller. Any other result is
     /// returned immediately.
     ///
-    /// Authorization sessions must be built *inside* `f`: the TPM consumes
-    /// a session on a failed command, so each attempt needs fresh nonces.
+    /// Authorization discipline: each attempt needs a *fresh odd nonce*
+    /// (the TPM rejects a repeated one), so the authorization block must be
+    /// produced inside `f`. The session itself may live across attempts —
+    /// a transient-busy gate fires before the TPM looks at the session, so
+    /// its nonce state is untouched — but a session consumed by a real
+    /// authorization failure must be reopened, and continued sessions must
+    /// absorb the TPM's response auth after every non-busy attempt.
     pub fn tpm_op_retrying<T>(&mut self, f: impl FnMut(&mut Tpm) -> TpmResult<T>) -> TpmResult<T> {
         self.tpm_op_retrying_with(&RetryPolicy::tpm_default(), f)
     }
@@ -461,7 +506,26 @@ impl Machine {
         // be: code beyond the header-declared length is unmeasured and must
         // never be trusted).
         let slb = self.memory.read(slb_base, slb_len)?.to_vec();
-        let measurement = self.tpm.skinit_measure(4, &slb)?;
+        // Warm path: memoized SHA-1 of an unchanged SLB skips redundant
+        // host-side hashing. Virtual time is untouched — the PCR-17 chain
+        // and the charged SKINIT transfer cost are identical either way.
+        let hint = self.warm.lookup_measurement(&slb);
+        if self.warm.enabled() {
+            if let Some(t) = &self.tracer {
+                t.counter_add(
+                    if hint.is_some() {
+                        "warm.hit"
+                    } else {
+                        "warm.miss"
+                    },
+                    1,
+                );
+            }
+        }
+        let measurement = self.tpm.skinit_measure_with_hint(4, &slb, hint)?;
+        if hint.is_none() {
+            self.warm.store_measurement(&slb, measurement);
+        }
         let tpm_time = self.tpm.take_elapsed();
         let instr_time = self.skinit_cost.cost(slb_len);
         self.clock.advance(tpm_time);
@@ -556,6 +620,7 @@ impl Machine {
         self.cpus = CpuComplex::new(self.cpus.len());
         self.dev = DeviceExclusionVector::new();
         self.active = None;
+        self.invalidate_warm();
         self.emit(EventKind::Reboot);
     }
 }

@@ -1,0 +1,222 @@
+//! §7.6 warm-path cache: per-machine state that survives across PAL
+//! sessions and makes back-to-back runs of the same PAL cheaper.
+//!
+//! The paper's §7.6 observes that Flicker's session costs are dominated by
+//! redundant protocol work — re-measuring an unchanged SLB, re-sealing an
+//! unchanged payload, re-loading the AIK, re-opening authorization
+//! sessions — and proposes amortizing them across sessions. This cache
+//! holds the three client-side layers of that amortization:
+//!
+//! 1. **Measurement memo** — SHA-1 digests keyed by the exact image bytes.
+//!    A hit skips redundant *host-side* hashing work; the simulated PCR-17
+//!    chain (dynamic reset, extend, charged SKINIT transfer cost) is
+//!    byte-for-byte and tick-for-tick identical, so the paper invariants
+//!    cannot be reordered by this layer.
+//! 2. **Seal memo** — sealed blobs keyed by (payload, policy, auth). Valid
+//!    because the TPM's seal nonce is derived SIV-style from exactly that
+//!    key, so a re-seal would return the identical blob; the hit skips the
+//!    `TPM_Seal` command (a real virtual-time win).
+//! 3. **Parked auth session** — a live [`ClientSession`] left open (with
+//!    `continueAuthSession`) by the previous PAL run, saving a
+//!    `TPM_OIAP` per warm run.
+//!
+//! Invalidation is explicit and conservative: reboot, power loss, and farm
+//! quarantine all call [`WarmCache::invalidate`]. The parked session is
+//! additionally dropped whenever the TPM reports it stale
+//! (`InvalidAuthHandle` — e.g. evicted under session-table pressure).
+//!
+//! The cache is pure data; trace counters (`warm.hit` / `warm.miss` /
+//! `warm.invalidate`) are emitted by the call sites that can see a tracer.
+
+use flicker_tpm::{ClientSession, SealedBlob};
+
+/// Entries kept in the measurement memo (each holds a full image copy, up
+/// to 64 KB — a handful covers a shard cycling through its PAL set).
+const MEASURE_MEMO_CAP: usize = 4;
+/// Entries kept in the seal memo.
+const SEAL_MEMO_CAP: usize = 32;
+
+/// Key identifying a seal result: exactly the inputs the TPM's SIV nonce
+/// commits to, so equal keys are guaranteed equal blobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealKey {
+    /// The plaintext payload.
+    pub data: Vec<u8>,
+    /// Encoded PCR selection.
+    pub selection: Vec<u8>,
+    /// `digestAtRelease` (the PCR-17 policy).
+    pub digest_at_release: [u8; 20],
+    /// The blob's authorization secret.
+    pub blob_auth: [u8; 20],
+}
+
+/// Per-machine warm-path cache. Owned by `Machine`; defaults to enabled.
+#[derive(Default)]
+pub struct WarmCache {
+    disabled: bool,
+    /// MRU-ordered (front = most recent) memo of image → SHA-1.
+    measure_memo: Vec<(Vec<u8>, [u8; 20])>,
+    /// MRU-ordered memo of seal inputs → sealed blob.
+    seal_memo: Vec<(SealKey, SealedBlob)>,
+    parked_session: Option<ClientSession>,
+}
+
+impl WarmCache {
+    /// An enabled, empty cache.
+    pub fn new() -> Self {
+        WarmCache::default()
+    }
+
+    /// Whether the warm path is in force.
+    pub fn enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Enables or disables the warm path. Disabling also invalidates, so a
+    /// cold run never serves stale warm state; returns `true` if anything
+    /// was dropped.
+    pub fn set_enabled(&mut self, on: bool) -> bool {
+        self.disabled = !on;
+        if on {
+            false
+        } else {
+            self.invalidate()
+        }
+    }
+
+    /// Drops every cached entry and the parked session. Returns `true` if
+    /// there was anything to drop (the caller bumps `warm.invalidate`).
+    pub fn invalidate(&mut self) -> bool {
+        let had = !self.measure_memo.is_empty()
+            || !self.seal_memo.is_empty()
+            || self.parked_session.is_some();
+        self.measure_memo.clear();
+        self.seal_memo.clear();
+        self.parked_session = None;
+        had
+    }
+
+    // ----- measurement memo ----------------------------------------------
+
+    /// Returns the memoized SHA-1 of `bytes`, refreshing its MRU position.
+    pub fn lookup_measurement(&mut self, bytes: &[u8]) -> Option<[u8; 20]> {
+        if self.disabled {
+            return None;
+        }
+        let pos = self.measure_memo.iter().position(|(b, _)| b == bytes)?;
+        let entry = self.measure_memo.remove(pos);
+        let digest = entry.1;
+        self.measure_memo.insert(0, entry);
+        Some(digest)
+    }
+
+    /// Memoizes `digest` as the SHA-1 of `bytes`, evicting the
+    /// least-recently-used entry at capacity.
+    pub fn store_measurement(&mut self, bytes: &[u8], digest: [u8; 20]) {
+        if self.disabled {
+            return;
+        }
+        self.measure_memo.retain(|(b, _)| b != bytes);
+        self.measure_memo.insert(0, (bytes.to_vec(), digest));
+        self.measure_memo.truncate(MEASURE_MEMO_CAP);
+    }
+
+    // ----- seal memo ------------------------------------------------------
+
+    /// Returns the cached blob for `key`, refreshing its MRU position.
+    pub fn lookup_seal(&mut self, key: &SealKey) -> Option<SealedBlob> {
+        if self.disabled {
+            return None;
+        }
+        let pos = self.seal_memo.iter().position(|(k, _)| k == key)?;
+        let entry = self.seal_memo.remove(pos);
+        let blob = entry.1.clone();
+        self.seal_memo.insert(0, entry);
+        Some(blob)
+    }
+
+    /// Caches `blob` as the seal of `key`.
+    pub fn store_seal(&mut self, key: SealKey, blob: SealedBlob) {
+        if self.disabled {
+            return;
+        }
+        self.seal_memo.retain(|(k, _)| k != &key);
+        self.seal_memo.insert(0, (key, blob));
+        self.seal_memo.truncate(SEAL_MEMO_CAP);
+    }
+
+    // ----- parked auth session -------------------------------------------
+
+    /// Takes the parked session, if any (ownership transfers to the
+    /// caller; park it back when done, or let it die if it went stale).
+    pub fn take_session(&mut self) -> Option<ClientSession> {
+        self.parked_session.take()
+    }
+
+    /// Parks a live session for the next PAL run. No-op when disabled
+    /// (the caller should close the session instead).
+    pub fn park_session(&mut self, session: ClientSession) {
+        if !self.disabled {
+            self.parked_session = Some(session);
+        }
+    }
+
+    /// Whether a session is currently parked.
+    pub fn has_parked_session(&self) -> bool {
+        self.parked_session.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_memo_is_lru_bounded() {
+        let mut w = WarmCache::new();
+        for i in 0..6u8 {
+            w.store_measurement(&[i], [i; 20]);
+        }
+        // Oldest two evicted.
+        assert_eq!(w.lookup_measurement(&[0]), None);
+        assert_eq!(w.lookup_measurement(&[1]), None);
+        assert_eq!(w.lookup_measurement(&[5]), Some([5; 20]));
+        // A lookup refreshes recency: touch [2], then push two more.
+        assert_eq!(w.lookup_measurement(&[2]), Some([2; 20]));
+        w.store_measurement(&[6], [6; 20]);
+        w.store_measurement(&[7], [7; 20]);
+        assert_eq!(
+            w.lookup_measurement(&[2]),
+            Some([2; 20]),
+            "refreshed survives"
+        );
+    }
+
+    #[test]
+    fn invalidate_drops_everything() {
+        let mut w = WarmCache::new();
+        w.store_measurement(&[1], [1; 20]);
+        let key = SealKey {
+            data: vec![1],
+            selection: vec![],
+            digest_at_release: [0; 20],
+            blob_auth: [0; 20],
+        };
+        w.store_seal(key.clone(), SealedBlob::from_bytes(vec![9]));
+        assert!(w.invalidate());
+        assert_eq!(w.lookup_measurement(&[1]), None);
+        assert!(w.lookup_seal(&key).is_none());
+        assert!(!w.invalidate(), "second invalidate is a no-op");
+    }
+
+    #[test]
+    fn disabled_cache_stores_and_serves_nothing() {
+        let mut w = WarmCache::new();
+        assert!(!w.set_enabled(false));
+        w.store_measurement(&[1], [1; 20]);
+        assert_eq!(w.lookup_measurement(&[1]), None);
+        w.set_enabled(true);
+        w.store_measurement(&[1], [1; 20]);
+        assert!(w.set_enabled(false), "disabling invalidates");
+    }
+}

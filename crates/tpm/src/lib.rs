@@ -35,7 +35,7 @@ pub mod timing;
 pub mod tis;
 mod tpm;
 
-pub use auth::{AuthData, ClientSession, CommandAuth, Nonce, WELL_KNOWN_AUTH};
+pub use auth::{AuthData, ClientSession, CommandAuth, Nonce, ResponseAuth, WELL_KNOWN_AUTH};
 pub use error::{TpmError, TpmResult};
 pub use eventlog::{EventLog, LogEvent};
 pub use keys::{AikCertificate, PrivacyCa};
@@ -45,4 +45,4 @@ pub use quote::TpmQuote;
 pub use seal::SealedBlob;
 pub use timing::TpmTimingProfile;
 pub use tis::TpmDriver;
-pub use tpm::{Tpm, TpmConfig};
+pub use tpm::{Tpm, TpmConfig, MAX_AUTH_SESSIONS};

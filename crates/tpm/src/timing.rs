@@ -36,6 +36,11 @@ pub struct TpmTimingProfile {
     pub counter_op: Duration,
     /// `TPM_LoadKey`-class operations (e.g. loading the AIK before a quote).
     pub load_key: Duration,
+    /// `TPM_OIAP`/`TPM_OSAP` session establishment (nonce generation plus a
+    /// session-table slot). Small in absolute terms, but §7.6's warm path
+    /// exists precisely because per-command protocol setup adds up when a
+    /// fresh session is opened for every seal/unseal.
+    pub session_start: Duration,
 }
 
 impl TpmTimingProfile {
@@ -57,6 +62,7 @@ impl TpmTimingProfile {
             nv_op: Duration::from_micros(12_000),
             counter_op: Duration::from_micros(5_000),
             load_key: Duration::from_micros(25_000),
+            session_start: Duration::from_micros(1_500),
         }
     }
 
@@ -75,6 +81,7 @@ impl TpmTimingProfile {
             nv_op: Duration::from_micros(10_000),
             counter_op: Duration::from_micros(4_000),
             load_key: Duration::from_micros(20_000),
+            session_start: Duration::from_micros(1_200),
         }
     }
 
@@ -94,6 +101,7 @@ impl TpmTimingProfile {
             nv_op: Duration::from_micros(1),
             counter_op: Duration::from_micros(1),
             load_key: Duration::from_micros(1),
+            session_start: Duration::from_micros(1),
         }
     }
 

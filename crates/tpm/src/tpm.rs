@@ -1,7 +1,8 @@
 //! The top-level software TPM: command surface, key slots, time accounting.
 
 use crate::auth::{
-    osap_shared_secret, AuthData, AuthSession, ClientSession, CommandAuth, Nonce, SessionKind,
+    auth_hmac, osap_shared_secret, AuthData, AuthSession, ClientSession, CommandAuth, Nonce,
+    ResponseAuth, SessionKind,
 };
 use crate::counter::Counters;
 use crate::error::{TpmError, TpmResult};
@@ -17,8 +18,17 @@ use flicker_crypto::sha1::{sha1, Sha1};
 use flicker_crypto::HmacDrbg;
 use flicker_faults::{fired, FaultInjector};
 use flicker_trace::{EventKind, Trace};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
+
+/// Upper bound on concurrently open authorization sessions. Real v1.2
+/// chips expose a handful of session slots (the spec minimum is 3; common
+/// parts have ~16) and evict via `TPM_SaveContext` pressure; we model the
+/// bound directly by evicting the oldest session. A correct client is
+/// never bitten by this — it either continues a session (keeping it busy)
+/// or closes it with `continue_session = false` — but a leaky client now
+/// sees `InvalidAuthHandle` instead of unbounded table growth.
+pub const MAX_AUTH_SESSIONS: usize = 16;
 
 /// Configuration for manufacturing a [`Tpm`].
 #[derive(Debug, Clone)]
@@ -77,7 +87,23 @@ pub struct Tpm {
     nv: NvStorage,
     counters: Counters,
     sessions: BTreeMap<u32, AuthSession>,
+    /// Monotonic across the TPM's whole life, *including* reboots: a shard
+    /// recovering from power loss may still hold pre-reboot client session
+    /// halves, and handle reuse would let its stale HMACs alias a fresh
+    /// session. Stale handles must resolve to `InvalidAuthHandle`, never to
+    /// somebody else's session.
     next_session_handle: u32,
+    /// DRBG dedicated to session nonces. Separate from the main `drbg` so
+    /// the warm path (which skips session opens) does not shift the
+    /// `TPM_GetRandom` stream PAL outputs are derived from — warm on/off
+    /// must be byte-identical at the PAL interface.
+    session_drbg: HmacDrbg,
+    /// Response authorization produced by the most recent continued-session
+    /// command, awaiting pickup via [`Tpm::take_response_auth`].
+    pending_response_auth: Option<ResponseAuth>,
+    /// Key handles currently loaded in TPM key slots (§7.6 warm streak:
+    /// `load_key` is charged once per streak, not once per quote).
+    loaded_keys: BTreeSet<u32>,
     elapsed: Duration,
     injector: Option<FaultInjector>,
     tracer: Option<Trace>,
@@ -89,6 +115,7 @@ impl Tpm {
     /// initializes PCRs to the reboot state.
     pub fn manufacture(config: TpmConfig) -> Self {
         let mut drbg = HmacDrbg::new(&config.entropy_seed, b"tpm-manufacture");
+        let session_drbg = HmacDrbg::new(&config.entropy_seed, b"tpm-sessions");
         let (ek_key, _) = RsaPrivateKey::generate(config.key_bits, &mut drbg);
         let mut enc_key = [0u8; 16];
         drbg.generate(&mut enc_key);
@@ -107,6 +134,9 @@ impl Tpm {
             counters: Counters::default(),
             sessions: BTreeMap::new(),
             next_session_handle: 0x0200_0000,
+            session_drbg,
+            pending_response_auth: None,
+            loaded_keys: BTreeSet::new(),
             elapsed: Duration::ZERO,
             injector: None,
             tracer: None,
@@ -126,10 +156,21 @@ impl Tpm {
     // ----- platform lifecycle -------------------------------------------
 
     /// Simulates a platform reboot: static PCRs to 0, dynamic PCRs to −1,
-    /// sessions flushed, counter latch cleared. NV and keys persist.
+    /// sessions flushed, loaded key slots flushed, counter latch cleared.
+    /// NV and persistent keys survive. `next_session_handle` deliberately
+    /// does *not* reset (see the field doc): a recovering client holding a
+    /// pre-reboot session half gets `InvalidAuthHandle`, never a collision
+    /// with a session opened after the reboot.
     pub fn reboot(&mut self) {
         self.pcrs = PcrBank::at_reboot();
         self.sessions.clear();
+        self.pending_response_auth = None;
+        if !self.loaded_keys.is_empty() {
+            if let Some(t) = &self.tracer {
+                t.counter_add("warm.invalidate", 1);
+            }
+        }
+        self.loaded_keys.clear();
         self.counters.on_reboot();
     }
 
@@ -259,6 +300,9 @@ impl Tpm {
         let handle = self.next_aik_handle;
         self.next_aik_handle += 1;
         self.aiks.insert(handle, TpmKey { private: aik });
+        // The fresh identity key starts loaded; it stays warm until the
+        // next reboot flushes the key slots.
+        self.loaded_keys.insert(handle);
         let load_cost = self.config.timing.load_key;
         self.charge_traced("tpm.TPM_MakeIdentity", load_cost);
         Ok((handle, cert))
@@ -299,6 +343,24 @@ impl Tpm {
     /// Only the CPU may invoke this; the machine simulator enforces that by
     /// being the only caller that can present locality 4.
     pub fn skinit_measure(&mut self, locality: u8, slb: &[u8]) -> TpmResult<[u8; 20]> {
+        self.skinit_measure_with_hint(locality, slb, None)
+    }
+
+    /// [`Tpm::skinit_measure`] with an optional precomputed SLB digest.
+    ///
+    /// The hint is a *simulator* shortcut, not a trust decision: the
+    /// machine's warm cache memoizes SHA-1 over the exact image bytes it
+    /// hands us, so passing the memoized digest skips redundant host-side
+    /// hashing work while the simulated PCR-17 chain (reset, extend,
+    /// charged SKINIT transfer cost) is identical either way. A real chip
+    /// has no such entry point — callers outside the machine simulator
+    /// should use [`Tpm::skinit_measure`].
+    pub fn skinit_measure_with_hint(
+        &mut self,
+        locality: u8,
+        slb: &[u8],
+        known_digest: Option<[u8; 20]>,
+    ) -> TpmResult<[u8; 20]> {
         if locality != LOCALITY_HW {
             return Err(TpmError::BadLocality {
                 required: LOCALITY_HW,
@@ -310,7 +372,8 @@ impl Tpm {
             index: crate::pcr::PCR_SKINIT,
             locality,
         });
-        let measurement = sha1(slb);
+        let measurement = known_digest.unwrap_or_else(|| sha1(slb));
+        debug_assert_eq!(measurement, sha1(slb), "hint must match the bytes");
         // No separate charge: the TPM-side hashing latency is part of the
         // platform's calibrated SKINIT transfer model (Table 2), which the
         // machine applies around this call.
@@ -345,15 +408,18 @@ impl Tpm {
     /// [`ClientSession`] is the caller-side state (keyed by the object's
     /// authdata, which the caller must know).
     pub fn oiap(&mut self, object_auth: AuthData) -> ClientSession {
+        let cost = self.config.timing.session_start;
+        self.charge_traced("tpm.TPM_OIAP", cost);
         let nonce_even = self.fresh_nonce();
         let handle = self.next_session_handle;
         self.next_session_handle += 1;
-        self.sessions.insert(
+        self.insert_session(
             handle,
             AuthSession {
                 kind: SessionKind::Oiap,
                 nonce_even,
                 shared_secret: None,
+                last_nonce_odd: None,
             },
         );
         ClientSession::new(SessionKind::Oiap, handle, object_auth, nonce_even)
@@ -362,25 +428,57 @@ impl Tpm {
     /// `TPM_OSAP`: starts an object-specific session bound to `object_auth`
     /// via the derived shared secret.
     pub fn osap(&mut self, object_auth: AuthData, nonce_odd_osap: Nonce) -> ClientSession {
+        let cost = self.config.timing.session_start;
+        self.charge_traced("tpm.TPM_OSAP", cost);
         let nonce_even = self.fresh_nonce();
         let nonce_even_osap = self.fresh_nonce();
         let shared = osap_shared_secret(&object_auth, &nonce_even_osap, &nonce_odd_osap);
         let handle = self.next_session_handle;
         self.next_session_handle += 1;
-        self.sessions.insert(
+        self.insert_session(
             handle,
             AuthSession {
                 kind: SessionKind::Osap,
                 nonce_even,
                 shared_secret: Some(shared),
+                last_nonce_odd: None,
             },
         );
         ClientSession::new(SessionKind::Osap, handle, shared, nonce_even)
     }
 
+    /// Inserts a session, evicting the oldest (lowest handle — handles are
+    /// monotonic) when the table is at [`MAX_AUTH_SESSIONS`].
+    fn insert_session(&mut self, handle: u32, session: AuthSession) {
+        while self.sessions.len() >= MAX_AUTH_SESSIONS {
+            let oldest = *self.sessions.keys().next().expect("non-empty");
+            self.sessions.remove(&oldest);
+            if let Some(t) = &self.tracer {
+                t.counter_add("tpm.session_evicted", 1);
+            }
+        }
+        self.sessions.insert(handle, session);
+    }
+
+    /// `TPM_Terminate_Handle`: drops a session without running a command on
+    /// it. Ungated and uncharged — it is a pure table operation that must
+    /// succeed even while the chip reports busy, or cleanup paths would
+    /// leak the very sessions they exist to close. Unknown handles are
+    /// ignored (already evicted, or flushed by a reboot).
+    pub fn terminate_handle(&mut self, handle: u32) {
+        self.sessions.remove(&handle);
+    }
+
+    /// Number of live server-side authorization sessions. Regression
+    /// surface for the session-table leak: a well-behaved client keeps this
+    /// at most one per cached warm session.
+    pub fn open_session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
     fn fresh_nonce(&mut self) -> Nonce {
         let mut n = [0u8; 20];
-        self.drbg.generate(&mut n);
+        self.session_drbg.generate(&mut n);
         n
     }
 
@@ -390,21 +488,52 @@ impl Tpm {
         param_digest: &[u8; 20],
         auth: &CommandAuth,
     ) -> TpmResult<()> {
+        self.pending_response_auth = None;
         let session = self
             .sessions
             .get(&auth.session_handle)
             .ok_or(TpmError::InvalidAuthHandle(auth.session_handle))?;
-        let result = session.verify(object_auth, param_digest, auth);
-        if result.is_err() || !auth.continue_session {
-            self.sessions.remove(&auth.session_handle);
-        } else {
-            // Roll the even nonce for the next command.
-            let new_even = self.fresh_nonce();
-            if let Some(s) = self.sessions.get_mut(&auth.session_handle) {
-                s.nonce_even = new_even;
+        match session.verify(object_auth, param_digest, auth) {
+            Err(e) => {
+                self.sessions.remove(&auth.session_handle);
+                Err(e)
+            }
+            Ok(key) if auth.continue_session => {
+                // Roll the even nonce, remember the odd one (anti-replay),
+                // and leave a response authorization so the client can roll
+                // in lockstep.
+                let new_even = self.fresh_nonce();
+                if let Some(s) = self.sessions.get_mut(&auth.session_handle) {
+                    s.nonce_even = new_even;
+                    s.last_nonce_odd = Some(auth.nonce_odd);
+                }
+                self.pending_response_auth = Some(ResponseAuth {
+                    nonce_even: new_even,
+                    continue_session: true,
+                    hmac: auth_hmac(&key, param_digest, &new_even, &auth.nonce_odd, true),
+                });
+                Ok(())
+            }
+            Ok(_) => {
+                // One-shot authorization: the session ends with the command
+                // (this eviction is what bounds the table under the
+                // seal/unseal-per-request workload).
+                self.sessions.remove(&auth.session_handle);
+                Ok(())
             }
         }
-        result
+    }
+
+    /// Drains the response authorization pended by the most recent
+    /// continued-session command, if any. Mirrors the
+    /// [`Tpm::take_pending_events`] idiom: the transport (machine
+    /// simulator) delivers it to the client, which must
+    /// [`ClientSession::absorb_response`] it to stay nonce-synchronized.
+    /// Commands that fail *after* authorization (e.g. `TPM_Unseal` against
+    /// wrong PCRs) still roll the session, so callers must drain this on
+    /// every attempt, not only on success.
+    pub fn take_response_auth(&mut self) -> Option<ResponseAuth> {
+        self.pending_response_auth.take()
     }
 
     // ----- sealed storage --------------------------------------------------
@@ -457,8 +586,12 @@ impl Tpm {
         }
         let param_digest = Self::param_digest(&[b"TPM_Seal", data, &selection.encode(), &digest]);
         self.verify_auth(&self.srk_auth(), &param_digest, auth)?;
-        let mut nonce = [0u8; 8];
-        self.drbg.generate(&mut nonce);
+        // SIV-style deterministic nonce: identical (data, policy, auth)
+        // seals to a byte-identical blob, which is what makes the §7.6
+        // re-seal skip indistinguishable from a real re-seal.
+        let nonce = self
+            .storage_root
+            .siv_nonce(data, selection, &digest, blob_auth);
         let blob = self
             .storage_root
             .seal(data, selection, digest, blob_auth, nonce);
@@ -507,6 +640,10 @@ impl Tpm {
     // ----- quote ------------------------------------------------------------
 
     /// `TPM_Quote` over `selection` with the verifier's `nonce`.
+    ///
+    /// Charges `load_key` (as `TPM_LoadKey2`) only when the AIK is not
+    /// already in a key slot — §7.6's warm streak: back-to-back quotes on
+    /// the same shard pay the load once, and a reboot flushes the slots.
     pub fn quote(
         &mut self,
         aik_handle: u32,
@@ -514,6 +651,18 @@ impl Tpm {
         selection: &PcrSelection,
     ) -> TpmResult<TpmQuote> {
         self.gate("TPM_Quote")?;
+        if !self.aiks.contains_key(&aik_handle) {
+            return Err(TpmError::InvalidKeyHandle(aik_handle));
+        }
+        if self.loaded_keys.insert(aik_handle) {
+            let load_cost = self.config.timing.load_key;
+            self.charge_traced("tpm.TPM_LoadKey2", load_cost);
+            if let Some(t) = &self.tracer {
+                t.counter_add("warm.miss", 1);
+            }
+        } else if let Some(t) = &self.tracer {
+            t.counter_add("warm.hit", 1);
+        }
         let aik = self
             .aiks
             .get(&aik_handle)
@@ -642,7 +791,7 @@ mod tests {
         let pd = Tpm::param_digest(&[b"TPM_Seal", data, &sel.encode(), &digest]);
         let mut session = tpm.oiap(crate::auth::WELL_KNOWN_AUTH);
         let mut rng = XorShiftRng::new(80);
-        let ca = session.authorize(&pd, &mut rng);
+        let ca = session.authorize(&pd, &mut rng, false);
         tpm.seal(data, sel, &blob_auth, &ca).unwrap()
     }
 
@@ -654,7 +803,7 @@ mod tests {
         let pd = Tpm::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
         let mut session = tpm.oiap(blob_auth);
         let mut rng = XorShiftRng::new(81);
-        let ca = session.authorize(&pd, &mut rng);
+        let ca = session.authorize(&pd, &mut rng, false);
         tpm.unseal(blob, &ca)
     }
 
@@ -714,7 +863,7 @@ mod tests {
         let pd = Tpm::param_digest(&[b"TPM_Seal", b"handoff", &sel.encode(), &digest]);
         let mut session = t.oiap(crate::auth::WELL_KNOWN_AUTH);
         let mut rng = XorShiftRng::new(82);
-        let ca = session.authorize(&pd, &mut rng);
+        let ca = session.authorize(&pd, &mut rng, false);
         let blob = t
             .seal_for_future(b"handoff", &sel, &[predicted], &[0; 20], &ca)
             .unwrap();
@@ -839,13 +988,222 @@ mod tests {
         let pd = Tpm::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
         let mut bad = t.oiap([9; 20]);
         let mut rng = XorShiftRng::new(85);
-        let ca = bad.authorize(&pd, &mut rng);
+        let ca = bad.authorize(&pd, &mut rng, true);
         assert_eq!(t.unseal(&blob, &ca), Err(TpmError::AuthFail));
-        let ca2 = bad.authorize(&pd, &mut rng);
+        let ca2 = bad.authorize(&pd, &mut rng, true);
         assert_eq!(
             t.unseal(&blob, &ca2),
             Err(TpmError::InvalidAuthHandle(ca2.session_handle))
         );
+    }
+
+    #[test]
+    fn session_table_is_bounded() {
+        let mut t = tpm();
+        let trace = flicker_trace::Trace::new();
+        t.set_tracer(trace.clone());
+        for _ in 0..40 {
+            // Leaky client: opens a session and never uses or closes it.
+            let _ = t.oiap([0; 20]);
+        }
+        assert_eq!(t.open_session_count(), MAX_AUTH_SESSIONS);
+        assert_eq!(
+            trace.counter("tpm.session_evicted"),
+            40 - MAX_AUTH_SESSIONS as u64
+        );
+    }
+
+    #[test]
+    fn one_shot_auth_evicts_session() {
+        let mut t = tpm();
+        assert_eq!(t.open_session_count(), 0);
+        let sel = PcrSelection::pcr17();
+        let blob = authorize_seal(&mut t, b"secret", &sel, [3; 20]);
+        assert_eq!(
+            t.open_session_count(),
+            0,
+            "seal session closed with the command"
+        );
+        authorize_unseal(&mut t, &blob, [3; 20]).unwrap();
+        assert_eq!(
+            t.open_session_count(),
+            0,
+            "unseal session closed with the command"
+        );
+        assert!(
+            t.take_response_auth().is_none(),
+            "no response auth for one-shot"
+        );
+    }
+
+    #[test]
+    fn one_session_authorizes_seal_then_unseal_with_rolled_nonces() {
+        let mut t = tpm();
+        let sel = PcrSelection::pcr17();
+        let digest = t.pcrs().composite_hash(&sel).unwrap();
+        let mut session = t.oiap(crate::auth::WELL_KNOWN_AUTH);
+        let mut rng = XorShiftRng::new(90);
+
+        // Command 1: seal, keeping the session alive.
+        let pd_seal = Tpm::param_digest(&[b"TPM_Seal", b"secret", &sel.encode(), &digest]);
+        let ca = session.authorize(&pd_seal, &mut rng, true);
+        // Blob auth = WELL_KNOWN so the same OIAP session can authorize the
+        // unseal (OIAP keys on the object's authdata).
+        let blob = t
+            .seal(b"secret", &sel, &crate::auth::WELL_KNOWN_AUTH, &ca)
+            .unwrap();
+        let resp = t.take_response_auth().expect("continued session answers");
+        session.absorb_response(&pd_seal, &ca, &resp).unwrap();
+        assert_eq!(t.open_session_count(), 1);
+
+        // Command 2: unseal on the *same* session under the rolled pair.
+        let pd_unseal = Tpm::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
+        let ca2 = session.authorize(&pd_unseal, &mut rng, false);
+        assert_eq!(t.unseal(&blob, &ca2).unwrap(), b"secret");
+        assert_eq!(t.open_session_count(), 0, "closed by continue=false");
+    }
+
+    #[test]
+    fn stale_even_nonce_fails_across_commands() {
+        // A client that does NOT absorb the response (so its even nonce is
+        // stale) must fail HMAC verification on the next command.
+        let mut t = tpm();
+        let sel = PcrSelection::pcr17();
+        let digest = t.pcrs().composite_hash(&sel).unwrap();
+        let mut session = t.oiap(crate::auth::WELL_KNOWN_AUTH);
+        let mut rng = XorShiftRng::new(91);
+
+        let pd = Tpm::param_digest(&[b"TPM_Seal", b"x", &sel.encode(), &digest]);
+        let ca = session.authorize(&pd, &mut rng, true);
+        t.seal(b"x", &sel, &crate::auth::WELL_KNOWN_AUTH, &ca)
+            .unwrap();
+        let _ignored = t.take_response_auth();
+
+        let ca2 = session.authorize(&pd, &mut rng, true);
+        assert_eq!(
+            t.seal(b"x", &sel, &crate::auth::WELL_KNOWN_AUTH, &ca2),
+            Err(TpmError::AuthFail),
+            "stale nonceEven breaks the HMAC"
+        );
+        assert_eq!(
+            t.open_session_count(),
+            0,
+            "failed auth consumed the session"
+        );
+    }
+
+    #[test]
+    fn repeated_odd_nonce_rejected_within_session() {
+        // The per-retry nonce-reuse bug: replaying the same CommandAuth on
+        // a live session must fail even though its HMAC once verified.
+        let mut t = tpm();
+        let sel = PcrSelection::pcr17();
+        let digest = t.pcrs().composite_hash(&sel).unwrap();
+        let mut session = t.oiap(crate::auth::WELL_KNOWN_AUTH);
+        let mut rng = XorShiftRng::new(92);
+
+        let pd = Tpm::param_digest(&[b"TPM_Seal", b"x", &sel.encode(), &digest]);
+        let ca = session.authorize(&pd, &mut rng, true);
+        t.seal(b"x", &sel, &crate::auth::WELL_KNOWN_AUTH, &ca)
+            .unwrap();
+        let resp = t.take_response_auth().unwrap();
+        session.absorb_response(&pd, &ca, &resp).unwrap();
+
+        // Forge an attempt that reuses the consumed odd nonce under the
+        // rolled even nonce (what the old retry closures effectively did).
+        let replay = crate::auth::CommandAuth {
+            session_handle: ca.session_handle,
+            nonce_odd: ca.nonce_odd,
+            continue_session: true,
+            hmac: crate::auth::auth_hmac(
+                &crate::auth::WELL_KNOWN_AUTH,
+                &pd,
+                &resp.nonce_even,
+                &ca.nonce_odd,
+                true,
+            ),
+        };
+        assert_eq!(
+            t.seal(b"x", &sel, &crate::auth::WELL_KNOWN_AUTH, &replay),
+            Err(TpmError::AuthFail)
+        );
+    }
+
+    #[test]
+    fn reboot_flushes_sessions_and_keeps_handles_monotonic() {
+        let mut t = tpm();
+        let mut pre = t.oiap([0; 20]);
+        let pre_handle = pre.handle();
+        t.reboot();
+        assert_eq!(t.open_session_count(), 0, "reboot flushes sessions");
+
+        let post = t.oiap([0; 20]);
+        assert!(
+            post.handle() > pre_handle,
+            "post-reboot handles never collide with pre-reboot client state"
+        );
+
+        // The recovering client's stale handle resolves to InvalidAuthHandle.
+        let sel = PcrSelection::pcr17();
+        let digest = t.pcrs().composite_hash(&sel).unwrap();
+        let pd = Tpm::param_digest(&[b"TPM_Seal", b"x", &sel.encode(), &digest]);
+        let mut rng = XorShiftRng::new(93);
+        let ca = pre.authorize(&pd, &mut rng, true);
+        assert_eq!(
+            t.seal(b"x", &sel, &crate::auth::WELL_KNOWN_AUTH, &ca),
+            Err(TpmError::InvalidAuthHandle(pre_handle))
+        );
+    }
+
+    #[test]
+    fn terminate_handle_closes_session_quietly() {
+        let mut t = tpm();
+        let s = t.oiap([0; 20]);
+        assert_eq!(t.open_session_count(), 1);
+        t.terminate_handle(s.handle());
+        assert_eq!(t.open_session_count(), 0);
+        t.terminate_handle(s.handle()); // idempotent
+        assert_eq!(
+            t.take_elapsed(),
+            t.timing().session_start,
+            "only OIAP charged"
+        );
+    }
+
+    #[test]
+    fn sealing_same_payload_twice_is_byte_identical() {
+        // SIV nonce: the §7.6 re-seal skip depends on the cached blob being
+        // indistinguishable from a fresh one.
+        let mut t = tpm();
+        let sel = PcrSelection::pcr17();
+        let a = authorize_seal(&mut t, b"same", &sel, [3; 20]);
+        let b = authorize_seal(&mut t, b"same", &sel, [3; 20]);
+        assert_eq!(a.as_bytes(), b.as_bytes());
+        let c = authorize_seal(&mut t, b"diff", &sel, [3; 20]);
+        assert_ne!(b.as_bytes(), c.as_bytes());
+    }
+
+    #[test]
+    fn quote_charges_load_key_once_per_boot_streak() {
+        let mut rng = XorShiftRng::new(94);
+        let mut ca = PrivacyCa::new(512, &mut rng);
+        let mut t = Tpm::provisioned(TpmConfig::fast_for_tests(9), &mut ca);
+        let (aik, _) = t.make_identity(&ca, "host").unwrap();
+        let sel = PcrSelection::pcr17();
+
+        // Fresh identity starts loaded: first quote is already warm.
+        t.take_elapsed();
+        t.quote(aik, [1; 20], &sel).unwrap();
+        assert_eq!(t.take_elapsed(), t.timing().quote);
+
+        // Reboot flushes key slots: next quote pays the load once…
+        t.reboot();
+        t.quote(aik, [2; 20], &sel).unwrap();
+        assert_eq!(t.take_elapsed(), t.timing().quote + t.timing().load_key);
+
+        // …and the streak stays warm afterwards.
+        t.quote(aik, [3; 20], &sel).unwrap();
+        assert_eq!(t.take_elapsed(), t.timing().quote);
     }
 
     #[test]

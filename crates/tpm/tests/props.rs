@@ -23,7 +23,7 @@ fn seal(tpm: &mut Tpm, data: &[u8], sel: &PcrSelection) -> SealedBlob {
     let pd = Tpm::param_digest(&[b"TPM_Seal", data, &sel.encode(), &digest]);
     let mut session = tpm.oiap(WELL_KNOWN_AUTH);
     let mut rng = XorShiftRng::new(1);
-    let auth = session.authorize(&pd, &mut rng);
+    let auth = session.authorize(&pd, &mut rng, false);
     tpm.seal(data, sel, &WELL_KNOWN_AUTH, &auth).unwrap()
 }
 
@@ -31,7 +31,7 @@ fn unseal(tpm: &mut Tpm, blob: &SealedBlob) -> Result<Vec<u8>, TpmError> {
     let pd = Tpm::param_digest(&[b"TPM_Unseal", blob.as_bytes()]);
     let mut session = tpm.oiap(WELL_KNOWN_AUTH);
     let mut rng = XorShiftRng::new(2);
-    let auth = session.authorize(&pd, &mut rng);
+    let auth = session.authorize(&pd, &mut rng, false);
     tpm.unseal(blob, &auth)
 }
 

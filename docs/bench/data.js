@@ -1,0 +1,268 @@
+window.BENCHMARK_DATA = {
+  "entries": {
+    "Flicker bench trajectory": [
+      {
+        "benches": [
+          {
+            "name": "apps/ca/p50_ms",
+            "unit": "ms",
+            "value": 1174.4051200000001
+          },
+          {
+            "name": "apps/ca/p95_ms",
+            "unit": "ms",
+            "value": 1174.4051200000001
+          },
+          {
+            "name": "apps/distcomp/p50_ms",
+            "unit": "ms",
+            "value": 957.8784
+          },
+          {
+            "name": "apps/distcomp/p95_ms",
+            "unit": "ms",
+            "value": 957.8784
+          },
+          {
+            "name": "apps/rootkit/p50_ms",
+            "unit": "ms",
+            "value": 1027.064784
+          },
+          {
+            "name": "apps/rootkit/p95_ms",
+            "unit": "ms",
+            "value": 1027.064784
+          },
+          {
+            "name": "apps/ssh/p50_ms",
+            "unit": "ms",
+            "value": 2113.929216
+          },
+          {
+            "name": "apps/ssh/p95_ms",
+            "unit": "ms",
+            "value": 2214.5925119999997
+          },
+          {
+            "name": "apps/storage/p50_ms",
+            "unit": "ms",
+            "value": 1947.2299400000002
+          },
+          {
+            "name": "apps/storage/p95_ms",
+            "unit": "ms",
+            "value": 1947.2299400000002
+          },
+          {
+            "name": "sessions",
+            "unit": "",
+            "value": 250
+          }
+        ],
+        "commit": {
+          "id": "2c90dcf",
+          "message": "",
+          "url": ""
+        },
+        "date": 0,
+        "tool": "customSmallerIsBetter"
+      },
+      {
+        "benches": [
+          {
+            "name": "farm/done",
+            "unit": "",
+            "value": 200
+          },
+          {
+            "name": "farm/failed",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm/machines",
+            "unit": "",
+            "value": 8
+          },
+          {
+            "name": "farm/p50_ms",
+            "unit": "ms",
+            "value": 1341.696993
+          },
+          {
+            "name": "farm/p95_ms",
+            "unit": "ms",
+            "value": 3322.4910630000004
+          },
+          {
+            "name": "farm/p99_ms",
+            "unit": "ms",
+            "value": 3895.288985
+          },
+          {
+            "name": "farm/quarantines",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm/requests",
+            "unit": "",
+            "value": 200
+          },
+          {
+            "name": "farm/requeues",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm/retries",
+            "unit": "",
+            "value": 84
+          },
+          {
+            "name": "farm/sessions_per_sec",
+            "unit": "",
+            "value": 37.540733086752546
+          },
+          {
+            "name": "farm/shed",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm/timed_out",
+            "unit": "",
+            "value": 0
+          }
+        ],
+        "commit": {
+          "id": "ac5e647",
+          "message": "",
+          "url": ""
+        },
+        "date": 1,
+        "tool": "customSmallerIsBetter"
+      },
+      {
+        "benches": [
+          {
+            "name": "apps/ca/p50_ms",
+            "unit": "ms",
+            "value": 1174.4051200000001
+          },
+          {
+            "name": "apps/ca/p95_ms",
+            "unit": "ms",
+            "value": 1174.4051200000001
+          },
+          {
+            "name": "apps/distcomp/p50_ms",
+            "unit": "ms",
+            "value": 956.301312
+          },
+          {
+            "name": "apps/distcomp/p95_ms",
+            "unit": "ms",
+            "value": 956.301312
+          },
+          {
+            "name": "apps/rootkit/p50_ms",
+            "unit": "ms",
+            "value": 1027.064784
+          },
+          {
+            "name": "apps/rootkit/p95_ms",
+            "unit": "ms",
+            "value": 1027.064784
+          },
+          {
+            "name": "apps/ssh/p50_ms",
+            "unit": "ms",
+            "value": 2113.929216
+          },
+          {
+            "name": "apps/ssh/p95_ms",
+            "unit": "ms",
+            "value": 2198.081267
+          },
+          {
+            "name": "apps/storage/p50_ms",
+            "unit": "ms",
+            "value": 1923.66122
+          },
+          {
+            "name": "apps/storage/p95_ms",
+            "unit": "ms",
+            "value": 1923.66122
+          },
+          {
+            "name": "sessions",
+            "unit": "",
+            "value": 250
+          }
+        ],
+        "commit": {
+          "id": "7c1e090",
+          "message": "",
+          "url": ""
+        },
+        "date": 2,
+        "tool": "customSmallerIsBetter"
+      },
+      {
+        "benches": [
+          {
+            "name": "warm/ssh/cold_p50_ms",
+            "unit": "ms",
+            "value": 2140.6600080000003
+          },
+          {
+            "name": "warm/ssh/speedup",
+            "unit": "",
+            "value": 1.0014034037165747
+          },
+          {
+            "name": "warm/ssh/warm_p50_ms",
+            "unit": "ms",
+            "value": 2137.6600080000003
+          },
+          {
+            "name": "warm/storage_refresh/cold_p50_ms",
+            "unit": "ms",
+            "value": 922.74296
+          },
+          {
+            "name": "warm/storage_refresh/speedup",
+            "unit": "",
+            "value": 1.014512783431362
+          },
+          {
+            "name": "warm/storage_refresh/warm_p50_ms",
+            "unit": "ms",
+            "value": 909.54296
+          },
+          {
+            "name": "warm/warm_hits",
+            "unit": "",
+            "value": 196
+          },
+          {
+            "name": "warm/warm_misses",
+            "unit": "",
+            "value": 30
+          }
+        ],
+        "commit": {
+          "id": "7c1e090",
+          "message": "",
+          "url": ""
+        },
+        "date": 3,
+        "tool": "customSmallerIsBetter"
+      }
+    ]
+  },
+  "lastUpdate": 4,
+  "repoUrl": ""
+}
+;
