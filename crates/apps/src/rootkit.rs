@@ -160,7 +160,7 @@ impl Administrator {
         let start = clock.now();
 
         // Challenge travels to the host.
-        clock.advance(self.link.one_way_reliable());
+        self.link.deliver(&clock);
         let nonce = self.fresh_nonce();
 
         // Host side: run the detector under Flicker.
@@ -187,7 +187,7 @@ impl Administrator {
         let quote_time = quote_sw.elapsed();
 
         // Response travels back.
-        clock.advance(self.link.one_way_reliable());
+        self.link.deliver(&clock);
 
         // Administrator verifies: the detector extended the kernel hash
         // into PCR 17 during the session, so it is part of the chain.

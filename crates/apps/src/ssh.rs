@@ -192,7 +192,7 @@ impl SshServer {
     ) -> FlickerResult<SetupTranscript> {
         let clock = os.clock();
         let start = clock.now();
-        clock.advance(link.one_way_reliable()); // TCP connect + client hello
+        link.deliver(&clock); // TCP connect + client hello
 
         let slb = ssh_slb(SshPhase::Setup);
         let params = SessionParams {
@@ -208,7 +208,7 @@ impl SshServer {
         let quote = os
             .tqd_quote(attestation_nonce, &PcrSelection::pcr17())
             .map_err(FlickerError::Tpm)?;
-        clock.advance(link.one_way_reliable()); // transcript to client
+        link.deliver(&clock); // transcript to client
 
         Ok(SetupTranscript {
             setup,
@@ -232,7 +232,7 @@ impl SshServer {
     ) -> FlickerResult<LoginOutcome> {
         let clock = os.clock();
         let start = clock.now();
-        clock.advance(link.one_way_reliable()); // ciphertext arrives
+        link.deliver(&clock); // ciphertext arrives
 
         let entry = self
             .passwd
@@ -269,7 +269,7 @@ impl SshServer {
             }
             Err(_) => false,
         };
-        clock.advance(link.one_way_reliable()); // accept/reject to client
+        link.deliver(&clock); // accept/reject to client
 
         Ok(LoginOutcome {
             accepted,

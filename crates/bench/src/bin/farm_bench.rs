@@ -4,19 +4,29 @@
 //!
 //! ```text
 //! farm_bench [--quick] [--machines N] [--requests N] [--trajectory PATH]
+//!            [--flight-dir DIR]
 //! ```
 //!
 //! Full mode runs 8 machines against a 200-schedule fault sweep (the same
 //! `FaultPlan::seeded` schedules the fault-sweep harness uses). The run
 //! FAILS — non-zero exit — if any request is lost or duplicated, if any
-//! attempt bound is exceeded, or if any machine's flight record violates a
-//! paper invariant. Each run appends one JSONL line to the trajectory file
-//! so farm throughput drift across commits stays diffable.
+//! attempt bound is exceeded, if any machine's flight record violates a
+//! paper invariant or was truncated, if latency attribution covers less
+//! than 99% of any request's wall time, or if any workload burns through
+//! its SLO error budget. Each run appends one JSONL line (farm metrics +
+//! the `farm_attr` attribution/SLO extension) to the trajectory file so
+//! farm drift across commits stays diffable. `--flight-dir` additionally
+//! persists the full flight record (coordinator + per-machine streams +
+//! request outcomes) for offline analysis with
+//! `flicker_trace_tool attribute --from DIR`, plus per-request dumps for
+//! every latency outlier the SLO monitor flags.
 
+use flicker_bench::farmattr::{self, FarmFlight};
 use flicker_bench::json::Value;
 use flicker_bench::print_table;
 use flicker_farm::{Farm, FarmConfig, RequestSpec, Terminal};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -25,6 +35,7 @@ fn main() -> ExitCode {
     let mut machines: Option<usize> = None;
     let mut requests: Option<u64> = None;
     let mut trajectory = String::from("BENCH_trajectory.jsonl");
+    let mut flight_dir: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,6 +52,10 @@ fn main() -> ExitCode {
             "--trajectory" => match args.next() {
                 Some(path) => trajectory = path,
                 None => return usage("--trajectory needs a path"),
+            },
+            "--flight-dir" => match args.next() {
+                Some(dir) => flight_dir = Some(PathBuf::from(dir)),
+                None => return usage("--flight-dir needs a directory"),
             },
             other => return usage(&format!("unknown argument {other:?}")),
         }
@@ -140,7 +155,43 @@ fn main() -> ExitCode {
         boot_secs
     );
 
-    let line = trajectory_line(&report, machines, quick, sessions_per_sec, p50, p95, p99);
+    // ---- attribution + SLO ---------------------------------------------
+    let flight = FarmFlight::from_report(&report);
+    let policy = farmattr::default_slo_policy();
+    let (attr, slo) = farmattr::evaluate(&flight, &policy);
+    farmattr::print_summary(&attr, &slo);
+    if let Some(dir) = &flight_dir {
+        if let Err(e) = flight.write(dir) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote flight record to {}", dir.display());
+        if !slo.outliers.is_empty() {
+            if let Err(e) = flight.dump_outliers(dir, &slo.outliers) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("dumped {} outlier flight record(s)", slo.outliers.len());
+        }
+    }
+    let failures = farmattr::gate(&flight, &attr, &slo);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("ATTRIBUTION GATE: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let line = trajectory_line(
+        &report,
+        machines,
+        quick,
+        sessions_per_sec,
+        p50,
+        p95,
+        p99,
+        farmattr::farm_attr_value(&attr, &slo),
+    );
     if let Err(e) = append_line(&trajectory, &line) {
         eprintln!("appending {trajectory}: {e}");
         return ExitCode::FAILURE;
@@ -151,7 +202,10 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
-    eprintln!("usage: farm_bench [--quick] [--machines N] [--requests N] [--trajectory PATH]");
+    eprintln!(
+        "usage: farm_bench [--quick] [--machines N] [--requests N] \
+         [--trajectory PATH] [--flight-dir DIR]"
+    );
     ExitCode::FAILURE
 }
 
@@ -195,6 +249,7 @@ fn trajectory_line(
     p50: Duration,
     p95: Duration,
     p99: Duration,
+    farm_attr: Value,
 ) -> Value {
     let num = |v: f64| Value::Number(v);
     let dur_ms = |d: Duration| Value::Number(d.as_secs_f64() * 1e3);
@@ -221,6 +276,7 @@ fn trajectory_line(
         ("commit".into(), Value::String(current_commit())),
         ("quick".into(), Value::Bool(quick)),
         ("farm".into(), farm),
+        ("farm_attr".into(), farm_attr),
     ]))
 }
 

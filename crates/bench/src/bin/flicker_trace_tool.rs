@@ -7,17 +7,29 @@
 //! flicker_trace_tool summary [--quick]
 //! flicker_trace_tool audit [--quick | --jsonl PATH]
 //! flicker_trace_tool critical-path [--quick]
+//! flicker_trace_tool attribute [--quick | --from DIR]
+//! flicker_trace_tool farm-timeline [--quick | --from DIR] [--limit N]
 //! ```
 //!
-//! Every subcommand except `audit --jsonl` runs the perf-baseline workload
-//! (all five applications) under one shared trace and operates on that
-//! flight record. `audit` exits non-zero if the stream breaks any of the
-//! paper's Figure-2/§4 invariants.
+//! `export`, `summary`, `audit` (without `--jsonl`), and `critical-path`
+//! run the perf-baseline workload (all five applications) under one
+//! shared trace and operate on that flight record; `audit` exits non-zero
+//! if the stream breaks any of the paper's Figure-2/§4 invariants *or*
+//! was truncated by ring-buffer evictions (an incomplete stream proves
+//! nothing). `attribute` and `farm-timeline` operate on a *farm* flight —
+//! either a fresh quick/full farm run, or a flight directory previously
+//! written by `farm_bench --flight-dir` — and respectively break each
+//! request's latency into named categories (gated at ≥ 99% coverage, SLO
+//! enforced) and render all machines' virtual clocks merged onto the
+//! coordinator's wall-time axis through anchor events.
 
 use flicker_bench::baseline::{run_baseline_traced, BaselineConfig};
+use flicker_bench::farmattr::{self, FarmFlight};
 use flicker_bench::{json, print_table};
+use flicker_farm::{Farm, FarmConfig, RequestSpec};
 use flicker_trace::{audit, export, DurationHistogram, Trace, DROPPED_EVENTS_COUNTER};
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -32,6 +44,8 @@ fn main() -> ExitCode {
         "summary" => cmd_summary(&args),
         "audit" => cmd_audit(&args),
         "critical-path" => cmd_critical_path(&args),
+        "attribute" => cmd_attribute(&args),
+        "farm-timeline" => cmd_farm_timeline(&args),
         other => usage(&format!("unknown subcommand {other:?}")),
     }
 }
@@ -45,7 +59,9 @@ fn usage(err: &str) -> ExitCode {
          \x20 export        [--quick] [--format chrome|jsonl|prom] [--out PATH] [--verify]\n\
          \x20 summary       [--quick]\n\
          \x20 audit         [--quick | --jsonl PATH]\n\
-         \x20 critical-path [--quick]"
+         \x20 critical-path [--quick]\n\
+         \x20 attribute     [--quick | --from DIR]\n\
+         \x20 farm-timeline [--quick | --from DIR] [--limit N]"
     );
     ExitCode::FAILURE
 }
@@ -199,7 +215,10 @@ fn cmd_audit(args: &[String]) -> ExitCode {
             other => return usage(&format!("unknown audit argument {other:?}")),
         }
     }
-    let events = match jsonl {
+    // A live trace knows how many events its ring buffer evicted; a JSONL
+    // file is taken at face value (its writer is responsible for refusing
+    // to export a truncated stream).
+    let (events, dropped) = match jsonl {
         Some(path) => {
             let text = match std::fs::read_to_string(&path) {
                 Ok(t) => t,
@@ -209,28 +228,152 @@ fn cmd_audit(args: &[String]) -> ExitCode {
                 }
             };
             match export::parse_events_jsonl(&text) {
-                Ok(events) => events,
+                Ok(events) => (events, 0),
                 Err(e) => {
                     eprintln!("{path}: {e}");
                     return ExitCode::FAILURE;
                 }
             }
         }
-        None => record_flight(quick).events(),
+        None => {
+            let trace = record_flight(quick);
+            (trace.events(), trace.dropped_events())
+        }
     };
-    let violations = audit::audit_events(&events);
-    if violations.is_empty() {
+    let verdict = audit::audit_events_with_drops(&events, dropped);
+    if verdict.is_clean() {
         println!(
             "audit clean: {} events satisfy every Figure-2/§4 invariant",
             events.len()
         );
         return ExitCode::SUCCESS;
     }
-    for v in &violations {
+    for v in verdict.violations() {
         eprintln!("VIOLATION {v}");
     }
-    eprintln!("{} invariant violation(s)", violations.len());
+    if verdict.dropped_events() > 0 {
+        eprintln!(
+            "stream truncated: {} event(s) evicted before the audit — the \
+             verdict is inconclusive at best",
+            verdict.dropped_events()
+        );
+    }
+    eprintln!("audit verdict: {verdict}");
     ExitCode::FAILURE
+}
+
+// ----- attribute / farm-timeline --------------------------------------------
+
+/// Obtains a farm flight: from a directory written by
+/// `farm_bench --flight-dir`, or by driving a fresh farm run (2 machines
+/// × 15 seeded schedules quick, 8 × 200 full — farm_bench's sizes).
+fn farm_flight(quick: bool, from: Option<&str>) -> Result<FarmFlight, String> {
+    if let Some(dir) = from {
+        return FarmFlight::read(Path::new(dir));
+    }
+    let (machines, requests) = if quick { (2, 15u64) } else { (8, 200) };
+    eprintln!("driving farm: {machines} machines, {requests} seeded fault schedules");
+    let farm = Farm::start(FarmConfig {
+        machines,
+        queue_bound: requests as usize,
+        ..FarmConfig::default()
+    });
+    for seed in 0..requests {
+        farm.submit(RequestSpec::seeded(seed));
+    }
+    let report = farm.shutdown();
+    report.verify_conservation()?;
+    let findings = report.audit_shards();
+    if !findings.is_empty() {
+        return Err(format!("shard audit failed: {findings:?}"));
+    }
+    Ok(FarmFlight::from_report(&report))
+}
+
+/// Handler for subcommand-specific flags in [`flight_args`]: receives the
+/// unrecognised argument plus the iterator (to consume a value).
+type ExtraArg<'a, 'b> =
+    &'b mut dyn FnMut(&str, &mut std::slice::Iter<'a, String>) -> Result<(), String>;
+
+/// Parses the shared `[--quick | --from DIR]` argument pair.
+fn flight_args<'a>(
+    args: &'a [String],
+    extra: ExtraArg<'a, '_>,
+) -> Result<(bool, Option<&'a str>), String> {
+    let mut quick = false;
+    let mut from = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--from" => match it.next() {
+                Some(dir) => from = Some(dir.as_str()),
+                None => return Err("--from needs a directory".into()),
+            },
+            other => extra(other, &mut it)?,
+        }
+    }
+    Ok((quick, from))
+}
+
+fn cmd_attribute(args: &[String]) -> ExitCode {
+    let parsed = flight_args(args, &mut |arg, _| {
+        Err(format!("unknown attribute argument {arg:?}"))
+    });
+    let (quick, from) = match parsed {
+        Ok(v) => v,
+        Err(e) => return usage(&e),
+    };
+    let flight = match farm_flight(quick, from) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let policy = farmattr::default_slo_policy();
+    let (attr, slo) = farmattr::evaluate(&flight, &policy);
+    farmattr::print_summary(&attr, &slo);
+    let failures = farmattr::gate(&flight, &attr, &slo);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("ATTRIBUTION GATE: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "attribution gate passed: every request ≥ {:.0}% covered, SLOs held, \
+         streams complete",
+        farmattr::MIN_COVERAGE * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_farm_timeline(args: &[String]) -> ExitCode {
+    let mut limit = 200usize;
+    let parsed = flight_args(args, &mut |arg, it| match arg {
+        "--limit" => match it.next().and_then(|v| v.parse().ok()) {
+            Some(n) => {
+                limit = n;
+                Ok(())
+            }
+            None => Err("--limit needs a count".into()),
+        },
+        other => Err(format!("unknown farm-timeline argument {other:?}")),
+    });
+    let (quick, from) = match parsed {
+        Ok(v) => v,
+        Err(e) => return usage(&e),
+    };
+    let flight = match farm_flight(quick, from) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", farmattr::render_timeline(&flight, limit));
+    ExitCode::SUCCESS
 }
 
 // ----- critical-path --------------------------------------------------------

@@ -11,7 +11,15 @@
 //! runs are skipped by default (the committed trajectory only carries
 //! full runs; CI writes its quick lines under `target/`). Every numeric
 //! leaf in a trajectory line becomes one series, named by its JSON path
-//! (`apps/ssh/p50_ms`, `farm/p50_ms`, `warm/ssh/warm_p50_ms`, ...).
+//! (`apps/ssh/p50_ms`, `farm/p50_ms`, `farm_attr/categories/tpm_ms`, ...).
+//!
+//! The trajectory is *mixed-schema*: perf_baseline, farm_bench, and
+//! warm_bench each append their own line shape, and one commit usually
+//! appends several. Lines sharing a commit are merged into **one**
+//! dashboard entry (last value wins when two lines carry the same leaf),
+//! so the x-axis is commits, not lines — and a commit that lacks some
+//! series (an older schema, a tool not run) simply has *no* sample there;
+//! the chart renders a gap, never a fabricated zero.
 
 use flicker_bench::json::{self, Value};
 use std::collections::BTreeMap;
@@ -47,7 +55,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut entries = Vec::new();
+    // Merge lines commit-by-commit (in first-appearance order): one
+    // dashboard entry per commit, holding the union of every tool's
+    // series for it.
+    let mut commit_order: Vec<String> = Vec::new();
+    let mut by_commit: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -77,7 +89,19 @@ fn main() -> ExitCode {
         if benches.is_empty() {
             continue;
         }
-        entries.push(entry(&commit, entries.len() as u64, benches));
+        if !by_commit.contains_key(&commit) {
+            commit_order.push(commit.clone());
+        }
+        by_commit.entry(commit).or_default().extend(benches);
+    }
+    let mut entries = Vec::new();
+    for commit in &commit_order {
+        let benches: Vec<(String, f64)> = by_commit
+            .remove(commit)
+            .expect("every ordered commit was inserted")
+            .into_iter()
+            .collect();
+        entries.push(entry(commit, entries.len() as u64, benches));
     }
     if entries.is_empty() {
         eprintln!("{trajectory}: no full-run trajectory lines to chart");

@@ -198,13 +198,20 @@ pub fn run_schedule(seed: u64) -> ScheduleResult {
     };
     // The trace audit is part of the robustness contract: a schedule that
     // "recovered" but whose flight record shows a Figure-2 invariant broken
-    // (a resume without erasure, an unmeasured unseal) is a violation.
+    // (a resume without erasure, an unmeasured unseal) is a violation. A
+    // truncated stream is a violation too — an audit that only saw the
+    // surviving suffix of the ring buffer proves nothing, and letting it
+    // pass for clean would hide exactly the long, fault-heavy schedules
+    // most likely to break an invariant.
     let events = trace.events();
     let outcome = match outcome {
         Outcome::Violation(v) => Outcome::Violation(v),
-        other => match audit::audit_events(&events).first() {
-            None => other,
-            Some(v) => Outcome::Violation(format!("trace audit: {v}")),
+        other => match audit::audit_trace(&trace) {
+            verdict if verdict.is_clean() => other,
+            verdict => match verdict.violations().first() {
+                Some(v) => Outcome::Violation(format!("trace audit: {v}")),
+                None => Outcome::Violation(format!("trace audit {verdict}")),
+            },
         },
     };
     let flight_record = if matches!(outcome, Outcome::Violation(_)) {

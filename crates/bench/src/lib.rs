@@ -13,6 +13,7 @@ use flicker_tpm::{PrivacyCa, TpmTimingProfile};
 use std::time::Duration;
 
 pub mod baseline;
+pub mod farmattr;
 pub mod faultsweep;
 pub mod json;
 

@@ -296,8 +296,16 @@ impl<'a> PalContext<'a> {
                 None => (self.machine.tpm_op(|t| t.oiap(WELL_KNOWN_AUTH)), false),
             };
             if warm {
+                let saved = self.machine.tpm().timing().session_start;
+                let now = self.machine.clock().now();
                 if let Some(t) = self.machine.tracer() {
                     t.counter_add(if reused { "warm.hit" } else { "warm.miss" }, 1);
+                    if reused {
+                        // A parked session skipped a TPM_OIAP; record the
+                        // avoided cost for the attribution report (never
+                        // counted toward wall time).
+                        t.charge(now, "warm_saved.oiap", saved);
+                    }
                 }
             }
             // Warm sessions are continued across commands; cold runs close
@@ -336,7 +344,7 @@ impl<'a> PalContext<'a> {
                             if let Some(t) = self.machine.tracer() {
                                 t.counter_add("tpm.retry", 1);
                             }
-                            self.machine.charge_cpu(wait);
+                            self.machine.charge_backoff(wait);
                             if self.machine.power_lost() {
                                 self.finish_session(session, keep);
                                 return Err(TpmError::Retry);
@@ -384,8 +392,13 @@ impl<'a> PalContext<'a> {
     ) -> FlickerResult<SealedBlob> {
         if self.machine.warm().enabled() {
             if let Some(blob) = self.machine.warm_mut().lookup_seal(&key) {
+                let saved = self.machine.tpm().timing().seal;
+                let now = self.machine.clock().now();
                 if let Some(t) = self.machine.tracer() {
                     t.counter_add("warm.hit", 1);
+                    // The memo hit skipped a TPM_Seal; record the avoided
+                    // cost (attribution reports it separately from wall).
+                    t.charge(now, "warm_saved.seal", saved);
                 }
                 // Keep the op-log shape: the skipped seal still appears,
                 // with the (zero) time it actually took.

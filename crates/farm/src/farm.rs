@@ -25,21 +25,34 @@
 //! Every decision — enqueue, shed, admit, run, retry, requeue, quarantine,
 //! probe, readmit, and each terminal — is emitted as an
 //! [`EventKind::Farm`] flight-recorder event on the coordinator trace.
-//! Coordinator events are stamped with a global *sequence number* (there
-//! is no farm-wide clock; each shard keeps its own virtual time), so their
-//! order is meaningful and their timestamps are not durations.
+//! Coordinator events are stamped with *wall time since farm start* (there
+//! is no farm-wide virtual clock; each shard keeps its own virtual time),
+//! which makes queue wait directly measurable from `enqueued → admitted`
+//! deltas. At every scheduling decision that touches a shard the
+//! coordinator also emits an [`EventKind::Anchor`] pairing its wall stamp
+//! with the shard's virtual-clock reading; the attribution layer
+//! ([`flicker_trace::attribution::merge_timeline`]) uses those pairs to
+//! align all per-shard streams onto one farm-wide axis.
+//!
+//! Request-scoped tracing: the worker installs a
+//! [`flicker_trace::RequestCtx`] (trace id = request id, plus the attempt
+//! number) on the shard's trace for the whole attempt window — including
+//! the crash-reboot recovery and the between-attempt retry backoff — so
+//! every substrate event, span, and `Charge` the attempt produces carries
+//! the owning request's id. Requeued-after-quarantine work keeps its
+//! original trace id; only the attempt number advances.
 
 use crate::health::CircuitBreaker;
 use crate::request::{actions, RequestOutcome, RequestSpec, Terminal, NO_MACHINE, NO_REQUEST};
 use crate::shard::Shard;
 use flicker_faults::FaultInjector;
 use flicker_machine::RetryPolicy;
-use flicker_trace::{audit, EventKind, Trace};
+use flicker_trace::attribution::{self, FarmAttribution, RequestMeta, ShardStream};
+use flicker_trace::{audit, EventKind, RequestCtx, Trace};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Farm sizing and policy knobs.
 #[derive(Debug, Clone)]
@@ -125,17 +138,19 @@ struct Inner {
     state: Mutex<QueueState>,
     cv: Condvar,
     coordinator: Trace,
-    seq: AtomicU64,
+    /// Wall-clock epoch: coordinator events are stamped with the elapsed
+    /// time since this instant.
+    started: Instant,
     config: FarmConfig,
 }
 
 impl Inner {
-    /// Emits a farm lifecycle event, stamped with the next global sequence
-    /// number (coordinator "time" is causal order, not a clock).
+    /// Emits a farm lifecycle event, stamped with wall time since farm
+    /// start (the coordinator is the only farm-wide clock; shard events
+    /// stay on their own virtual clocks and are aligned through anchors).
     fn emit(&self, action: &str, request: u64, machine: u64) {
-        let at = Duration::from_nanos(self.seq.fetch_add(1, Ordering::SeqCst));
         self.coordinator.event(
-            at,
+            self.started.elapsed(),
             EventKind::Farm {
                 action: action.to_string(),
                 request,
@@ -144,9 +159,27 @@ impl Inner {
         );
     }
 
+    /// Emits a clock-alignment anchor: the coordinator's wall stamp paired
+    /// with `machine`'s virtual-clock reading at the same scheduling
+    /// decision. Timeline merging maps a shard event at virtual time `at`
+    /// to `anchor.wall + (at − anchor.shard_ns)` using the latest anchor
+    /// with `shard_ns ≤ at`.
+    fn anchor(&self, machine: u64, shard_now: Duration) {
+        self.coordinator.event(
+            self.started.elapsed(),
+            EventKind::Anchor {
+                machine,
+                shard_ns: u64::try_from(shard_now.as_nanos()).unwrap_or(u64::MAX),
+            },
+        );
+    }
+
     /// Records a terminal state for `p` and releases its in-flight slot.
-    fn finish(&self, p: Pending, terminal: Terminal, machine: u64) {
+    /// `shard_now` is the serving shard's clock at the decision (anchored
+    /// so the terminal is placeable on the merged timeline).
+    fn finish(&self, p: Pending, terminal: Terminal, machine: u64, shard_now: Duration) {
         self.emit(terminal.action(), p.id, machine);
+        self.anchor(machine, shard_now);
         let outcome = RequestOutcome {
             id: p.id,
             app: p.spec.app.name(),
@@ -307,18 +340,58 @@ impl FarmReport {
         Ok(())
     }
 
+    /// The per-shard flight records as attribution input streams.
+    pub fn shard_streams(&self) -> Vec<ShardStream> {
+        self.shards
+            .iter()
+            .map(|s| ShardStream {
+                machine: s.id,
+                events: s.trace.events(),
+            })
+            .collect()
+    }
+
+    /// Request → workload metadata for SLO evaluation.
+    pub fn request_meta(&self) -> Vec<RequestMeta> {
+        self.outcomes
+            .iter()
+            .map(|o| RequestMeta {
+                request: o.id,
+                workload: o.app.to_string(),
+            })
+            .collect()
+    }
+
+    /// Folds the coordinator and shard streams into per-request latency
+    /// attributions (queue wait + per-attempt category breakdowns).
+    pub fn attribution(&self) -> FarmAttribution {
+        attribution::attribute(&self.coordinator.events(), &self.shard_streams())
+    }
+
     /// Replays every shard's flight record through the paper-invariant
-    /// auditor; returns all violations (empty = audit-clean). Shards are
-    /// audited independently — each trace is one platform's Figure-2
-    /// timeline.
+    /// auditor; returns all findings (empty = every shard audit-clean on a
+    /// *complete* stream). Shards are audited independently — each trace
+    /// is one platform's Figure-2 timeline. A truncated stream (ring-
+    /// buffer evictions) is a finding even when the surviving suffix
+    /// replays clean: an `Inconclusive` verdict proves nothing about the
+    /// full execution and must never pass for clean.
     pub fn audit_shards(&self) -> Vec<String> {
-        let mut violations = Vec::new();
+        let mut findings = Vec::new();
         for shard in &self.shards {
-            for v in audit::audit_events(&shard.trace.events()) {
-                violations.push(format!("machine {}: {v}", shard.id));
+            let verdict = audit::audit_trace(&shard.trace);
+            for v in verdict.violations() {
+                findings.push(format!("machine {}: {v}", shard.id));
+            }
+            if verdict.dropped_events() > 0 {
+                findings.push(format!(
+                    "machine {}: audit inconclusive — {} event(s) dropped from \
+                     the ring buffer before the audit",
+                    shard.id,
+                    verdict.dropped_events()
+                ));
             }
         }
-        violations
+        findings
     }
 }
 
@@ -344,7 +417,7 @@ impl Farm {
             }),
             cv: Condvar::new(),
             coordinator: Trace::new(),
-            seq: AtomicU64::new(0),
+            started: Instant::now(),
             config: config.clone(),
         });
         let workers = (0..config.machines as u64)
@@ -463,12 +536,13 @@ fn worker_loop(inner: &Inner, mut shard: Shard) -> ShardSummary {
             }
         };
         inner.emit(actions::ADMITTED, p.id, shard.id());
+        inner.anchor(shard.id(), shard.clock().now());
 
         // ----- attempt loop (same shard until terminal or quarantine) ----
         loop {
             if p.consumed >= inner.config.deadline {
-                let id = shard.id();
-                inner.finish(p, Terminal::TimedOut, id);
+                let (id, now) = (shard.id(), shard.clock().now());
+                inner.finish(p, Terminal::TimedOut, id, now);
                 continue 'serve;
             }
             // Arm the request's injector: created once, carried across
@@ -479,7 +553,14 @@ fn worker_loop(inner: &Inner, mut shard: Shard) -> ShardSummary {
                 .clone();
             shard.arm(inj);
             inner.emit(actions::RUNNING, p.id, shard.id());
-            let start = shard.clock().now();
+            // Open the attempt window: from here until `end_attempt`,
+            // every event the substrate records (including crash-reboot
+            // recovery and the retry backoff) carries this request's
+            // trace id and attempt number.
+            let start = shard.begin_attempt(RequestCtx {
+                request: p.id,
+                attempt: p.attempts + 1,
+            });
             let result = shard.run_attempt(p.spec.app, p.spec.seed);
             p.attempts += 1;
             p.consumed += shard.clock().now().saturating_sub(start);
@@ -487,8 +568,9 @@ fn worker_loop(inner: &Inner, mut shard: Shard) -> ShardSummary {
             match result {
                 Ok(()) => {
                     shard.breaker.record_success();
+                    let end = shard.end_attempt(p.id);
                     let id = shard.id();
-                    inner.finish(p, Terminal::Done, id);
+                    inner.finish(p, Terminal::Done, id, end);
                     continue 'serve;
                 }
                 Err(msg) => {
@@ -500,6 +582,7 @@ fn worker_loop(inner: &Inner, mut shard: Shard) -> ShardSummary {
                     p.last_error = msg;
                     let tripped = shard.breaker.record_failure();
                     if tripped {
+                        let end = shard.end_attempt(p.id);
                         inner.emit(actions::QUARANTINE, p.id, shard.id());
                         // A quarantined machine forfeits its warm-path
                         // state: parked auth sessions and memoized seals
@@ -511,12 +594,15 @@ fn worker_loop(inner: &Inner, mut shard: Shard) -> ShardSummary {
                             // Terminal anyway: record it rather than
                             // requeueing a request with no attempts left.
                             let (id, err) = (shard.id(), p.last_error.clone());
-                            inner.finish(p, Terminal::Failed(err), id);
+                            inner.finish(p, Terminal::Failed(err), id, end);
                         } else {
                             // The quarantined machine's in-flight work is
-                            // re-queued exactly once, attempts preserved.
+                            // re-queued exactly once, attempts preserved —
+                            // and so is its trace id: the next attempt
+                            // continues the same request's span tree.
                             p.requeues += 1;
                             inner.emit(actions::REQUEUED, p.id, shard.id());
+                            inner.anchor(shard.id(), end);
                             let mut st = inner.state.lock().expect("farm state poisoned");
                             st.queue.push_back(p);
                             st.in_flight -= 1;
@@ -527,8 +613,9 @@ fn worker_loop(inner: &Inner, mut shard: Shard) -> ShardSummary {
                         continue 'serve;
                     }
                     if p.attempts >= policy.max_attempts() {
+                        let end = shard.end_attempt(p.id);
                         let (id, err) = (shard.id(), p.last_error.clone());
-                        inner.finish(p, Terminal::Failed(err), id);
+                        inner.finish(p, Terminal::Failed(err), id, end);
                         continue 'serve;
                     }
                     // Deterministic jittered backoff, charged to this
@@ -537,12 +624,16 @@ fn worker_loop(inner: &Inner, mut shard: Shard) -> ShardSummary {
                         .backoff_jittered(p.attempts - 1, p.spec.seed ^ p.id)
                         .expect("attempts < max_attempts implies a backoff");
                     if p.consumed + wait >= inner.config.deadline {
+                        let end = shard.end_attempt(p.id);
                         let id = shard.id();
-                        inner.finish(p, Terminal::TimedOut, id);
+                        inner.finish(p, Terminal::TimedOut, id, end);
                         continue 'serve;
                     }
-                    shard.clock().advance(wait);
+                    // Charged inside the attempt window so the request's
+                    // attributed wall time covers the wait.
+                    shard.charge_retry_backoff(wait);
                     p.consumed += wait;
+                    shard.end_attempt(p.id);
                     inner.emit(actions::RETRY, p.id, shard.id());
                 }
             }
@@ -573,6 +664,9 @@ fn probe_until_readmitted(inner: &Inner, shard: &mut Shard) -> bool {
         shard.breaker.probe_result(ok);
         if ok {
             inner.emit(actions::READMITTED, NO_REQUEST, shard.id());
+            // Probes advanced the shard's clock off-timeline; re-anchor it
+            // before the machine starts serving again.
+            inner.anchor(shard.id(), shard.clock().now());
             return true;
         }
     }

@@ -22,6 +22,18 @@ pub mod actions {
     pub const ADMITTED: &str = "admitted";
     /// An attempt is starting on a machine.
     pub const RUNNING: &str = "running";
+    /// Shard-trace marker opening an attempt window (stamped with the
+    /// shard's virtual clock and the request's [`RequestCtx`]; the
+    /// attribution layer measures attempt wall time between this and
+    /// [`ATTEMPT_END`]).
+    ///
+    /// [`RequestCtx`]: flicker_trace::RequestCtx
+    pub const ATTEMPT_START: &str = "attempt_start";
+    /// Shard-trace marker closing an attempt window. On the retry path it
+    /// is emitted *after* the between-attempt backoff, so the window spans
+    /// exactly the virtual time the attempt charged to the request's
+    /// budget.
+    pub const ATTEMPT_END: &str = "attempt_end";
     /// An attempt failed retryably; the next attempt is scheduled.
     pub const RETRY: &str = "retry";
     /// Terminal: the protocol completed correctly.

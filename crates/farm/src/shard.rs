@@ -12,7 +12,7 @@
 //! separate trace instead.
 
 use crate::health::CircuitBreaker;
-use crate::request::AppKind;
+use crate::request::{actions, AppKind};
 use flicker_apps::{
     known_good_hash, Administrator, BoincClient, Csr, FlickerCa, IssuancePolicy, PasswdEntry,
     SshClient, SshServer, WorkUnit,
@@ -27,7 +27,8 @@ use flicker_faults::FaultInjector;
 use flicker_machine::SimClock;
 use flicker_os::{NetLink, Os, OsConfig};
 use flicker_tpm::{AikCertificate, PrivacyCa, SealedBlob};
-use flicker_trace::Trace;
+use flicker_trace::attribution::categories;
+use flicker_trace::{EventKind, RequestCtx, Trace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
@@ -96,6 +97,55 @@ impl Shard {
     /// The shard's flight recorder.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Opens an attempt window: installs `ctx` as the trace's request
+    /// context (every event and span recorded until [`Shard::end_attempt`]
+    /// carries it) and emits the `attempt_start` marker. Returns the
+    /// shard-clock reading the marker was stamped with, so the worker can
+    /// charge the same interval to the request's budget.
+    pub fn begin_attempt(&self, ctx: RequestCtx) -> Duration {
+        let now = self.clock().now();
+        self.trace.set_request_ctx(Some(ctx));
+        self.trace.event(
+            now,
+            EventKind::Farm {
+                action: actions::ATTEMPT_START.into(),
+                request: ctx.request,
+                machine: self.id,
+            },
+        );
+        now
+    }
+
+    /// Closes the current attempt window: emits the `attempt_end` marker
+    /// (still stamped with the request context) and clears the context, so
+    /// later machine-scoped activity (probes, idling) is not mis-charged.
+    /// Returns the closing clock reading.
+    pub fn end_attempt(&self, request: u64) -> Duration {
+        let now = self.clock().now();
+        self.trace.event(
+            now,
+            EventKind::Farm {
+                action: actions::ATTEMPT_END.into(),
+                request,
+                machine: self.id,
+            },
+        );
+        self.trace.set_request_ctx(None);
+        now
+    }
+
+    /// Charges a between-attempt retry backoff to this shard's clock and
+    /// to the open request context under
+    /// [`categories::RETRY_BACKOFF`]. Must be called inside the attempt
+    /// window (before [`Shard::end_attempt`]) so the wait stays inside the
+    /// request's attributed wall time.
+    pub fn charge_retry_backoff(&self, wait: Duration) {
+        let clock = self.clock();
+        clock.advance(wait);
+        self.trace
+            .charge(clock.now(), categories::RETRY_BACKOFF, wait);
     }
 
     /// Arms a fault injector on the platform.

@@ -1,0 +1,227 @@
+//! Request-scoped tracing invariants (issue satellite): under seeded
+//! fault schedules every shard event either carries exactly one valid
+//! request context or is explicitly machine-scoped (provisioning, probes,
+//! idle); attempt windows are well-formed and unique farm-wide; and work
+//! requeued after a quarantine keeps its original trace id with a fresh
+//! attempt span. On top of the scoping rules, the attribution layer must
+//! reconstruct each request's latency exactly from its trace: attempt
+//! walls sum to `RequestOutcome::latency` and named categories cover the
+//! wall within the ≥ 99% acceptance bound.
+
+use flicker_farm::{request::actions, AppKind, Farm, FarmConfig, RequestSpec, Submitted, Terminal};
+use flicker_faults::{Fault, FaultPlan};
+use flicker_trace::{Event, EventKind, RequestCtx};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Is this shard event an attempt-window marker, and which one?
+fn window_marker(e: &Event) -> Option<(&str, u64)> {
+    match &e.kind {
+        EventKind::Farm {
+            action, request, ..
+        } if action == actions::ATTEMPT_START || action == actions::ATTEMPT_END => {
+            Some((action.as_str(), *request))
+        }
+        _ => None,
+    }
+}
+
+/// Walks one shard's stream and checks the scoping rules:
+///
+/// * attempt windows alternate `attempt_start` / `attempt_end`, each pair
+///   carrying the same context, with the marker's `request` field agreeing
+///   with its context stamp;
+/// * every event inside a window carries exactly that window's context;
+/// * every event outside all windows is machine-scoped (no context);
+/// * every `Charge` is request-scoped (charges only exist for requests).
+///
+/// Returns every `(request, attempt)` window the shard ran.
+fn check_shard_scoping(machine: u64, events: &[Event]) -> Vec<RequestCtx> {
+    let mut open: Option<RequestCtx> = None;
+    let mut windows = Vec::new();
+    for e in events {
+        if let Some((marker, request)) = window_marker(e) {
+            let ctx = e.ctx.unwrap_or_else(|| {
+                panic!("machine {machine}: {marker} marker without a request context")
+            });
+            assert_eq!(
+                ctx.request, request,
+                "machine {machine}: {marker} request field disagrees with its context"
+            );
+            if marker == actions::ATTEMPT_START {
+                assert!(
+                    open.is_none(),
+                    "machine {machine}: nested attempt window for request {request}"
+                );
+                open = Some(ctx);
+                windows.push(ctx);
+            } else {
+                assert_eq!(
+                    open.take(),
+                    Some(ctx),
+                    "machine {machine}: attempt_end does not match the open window"
+                );
+            }
+            continue;
+        }
+        match (open, e.ctx) {
+            (Some(window), Some(ctx)) => assert_eq!(
+                ctx,
+                window,
+                "machine {machine}: event {:?} inside request {} attempt {} \
+                 carries a foreign context",
+                e.kind.name(),
+                window.request,
+                window.attempt
+            ),
+            (Some(window), None) => panic!(
+                "machine {machine}: unscoped {:?} event inside request {} attempt {}",
+                e.kind.name(),
+                window.request,
+                window.attempt
+            ),
+            (None, Some(ctx)) => panic!(
+                "machine {machine}: {:?} event carries request {} context \
+                 outside any attempt window",
+                e.kind.name(),
+                ctx.request
+            ),
+            (None, None) => {}
+        }
+        if matches!(e.kind, EventKind::Charge { .. }) {
+            assert!(
+                e.ctx.is_some(),
+                "machine {machine}: charge event without a request context"
+            );
+        }
+    }
+    assert!(
+        open.is_none(),
+        "machine {machine}: attempt window left open at shutdown"
+    );
+    windows
+}
+
+/// Seeded fault schedules across a multi-machine farm: every shard event
+/// is either request-scoped to exactly one valid id or machine-scoped,
+/// window ids are unique farm-wide, and attribution reconstructs each
+/// request's recorded latency exactly.
+#[test]
+fn every_event_is_scoped_to_exactly_one_valid_request() {
+    let mut config = FarmConfig::fast_for_tests(3);
+    config.quarantine_after = 2;
+    let farm = Farm::start(config);
+    let mut admitted = BTreeSet::new();
+    for i in 0..24u64 {
+        if let Submitted::Admitted(id) = farm.submit(RequestSpec::seeded(977 * 131 + i)) {
+            admitted.insert(id);
+        }
+    }
+    let report = farm.shutdown();
+    report.verify_conservation().expect("conservation");
+    assert!(
+        report.audit_shards().is_empty(),
+        "{:?}",
+        report.audit_shards()
+    );
+
+    // Scoping rules per shard, and window uniqueness across the farm: one
+    // (request, attempt) pair can only ever run once, wherever a requeue
+    // landed it.
+    let mut seen: BTreeSet<RequestCtx> = BTreeSet::new();
+    for s in &report.shards {
+        for ctx in check_shard_scoping(s.id, &s.trace.events()) {
+            assert!(
+                admitted.contains(&ctx.request),
+                "machine {}: window for unknown request {}",
+                s.id,
+                ctx.request
+            );
+            assert!(ctx.attempt >= 1 && ctx.attempt <= report.max_attempts);
+            assert!(
+                seen.insert(ctx),
+                "request {} attempt {} ran twice",
+                ctx.request,
+                ctx.attempt
+            );
+        }
+    }
+
+    // Attribution must account for each ran request exactly: the attempt
+    // windows sum to the outcome's recorded latency, attempt numbers are
+    // contiguous from 1, and named categories cover ≥ 99% of the wall.
+    let attr = report.attribution();
+    for o in &report.outcomes {
+        if matches!(o.terminal, Terminal::Shed) {
+            continue;
+        }
+        let r = attr
+            .request(o.id)
+            .unwrap_or_else(|| panic!("request {} ran but has no attribution", o.id));
+        assert_eq!(
+            r.active(),
+            o.latency,
+            "request {}: attempt walls must sum to the recorded latency",
+            o.id
+        );
+        assert_eq!(r.attempts.len() as u32, o.attempts);
+        for (i, a) in r.attempts.iter().enumerate() {
+            assert_eq!(a.attempt, i as u32 + 1, "request {}: attempt gap", o.id);
+        }
+        assert!(
+            r.coverage() >= 0.99,
+            "request {}: only {:.4} of wall time attributed ({:?} unattributed)",
+            o.id,
+            r.coverage(),
+            r.unattributed()
+        );
+    }
+    assert!(attr.min_coverage() >= 0.99, "{}", attr.min_coverage());
+}
+
+/// Requeued-after-quarantine work keeps its original trace id: the
+/// post-requeue attempt appears as a new attempt span under the same
+/// request, never as a fresh id.
+#[test]
+fn requeued_request_keeps_its_trace_id_with_a_new_attempt_span() {
+    let mut config = FarmConfig::fast_for_tests(1);
+    config.quarantine_after = 1; // first failure trips the breaker
+    let farm = Farm::start(config);
+    let id = farm
+        .submit(RequestSpec {
+            app: AppKind::Distcomp,
+            seed: 11,
+            faults: FaultPlan::one(Fault::PowerLossAfter {
+                after: Duration::from_micros(50),
+            }),
+        })
+        .id();
+    let report = farm.shutdown();
+    assert_eq!(report.done(), 1, "outcomes: {:?}", report.outcomes);
+    let o = &report.outcomes[0];
+    assert_eq!(o.requeues, 1, "exactly one requeue for one quarantine");
+    assert!(o.attempts >= 2);
+
+    let attr = report.attribution();
+    let r = attr.request(id).expect("requeued request attributed");
+    assert!(r.done);
+    assert_eq!(
+        r.attempts.len() as u32,
+        o.attempts,
+        "every attempt (pre- and post-requeue) must span under the one trace id"
+    );
+    assert_eq!(r.attempts[0].attempt, 1);
+    assert_eq!(r.attempts[1].attempt, 2);
+    assert_eq!(r.active(), o.latency);
+
+    // The probe sessions that re-admitted the machine are machine-scoped:
+    // between the quarantined attempt and the readmission, no event may
+    // borrow the request's id.
+    let events = report.shards[0].trace.events();
+    let windows = check_shard_scoping(0, &events);
+    assert_eq!(windows.len() as u32, o.attempts);
+    assert!(
+        windows.iter().all(|w| w.request == id),
+        "a single-request farm must only ever scope to that request"
+    );
+}

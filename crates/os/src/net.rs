@@ -166,6 +166,19 @@ impl NetLink {
             }
         }
     }
+
+    /// Reliable one-way delivery that also advances `clock` by the delay
+    /// and charges it to the active request's `net` attribution category.
+    /// The preferred call for protocol code that was previously writing
+    /// `clock.advance(link.one_way_reliable())` by hand.
+    pub fn deliver(&mut self, clock: &SimClock) -> Duration {
+        let d = self.one_way_reliable();
+        clock.advance(d);
+        if let Some(tr) = &self.tracer {
+            tr.charge(clock.now(), "net", d);
+        }
+        d
+    }
 }
 
 #[cfg(test)]

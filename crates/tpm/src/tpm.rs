@@ -208,6 +208,7 @@ impl Tpm {
         self.pend(EventKind::TpmCommand {
             ordinal: spec_name.to_string(),
             locality: 0,
+            dur_ns: u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
         });
     }
 
@@ -1305,6 +1306,7 @@ mod tests {
         assert!(t.take_pending_events().is_empty());
 
         t.set_tracer(flicker_trace::Trace::new());
+        let extend_ns = t.timing().pcr_extend.as_nanos() as u64;
         t.pcr_extend(17, &[0; 20]).unwrap();
         t.skinit_measure(4, b"a PAL").unwrap();
         let events = t.take_pending_events();
@@ -1314,6 +1316,7 @@ mod tests {
                 EventKind::TpmCommand {
                     ordinal: "TPM_Extend".to_string(),
                     locality: 0,
+                    dur_ns: extend_ns,
                 },
                 EventKind::PcrExtend {
                     index: 17,

@@ -30,7 +30,7 @@
 //! rebooting, and hardware reset destroys the launch, the DEV setup, and
 //! the dynamic PCR values.
 
-use crate::{Event, EventKind};
+use crate::{Event, EventKind, Trace, DROPPED_EVENTS_COUNTER};
 use std::time::Duration;
 
 /// The invariant classes the auditor can report.
@@ -264,11 +264,110 @@ pub fn audit_events(events: &[Event]) -> Vec<Violation> {
             | EventKind::PhaseEnd { .. }
             | EventKind::FaultInjected { .. }
             | EventKind::Farm { .. }
+            | EventKind::Charge { .. }
+            | EventKind::Anchor { .. }
             | EventKind::OsSuspend
             | EventKind::OsResume => {}
         }
     }
     violations
+}
+
+/// Outcome of a truncation-aware audit ([`audit_trace`] /
+/// [`audit_events_with_drops`]).
+///
+/// A ring buffer that overflowed has silently discarded its oldest events,
+/// so replaying what's left can vacuously pass: the `DevProtect` that never
+/// happened and the `Skinit` it should have preceded may both be gone. A
+/// truncated stream therefore yields [`AuditVerdict::Inconclusive`] — never
+/// `Clean` — and callers that gate on audits (fault sweep, farm bench, CI)
+/// must treat it as a failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditVerdict {
+    /// The complete stream replayed with no violations.
+    Clean,
+    /// The stream (complete or not) contained violations. When the stream
+    /// was also truncated, `dropped_events` is nonzero.
+    Violations {
+        /// Every violation found, in stream order.
+        violations: Vec<Violation>,
+        /// Events evicted from the ring buffer before the audit ran.
+        dropped_events: u64,
+    },
+    /// The stream replayed clean, but `dropped_events` events were evicted
+    /// before the audit ran, so the verdict proves nothing about the full
+    /// execution.
+    Inconclusive {
+        /// Events evicted from the ring buffer before the audit ran.
+        dropped_events: u64,
+    },
+}
+
+impl AuditVerdict {
+    /// True only for a complete, violation-free stream.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, AuditVerdict::Clean)
+    }
+
+    /// The violations found, if any (empty for `Clean` / `Inconclusive`).
+    pub fn violations(&self) -> &[Violation] {
+        match self {
+            AuditVerdict::Violations { violations, .. } => violations,
+            _ => &[],
+        }
+    }
+
+    /// How many events the ring buffer evicted before the audit.
+    pub fn dropped_events(&self) -> u64 {
+        match self {
+            AuditVerdict::Clean => 0,
+            AuditVerdict::Violations { dropped_events, .. }
+            | AuditVerdict::Inconclusive { dropped_events } => *dropped_events,
+        }
+    }
+}
+
+impl std::fmt::Display for AuditVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditVerdict::Clean => write!(f, "clean"),
+            AuditVerdict::Violations {
+                violations,
+                dropped_events,
+            } => {
+                write!(f, "{} violation(s)", violations.len())?;
+                if *dropped_events > 0 {
+                    write!(f, " (stream truncated: {dropped_events} dropped)")?;
+                }
+                Ok(())
+            }
+            AuditVerdict::Inconclusive { dropped_events } => write!(
+                f,
+                "inconclusive: {dropped_events} event(s) dropped from the ring \
+                 buffer before audit"
+            ),
+        }
+    }
+}
+
+/// Audits an event slice known to be missing `dropped` evicted events.
+pub fn audit_events_with_drops(events: &[Event], dropped: u64) -> AuditVerdict {
+    let violations = audit_events(events);
+    match (violations.is_empty(), dropped) {
+        (true, 0) => AuditVerdict::Clean,
+        (true, dropped_events) => AuditVerdict::Inconclusive { dropped_events },
+        (false, dropped_events) => AuditVerdict::Violations {
+            violations,
+            dropped_events,
+        },
+    }
+}
+
+/// Audits a live trace's flight record, consulting its
+/// [`DROPPED_EVENTS_COUNTER`] so ring-buffer overflow can never masquerade
+/// as a clean run.
+pub fn audit_trace(trace: &Trace) -> AuditVerdict {
+    audit_events_with_drops(&trace.events(), trace.counter(DROPPED_EVENTS_COUNTER))
 }
 
 #[cfg(test)]
@@ -280,10 +379,7 @@ mod tests {
     const SLB_LEN: u64 = 4736;
 
     fn ev(ms: u64, kind: EventKind) -> Event {
-        Event {
-            at: Duration::from_millis(ms),
-            kind,
-        }
+        Event::new(Duration::from_millis(ms), kind)
     }
 
     /// The canonical well-formed session stream the substrates emit.
@@ -325,6 +421,7 @@ mod tests {
                 EventKind::TpmCommand {
                     ordinal: "TPM_Unseal".into(),
                     locality: 0,
+                    dur_ns: 0,
                 },
             ),
             ev(
@@ -498,6 +595,7 @@ mod tests {
             EventKind::TpmCommand {
                 ordinal: "TPM_Unseal".into(),
                 locality: 0,
+                dur_ns: 0,
             },
         )];
         let violations = audit_events(&events);
@@ -558,6 +656,57 @@ mod tests {
         events.extend(clean_session());
         let violations = audit_events(&events);
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn overflowed_ring_buffer_is_inconclusive_not_clean() {
+        // Regression: a ring buffer small enough to evict the session's
+        // DevProtect/Skinit prefix used to replay the truncated suffix
+        // clean. The truncation-aware entry points must refuse to call
+        // that a pass.
+        let trace = Trace::new();
+        trace.set_event_capacity(4);
+        for e in clean_session() {
+            trace.event(e.at, e.kind);
+        }
+        assert!(
+            trace.counter(DROPPED_EVENTS_COUNTER) > 0,
+            "test setup must actually overflow the buffer"
+        );
+        // The truncated suffix happens to replay clean…
+        assert!(audit_events(&trace.events()).is_empty());
+        // …but the verdict must say so honestly.
+        let verdict = audit_trace(&trace);
+        assert!(!verdict.is_clean());
+        match &verdict {
+            AuditVerdict::Inconclusive { dropped_events } => {
+                assert_eq!(*dropped_events, trace.counter(DROPPED_EVENTS_COUNTER));
+            }
+            other => panic!("expected Inconclusive, got {other:?}"),
+        }
+        assert!(verdict.to_string().contains("inconclusive"));
+    }
+
+    #[test]
+    fn complete_stream_audits_clean_and_violations_carry_drop_count() {
+        let trace = Trace::new();
+        for e in clean_session() {
+            trace.event(e.at, e.kind);
+        }
+        assert_eq!(audit_trace(&trace), AuditVerdict::Clean);
+
+        // A violating stream that ALSO dropped events reports both facts.
+        let bad = vec![ev(
+            3,
+            EventKind::Skinit {
+                slb_base: SLB_BASE,
+                slb_len: SLB_LEN,
+            },
+        )];
+        let verdict = audit_events_with_drops(&bad, 9);
+        assert_eq!(verdict.violations().len(), 1);
+        assert_eq!(verdict.dropped_events(), 9);
+        assert!(verdict.to_string().contains("truncated"), "{verdict}");
     }
 
     #[test]

@@ -14,6 +14,25 @@
 
 use std::time::Duration;
 
+/// Dapper-style request context: identifies the farm request (trace id) and
+/// attempt (span within the trace) an event belongs to.
+///
+/// Minted by the farm coordinator at admission and stamped onto the serving
+/// shard's recorder for the duration of each attempt, so every event the
+/// substrate emits while working on a request carries the owner's id
+/// without threading a parameter through the whole protocol stack. Events
+/// recorded with no context in force are *machine-scoped* (provisioning,
+/// probe sessions) or *coordinator-scoped* (queue decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestCtx {
+    /// The farm request id (the trace id; unique per submitted request).
+    pub request: u64,
+    /// 1-based attempt number (the parent span id within the trace: a
+    /// retried or requeued request keeps its trace id and opens a new
+    /// attempt span).
+    pub attempt: u32,
+}
+
 /// One recorded platform action.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
@@ -21,6 +40,19 @@ pub struct Event {
     pub at: Duration,
     /// What happened.
     pub kind: EventKind,
+    /// The owning request, when one was in force on the recorder.
+    pub ctx: Option<RequestCtx>,
+}
+
+impl Event {
+    /// An event with no request context (machine- or coordinator-scoped).
+    pub fn new(at: Duration, kind: EventKind) -> Event {
+        Event {
+            at,
+            kind,
+            ctx: None,
+        }
+    }
 }
 
 /// The kinds of actions the flight recorder distinguishes.
@@ -53,6 +85,30 @@ pub enum EventKind {
         ordinal: String,
         /// Locality the command was issued at (0 for the OS driver path).
         locality: u8,
+        /// Virtual time the command spent executing, in nanoseconds
+        /// (per-ordinal drill-down under the `tpm` attribution category).
+        dur_ns: u64,
+    },
+    /// Virtual time charged against the active request under a named
+    /// attribution category (`cpu`, `tpm`, `net`, `skinit`, `tpm_backoff`,
+    /// `retry_backoff`) or a `warm_saved.*` estimate (reported separately,
+    /// not part of wall time). Emitted only while a [`RequestCtx`] is in
+    /// force, so idle shards and provisioning stay cheap.
+    Charge {
+        /// Attribution category the time belongs to.
+        op: String,
+        /// Charged duration in nanoseconds.
+        ns: u64,
+    },
+    /// Clock-alignment anchor: the farm coordinator pairs its own
+    /// wall-clock stamp (the event's `at`) with the serving shard's
+    /// virtual clock reading at the same scheduling instant, letting the
+    /// timeline merge place per-shard events on the farm-wide axis.
+    Anchor {
+        /// Shard index whose clock is being anchored.
+        machine: u64,
+        /// The shard's virtual clock reading, in nanoseconds.
+        shard_ns: u64,
     },
     /// A PCR was extended.
     PcrExtend {
@@ -136,6 +192,8 @@ impl EventKind {
             EventKind::PhaseStart { .. } => "phase_start",
             EventKind::PhaseEnd { .. } => "phase_end",
             EventKind::TpmCommand { .. } => "tpm_command",
+            EventKind::Charge { .. } => "charge",
+            EventKind::Anchor { .. } => "anchor",
             EventKind::PcrExtend { .. } => "pcr_extend",
             EventKind::PcrReset { .. } => "pcr_reset",
             EventKind::DevProtect { .. } => "dev_protect",
@@ -194,9 +252,22 @@ impl Event {
             EventKind::PhaseStart { name } | EventKind::PhaseEnd { name } => {
                 push_str_field(&mut s, "name", name);
             }
-            EventKind::TpmCommand { ordinal, locality } => {
+            EventKind::TpmCommand {
+                ordinal,
+                locality,
+                dur_ns,
+            } => {
                 push_str_field(&mut s, "ordinal", ordinal);
                 push_u64_field(&mut s, "locality", u64::from(*locality));
+                push_u64_field(&mut s, "dur_ns", *dur_ns);
+            }
+            EventKind::Charge { op, ns } => {
+                push_str_field(&mut s, "op", op);
+                push_u64_field(&mut s, "ns", *ns);
+            }
+            EventKind::Anchor { machine, shard_ns } => {
+                push_u64_field(&mut s, "machine", *machine);
+                push_u64_field(&mut s, "shard_ns", *shard_ns);
             }
             EventKind::PcrExtend { index, locality } | EventKind::PcrReset { index, locality } => {
                 push_u64_field(&mut s, "index", u64::from(*index));
@@ -231,6 +302,10 @@ impl Event {
             }
             EventKind::OsSuspend | EventKind::OsResume | EventKind::Reboot => {}
         }
+        if let Some(ctx) = self.ctx {
+            push_u64_field(&mut s, "req", ctx.request);
+            push_u64_field(&mut s, "attempt", u64::from(ctx.attempt));
+        }
         s.push('}');
         s
     }
@@ -262,6 +337,16 @@ impl Event {
             "tpm_command" => EventKind::TpmCommand {
                 ordinal: req_str("ordinal")?,
                 locality: req_u64("locality")? as u8,
+                // Optional for lines written before durations were recorded.
+                dur_ns: field_u64(line, "dur_ns").unwrap_or(0),
+            },
+            "charge" => EventKind::Charge {
+                op: req_str("op")?,
+                ns: req_u64("ns")?,
+            },
+            "anchor" => EventKind::Anchor {
+                machine: req_u64("machine")?,
+                shard_ns: req_u64("shard_ns")?,
             },
             "pcr_extend" => EventKind::PcrExtend {
                 index: req_u64("index")? as u32,
@@ -303,7 +388,11 @@ impl Event {
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
-        Ok(Event { at, kind })
+        let ctx = field_u64(line, "req").map(|request| RequestCtx {
+            request,
+            attempt: field_u64(line, "attempt").unwrap_or(1) as u32,
+        });
+        Ok(Event { at, kind, ctx })
     }
 }
 
@@ -382,6 +471,15 @@ mod tests {
             EventKind::TpmCommand {
                 ordinal: "TPM_Seal".into(),
                 locality: 0,
+                dur_ns: 417_000,
+            },
+            EventKind::Charge {
+                op: "tpm_backoff".into(),
+                ns: 1_000_000,
+            },
+            EventKind::Anchor {
+                machine: 3,
+                shard_ns: 55_000_000,
             },
             EventKind::PcrExtend {
                 index: 17,
@@ -417,18 +515,56 @@ mod tests {
                 machine: 3,
             },
         ] {
-            round_trip(Event { at, kind });
+            round_trip(Event::new(at, kind.clone()));
+            round_trip(Event {
+                at,
+                kind,
+                ctx: Some(RequestCtx {
+                    request: 42,
+                    attempt: 3,
+                }),
+            });
         }
     }
 
     #[test]
     fn strings_with_specials_round_trip() {
-        round_trip(Event {
-            at: Duration::ZERO,
-            kind: EventKind::FaultInjected {
+        round_trip(Event::new(
+            Duration::ZERO,
+            EventKind::FaultInjected {
                 fault: "weird \"name\"\\with\nspecials".into(),
             },
-        });
+        ));
+    }
+
+    #[test]
+    fn request_field_does_not_shadow_ctx() {
+        // A `farm` event has its own "request" field; the optional ctx
+        // "req" field must neither collide with it on write nor be
+        // mistaken for it on read.
+        let e = Event {
+            at: Duration::from_micros(5),
+            kind: EventKind::Farm {
+                action: "running".into(),
+                request: 9,
+                machine: 1,
+            },
+            ctx: Some(RequestCtx {
+                request: 9,
+                attempt: 2,
+            }),
+        };
+        round_trip(e.clone());
+        let bare = Event::new(
+            Duration::from_micros(5),
+            EventKind::Farm {
+                action: "running".into(),
+                request: 9,
+                machine: 1,
+            },
+        );
+        let back = Event::from_jsonl(&bare.to_jsonl()).unwrap();
+        assert_eq!(back.ctx, None, "no ctx must parse as no ctx");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! * [`prometheus_text`] — Prometheus text exposition of counters (as
 //!   `_total`) and histograms (cumulative `le` buckets in seconds).
 
-use crate::{Event, EventKind, Trace};
+use crate::{Event, EventKind, RequestCtx, Trace};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -37,6 +37,24 @@ fn us(d: Duration) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
+/// Splices the optional request-context fields into an args object string
+/// (which always ends in `}`).
+fn with_ctx(mut args: String, ctx: Option<RequestCtx>) -> String {
+    let Some(ctx) = ctx else {
+        return args;
+    };
+    args.pop();
+    if !args.ends_with('{') {
+        args.push(',');
+    }
+    let _ = write!(
+        args,
+        "\"req\":{},\"attempt\":{}}}",
+        ctx.request, ctx.attempt
+    );
+    args
+}
+
 fn event_args(kind: &EventKind) -> String {
     match kind {
         EventKind::SessionStart { id } | EventKind::SessionEnd { id } => {
@@ -45,10 +63,20 @@ fn event_args(kind: &EventKind) -> String {
         EventKind::PhaseStart { name } | EventKind::PhaseEnd { name } => {
             format!("{{\"name\":\"{}\"}}", escape_json(name))
         }
-        EventKind::TpmCommand { ordinal, locality } => format!(
-            "{{\"ordinal\":\"{}\",\"locality\":{locality}}}",
+        EventKind::TpmCommand {
+            ordinal,
+            locality,
+            dur_ns,
+        } => format!(
+            "{{\"ordinal\":\"{}\",\"locality\":{locality},\"dur_ns\":{dur_ns}}}",
             escape_json(ordinal)
         ),
+        EventKind::Charge { op, ns } => {
+            format!("{{\"op\":\"{}\",\"ns\":{ns}}}", escape_json(op))
+        }
+        EventKind::Anchor { machine, shard_ns } => {
+            format!("{{\"machine\":{machine},\"shard_ns\":{shard_ns}}}")
+        }
         EventKind::PcrExtend { index, locality } | EventKind::PcrReset { index, locality } => {
             format!("{{\"index\":{index},\"locality\":{locality}}}")
         }
@@ -88,10 +116,11 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         };
         entries.push(format!(
             "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"span\",\"pid\":1,\"tid\":1,\
-             \"ts\":{},\"dur\":{}}}",
+             \"ts\":{},\"dur\":{},\"args\":{}}}",
             escape_json(span.name),
             us(span.start),
             us(duration),
+            with_ctx("{}".to_string(), span.ctx),
         ));
     }
     for event in trace.events() {
@@ -100,7 +129,7 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
              \"ts\":{},\"s\":\"t\",\"args\":{}}}",
             escape_json(event.kind.name()),
             us(event.at),
-            event_args(&event.kind),
+            with_ctx(event_args(&event.kind), event.ctx),
         ));
     }
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
@@ -202,6 +231,7 @@ mod tests {
             EventKind::TpmCommand {
                 ordinal: "TPM_Seal".into(),
                 locality: 0,
+                dur_ns: 20_000_000,
             },
         );
         t.event(Duration::from_micros(50), EventKind::OsResume);
@@ -261,5 +291,84 @@ mod tests {
             .collect();
         assert_eq!(counts.last(), Some(&2));
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn metric_names_sanitize_dots_and_dashes() {
+        // Real trace names mix `.` separators and `-` (e.g. ordinal or
+        // span names); every exposed metric must be Prometheus-legal:
+        // [a-zA-Z_:][a-zA-Z0-9_:]*.
+        let t = Trace::new();
+        t.counter_add("warm.seal-memo.hit", 1);
+        t.counter_add("net.rtt-samples", 2);
+        t.observe("phase.seal-unseal", Duration::from_micros(7));
+        let text = prometheus_text(&t);
+        assert!(
+            text.contains("flicker_warm_seal_memo_hit_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("flicker_net_rtt_samples_total 2"), "{text}");
+        assert!(
+            text.contains("# TYPE flicker_phase_seal_unseal_seconds histogram"),
+            "{text}"
+        );
+        let legal = |name: &str| {
+            !name.is_empty()
+                && !name.starts_with(|c: char| c.is_ascii_digit())
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let metric = line
+                .split([' ', '{'])
+                .next()
+                .expect("every sample line starts with a metric name");
+            assert!(legal(metric), "illegal metric name {metric:?} in {line:?}");
+        }
+    }
+
+    #[test]
+    fn prometheus_scrape_format_golden() {
+        // Golden test for the exact exposition text of a small trace:
+        // catches accidental format drift (ordering, TYPE lines, le
+        // rendering) that a contains()-based test would miss.
+        let t = Trace::new();
+        t.counter_add("tpm.retry", 3);
+        t.observe("net.rtt", Duration::from_micros(512));
+        t.observe("net.rtt", Duration::from_micros(900));
+        let text = prometheus_text(&t);
+        let expected = "\
+# TYPE flicker_tpm_retry_total counter
+flicker_tpm_retry_total 3
+# TYPE flicker_net_rtt_seconds histogram
+flicker_net_rtt_seconds_bucket{le=\"0.000524288\"} 1
+flicker_net_rtt_seconds_bucket{le=\"0.000917504\"} 2
+flicker_net_rtt_seconds_bucket{le=\"+Inf\"} 2
+flicker_net_rtt_seconds_sum 0.001412
+flicker_net_rtt_seconds_count 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn chrome_args_carry_request_ctx() {
+        let t = Trace::new();
+        t.set_request_ctx(Some(crate::RequestCtx {
+            request: 11,
+            attempt: 2,
+        }));
+        t.event(Duration::from_micros(1), EventKind::OsSuspend);
+        let s = t.span_start("phase.skinit", Duration::from_micros(2));
+        t.span_end(s, Duration::from_micros(3));
+        let json = chrome_trace_json(&t);
+        assert!(
+            json.contains("\"args\":{\"req\":11,\"attempt\":2}"),
+            "empty-args event must gain ctx fields: {json}"
+        );
+        assert!(
+            json.matches("\"req\":11").count() >= 2,
+            "span args must carry ctx too: {json}"
+        );
     }
 }

@@ -31,13 +31,23 @@
 //! farm's sharded service layer does: one private trace per machine shard,
 //! audited independently (per-shard virtual clocks mean timestamps are only
 //! comparable within one shard's stream).
+//!
+//! For the farm, the recorder is also *request-scoped*: the coordinator
+//! installs a [`RequestCtx`] on the serving shard's handle for the duration
+//! of each attempt ([`Trace::set_request_ctx`]), every event and span is
+//! stamped with it, and substrates charge virtual time to named attribution
+//! categories via [`Trace::charge`]. The [`attribution`] module folds those
+//! per-shard streams into per-request critical-path breakdowns, a farm-wide
+//! timeline (aligned through coordinator [`EventKind::Anchor`] events), and
+//! SLO verdicts.
 
+pub mod attribution;
 pub mod audit;
 mod event;
 pub mod export;
 mod hist;
 
-pub use event::{Event, EventKind};
+pub use event::{Event, EventKind, RequestCtx};
 pub use hist::DurationHistogram;
 
 use std::collections::{BTreeMap, VecDeque};
@@ -70,6 +80,9 @@ pub struct Span {
     pub depth: usize,
     /// The enclosing span, if any.
     pub parent: Option<SpanId>,
+    /// The farm request the span belongs to, when one was in force on the
+    /// recorder at open time.
+    pub ctx: Option<RequestCtx>,
 }
 
 /// One logged PAL/session operation: a typed replacement for the old
@@ -92,6 +105,7 @@ struct Inner {
     events: VecDeque<Event>,
     event_capacity: usize,
     next_session_id: u64,
+    current_ctx: Option<RequestCtx>,
 }
 
 impl Default for Inner {
@@ -104,6 +118,7 @@ impl Default for Inner {
             events: VecDeque::new(),
             event_capacity: DEFAULT_EVENT_CAPACITY,
             next_session_id: 0,
+            current_ctx: None,
         }
     }
 }
@@ -146,12 +161,14 @@ impl Trace {
         let parent = inner.open.last().copied();
         let depth = inner.open.len();
         let id = SpanId(inner.spans.len());
+        let ctx = inner.current_ctx;
         inner.spans.push(Span {
             name,
             start: now,
             duration: None,
             depth,
             parent,
+            ctx,
         });
         inner.open.push(id);
         id
@@ -177,12 +194,14 @@ impl Trace {
         let mut inner = self.lock();
         let parent = inner.open.last().copied();
         let depth = inner.open.len();
+        let ctx = inner.current_ctx;
         inner.spans.push(Span {
             name,
             start,
             duration: Some(duration),
             depth,
             parent,
+            ctx,
         });
     }
 
@@ -216,12 +235,51 @@ impl Trace {
             .collect()
     }
 
-    /// Records a flight-recorder event at virtual time `at`. When the ring
+    /// Records a flight-recorder event at virtual time `at`, stamped with
+    /// the current request context (if one is in force). When the ring
     /// buffer is full the oldest event is evicted and
     /// [`DROPPED_EVENTS_COUNTER`] is incremented.
     pub fn event(&self, at: Duration, kind: EventKind) {
         let mut inner = self.lock();
-        inner.events.push_back(Event { at, kind });
+        let ctx = inner.current_ctx;
+        inner.events.push_back(Event { at, kind, ctx });
+        inner.enforce_event_capacity();
+    }
+
+    /// Sets (or with `None`, clears) the request context stamped onto every
+    /// subsequent event and span. The farm worker installs the admitted
+    /// request's context on the shard's recorder just before each attempt
+    /// and clears it when the attempt leaves the shard, so the whole
+    /// substrate below — machine, TPM, OS, network — attributes its work
+    /// without knowing requests exist.
+    pub fn set_request_ctx(&self, ctx: Option<RequestCtx>) {
+        self.lock().current_ctx = ctx;
+    }
+
+    /// The request context currently in force, if any.
+    pub fn request_ctx(&self) -> Option<RequestCtx> {
+        self.lock().current_ctx
+    }
+
+    /// Charges virtual time against the active request under the named
+    /// attribution category (see [`attribution`]). A no-op when no request
+    /// context is in force: machine-scoped work (provisioning, probes) is
+    /// not part of any request's latency, and skipping the event keeps the
+    /// non-farm paths' flight records unchanged.
+    pub fn charge(&self, at: Duration, op: &'static str, d: Duration) {
+        let mut inner = self.lock();
+        let Some(ctx) = inner.current_ctx else {
+            return;
+        };
+        if d.is_zero() {
+            return;
+        }
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        inner.events.push_back(Event {
+            at,
+            kind: EventKind::Charge { op: op.into(), ns },
+            ctx: Some(ctx),
+        });
         inner.enforce_event_capacity();
     }
 
@@ -254,6 +312,13 @@ impl Trace {
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Events evicted from the ring buffer so far (the
+    /// [`DROPPED_EVENTS_COUNTER`] counter). Nonzero means [`Trace::events`]
+    /// returns a truncated stream and any audit over it is inconclusive.
+    pub fn dropped_events(&self) -> u64 {
+        self.counter(DROPPED_EVENTS_COUNTER)
     }
 
     /// All counters, sorted by name.
@@ -466,6 +531,52 @@ mod tests {
         }
         assert_eq!(t.event_count(), 2, "capacity survives reset");
         assert_eq!(t.counter(DROPPED_EVENTS_COUNTER), 1);
+    }
+
+    #[test]
+    fn request_ctx_stamps_events_and_spans() {
+        let t = Trace::new();
+        t.event(us(1), EventKind::OsSuspend);
+        let ctx = RequestCtx {
+            request: 7,
+            attempt: 2,
+        };
+        t.set_request_ctx(Some(ctx));
+        t.event(us(2), EventKind::OsResume);
+        let s = t.span_start("phase.skinit", us(3));
+        t.span_end(s, us(4));
+        t.set_request_ctx(None);
+        t.event(us(5), EventKind::Reboot);
+
+        let events = t.events();
+        assert_eq!(events[0].ctx, None);
+        assert_eq!(events[1].ctx, Some(ctx));
+        assert_eq!(events[2].ctx, None);
+        assert_eq!(t.spans()[0].ctx, Some(ctx));
+    }
+
+    #[test]
+    fn charge_requires_active_ctx_and_skips_zero() {
+        let t = Trace::new();
+        t.charge(us(1), "cpu", us(10));
+        assert_eq!(t.event_count(), 0, "no ctx: charge is a no-op");
+        t.set_request_ctx(Some(RequestCtx {
+            request: 1,
+            attempt: 1,
+        }));
+        t.charge(us(2), "cpu", Duration::ZERO);
+        assert_eq!(t.event_count(), 0, "zero charge is elided");
+        t.charge(us(3), "tpm", us(4));
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            EventKind::Charge {
+                op: "tpm".into(),
+                ns: 4_000,
+            }
+        );
+        assert!(events[0].ctx.is_some());
     }
 
     #[test]

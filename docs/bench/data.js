@@ -199,18 +199,7 @@ window.BENCHMARK_DATA = {
             "name": "sessions",
             "unit": "",
             "value": 250
-          }
-        ],
-        "commit": {
-          "id": "7c1e090",
-          "message": "",
-          "url": ""
-        },
-        "date": 2,
-        "tool": "customSmallerIsBetter"
-      },
-      {
-        "benches": [
+          },
           {
             "name": "warm/ssh/cold_p50_ms",
             "unit": "ms",
@@ -254,6 +243,217 @@ window.BENCHMARK_DATA = {
         ],
         "commit": {
           "id": "7c1e090",
+          "message": "",
+          "url": ""
+        },
+        "date": 2,
+        "tool": "customSmallerIsBetter"
+      },
+      {
+        "benches": [
+          {
+            "name": "farm/done",
+            "unit": "",
+            "value": 200
+          },
+          {
+            "name": "farm/failed",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm/machines",
+            "unit": "",
+            "value": 8
+          },
+          {
+            "name": "farm/p50_ms",
+            "unit": "ms",
+            "value": 1328.082905
+          },
+          {
+            "name": "farm/p95_ms",
+            "unit": "ms",
+            "value": 3342.772148
+          },
+          {
+            "name": "farm/p99_ms",
+            "unit": "ms",
+            "value": 3871.851545
+          },
+          {
+            "name": "farm/quarantines",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm/requests",
+            "unit": "",
+            "value": 200
+          },
+          {
+            "name": "farm/requeues",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm/retries",
+            "unit": "",
+            "value": 84
+          },
+          {
+            "name": "farm/sessions_per_sec",
+            "unit": "",
+            "value": 58.95614312324069
+          },
+          {
+            "name": "farm/shed",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm/timed_out",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/categories/cpu_ms",
+            "unit": "ms",
+            "value": 21020.96585
+          },
+          {
+            "name": "farm_attr/categories/net_ms",
+            "unit": "ms",
+            "value": 1972.00613
+          },
+          {
+            "name": "farm_attr/categories/queue_wait_ms",
+            "unit": "ms",
+            "value": 2077.0760290000003
+          },
+          {
+            "name": "farm_attr/categories/retry_backoff_ms",
+            "unit": "ms",
+            "value": 518.8623180000001
+          },
+          {
+            "name": "farm_attr/categories/skinit_ms",
+            "unit": "ms",
+            "value": 4923.40024
+          },
+          {
+            "name": "farm_attr/categories/tpm_backoff_ms",
+            "unit": "ms",
+            "value": 95
+          },
+          {
+            "name": "farm_attr/categories/tpm_ms",
+            "unit": "ms",
+            "value": 304767.15264
+          },
+          {
+            "name": "farm_attr/categories/warm_saved_oiap_ms",
+            "unit": "ms",
+            "value": 663
+          },
+          {
+            "name": "farm_attr/categories/warm_saved_seal_ms",
+            "unit": "ms",
+            "value": 448.79999999999995
+          },
+          {
+            "name": "farm_attr/min_coverage",
+            "unit": "",
+            "value": 1
+          },
+          {
+            "name": "farm_attr/outliers",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/unattributed_ms",
+            "unit": "ms",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/workloads/ca/breaches",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/workloads/ca/burn",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/workloads/ca/worst_ms",
+            "unit": "ms",
+            "value": 2433.802977
+          },
+          {
+            "name": "farm_attr/workloads/distcomp/breaches",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/workloads/distcomp/burn",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/workloads/distcomp/worst_ms",
+            "unit": "ms",
+            "value": 1925.083473
+          },
+          {
+            "name": "farm_attr/workloads/rootkit/breaches",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/workloads/rootkit/burn",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/workloads/rootkit/worst_ms",
+            "unit": "ms",
+            "value": 2141.206234
+          },
+          {
+            "name": "farm_attr/workloads/ssh/breaches",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/workloads/ssh/burn",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/workloads/ssh/worst_ms",
+            "unit": "ms",
+            "value": 4339.172439
+          },
+          {
+            "name": "farm_attr/workloads/storage/breaches",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/workloads/storage/burn",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "farm_attr/workloads/storage/worst_ms",
+            "unit": "ms",
+            "value": 3900.670333
+          }
+        ],
+        "commit": {
+          "id": "1333357",
           "message": "",
           "url": ""
         },

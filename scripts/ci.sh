@@ -27,11 +27,20 @@ cargo run --release -p flicker-bench --bin perf_baseline -- --quick --audit \
 cargo run --release -p flicker-bench --bin perf_baseline -- --check target/BENCH_perf_baseline_quick.json
 cargo run --release -p flicker-bench --bin perf_baseline -- --check BENCH_perf_baseline.json
 # Farm gate: a quick farm run (2 machines, seeded faults) must finish with
-# zero lost / zero duplicated requests and audit-clean per-machine flight
-# records; the trajectory line goes under target/ so the committed file
-# only carries full runs.
+# zero lost / zero duplicated requests, audit-clean (untruncated)
+# per-machine flight records, >=99% of every request's wall time
+# attributed, and every workload inside its SLO error budget; the
+# trajectory line goes under target/ so the committed file only carries
+# full runs, and the flight record is persisted for the offline
+# attribution pass below.
 cargo run --release -p flicker-bench --bin farm_bench -- --quick \
-  --trajectory target/BENCH_trajectory_quick.jsonl
+  --trajectory target/BENCH_trajectory_quick.jsonl \
+  --flight-dir target/farm_flight_quick
+# Attribution gate: re-run the attribution + SLO checks offline from the
+# persisted flight record, proving the on-disk format round-trips and the
+# standalone tool reaches the same verdict as the live run.
+cargo run --release -p flicker-bench --bin flicker_trace_tool -- \
+  attribute --from target/farm_flight_quick
 # Warm-path gate (§7.6): a quick cold-vs-warm run must show the warm p50
 # strictly below the cold p50, leak zero auth sessions, keep every flight
 # record audit-clean, and not regress against the committed warm baseline.
