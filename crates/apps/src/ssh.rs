@@ -341,6 +341,109 @@ impl SshClient {
     }
 }
 
+// ----- Bytecode password gate -----------------------------------------------
+//
+// The native login PAL above keeps the *cleartext password* off the
+// untrusted OS; the comparison itself, though, is native Rust the static
+// verifier cannot see. This section moves the secret comparison into
+// statically verified PalVM bytecode: `SlbImage::build` runs the
+// constant-time / secret-flow analysis over the gate program, so a gate
+// with a secret-dependent branch (`progs::password_gate_leaky`) cannot
+// even be built, let alone launched.
+
+/// Measured identity of the native enrollment PAL (it seals the password
+/// record *for* the bytecode gate, §4.3.1's "different future PAL").
+pub const SSH_GATE_ENROLL_IDENTITY: &[u8] = b"flicker-ssh-gate-enroll v1.0";
+
+/// Fixed width of the gate's password record (what the bytecode compares).
+pub const GATE_RECORD_LEN: usize = 32;
+
+/// Encodes a password into the gate's fixed-width record:
+/// `len(1) ‖ password ‖ 0-padding`. The length prefix keeps `"abc"` and
+/// `"abc\0"` distinct under the fixed-width comparison.
+pub fn gate_record(password: &[u8]) -> FlickerResult<[u8; GATE_RECORD_LEN]> {
+    if password.len() >= GATE_RECORD_LEN {
+        return Err(FlickerError::Protocol("password too long for gate record"));
+    }
+    let mut rec = [0u8; GATE_RECORD_LEN];
+    rec[0] = password.len() as u8;
+    rec[1..1 + password.len()].copy_from_slice(password);
+    Ok(rec)
+}
+
+/// The gate bytecode as a launchable SLB. `SlbImage::build` statically
+/// verifies it — memory safety, termination, *and* the `ct-*` checks.
+pub fn password_gate_slb() -> FlickerResult<SlbImage> {
+    SlbImage::build(
+        PalPayload::Bytecode(flicker_palvm::progs::password_gate()),
+        SlbOptions::default(),
+    )
+}
+
+/// Enrollment PAL: seals the record so only the verified gate bytecode
+/// (by its measured PCR 17 identity) can ever unseal it.
+struct GateEnrollPal {
+    target_pcr17: [u8; 20],
+}
+impl NativePal for GateEnrollPal {
+    fn run(&self, ctx: &mut PalContext<'_>) -> FlickerResult<()> {
+        let record = ctx.inputs().to_vec();
+        let blob = ctx.seal_for_pal(&record, self.target_pcr17)?;
+        ctx.write_output(blob.as_bytes())
+    }
+}
+
+/// A server-side password gate whose secret comparison runs as verified
+/// constant-time bytecode inside a Flicker session.
+pub struct PasswordGate {
+    slb: SlbImage,
+    sealed_record: SealedBlob,
+}
+
+impl PasswordGate {
+    /// Enrolls `password`: one Flicker session seals its record for the
+    /// gate bytecode's measured identity.
+    pub fn enroll(os: &mut Os, password: &[u8]) -> FlickerResult<Self> {
+        let slb = password_gate_slb()?;
+        let target_pcr17 = slb.expected_pcr17_after_skinit(flicker_core::DEFAULT_SLB_BASE);
+        let record = gate_record(password)?;
+        let enroll = SlbImage::build(
+            PalPayload::Native {
+                identity: SSH_GATE_ENROLL_IDENTITY.to_vec(),
+                program: Arc::new(GateEnrollPal { target_pcr17 }),
+            },
+            SlbOptions::default(),
+        )?;
+        let rec = run_session(os, &enroll, &SessionParams::with_inputs(record.to_vec()))?;
+        rec.pal_result.clone().map_err(FlickerError::PalFault)?;
+        Ok(PasswordGate {
+            slb,
+            sealed_record: SealedBlob::from_bytes(rec.outputs),
+        })
+    }
+
+    /// Checks `candidate` in one gate session. The gate unseals the
+    /// enrolled record, folds the byte-wise difference over the full
+    /// fixed width, and releases only `sha1(accumulator)`; the host
+    /// accepts iff that digest equals `sha1(0)` — compared, like every
+    /// host-side secret comparison, with `ct_eq`.
+    pub fn check(&self, os: &mut Os, candidate: &[u8]) -> FlickerResult<bool> {
+        let Ok(record) = gate_record(candidate) else {
+            // An overlong candidate cannot match any enrollable record.
+            return Ok(false);
+        };
+        let blob = self.sealed_record.as_bytes();
+        let mut inputs = Vec::with_capacity(GATE_RECORD_LEN + 4 + blob.len());
+        inputs.extend_from_slice(&record);
+        inputs.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        inputs.extend_from_slice(blob);
+        let rec = run_session(os, &self.slb, &SessionParams::with_inputs(inputs))?;
+        rec.pal_result.clone().map_err(FlickerError::PalFault)?;
+        let accept = flicker_crypto::sha1::sha1(&[0u8]);
+        Ok(flicker_crypto::ct_eq(&rec.outputs, &accept))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,5 +635,59 @@ mod tests {
             .server
             .login(&mut w.os, &mut w.link, "mallory", &ct, nonce)
             .is_err());
+    }
+
+    #[test]
+    fn bytecode_gate_accepts_only_the_enrolled_password() {
+        let mut w = world(68, "alice", b"hunter2");
+        let gate = PasswordGate::enroll(&mut w.os, b"hunter2").unwrap();
+        assert!(gate.check(&mut w.os, b"hunter2").unwrap());
+        assert!(!gate.check(&mut w.os, b"hunter3").unwrap());
+        assert!(!gate.check(&mut w.os, b"").unwrap());
+        // Prefix + zero-padding must not collide with the real password.
+        assert!(!gate.check(&mut w.os, b"hunter2\0").unwrap());
+        // Overlong candidates are rejected without a session.
+        assert!(!gate.check(&mut w.os, &[b'a'; GATE_RECORD_LEN]).unwrap());
+    }
+
+    #[test]
+    fn gate_blob_only_unseals_inside_the_gate_bytecode() {
+        // A different (leaky-identity) bytecode PAL measuring differently
+        // cannot unseal the enrolled record: the gate session faults.
+        let mut w = world(69, "alice", b"hunter2");
+        let gate = PasswordGate::enroll(&mut w.os, b"hunter2").unwrap();
+        let other = SlbImage::build_unverified(
+            PalPayload::Bytecode(flicker_palvm::progs::password_gate_leaky()),
+            SlbOptions::default(),
+        )
+        .unwrap();
+        let blob = gate.sealed_record.as_bytes();
+        let mut inputs = Vec::new();
+        inputs.extend_from_slice(&gate_record(b"hunter2").unwrap());
+        inputs.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        inputs.extend_from_slice(blob);
+        let rec = run_session(&mut w.os, &other, &SessionParams::with_inputs(inputs)).unwrap();
+        assert!(
+            rec.pal_result.is_err(),
+            "unseal must fail under a different PCR 17"
+        );
+    }
+
+    #[test]
+    fn leaky_gate_bytecode_cannot_be_built() {
+        // The early-exit comparison loop is exactly what the ct pass
+        // rejects: the builder refuses the image outright.
+        let err = SlbImage::build(
+            PalPayload::Bytecode(flicker_palvm::progs::password_gate_leaky()),
+            SlbOptions::default(),
+        )
+        .unwrap_err();
+        let FlickerError::Verification(errors) = err else {
+            panic!("expected a verification rejection, got {err:?}");
+        };
+        assert!(
+            errors.iter().any(|e| e.contains("[ct-")),
+            "rejection must cite a constant-time finding: {errors:?}"
+        );
     }
 }

@@ -43,8 +43,8 @@ pub use secure_channel::{
 };
 pub use session::{
     hashing_stub_bytes, run_session, SessionParams, SessionRecord, SessionTimings,
-    DEFAULT_SLB_BASE, HASHING_STUB_SIZE, PHASE_SPAN_NAMES, REGION_LEN, VERIFY_ACCEPT_COUNTER,
-    VERIFY_REJECT_COUNTER, VERIFY_SPAN_NAME,
+    ANALYZE_SPAN_NAME, CT_ACCEPT_COUNTER, CT_REJECT_COUNTER, DEFAULT_SLB_BASE, HASHING_STUB_SIZE,
+    PHASE_SPAN_NAMES, REGION_LEN, VERIFY_ACCEPT_COUNTER, VERIFY_REJECT_COUNTER, VERIFY_SPAN_NAME,
 };
 pub use slb::{
     PalPayload, SlbImage, SlbOptions, LARGE_PAL_MAX, OUTPUTS_MAX, OUTPUTS_OFFSET, OVERFLOW_OFFSET,

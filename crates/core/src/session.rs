@@ -160,6 +160,17 @@ pub const VERIFY_ACCEPT_COUNTER: &str = "verify.accept";
 /// on the record).
 pub const VERIFY_REJECT_COUNTER: &str = "verify.reject";
 
+/// Span name for the constant-time / secret-flow analysis phase (the
+/// `ct-*` checks run as part of verification; this span attributes their
+/// verdict separately so dashboards can distinguish a memory-safety
+/// rejection from a timing-channel one).
+pub const ANALYZE_SPAN_NAME: &str = "phase.analyze";
+/// Counter bumped when a bytecode payload has no `ct-*` findings.
+pub const CT_ACCEPT_COUNTER: &str = "verify.ct_accept";
+/// Counter bumped when a bytecode payload has `ct-*` findings (again,
+/// reachable only via `SlbImage::build_unverified`).
+pub const CT_REJECT_COUNTER: &str = "verify.ct_reject";
+
 fn phase_start(tracer: &Option<Trace>, clock: &SimClock, name: &'static str) -> Option<SpanId> {
     tracer.as_ref().map(|t| {
         t.event(
@@ -314,6 +325,21 @@ pub fn run_session(
             );
         }
         phase_end(&tracer, &clock, VERIFY_SPAN_NAME, span);
+        // The ct verdict is a subset of the findings above; a separate
+        // span + counter pair keeps timing-channel rejections visible
+        // without re-running the analysis.
+        let span = phase_start(&tracer, &clock, ANALYZE_SPAN_NAME);
+        if let Some(t) = tracer.as_ref() {
+            t.counter_add(
+                if verdict.ct_clean() {
+                    CT_ACCEPT_COUNTER
+                } else {
+                    CT_REJECT_COUNTER
+                },
+                1,
+            );
+        }
+        phase_end(&tracer, &clock, ANALYZE_SPAN_NAME, span);
     }
 
     // ----- Accept SLB + inputs; initialize (patch) the SLB ------------------

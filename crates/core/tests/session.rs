@@ -1006,13 +1006,17 @@ fn traced_session_has_one_span_per_phase_summing_to_total() {
 
 #[test]
 fn traced_bytecode_session_records_the_verifier_verdict() {
-    use flicker_core::{VERIFY_ACCEPT_COUNTER, VERIFY_REJECT_COUNTER, VERIFY_SPAN_NAME};
+    use flicker_core::{
+        ANALYZE_SPAN_NAME, CT_ACCEPT_COUNTER, CT_REJECT_COUNTER, VERIFY_ACCEPT_COUNTER,
+        VERIFY_REJECT_COUNTER, VERIFY_SPAN_NAME,
+    };
 
     let mut os = test_os(35);
     let trace = flicker_trace::Trace::default();
     os.set_tracer(trace.clone());
 
-    // A verified program: accept counter, one verify span.
+    // A verified program: accept counter, one verify span, one analyze
+    // span (hello_world handles no secrets, so it is also ct-clean).
     let slb = SlbImage::build(
         PalPayload::Bytecode(flicker_palvm::progs::hello_world()),
         SlbOptions::default(),
@@ -1021,12 +1025,16 @@ fn traced_bytecode_session_records_the_verifier_verdict() {
     let rec = run_session(&mut os, &slb, &SessionParams::default()).unwrap();
     assert_eq!(rec.pal_result, Ok(()));
     assert_eq!(trace.spans_named(VERIFY_SPAN_NAME).len(), 1);
+    assert_eq!(trace.spans_named(ANALYZE_SPAN_NAME).len(), 1);
     assert_eq!(trace.counter(VERIFY_ACCEPT_COUNTER), 1);
     assert_eq!(trace.counter(VERIFY_REJECT_COUNTER), 0);
+    assert_eq!(trace.counter(CT_ACCEPT_COUNTER), 1);
+    assert_eq!(trace.counter(CT_REJECT_COUNTER), 0);
 
     // An unverifiable program smuggled past the builder: the rejection is
     // on the record even though the session still runs (and the run-time
-    // defences contain it).
+    // defences contain it). An unbounded loop is a safety finding, not a
+    // timing-channel one, so the ct counters still call it clean.
     let bad = SlbImage::build_unverified(
         PalPayload::Bytecode(flicker_palvm::assemble("loop: jmp loop").unwrap()),
         SlbOptions {
@@ -1040,6 +1048,20 @@ fn traced_bytecode_session_records_the_verifier_verdict() {
     assert_eq!(trace.spans_named(VERIFY_SPAN_NAME).len(), 2);
     assert_eq!(trace.counter(VERIFY_ACCEPT_COUNTER), 1);
     assert_eq!(trace.counter(VERIFY_REJECT_COUNTER), 1);
+    assert_eq!(trace.counter(CT_ACCEPT_COUNTER), 2);
+    assert_eq!(trace.counter(CT_REJECT_COUNTER), 0);
+
+    // A secret-leaking program smuggled past the builder lands on the
+    // ct-reject counter: the timing-channel verdict is separately visible.
+    let leaky = SlbImage::build_unverified(
+        PalPayload::Bytecode(flicker_palvm::progs::password_gate_leaky()),
+        SlbOptions::default(),
+    )
+    .unwrap();
+    run_session(&mut os, &leaky, &SessionParams::default()).unwrap();
+    assert_eq!(trace.spans_named(ANALYZE_SPAN_NAME).len(), 3);
+    assert_eq!(trace.counter(CT_ACCEPT_COUNTER), 2);
+    assert_eq!(trace.counter(CT_REJECT_COUNTER), 1);
 }
 
 #[test]

@@ -16,14 +16,22 @@
 /// assert!(!flicker_crypto::ct_eq(b"abc", b"abd"));
 /// ```
 pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
-    if a.len() != b.len() {
-        return false;
-    }
-    let mut acc = 0u8;
-    for (x, y) in a.iter().zip(b.iter()) {
-        acc |= x ^ y;
-    }
-    acc == 0
+    a.len() == b.len() && ct_eq_examined(a, b).0
+}
+
+/// The counted fold behind [`ct_eq`]: compares `min(a.len(), b.len())`
+/// byte pairs unconditionally and reports how many it examined.
+///
+/// The count makes the no-early-exit discipline *testable*: a mismatch in
+/// the first byte must still examine every pair. Callers that need the
+/// boolean only should use [`ct_eq`]; this form exists for auditing and
+/// for tests that pin the constant-time property.
+pub fn ct_eq_examined(a: &[u8], b: &[u8]) -> (bool, usize) {
+    let folded = a
+        .iter()
+        .zip(b.iter())
+        .fold((0u8, 0usize), |(acc, n), (x, y)| (acc | (x ^ y), n + 1));
+    (folded.0 == 0, folded.1)
 }
 
 /// Selects `a` if `choice` is true, else `b`, without a secret-dependent
@@ -54,6 +62,20 @@ mod tests {
     fn first_and_last_byte_differences_detected() {
         assert!(!ct_eq(b"xbc", b"abc"));
         assert!(!ct_eq(b"abx", b"abc"));
+    }
+
+    #[test]
+    fn no_early_exit_on_first_byte_mismatch() {
+        // A first-byte mismatch must not short-circuit the fold: every
+        // byte pair is examined regardless of where the difference sits.
+        let a = b"xlickerflicker";
+        let b = b"flickerflicker";
+        let (eq, examined) = ct_eq_examined(a, b);
+        assert!(!eq);
+        assert_eq!(examined, a.len());
+        // Same count on a full match and on a last-byte mismatch.
+        assert_eq!(ct_eq_examined(b, b), (true, b.len()));
+        assert_eq!(ct_eq_examined(b"abc", b"abx"), (false, 3));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod sha1;
 pub mod sha256;
 pub mod sha512;
 
-pub use ct::ct_eq;
+pub use ct::{ct_eq, ct_eq_examined};
 pub use drbg::HmacDrbg;
 pub use mpint::Mpint;
 pub use rng::CryptoRng;

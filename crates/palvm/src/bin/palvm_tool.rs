@@ -1,28 +1,102 @@
 //! `palvm-tool` — the PAL developer environment as a CLI (paper §5).
 //!
 //! ```text
-//! palvm-tool asm <file.pal>              assemble; write <file>.bin
-//! palvm-tool disasm <file.bin>           disassemble to stdout
-//! palvm-tool extract <file.pal> <func>   extract a standalone PAL (§5.2)
-//! palvm-tool run <file.pal> [hex-input]  assemble + run on a test bus
-//! palvm-tool verify <file.pal|file.bin>  static verification report
-//! palvm-tool verify --builtin            verify every library program
+//! palvm-tool asm <file.pal>                 assemble; write <file>.bin
+//! palvm-tool disasm <file.bin>              disassemble to stdout
+//! palvm-tool extract <file.pal> <func>      extract a standalone PAL (§5.2)
+//! palvm-tool run <file.pal> [hex-input]     assemble + run on a test bus
+//! palvm-tool verify [--json] <file>         static verification report
+//! palvm-tool verify [--json] --builtin      verify every library program
+//! palvm-tool analyze [--json] <file>        constant-time & secret-flow findings
+//! palvm-tool analyze [--json] --builtin     analyze every library program
+//! palvm-tool analyze --differential <N>     run N programs through the
+//!                                           shadow-taint differential oracle
 //! ```
+//!
+//! Exit codes (stable, for CI):
+//!
+//! * `0` — success: verification passed / analysis clean / no divergence.
+//! * `1` — findings: the program was rejected, the analysis produced
+//!   `ct-*` findings, the differential sweep diverged, or an
+//!   operational error (I/O, assembly, VM fault) occurred.
+//! * `2` — usage error (unknown command or arguments).
 
-use flicker_palvm::{assemble, disasm, extract, progs, run, TestBus};
+use flicker_palvm::{assemble, disasm, extract, progs, run, Program, TestBus};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  palvm-tool asm <file.pal>\n  palvm-tool disasm <file.bin>\n  \
          palvm-tool extract <file.pal> <function>\n  palvm-tool run <file.pal> [hex-input]\n  \
-         palvm-tool verify <file.pal|file.bin>\n  palvm-tool verify --builtin"
+         palvm-tool verify [--json] <file.pal|file.bin>\n  palvm-tool verify [--json] --builtin\n  \
+         palvm-tool analyze [--json] <file.pal|file.bin>\n  palvm-tool analyze [--json] --builtin\n  \
+         palvm-tool analyze --differential <count> [seed]\n\
+         exit codes: 0 clean, 1 findings or error, 2 usage"
     );
     ExitCode::from(2)
 }
 
+/// Every program the library ships: the CI gate sweeps all of them.
+fn builtins() -> Vec<(&'static str, Program)> {
+    vec![
+        ("hello_world", progs::hello_world()),
+        ("trial_division", progs::trial_division()),
+        ("kernel_hasher", progs::kernel_hasher()),
+        ("password_gate", progs::password_gate()),
+        ("storage_auth", progs::storage_auth()),
+    ]
+}
+
+fn load_code(path: &str) -> Result<Vec<u8>, String> {
+    if path.ends_with(".bin") {
+        std::fs::read(path).map_err(|e| format!("read {path}: {e}"))
+    } else {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        assemble(&src)
+            .map(|p| p.code)
+            .map_err(|e| format!("assembly error: {e}"))
+    }
+}
+
+/// `verify`: full verdict; `analyze`: the same verdict narrowed to the
+/// constant-time / secret-flow findings (`ct-*` classes), as text or
+/// JSON.
+fn report_one(name: &str, code: &[u8], json: bool, ct_only: bool) -> bool {
+    let verdict = flicker_verifier::verify(code);
+    let clean = if ct_only {
+        verdict.ct_clean()
+    } else {
+        verdict.is_ok()
+    };
+    if json {
+        println!(
+            "{{\"program\":\"{name}\",\"report\":{}}}",
+            verdict.to_json()
+        );
+    } else if ct_only {
+        let findings: Vec<_> = verdict.errors.iter().filter(|e| e.is_ct()).collect();
+        println!(
+            "{name}: {} ({} ct finding(s))",
+            if clean { "CT-CLEAN" } else { "CT-REJECTED" },
+            findings.len()
+        );
+        for e in findings {
+            println!("  {e}");
+        }
+    } else {
+        print!("{name}: {}", verdict.report());
+    }
+    clean
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = if let Some(i) = args.iter().position(|a| a == "--json") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     let Some(cmd) = args.first() else {
         return usage();
     };
@@ -112,52 +186,65 @@ fn main() -> ExitCode {
                 Err(e) => fail(&format!("vm fault: {e}")),
             }
         }
-        ("verify", 2) if args[1] == "--builtin" => {
-            // CI gate: every program the library ships must pass the
-            // static verifier.
-            let builtins = [
-                ("hello_world", progs::hello_world()),
-                ("trial_division", progs::trial_division()),
-                ("kernel_hasher", progs::kernel_hasher()),
-            ];
+        ("verify" | "analyze", 2) if args[1] == "--builtin" => {
+            let ct_only = cmd == "analyze";
             let mut bad = 0;
-            for (name, prog) in builtins {
-                let verdict = flicker_verifier::verify_program(&prog);
-                if verdict.is_ok() {
-                    println!("{name}: VERIFIED ({} instructions)", verdict.insns);
-                } else {
+            for (name, prog) in builtins() {
+                if !report_one(name, &prog.code, json, ct_only) {
                     bad += 1;
-                    println!("{name}: REJECTED");
-                    for line in verdict.report().lines().skip(1) {
-                        println!("  {line}");
-                    }
                 }
             }
             if bad == 0 {
                 ExitCode::SUCCESS
             } else {
-                fail(&format!("{bad} builtin program(s) failed verification"))
+                fail(&format!(
+                    "{bad} builtin program(s) failed {}",
+                    if ct_only { "analysis" } else { "verification" }
+                ))
             }
         }
-        ("verify", 2) => {
-            let code = if args[1].ends_with(".bin") {
-                match std::fs::read(&args[1]) {
-                    Ok(c) => c,
-                    Err(e) => return fail(&format!("read {}: {e}", args[1])),
-                }
-            } else {
-                let src = match std::fs::read_to_string(&args[1]) {
-                    Ok(s) => s,
-                    Err(e) => return fail(&format!("read {}: {e}", args[1])),
-                };
-                match assemble(&src) {
-                    Ok(p) => p.code,
-                    Err(e) => return fail(&format!("assembly error: {e}")),
-                }
+        ("analyze", 3 | 4) if args[1] == "--differential" => {
+            let Ok(count) = args[2].parse::<usize>() else {
+                return usage();
             };
-            let verdict = flicker_verifier::verify(&code);
-            print!("{}", verdict.report());
-            if verdict.is_ok() {
+            let seed = match args.get(3) {
+                Some(s) => match s.parse::<u64>() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                },
+                None => 0xF11C_4E2A,
+            };
+            let stats = flicker_verifier::oracle::differential_sweep(count, seed);
+            if json {
+                println!("{}", stats.to_json());
+            } else {
+                println!(
+                    "{} program(s): {} accepted+clean, {} ct-rejected, {} rejected (other), {} divergence(s)",
+                    stats.total,
+                    stats.accepted,
+                    stats.ct_rejected,
+                    stats.rejected_other,
+                    stats.divergences.len()
+                );
+                for d in &stats.divergences {
+                    println!("  DIVERGENCE: {}", d.to_json_line());
+                }
+            }
+            if stats.divergences.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                fail(&format!(
+                    "{} soundness divergence(s)",
+                    stats.divergences.len()
+                ))
+            }
+        }
+        ("verify" | "analyze", 2) => {
+            let code = match load_code(&args[1]) {
+                Ok(c) => c,
+                Err(e) => return fail(&e),
+            };
+            if report_one(&args[1], &code, json, cmd == "analyze") {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

@@ -11,6 +11,8 @@
 //! * [`asm`] — a two-pass assembler (the "developer environment" of
 //!   paper §5.1).
 //! * [`vm`] — the interpreter, generic over a [`vm::VmBus`].
+//! * [`shadow`] — the shadow-taint execution monitor (the runtime half
+//!   of the constant-time discipline; see `flicker-verifier`'s ct pass).
 //! * [`mod@extract`] — the call-graph extraction tool mirroring the paper's
 //!   CIL-based PAL extractor (§5.2).
 //! * [`progs`] — canned programs (Figure 5's hello-world PAL, the §6.2
@@ -21,6 +23,7 @@ pub mod disasm;
 pub mod extract;
 pub mod isa;
 pub mod progs;
+pub mod shadow;
 pub mod vm;
 
 /// Hypercall numbers the Flicker host interface services (see the
@@ -34,4 +37,8 @@ pub use asm::{assemble, AsmError, Program};
 pub use disasm::{disassemble, DisasmError};
 pub use extract::{extract, ExtractError, Extraction};
 pub use isa::{Insn, Opcode, INSN_LEN, NUM_REGS};
-pub use vm::{run, run_with_regs, TestBus, VmBus, VmExit, VmFault, CALL_STACK_MAX};
+pub use shadow::ShadowTaint;
+pub use vm::{
+    run, run_with_hook, run_with_regs, ExecHook, NoHook, TestBus, VmBus, VmExit, VmFault,
+    CALL_STACK_MAX,
+};

@@ -68,6 +68,131 @@ pub fn kernel_hasher() -> Program {
     assemble(src).expect("kernel_hasher assembles")
 }
 
+/// The §6.1 SSH-password PAL in measured bytecode, compare done in
+/// constant time.
+///
+/// Inputs: candidate password at `[r14, r14+32)`, sealed-blob length at
+/// `[r14+32, r14+36)` (little-endian), sealed blob from `r14+36`. The
+/// blob unseals to the 32-byte enrolled password. The compare is a
+/// fixed-32-iteration xor/or accumulate — no secret-dependent branch,
+/// address, or loop bound — and the accumulator leaves only through the
+/// declared release point: the PAL outputs `sha1([acc])`, so the host
+/// learns *match* (`digest == sha1([0])`) or *mismatch* and nothing
+/// about where the passwords differ.
+pub fn password_gate() -> Program {
+    let src = "
+        ; r14 = inputs base
+        ldw r2, [r14+32]     ; sealed-blob length (public metadata)
+        movi r4, 0x1ff
+        and r2, r2, r4       ; bound it so the verifier can, too
+        addi r1, r14, 36     ; blob source
+        addi r3, r14, 0x800  ; plaintext destination
+        hcall 6              ; unseal: [r14+0x800, +len) is now secret
+        movi r3, 0           ; i
+        movi r2, 32          ; fixed iteration count
+        movi r11, 0          ; acc
+    loop:
+        jlt r3, r2, body
+        jmp done
+    body:
+        add r4, r14, r3
+        ldb r5, [r4+0]       ; candidate[i]
+        ldb r7, [r4+0x800]   ; enrolled[i] (secret)
+        xor r9, r5, r7
+        or r11, r11, r9      ; acc |= diff
+        movi r8, 1
+        add r3, r3, r8
+        jmp loop
+    done:
+        addi r12, r14, 0xa00
+        stb [r12+0], r11     ; stash acc in scratch
+        mov r1, r12
+        movi r2, 1
+        addi r3, r14, 0xa20
+        hcall 2              ; release: sha1([acc]) -> [r14+0xa20, +20)
+        mov r1, r3
+        movi r2, 20
+        hcall 5              ; emit the digest (public after release)
+        halt
+    ";
+    assemble(src).expect("password_gate assembles")
+}
+
+/// The *broken* variant of [`password_gate`]: a textbook early-exit
+/// compare that branches on each secret byte, so the iteration count —
+/// observable through timing — leaks the length of the matching prefix.
+/// Shipped as a negative exemplar: the static ct pass rejects it
+/// (`ct-loop-bound`) and the runtime shadow-taint oracle faults on it.
+pub fn password_gate_leaky() -> Program {
+    let src = "
+        ldw r2, [r14+32]
+        movi r4, 0x1ff
+        and r2, r2, r4
+        addi r1, r14, 36
+        addi r3, r14, 0x800
+        hcall 6
+        movi r3, 0
+        movi r2, 32
+    loop:
+        jlt r3, r2, body
+        movi r11, 0          ; ran to completion: match
+        jmp done
+    body:
+        add r4, r14, r3
+        ldb r5, [r4+0]
+        ldb r7, [r4+0x800]
+        sub r9, r5, r7
+        jnz r9, fail         ; EARLY EXIT on a secret byte (the bug)
+        movi r8, 1
+        add r3, r3, r8
+        jmp loop
+    fail:
+        movi r11, 1
+    done:
+        addi r12, r14, 0xa00
+        stb [r12+0], r11
+        mov r1, r12
+        movi r2, 1
+        addi r3, r14, 0xa20
+        hcall 2
+        mov r1, r3
+        movi r2, 20
+        hcall 5
+        halt
+    ";
+    assemble(src).expect("password_gate_leaky assembles")
+}
+
+/// A sealed-storage authenticator: unseals a storage key and answers a
+/// host challenge with `sha1(key-region ‖ nonce)` — proof of possession
+/// without the key ever leaving the PAL except through the release
+/// point. Inputs: 8-byte nonce at `[r14, r14+8)`, blob length at
+/// `[r14+8, r14+12)`, sealed blob from `r14+12`.
+pub fn storage_auth() -> Program {
+    let src = "
+        ldw r2, [r14+8]
+        movi r4, 0x1ff
+        and r2, r2, r4
+        addi r1, r14, 12
+        addi r3, r14, 0x800
+        hcall 6              ; key: [r14+0x800, +len) secret
+        ldw r5, [r14+0]      ; nonce (public) copied next to the key area
+        addi r6, r14, 0xa00
+        stw [r6+0], r5
+        ldw r5, [r14+4]
+        stw [r6+4], r5
+        addi r1, r14, 0x800
+        movi r2, 0x208       ; key region (0x200) + nonce (8)
+        addi r3, r14, 0xc00
+        hcall 2              ; release: sha1(key-region ‖ nonce)
+        mov r1, r3
+        movi r2, 20
+        hcall 5              ; emit proof digest
+        halt
+    ";
+    assemble(src).expect("storage_auth assembles")
+}
+
 /// A deliberately malicious PAL that scans memory far beyond its inputs —
 /// used by tests to demonstrate that the OS-Protection module's segment
 /// limits contain it (paper §5.1.2).
@@ -143,6 +268,128 @@ mod tests {
         bus.ram[8..12].copy_from_slice(&97u32.to_le_bytes());
         run(&prog.code, &mut bus, 100_000).unwrap();
         assert!(bus.hcall_log.iter().all(|(num, _)| *num != 1));
+    }
+
+    /// A bus with just enough host behaviour for the gate PALs: hcall 6
+    /// "unseals" a canned password, hcall 2 records the exact bytes that
+    /// reached the release point (a stand-in for SHA-1 — the real digest
+    /// is the core's job), hcall 5 copies the span to `output`.
+    struct GateBus {
+        ram: Vec<u8>,
+        enrolled: Vec<u8>,
+        hashed: Vec<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl crate::vm::VmBus for GateBus {
+        fn load_u8(&mut self, addr: u32) -> Result<u8, String> {
+            self.ram
+                .get(addr as usize)
+                .copied()
+                .ok_or_else(|| format!("load beyond ram ({addr:#x})"))
+        }
+        fn store_u8(&mut self, addr: u32, v: u8) -> Result<(), String> {
+            *self
+                .ram
+                .get_mut(addr as usize)
+                .ok_or_else(|| format!("store beyond ram ({addr:#x})"))? = v;
+            Ok(())
+        }
+        fn hcall(
+            &mut self,
+            num: u32,
+            regs: &mut [u32; crate::isa::NUM_REGS],
+        ) -> Result<(), String> {
+            match num {
+                2 => {
+                    let (src, len, dst) = (regs[1] as usize, regs[2] as usize, regs[3] as usize);
+                    self.hashed.push(self.ram[src..src + len].to_vec());
+                    self.ram[dst..dst + 20].fill(0xd1); // placeholder digest
+                    Ok(())
+                }
+                5 => {
+                    let (src, len) = (regs[1] as usize, regs[2] as usize);
+                    self.output.extend_from_slice(&self.ram[src..src + len]);
+                    Ok(())
+                }
+                6 => {
+                    let dst = regs[3] as usize;
+                    self.ram[dst..dst + self.enrolled.len()].copy_from_slice(&self.enrolled);
+                    regs[0] = self.enrolled.len() as u32;
+                    Ok(())
+                }
+                _ => Ok(()),
+            }
+        }
+    }
+
+    fn run_gate(prog: &Program, candidate: &[u8; 32], enrolled: &[u8; 32]) -> GateBus {
+        let mut bus = GateBus {
+            ram: vec![0u8; 0x1000],
+            enrolled: enrolled.to_vec(),
+            hashed: Vec::new(),
+            output: Vec::new(),
+        };
+        bus.ram[0..32].copy_from_slice(candidate);
+        bus.ram[32..36].copy_from_slice(&40u32.to_le_bytes()); // fake blob len
+        let mut regs = [0u32; crate::isa::NUM_REGS];
+        regs[14] = 0; // inputs at 0 in this flat test ram
+        crate::vm::run_with_regs(&prog.code, &mut bus, 100_000, regs).unwrap();
+        bus
+    }
+
+    #[test]
+    fn password_gate_releases_zero_acc_on_match() {
+        let pw = *b"correct horse battery staple!!!!";
+        let bus = run_gate(&password_gate(), &pw, &pw);
+        assert_eq!(bus.hashed, vec![vec![0u8]]); // acc == 0 reached the hash
+        assert_eq!(bus.output.len(), 20); // only the digest left the PAL
+    }
+
+    #[test]
+    fn password_gate_releases_nonzero_acc_on_mismatch() {
+        let pw = *b"correct horse battery staple!!!!";
+        let mut wrong = pw;
+        wrong[7] ^= 0x20;
+        let bus = run_gate(&password_gate(), &wrong, &pw);
+        assert_eq!(bus.hashed.len(), 1);
+        assert_ne!(bus.hashed[0], vec![0u8]);
+        assert_eq!(bus.output.len(), 20);
+    }
+
+    #[test]
+    fn leaky_gate_computes_the_same_answer() {
+        // Functionally equivalent (acc zero vs nonzero) — the difference
+        // is *how* it gets there, which the verifier and the shadow
+        // oracle catch, not this behavioural test.
+        let pw = *b"correct horse battery staple!!!!";
+        let ok = run_gate(&password_gate_leaky(), &pw, &pw);
+        assert_eq!(ok.hashed, vec![vec![0u8]]);
+        let mut wrong = pw;
+        wrong[0] ^= 1;
+        let bad = run_gate(&password_gate_leaky(), &wrong, &pw);
+        assert_ne!(bad.hashed[0], vec![0u8]);
+    }
+
+    #[test]
+    fn storage_auth_hashes_key_and_nonce() {
+        let prog = storage_auth();
+        let mut bus = GateBus {
+            ram: vec![0u8; 0x1000],
+            enrolled: b"0123456789abcdef".to_vec(),
+            hashed: Vec::new(),
+            output: Vec::new(),
+        };
+        bus.ram[0..8].copy_from_slice(b"noncenon");
+        bus.ram[8..12].copy_from_slice(&24u32.to_le_bytes());
+        crate::vm::run_with_regs(&prog.code, &mut bus, 100_000, [0u32; crate::isa::NUM_REGS])
+            .unwrap();
+        assert_eq!(bus.hashed.len(), 1);
+        let hashed = &bus.hashed[0];
+        assert_eq!(hashed.len(), 0x208);
+        assert_eq!(&hashed[0..16], b"0123456789abcdef"); // key first
+        assert_eq!(&hashed[0x200..0x208], b"noncenon"); // nonce last
+        assert_eq!(bus.output.len(), 20);
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Runtime shadow-taint oracle for the constant-time discipline.
+//!
+//! The static verifier's `ct` pass proves, over abstract states, that no
+//! branch, memory address, loop bound, or hypercall operand ever depends
+//! on unseal-derived data. This module is the *concrete* half of that
+//! claim: an [`ExecHook`] that runs alongside the real interpreter,
+//! propagates a secret/public bit per register and per parameter-window
+//! byte through the actual values, and raises [`VmFault::TaintFault`]
+//! the moment secret-dependent behaviour is observed. The differential
+//! property test in `flicker-verifier` asserts the soundness direction:
+//! a program the ct pass accepts never taint-faults at runtime.
+//!
+//! Taint enters in exactly one place — hypercall 6 (unseal) marks its
+//! destination span secret — and leaves in exactly one place — hypercall
+//! 2 (hash) publishes its digest span. Everything else propagates:
+//! arithmetic joins its operands, loads read the span's taint, stores
+//! write the source register's taint. The hook observes values *before*
+//! the instruction's side effects (so a faulting access is judged by the
+//! registers that computed it), which is why it keeps no bus of its own:
+//! the production interpreter remains the single semantics.
+
+use crate::isa::{Insn, Opcode, NUM_REGS};
+use crate::vm::{ExecHook, VmFault};
+
+/// Register operands each hypercall consumes, by number. Must mirror
+/// `flicker_verifier::hcall::SPECS`; a cross-check test over there keeps
+/// the two tables in lockstep.
+pub fn hcall_args(num: u32) -> &'static [u8] {
+    match num {
+        0 | 1 => &[0],
+        2 => &[1, 2, 3],
+        3 => &[],
+        4 => &[1],
+        5 => &[1, 2],
+        6 => &[1, 2, 3],
+        _ => &[],
+    }
+}
+
+/// The shadow-taint execution monitor. Attach with
+/// [`crate::vm::run_with_hook`].
+pub struct ShadowTaint {
+    /// First VM address of the tracked parameter window.
+    window_base: u32,
+    /// Per-register secret bit.
+    reg_secret: [bool; NUM_REGS],
+    /// Per-byte secret bit over the window (`mem[i]` shadows
+    /// `window_base + i`). Bytes outside the window are public: the
+    /// static verifier already rejects any access that can leave it.
+    mem: Vec<bool>,
+}
+
+impl ShadowTaint {
+    /// A monitor over the `len` bytes starting at `window_base`, with
+    /// everything public (unseal is the only taint source).
+    pub fn new(window_base: u32, len: u32) -> ShadowTaint {
+        ShadowTaint {
+            window_base,
+            reg_secret: [false; NUM_REGS],
+            mem: vec![false; len as usize],
+        }
+    }
+
+    /// True if any byte of `[addr, addr + len)` is secret.
+    fn span_secret(&self, addr: u32, len: u32) -> bool {
+        (0..len)
+            .filter_map(|i| self.index(addr.wrapping_add(i)))
+            .any(|idx| self.mem[idx])
+    }
+
+    /// Sets every in-window byte of `[addr, addr + len)` to `secret`.
+    fn set_span(&mut self, addr: u32, len: u32, secret: bool) {
+        for i in 0..len {
+            if let Some(idx) = self.index(addr.wrapping_add(i)) {
+                self.mem[idx] = secret;
+            }
+        }
+    }
+
+    fn index(&self, addr: u32) -> Option<usize> {
+        let off = addr.wrapping_sub(self.window_base) as usize;
+        (off < self.mem.len()).then_some(off)
+    }
+
+    fn fault(pc: u32, reason: impl Into<String>) -> VmFault {
+        VmFault::TaintFault {
+            pc,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl ExecHook for ShadowTaint {
+    fn pre(&mut self, pc: u32, insn: &Insn, regs: &[u32; NUM_REGS]) -> Result<(), VmFault> {
+        let secret = |r: u8| self.reg_secret[r as usize];
+        match insn.op {
+            Opcode::Jz | Opcode::Jnz if secret(insn.rs1) => {
+                return Err(Self::fault(
+                    pc,
+                    format!("branch condition r{} is secret", insn.rs1),
+                ));
+            }
+            Opcode::Jlt => {
+                for r in [insn.rs1, insn.rs2] {
+                    if secret(r) {
+                        return Err(Self::fault(pc, format!("branch condition r{r} is secret")));
+                    }
+                }
+            }
+            Opcode::Ldb | Opcode::Ldw | Opcode::Stb | Opcode::Stw if secret(insn.rs1) => {
+                return Err(Self::fault(
+                    pc,
+                    format!("memory address base r{} is secret", insn.rs1),
+                ));
+            }
+            Opcode::Hcall => {
+                for &a in hcall_args(insn.imm) {
+                    if secret(a) {
+                        return Err(Self::fault(
+                            pc,
+                            format!("hypercall {} operand r{a} is secret", insn.imm),
+                        ));
+                    }
+                }
+                // Output-region (5) also leaks through *data*: refuse to
+                // emit secret bytes. Mirrors the verifier's check 4.
+                if insn.imm == 5 && self.span_secret(regs[1], regs[2]) {
+                    return Err(Self::fault(
+                        pc,
+                        "hypercall 5 would output secret (unseal-derived) bytes",
+                    ));
+                }
+                if (insn.imm == 0 || insn.imm == 1) && secret(0) {
+                    return Err(Self::fault(pc, "hypercall output register r0 is secret"));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn post(
+        &mut self,
+        pc: u32,
+        insn: &Insn,
+        pre_regs: &[u32; NUM_REGS],
+        _regs: &[u32; NUM_REGS],
+    ) -> Result<(), VmFault> {
+        let _ = pc;
+        let secret = |r: u8| self.reg_secret[r as usize];
+        match insn.op {
+            Opcode::Halt | Opcode::Jmp | Opcode::Jz | Opcode::Jnz | Opcode::Jlt => {}
+            Opcode::Call | Opcode::Ret => {}
+            Opcode::Movi => self.reg_secret[insn.rd as usize] = false,
+            Opcode::Mov => self.reg_secret[insn.rd as usize] = secret(insn.rs1),
+            Opcode::Addi => self.reg_secret[insn.rd as usize] = secret(insn.rs1),
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::Divu
+            | Opcode::Modu
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Shl
+            | Opcode::Shr => {
+                self.reg_secret[insn.rd as usize] = secret(insn.rs1) || secret(insn.rs2);
+            }
+            Opcode::Ldb | Opcode::Ldw => {
+                let addr = pre_regs[insn.rs1 as usize].wrapping_add(insn.imm);
+                let len = if insn.op == Opcode::Ldb { 1 } else { 4 };
+                self.reg_secret[insn.rd as usize] = self.span_secret(addr, len);
+            }
+            Opcode::Stb | Opcode::Stw => {
+                let addr = pre_regs[insn.rs1 as usize].wrapping_add(insn.imm);
+                let len = if insn.op == Opcode::Stb { 1 } else { 4 };
+                self.set_span(addr, len, secret(insn.rs2));
+            }
+            Opcode::Hcall => match insn.imm {
+                // Hash: the digest span is the declared release point —
+                // its 20 bytes become public no matter what went in.
+                2 => self.set_span(pre_regs[3], 20, false),
+                // Randomness is public (it is not unseal-derived).
+                3 => self.reg_secret[0] = false,
+                // Unseal: the sole taint source. The returned length in
+                // r0 is public metadata (every protocol here treats blob
+                // lengths as public); the plaintext bytes are secret.
+                6 => {
+                    self.set_span(pre_regs[3], pre_regs[2], true);
+                    self.reg_secret[0] = false;
+                }
+                _ => {}
+            },
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::vm::{run_with_hook, TestBus, VmFault};
+
+    const FUEL: u64 = 100_000;
+
+    /// A bus whose hypercall 6 writes recognizable plaintext so the taint
+    /// has real values underneath it.
+    struct UnsealBus(TestBus);
+
+    impl crate::vm::VmBus for UnsealBus {
+        fn load_u8(&mut self, addr: u32) -> Result<u8, String> {
+            self.0.load_u8(addr)
+        }
+        fn store_u8(&mut self, addr: u32, v: u8) -> Result<(), String> {
+            self.0.store_u8(addr, v)
+        }
+        fn hcall(&mut self, num: u32, regs: &mut [u32; NUM_REGS]) -> Result<(), String> {
+            if num == 6 {
+                for i in 0..regs[2] {
+                    self.0.store_u8(regs[3] + i, 0x5a)?;
+                }
+                regs[0] = regs[2];
+                return Ok(());
+            }
+            self.0.hcall(num, regs)
+        }
+    }
+
+    fn run_shadow(src: &str) -> Result<crate::vm::VmExit, VmFault> {
+        let prog = assemble(src).expect("assembles");
+        let mut bus = UnsealBus(TestBus::new(0x200));
+        let mut hook = ShadowTaint::new(0, 0x200);
+        run_with_hook(&prog.code, &mut bus, FUEL, [0u32; NUM_REGS], &mut hook)
+    }
+
+    #[test]
+    fn public_program_runs_clean() {
+        let exit = run_shadow(
+            "movi r1, 16\n movi r2, 4\n movi r3, 64\n hcall 6\n \
+             movi r0, 7\n hcall 0\n halt",
+        )
+        .unwrap();
+        assert_eq!(exit.regs[0], 7);
+    }
+
+    #[test]
+    fn branch_on_unsealed_byte_faults() {
+        let r = run_shadow(
+            "movi r1, 16\n movi r2, 4\n movi r3, 64\n hcall 6\n \
+             ldb r5, [r3+0]\n jz r5, 0\n halt",
+        );
+        assert!(matches!(r, Err(VmFault::TaintFault { pc: 5, .. })), "{r:?}");
+    }
+
+    #[test]
+    fn secret_indexed_load_faults() {
+        let r = run_shadow(
+            "movi r1, 16\n movi r2, 4\n movi r3, 64\n hcall 6\n \
+             ldb r5, [r3+0]\n ldb r6, [r5+0]\n halt",
+        );
+        assert!(matches!(r, Err(VmFault::TaintFault { pc: 5, .. })), "{r:?}");
+    }
+
+    #[test]
+    fn outputting_secret_register_faults() {
+        let r = run_shadow(
+            "movi r1, 16\n movi r2, 4\n movi r3, 64\n hcall 6\n \
+             ldb r0, [r3+0]\n hcall 0\n halt",
+        );
+        assert!(matches!(r, Err(VmFault::TaintFault { pc: 5, .. })), "{r:?}");
+    }
+
+    #[test]
+    fn hash_releases_digest_span() {
+        // Unseal to 64, hash [64, 68) -> digest at 128, then branch on a
+        // digest byte: public after release, so no fault.
+        let exit = run_shadow(
+            "movi r1, 16\n movi r2, 4\n movi r3, 64\n hcall 6\n \
+             movi r1, 64\n movi r2, 4\n movi r3, 128\n hcall 2\n \
+             ldb r5, [r3+0]\n jz r5, 10\n halt\n halt",
+        );
+        assert!(exit.is_ok(), "{exit:?}");
+    }
+
+    #[test]
+    fn taint_clears_on_public_overwrite() {
+        // Store a public byte over the unsealed one; loading it back is
+        // then public.
+        let exit = run_shadow(
+            "movi r1, 16\n movi r2, 1\n movi r3, 64\n hcall 6\n \
+             movi r5, 9\n stb [r3+0], r5\n ldb r6, [r3+0]\n jz r6, 8\n halt\n halt",
+        );
+        assert!(exit.is_ok(), "{exit:?}");
+    }
+
+    #[test]
+    fn secret_survives_arithmetic() {
+        let r = run_shadow(
+            "movi r1, 16\n movi r2, 4\n movi r3, 64\n hcall 6\n \
+             ldb r5, [r3+0]\n movi r6, 3\n add r7, r5, r6\n jz r7, 0\n halt",
+        );
+        assert!(matches!(r, Err(VmFault::TaintFault { pc: 7, .. })), "{r:?}");
+    }
+}

@@ -38,6 +38,15 @@ pub enum VmFault {
     },
     /// The fuel limit was exhausted (runaway loop).
     OutOfFuel,
+    /// The shadow-taint oracle observed secret-dependent behaviour
+    /// (branch, address, or hypercall operand) at the given instruction.
+    /// Only raised when running under `shadow::ShadowTaint`.
+    TaintFault {
+        /// Instruction index where the secret dependence was observed.
+        pc: u32,
+        /// What depended on the secret.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for VmFault {
@@ -53,6 +62,7 @@ impl core::fmt::Display for VmFault {
             VmFault::CallStackOverflow(pc) => write!(f, "call stack overflow at {pc}"),
             VmFault::HcallFault { num, cause } => write!(f, "hcall {num} failed: {cause}"),
             VmFault::OutOfFuel => write!(f, "out of fuel"),
+            VmFault::TaintFault { pc, reason } => write!(f, "taint fault at insn {pc}: {reason}"),
         }
     }
 }
@@ -93,6 +103,37 @@ pub struct VmExit {
     pub executed: u64,
 }
 
+/// Observer hooks around each retired instruction, for execution-time
+/// monitors such as the shadow-taint oracle ([`crate::shadow`]). Either
+/// hook may abort the run by returning a fault (the oracle's
+/// [`VmFault::TaintFault`]).
+pub trait ExecHook {
+    /// Called after decode, before the instruction executes (so before
+    /// any bus side effect).
+    fn pre(&mut self, pc: u32, insn: &Insn, regs: &[u32; NUM_REGS]) -> Result<(), VmFault> {
+        let _ = (pc, insn, regs);
+        Ok(())
+    }
+
+    /// Called after the instruction retires, with the register file as
+    /// it was at `pre` and as it is now.
+    fn post(
+        &mut self,
+        pc: u32,
+        insn: &Insn,
+        pre_regs: &[u32; NUM_REGS],
+        regs: &[u32; NUM_REGS],
+    ) -> Result<(), VmFault> {
+        let _ = (pc, insn, pre_regs, regs);
+        Ok(())
+    }
+}
+
+/// The default hook: observes nothing, never faults.
+pub struct NoHook;
+
+impl ExecHook for NoHook {}
+
 /// Maximum call-stack depth.
 pub const CALL_STACK_MAX: usize = 1024;
 
@@ -114,6 +155,19 @@ pub fn run_with_regs(
     fuel: u64,
     init_regs: [u32; NUM_REGS],
 ) -> Result<VmExit, VmFault> {
+    run_with_hook(program, bus, fuel, init_regs, &mut NoHook)
+}
+
+/// Executes `program` under an [`ExecHook`]: the one interpreter loop,
+/// shared by the plain path ([`NoHook`]) and the shadow-taint oracle, so
+/// the monitored semantics can never drift from the production ones.
+pub fn run_with_hook<H: ExecHook>(
+    program: &[u8],
+    bus: &mut dyn VmBus,
+    fuel: u64,
+    init_regs: [u32; NUM_REGS],
+    hook: &mut H,
+) -> Result<VmExit, VmFault> {
     let n_insns = (program.len() / INSN_LEN) as u32;
     let mut regs = init_regs;
     let mut pc: u32 = 0;
@@ -133,6 +187,8 @@ pub fn run_with_regs(
             .expect("slice length is INSN_LEN");
         let insn = Insn::decode(raw).ok_or(VmFault::IllegalInstruction(pc))?;
         executed += 1;
+        hook.pre(pc, &insn, &regs)?;
+        let pre_regs = regs;
         let mut next_pc = pc + 1;
 
         let r = |i: u8| regs[i as usize];
@@ -223,6 +279,7 @@ pub fn run_with_regs(
                     })?;
             }
         }
+        hook.post(pc, &insn, &pre_regs, &regs)?;
         pc = next_pc;
     }
 }

@@ -1,0 +1,103 @@
+//! The constant-time pass (check 6): no secret-dependent control flow,
+//! addressing, loop bounds, or hypercall operands.
+//!
+//! The hypercall-discipline check (check 4) stops secret *data* from
+//! reaching an output sink; this pass closes the side channels that
+//! remain even when no secret byte is ever emitted. Flicker's remote
+//! verifier trusts the measured bytes (§1, §7.1), and the §6.1-style
+//! password PAL is exactly where a secret-dependent early exit leaks
+//! through timing what the data flow never reveals. Four rules, walked
+//! over the same fixpoint states the other checks use:
+//!
+//! * **branch** — `jz/jnz/jlt` may not test a secret register;
+//! * **loop bound** — the same rule, escalated when the branch controls
+//!   a loop (it is the latch or an exit edge): iteration *count* then
+//!   depends on the secret, the classic timing channel;
+//! * **index** — `ldb/ldw/stb/stw` may not compute an address from a
+//!   secret base (secret-indexed lookups leak through the cache in the
+//!   real machine this simulation stands for);
+//! * **hypercall argument** — no hypercall operand register may hold a
+//!   secret value. Release points (hash) are *not* exempt: they
+//!   declassify the bytes they read, but their address/length operands
+//!   are observable by the host and must stay public.
+//!
+//! Secret data itself may still flow: through arithmetic, through
+//! stores to scratch memory, and into a release point's *source span* —
+//! those are data paths, checked by the flow rules of check 4.
+
+use crate::cfg::{intra_succs, Cfg};
+use crate::interp::Analysis;
+use crate::{CheckError, Diagnostic};
+use flicker_palvm::Opcode;
+
+/// Runs the constant-time pass over the fixpoint states.
+pub fn check(cfg: &Cfg, analysis: &Analysis) -> Vec<CheckError> {
+    let mut errors = Vec::new();
+    for (&pc, state) in &analysis.in_states {
+        let insn = cfg.insns[pc as usize];
+        let secret = |r: u8| state.regs[r as usize].taint.is_secret();
+        match insn.op {
+            Opcode::Jz | Opcode::Jnz if secret(insn.rs1) => {
+                errors.push(branch_error(cfg, pc, insn.rs1));
+            }
+            Opcode::Jlt => {
+                for r in [insn.rs1, insn.rs2] {
+                    if secret(r) {
+                        errors.push(branch_error(cfg, pc, r));
+                    }
+                }
+            }
+            Opcode::Ldb | Opcode::Ldw | Opcode::Stb | Opcode::Stw if secret(insn.rs1) => {
+                errors.push(CheckError::SecretIndex(Diagnostic::new(
+                    pc,
+                    Some(insn.rs1),
+                    "memory address derives from secret (unseal-derived) data",
+                )));
+            }
+            Opcode::Hcall => {
+                if let Some(spec) = crate::hcall::spec(insn.imm) {
+                    for &a in spec.args {
+                        if secret(a) {
+                            errors.push(CheckError::SecretHcallArg(Diagnostic::new(
+                                pc,
+                                Some(a),
+                                format!(
+                                    "hypercall {} operand is secret (unseal-derived); \
+                                     operands are host-observable and must stay public",
+                                    spec.num
+                                ),
+                            )));
+                        }
+                    }
+                }
+                // Unknown numbers are check 4's finding; nothing to add.
+            }
+            _ => {}
+        }
+    }
+    errors
+}
+
+/// A secret-conditioned branch, escalated to `SecretLoopBound` when the
+/// branch controls a loop: it is some loop's latch, or one of its edges
+/// leaves a loop it belongs to (the iteration count then depends on the
+/// secret).
+fn branch_error(cfg: &Cfg, pc: u32, register: u8) -> CheckError {
+    let insn = cfg.insns[pc as usize];
+    let bounds_loop = cfg
+        .loops_containing(pc)
+        .any(|l| pc == l.latch || intra_succs(&insn, pc).iter().any(|s| !l.nodes.contains(s)));
+    if bounds_loop {
+        CheckError::SecretLoopBound(Diagnostic::new(
+            pc,
+            Some(register),
+            "loop bound depends on secret (unseal-derived) data: iteration count leaks the secret",
+        ))
+    } else {
+        CheckError::SecretBranch(Diagnostic::new(
+            pc,
+            Some(register),
+            "branch condition depends on secret (unseal-derived) data",
+        ))
+    }
+}

@@ -1,11 +1,21 @@
-//! Abstract domains for the verifier: unsigned intervals, taint bits, and
-//! must-initialization, joined per register into an abstract machine state.
+//! Abstract domains for the verifier: unsigned intervals, a two-level
+//! secrecy lattice, byte-granular shadow taint over the parameter window,
+//! and must-initialization, joined per register into an abstract machine
+//! state.
 //!
 //! The interval domain is deliberately wrap-averse: any operation whose
 //! concrete result *could* wrap around `u32::MAX` goes straight to ⊤
 //! rather than modelling modular arithmetic. That keeps every derived
 //! bound a true over-approximation of the concrete value, which is what
 //! the memory-bounds check (and the soundness property test) rely on.
+//!
+//! Taint is a may-analysis: `Secret` means the value *may* derive from
+//! unsealed data, so joins go toward `Secret` and the shadow byte set
+//! only shrinks under strong updates (an exactly-addressed public store,
+//! or the exactly-addressed digest of a hash release point). The runtime
+//! shadow-taint oracle in `flicker_palvm::shadow` tracks the same facts
+//! concretely; the differential property test holds the static sets to
+//! be supersets of the runtime ones.
 
 use flicker_palvm::NUM_REGS;
 
@@ -30,10 +40,18 @@ impl Interval {
         Interval { lo: v, hi: v }
     }
 
-    /// The range `[lo, hi]` (callers must keep `lo <= hi`).
+    /// The range `[lo, hi]`, normalized: inverted bounds are swapped so
+    /// the domain invariant `lo <= hi` holds in release builds too (a
+    /// swapped pair still contains every value the caller meant, so
+    /// normalizing preserves over-approximation; the debug assert keeps
+    /// flagging the caller bug in test builds).
     pub fn new(lo: u32, hi: u32) -> Interval {
-        debug_assert!(lo <= hi);
-        Interval { lo, hi }
+        debug_assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
     }
 
     /// `Some(v)` when the interval pins a single value.
@@ -63,10 +81,39 @@ impl Interval {
     /// moving after repeated joins is sent to its extreme so fixpoints
     /// terminate.
     pub fn widen(&self, prev: &Interval) -> Interval {
-        Interval {
-            lo: if self.lo < prev.lo { 0 } else { self.lo },
-            hi: if self.hi > prev.hi { u32::MAX } else { self.hi },
-        }
+        self.widen_to(prev, &[])
+    }
+
+    /// Threshold widening: a still-moving bound jumps to the nearest
+    /// enclosing threshold instead of straight to its extreme (and to
+    /// the extreme when no threshold encloses it). `thresholds` must be
+    /// sorted ascending. With the program's own constants as thresholds,
+    /// a counter bounded by `jlt rX, 32` widens to `[0, 32]` rather than
+    /// `[0, ⊤]` — which is what lets counter-indexed loops longer than
+    /// the join budget keep their bounds. Chains stay finite (each widen
+    /// ascends through the finite threshold set), so fixpoints still
+    /// terminate.
+    pub fn widen_to(&self, prev: &Interval, thresholds: &[u32]) -> Interval {
+        let lo = if self.lo < prev.lo {
+            thresholds
+                .iter()
+                .rev()
+                .find(|&&t| t <= self.lo)
+                .copied()
+                .unwrap_or(0)
+        } else {
+            self.lo
+        };
+        let hi = if self.hi > prev.hi {
+            thresholds
+                .iter()
+                .find(|&&t| t >= self.hi)
+                .copied()
+                .unwrap_or(u32::MAX)
+        } else {
+            self.hi
+        };
+        Interval { lo, hi }
     }
 
     /// Addition; ⊤ if the maximum could wrap.
@@ -151,13 +198,148 @@ impl Interval {
     }
 }
 
+/// The two-level secrecy lattice: `Public < Secret`.
+///
+/// `Secret` marks values that may derive from unsealed data (hypercall
+/// 6). The only declassification is a declared release point — the
+/// digest a hash hypercall writes — which acts on the *shadow memory*,
+/// never on a register directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Taint {
+    /// Provably independent of unsealed data.
+    #[default]
+    Public,
+    /// May derive from unsealed data.
+    Secret,
+}
+
+impl Taint {
+    /// Lattice join (may-analysis: anything possibly secret is secret).
+    pub fn join(self, other: Taint) -> Taint {
+        if self == Taint::Secret || other == Taint::Secret {
+            Taint::Secret
+        } else {
+            Taint::Public
+        }
+    }
+
+    /// True for [`Taint::Secret`].
+    pub fn is_secret(self) -> bool {
+        self == Taint::Secret
+    }
+}
+
+/// Byte-granular may-secret shadow over the PAL parameter window: one
+/// bit per window byte, so secrets survive `stb/stw` → `ldb/ldw`
+/// round-trips at byte precision instead of collapsing to an interval
+/// hull.
+///
+/// Bytes outside the window are never representable — and never secret:
+/// the window-enforcing bus refuses every store beyond it, so no secret
+/// byte can exist out there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowBytes {
+    /// First window address the set covers.
+    base: u32,
+    /// Window length in bytes (`bits` holds one bit per byte).
+    len: u32,
+    /// The bitset, 64 bytes per word, all-public when empty.
+    bits: Vec<u64>,
+}
+
+impl ShadowBytes {
+    /// An unconfigured (zero-length) set: everything public.
+    pub fn empty() -> ShadowBytes {
+        ShadowBytes {
+            base: 0,
+            len: 0,
+            bits: Vec::new(),
+        }
+    }
+
+    /// A set covering the window `[base, base + len)`, all public.
+    pub fn for_window(base: u32, len: u32) -> ShadowBytes {
+        ShadowBytes {
+            base,
+            len,
+            bits: vec![0u64; (len as usize).div_ceil(64)],
+        }
+    }
+
+    /// True when no byte is marked secret.
+    pub fn is_clean(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// The span clipped to the window, as window-relative indices.
+    fn clip(&self, span: &Interval) -> Option<(u32, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        let end = self.base + (self.len - 1);
+        if span.hi < self.base || span.lo > end {
+            return None;
+        }
+        Some((
+            span.lo.max(self.base) - self.base,
+            span.hi.min(end) - self.base,
+        ))
+    }
+
+    /// Marks every window byte in `span` may-secret (weak update).
+    pub fn mark_secret(&mut self, span: &Interval) {
+        if let Some((lo, hi)) = self.clip(span) {
+            for i in lo..=hi {
+                self.bits[(i / 64) as usize] |= 1u64 << (i % 64);
+            }
+        }
+    }
+
+    /// Clears the secret bit for every window byte in `span`. Callers
+    /// must only strong-update spans they know are *exactly* the bytes
+    /// overwritten with public data (an exactly-addressed store or hash
+    /// digest); an over-wide clear would be unsound.
+    pub fn clear_secret(&mut self, span: &Interval) {
+        if let Some((lo, hi)) = self.clip(span) {
+            for i in lo..=hi {
+                self.bits[(i / 64) as usize] &= !(1u64 << (i % 64));
+            }
+        }
+    }
+
+    /// Whether any byte of `span` may be secret.
+    pub fn any_secret(&self, span: &Interval) -> bool {
+        match self.clip(span) {
+            Some((lo, hi)) => (lo..=hi).any(|i| self.bits[(i / 64) as usize] >> (i % 64) & 1 == 1),
+            None => false,
+        }
+    }
+
+    /// Join: the union of the two may-secret sets. An unconfigured side
+    /// contributes nothing.
+    pub fn union(&self, other: &ShadowBytes) -> ShadowBytes {
+        if self.len == 0 {
+            return other.clone();
+        }
+        if other.len == 0 {
+            return self.clone();
+        }
+        debug_assert_eq!((self.base, self.len), (other.base, other.len));
+        let mut out = self.clone();
+        for (w, o) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *w |= o;
+        }
+        out
+    }
+}
+
 /// One register's abstract value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AbsReg {
     /// Range of possible concrete values.
     pub range: Interval,
     /// Whether the value may derive from unsealed secret data.
-    pub tainted: bool,
+    pub taint: Taint,
     /// Whether the register was written on *every* path here (the
     /// SLB-Core-initialized registers count as written).
     pub written: bool,
@@ -168,7 +350,7 @@ impl AbsReg {
     pub fn zeroed() -> AbsReg {
         AbsReg {
             range: Interval::exact(0),
-            tainted: false,
+            taint: Taint::Public,
             written: false,
         }
     }
@@ -179,12 +361,8 @@ impl AbsReg {
 pub struct AbsState {
     /// Per-register values.
     pub regs: [AbsReg; NUM_REGS],
-    /// Hull of all addresses that may hold unsealed secret bytes
-    /// (`None` = nothing tainted yet).
-    pub tainted_mem: Option<Interval>,
-    /// Address range whose contents have passed through a declared
-    /// release point (a hash digest) and may leave the PAL.
-    pub released: Option<Interval>,
+    /// Byte-granular may-secret set over the parameter window.
+    pub shadow: ShadowBytes,
 }
 
 impl AbsState {
@@ -192,44 +370,33 @@ impl AbsState {
     pub fn zeroed() -> AbsState {
         AbsState {
             regs: [AbsReg::zeroed(); NUM_REGS],
-            tainted_mem: None,
-            released: None,
+            shadow: ShadowBytes::empty(),
         }
     }
 
-    /// Pointwise join: interval hulls, may-taint, must-written.
+    /// Pointwise join: interval hulls, may-taint, must-written, and the
+    /// union of the shadow byte sets.
     pub fn join(&self, other: &AbsState) -> AbsState {
         let mut regs = self.regs;
         for (r, o) in regs.iter_mut().zip(other.regs.iter()) {
             r.range = r.range.join(&o.range);
-            r.tainted |= o.tainted;
+            r.taint = r.taint.join(o.taint);
             r.written &= o.written;
         }
-        let tainted_mem = match (self.tainted_mem, other.tainted_mem) {
-            (Some(a), Some(b)) => Some(a.join(&b)),
-            (a, b) => a.or(b),
-        };
-        // `released` is a must-property: keep it only when both paths
-        // agree on the exact range.
-        let released = match (self.released, other.released) {
-            (Some(a), Some(b)) if a == b => Some(a),
-            _ => None,
-        };
         AbsState {
             regs,
-            tainted_mem,
-            released,
+            shadow: self.shadow.union(&other.shadow),
         }
     }
 
-    /// Widen every register against the previous state at this point.
-    pub fn widen(&self, prev: &AbsState) -> AbsState {
+    /// Widen every register against the previous state at this point,
+    /// with `thresholds` (sorted) as the interval landing spots.
+    /// Taint and shadow need no widening: both live in finite lattices
+    /// where the join itself is the accelerator.
+    pub fn widen(&self, prev: &AbsState, thresholds: &[u32]) -> AbsState {
         let mut out = self.clone();
         for (r, p) in out.regs.iter_mut().zip(prev.regs.iter()) {
-            r.range = r.range.widen(&p.range);
-        }
-        if let (Some(t), Some(p)) = (&mut out.tainted_mem, &prev.tainted_mem) {
-            *t = t.widen(p);
+            r.range = r.range.widen_to(&p.range, thresholds);
         }
         out
     }
@@ -252,6 +419,16 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "inverted interval"))]
+    fn inverted_bounds_normalize_in_release() {
+        // In release builds the debug assert is compiled out and the
+        // constructor must still return a well-formed interval.
+        let iv = Interval::new(10, 5);
+        assert_eq!((iv.lo, iv.hi), (5, 10));
+        assert!(iv.within(&Interval::new(0, 20)));
+    }
+
+    #[test]
     fn modu_and_bitops_bounded() {
         let a = Interval::new(0, 1000);
         let d = Interval::new(1, 7);
@@ -270,11 +447,85 @@ mod tests {
     }
 
     #[test]
+    fn threshold_widening_lands_on_enclosing_constant() {
+        let prev = Interval::new(0, 4);
+        let grew = Interval::new(0, 5);
+        assert_eq!(grew.widen_to(&prev, &[1, 32, 100]), Interval::new(0, 32));
+        // No threshold encloses: fall back to the extreme.
+        let big = Interval::new(0, 200);
+        assert_eq!(
+            big.widen_to(&prev, &[1, 32, 100]),
+            Interval::new(0, u32::MAX)
+        );
+        // A stable bound never widens, thresholds or not.
+        assert_eq!(prev.widen_to(&prev, &[1, 32]), prev);
+        // A shrinking lo lands on the largest threshold at or below it.
+        let down = Interval::new(3, 4);
+        assert_eq!(
+            down.widen_to(&Interval::new(8, 8), &[1, 32]),
+            Interval::new(1, 4)
+        );
+    }
+
+    #[test]
+    fn taint_join_is_sticky() {
+        assert_eq!(Taint::Public.join(Taint::Public), Taint::Public);
+        assert_eq!(Taint::Public.join(Taint::Secret), Taint::Secret);
+        assert_eq!(Taint::Secret.join(Taint::Public), Taint::Secret);
+        assert!(Taint::Secret.is_secret());
+        assert!(!Taint::Public.is_secret());
+    }
+
+    #[test]
+    fn shadow_marks_clears_and_clips() {
+        let mut s = ShadowBytes::for_window(0x10000, 0x2000);
+        assert!(s.is_clean());
+        s.mark_secret(&Interval::new(0x10010, 0x1001F));
+        assert!(s.any_secret(&Interval::new(0x10018, 0x10018)));
+        assert!(!s.any_secret(&Interval::new(0x10020, 0x10040)));
+        // Byte-granular strong update in the middle of the marked span.
+        s.clear_secret(&Interval::new(0x10014, 0x10017));
+        assert!(s.any_secret(&Interval::new(0x10010, 0x10013)));
+        assert!(!s.any_secret(&Interval::new(0x10014, 0x10017)));
+        assert!(s.any_secret(&Interval::new(0x10018, 0x1001F)));
+        // Spans beyond the window are never secret and marking them is a
+        // no-op outside the overlap.
+        assert!(!s.any_secret(&Interval::new(0x30000, 0x30010)));
+        s.mark_secret(&Interval::TOP);
+        assert!(s.any_secret(&Interval::new(0x11FFF, 0x11FFF)));
+        assert!(!s.any_secret(&Interval::new(0x12000, u32::MAX)));
+    }
+
+    #[test]
+    fn shadow_union_is_bytewise_or() {
+        let mut a = ShadowBytes::for_window(0x10000, 0x100);
+        let mut b = ShadowBytes::for_window(0x10000, 0x100);
+        a.mark_secret(&Interval::new(0x10000, 0x10003));
+        b.mark_secret(&Interval::new(0x10080, 0x10081));
+        let u = a.union(&b);
+        assert!(u.any_secret(&Interval::new(0x10001, 0x10001)));
+        assert!(u.any_secret(&Interval::new(0x10080, 0x10080)));
+        assert!(!u.any_secret(&Interval::new(0x10010, 0x1007F)));
+        // Unconfigured sides are identity elements.
+        assert_eq!(ShadowBytes::empty().union(&a), a);
+        assert_eq!(a.union(&ShadowBytes::empty()), a);
+    }
+
+    #[test]
     fn join_written_is_must() {
         let mut a = AbsState::zeroed();
         a.regs[1].written = true;
         let b = AbsState::zeroed();
         assert!(!a.join(&b).regs[1].written);
         assert!(a.join(&a.clone()).regs[1].written);
+    }
+
+    #[test]
+    fn join_taint_is_may() {
+        let mut a = AbsState::zeroed();
+        a.regs[2].taint = Taint::Secret;
+        let b = AbsState::zeroed();
+        assert_eq!(a.join(&b).regs[2].taint, Taint::Secret);
+        assert_eq!(b.join(&b.clone()).regs[2].taint, Taint::Public);
     }
 }

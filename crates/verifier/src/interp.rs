@@ -1,15 +1,25 @@
 //! The abstract-interpretation engine: a worklist fixpoint over
-//! per-instruction states in the interval × taint × must-written domain,
-//! then a reporting pass for checks 2 (memory bounds) and 4 (hypercall
+//! per-instruction states in the interval × taint × must-written domain
+//! (with byte-granular shadow taint over the parameter window), then a
+//! reporting pass for checks 2 (memory bounds) and 4 (hypercall
 //! discipline).
 //!
 //! Branch edges refine the tested registers (`jlt r3, r2, body` caps
 //! `r3` below `r2` on the taken edge), which is what lets bounded loops
 //! like the canned `memory_scanner(inputs, 4)` prove their addresses
 //! in-window even after widening sends the raw counter to ⊤.
+//!
+//! Shadow-taint updates are asymmetric by design: marking a span secret
+//! is a weak (may) update over the whole address range the store could
+//! hit, while clearing requires an *exactly known* address — the only
+//! case where the analysis is certain which bytes were overwritten with
+//! public data. The runtime shadow in `flicker_palvm::shadow` performs
+//! the same transitions on concrete addresses, so the static set is
+//! always a superset of the runtime one (the differential oracle's
+//! invariant).
 
 use crate::cfg::Cfg;
-use crate::domain::{AbsState, Interval};
+use crate::domain::{AbsState, Interval, ShadowBytes, Taint};
 use crate::hcall::{spec, HcallKind};
 use crate::{CheckError, Diagnostic, VerifierConfig};
 use flicker_palvm::{Insn, Opcode};
@@ -36,7 +46,7 @@ impl Analysis {
 /// The state the SLB Core hands a bytecode PAL: `r14` = input-region
 /// address, `r13` = output-region address, `r12` = input length; all
 /// other registers zeroed and *unwritten* (the zeroing is the VM's, not
-/// the program's).
+/// the program's). Shadow taint starts all-public over the window.
 fn entry_state(config: &VerifierConfig) -> AbsState {
     let mut st = AbsState::zeroed();
     st.regs[14].range = Interval::exact(config.inputs_base);
@@ -45,7 +55,30 @@ fn entry_state(config: &VerifierConfig) -> AbsState {
     st.regs[13].written = true;
     st.regs[12].range = Interval::new(0, config.inputs_max);
     st.regs[12].written = true;
+    st.shadow = ShadowBytes::for_window(config.inputs_base, config.window_end - config.inputs_base);
     st
+}
+
+/// Widening thresholds: every immediate in the program (±1, since
+/// compare bounds refine to `imm - 1` and counters often rest at
+/// `imm + 1`), each also offset by the window bases (so *addresses
+/// derived from counters* — `r14 + i` with `i < 32` resting at
+/// `inputs_base + 31` — have a landing spot too), sorted. A counter held
+/// below `jlt rX, rY` with `rY = 32` then widens to 32 instead of ⊤,
+/// keeping counter-indexed addressing provable for loops longer than
+/// the join budget.
+fn thresholds(cfg: &Cfg, config: &VerifierConfig) -> Vec<u32> {
+    let bases = [0u32, config.inputs_base, config.outputs_base];
+    let mut t: Vec<u32> = cfg
+        .insns
+        .iter()
+        .flat_map(|i| [i.imm.saturating_sub(1), i.imm, i.imm.saturating_add(1)])
+        .flat_map(|v| bases.map(|b| b.saturating_add(v)))
+        .collect();
+    t.extend([config.inputs_base, config.outputs_base, config.window_end]);
+    t.sort_unstable();
+    t.dedup();
+    t
 }
 
 /// Runs the fixpoint and returns the per-instruction entry states.
@@ -59,6 +92,7 @@ pub fn analyze(cfg: &Cfg, config: &VerifierConfig) -> Analysis {
         }
     }
 
+    let widen_to = thresholds(cfg, config);
     let mut in_states: BTreeMap<u32, AbsState> = BTreeMap::new();
     let mut join_counts: BTreeMap<u32, u32> = BTreeMap::new();
     let mut work = vec![0u32];
@@ -77,7 +111,7 @@ pub fn analyze(cfg: &Cfg, config: &VerifierConfig) -> Analysis {
                         let count = join_counts.entry(succ).or_insert(0);
                         *count += 1;
                         if *count > WIDEN_AFTER {
-                            joined = joined.widen(prev);
+                            joined = joined.widen(prev, &widen_to);
                         }
                         (joined, true)
                     } else {
@@ -217,9 +251,9 @@ fn transfer_inner(
 ) -> AbsState {
     let mut out = state.clone();
     let reg = |r: u8| state.regs[r as usize];
-    let set = |st: &mut AbsState, r: u8, range: Interval, tainted: bool| {
+    let set = |st: &mut AbsState, r: u8, range: Interval, taint: Taint| {
         st.regs[r as usize].range = range;
-        st.regs[r as usize].tainted = tainted;
+        st.regs[r as usize].taint = taint;
         st.regs[r as usize].written = true;
     };
     let emit = |sink: &mut Option<(&mut Vec<CheckError>, u32)>,
@@ -239,13 +273,8 @@ fn transfer_inner(
         | Opcode::Jlt
         | Opcode::Call
         | Opcode::Ret => {}
-        Opcode::Movi => set(&mut out, insn.rd, Interval::exact(insn.imm), false),
-        Opcode::Mov => set(
-            &mut out,
-            insn.rd,
-            reg(insn.rs1).range,
-            reg(insn.rs1).tainted,
-        ),
+        Opcode::Movi => set(&mut out, insn.rd, Interval::exact(insn.imm), Taint::Public),
+        Opcode::Mov => set(&mut out, insn.rd, reg(insn.rs1).range, reg(insn.rs1).taint),
         Opcode::Add
         | Opcode::Sub
         | Opcode::Mul
@@ -268,7 +297,7 @@ fn transfer_inner(
                 Opcode::Shl => a.range.shl(&b.range),
                 _ => a.range.shr(&b.range),
             };
-            set(&mut out, insn.rd, range, a.tainted || b.tainted);
+            set(&mut out, insn.rd, range, a.taint.join(b.taint));
         }
         Opcode::Addi => {
             let a = reg(insn.rs1);
@@ -276,19 +305,19 @@ fn transfer_inner(
                 &mut out,
                 insn.rd,
                 a.range.add(&Interval::exact(insn.imm)),
-                a.tainted,
+                a.taint,
             );
         }
         Opcode::Ldb | Opcode::Ldw => {
             let width = if insn.op == Opcode::Ldb { 1 } else { 4 };
             let addr = effective(state, insn);
-            let tainted = check_load(state, config, &addr, width, insn, sink);
+            let taint = check_load(state, config, &addr, width, insn, sink);
             let range = if insn.op == Opcode::Ldb {
                 Interval::new(0, 255)
             } else {
                 Interval::TOP
             };
-            set(&mut out, insn.rd, range, tainted);
+            set(&mut out, insn.rd, range, taint);
         }
         Opcode::Stb | Opcode::Stw => {
             let width = if insn.op == Opcode::Stb { 1 } else { 4 };
@@ -308,7 +337,7 @@ fn transfer_inner(
                     ),
                 );
             }
-            if reg(insn.rs2).tainted {
+            if reg(insn.rs2).taint.is_secret() {
                 if span.intersects(&config.output_range()) {
                     emit(
                         sink,
@@ -318,14 +347,16 @@ fn transfer_inner(
                             .to_string(),
                     );
                 }
-                out.tainted_mem = Some(match out.tainted_mem {
-                    Some(t) => t.join(&span),
-                    None => span,
-                });
-                if out.released.is_some_and(|rel| rel.intersects(&span)) {
-                    out.released = None;
-                }
+                // Weak update: every byte the store may hit becomes
+                // may-secret.
+                out.shadow.mark_secret(&span);
+            } else if addr.as_exact().is_some() {
+                // Strong update: a public value overwrote exactly these
+                // bytes, so their secret bits clear.
+                out.shadow.clear_secret(&span);
             }
+            // Public value at an imprecise address: no change — the
+            // may-secret set can only be shrunk by certain overwrites.
         }
         Opcode::Hcall => {
             hcall_transfer(insn, state, &mut out, config, sink);
@@ -350,7 +381,7 @@ fn span_of(addr: &Interval, width: u32) -> Interval {
     }
 }
 
-/// Bounds-checks a load and returns whether the loaded value is tainted.
+/// Bounds-checks a load and returns the loaded value's taint.
 fn check_load(
     state: &AbsState,
     config: &VerifierConfig,
@@ -358,7 +389,7 @@ fn check_load(
     width: u32,
     insn: &Insn,
     sink: &mut Option<(&mut Vec<CheckError>, u32)>,
-) -> bool {
+) -> Taint {
     let span = span_of(addr, width);
     if !span.within(&config.load_window()) {
         if let Some((errors, pc)) = sink {
@@ -375,12 +406,10 @@ fn check_load(
             )));
         }
     }
-    match state.tainted_mem {
-        Some(t) if t.intersects(&span) => {
-            // A load entirely inside the released (hashed) range is clean.
-            !state.released.is_some_and(|rel| span.within(&rel))
-        }
-        _ => false,
+    if state.shadow.any_secret(&span) {
+        Taint::Secret
+    } else {
+        Taint::Public
     }
 }
 
@@ -409,7 +438,7 @@ fn hcall_transfer(
         );
         // Conservatively assume an unknown call clobbers r0.
         out.regs[0].range = Interval::TOP;
-        out.regs[0].tainted = true;
+        out.regs[0].taint = Taint::Secret;
         return;
     };
     for &a in spec.args {
@@ -428,7 +457,7 @@ fn hcall_transfer(
     let r = |i: usize| state.regs[i].range;
     match spec.kind {
         HcallKind::OutputReg => {
-            if state.regs[0].tainted {
+            if state.regs[0].taint.is_secret() {
                 emit(
                     sink,
                     CheckError::Hypercall,
@@ -439,9 +468,7 @@ fn hcall_transfer(
         }
         HcallKind::OutputMem => {
             let src = span_of(&r(1), r(2).hi.max(1));
-            let leaks = state.tainted_mem.is_some_and(|t| t.intersects(&src))
-                && !state.released.is_some_and(|rel| src.within(&rel));
-            if leaks {
+            if state.shadow.any_secret(&src) {
                 emit(
                     sink,
                     CheckError::Hypercall,
@@ -464,13 +491,18 @@ fn hcall_transfer(
                     ),
                 );
             }
-            // The digest is the declared release point: loads/outputs
-            // wholly inside it are declassified.
-            out.released = Some(dst);
+            // The digest is the declared release point: when its
+            // destination is exactly known, those 20 bytes become
+            // public (strong update). An imprecise destination leaves
+            // the shadow untouched — writing public data can only ever
+            // reduce secrecy, so skipping the clear stays sound.
+            if r(3).as_exact().is_some() {
+                out.shadow.clear_secret(&dst);
+            }
         }
         HcallKind::Random => {
             out.regs[0].range = Interval::TOP;
-            out.regs[0].tainted = false;
+            out.regs[0].taint = Taint::Public;
             out.regs[0].written = true;
         }
         HcallKind::PcrExtend => {}
@@ -487,15 +519,14 @@ fn hcall_transfer(
                     ),
                 );
             }
-            out.tainted_mem = Some(match out.tainted_mem {
-                Some(t) => t.join(&dst),
-                None => dst,
-            });
-            if out.released.is_some_and(|rel| rel.intersects(&dst)) {
-                out.released = None;
-            }
-            out.regs[0].range = Interval::new(0, r(2).hi);
-            out.regs[0].tainted = false;
+            // The taint source: every byte the host may write becomes
+            // secret. The returned plaintext *length* in r0 stays
+            // public — lengths are public metadata in every protocol in
+            // this workspace (the runtime shadow makes the same call) —
+            // but its *value* is host-chosen, so the interval is ⊤.
+            out.shadow.mark_secret(&dst);
+            out.regs[0].range = Interval::TOP;
+            out.regs[0].taint = Taint::Public;
             out.regs[0].written = true;
         }
     }

@@ -9,8 +9,10 @@
 //!
 //! The verifier decodes every instruction, recovers the control-flow
 //! graph ([`cfg`]), and runs an abstract interpretation (unsigned
-//! intervals + taint over the 16 registers, [`domain`]) to prove five
-//! properties, each with its own module and [`CheckError`] variant:
+//! intervals + a secret/public lattice over the 16 registers, plus
+//! byte-granular shadow taint over the parameter window, [`domain`]) to
+//! prove six properties, each with its own module and [`CheckError`]
+//! variant(s):
 //!
 //! 1. [`decode`] — every slot decodes, no fall-through off the end, all
 //!    branch/call targets in range.
@@ -20,18 +22,24 @@
 //!    decreasing counter (else `MayDiverge`), and call depth is bounded.
 //! 4. [`interp`] (hypercall discipline) — hypercall numbers are known,
 //!    argument registers are written on every path, and unseal-derived
-//!    (tainted) data never reaches an output sink without passing a
+//!    (secret) data never reaches an output sink without passing a
 //!    declared release point (a hash digest).
 //! 5. [`stack`] — no `ret` reachable with an empty abstract call stack.
+//! 6. [`ct`] (constant time) — no secret-dependent branch, loop bound,
+//!    memory address, or hypercall operand; checked against the runtime
+//!    shadow-taint oracle by the differential property test (see
+//!    [`mod@oracle`]).
 //!
 //! A [`Verdict`] collects every failed check with its instruction index,
 //! register, and reason; [`Verdict::is_ok`] gates SLB construction.
 
 pub mod cfg;
+pub mod ct;
 pub mod decode;
 pub mod domain;
 pub mod hcall;
 pub mod interp;
+pub mod oracle;
 pub mod stack;
 pub mod termination;
 
@@ -82,6 +90,16 @@ pub enum CheckError {
     Hypercall(Diagnostic),
     /// A `ret` reachable with an empty abstract call stack.
     StackHygiene(Diagnostic),
+    /// A `jz`/`jnz`/`jlt` tests a secret (unseal-derived) register.
+    SecretBranch(Diagnostic),
+    /// A load/store address derives from a secret register.
+    SecretIndex(Diagnostic),
+    /// A secret-conditioned branch controls a loop: the iteration count
+    /// leaks the secret through timing.
+    SecretLoopBound(Diagnostic),
+    /// A hypercall operand register holds a secret value (operands are
+    /// host-observable; only data behind a release point may leave).
+    SecretHcallArg(Diagnostic),
 }
 
 impl CheckError {
@@ -93,7 +111,16 @@ impl CheckError {
             CheckError::MayDiverge(_) => "termination",
             CheckError::Hypercall(_) => "hypercall",
             CheckError::StackHygiene(_) => "stack-hygiene",
+            CheckError::SecretBranch(_) => "ct-branch",
+            CheckError::SecretIndex(_) => "ct-index",
+            CheckError::SecretLoopBound(_) => "ct-loop-bound",
+            CheckError::SecretHcallArg(_) => "ct-hcall-arg",
         }
+    }
+
+    /// True for the constant-time pass's findings (the `ct-*` classes).
+    pub fn is_ct(&self) -> bool {
+        self.class().starts_with("ct-")
     }
 
     /// The underlying diagnostic.
@@ -103,7 +130,11 @@ impl CheckError {
             | CheckError::MemoryBounds(d)
             | CheckError::MayDiverge(d)
             | CheckError::Hypercall(d)
-            | CheckError::StackHygiene(d) => d,
+            | CheckError::StackHygiene(d)
+            | CheckError::SecretBranch(d)
+            | CheckError::SecretIndex(d)
+            | CheckError::SecretLoopBound(d)
+            | CheckError::SecretHcallArg(d) => d,
         }
     }
 }
@@ -184,6 +215,12 @@ impl Verdict {
         self.errors.is_empty()
     }
 
+    /// True when the constant-time pass found nothing (the coarser
+    /// signal `run_session` records as `verify.ct_accept/ct_reject`).
+    pub fn ct_clean(&self) -> bool {
+        !self.errors.iter().any(CheckError::is_ct)
+    }
+
     /// A human-readable multi-line report (the `palvm_tool verify` output).
     pub fn report(&self) -> String {
         let mut out = format!(
@@ -197,6 +234,52 @@ impl Verdict {
         }
         out
     }
+
+    /// The machine-readable report `palvm_tool verify --json` and
+    /// `analyze --json` emit: one stable object per verdict —
+    /// `{"insns":N,"loops":N,"verdict":"accepted"|"rejected",`
+    /// `"ct_clean":bool,"findings":[{class,insn,register,reason}...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"insns\":{},\"loops\":{},\"verdict\":\"{}\",\"ct_clean\":{},\"findings\":[",
+            self.insns,
+            self.loops,
+            if self.is_ok() { "accepted" } else { "rejected" },
+            self.ct_clean(),
+        );
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let d = e.diagnostic();
+            out.push_str(&format!(
+                "{{\"class\":\"{}\",\"insn\":{},\"register\":{},\"reason\":\"{}\"}}",
+                e.class(),
+                d.insn,
+                d.register.map_or("null".to_string(), |r| r.to_string()),
+                json_escape(&d.reason),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Verifies raw encoded bytecode against the default window.
@@ -224,6 +307,7 @@ pub fn verify_with(code: &[u8], config: &VerifierConfig) -> Verdict {
     errors.extend(stack::check(&cfg));
     errors.extend(termination::check(&cfg, config, &analysis));
     errors.extend(interp::report(&cfg, config, &analysis));
+    errors.extend(ct::check(&cfg, &analysis));
     Verdict {
         insns: cfg.insns.len(),
         loops: cfg.loops.len(),

@@ -191,6 +191,149 @@ fn accepts_secret_released_through_hash() {
     assert!(v.is_ok(), "{}", v.report());
 }
 
+// ----- check 6: constant-time discipline -----------------------------------
+
+/// Common prologue: unseal 32 bytes of "secret" to `r14+0x200`.
+const UNSEAL: &str = "
+        mov r1, r14
+        movi r2, 32
+        addi r3, r14, 0x200
+        hcall 6
+";
+
+#[test]
+fn rejects_branch_on_secret() {
+    let src = format!(
+        "{UNSEAL}
+        ldb r5, [r3+0]       ; secret byte
+        jz r5, done          ; branch on it
+        movi r6, 1
+    done:
+        halt"
+    );
+    let p = assemble(&src).unwrap();
+    let v = verify_program(&p);
+    assert!(
+        v.errors
+            .iter()
+            .any(|e| matches!(e, CheckError::SecretBranch(_))),
+        "{}",
+        v.report()
+    );
+}
+
+#[test]
+fn rejects_secret_indexed_access() {
+    let src = format!(
+        "{UNSEAL}
+        ldb r5, [r3+0]       ; secret byte
+        add r6, r14, r5      ; secret-derived address
+        ldb r7, [r6+0]       ; secret-indexed load
+        halt"
+    );
+    let p = assemble(&src).unwrap();
+    let v = verify_program(&p);
+    assert!(
+        v.errors
+            .iter()
+            .any(|e| matches!(e, CheckError::SecretIndex(_))),
+        "{}",
+        v.report()
+    );
+}
+
+#[test]
+fn rejects_secret_loop_bound() {
+    // The early-exit compare: a secret-conditioned branch that leaves
+    // the loop, so the iteration count leaks the secret. Escalated from
+    // SecretBranch to SecretLoopBound.
+    let src = format!(
+        "{UNSEAL}
+        movi r5, 0
+        movi r6, 32
+    loop:
+        jlt r5, r6, body
+        jmp done
+    body:
+        add r7, r3, r5
+        ldb r8, [r7+0]       ; secret byte
+        jnz r8, done         ; early exit on it (the timing leak)
+        movi r9, 1
+        add r5, r5, r9
+        jmp loop
+    done:
+        halt"
+    );
+    let p = assemble(&src).unwrap();
+    let v = verify_program(&p);
+    assert!(
+        v.errors
+            .iter()
+            .any(|e| matches!(e, CheckError::SecretLoopBound(_))),
+        "{}",
+        v.report()
+    );
+}
+
+#[test]
+fn rejects_secret_hypercall_operand() {
+    let src = format!(
+        "{UNSEAL}
+        ldb r2, [r3+0]       ; secret byte as a *length* operand
+        mov r1, r14
+        addi r3, r14, 0x400
+        hcall 2              ; release point or not, operands stay public
+        halt"
+    );
+    let p = assemble(&src).unwrap();
+    let v = verify_program(&p);
+    assert!(
+        v.errors
+            .iter()
+            .any(|e| matches!(e, CheckError::SecretHcallArg(_))),
+        "{}",
+        v.report()
+    );
+}
+
+#[test]
+fn ct_findings_set_their_classes_and_ct_clean() {
+    let src = format!(
+        "{UNSEAL}
+        ldb r5, [r3+0]
+        jz r5, done
+        movi r6, 1
+    done:
+        halt"
+    );
+    let p = assemble(&src).unwrap();
+    let v = verify_program(&p);
+    assert!(!v.ct_clean());
+    assert!(v
+        .errors
+        .iter()
+        .any(|e| e.is_ct() && e.class() == "ct-branch"));
+    // A ct finding shows up in the JSON report with its class.
+    assert!(v.to_json().contains("\"class\":\"ct-branch\""));
+    // And a fully clean program reports ct_clean.
+    let ok = verify_program(&progs::hello_world());
+    assert!(ok.ct_clean());
+    assert!(ok.to_json().contains("\"verdict\":\"accepted\""));
+}
+
+#[test]
+fn leaky_password_gate_is_flagged() {
+    let v = verify_program(&progs::password_gate_leaky());
+    assert!(!v.ct_clean(), "{}", v.report());
+    assert!(
+        v.errors
+            .iter()
+            .any(|e| matches!(e, CheckError::SecretLoopBound(_))),
+        "early-exit compare must be flagged as a loop-bound leak:\n{}",
+        v.report()
+    );
+}
+
 // ----- check 5: stack hygiene ----------------------------------------------
 
 #[test]
@@ -211,10 +354,13 @@ fn all_canned_programs_verify_clean() {
         ("hello_world", progs::hello_world()),
         ("trial_division", progs::trial_division()),
         ("kernel_hasher", progs::kernel_hasher()),
+        ("password_gate", progs::password_gate()),
+        ("storage_auth", progs::storage_auth()),
     ];
     for (name, p) in progs {
         let v = verify_program(&p);
         assert!(v.is_ok(), "{name} must verify:\n{}", v.report());
+        assert!(v.ct_clean(), "{name} must be ct-clean:\n{}", v.report());
     }
 }
 

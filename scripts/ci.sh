@@ -17,6 +17,13 @@ cargo run --release -p flicker-bench --bin fault_sweep -- --seed 0 --schedules 2
 # the verifier (`SlbImage::build` would refuse them at run time anyway;
 # this fails fast with the per-check report).
 cargo run --release -p flicker-verifier --bin palvm_tool -- verify --builtin
+# Constant-time gate: the same library must also be free of ct-* findings
+# (secret-dependent branches / indices / loop bounds / hypercall operands),
+# and a bounded differential-oracle run must show zero soundness
+# divergences between the static ct pass and the runtime shadow-taint
+# monitor (any divergence prints its JSONL repro record and fails).
+cargo run --release -p flicker-verifier --bin palvm_tool -- analyze --builtin
+cargo run --release -p flicker-verifier --bin palvm_tool -- analyze --differential 200
 # Perf-baseline gate: a quick traced run must still produce a schema-valid
 # report AND an audit-clean flight record (written under target/ so the
 # committed full-run artifact and trajectory are never clobbered), and the
