@@ -90,12 +90,17 @@ pub fn run_baseline(cfg: &BaselineConfig) -> Value {
 /// flight record the trace tool exports and the invariant auditor replays.
 pub fn run_baseline_traced(cfg: &BaselineConfig) -> (Value, Trace) {
     let trace = Trace::new();
-    run_rootkit(&trace, cfg.iterations_per_app);
-    run_ssh(&trace, cfg.iterations_per_app);
-    run_distcomp(&trace, cfg.iterations_per_app);
-    run_ca(&trace, cfg.iterations_per_app);
-    run_storage(&trace, cfg.iterations_per_app);
-    let doc = report(cfg, &trace);
+    // Raw per-app iteration latencies, kept alongside the trace's
+    // log-bucketed histograms: percentiles over a few dozen samples need
+    // exact nearest-rank math, not ~6 % bucket midpoints (which collapse
+    // p50/p95/p99 into one value for the low-variance apps).
+    let mut samples: BTreeMap<&'static str, Vec<Duration>> = BTreeMap::new();
+    samples.insert("app.rootkit", run_rootkit(&trace, cfg.iterations_per_app));
+    samples.insert("app.ssh", run_ssh(&trace, cfg.iterations_per_app));
+    samples.insert("app.distcomp", run_distcomp(&trace, cfg.iterations_per_app));
+    samples.insert("app.ca", run_ca(&trace, cfg.iterations_per_app));
+    samples.insert("app.storage", run_storage(&trace, cfg.iterations_per_app));
+    let doc = report(cfg, &trace, &samples);
     (doc, trace)
 }
 
@@ -104,15 +109,23 @@ pub fn run_baseline_traced(cfg: &BaselineConfig) -> (Value, Trace) {
 // injector: the platform is healthy, so every protocol step must succeed.
 // ---------------------------------------------------------------------------
 
-/// Virtual-clock stopwatch around one application iteration.
-fn timed_iteration(trace: &Trace, app: &'static str, os: &mut Os, f: impl FnOnce(&mut Os)) {
+/// Virtual-clock stopwatch around one application iteration. The latency
+/// goes into the trace's histogram (for exporters) *and* comes back raw,
+/// so the report can compute exact percentiles.
+fn timed_iteration(
+    trace: &Trace,
+    app: &'static str,
+    os: &mut Os,
+    f: impl FnOnce(&mut Os),
+) -> Duration {
     let t0 = os.machine().clock().now();
     f(os);
     let dt = os.machine().clock().now() - t0;
     trace.observe(app, dt);
+    dt
 }
 
-fn run_rootkit(trace: &Trace, iterations: usize) {
+fn run_rootkit(trace: &Trace, iterations: usize) -> Vec<Duration> {
     let (mut os, cert, ca_public) = provisioned_eval_os(11);
     os.set_tracer(trace.clone());
     let mut link = NetLink::paper_verifier_link(11);
@@ -120,8 +133,9 @@ fn run_rootkit(trace: &Trace, iterations: usize) {
     link.set_clock(os.clock());
     let known_good = known_good_hash(&os);
     let mut admin = Administrator::new(ca_public, known_good, link);
+    let mut samples = Vec::with_capacity(iterations);
     for i in 0..iterations {
-        timed_iteration(trace, "app.rootkit", &mut os, |os| {
+        samples.push(timed_iteration(trace, "app.rootkit", &mut os, |os| {
             // Alternate native / verified-bytecode detectors so the
             // baseline also covers PalVM sessions end to end.
             let report = if i.is_multiple_of(2) {
@@ -138,11 +152,12 @@ fn run_rootkit(trace: &Trace, iterations: usize) {
                 panic!("rootkit query failed: {msg}");
             });
             assert!(report.clean, "pristine kernel reported compromised");
-        });
+        }));
     }
+    samples
 }
 
-fn run_ssh(trace: &Trace, iterations: usize) {
+fn run_ssh(trace: &Trace, iterations: usize) -> Vec<Duration> {
     let (mut os, cert, ca_public) = provisioned_eval_os(12);
     os.set_tracer(trace.clone());
     let mut link = NetLink::paper_verifier_link(12);
@@ -150,11 +165,12 @@ fn run_ssh(trace: &Trace, iterations: usize) {
     link.set_clock(os.clock());
     let mut client = SshClient::new(ca_public);
     let mut rng = XorShiftRng::new(0xBA5E_55E8);
+    let mut samples = Vec::with_capacity(iterations);
     for _ in 0..iterations {
         // A fresh server per iteration, as each connection regenerates its
         // session keypair (the Figure-9a workload).
         let mut server = SshServer::new(vec![PasswdEntry::new("alice", SSH_PASSWORD, b"fl1ck3r")]);
-        timed_iteration(trace, "app.ssh", &mut os, |os| {
+        samples.push(timed_iteration(trace, "app.ssh", &mut os, |os| {
             let transcript = server
                 .connection_setup(os, &mut link, [0x55; 20])
                 .expect("ssh connection setup");
@@ -167,15 +183,17 @@ fn run_ssh(trace: &Trace, iterations: usize) {
                 .login(os, &mut link, "alice", &ciphertext, nonce)
                 .expect("ssh login");
             assert!(outcome.accepted, "correct password rejected");
-        });
+        }));
     }
+    samples
 }
 
-fn run_distcomp(trace: &Trace, iterations: usize) {
+fn run_distcomp(trace: &Trace, iterations: usize) -> Vec<Duration> {
     let mut os = eval_os(13);
     os.set_tracer(trace.clone());
+    let mut samples = Vec::with_capacity(iterations);
     for _ in 0..iterations {
-        timed_iteration(trace, "app.distcomp", &mut os, |os| {
+        samples.push(timed_iteration(trace, "app.distcomp", &mut os, |os| {
             let unit = WorkUnit {
                 n: 91,
                 lo: 2,
@@ -185,16 +203,18 @@ fn run_distcomp(trace: &Trace, iterations: usize) {
             client
                 .run_slice(os, Duration::from_millis(50))
                 .expect("boinc slice");
-        });
+        }));
     }
+    samples
 }
 
-fn run_ca(trace: &Trace, iterations: usize) {
+fn run_ca(trace: &Trace, iterations: usize) -> Vec<Duration> {
     let mut os = eval_os(14);
     os.set_tracer(trace.clone());
     let mut rng = XorShiftRng::new(0xBA5E_00CA);
+    let mut samples = Vec::with_capacity(iterations);
     for _ in 0..iterations {
-        timed_iteration(trace, "app.ca", &mut os, |os| {
+        samples.push(timed_iteration(trace, "app.ca", &mut os, |os| {
             let policy = IssuancePolicy {
                 allowed_suffixes: vec![".corp.example".into()],
                 max_certificates: 8,
@@ -210,8 +230,9 @@ fn run_ca(trace: &Trace, iterations: usize) {
                 .certificate
                 .verify(&ca.public_key)
                 .expect("issued certificate verifies");
-        });
+        }));
     }
+    samples
 }
 
 enum StoreAction {
@@ -263,11 +284,12 @@ fn storage_session(os: &mut Os, action: StoreAction, inputs: Vec<u8>) -> Vec<u8>
     rec.outputs
 }
 
-fn run_storage(trace: &Trace, iterations: usize) {
+fn run_storage(trace: &Trace, iterations: usize) -> Vec<Duration> {
     let mut os = eval_os(15);
     os.set_tracer(trace.clone());
+    let mut samples = Vec::with_capacity(iterations);
     for _ in 0..iterations {
-        timed_iteration(trace, "app.storage", &mut os, |os| {
+        samples.push(timed_iteration(trace, "app.storage", &mut os, |os| {
             let blob1 = storage_session(
                 os,
                 StoreAction::Init {
@@ -284,8 +306,9 @@ fn run_storage(trace: &Trace, iterations: usize) {
             );
             let out = storage_session(os, StoreAction::Read, blob2);
             assert_eq!(out, b"state-v2", "storage read-back");
-        });
+        }));
     }
+    samples
 }
 
 // ---------------------------------------------------------------------------
@@ -309,8 +332,32 @@ fn hist_value(h: &DurationHistogram) -> Value {
     ]))
 }
 
+/// Exact stats over raw samples — same keys as [`hist_value`], but with
+/// nearest-rank percentiles instead of log-bucket midpoints (which made
+/// p50 == p95 == p99 for every low-variance app).
+fn sample_value(samples: &[Duration]) -> Value {
+    let (p50, p95, p99) = crate::percentiles(samples);
+    let n = samples.len().max(1) as u32;
+    let mean = samples.iter().sum::<Duration>() / n;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    Value::Object(BTreeMap::from([
+        ("count".into(), Value::Number(samples.len() as f64)),
+        ("p50_ms".into(), Value::Number(ms(p50))),
+        ("p95_ms".into(), Value::Number(ms(p95))),
+        ("p99_ms".into(), Value::Number(ms(p99))),
+        ("mean_ms".into(), Value::Number(ms(mean))),
+        ("min_ms".into(), Value::Number(ms(min))),
+        ("max_ms".into(), Value::Number(ms(max))),
+    ]))
+}
+
 /// Folds the aggregated trace into the report document.
-fn report(cfg: &BaselineConfig, trace: &Trace) -> Value {
+fn report(
+    cfg: &BaselineConfig,
+    trace: &Trace,
+    samples: &BTreeMap<&'static str, Vec<Duration>>,
+) -> Value {
     let sessions = trace.spans_named("phase.suspend").len() as u64;
 
     let mut phases = BTreeMap::new();
@@ -323,11 +370,15 @@ fn report(cfg: &BaselineConfig, trace: &Trace) -> Value {
     }
 
     let mut apps = BTreeMap::new();
+    for (name, s) in samples {
+        let app = name.strip_prefix("app.").unwrap_or(name);
+        apps.insert(app.to_string(), sample_value(s));
+    }
     let mut tpm = BTreeMap::new();
     let mut ops = BTreeMap::new();
     for (name, h) in trace.histograms() {
-        if let Some(app) = name.strip_prefix("app.") {
-            apps.insert(app.to_string(), hist_value(&h));
+        if name.starts_with("app.") {
+            // Covered exactly by the raw samples above.
         } else if name.starts_with("tpm.TPM_") {
             tpm.insert(name.to_string(), hist_value(&h));
         } else {

@@ -23,7 +23,7 @@
 
 use flicker_bench::farmattr::{self, FarmFlight};
 use flicker_bench::json::Value;
-use flicker_bench::print_table;
+use flicker_bench::{percentiles, print_table};
 use flicker_farm::{Farm, FarmConfig, RequestSpec, Terminal};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -211,20 +211,6 @@ fn usage(err: &str) -> ExitCode {
 
 fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
-}
-
-/// Nearest-rank percentiles over an unsorted sample set.
-fn percentiles(samples: &[Duration]) -> (Duration, Duration, Duration) {
-    if samples.is_empty() {
-        return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let rank = |p: f64| {
-        let idx = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
-        sorted[idx.min(sorted.len() - 1)]
-    };
-    (rank(50.0), rank(95.0), rank(99.0))
 }
 
 /// Best-effort current commit; missing `git` degrades to `"unknown"`.

@@ -9,6 +9,10 @@
 //! flicker_trace_tool critical-path [--quick]
 //! flicker_trace_tool attribute [--quick | --from DIR]
 //! flicker_trace_tool farm-timeline [--quick | --from DIR] [--limit N]
+//! flicker_trace_tool profile [--quick] [--json] [--out PATH]
+//! flicker_trace_tool profile --check PATH [--quick]
+//! flicker_trace_tool flamegraph [--quick] [--format folded|chrome]
+//!                               [--out PATH] [--diff PATH | --diff-warm]
 //! ```
 //!
 //! `export`, `summary`, `audit` (without `--jsonl`), and `critical-path`
@@ -25,8 +29,10 @@
 
 use flicker_bench::baseline::{run_baseline_traced, BaselineConfig};
 use flicker_bench::farmattr::{self, FarmFlight};
+use flicker_bench::profile as bench_profile;
 use flicker_bench::{json, print_table};
 use flicker_farm::{Farm, FarmConfig, RequestSpec};
+use flicker_trace::profile as trace_profile;
 use flicker_trace::{audit, export, DurationHistogram, Trace, DROPPED_EVENTS_COUNTER};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -46,6 +52,8 @@ fn main() -> ExitCode {
         "critical-path" => cmd_critical_path(&args),
         "attribute" => cmd_attribute(&args),
         "farm-timeline" => cmd_farm_timeline(&args),
+        "profile" => cmd_profile(&args),
+        "flamegraph" => cmd_flamegraph(&args),
         other => usage(&format!("unknown subcommand {other:?}")),
     }
 }
@@ -61,7 +69,10 @@ fn usage(err: &str) -> ExitCode {
          \x20 audit         [--quick | --jsonl PATH]\n\
          \x20 critical-path [--quick]\n\
          \x20 attribute     [--quick | --from DIR]\n\
-         \x20 farm-timeline [--quick | --from DIR] [--limit N]"
+         \x20 farm-timeline [--quick | --from DIR] [--limit N]\n\
+         \x20 profile       [--quick] [--json] [--out PATH] [--check PATH]\n\
+         \x20 flamegraph    [--quick] [--format folded|chrome] [--out PATH]\n\
+         \x20               [--diff PATH | --diff-warm]"
     );
     ExitCode::FAILURE
 }
@@ -443,6 +454,333 @@ fn cmd_critical_path(args: &[String]) -> ExitCode {
         "Dominant TPM ordinals",
         &["ordinal", "count", "total_ms", "mean_ms"],
         &rows,
+    );
+    ExitCode::SUCCESS
+}
+
+// ----- profile / flamegraph -------------------------------------------------
+
+/// Records a flight and builds its profile-baseline document + tree.
+fn profiled_flight(quick: bool) -> (json::Value, trace_profile::Profile) {
+    let trace = record_flight(quick);
+    bench_profile::report_with_profile(quick, &trace)
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut json_out = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_out = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => return usage("--check needs a path"),
+            },
+            other => return usage(&format!("unknown profile argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (current, _) = profiled_flight(quick);
+        return match bench_profile::compare(&baseline, &current) {
+            Ok(notes) => {
+                for n in &notes {
+                    eprintln!("drift (within gate): {n}");
+                }
+                println!(
+                    "profile check passed: attribution ≥ {:.0}% on gated ordinals, \
+                     stack shares within {:.0}pp of {path}",
+                    bench_profile::MIN_ATTRIBUTED_FRACTION * 100.0,
+                    bench_profile::MAX_SHARE_DRIFT * 100.0,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("PROFILE GATE: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let (doc, profile) = profiled_flight(quick);
+    if let Err(e) = reconcile(&profile) {
+        eprintln!("PROFILE GATE: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = bench_profile::validate(&doc) {
+        eprintln!("PROFILE GATE: {e}");
+        return ExitCode::FAILURE;
+    }
+    if json_out {
+        println!("{}", doc.to_pretty());
+    } else {
+        print_profile_summary(&doc, &profile);
+    }
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, doc.to_pretty()) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The 1 % gate: collapsed-stack weights must sum back to the profile's
+/// inclusive total, and the merged session root must carry the sessions'
+/// reported latency.
+fn reconcile(profile: &trace_profile::Profile) -> Result<(), String> {
+    let folded: u64 = profile.folded_weights().values().sum();
+    let total = profile.total().as_nanos() as u64;
+    if total == 0 {
+        return Err("profile recorded no time".into());
+    }
+    let err = (total.abs_diff(folded)) as f64 / total as f64;
+    if err > 0.01 {
+        return Err(format!(
+            "folded weights sum to {folded} ns vs profile total {total} ns \
+             ({:.2}% off, gate is 1%)",
+            err * 100.0
+        ));
+    }
+    if profile.session_total().is_zero() {
+        return Err("no session windows in the profile".into());
+    }
+    Ok(())
+}
+
+fn print_profile_summary(doc: &json::Value, profile: &trace_profile::Profile) {
+    let total = profile.total();
+    let session = profile.session_total();
+    let rows: Vec<Vec<String>> = profile
+        .top_self(12)
+        .into_iter()
+        .map(|(path, ns)| {
+            let share = ns as f64 / (total.as_nanos() as f64).max(1.0) * 100.0;
+            vec![
+                path,
+                format!("{:.1}", ns as f64 / 1e6),
+                format!("{share:.1}%"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Hottest stacks (self time)",
+        &["stack", "self_ms", "share"],
+        &rows,
+    );
+
+    if let Some(attr) = doc.get("attribution").and_then(json::Value::as_object) {
+        let rows: Vec<Vec<String>> = attr
+            .iter()
+            .map(|(ordinal, e)| {
+                let cell = |k: &str| {
+                    e.get(k)
+                        .and_then(json::Value::as_number)
+                        .map_or_else(|| "-".into(), |v| format!("{v:.2}"))
+                };
+                let frac = e
+                    .get("fraction")
+                    .and_then(json::Value::as_number)
+                    .unwrap_or(0.0);
+                vec![
+                    ordinal.clone(),
+                    cell("charged_ms"),
+                    cell("attributed_ms"),
+                    format!("{:.1}%", frac * 100.0),
+                ]
+            })
+            .collect();
+        print_table(
+            "Crypto cost model: per-ordinal attribution",
+            &["ordinal", "charged_ms", "attributed_ms", "fraction"],
+            &rows,
+        );
+    }
+    println!(
+        "\nprofile total: {:.1} ms ({:.1} ms in sessions); reconciliation loss {:.4}%",
+        total.as_secs_f64() * 1e3,
+        session.as_secs_f64() * 1e3,
+        profile.reconciliation_error() * 100.0,
+    );
+}
+
+fn cmd_flamegraph(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut format = String::from("folded");
+    let mut out: Option<String> = None;
+    let mut diff: Option<String> = None;
+    let mut diff_warm = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--diff-warm" => diff_warm = true,
+            "--format" => match it.next() {
+                Some(f) => format = f.clone(),
+                None => return usage("--format needs folded|chrome"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return usage("--out needs a path"),
+            },
+            "--diff" => match it.next() {
+                Some(p) => diff = Some(p.clone()),
+                None => return usage("--diff needs a folded-stacks file"),
+            },
+            other => return usage(&format!("unknown flamegraph argument {other:?}")),
+        }
+    }
+
+    if diff_warm {
+        return flamegraph_diff_warm();
+    }
+
+    let trace = record_flight(quick);
+    let profile = trace_profile::build(&trace);
+    if let Err(e) = reconcile(&profile) {
+        eprintln!("FLAMEGRAPH GATE: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = diff {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let before = match trace_profile::parse_folded(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let after = profile.folded_weights();
+        let deltas = trace_profile::diff_folded(&before, &after);
+        if deltas.is_empty() {
+            println!("no drift: current folded stacks are identical to {path}");
+            return ExitCode::SUCCESS;
+        }
+        let rows: Vec<Vec<String>> = deltas
+            .iter()
+            .take(20)
+            .map(|d| {
+                vec![
+                    d.path.clone(),
+                    format!("{:.1}", d.before as f64 / 1e6),
+                    format!("{:.1}", d.after as f64 / 1e6),
+                    format!("{:+.1}", d.delta() as f64 / 1e6),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Folded-stack drift vs {path} (ms)"),
+            &["stack", "before_ms", "after_ms", "delta_ms"],
+            &rows,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match format.as_str() {
+        "folded" => profile.folded(),
+        "chrome" => profile.to_chrome_json(),
+        other => return usage(&format!("unknown flamegraph format {other:?}")),
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path} ({} bytes)", text.len());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Cold-vs-warm diff: a 1-iteration flight (cold caches, per-boot key
+/// loads unamortised) against the standard quick flight, compared by
+/// *share* of total time so the different run lengths cancel out.
+fn flamegraph_diff_warm() -> ExitCode {
+    eprintln!("recording cold flight (1 iteration per app)");
+    let cold_trace = run_baseline_traced(&BaselineConfig {
+        iterations_per_app: 1,
+        quick: true,
+    })
+    .1;
+    let cold = trace_profile::build(&cold_trace);
+    eprintln!("recording warm flight (quick)");
+    let warm_trace = run_baseline_traced(&BaselineConfig::quick()).1;
+    let warm = trace_profile::build(&warm_trace);
+
+    let shares = |p: &trace_profile::Profile| -> BTreeMap<String, f64> {
+        let total = (p.total().as_nanos() as f64).max(1.0);
+        p.folded_weights()
+            .into_iter()
+            .map(|(path, w)| (path, w as f64 / total))
+            .collect()
+    };
+    let (c, w) = (shares(&cold), shares(&warm));
+    let mut rows: Vec<(String, f64, f64)> = c
+        .keys()
+        .chain(w.keys())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .map(|path| {
+            let b = c.get(path).copied().unwrap_or(0.0);
+            let a = w.get(path).copied().unwrap_or(0.0);
+            (path.clone(), b, a)
+        })
+        .filter(|&(_, b, a)| (a - b).abs() > 1e-4)
+        .collect();
+    rows.sort_by(|x, y| {
+        (y.2 - y.1)
+            .abs()
+            .total_cmp(&(x.2 - x.1).abs())
+            .then(x.0.cmp(&y.0))
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .take(20)
+        .map(|(path, b, a)| {
+            vec![
+                path.clone(),
+                format!("{:.2}%", b * 100.0),
+                format!("{:.2}%", a * 100.0),
+                format!("{:+.2}pp", (a - b) * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Cold vs warm: stack share of total time",
+        &["stack", "cold", "warm", "delta"],
+        &table,
     );
     ExitCode::SUCCESS
 }

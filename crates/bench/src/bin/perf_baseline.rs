@@ -87,11 +87,16 @@ fn main() -> ExitCode {
             events.len()
         );
     }
+    let profile_doc = flicker_bench::profile::report(cfg.quick, &trace);
+    if let Err(e) = flicker_bench::profile::validate(&profile_doc) {
+        eprintln!("profile extension failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
     if let Err(e) = std::fs::write(&out, doc.to_pretty()) {
         eprintln!("writing {out}: {e}");
         return ExitCode::FAILURE;
     }
-    if let Err(e) = append_trajectory(&trajectory, &doc, sessions) {
+    if let Err(e) = append_trajectory(&trajectory, &doc, &profile_doc, sessions) {
         eprintln!("appending {trajectory}: {e}");
         return ExitCode::FAILURE;
     }
@@ -123,8 +128,14 @@ fn current_commit() -> String {
 }
 
 /// Appends one JSONL summary line (commit, quick, sessions, per-app
-/// p50/p95) to the trajectory file, creating it if absent.
-fn append_trajectory(path: &str, doc: &Value, sessions: u64) -> Result<(), String> {
+/// p50/p95, plus the compact `profile` cost-attribution extension) to
+/// the trajectory file, creating it if absent.
+fn append_trajectory(
+    path: &str,
+    doc: &Value,
+    profile_doc: &Value,
+    sessions: u64,
+) -> Result<(), String> {
     let mut apps = BTreeMap::new();
     if let Some(entries) = doc.get("apps").and_then(Value::as_object) {
         for (name, stats) in entries {
@@ -150,6 +161,10 @@ fn append_trajectory(path: &str, doc: &Value, sessions: u64) -> Result<(), Strin
         ),
         ("sessions".into(), Value::Number(sessions as f64)),
         ("apps".into(), Value::Object(apps)),
+        (
+            "profile".into(),
+            flicker_bench::profile::trajectory_extension(profile_doc),
+        ),
     ]));
     let mut text = line.to_compact();
     text.push('\n');

@@ -5,7 +5,15 @@
 //!
 //! ```text
 //! trajectory_dashboard [--trajectory PATH] [--out-dir DIR] [--include-quick]
+//! trajectory_dashboard --check-drift [--trajectory PATH] [--include-quick]
 //! ```
+//!
+//! `--check-drift` renders nothing: it walks consecutive trajectory
+//! entries carrying the `profile` cost-attribution extension and fails
+//! if any gated ordinal's attributed fraction or any top stack's share
+//! moved by more than [`flicker_bench::profile::MAX_SHARE_DRIFT`]
+//! between adjacent same-quickness runs — cost *drift* caught in CI even
+//! when absolute latency gates still pass.
 //!
 //! Defaults read `BENCH_trajectory.jsonl` and write `docs/bench/`. Quick
 //! runs are skipped by default (the committed trajectory only carries
@@ -31,6 +39,7 @@ fn main() -> ExitCode {
     let mut trajectory = String::from("BENCH_trajectory.jsonl");
     let mut out_dir = String::from("docs/bench");
     let mut include_quick = false;
+    let mut check_drift = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,6 +53,7 @@ fn main() -> ExitCode {
                 None => return usage("--out-dir needs a directory"),
             },
             "--include-quick" => include_quick = true,
+            "--check-drift" => check_drift = true,
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -55,6 +65,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if check_drift {
+        return run_check_drift(&trajectory, &text, include_quick);
+    }
     // Merge lines commit-by-commit (in first-appearance order): one
     // dashboard entry per commit, holding the union of every tool's
     // series for it.
@@ -141,8 +154,108 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
-    eprintln!("usage: trajectory_dashboard [--trajectory PATH] [--out-dir DIR] [--include-quick]");
+    eprintln!(
+        "usage: trajectory_dashboard [--trajectory PATH] [--out-dir DIR] [--include-quick]\n\
+         \x20      trajectory_dashboard --check-drift [--trajectory PATH] [--include-quick]"
+    );
     ExitCode::FAILURE
+}
+
+/// The drift detector: compares each trajectory entry's `profile`
+/// extension against the previous same-quickness entry that has one.
+/// A gated ordinal's attributed fraction or a top stack's share moving
+/// by more than [`flicker_bench::profile::MAX_SHARE_DRIFT`] fails the
+/// run; a stack merely entering or leaving the top-5 list is reported
+/// but tolerated (rank churn near the cut-off is not drift).
+fn run_check_drift(trajectory: &str, text: &str, include_quick: bool) -> ExitCode {
+    let max_drift = flicker_bench::profile::MAX_SHARE_DRIFT;
+    // Previous profile extension per quickness class.
+    let mut prev: BTreeMap<bool, (usize, Value)> = BTreeMap::new();
+    let mut compared = 0u64;
+    let mut failures = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{trajectory}:{}: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let quick = value.get("quick").and_then(Value::as_bool).unwrap_or(false);
+        if quick && !include_quick {
+            continue;
+        }
+        let Some(profile) = value.get("profile").cloned() else {
+            continue; // pre-profile schema lines, farm/warm lines
+        };
+        if let Some((prev_line, before)) = prev.get(&quick) {
+            compared += 1;
+            for issue in profile_drift(before, &profile, max_drift) {
+                failures.push(format!(
+                    "{trajectory}:{} vs line {}: {issue}",
+                    lineno + 1,
+                    prev_line
+                ));
+            }
+        }
+        prev.insert(quick, (lineno + 1, profile));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("DRIFT {f}");
+        }
+        eprintln!(
+            "profile drift check failed: {} violation(s) over {compared} comparison(s)",
+            failures.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "profile drift check passed: {compared} consecutive-run comparison(s) \
+         within {:.0}pp",
+        max_drift * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+/// Drift issues between two trajectory `profile` extensions: every
+/// attribution fraction or top-stack share present in *both* must agree
+/// within `max_drift`.
+fn profile_drift(before: &Value, after: &Value, max_drift: f64) -> Vec<String> {
+    let mut issues = Vec::new();
+    for section in ["attribution", "top_stacks"] {
+        let (Some(b), Some(a)) = (
+            before.get(section).and_then(Value::as_object),
+            after.get(section).and_then(Value::as_object),
+        ) else {
+            continue;
+        };
+        for (name, bv) in b {
+            let Some(before_frac) = bv.as_number() else {
+                continue;
+            };
+            match a.get(name).and_then(Value::as_number) {
+                Some(after_frac) => {
+                    let delta = (after_frac - before_frac).abs();
+                    if delta > max_drift {
+                        issues.push(format!(
+                            "{section}/{name} moved {before_frac:.3} -> {after_frac:.3} \
+                             (|delta| {delta:.3} > {max_drift})"
+                        ));
+                    }
+                }
+                None if section == "attribution" => {
+                    issues.push(format!("{section}/{name} vanished (was {before_frac:.3})"));
+                }
+                // Top-stack rank churn near the cut-off is not drift.
+                None => {}
+            }
+        }
+    }
+    issues
 }
 
 /// Collects every numeric leaf under `value` as a `path/to/leaf` series

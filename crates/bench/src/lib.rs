@@ -16,6 +16,7 @@ pub mod baseline;
 pub mod farmattr;
 pub mod faultsweep;
 pub mod json;
+pub mod profile;
 
 /// Whether an error string carries one of PalVM's *safety* fault
 /// signatures — the faults the static verifier proves away. A verified
@@ -122,6 +123,42 @@ impl Stats {
     pub fn std_ms(&self) -> f64 {
         self.std_dev.as_secs_f64() * 1e3
     }
+}
+
+/// Nearest-rank percentile (`p` in percent) over an unsorted sample set:
+/// the smallest sample at or above rank `⌈p/100·n⌉`. Exact — unlike
+/// `DurationHistogram::quantile`, whose log-bucket midpoints carry ~6 %
+/// error and collapse nearby quantiles into one bucket. Returns
+/// [`Duration::ZERO`] on an empty set.
+pub fn percentile(samples: &[Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    nearest_rank(&sorted, p)
+}
+
+/// The (p50, p95, p99) nearest-rank percentiles over an unsorted sample
+/// set (all zero when empty). One sort serves all three ranks — the
+/// shared helper behind the farm bench's latency table and the perf
+/// baseline's per-app stats.
+pub fn percentiles(samples: &[Duration]) -> (Duration, Duration, Duration) {
+    if samples.is_empty() {
+        return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    (
+        nearest_rank(&sorted, 50.0),
+        nearest_rank(&sorted, 95.0),
+        nearest_rank(&sorted, 99.0),
+    )
+}
+
+fn nearest_rank(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Milliseconds with one decimal, like the paper's tables.
@@ -248,6 +285,43 @@ mod tests {
     fn formatting() {
         assert_eq!(ms(Duration::from_micros(15_400)), "15.4");
         assert_eq!(min_sec(Duration::from_secs_f64(442.6)), "7:22.6");
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        // 1..=100 ms: nearest-rank p50 is the 50th sample, p95 the 95th,
+        // p99 the 99th — exactly, with no bucketing error.
+        let mut samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        // Order must not matter.
+        samples.reverse();
+        let (p50, p95, p99) = percentiles(&samples);
+        assert_eq!(p50, Duration::from_millis(50));
+        assert_eq!(p95, Duration::from_millis(95));
+        assert_eq!(p99, Duration::from_millis(99));
+        assert_eq!(percentile(&samples, 100.0), Duration::from_millis(100));
+        assert_eq!(percentile(&samples, 1.0), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn percentiles_degenerate_sets() {
+        assert_eq!(
+            percentiles(&[]),
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+        );
+        let one = [Duration::from_millis(7)];
+        assert_eq!(
+            percentiles(&one),
+            (
+                Duration::from_millis(7),
+                Duration::from_millis(7),
+                Duration::from_millis(7)
+            )
+        );
+        let two = [Duration::from_millis(10), Duration::from_millis(20)];
+        let (p50, p95, p99) = percentiles(&two);
+        assert_eq!(p50, Duration::from_millis(10));
+        assert_eq!(p95, Duration::from_millis(20));
+        assert_eq!(p99, Duration::from_millis(20));
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! The profile baseline: machine-readable cost-attribution report over a
+//! traced §6 application run, with schema validation and drift gates.
+//!
+//! Where `BENCH_perf_baseline.json` answers "how long did it take",
+//! `BENCH_profile_baseline.json` answers "where did the time go": the
+//! merged profile tree's heaviest stacks, and — per expensive TPM
+//! ordinal — how much of the charged virtual time the crypto cost model
+//! attributes to named primitives (modmul, SHA compression, AES blocks).
+//!
+//! Two CI gates live here:
+//!
+//! * **Attribution**: every ordinal in
+//!   `flicker_tpm::costmodel::GATED_ORDINALS` must attribute at least
+//!   [`MIN_ATTRIBUTED_FRACTION`] of its charged time to primitives.
+//! * **Reconciliation**: the folded stacks' total weight must match the
+//!   profile's inclusive total within [`MAX_RECONCILIATION_ERROR`]
+//!   (child-exceeds-parent clamping is the only loss channel, so a
+//!   violation means the trace's nesting model is broken).
+//!
+//! [`compare`] adds the regression gate: a fresh run's stack *shares*
+//! (self-weight over total — scale-free, so a quick run compares against
+//! the committed full baseline) must stay within [`MAX_SHARE_DRIFT`] of
+//! the baseline's, and no load-bearing stack may vanish.
+
+use crate::json::Value;
+use flicker_trace::profile::{build, Profile};
+use flicker_trace::{EventKind, Trace};
+use std::collections::BTreeMap;
+
+/// Schema identifier stamped into (and required of) every profile
+/// baseline file.
+pub const SCHEMA: &str = "flicker-profile-baseline/v1";
+
+/// Minimum fraction of a gated ordinal's charged time the cost model must
+/// attribute to named primitives.
+pub const MIN_ATTRIBUTED_FRACTION: f64 = 0.90;
+
+/// Maximum tolerated folded-weight reconciliation loss.
+pub const MAX_RECONCILIATION_ERROR: f64 = 0.01;
+
+/// Maximum tolerated absolute drift in any load-bearing stack's share of
+/// total time, fresh run vs committed baseline.
+pub const MAX_SHARE_DRIFT: f64 = 0.05;
+
+/// A stack is load-bearing (compared across runs) when its share of total
+/// time is at least this much in the baseline.
+pub const SHARE_FLOOR: f64 = 0.01;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Builds the profile-baseline document for a traced run.
+pub fn report(quick: bool, trace: &Trace) -> Value {
+    let profile = build(trace);
+    let total_ns: u64 = profile.roots.values().map(|r| r.total_ns).sum();
+
+    // Measured per-ordinal attribution: charged time from TpmCommand
+    // events, attributed time from the CryptoCost decomposition the TPM
+    // pends alongside them.
+    let mut charged: BTreeMap<String, u64> = BTreeMap::new();
+    let mut attributed: BTreeMap<String, u64> = BTreeMap::new();
+    for e in trace.events() {
+        match &e.kind {
+            EventKind::TpmCommand {
+                ordinal, dur_ns, ..
+            } => *charged.entry(ordinal.clone()).or_insert(0) += dur_ns,
+            EventKind::CryptoCost {
+                ordinal, dur_ns, ..
+            } => *attributed.entry(ordinal.clone()).or_insert(0) += dur_ns,
+            _ => {}
+        }
+    }
+    let mut attribution = BTreeMap::new();
+    for (ordinal, &c) in &charged {
+        let a = attributed.get(ordinal).copied().unwrap_or(0);
+        let fraction = if c == 0 { 0.0 } else { a as f64 / c as f64 };
+        attribution.insert(
+            ordinal.clone(),
+            Value::Object(BTreeMap::from([
+                ("charged_ms".into(), Value::Number(ms(c))),
+                ("attributed_ms".into(), Value::Number(ms(a))),
+                ("fraction".into(), Value::Number(fraction)),
+            ])),
+        );
+    }
+
+    let mut stacks = BTreeMap::new();
+    for (path, w) in profile.folded_weights() {
+        let share = if total_ns == 0 {
+            0.0
+        } else {
+            w as f64 / total_ns as f64
+        };
+        stacks.insert(
+            path,
+            Value::Object(BTreeMap::from([
+                ("self_ms".into(), Value::Number(ms(w))),
+                ("share".into(), Value::Number(share)),
+            ])),
+        );
+    }
+
+    Value::Object(BTreeMap::from([
+        ("schema".into(), Value::String(SCHEMA.into())),
+        ("quick".into(), Value::Bool(quick)),
+        ("total_ms".into(), Value::Number(ms(total_ns))),
+        (
+            "session_total_ms".into(),
+            Value::Number(profile.session_total().as_secs_f64() * 1e3),
+        ),
+        (
+            "reconciliation_error".into(),
+            Value::Number(profile.reconciliation_error()),
+        ),
+        ("attribution".into(), Value::Object(attribution)),
+        ("stacks".into(), Value::Object(stacks)),
+    ]))
+}
+
+fn num(doc: &Value, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Value::as_number)
+        .ok_or_else(|| format!("{key} missing or not a number"))
+}
+
+/// Validates a parsed profile-baseline document: schema, both CI gates,
+/// and internal consistency of the stack shares.
+pub fn validate(doc: &Value) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("schema field missing")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    doc.get("quick")
+        .and_then(Value::as_bool)
+        .ok_or("quick field missing")?;
+
+    let total = num(doc, "total_ms")?;
+    if !total.is_finite() || total <= 0.0 {
+        return Err(format!("total_ms = {total} (no recorded time)"));
+    }
+    let session = num(doc, "session_total_ms")?;
+    if !session.is_finite() || session <= 0.0 {
+        return Err(format!("session_total_ms = {session} (no sessions)"));
+    }
+
+    let recon = num(doc, "reconciliation_error")?;
+    if !(0.0..=MAX_RECONCILIATION_ERROR).contains(&recon) {
+        return Err(format!(
+            "reconciliation error {recon} exceeds {MAX_RECONCILIATION_ERROR}"
+        ));
+    }
+
+    let attribution = doc
+        .get("attribution")
+        .and_then(Value::as_object)
+        .ok_or("attribution section missing")?;
+    for ordinal in flicker_tpm::costmodel::GATED_ORDINALS {
+        let entry = attribution
+            .get(ordinal)
+            .ok_or_else(|| format!("attribution.{ordinal} missing"))?;
+        let fraction = entry
+            .get("fraction")
+            .and_then(Value::as_number)
+            .ok_or_else(|| format!("attribution.{ordinal}.fraction missing"))?;
+        if fraction < MIN_ATTRIBUTED_FRACTION {
+            return Err(format!(
+                "attribution.{ordinal} = {fraction:.3}, below the \
+                 {MIN_ATTRIBUTED_FRACTION} gate"
+            ));
+        }
+    }
+
+    let stacks = doc
+        .get("stacks")
+        .and_then(Value::as_object)
+        .ok_or("stacks section missing")?;
+    if stacks.is_empty() {
+        return Err("stacks section is empty".into());
+    }
+    let mut share_sum = 0.0;
+    for (path, entry) in stacks {
+        let share = entry
+            .get("share")
+            .and_then(Value::as_number)
+            .ok_or_else(|| format!("stacks[{path:?}].share missing"))?;
+        if !(0.0..=1.0).contains(&share) {
+            return Err(format!("stacks[{path:?}].share = {share} out of range"));
+        }
+        share_sum += share;
+    }
+    // Shares sum to 1 minus the clamping loss — already bounded above.
+    if !((1.0 - MAX_RECONCILIATION_ERROR)..=1.0 + 1e-9).contains(&share_sum) {
+        return Err(format!(
+            "stack shares sum to {share_sum:.4}, not ~1 (weights don't \
+             reconcile with the profile total)"
+        ));
+    }
+    // The decomposition must actually reach the flame: the dominant
+    // ordinal's primitive frame has to be present.
+    if !stacks
+        .keys()
+        .any(|p| p.contains("tpm.TPM_Quote;modmul") || p.contains("tpm.TPM_Unseal;modmul"))
+    {
+        return Err("no modmul frame under a gated ordinal — cost model \
+                    decomposition missing from the stacks"
+            .into());
+    }
+    Ok(())
+}
+
+fn shares(doc: &Value) -> Result<BTreeMap<String, f64>, String> {
+    let stacks = doc
+        .get("stacks")
+        .and_then(Value::as_object)
+        .ok_or("stacks section missing")?;
+    let mut out = BTreeMap::new();
+    for (path, entry) in stacks {
+        let share = entry
+            .get("share")
+            .and_then(Value::as_number)
+            .ok_or_else(|| format!("stacks[{path:?}].share missing"))?;
+        out.insert(path.clone(), share);
+    }
+    Ok(out)
+}
+
+/// The regression gate: checks a fresh run (`current`) against the
+/// committed `baseline`. Both must validate; every load-bearing baseline
+/// stack (share ≥ [`SHARE_FLOOR`]) must still exist within
+/// [`MAX_SHARE_DRIFT`] of its share, and gated attribution fractions must
+/// not drift. Returns human-readable drift notes for stacks that moved
+/// but stayed inside the gate.
+pub fn compare(baseline: &Value, current: &Value) -> Result<Vec<String>, String> {
+    validate(baseline).map_err(|e| format!("baseline invalid: {e}"))?;
+    validate(current).map_err(|e| format!("current run invalid: {e}"))?;
+
+    let base_attr = baseline
+        .get("attribution")
+        .and_then(Value::as_object)
+        .ok_or("baseline attribution missing")?;
+    let cur_attr = current
+        .get("attribution")
+        .and_then(Value::as_object)
+        .ok_or("current attribution missing")?;
+    for ordinal in flicker_tpm::costmodel::GATED_ORDINALS {
+        let b = base_attr
+            .get(ordinal)
+            .and_then(|e| e.get("fraction"))
+            .and_then(Value::as_number)
+            .unwrap_or(0.0);
+        let c = cur_attr
+            .get(ordinal)
+            .and_then(|e| e.get("fraction"))
+            .and_then(Value::as_number)
+            .unwrap_or(0.0);
+        if (b - c).abs() > 0.02 {
+            return Err(format!(
+                "attribution.{ordinal} drifted {b:.3} -> {c:.3} (the cost \
+                 model's shares are constants; this is a model change)"
+            ));
+        }
+    }
+
+    let base_shares = shares(baseline)?;
+    let cur_shares = shares(current)?;
+    let mut notes = Vec::new();
+    for (path, &b) in &base_shares {
+        if b < SHARE_FLOOR {
+            continue;
+        }
+        let c = cur_shares.get(path).copied().unwrap_or(0.0);
+        let drift = (b - c).abs();
+        if drift > MAX_SHARE_DRIFT {
+            return Err(format!(
+                "stack {path:?} share drifted {b:.3} -> {c:.3} \
+                 (> {MAX_SHARE_DRIFT} gate)"
+            ));
+        }
+        if drift > MAX_SHARE_DRIFT / 2.0 {
+            notes.push(format!("{path}: share {b:.3} -> {c:.3}"));
+        }
+    }
+    // New heavyweight stacks are drift too: time moved somewhere the
+    // baseline never saw.
+    for (path, &c) in &cur_shares {
+        if c >= SHARE_FLOOR + MAX_SHARE_DRIFT && !base_shares.contains_key(path) {
+            return Err(format!(
+                "new stack {path:?} carries {c:.3} of total time, absent \
+                 from the baseline"
+            ));
+        }
+    }
+    Ok(notes)
+}
+
+/// The `profile` object for a trajectory JSONL line: totals, the gated
+/// attribution fractions, and the five heaviest stack shares — compact
+/// numeric leaves the dashboard flattens into drift series.
+pub fn trajectory_extension(doc: &Value) -> Value {
+    let mut out = BTreeMap::new();
+    for key in ["total_ms", "session_total_ms", "reconciliation_error"] {
+        if let Some(v) = doc.get(key) {
+            out.insert(key.to_string(), v.clone());
+        }
+    }
+    let mut fractions = BTreeMap::new();
+    if let Some(attr) = doc.get("attribution").and_then(Value::as_object) {
+        for ordinal in flicker_tpm::costmodel::GATED_ORDINALS {
+            if let Some(f) = attr.get(ordinal).and_then(|e| e.get("fraction")) {
+                fractions.insert(ordinal.to_string(), f.clone());
+            }
+        }
+    }
+    out.insert("attribution".into(), Value::Object(fractions));
+    let mut top: Vec<(String, f64)> = shares(doc).unwrap_or_default().into_iter().collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.insert(
+        "top_stacks".into(),
+        Value::Object(
+            top.into_iter()
+                .take(5)
+                .map(|(p, s)| (p, Value::Number(s)))
+                .collect(),
+        ),
+    );
+    Value::Object(out)
+}
+
+/// Convenience: report + profile for the same trace (the tool prints from
+/// the [`Profile`], commits the [`Value`]).
+pub fn report_with_profile(quick: bool, trace: &Trace) -> (Value, Profile) {
+    (report(quick, trace), build(trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{run_baseline_traced, BaselineConfig};
+
+    fn quick_doc() -> Value {
+        let (_, trace) = run_baseline_traced(&BaselineConfig::quick());
+        report(true, &trace)
+    }
+
+    #[test]
+    fn quick_profile_validates_and_round_trips() {
+        let doc = quick_doc();
+        validate(&doc).expect("quick profile validates");
+        let back = crate::json::parse(&doc.to_pretty()).expect("emitted JSON parses");
+        assert_eq!(back, doc);
+        validate(&back).expect("round-tripped profile validates");
+    }
+
+    #[test]
+    fn gated_ordinals_attribute_at_least_90_percent_measured() {
+        // The acceptance bar, measured from the flight record rather than
+        // read off the model's constants.
+        let doc = quick_doc();
+        let attr = doc.get("attribution").and_then(Value::as_object).unwrap();
+        for ordinal in flicker_tpm::costmodel::GATED_ORDINALS {
+            let f = attr
+                .get(ordinal)
+                .and_then(|e| e.get("fraction"))
+                .and_then(Value::as_number)
+                .unwrap_or_else(|| panic!("{ordinal} missing from attribution"));
+            assert!(f >= MIN_ATTRIBUTED_FRACTION, "{ordinal} attributes {f}");
+        }
+    }
+
+    #[test]
+    fn identical_runs_compare_clean() {
+        let doc = quick_doc();
+        let notes = compare(&doc, &doc).expect("self-compare passes");
+        assert!(notes.is_empty(), "self-compare drifted: {notes:?}");
+    }
+
+    #[test]
+    fn compare_rejects_a_vanished_stack() {
+        let doc = quick_doc();
+        let Value::Object(mut map) = doc.clone() else {
+            unreachable!()
+        };
+        // Drop the heaviest stack from the "current" run.
+        let Some(Value::Object(stacks)) = map.get_mut("stacks") else {
+            unreachable!()
+        };
+        let heaviest = stacks
+            .iter()
+            .max_by(|a, b| {
+                let s = |e: &Value| e.get("share").and_then(Value::as_number).unwrap_or(0.0);
+                s(a.1).total_cmp(&s(b.1))
+            })
+            .map(|(k, _)| k.clone())
+            .unwrap();
+        stacks.remove(&heaviest);
+        let mutilated = Value::Object(map);
+        // The mutilated doc no longer validates (share sum broke) or the
+        // compare flags the vanished stack — either way the gate trips.
+        assert!(
+            compare(&doc, &mutilated).is_err(),
+            "vanished stack {heaviest:?} passed the gate"
+        );
+    }
+
+    #[test]
+    fn trajectory_extension_is_compact_and_numeric() {
+        let doc = quick_doc();
+        let ext = trajectory_extension(&doc);
+        assert!(ext.get("total_ms").and_then(Value::as_number).is_some());
+        let top = ext.get("top_stacks").and_then(Value::as_object).unwrap();
+        assert!(!top.is_empty() && top.len() <= 5);
+        let attr = ext.get("attribution").and_then(Value::as_object).unwrap();
+        assert_eq!(attr.len(), flicker_tpm::costmodel::GATED_ORDINALS.len());
+    }
+}

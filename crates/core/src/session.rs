@@ -171,6 +171,14 @@ pub const CT_ACCEPT_COUNTER: &str = "verify.ct_accept";
 /// reachable only via `SlbImage::build_unverified`).
 pub const CT_REJECT_COUNTER: &str = "verify.ct_reject";
 
+/// Counter accumulating bytecode instructions retired inside `phase.pal`
+/// (== fuel consumed; the profiler rides the interpreter's hook seam).
+/// Per-opcode breakdowns land beside it as `vm.op.<mnemonic>` counters.
+pub const VM_INSNS_COUNTER: &str = "vm.insns";
+/// Counter accumulating taken loop back-edges across bytecode PAL runs
+/// (the hot-loop signal for the profile plane).
+pub const VM_LOOP_ITERS_COUNTER: &str = "vm.loop_iters";
+
 fn phase_start(tracer: &Option<Trace>, clock: &SimClock, name: &'static str) -> Option<SpanId> {
     tracer.as_ref().map(|t| {
         t.event(
@@ -468,7 +476,7 @@ pub fn run_session(
             .map(|t| (t.as_secs_f64() * VM_INSNS_PER_SEC as f64) as u64)
     });
     let pal_start = clock.now();
-    let mut pal_result = execute_payload(slb.payload(), &mut ctx, fuel);
+    let mut pal_result = execute_payload(slb.payload(), &mut ctx, fuel, tracer.as_ref());
     let mut timed_out = false;
     if let (Ok(()), Some(limit)) = (&pal_result, slb.options.time_limit) {
         // Native PALs cannot be preempted; enforce the bound after the
@@ -626,6 +634,7 @@ fn execute_payload(
     payload: &PalPayload,
     ctx: &mut PalContext<'_>,
     fuel: Option<u64>,
+    tracer: Option<&Trace>,
 ) -> Result<(), String> {
     match payload {
         PalPayload::Native { program, .. } => {
@@ -638,9 +647,36 @@ fn execute_payload(
             regs[vm_regs::OUTPUTS] = ctx.inputs_logical_addr() + 0x1000;
             regs[vm_regs::INPUT_LEN] = ctx.inputs().len() as u32;
             let mut bus = VmBusAdapter { ctx };
-            flicker_palvm::run_with_regs(&prog.code, &mut bus, fuel.unwrap_or(DEFAULT_FUEL), regs)
-                .map(|_| ())
-                .map_err(|e| e.to_string())
+            let fuel = fuel.unwrap_or(DEFAULT_FUEL);
+            match tracer {
+                // With a recorder installed, run under the instruction
+                // profiler and feed the retirement counts into the trace
+                // — counts survive a fault, so even a PAL that runs out
+                // of fuel shows where the budget went.
+                Some(t) => {
+                    let mut profiler = flicker_palvm::InsnProfiler::new();
+                    let result = flicker_palvm::run_with_hook(
+                        &prog.code,
+                        &mut bus,
+                        fuel,
+                        regs,
+                        &mut profiler,
+                    );
+                    for (name, n) in profiler.counter_pairs() {
+                        t.counter_add(name, n);
+                    }
+                    let prof = profiler.finish();
+                    t.counter_add(VM_INSNS_COUNTER, prof.executed);
+                    t.counter_add(
+                        VM_LOOP_ITERS_COUNTER,
+                        prof.loops.iter().map(|l| l.iterations).sum(),
+                    );
+                    result.map(|_| ()).map_err(|e| e.to_string())
+                }
+                None => flicker_palvm::run_with_regs(&prog.code, &mut bus, fuel, regs)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string()),
+            }
         }
     }
 }

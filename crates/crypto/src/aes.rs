@@ -168,6 +168,7 @@ impl Aes128 {
 
     /// Encrypts a single 16-byte block in place.
     pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        crate::cost::count(crate::cost::Primitive::AesBlock);
         Self::add_round_key(block, &self.round_keys[0]);
         for round in 1..10 {
             Self::sub_bytes(block);
@@ -182,6 +183,7 @@ impl Aes128 {
 
     /// Decrypts a single 16-byte block in place.
     pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        crate::cost::count(crate::cost::Primitive::AesBlock);
         Self::add_round_key(block, &self.round_keys[10]);
         for round in (1..10).rev() {
             Self::inv_shift_rows(block);

@@ -56,6 +56,7 @@ impl<D: Digest> Hmac<D> {
 
     /// Finishes and returns the authentication tag (`D::OUTPUT_LEN` bytes).
     pub fn finalize(mut self) -> Vec<u8> {
+        crate::cost::count(crate::cost::Primitive::Hmac);
         let inner_hash = self.inner.finalize();
         self.outer.update(&inner_hash);
         self.outer.finalize()

@@ -22,6 +22,7 @@
 //! test vectors in each module's unit tests.
 
 pub mod aes;
+pub mod cost;
 pub mod ct;
 pub mod digest;
 pub mod drbg;

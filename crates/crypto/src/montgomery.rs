@@ -76,6 +76,7 @@ impl MontgomeryCtx {
     /// CIOS Montgomery multiplication: returns `a·b·R⁻¹ mod n` for
     /// equal-length Montgomery-form inputs.
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        crate::cost::count(crate::cost::Primitive::ModMul);
         let k = self.n.len();
         let mut t = vec![0u64; k + 2];
         for &ai in a.iter().take(k) {

@@ -51,6 +51,7 @@ impl Sha1 {
     }
 
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        crate::cost::count(crate::cost::Primitive::Sha1Compress);
         let mut w = [0u32; 80];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);

@@ -11,6 +11,8 @@
 //! palvm-tool analyze [--json] --builtin     analyze every library program
 //! palvm-tool analyze --differential <N>     run N programs through the
 //!                                           shadow-taint differential oracle
+//! palvm-tool profile [--json] [<file.pal>]  instruction-level profile
+//!                                           (defaults to every builtin)
 //! ```
 //!
 //! Exit codes (stable, for CI):
@@ -30,7 +32,8 @@ fn usage() -> ExitCode {
          palvm-tool extract <file.pal> <function>\n  palvm-tool run <file.pal> [hex-input]\n  \
          palvm-tool verify [--json] <file.pal|file.bin>\n  palvm-tool verify [--json] --builtin\n  \
          palvm-tool analyze [--json] <file.pal|file.bin>\n  palvm-tool analyze [--json] --builtin\n  \
-         palvm-tool analyze --differential <count> [seed]\n\
+         palvm-tool analyze --differential <count> [seed]\n  \
+         palvm-tool profile [--json] [<file.pal>|--builtin]\n\
          exit codes: 0 clean, 1 findings or error, 2 usage"
     );
     ExitCode::from(2)
@@ -238,6 +241,68 @@ fn main() -> ExitCode {
                     stats.divergences.len()
                 ))
             }
+        }
+        ("profile", 1 | 2) => {
+            let programs: Vec<(String, Vec<u8>)> = match args.get(1).map(String::as_str) {
+                None | Some("--builtin") => builtins()
+                    .into_iter()
+                    .map(|(name, prog)| (name.to_string(), prog.code))
+                    .collect(),
+                Some(path) => match load_code(path) {
+                    Ok(code) => vec![(path.to_string(), code)],
+                    Err(e) => return fail(&e),
+                },
+            };
+            let mut first = true;
+            if json {
+                println!("[");
+            }
+            for (name, code) in &programs {
+                let mut bus = TestBus::new(64 * 1024);
+                let mut profiler = flicker_palvm::InsnProfiler::new();
+                let result = flicker_palvm::run_with_hook(
+                    code,
+                    &mut bus,
+                    100_000_000,
+                    [0u32; flicker_palvm::NUM_REGS],
+                    &mut profiler,
+                );
+                let prof = profiler.finish();
+                let status = match &result {
+                    Ok(_) => "halted".to_string(),
+                    Err(e) => format!("fault: {e}"),
+                };
+                if json {
+                    if !first {
+                        println!(",");
+                    }
+                    print!(
+                        "{{\"program\":\"{name}\",\"status\":\"{}\",\"profile\":{}}}",
+                        status.replace('"', "'"),
+                        prof.to_json()
+                    );
+                } else {
+                    println!("== {name} ({status}, {} instructions) ==", prof.executed);
+                    for (op, n) in &prof.opcodes {
+                        println!("  {op:<6} {n}");
+                    }
+                    for (num, n) in &prof.hcalls {
+                        println!("  hcall {num}: {n}");
+                    }
+                    for l in prof.loops.iter().take(4) {
+                        println!(
+                            "  loop @{}..{}: {} iterations",
+                            l.head, l.back_pc, l.iterations
+                        );
+                    }
+                    print!("{}", prof.folded(name));
+                }
+                first = false;
+            }
+            if json {
+                println!("\n]");
+            }
+            ExitCode::SUCCESS
         }
         ("verify" | "analyze", 2) => {
             let code = match load_code(&args[1]) {

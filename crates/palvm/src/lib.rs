@@ -13,6 +13,9 @@
 //! * [`vm`] — the interpreter, generic over a [`vm::VmBus`].
 //! * [`shadow`] — the shadow-taint execution monitor (the runtime half
 //!   of the constant-time discipline; see `flicker-verifier`'s ct pass).
+//! * [`profile`] — the instruction-level profiler, riding the same
+//!   [`vm::ExecHook`] seam (per-PC/per-opcode fuel, hypercalls, hot
+//!   loops).
 //! * [`mod@extract`] — the call-graph extraction tool mirroring the paper's
 //!   CIL-based PAL extractor (§5.2).
 //! * [`progs`] — canned programs (Figure 5's hello-world PAL, the §6.2
@@ -22,6 +25,7 @@ pub mod asm;
 pub mod disasm;
 pub mod extract;
 pub mod isa;
+pub mod profile;
 pub mod progs;
 pub mod shadow;
 pub mod vm;
@@ -37,6 +41,7 @@ pub use asm::{assemble, AsmError, Program};
 pub use disasm::{disassemble, DisasmError};
 pub use extract::{extract, ExtractError, Extraction};
 pub use isa::{Insn, Opcode, INSN_LEN, NUM_REGS};
+pub use profile::{InsnProfile, InsnProfiler};
 pub use shadow::ShadowTaint;
 pub use vm::{
     run, run_with_hook, run_with_regs, ExecHook, NoHook, TestBus, VmBus, VmExit, VmFault,

@@ -1,0 +1,357 @@
+//! Instruction-level profiler for PalVM programs.
+//!
+//! The paper bounds a PAL's execution time (§5.1.2) but gives the PAL
+//! author no visibility into where that budget goes; this module is the
+//! reproduction's answer. [`InsnProfiler`] rides the [`ExecHook`] seam of
+//! the one interpreter loop, so profiling observes exactly the production
+//! semantics: per-PC and per-opcode retirement counts, per-hypercall
+//! counts, and taken back-edges (the hot-loop signal — a PalVM loop is a
+//! taken jump to a lower PC). One instruction costs one unit of fuel, so
+//! visit counts *are* fuel counts and the profile total reconciles with
+//! [`crate::vm::VmExit::executed`] exactly.
+//!
+//! [`InsnProfile::folded`] renders the profile as collapsed-stack text
+//! (`frame;frame;frame <weight>` per line), the interchange format the
+//! trace-level flamegraph tooling and external renderers consume.
+
+use crate::isa::{Insn, Opcode, NUM_REGS};
+use crate::vm::{ExecHook, VmFault};
+use std::collections::BTreeMap;
+
+/// Number of opcodes in the ISA (dense `0..NUM_OPCODES` encoding).
+pub const NUM_OPCODES: usize = 25;
+
+/// Stable lowercase mnemonic for an opcode, as used in profiles and
+/// folded stacks (matches the assembler's spelling).
+pub fn mnemonic(op: Opcode) -> &'static str {
+    match op {
+        Opcode::Halt => "halt",
+        Opcode::Movi => "movi",
+        Opcode::Mov => "mov",
+        Opcode::Add => "add",
+        Opcode::Sub => "sub",
+        Opcode::Mul => "mul",
+        Opcode::Divu => "divu",
+        Opcode::Modu => "modu",
+        Opcode::And => "and",
+        Opcode::Or => "or",
+        Opcode::Xor => "xor",
+        Opcode::Shl => "shl",
+        Opcode::Shr => "shr",
+        Opcode::Ldb => "ldb",
+        Opcode::Ldw => "ldw",
+        Opcode::Stb => "stb",
+        Opcode::Stw => "stw",
+        Opcode::Jmp => "jmp",
+        Opcode::Jz => "jz",
+        Opcode::Jnz => "jnz",
+        Opcode::Jlt => "jlt",
+        Opcode::Call => "call",
+        Opcode::Ret => "ret",
+        Opcode::Hcall => "hcall",
+        Opcode::Addi => "addi",
+    }
+}
+
+/// Trace counter name for retirements of `op` (`vm.op.<mnemonic>`).
+/// Static so the counts can feed a trace recorder's counter table, whose
+/// keys are `&'static str`.
+pub fn counter_name(op: Opcode) -> &'static str {
+    match op {
+        Opcode::Halt => "vm.op.halt",
+        Opcode::Movi => "vm.op.movi",
+        Opcode::Mov => "vm.op.mov",
+        Opcode::Add => "vm.op.add",
+        Opcode::Sub => "vm.op.sub",
+        Opcode::Mul => "vm.op.mul",
+        Opcode::Divu => "vm.op.divu",
+        Opcode::Modu => "vm.op.modu",
+        Opcode::And => "vm.op.and",
+        Opcode::Or => "vm.op.or",
+        Opcode::Xor => "vm.op.xor",
+        Opcode::Shl => "vm.op.shl",
+        Opcode::Shr => "vm.op.shr",
+        Opcode::Ldb => "vm.op.ldb",
+        Opcode::Ldw => "vm.op.ldw",
+        Opcode::Stb => "vm.op.stb",
+        Opcode::Stw => "vm.op.stw",
+        Opcode::Jmp => "vm.op.jmp",
+        Opcode::Jz => "vm.op.jz",
+        Opcode::Jnz => "vm.op.jnz",
+        Opcode::Jlt => "vm.op.jlt",
+        Opcode::Call => "vm.op.call",
+        Opcode::Ret => "vm.op.ret",
+        Opcode::Hcall => "vm.op.hcall",
+        Opcode::Addi => "vm.op.addi",
+    }
+}
+
+/// An [`ExecHook`] that accumulates execution counts. Attach it with
+/// [`crate::vm::run_with_hook`]; the partial profile survives a fault
+/// (the profiler is borrowed, not consumed), so adversarial or
+/// out-of-fuel programs can still be profiled.
+#[derive(Debug, Default)]
+pub struct InsnProfiler {
+    per_pc: BTreeMap<u32, u64>,
+    per_opcode: [u64; NUM_OPCODES],
+    hcalls: BTreeMap<u32, u64>,
+    back_edges: BTreeMap<(u32, u32), u64>,
+    executed: u64,
+}
+
+impl InsnProfiler {
+    /// A fresh profiler with all counts at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-opcode retirement counts as trace-counter increments
+    /// (`vm.op.<mnemonic>`, count) — the shape a trace recorder's
+    /// `counter_add` wants.
+    pub fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
+        self.per_opcode
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let op = Opcode::from_u8(i as u8).expect("dense opcode index");
+                (counter_name(op), n)
+            })
+            .collect()
+    }
+
+    /// Consumes the accumulated counts into an [`InsnProfile`] report.
+    pub fn finish(&self) -> InsnProfile {
+        let mut opcodes = Vec::new();
+        for (i, &n) in self.per_opcode.iter().enumerate() {
+            if n > 0 {
+                let op = Opcode::from_u8(i as u8).expect("dense opcode index");
+                opcodes.push((mnemonic(op), n));
+            }
+        }
+        let mut hot_pcs: Vec<(u32, u64)> = self.per_pc.iter().map(|(&pc, &n)| (pc, n)).collect();
+        // Hottest first; PC breaks ties so the order is deterministic.
+        hot_pcs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut loops: Vec<LoopStat> = self
+            .back_edges
+            .iter()
+            .map(|(&(from, to), &n)| LoopStat {
+                head: to,
+                back_pc: from,
+                iterations: n,
+            })
+            .collect();
+        loops.sort_by(|a, b| {
+            b.iterations
+                .cmp(&a.iterations)
+                .then(a.head.cmp(&b.head))
+                .then(a.back_pc.cmp(&b.back_pc))
+        });
+        InsnProfile {
+            executed: self.executed,
+            opcodes,
+            hot_pcs,
+            hcalls: self.hcalls.iter().map(|(&n, &c)| (n, c)).collect(),
+            loops,
+        }
+    }
+}
+
+impl ExecHook for InsnProfiler {
+    fn pre(&mut self, pc: u32, insn: &Insn, regs: &[u32; NUM_REGS]) -> Result<(), VmFault> {
+        self.executed += 1;
+        *self.per_pc.entry(pc).or_insert(0) += 1;
+        self.per_opcode[insn.op as usize] += 1;
+        if insn.op == Opcode::Hcall {
+            *self.hcalls.entry(insn.imm).or_insert(0) += 1;
+        }
+        // A taken control transfer to a lower (or equal) PC is a loop
+        // back-edge. The condition is re-derived from the pre-state
+        // registers, mirroring the interpreter's own checks.
+        let taken = match insn.op {
+            Opcode::Jmp => true,
+            Opcode::Jz => regs[insn.rs1 as usize] == 0,
+            Opcode::Jnz => regs[insn.rs1 as usize] != 0,
+            Opcode::Jlt => regs[insn.rs1 as usize] < regs[insn.rs2 as usize],
+            _ => false,
+        };
+        if taken && insn.imm <= pc {
+            *self.back_edges.entry((pc, insn.imm)).or_insert(0) += 1;
+        }
+        Ok(())
+    }
+}
+
+/// One loop detected from its taken back-edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopStat {
+    /// PC of the loop head (the back-edge's target).
+    pub head: u32,
+    /// PC of the jump that closes the loop.
+    pub back_pc: u32,
+    /// How many times the back-edge was taken.
+    pub iterations: u64,
+}
+
+/// An immutable instruction-level profile report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsnProfile {
+    /// Total instructions retired (== fuel consumed; the interpreter
+    /// charges one fuel per instruction).
+    pub executed: u64,
+    /// Non-zero per-opcode retirement counts in opcode-number order.
+    pub opcodes: Vec<(&'static str, u64)>,
+    /// Per-PC retirement counts, hottest first (PC breaks ties).
+    pub hot_pcs: Vec<(u32, u64)>,
+    /// Per-hypercall-number invocation counts, ascending by number.
+    pub hcalls: Vec<(u32, u64)>,
+    /// Detected loops, most iterations first.
+    pub loops: Vec<LoopStat>,
+}
+
+impl InsnProfile {
+    /// Renders the profile as collapsed-stack ("folded") text rooted at
+    /// `root` (typically the program name). Weights are instruction
+    /// counts; the line set is deterministic and the weights sum to
+    /// [`InsnProfile::executed`].
+    pub fn folded(&self, root: &str) -> String {
+        let mut out = String::new();
+        for &(name, n) in &self.opcodes {
+            if name == "hcall" {
+                // Hypercalls get one frame per service number instead of
+                // a single aggregate frame.
+                continue;
+            }
+            out.push_str(&format!("{root};{name} {n}\n"));
+        }
+        for &(num, n) in &self.hcalls {
+            out.push_str(&format!("{root};hcall;{num} {n}\n"));
+        }
+        out
+    }
+
+    /// Serializes the profile as a deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"executed\":{},", self.executed));
+        s.push_str("\"opcodes\":{");
+        for (i, (name, n)) in self.opcodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{name}\":{n}"));
+        }
+        s.push_str("},\"hcalls\":{");
+        for (i, (num, n)) in self.hcalls.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{num}\":{n}"));
+        }
+        s.push_str("},\"hot_pcs\":[");
+        for (i, (pc, n)) in self.hot_pcs.iter().take(8).enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"pc\":{pc},\"count\":{n}}}"));
+        }
+        s.push_str("],\"loops\":[");
+        for (i, l) in self.loops.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"head\":{},\"back_pc\":{},\"iterations\":{}}}",
+                l.head, l.back_pc, l.iterations
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::vm::{run_with_hook, TestBus};
+
+    fn profile(src: &str, fuel: u64) -> (InsnProfile, Result<u64, VmFault>) {
+        let prog = assemble(src).unwrap();
+        let mut bus = TestBus::new(4096);
+        let mut p = InsnProfiler::new();
+        let r = run_with_hook(&prog.code, &mut bus, fuel, [0u32; NUM_REGS], &mut p);
+        (p.finish(), r.map(|e| e.executed))
+    }
+
+    #[test]
+    fn counts_reconcile_with_executed() {
+        let (prof, r) = profile(
+            "movi r1, 5\nloop: sub r1, r1, r2\naddi r1, r1, 4294967295\njnz r1, loop\nhalt",
+            1_000,
+        );
+        assert_eq!(prof.executed, r.unwrap());
+        let opcode_sum: u64 = prof.opcodes.iter().map(|&(_, n)| n).sum();
+        assert_eq!(opcode_sum, prof.executed);
+        let pc_sum: u64 = prof.hot_pcs.iter().map(|&(_, n)| n).sum();
+        assert_eq!(pc_sum, prof.executed);
+    }
+
+    #[test]
+    fn detects_the_hot_loop() {
+        let (prof, r) = profile(
+            "movi r1, 10\nloop: addi r1, r1, 4294967295\njnz r1, loop\nhalt",
+            1_000,
+        );
+        r.unwrap();
+        assert_eq!(prof.loops.len(), 1);
+        let l = prof.loops[0];
+        assert_eq!(l.head, 1, "loop head is the first body insn");
+        assert_eq!(l.iterations, 9, "back-edge taken n-1 times");
+    }
+
+    #[test]
+    fn hypercalls_counted_per_number() {
+        let (prof, r) = profile("movi r0, 65\nhcall 0\nhcall 0\nhcall 1\nhalt", 100);
+        r.unwrap();
+        assert_eq!(prof.hcalls, vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn profile_survives_a_fault() {
+        let (prof, r) = profile("loop: jmp loop", 50);
+        assert_eq!(r, Err(VmFault::OutOfFuel));
+        assert_eq!(prof.executed, 50);
+        assert_eq!(
+            prof.loops[0].iterations, 50,
+            "every retirement is the back-edge"
+        );
+    }
+
+    #[test]
+    fn folded_weights_sum_to_executed() {
+        let (prof, _) = profile("movi r0, 65\nhcall 0\nmovi r1, 3\nhalt", 100);
+        let folded = prof.folded("prog");
+        let total: u64 = folded
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, prof.executed);
+        assert!(folded.contains("prog;hcall;0 1\n"));
+        assert!(folded.contains("prog;movi 2\n"));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let (a, _) = profile(
+            "movi r1, 4\nloop: jlt r2, r1, body\nhalt\nbody: addi r2, r2, 1\njmp loop",
+            1_000,
+        );
+        let (b, _) = profile(
+            "movi r1, 4\nloop: jlt r2, r1, body\nhalt\nbody: addi r2, r2, 1\njmp loop",
+            1_000,
+        );
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().starts_with("{\"executed\":"));
+    }
+}

@@ -136,6 +136,85 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Profiling is a pure function of (program, initial registers):
+    /// two runs of the same inputs produce byte-identical profile
+    /// reports — the property the committed profile baseline's drift
+    /// gates depend on. Faulting programs (out of fuel, memory faults,
+    /// divide by zero) must be deterministic too: the profiler is
+    /// borrowed, not consumed, and its partial counts are part of the
+    /// contract.
+    #[test]
+    fn profiling_same_program_is_byte_identical(
+        raws in proptest::collection::vec(
+            (0u8..25, any::<u8>(), any::<u8>(), any::<u8>(), any::<u32>()),
+            1..24,
+        ),
+        r0 in any::<u32>(),
+        r1 in any::<u32>(),
+    ) {
+        let n = raws.len() as u32;
+        let code: Vec<u8> = raws
+            .iter()
+            .flat_map(|&raw| make_insn(raw, n).encode())
+            .collect();
+        let mut init = [0u32; flicker_palvm::NUM_REGS];
+        (init[0], init[1]) = (r0, r1);
+        const FUEL: u64 = 10_000;
+
+        let run = || {
+            let mut bus = flicker_palvm::TestBus::new(256);
+            let mut profiler = flicker_palvm::InsnProfiler::new();
+            let result =
+                flicker_palvm::run_with_hook(&code, &mut bus, FUEL, init, &mut profiler);
+            (result, profiler.finish(), profiler.counter_pairs())
+        };
+        let (res_a, prof_a, pairs_a) = run();
+        let (res_b, prof_b, pairs_b) = run();
+
+        prop_assert_eq!(&res_a, &res_b);
+        prop_assert_eq!(&prof_a, &prof_b);
+        prop_assert_eq!(&pairs_a, &pairs_b);
+        prop_assert_eq!(prof_a.to_json(), prof_b.to_json());
+        prop_assert_eq!(prof_a.folded("pal"), prof_b.folded("pal"));
+    }
+
+    /// The three count views agree: per-opcode trace counters, the
+    /// profile's opcode table, and the retired-instruction total are the
+    /// same numbers sliced differently.
+    #[test]
+    fn profile_count_views_reconcile(
+        raws in proptest::collection::vec(
+            (0u8..25, any::<u8>(), any::<u8>(), any::<u8>(), any::<u32>()),
+            1..24,
+        ),
+    ) {
+        let n = raws.len() as u32;
+        let code: Vec<u8> = raws
+            .iter()
+            .flat_map(|&raw| make_insn(raw, n).encode())
+            .collect();
+        let mut bus = flicker_palvm::TestBus::new(256);
+        let mut profiler = flicker_palvm::InsnProfiler::new();
+        let _ = flicker_palvm::run_with_hook(
+            &code,
+            &mut bus,
+            10_000,
+            [0u32; flicker_palvm::NUM_REGS],
+            &mut profiler,
+        );
+        let profile = profiler.finish();
+        let counter_total: u64 = profiler.counter_pairs().iter().map(|&(_, c)| c).sum();
+        let opcode_total: u64 = profile.opcodes.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(counter_total, profile.executed);
+        prop_assert_eq!(opcode_total, profile.executed);
+        let pc_total: u64 = profile.hot_pcs.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(pc_total, profile.executed);
+    }
+}
+
 #[test]
 fn opcode_from_u8_is_exact() {
     // The opcode space is exactly 0..=24; every other byte is rejected.

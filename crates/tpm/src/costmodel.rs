@@ -1,0 +1,204 @@
+//! The crypto cost model: decomposes each TPM ordinal's charged virtual
+//! time into primitive operations.
+//!
+//! The timing table ([`crate::timing`]) reproduces *what* a TPM v1.2 chip
+//! charges per command; this module models *why* — how much of each
+//! ordinal's latency is the RSA engine grinding Montgomery
+//! multiplications versus the SHA-1 core compressing blocks versus the
+//! symmetric engine moving AES blocks. The primitive names are shared
+//! with `flicker_crypto::cost` (the measured host-side counters), so a
+//! profile can show the modeled chip decomposition and the measured
+//! simulator counts side by side.
+//!
+//! The decomposition is a *model of the simulated 2048-bit chip*, not a
+//! measurement: operation counts follow the TPM v1.2 command flows
+//! (square-and-multiply RSA-2048 without CRT, which is what the
+//! Broadcom-class parts of the paper's era shipped), and the time shares
+//! are calibrated so the expensive private-key ordinals attribute ≥ 90 %
+//! of their charged latency to named primitives — the bar the profile
+//! baseline gates in CI. The unattributed remainder models command
+//! parsing, bus I/O, and (for NV ordinals) flash programming time, which
+//! no crypto primitive explains.
+//!
+//! Shares are fractions of the ordinal's charged duration, so the model
+//! holds across timing profiles (Broadcom, Infineon, `future_hardware`)
+//! without per-profile tables.
+
+use std::time::Duration;
+
+/// Montgomery multiplications for one RSA-2048 private-key operation:
+/// left-to-right square-and-multiply over a 2048-bit exponent (~2048
+/// squarings + ~1024 multiplies) plus the two Montgomery domain
+/// conversions. No CRT — the optimization headroom the ROADMAP's speed
+/// pass is after.
+pub const RSA2048_PRIV_MODMULS: u64 = 3074;
+
+/// Montgomery multiplications for one RSA-2048 public-key operation with
+/// `e = 65537` (17 bits: 16 squarings + 1 multiply + 2 conversions).
+pub const RSA2048_PUB_MODMULS: u64 = 19;
+
+/// One primitive-operation term of an ordinal's decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrimitiveCost {
+    /// Primitive name, matching `flicker_crypto::cost::Primitive::name`.
+    pub primitive: &'static str,
+    /// Modeled number of operations per command.
+    pub count: u64,
+    /// Fraction of the ordinal's charged time this primitive accounts
+    /// for (shares per ordinal sum to ≤ 1; the remainder is
+    /// parsing/bus/flash overhead).
+    pub share: f64,
+}
+
+const fn p(primitive: &'static str, count: u64, share: f64) -> PrimitiveCost {
+    PrimitiveCost {
+        primitive,
+        count,
+        share,
+    }
+}
+
+/// The ordinals whose decomposition CI gates at ≥ 90 % attribution (the
+/// expensive sealed-storage and attestation commands a Flicker session
+/// actually waits on).
+pub const GATED_ORDINALS: [&str; 3] = ["TPM_Seal", "TPM_Unseal", "TPM_Quote"];
+
+// Private-key op over the quote composite; the signature engine utterly
+// dominates the 972.7 ms Broadcom figure.
+static QUOTE: [PrimitiveCost; 2] = [
+    p("modmul", RSA2048_PRIV_MODMULS, 0.94),
+    p("sha1_compress", 4, 0.02),
+];
+// Private-key decrypt of the sealed blob, then auth + PCR policy checks
+// (HMAC-SHA-1 over the command parameters).
+static UNSEAL: [PrimitiveCost; 3] = [
+    p("modmul", RSA2048_PRIV_MODMULS, 0.92),
+    p("sha1_compress", 6, 0.01),
+    p("hmac", 2, 0.01),
+];
+// Public-key encrypt (cheap: e = 65537) plus payload handling — which is
+// why seal is 10.2 ms where unseal is 901 ms.
+static SEAL: [PrimitiveCost; 4] = [
+    p("modmul", RSA2048_PUB_MODMULS, 0.55),
+    p("sha1_compress", 6, 0.20),
+    p("aes_block", 4, 0.10),
+    p("hmac", 1, 0.07),
+];
+// Parent-wrapped key blob decrypt + integrity check.
+static LOAD_KEY: [PrimitiveCost; 3] = [
+    p("aes_block", 288, 0.50),
+    p("sha1_compress", 10, 0.20),
+    p("hmac", 1, 0.10),
+];
+// One compression over old-digest‖new-digest.
+static EXTEND: [PrimitiveCost; 1] = [p("sha1_compress", 1, 0.70)];
+// Auth session setup computes the shared-secret HMAC.
+static AUTH_SESSION: [PrimitiveCost; 2] = [p("hmac", 1, 0.40), p("sha1_compress", 2, 0.15)];
+// SHA-1-based DRBG output blocks.
+static GET_RANDOM: [PrimitiveCost; 1] = [p("sha1_compress", 4, 0.50)];
+// AIK generation: primality testing is thousands of modexps.
+static MAKE_IDENTITY: [PrimitiveCost; 2] =
+    [p("modmul", 250_000, 0.95), p("sha1_compress", 8, 0.01)];
+
+/// The modeled decomposition of `spec_name` (e.g. `"TPM_Quote"`);
+/// empty for the deliberately unattributed flash/bus-dominated ordinals.
+pub fn decompose(spec_name: &str) -> &'static [PrimitiveCost] {
+    match spec_name {
+        "TPM_Quote" => &QUOTE,
+        "TPM_Unseal" => &UNSEAL,
+        "TPM_Seal" => &SEAL,
+        "TPM_LoadKey2" => &LOAD_KEY,
+        "TPM_Extend" => &EXTEND,
+        "TPM_OIAP" | "TPM_OSAP" => &AUTH_SESSION,
+        "TPM_GetRandom" => &GET_RANDOM,
+        "TPM_MakeIdentity" => &MAKE_IDENTITY,
+        // Reads, NV space ops, monotonic counters: flash/bus dominated.
+        _ => &[],
+    }
+}
+
+/// The fraction of `spec_name`'s charged time the model attributes to
+/// named primitives (0 for unmodeled ordinals).
+pub fn attributed_fraction(spec_name: &str) -> f64 {
+    decompose(spec_name).iter().map(|c| c.share).sum()
+}
+
+/// Splits a charged duration per the model:
+/// `(primitive, count, attributed_time)` per term.
+pub fn attribute(spec_name: &str, charged: Duration) -> Vec<(&'static str, u64, Duration)> {
+    decompose(spec_name)
+        .iter()
+        .map(|c| (c.primitive, c.count, charged.mul_f64(c.share)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every ordinal name the timing-charged command set can present.
+    const ALL_MODELED: [&str; 10] = [
+        "TPM_Quote",
+        "TPM_Unseal",
+        "TPM_Seal",
+        "TPM_LoadKey2",
+        "TPM_Extend",
+        "TPM_OIAP",
+        "TPM_OSAP",
+        "TPM_GetRandom",
+        "TPM_MakeIdentity",
+        "TPM_PCRRead",
+    ];
+
+    #[test]
+    fn shares_never_exceed_unity() {
+        for name in ALL_MODELED {
+            let total = attributed_fraction(name);
+            assert!(
+                (0.0..=1.0).contains(&total),
+                "{name} attributes {total} of its time"
+            );
+        }
+    }
+
+    #[test]
+    fn gated_ordinals_attribute_at_least_90_percent() {
+        for name in GATED_ORDINALS {
+            let total = attributed_fraction(name);
+            assert!(total >= 0.90, "{name} attributes only {total}");
+        }
+    }
+
+    #[test]
+    fn primitive_names_match_the_crypto_cost_model() {
+        for name in ALL_MODELED {
+            for c in decompose(name) {
+                assert!(
+                    flicker_crypto::cost::Primitive::from_name(c.primitive).is_some(),
+                    "{name} names unknown primitive {}",
+                    c.primitive
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_splits_proportionally() {
+        let charged = Duration::from_millis(1000);
+        let parts = attribute("TPM_Quote", charged);
+        assert_eq!(parts.len(), 2);
+        let (prim, count, dur) = parts[0];
+        assert_eq!(prim, "modmul");
+        assert_eq!(count, RSA2048_PRIV_MODMULS);
+        assert_eq!(dur, Duration::from_millis(940));
+        let total: Duration = parts.iter().map(|&(_, _, d)| d).sum();
+        assert!(total <= charged);
+        assert!(total >= charged.mul_f64(0.90));
+    }
+
+    #[test]
+    fn unmodeled_ordinals_decompose_to_nothing() {
+        assert!(decompose("TPM_NV_ReadValue").is_empty());
+        assert!(attribute("TPM_PCRRead", Duration::from_millis(1)).is_empty());
+    }
+}

@@ -265,6 +265,7 @@ pub fn audit_events(events: &[Event]) -> Vec<Violation> {
             | EventKind::FaultInjected { .. }
             | EventKind::Farm { .. }
             | EventKind::Charge { .. }
+            | EventKind::CryptoCost { .. }
             | EventKind::Anchor { .. }
             | EventKind::OsSuspend
             | EventKind::OsResume => {}

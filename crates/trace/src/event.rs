@@ -89,6 +89,24 @@ pub enum EventKind {
         /// (per-ordinal drill-down under the `tpm` attribution category).
         dur_ns: u64,
     },
+    /// The crypto cost model's decomposition of one TPM ordinal's virtual
+    /// time into a named primitive operation (see `flicker-tpm`'s
+    /// `costmodel`): `count` operations of `primitive` are modeled to
+    /// account for `dur_ns` of the ordinal's charged latency. Pended by
+    /// the TPM right after the matching [`EventKind::TpmCommand`], so the
+    /// two share a completion timestamp and profiles can nest primitives
+    /// under their ordinal.
+    CryptoCost {
+        /// Spec ordinal name the time belongs to, e.g. `TPM_Quote`.
+        ordinal: String,
+        /// Primitive operation name (`modmul`, `sha1_compress`,
+        /// `sha256_compress`, `hmac`, `aes_block`).
+        primitive: String,
+        /// Modeled number of primitive operations.
+        count: u64,
+        /// Virtual time attributed to this primitive, in nanoseconds.
+        dur_ns: u64,
+    },
     /// Virtual time charged against the active request under a named
     /// attribution category (`cpu`, `tpm`, `net`, `skinit`, `tpm_backoff`,
     /// `retry_backoff`) or a `warm_saved.*` estimate (reported separately,
@@ -192,6 +210,7 @@ impl EventKind {
             EventKind::PhaseStart { .. } => "phase_start",
             EventKind::PhaseEnd { .. } => "phase_end",
             EventKind::TpmCommand { .. } => "tpm_command",
+            EventKind::CryptoCost { .. } => "crypto_cost",
             EventKind::Charge { .. } => "charge",
             EventKind::Anchor { .. } => "anchor",
             EventKind::PcrExtend { .. } => "pcr_extend",
@@ -259,6 +278,17 @@ impl Event {
             } => {
                 push_str_field(&mut s, "ordinal", ordinal);
                 push_u64_field(&mut s, "locality", u64::from(*locality));
+                push_u64_field(&mut s, "dur_ns", *dur_ns);
+            }
+            EventKind::CryptoCost {
+                ordinal,
+                primitive,
+                count,
+                dur_ns,
+            } => {
+                push_str_field(&mut s, "ordinal", ordinal);
+                push_str_field(&mut s, "primitive", primitive);
+                push_u64_field(&mut s, "count", *count);
                 push_u64_field(&mut s, "dur_ns", *dur_ns);
             }
             EventKind::Charge { op, ns } => {
@@ -339,6 +369,12 @@ impl Event {
                 locality: req_u64("locality")? as u8,
                 // Optional for lines written before durations were recorded.
                 dur_ns: field_u64(line, "dur_ns").unwrap_or(0),
+            },
+            "crypto_cost" => EventKind::CryptoCost {
+                ordinal: req_str("ordinal")?,
+                primitive: req_str("primitive")?,
+                count: req_u64("count")?,
+                dur_ns: req_u64("dur_ns")?,
             },
             "charge" => EventKind::Charge {
                 op: req_str("op")?,
@@ -472,6 +508,12 @@ mod tests {
                 ordinal: "TPM_Seal".into(),
                 locality: 0,
                 dur_ns: 417_000,
+            },
+            EventKind::CryptoCost {
+                ordinal: "TPM_Quote".into(),
+                primitive: "modmul".into(),
+                count: 4098,
+                dur_ns: 904_611_000,
             },
             EventKind::Charge {
                 op: "tpm_backoff".into(),

@@ -71,6 +71,16 @@ fn event_args(kind: &EventKind) -> String {
             "{{\"ordinal\":\"{}\",\"locality\":{locality},\"dur_ns\":{dur_ns}}}",
             escape_json(ordinal)
         ),
+        EventKind::CryptoCost {
+            ordinal,
+            primitive,
+            count,
+            dur_ns,
+        } => format!(
+            "{{\"ordinal\":\"{}\",\"primitive\":\"{}\",\"count\":{count},\"dur_ns\":{dur_ns}}}",
+            escape_json(ordinal),
+            escape_json(primitive)
+        ),
         EventKind::Charge { op, ns } => {
             format!("{{\"op\":\"{}\",\"ns\":{ns}}}", escape_json(op))
         }
@@ -196,11 +206,19 @@ pub fn prometheus_text(trace: &Trace) -> String {
     let mut out = String::new();
     for (name, value) in trace.counters() {
         let metric = metric_name(name);
+        let _ = writeln!(
+            out,
+            "# HELP {metric}_total Monotonic flight-recorder count of {name} events."
+        );
         let _ = writeln!(out, "# TYPE {metric}_total counter");
         let _ = writeln!(out, "{metric}_total {value}");
     }
     for (name, hist) in trace.histograms() {
         let metric = format!("{}_seconds", metric_name(name));
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Virtual-clock latency distribution of {name}."
+        );
         let _ = writeln!(out, "# TYPE {metric} histogram");
         let mut cumulative = 0u64;
         for (_low, high, count) in hist.nonzero_buckets() {
@@ -339,8 +357,10 @@ mod tests {
         t.observe("net.rtt", Duration::from_micros(900));
         let text = prometheus_text(&t);
         let expected = "\
+# HELP flicker_tpm_retry_total Monotonic flight-recorder count of tpm.retry events.
 # TYPE flicker_tpm_retry_total counter
 flicker_tpm_retry_total 3
+# HELP flicker_net_rtt_seconds Virtual-clock latency distribution of net.rtt.
 # TYPE flicker_net_rtt_seconds histogram
 flicker_net_rtt_seconds_bucket{le=\"0.000524288\"} 1
 flicker_net_rtt_seconds_bucket{le=\"0.000917504\"} 2

@@ -46,6 +46,7 @@ pub mod audit;
 mod event;
 pub mod export;
 mod hist;
+pub mod profile;
 
 pub use event::{Event, EventKind, RequestCtx};
 pub use hist::DurationHistogram;

@@ -1,0 +1,121 @@
+//! Profile determinism and folded-stack round-trip properties.
+//!
+//! The profile builder promises (a) that building twice from the same
+//! trace yields byte-identical artifacts — the property the committed
+//! profile baseline's drift gates rely on — and (b) that the collapsed
+//! stack text is a lossless encoding of the self-weight map: parsing
+//! what `folded()` emitted reproduces `folded_weights()` exactly, for
+//! *any* trace the recorder can produce, including overlapping sessions,
+//! dangling spans, and events that attach to no span at all.
+
+use flicker_trace::profile::{self, diff_folded, parse_folded};
+use flicker_trace::{EventKind, Trace};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const SPAN_NAMES: [&str; 4] = ["phase.alpha", "phase.beta", "phase.gamma", "phase.delta"];
+const ORDINALS: [&str; 4] = ["TPM_Seal", "TPM_Unseal", "TPM_Quote", "TPM_Extend"];
+const PRIMITIVES: [&str; 3] = ["modmul", "sha1_compress", "hmac"];
+
+/// Replays scripted `(selector, param)` ops on a fresh trace: span
+/// starts/ends, session open/close events, and TPM commands each
+/// followed by a same-timestamp crypto-cost event (mirroring how the
+/// simulated chip pends both at drain time).
+fn build_trace(ops: &[(u8, u16)]) -> Trace {
+    let trace = Trace::new();
+    let mut now_ns: u64 = 0;
+    let mut open_spans = Vec::new();
+    let mut session_open = false;
+    let mut sessions: u64 = 0;
+
+    for &(selector, param) in ops {
+        now_ns += u64::from(param % 997) + 1;
+        let now = Duration::from_nanos(now_ns);
+        match selector % 16 {
+            0..=5 => {
+                open_spans.push(trace.span_start(SPAN_NAMES[param as usize % 4], now));
+            }
+            6..=9 => {
+                if let Some(id) = open_spans.pop() {
+                    trace.span_end(id, now);
+                }
+            }
+            10 => {
+                let kind = if session_open {
+                    EventKind::SessionEnd { id: sessions }
+                } else {
+                    sessions += 1;
+                    EventKind::SessionStart { id: sessions }
+                };
+                session_open = !session_open;
+                trace.event(now, kind);
+            }
+            _ => {
+                let ordinal = ORDINALS[param as usize % 4];
+                let dur_ns = u64::from(param) * 1_000;
+                trace.event(
+                    now,
+                    EventKind::TpmCommand {
+                        ordinal: ordinal.into(),
+                        locality: 2,
+                        dur_ns,
+                    },
+                );
+                trace.event(
+                    now,
+                    EventKind::CryptoCost {
+                        ordinal: ordinal.into(),
+                        primitive: PRIMITIVES[param as usize % 3].into(),
+                        count: u64::from(param % 7) + 1,
+                        dur_ns: dur_ns / 2,
+                    },
+                );
+            }
+        }
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn folded_text_round_trips_for_arbitrary_traces(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..48),
+    ) {
+        let trace = build_trace(&ops);
+        let p = profile::build(&trace);
+        let parsed = parse_folded(&p.folded()).expect("own output parses");
+        prop_assert_eq!(parsed, p.folded_weights());
+    }
+
+    #[test]
+    fn building_twice_is_byte_identical(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..48),
+    ) {
+        let trace = build_trace(&ops);
+        let a = profile::build(&trace);
+        let b = profile::build(&trace);
+        prop_assert_eq!(a.folded(), b.folded());
+        prop_assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+        prop_assert_eq!(a.total(), b.total());
+        prop_assert_eq!(a.overflow_ns, b.overflow_ns);
+        // And a profile never drifts against itself.
+        prop_assert!(diff_folded(&a.folded_weights(), &b.folded_weights()).is_empty());
+    }
+
+    #[test]
+    fn folded_diff_deltas_reconstruct_the_after_map(
+        ops_a in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..32),
+        ops_b in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..32),
+    ) {
+        let before = profile::build(&build_trace(&ops_a)).folded_weights();
+        let after = profile::build(&build_trace(&ops_b)).folded_weights();
+        for d in diff_folded(&before, &after) {
+            prop_assert_eq!(before.get(&d.path).copied().unwrap_or(0), d.before);
+            prop_assert_eq!(after.get(&d.path).copied().unwrap_or(0), d.after);
+            prop_assert_eq!(i128::from(d.after) - i128::from(d.before), d.delta());
+            prop_assert!(d.delta() != 0, "unchanged stack {} reported", d.path);
+        }
+    }
+}

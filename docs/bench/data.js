@@ -459,10 +459,131 @@ window.BENCHMARK_DATA = {
         },
         "date": 3,
         "tool": "customSmallerIsBetter"
+      },
+      {
+        "benches": [
+          {
+            "name": "apps/ca/p50_ms",
+            "unit": "ms",
+            "value": 1153.394
+          },
+          {
+            "name": "apps/ca/p95_ms",
+            "unit": "ms",
+            "value": 1193.954
+          },
+          {
+            "name": "apps/distcomp/p50_ms",
+            "unit": "ms",
+            "value": 955.76592
+          },
+          {
+            "name": "apps/distcomp/p95_ms",
+            "unit": "ms",
+            "value": 955.76592
+          },
+          {
+            "name": "apps/rootkit/p50_ms",
+            "unit": "ms",
+            "value": 1027.218356
+          },
+          {
+            "name": "apps/rootkit/p95_ms",
+            "unit": "ms",
+            "value": 1027.610167
+          },
+          {
+            "name": "apps/ssh/p50_ms",
+            "unit": "ms",
+            "value": 2130.735892
+          },
+          {
+            "name": "apps/ssh/p95_ms",
+            "unit": "ms",
+            "value": 2186.911954
+          },
+          {
+            "name": "apps/storage/p50_ms",
+            "unit": "ms",
+            "value": 1923.66122
+          },
+          {
+            "name": "apps/storage/p95_ms",
+            "unit": "ms",
+            "value": 1923.66122
+          },
+          {
+            "name": "profile/attribution/TPM_Quote",
+            "unit": "",
+            "value": 0.96
+          },
+          {
+            "name": "profile/attribution/TPM_Seal",
+            "unit": "",
+            "value": 0.92
+          },
+          {
+            "name": "profile/attribution/TPM_Unseal",
+            "unit": "",
+            "value": 0.94
+          },
+          {
+            "name": "profile/reconciliation_error",
+            "unit": "",
+            "value": 0
+          },
+          {
+            "name": "profile/session_total_ms",
+            "unit": "ms",
+            "value": 130614.24975
+          },
+          {
+            "name": "profile/top_stacks/(untraced);tpm.TPM_Quote;modmul",
+            "unit": "",
+            "value": 0.2550465347205728
+          },
+          {
+            "name": "profile/top_stacks/session;phase.pal",
+            "unit": "",
+            "value": 0.05588290530627451
+          },
+          {
+            "name": "profile/top_stacks/session;phase.pal;tpm.TPM_Unseal",
+            "unit": "",
+            "value": 0.03769890255844711
+          },
+          {
+            "name": "profile/top_stacks/session;phase.pal;tpm.TPM_Unseal;modmul",
+            "unit": "",
+            "value": 0.5780498392295224
+          },
+          {
+            "name": "profile/top_stacks/session;phase.skinit",
+            "unit": "",
+            "value": 0.014136999198235137
+          },
+          {
+            "name": "profile/total_ms",
+            "unit": "ms",
+            "value": 179249.24975
+          },
+          {
+            "name": "sessions",
+            "unit": "",
+            "value": 250
+          }
+        ],
+        "commit": {
+          "id": "f8e3f81",
+          "message": "",
+          "url": ""
+        },
+        "date": 4,
+        "tool": "customSmallerIsBetter"
       }
     ]
   },
-  "lastUpdate": 4,
+  "lastUpdate": 5,
   "repoUrl": ""
 }
 ;

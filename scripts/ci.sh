@@ -65,3 +65,17 @@ for fmt in chrome jsonl prom; do
   cargo run --release -p flicker-bench --bin flicker_trace_tool -- \
     export --quick --format "$fmt" --verify --out "target/trace_smoke.$fmt" >/dev/null
 done
+# Profiling gates: a quick profile must validate (reconciliation within
+# 1%, gated TPM ordinals >=90% attributed to named crypto primitives) and
+# must not drift against the committed profile baseline; both flamegraph
+# exports must pass the same reconciliation check; and the committed
+# trajectory's profile series must be drift-free between adjacent runs.
+cargo run --release -p flicker-bench --bin flicker_trace_tool -- \
+  profile --quick --out target/BENCH_profile_quick.json
+cargo run --release -p flicker-bench --bin flicker_trace_tool -- \
+  profile --check BENCH_profile_baseline.json --quick
+cargo run --release -p flicker-bench --bin flicker_trace_tool -- \
+  flamegraph --quick --out target/profile_smoke.folded >/dev/null
+cargo run --release -p flicker-bench --bin flicker_trace_tool -- \
+  flamegraph --quick --format chrome --out target/profile_smoke.chrome.json >/dev/null
+cargo run --release -p flicker-bench --bin trajectory_dashboard -- --check-drift
